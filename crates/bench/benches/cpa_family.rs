@@ -1,0 +1,61 @@
+//! Fig. 4 family: CPA vs MCPA vs MCPA2 across the paper's DAG shapes
+//! ("long, wide, serial, etc.") — the §III parameter sweep. Besides
+//! timing, each run prints the makespan rows the paper's comparison is
+//! about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jedule_dag::{layered, GenParams};
+use jedule_sched::cpa::{fig4_dag, FIG4_PROCS};
+use jedule_sched::{schedule_dag, CpaVariant};
+use std::hint::black_box;
+
+fn shapes() -> Vec<(&'static str, jedule_dag::Dag)> {
+    vec![
+        ("wide", layered(&GenParams::wide(1))),
+        ("long", layered(&GenParams::long(1))),
+        ("serial", layered(&GenParams::serial(1))),
+        ("irregular", layered(&GenParams::irregular(1))),
+        ("fig4", fig4_dag()),
+    ]
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpa_family");
+    g.sample_size(10);
+    for (name, dag) in shapes() {
+        // Print the qualitative table once per shape (who wins where).
+        let cpa = schedule_dag(&dag, 32, 1.0, CpaVariant::Cpa);
+        let mcpa = schedule_dag(&dag, 32, 1.0, CpaVariant::Mcpa);
+        println!(
+            "shape {name:>9}: CPA {:8.2}  MCPA {:8.2}  MCPA2 {:8.2}",
+            cpa.makespan,
+            mcpa.makespan,
+            cpa.makespan.min(mcpa.makespan)
+        );
+        for variant in [CpaVariant::Cpa, CpaVariant::Mcpa, CpaVariant::Mcpa2] {
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), name),
+                &dag,
+                |b, d| b.iter(|| black_box(schedule_dag(d, 32, 1.0, variant))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig4_scaling(c: &mut Criterion) {
+    // The Fig. 4 case at the paper's cluster sizes ("from smaller cluster
+    // with 32 processors to bigger ones").
+    let dag = fig4_dag();
+    let mut g = c.benchmark_group("fig4_cluster_sizes");
+    g.sample_size(10);
+    for procs in [FIG4_PROCS, 32, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("mcpa2", procs), &procs, |b, &p| {
+            b.iter(|| black_box(schedule_dag(&dag, p, 1.0, CpaVariant::Mcpa2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_fig4_scaling);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figs. 6–9 family: Montage generation, HEFT scheduling on the Fig. 7
+//! platform (flawed and realistic backbone), and the simulator replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jedule_dag::montage;
+use jedule_platform::{fig7_platform_flawed, fig7_platform_realistic};
+use jedule_sched::heft;
+use std::hint::black_box;
+
+fn bench_montage_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montage_generation");
+    for n in [10usize, 50, 200] {
+        g.bench_with_input(BenchmarkId::new("montage", n), &n, |b, &n| {
+            b.iter(|| black_box(montage(n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_heft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heft");
+    g.sample_size(10);
+    for (name, platform) in [
+        ("flawed", fig7_platform_flawed()),
+        ("realistic", fig7_platform_realistic()),
+    ] {
+        let dag = montage(12);
+        let r = heft(&dag, &platform);
+        println!("HEFT montage-50 on {name}: makespan {:.2} s", r.makespan);
+        g.bench_function(format!("montage50_{name}"), |b| {
+            b.iter(|| black_box(heft(&dag, &platform)))
+        });
+    }
+    // Scaling with workflow size.
+    for n in [10usize, 25, 50] {
+        let dag = montage(n);
+        let platform = fig7_platform_realistic();
+        g.bench_with_input(BenchmarkId::new("montage_size", n), &dag, |b, d| {
+            b.iter(|| black_box(heft(d, &platform)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simx_replay(c: &mut Criterion) {
+    // Replaying a HEFT schedule in the discrete-event simulator.
+    let dag = montage(12);
+    let platform = fig7_platform_realistic();
+    let r = heft(&dag, &platform);
+    let mapping = jedule_simx::Mapping::new(
+        (0..dag.task_count())
+            .map(|t| vec![r.of(t).unwrap().host])
+            .collect(),
+    );
+    let mut g = c.benchmark_group("simx");
+    g.bench_function("replay_montage50", |b| {
+        b.iter(|| black_box(jedule_simx::simulate(&dag, &platform, &mapping).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_montage_generation, bench_heft, bench_simx_replay);
+criterion_main!(benches);

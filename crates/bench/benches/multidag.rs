@@ -1,0 +1,99 @@
+//! Fig. 5 family: multi-DAG CRA policies, stretch metrics and the
+//! conservative backfilling post-pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jedule_dag::{layered, Dag, GenParams};
+use jedule_sched::{backfill, schedule_combined, schedule_moldable, schedule_multi_dag, CraPolicy};
+use std::hint::black_box;
+
+fn batch(n: usize) -> Vec<Dag> {
+    (0..n)
+        .map(|i| {
+            let mut d = layered(&GenParams {
+                seed: 900 + i as u64,
+                depth: 5,
+                width: 3,
+                work_mean: 20.0 * (1.0 + i as f64 * 0.5),
+                ..GenParams::default()
+            });
+            d.name = format!("app{i}");
+            d
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let dags = batch(4);
+    let mut g = c.benchmark_group("cra_policies");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("work", CraPolicy::Work { mu: 0.3 }),
+        ("width", CraPolicy::Width { mu: 0.3 }),
+        ("equal", CraPolicy::Equal),
+    ] {
+        // Report the fairness/makespan trade-off row.
+        let r = schedule_multi_dag(&dags, 20, 1.0, policy);
+        println!(
+            "CRA_{name:<5}: makespan {:8.2}, max stretch {:.3}, mean stretch {:.3}",
+            r.overall_makespan, r.max_stretch, r.mean_stretch
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(schedule_multi_dag(&dags, 20, 1.0, policy)))
+        });
+    }
+    // The other two §IV-A approaches, for the bi-criteria comparison.
+    let comb = schedule_combined(&dags, 20, 1.0);
+    let mold = schedule_moldable(&dags, 20, 1.0);
+    println!(
+        "COMBINED : makespan {:8.2}, max stretch {:.3}, mean stretch {:.3}",
+        comb.overall_makespan, comb.max_stretch, comb.mean_stretch
+    );
+    println!(
+        "MOLDABLE : makespan {:8.2}, max stretch {:.3}, mean stretch {:.3}",
+        mold.overall_makespan, mold.max_stretch, mold.mean_stretch
+    );
+    g.bench_function("combined", |b| {
+        b.iter(|| black_box(schedule_combined(&dags, 20, 1.0)))
+    });
+    g.bench_function("moldable", |b| {
+        b.iter(|| black_box(schedule_moldable(&dags, 20, 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cra_batch_size");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let dags = batch(n);
+        g.bench_with_input(BenchmarkId::new("work", n), &dags, |b, d| {
+            b.iter(|| black_box(schedule_multi_dag(d, 32, 1.0, CraPolicy::Work { mu: 0.3 })))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backfill(c: &mut Criterion) {
+    let dags = batch(4);
+    let r = schedule_multi_dag(&dags, 20, 1.0, CraPolicy::Equal);
+    let kinds: Vec<String> = r.schedule.tasks.iter().map(|t| t.kind.clone()).collect();
+    let starts: Vec<f64> = r.schedule.tasks.iter().map(|t| t.start).collect();
+    let mut g = c.benchmark_group("backfill");
+    g.sample_size(10);
+    let report = backfill(&r.schedule, |i, j| kinds[i] == kinds[j] && starts[i] < starts[j]);
+    println!(
+        "backfilling: idle {:.1} -> {:.1}, moved {}",
+        report.idle_before, report.idle_after, report.moved
+    );
+    g.bench_function("conservative_pass", |b| {
+        b.iter(|| {
+            black_box(backfill(&r.schedule, |i, j| {
+                kinds[i] == kinds[j] && starts[i] < starts[j]
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_batch_sizes, bench_backfill);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Rendering pipeline benches: layout + every back-end, including the
+//! Fig. 13 scale (1024 rows, ~800 jobs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jedule_render::{layout, OutputFormat, RenderOptions};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let (schedule, cmap) = jedule_bench::fig13();
+    let opts = RenderOptions::default()
+        .with_size(900.0, None)
+        .with_colormap(cmap);
+    let scene = layout(&schedule, &opts);
+
+    let mut g = c.benchmark_group("render_fig13");
+    g.sample_size(10);
+    g.bench_function("layout_1024_nodes", |b| {
+        b.iter(|| black_box(layout(&schedule, &opts)))
+    });
+    g.bench_function("svg", |b| {
+        b.iter(|| black_box(jedule_render::svg::to_svg(&scene)))
+    });
+    g.bench_function("png", |b| {
+        b.iter(|| black_box(jedule_render::png::to_png(&scene)))
+    });
+    g.bench_function("jpeg_q90", |b| {
+        b.iter(|| black_box(jedule_render::jpeg::to_jpeg(&scene, 90)))
+    });
+    g.bench_function("pdf", |b| {
+        b.iter(|| black_box(jedule_render::pdf::to_pdf(&scene)))
+    });
+    g.bench_function("ascii", |b| {
+        b.iter(|| black_box(jedule_render::ascii::to_ascii(&scene, true)))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let f = jedule_bench::fig4();
+    let opts = jedule_bench::fig4_options("bench");
+    let mut g = c.benchmark_group("render_end_to_end");
+    g.sample_size(20);
+    for fmt in [OutputFormat::Svg, OutputFormat::Png, OutputFormat::Jpeg, OutputFormat::Pdf] {
+        let mut o = opts.clone();
+        o.format = fmt;
+        g.bench_function(format!("fig4_{}", fmt.extension()), |b| {
+            b.iter(|| black_box(jedule_render::render(&f.cpa, &o)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_end_to_end);
+criterion_main!(benches);

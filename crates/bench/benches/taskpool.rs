@@ -1,0 +1,76 @@
+//! Figs. 10–12 family: task-pool machinery — real pools, Quicksort tree
+//! construction (the paper's ">200,000 individual tasks" scale) and the
+//! virtual-time NUMA simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jedule_taskpool::pool::{run_quicksort, PoolKind};
+use jedule_taskpool::quicksort::{build_qs_tree, inverse_input, random_input, PivotStrategy};
+use jedule_taskpool::sim::{simulate_tree, NumaModel, SimParams};
+use std::hint::black_box;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qs_tree");
+    g.sample_size(10);
+    for n in [1usize << 16, 1 << 20] {
+        let data = random_input(n, 42);
+        g.bench_with_input(BenchmarkId::new("random_first", n), &data, |b, d| {
+            b.iter(|| black_box(build_qs_tree(d, PivotStrategy::First, 1024)))
+        });
+    }
+    // The >200k-tasks stress: tiny threshold.
+    let data = random_input(1 << 20, 43);
+    let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 2);
+    println!("qs tree with threshold 2 on 1M elements: {} tasks", tree.nodes.len());
+    g.bench_function("many_tasks_1M_thr2", |b| {
+        b.iter(|| black_box(build_qs_tree(&data, PivotStrategy::Middle, 2)))
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qs_sim");
+    g.sample_size(10);
+    let (fig11_tree, _) = build_qs_tree(&random_input(1 << 20, 1102), PivotStrategy::First, 512);
+    let (fig12_tree, _) = build_qs_tree(&inverse_input(1 << 20), PivotStrategy::Middle, 512);
+    let params = SimParams {
+        workers: 64,
+        numa: NumaModel::altix(),
+        ..SimParams::default()
+    };
+    let r11 = simulate_tree(&fig11_tree, &params);
+    let r12 = simulate_tree(&fig12_tree, &params);
+    println!(
+        "fig11 sim: util {:.1} %, single-worker {:.1} % | fig12 sim: util {:.1} %, single-worker {:.1} %",
+        r11.utilization * 100.0,
+        r11.single_worker_fraction() * 100.0,
+        r12.utilization * 100.0,
+        r12.single_worker_fraction() * 100.0
+    );
+    g.bench_function("fig11_random_64w", |b| {
+        b.iter(|| black_box(simulate_tree(&fig11_tree, &params)))
+    });
+    g.bench_function("fig12_inverse_64w", |b| {
+        b.iter(|| black_box(simulate_tree(&fig12_tree, &params)))
+    });
+    g.finish();
+}
+
+fn bench_real_pools(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_pools");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("central", PoolKind::Central),
+        ("stealing", PoolKind::WorkStealing),
+    ] {
+        g.bench_function(format!("quicksort_100k_{name}"), |b| {
+            b.iter(|| {
+                let data = random_input(100_000, 7);
+                black_box(run_quicksort(kind, 4, data, 4096))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_simulation, bench_real_pools);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 13 family: SWF parsing, node-assignment reconstruction, synthetic
+//! Thunder-day generation and the full jobs→schedule pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jedule_workloads::swf::write_swf;
+use jedule_workloads::{
+    assign_nodes, jobs_to_schedule, parse_swf, synth_thunder_day, ConvertOptions, ThunderParams,
+};
+use std::hint::black_box;
+
+fn bench_swf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swf");
+    g.sample_size(10);
+    for n in [834usize, 10_000] {
+        let jobs = synth_thunder_day(&ThunderParams {
+            jobs: n,
+            ..ThunderParams::default()
+        });
+        let text = write_swf(&Default::default(), &jobs);
+        g.bench_with_input(BenchmarkId::new("parse", n), &text, |b, t| {
+            b.iter(|| black_box(parse_swf(t).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let jobs = synth_thunder_day(&ThunderParams::default());
+    let mut g = c.benchmark_group("node_assignment");
+    g.sample_size(10);
+    g.bench_function("thunder_day_834_jobs", |b| {
+        b.iter(|| black_box(assign_nodes(&jobs, 1024, 20)))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let jobs = synth_thunder_day(&ThunderParams::default());
+    let mut g = c.benchmark_group("fig13_pipeline");
+    g.sample_size(10);
+    g.bench_function("synth", |b| {
+        b.iter(|| black_box(synth_thunder_day(&ThunderParams::default())))
+    });
+    g.bench_function("jobs_to_schedule", |b| {
+        b.iter(|| black_box(jobs_to_schedule(&jobs, &ConvertOptions::default())))
+    });
+    let (schedule, cmap) = jedule_bench::fig13();
+    let opts = jedule_bench::figure_options("bench", cmap);
+    g.bench_function("render_svg", |b| {
+        b.iter(|| black_box(jedule_render::render(&schedule, &opts)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_swf, bench_assignment, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! A tiny flag parser shared by the subcommands.
+
+/// Iterates over raw arguments, separating flags from positionals.
+pub struct Args<'a> {
+    argv: &'a [String],
+    i: usize,
+}
+
+impl<'a> Args<'a> {
+    pub fn new(argv: &'a [String]) -> Self {
+        Args { argv, i: 0 }
+    }
+
+    /// Next raw argument, if any.
+    pub fn next(&mut self) -> Option<&'a str> {
+        let a = self.argv.get(self.i)?;
+        self.i += 1;
+        Some(a)
+    }
+
+    /// The value following a flag.
+    pub fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    /// The value following a flag, parsed.
+    pub fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| format!("{flag}: cannot parse {v:?}"))
+    }
+}
+
+/// Loads a schedule with format auto-detection.
+pub fn load_schedule(path: &str) -> Result<jedule_core::Schedule, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    jedule_xmlio::parse_any(&src, Some(std::path::Path::new(path)))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_arguments() {
+        let argv = vec!["a".to_string(), "-W".to_string(), "640".to_string()];
+        let mut args = Args::new(&argv);
+        assert_eq!(args.next(), Some("a"));
+        assert_eq!(args.next(), Some("-W"));
+        let w: f64 = args.parse("-W").unwrap();
+        assert_eq!(w, 640.0);
+        assert!(args.next().is_none());
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let argv = vec!["-W".to_string()];
+        let mut args = Args::new(&argv);
+        args.next();
+        assert!(args.parse::<f64>("-W").is_err());
+    }
+
+    #[test]
+    fn bad_value_errors() {
+        let argv = vec!["abc".to_string()];
+        let mut args = Args::new(&argv);
+        let r: Result<f64, _> = args.parse("-W");
+        assert!(r.is_err());
+    }
+}

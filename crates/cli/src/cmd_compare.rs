@@ -1,0 +1,116 @@
+//! `jedule compare` — the side-by-side workflow of the §III case study:
+//! "a fast overview of the scheduling performance by viewing the
+//! scheduling output of CPA and MCPA side by side". Stacks two schedules
+//! into one chart and prints a statistics diff.
+
+use crate::args::{load_schedule, Args};
+use jedule_core::stats::{idle_holes, schedule_stats};
+use jedule_core::transform::{merge, normalize};
+use jedule_render::{render, OutputFormat, RenderOptions};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut inputs: Vec<String> = Vec::new();
+    let mut output: Option<String> = None;
+    let mut format = OutputFormat::Svg;
+    let mut align_origins = true;
+
+    while let Some(a) = args.next() {
+        match a {
+            "-o" | "--output" => output = Some(args.value(a)?.to_string()),
+            "-f" | "--format" => {
+                let name = args.value(a)?;
+                format = OutputFormat::parse(name)
+                    .ok_or_else(|| format!("unknown format {name:?}"))?;
+            }
+            "--keep-origins" => align_origins = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            p => inputs.push(p.to_string()),
+        }
+    }
+    if inputs.len() != 2 {
+        return Err("compare needs exactly two schedule files".into());
+    }
+
+    let mut a = load_schedule(&inputs[0])?;
+    let mut b = load_schedule(&inputs[1])?;
+    if align_origins {
+        a = normalize(&a);
+        b = normalize(&b);
+    }
+
+    let name = |p: &str| {
+        std::path::Path::new(p)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("schedule")
+            .to_string()
+    };
+    let (na, nb) = (name(&inputs[0]), name(&inputs[1]));
+
+    // Statistics diff.
+    let sa = schedule_stats(&a);
+    let sb = schedule_stats(&b);
+    let ha = idle_holes(&a, 1e-9).len();
+    let hb = idle_holes(&b, 1e-9).len();
+    println!("{:<14} {:>12} {:>12}", "", na, nb);
+    println!("{:<14} {:>12} {:>12}", "tasks", sa.task_count, sb.task_count);
+    println!(
+        "{:<14} {:>12.4} {:>12.4}",
+        "makespan", sa.makespan, sb.makespan
+    );
+    println!(
+        "{:<14} {:>11.1}% {:>11.1}%",
+        "utilization",
+        sa.utilization * 100.0,
+        sb.utilization * 100.0
+    );
+    println!("{:<14} {:>12} {:>12}", "idle holes", ha, hb);
+
+    // Task-level diff when the schedules share task ids (e.g. the §IV
+    // with/without-backfilling comparison).
+    let d = jedule_core::diff_schedules(&a, &b);
+    if d.unchanged + d.moved.len() + d.resized.len() + d.relocated.len() > 0
+        && (d.added.len() + d.removed.len()) * 2 < a.tasks.len().max(1)
+    {
+        println!(
+            "\ntask diff: {} unchanged, {} moved, {} resized, {} relocated, {} added, {} removed",
+            d.unchanged,
+            d.moved.len(),
+            d.resized.len(),
+            d.relocated.len(),
+            d.added.len(),
+            d.removed.len()
+        );
+        println!(
+            "max delay {:.4} (0 = conservative), total advance {:.4}",
+            d.max_delay(),
+            d.total_advance()
+        );
+    }
+    if sa.makespan > 0.0 && sb.makespan > 0.0 {
+        let ratio = sb.makespan / sa.makespan;
+        println!(
+            "\n{} is {:.2}x {} than {}",
+            nb,
+            if ratio >= 1.0 { ratio } else { 1.0 / ratio },
+            if ratio >= 1.0 { "slower" } else { "faster" },
+            na
+        );
+    }
+
+    // Side-by-side chart (stacked cluster panels in one document).
+    let combined = merge(&a, &b, &na, &nb);
+    let opts = RenderOptions::default()
+        .with_format(format)
+        .with_title(format!("{na} vs {nb}"));
+    let bytes = render(&combined, &opts);
+    let out_path = output.unwrap_or_else(|| format!("compare.{}", format.extension()));
+    if format == OutputFormat::Ascii && out_path == "compare.txt" {
+        print!("{}", String::from_utf8_lossy(&bytes));
+    } else {
+        std::fs::write(&out_path, bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+    }
+    Ok(())
+}

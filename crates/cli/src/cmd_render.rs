@@ -1,0 +1,87 @@
+//! `jedule render` — the batch command-line mode (paper, §II-D2).
+
+use crate::args::{load_schedule, Args};
+use jedule_core::AlignMode;
+use jedule_render::{render, OutputFormat, RenderOptions};
+use std::path::PathBuf;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut opts = RenderOptions::default();
+    let mut gray = false;
+    let mut cmap_path: Option<String> = None;
+    let mut only_types: Vec<String> = Vec::new();
+
+    while let Some(a) = args.next() {
+        match a {
+            "-o" | "--output" => output = Some(args.value(a)?.to_string()),
+            "-f" | "--format" => {
+                let name = args.value(a)?;
+                opts.format = OutputFormat::parse(name)
+                    .ok_or_else(|| format!("unknown format {name:?}"))?;
+            }
+            "-W" | "--width" => opts.width = args.parse(a)?,
+            "-H" | "--height" => opts.height = Some(args.parse(a)?),
+            "-c" | "--cmap" => cmap_path = Some(args.value(a)?.to_string()),
+            "--gray" => gray = true,
+            "--scaled" => opts.align = AlignMode::Scaled,
+            "--aligned" => opts.align = AlignMode::Aligned,
+            "--cluster" => opts.cluster = Some(args.parse(a)?),
+            "--window" => {
+                let t0: f64 = args.parse(a)?;
+                let t1: f64 = args.parse(a)?;
+                opts.time_window = Some((t0, t1));
+            }
+            "--title" => opts.title = Some(args.value(a)?.to_string()),
+            "--no-meta" => opts.show_meta = false,
+            "--no-labels" => opts.show_labels = false,
+            "--no-composites" => opts.show_composites = false,
+            "--profile" => opts.show_profile = true,
+            "--only-type" => only_types.push(args.value(a)?.to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if input.is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+                input = Some(positional.to_string());
+            }
+        }
+    }
+
+    let input = input.ok_or("render needs an input schedule file")?;
+    let mut schedule = load_schedule(&input)?;
+    if !only_types.is_empty() {
+        schedule = jedule_core::transform::filter_types(&schedule, |k| {
+            only_types.iter().any(|t| t == k)
+        });
+    }
+
+    if let Some(p) = cmap_path {
+        let src = std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        opts.colormap = jedule_xmlio::read_colormap(&src).map_err(|e| format!("{p}: {e}"))?;
+    }
+    if gray {
+        opts.colormap = opts.colormap.to_grayscale();
+    }
+
+    let bytes = render(&schedule, &opts);
+    match output {
+        Some(path) => {
+            std::fs::write(&path, bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None if opts.format == OutputFormat::Ascii => {
+            print!("{}", String::from_utf8_lossy(&bytes));
+        }
+        None => {
+            let mut path = PathBuf::from(&input);
+            path.set_extension(opts.format.extension());
+            let path = path.to_string_lossy().into_owned();
+            std::fs::write(&path, bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! `jedule` — the command-line front end of the reproduction.
+//!
+//! Mirrors the original tool's two modes (paper, §II-D):
+//!
+//! * **command line mode** — `jedule render` produces publication
+//!   graphics in batch, with the original's parameters (output format,
+//!   width/height, color map, cluster time alignment);
+//! * **interactive mode** — `jedule view` drives the `ViewState` model
+//!   (zoom, pan, cluster selection, task inspection, reread) over an
+//!   ANSI terminal rendering instead of a Swing window.
+//!
+//! Plus quality-of-life commands: `info` (validation + statistics),
+//! `convert` (between the XML/CSV/JSONL formats) and `cmap` (emit the
+//! standard color map of Fig. 2).
+
+mod args;
+mod cmd_compare;
+mod cmd_convert;
+mod cmd_info;
+mod cmd_render;
+mod cmd_view;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+jedule — visualize schedules of parallel applications
+
+USAGE:
+    jedule render <input> [options]    render a schedule to a graphic
+    jedule view <input>                interactive terminal mode
+    jedule info <input> [--json]       validate and print statistics
+    jedule convert <input> -o <out>    convert between schedule formats
+    jedule compare <a> <b> [-o out]    stats diff + stacked side-by-side chart
+    jedule cmap                        print the standard color map XML
+
+RENDER OPTIONS:
+    -o, --output <file>     output path (default: input + format ext)
+    -f, --format <fmt>      svg | png | jpeg | ppm | pdf | ascii (default svg)
+    -W, --width <px>        canvas width (default 800)
+    -H, --height <px>       canvas height (default: auto)
+    -c, --cmap <file>       color map XML (default: standard map)
+        --gray              convert the color map to gray scale
+        --scaled            per-cluster local time axes
+        --aligned           global time axis for all clusters (default)
+        --cluster <id>      render only one cluster
+        --window <t0> <t1>  restrict to a time window
+        --title <text>      chart title
+        --no-meta           hide the meta-info header
+        --no-labels         hide task id labels
+        --no-composites     do not draw composite (overlap) tasks
+        --profile           add a busy-hosts-over-time strip
+        --only-type <t>     keep only tasks of this type (repeatable)
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &argv[1..];
+    let result = match cmd.as_str() {
+        "render" => cmd_render::run(rest),
+        "view" => cmd_view::run(rest),
+        "info" => cmd_info::run(rest),
+        "convert" => cmd_convert::run(rest),
+        "compare" => cmd_compare::run(rest),
+        "cmap" => {
+            print!(
+                "{}",
+                jedule_xmlio::write_colormap_string(&jedule_core::ColorMap::standard())
+            );
+            Ok(())
+        }
+        "help" | "-h" | "--help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `jedule help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("jedule: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! End-to-end tests of the `jedule` binary, driving it exactly as a user
+//! would (the paper's command-line batch mode, §II-D2).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn jedule(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jedule"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn jedule_with_stdin(args: &[&str], stdin: &str) -> Output {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_jedule"))
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    child.wait_with_output().expect("binary exits")
+}
+
+fn tmp() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jedule_cli_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Writes a small demo schedule and returns its path.
+fn demo_schedule(dir: &std::path::Path) -> PathBuf {
+    let xml = r#"<jedule version="0.2">
+  <jedule_meta><info name="alg" value="demo"/></jedule_meta>
+  <platform>
+    <cluster id="0" name="c0" hosts="8"/>
+    <cluster id="1" name="c1" hosts="4"/>
+  </platform>
+  <node_infos>
+    <node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="computation"/>
+      <node_property name="start_time" value="0.0"/>
+      <node_property name="end_time" value="4.0"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <host_lists><hosts start="0" nb="8"/></host_lists>
+      </configuration>
+    </node_statistics>
+    <node_statistics>
+      <node_property name="id" value="2"/>
+      <node_property name="type" value="transfer"/>
+      <node_property name="start_time" value="3.0"/>
+      <node_property name="end_time" value="5.0"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <host_lists><hosts start="2" nb="2"/></host_lists>
+      </configuration>
+      <configuration>
+        <conf_property name="cluster_id" value="1"/>
+        <host_lists><hosts start="0" nb="1"/></host_lists>
+      </configuration>
+    </node_statistics>
+  </node_infos>
+</jedule>"#;
+    let path = dir.join("demo.jed");
+    std::fs::write(&path, xml).expect("write demo");
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = jedule(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("render"));
+    assert!(text.contains("interactive"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = jedule(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = jedule(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn render_produces_each_format() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    for (fmt, magic) in [
+        ("svg", &b"<svg"[..]),
+        ("png", &b"\x89PNG"[..]),
+        ("pdf", &b"%PDF"[..]),
+        ("ppm", &b"P6"[..]),
+    ] {
+        let out_path = dir.join(format!("demo_out.{fmt}"));
+        let out = jedule(&[
+            "render",
+            input.to_str().unwrap(),
+            "-f",
+            fmt,
+            "-o",
+            out_path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{fmt}: {}", String::from_utf8_lossy(&out.stderr));
+        let bytes = std::fs::read(&out_path).expect("output written");
+        assert!(bytes.starts_with(magic), "{fmt} magic mismatch");
+    }
+}
+
+#[test]
+fn render_ascii_to_stdout() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let out = jedule(&["render", input.to_str().unwrap(), "-f", "ascii"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains('\n'));
+}
+
+#[test]
+fn render_supports_jpeg() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let out_path = dir.join("demo.jpg");
+    let out = jedule(&[
+        "render",
+        input.to_str().unwrap(),
+        "-f",
+        "jpeg",
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&out_path).unwrap();
+    assert_eq!(&bytes[..2], &[0xff, 0xd8]); // SOI
+    assert_eq!(&bytes[bytes.len() - 2..], &[0xff, 0xd9]); // EOI
+}
+
+#[test]
+fn render_rejects_unknown_format() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let out = jedule(&["render", input.to_str().unwrap(), "-f", "bmp"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown format"));
+}
+
+#[test]
+fn info_reports_stats_and_json() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let out = jedule(&["info", input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tasks    : 2"));
+    assert!(text.contains("validation: OK"));
+
+    let out = jedule(&["info", input.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('{'));
+    assert!(text.contains("\"tasks\":2"));
+}
+
+#[test]
+fn convert_roundtrips_formats() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let csv = dir.join("demo.csv");
+    let jsonl = dir.join("demo.jsonl");
+    let back = dir.join("back.jed");
+    assert!(jedule(&["convert", input.to_str().unwrap(), "-o", csv.to_str().unwrap()])
+        .status
+        .success());
+    assert!(jedule(&["convert", csv.to_str().unwrap(), "-o", jsonl.to_str().unwrap()])
+        .status
+        .success());
+    assert!(jedule(&["convert", jsonl.to_str().unwrap(), "-o", back.to_str().unwrap()])
+        .status
+        .success());
+    // Semantically identical after the full tour.
+    let a = jedule_xmlio::read_schedule(&std::fs::read_to_string(&input).unwrap()).unwrap();
+    let b = jedule_xmlio::read_schedule(&std::fs::read_to_string(&back).unwrap()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn compare_two_schedules() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let out_svg = dir.join("cmp.svg");
+    let out = jedule(&[
+        "compare",
+        input.to_str().unwrap(),
+        input.to_str().unwrap(),
+        "-o",
+        out_svg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("makespan"));
+    assert!(std::fs::read_to_string(&out_svg).unwrap().contains("<svg"));
+}
+
+#[test]
+fn cmap_emits_fig2() {
+    let out = jedule(&["cmap"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("standard_map"));
+    assert!(text.contains("0000ff"));
+    // And it parses back.
+    assert!(jedule_xmlio::read_colormap(&text).is_ok());
+}
+
+#[test]
+fn view_session_scripted() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let export = dir.join("view_export.svg");
+    let script = format!(
+        "h\nz 0.5\ni 3.5 1\nc 1\nc all\ne {}\nq\n",
+        export.display()
+    );
+    let out = jedule_with_stdin(&["view", input.to_str().unwrap()], &script);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("task 1"), "inspect output missing: {text}");
+    assert!(text.contains("exported"));
+    assert!(std::fs::read_to_string(&export).unwrap().contains("<svg"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = jedule(&["render", "/nonexistent/schedule.jed"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn invalid_schedule_fails_info() {
+    let dir = tmp();
+    let path = dir.join("broken.jed");
+    std::fs::write(
+        &path,
+        r#"<jedule><platform><cluster id="0" hosts="2"/></platform>
+<node_infos><node_statistics>
+  <node_property name="id" value="1"/>
+  <node_property name="type" value="t"/>
+  <node_property name="start_time" value="0"/>
+  <node_property name="end_time" value="1"/>
+  <configuration>
+    <conf_property name="cluster_id" value="0"/>
+    <host_lists><hosts start="0" nb="9"/></host_lists>
+  </configuration>
+</node_statistics></node_infos></jedule>"#,
+    )
+    .unwrap();
+    let out = jedule(&["info", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+}

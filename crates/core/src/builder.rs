@@ -1,0 +1,151 @@
+//! Fluent construction of schedules.
+//!
+//! All substrate crates (schedulers, simulators, workload converters) emit
+//! schedules through this builder so that cluster definitions, meta info
+//! and tasks stay consistent.
+
+use crate::error::CoreError;
+use crate::hostset::HostSet;
+use crate::model::{Allocation, Cluster, Schedule, Task};
+use crate::validate::validate_strict;
+
+/// Builder for [`Schedule`].
+#[derive(Debug, Default)]
+pub struct ScheduleBuilder {
+    schedule: Schedule,
+    next_task_id: u64,
+}
+
+impl ScheduleBuilder {
+    pub fn new() -> Self {
+        ScheduleBuilder::default()
+    }
+
+    /// Declares a cluster. Cluster ids must be unique.
+    pub fn cluster(mut self, id: u32, name: impl Into<String>, hosts: u32) -> Self {
+        self.schedule.clusters.push(Cluster::new(id, name, hosts));
+        self
+    }
+
+    /// Sets a meta key/value pair (algorithm parameters etc.).
+    pub fn meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.schedule.meta.set(key, value);
+        self
+    }
+
+    /// Adds a fully-formed task.
+    pub fn task(mut self, task: Task) -> Self {
+        self.schedule.tasks.push(task);
+        self
+    }
+
+    /// Adds a contiguous single-cluster task with an auto-generated
+    /// numeric id.
+    pub fn simple_task(
+        mut self,
+        kind: impl Into<String>,
+        start: f64,
+        end: f64,
+        cluster: u32,
+        first_host: u32,
+        nb_hosts: u32,
+    ) -> Self {
+        let id = self.next_task_id.to_string();
+        self.next_task_id += 1;
+        self.schedule.tasks.push(
+            Task::new(id, kind, start, end).on(Allocation::contiguous(cluster, first_host, nb_hosts)),
+        );
+        self
+    }
+
+    /// Adds a task on an arbitrary host set of one cluster.
+    pub fn task_on_hosts(
+        mut self,
+        id: impl Into<String>,
+        kind: impl Into<String>,
+        start: f64,
+        end: f64,
+        cluster: u32,
+        hosts: HostSet,
+    ) -> Self {
+        self.schedule
+            .tasks
+            .push(Task::new(id, kind, start, end).on(Allocation::new(cluster, hosts)));
+        self
+    }
+
+    /// Finishes without validation.
+    pub fn build_unchecked(self) -> Schedule {
+        self.schedule
+    }
+
+    /// Finishes and validates; fails on the first fatal issue.
+    pub fn build(self) -> Result<Schedule, CoreError> {
+        validate_strict(&self.schedule)?;
+        Ok(self.schedule)
+    }
+
+    /// Access to the schedule under construction (e.g. to query cluster
+    /// definitions while generating tasks).
+    pub fn peek(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_schedule() {
+        let s = ScheduleBuilder::new()
+            .cluster(0, "cluster-0", 8)
+            .meta("algorithm", "cpa")
+            .simple_task("computation", 0.0, 0.31, 0, 0, 8)
+            .build()
+            .unwrap();
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.tasks.len(), 1);
+        assert_eq!(s.tasks[0].id, "0");
+        assert_eq!(s.meta.get("algorithm"), Some("cpa"));
+    }
+
+    #[test]
+    fn auto_ids_increment() {
+        let s = ScheduleBuilder::new()
+            .cluster(0, "c", 4)
+            .simple_task("t", 0.0, 1.0, 0, 0, 1)
+            .simple_task("t", 1.0, 2.0, 0, 1, 1)
+            .build()
+            .unwrap();
+        assert_eq!(s.tasks[0].id, "0");
+        assert_eq!(s.tasks[1].id, "1");
+    }
+
+    #[test]
+    fn build_validates() {
+        let r = ScheduleBuilder::new()
+            .cluster(0, "c", 2)
+            .simple_task("t", 0.0, 1.0, 0, 0, 4) // host out of range
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let s = ScheduleBuilder::new()
+            .simple_task("t", 0.0, 1.0, 7, 0, 4)
+            .build_unchecked();
+        assert_eq!(s.tasks.len(), 1);
+    }
+
+    #[test]
+    fn task_on_hosts_noncontiguous() {
+        let s = ScheduleBuilder::new()
+            .cluster(0, "c", 8)
+            .task_on_hosts("x", "t", 0.0, 1.0, 0, HostSet::from_hosts([0, 3, 5]))
+            .build()
+            .unwrap();
+        assert_eq!(s.tasks[0].resource_count(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! RGB colors: parsing the XML `rgb="RRGGBB"` spec, grayscale conversion,
+//! blending and contrast helpers used by color maps and renderers.
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// A 24-bit sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+}
+
+impl Color {
+    pub const BLACK: Color = Color::new(0, 0, 0);
+    pub const WHITE: Color = Color::new(255, 255, 255);
+
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// Parses the Jedule color-map spec: exactly six hex digits,
+    /// case-insensitive (e.g. `f10000`, `0000FF`).
+    pub fn parse(spec: &str) -> Result<Color, CoreError> {
+        let s = spec.trim();
+        let s = s.strip_prefix('#').unwrap_or(s);
+        if s.len() != 6 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(CoreError::BadColor { spec: spec.into() });
+        }
+        let v = u32::from_str_radix(s, 16).map_err(|_| CoreError::BadColor { spec: spec.into() })?;
+        Ok(Color::new((v >> 16) as u8, (v >> 8) as u8, v as u8))
+    }
+
+    /// Lowercase hex encoding without `#`, matching the XML format.
+    pub fn to_hex(&self) -> String {
+        format!("{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Relative luminance in `[0, 255]` (ITU-R BT.601 weights).
+    pub fn luminance(&self) -> f64 {
+        0.299 * f64::from(self.r) + 0.587 * f64::from(self.g) + 0.114 * f64::from(self.b)
+    }
+
+    /// Grayscale version of the color (journals sometimes require gray
+    /// scale graphics — paper, §II-D2).
+    pub fn to_grayscale(&self) -> Color {
+        let l = self.luminance().round().clamp(0.0, 255.0) as u8;
+        Color::new(l, l, l)
+    }
+
+    /// A foreground (label) color that contrasts with `self` as background.
+    pub fn contrasting_fg(&self) -> Color {
+        if self.luminance() >= 128.0 {
+            Color::BLACK
+        } else {
+            Color::WHITE
+        }
+    }
+
+    /// Averages a non-empty slice of colors (used as the fallback color of a
+    /// composite task whose type combination has no explicit rule).
+    pub fn blend(colors: &[Color]) -> Color {
+        if colors.is_empty() {
+            return Color::BLACK;
+        }
+        let n = colors.len() as u32;
+        let (mut r, mut g, mut b) = (0u32, 0u32, 0u32);
+        for c in colors {
+            r += u32::from(c.r);
+            g += u32::from(c.g);
+            b += u32::from(c.b);
+        }
+        Color::new((r / n) as u8, (g / n) as u8, (b / n) as u8)
+    }
+
+    /// Linear interpolation between two colors, `t` in `[0, 1]`.
+    pub fn lerp(a: Color, b: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: u8, y: u8| -> u8 {
+            (f64::from(x) + (f64::from(y) - f64::from(x)) * t).round() as u8
+        };
+        Color::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_examples() {
+        assert_eq!(Color::parse("FFFFFF").unwrap(), Color::WHITE);
+        assert_eq!(Color::parse("0000FF").unwrap(), Color::new(0, 0, 255));
+        assert_eq!(Color::parse("f10000").unwrap(), Color::new(0xf1, 0, 0));
+        assert_eq!(Color::parse("ff6200").unwrap(), Color::new(0xff, 0x62, 0));
+        assert_eq!(Color::parse("#abcdef").unwrap(), Color::new(0xab, 0xcd, 0xef));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "fff", "ggg000", "1234567", "0x0000ff"] {
+            assert!(Color::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let c = Color::new(18, 52, 86);
+        assert_eq!(Color::parse(&c.to_hex()).unwrap(), c);
+    }
+
+    #[test]
+    fn grayscale_extremes() {
+        assert_eq!(Color::WHITE.to_grayscale(), Color::WHITE);
+        assert_eq!(Color::BLACK.to_grayscale(), Color::BLACK);
+        let g = Color::new(255, 0, 0).to_grayscale();
+        assert_eq!(g.r, g.g);
+        assert_eq!(g.g, g.b);
+    }
+
+    #[test]
+    fn contrast_picks_readable_fg() {
+        assert_eq!(Color::WHITE.contrasting_fg(), Color::BLACK);
+        assert_eq!(Color::BLACK.contrasting_fg(), Color::WHITE);
+        assert_eq!(Color::new(0, 0, 255).contrasting_fg(), Color::WHITE);
+    }
+
+    #[test]
+    fn blend_and_lerp() {
+        let m = Color::blend(&[Color::BLACK, Color::WHITE]);
+        assert_eq!(m, Color::new(127, 127, 127));
+        assert_eq!(Color::lerp(Color::BLACK, Color::WHITE, 0.0), Color::BLACK);
+        assert_eq!(Color::lerp(Color::BLACK, Color::WHITE, 1.0), Color::WHITE);
+        assert_eq!(Color::blend(&[]), Color::BLACK);
+    }
+}

@@ -1,0 +1,309 @@
+//! User-defined color maps (paper, §II-C4 and Fig. 2).
+//!
+//! A color map assigns a background and a foreground color to each task
+//! *type*, plus optional *composite rules*: a set of types that, when
+//! overlapping, get a dedicated color (the paper's orange
+//! computation+transfer example). Color maps also carry a few drawing
+//! configuration values (font sizes) that the original XML format stores in
+//! `<conf .../>` entries.
+
+use crate::color::Color;
+use std::collections::BTreeSet;
+
+/// A foreground/background color pair for one task type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorPair {
+    pub fg: Color,
+    pub bg: Color,
+}
+
+impl ColorPair {
+    pub fn new(fg: Color, bg: Color) -> Self {
+        ColorPair { fg, bg }
+    }
+
+    /// Picks a readable foreground automatically for `bg`.
+    pub fn on(bg: Color) -> Self {
+        ColorPair {
+            fg: bg.contrasting_fg(),
+            bg,
+        }
+    }
+}
+
+/// A composite rule: when exactly this set of task types overlaps, use the
+/// given colors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeRule {
+    pub types: BTreeSet<String>,
+    pub colors: ColorPair,
+}
+
+/// Drawing configuration carried by a color map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapConfig {
+    pub min_font_size_label: f64,
+    pub font_size_label: f64,
+    pub font_size_axes: f64,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        // Values of the paper's "standard_map" (Fig. 2).
+        MapConfig {
+            min_font_size_label: 11.0,
+            font_size_label: 13.0,
+            font_size_axes: 12.0,
+        }
+    }
+}
+
+/// A named color map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorMap {
+    pub name: String,
+    pub config: MapConfig,
+    entries: Vec<(String, ColorPair)>,
+    composites: Vec<CompositeRule>,
+}
+
+/// A deterministic fallback palette cycled through for task types that have
+/// no explicit entry (per-application coloring in the multi-DAG case study
+/// relies on distinct colors for arbitrarily many types).
+const FALLBACK_PALETTE: [Color; 12] = [
+    Color::new(0x00, 0x00, 0xff), // blue
+    Color::new(0xf1, 0x00, 0x00), // red
+    Color::new(0x00, 0x9e, 0x20), // green
+    Color::new(0xff, 0xd7, 0x00), // yellow
+    Color::new(0xff, 0x62, 0x00), // orange
+    Color::new(0x8a, 0x2b, 0xe2), // violet
+    Color::new(0x00, 0xb7, 0xc3), // cyan
+    Color::new(0xa0, 0x52, 0x2d), // sienna
+    Color::new(0xff, 0x69, 0xb4), // pink
+    Color::new(0x6b, 0x8e, 0x23), // olive
+    Color::new(0x46, 0x82, 0xb4), // steel blue
+    Color::new(0x80, 0x80, 0x80), // gray
+];
+
+impl ColorMap {
+    /// An empty map with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ColorMap {
+            name: name.into(),
+            config: MapConfig::default(),
+            entries: Vec::new(),
+            composites: Vec::new(),
+        }
+    }
+
+    /// The paper's `standard_map` (Fig. 2): blue computation on white text,
+    /// red transfer on black text, orange composite of the two.
+    pub fn standard() -> Self {
+        let mut m = ColorMap::new("standard_map");
+        m.set(
+            "computation",
+            ColorPair::new(Color::WHITE, Color::parse("0000FF").unwrap()),
+        );
+        m.set(
+            "transfer",
+            ColorPair::new(Color::BLACK, Color::parse("f10000").unwrap()),
+        );
+        m.add_composite(
+            ["computation", "transfer"],
+            ColorPair::new(Color::WHITE, Color::parse("ff6200").unwrap()),
+        );
+        m
+    }
+
+    /// Sets (or replaces) the colors for a task type.
+    pub fn set(&mut self, kind: impl Into<String>, colors: ColorPair) {
+        let kind = kind.into();
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
+            e.1 = colors;
+        } else {
+            self.entries.push((kind, colors));
+        }
+    }
+
+    /// Adds a composite rule for a set of types.
+    pub fn add_composite<I, S>(&mut self, types: I, colors: ColorPair)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let types: BTreeSet<String> = types.into_iter().map(Into::into).collect();
+        if let Some(r) = self.composites.iter_mut().find(|r| r.types == types) {
+            r.colors = colors;
+        } else {
+            self.composites.push(CompositeRule { types, colors });
+        }
+    }
+
+    /// Explicit entry for a task type, if any.
+    pub fn get(&self, kind: &str) -> Option<ColorPair> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, c)| *c)
+    }
+
+    /// Colors for a task type, falling back to the deterministic palette.
+    /// The fallback is stable: it depends only on the set of explicit
+    /// entries and the type name.
+    pub fn resolve(&self, kind: &str) -> ColorPair {
+        if let Some(c) = self.get(kind) {
+            return c;
+        }
+        // Hash-free deterministic pick: sum of bytes mod palette length.
+        let idx = kind
+            .bytes()
+            .fold(0usize, |acc, b| (acc * 31 + usize::from(b)) % FALLBACK_PALETTE.len());
+        ColorPair::on(FALLBACK_PALETTE[idx])
+    }
+
+    /// Colors for a composite of the given constituent types: the explicit
+    /// rule if one matches the exact set, otherwise a blend of the
+    /// constituents' background colors.
+    pub fn resolve_composite<'a, I>(&self, types: I) -> ColorPair
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let set: BTreeSet<String> = types.into_iter().map(str::to_owned).collect();
+        if let Some(r) = self.composites.iter().find(|r| r.types == set) {
+            return r.colors;
+        }
+        let bgs: Vec<Color> = set.iter().map(|t| self.resolve(t).bg).collect();
+        ColorPair::on(Color::blend(&bgs))
+    }
+
+    /// All explicit entries, in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, ColorPair)> {
+        self.entries.iter().map(|(k, c)| (k.as_str(), *c))
+    }
+
+    /// All composite rules.
+    pub fn composites(&self) -> &[CompositeRule] {
+        &self.composites
+    }
+
+    /// A grayscale version of this map (journal style guides sometimes
+    /// require gray scale graphics — paper, §II-D2).
+    pub fn to_grayscale(&self) -> ColorMap {
+        let gray = |p: ColorPair| ColorPair {
+            fg: p.fg.to_grayscale(),
+            bg: p.bg.to_grayscale(),
+        };
+        ColorMap {
+            name: format!("{}_gray", self.name),
+            config: self.config,
+            entries: self
+                .entries
+                .iter()
+                .map(|(k, c)| (k.clone(), gray(*c)))
+                .collect(),
+            composites: self
+                .composites
+                .iter()
+                .map(|r| CompositeRule {
+                    types: r.types.clone(),
+                    colors: gray(r.colors),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a map that assigns one palette color per given type — the
+    /// per-application coloring used in the multi-DAG case study (Fig. 5).
+    pub fn per_type<I, S>(name: impl Into<String>, types: I) -> ColorMap
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut m = ColorMap::new(name);
+        for (i, t) in types.into_iter().enumerate() {
+            m.set(t, ColorPair::on(FALLBACK_PALETTE[i % FALLBACK_PALETTE.len()]));
+        }
+        m
+    }
+}
+
+impl Default for ColorMap {
+    fn default() -> Self {
+        ColorMap::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_map_matches_fig2() {
+        let m = ColorMap::standard();
+        assert_eq!(m.name, "standard_map");
+        let comp = m.get("computation").unwrap();
+        assert_eq!(comp.bg, Color::new(0, 0, 255));
+        assert_eq!(comp.fg, Color::WHITE);
+        let tr = m.get("transfer").unwrap();
+        assert_eq!(tr.bg, Color::new(0xf1, 0, 0));
+        let c = m.resolve_composite(["computation", "transfer"]);
+        assert_eq!(c.bg, Color::new(0xff, 0x62, 0x00));
+        assert_eq!(m.config.font_size_label, 13.0);
+        assert_eq!(m.config.min_font_size_label, 11.0);
+        assert_eq!(m.config.font_size_axes, 12.0);
+    }
+
+    #[test]
+    fn composite_rule_order_independent() {
+        let m = ColorMap::standard();
+        let a = m.resolve_composite(["computation", "transfer"]);
+        let b = m.resolve_composite(["transfer", "computation"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_composite_blends() {
+        let mut m = ColorMap::new("t");
+        m.set("a", ColorPair::on(Color::BLACK));
+        m.set("b", ColorPair::on(Color::WHITE));
+        let c = m.resolve_composite(["a", "b"]);
+        assert_eq!(c.bg, Color::new(127, 127, 127));
+    }
+
+    #[test]
+    fn fallback_is_deterministic() {
+        let m = ColorMap::new("t");
+        assert_eq!(m.resolve("whatever"), m.resolve("whatever"));
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let mut m = ColorMap::new("t");
+        m.set("x", ColorPair::on(Color::BLACK));
+        m.set("x", ColorPair::on(Color::WHITE));
+        assert_eq!(m.get("x").unwrap().bg, Color::WHITE);
+        assert_eq!(m.entries().count(), 1);
+    }
+
+    #[test]
+    fn grayscale_converts_everything() {
+        let g = ColorMap::standard().to_grayscale();
+        for (_, p) in g.entries() {
+            assert_eq!(p.bg.r, p.bg.g);
+            assert_eq!(p.bg.g, p.bg.b);
+        }
+        assert!(g.name.ends_with("_gray"));
+        for r in g.composites() {
+            assert_eq!(r.colors.bg.r, r.colors.bg.g);
+        }
+    }
+
+    #[test]
+    fn per_type_assigns_distinct_colors() {
+        let m = ColorMap::per_type("apps", ["app0", "app1", "app2", "app3"]);
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in m.entries() {
+            assert!(seen.insert(p.bg), "palette colors must differ");
+        }
+    }
+}

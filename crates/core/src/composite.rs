@@ -1,0 +1,289 @@
+//! Composite tasks (paper, §II-C3 and Fig. 3).
+//!
+//! A parallel system may execute tasks concurrently on the same resource.
+//! For every resource shared by several tasks at the same time, Jedule
+//! creates a *composite task* whose identifier is the concatenation of the
+//! single task IDs and whose type is `"composite"`. The classic example is
+//! the overlap of computation and communication on one host.
+//!
+//! The algorithm here sweeps each host's timeline once and merges identical
+//! overlap segments across adjacent hosts, so a composite spanning many
+//! hosts becomes a single multi-host task (one rectangle per contiguous
+//! host run).
+
+use crate::hostset::HostSet;
+use crate::model::{Allocation, Schedule, Task};
+use std::collections::HashMap;
+
+/// The type name assigned to generated composite tasks.
+pub const COMPOSITE_KIND: &str = "composite";
+
+/// Attribute key carrying the `+`-joined constituent task types.
+pub const ATTR_TYPES: &str = "constituent_types";
+
+/// Attribute key carrying the `+`-joined constituent task ids.
+pub const ATTR_IDS: &str = "constituent_ids";
+
+/// Options controlling composite computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositeOptions {
+    /// Overlap segments shorter than this are ignored (guards against
+    /// floating-point touching of task boundaries).
+    pub min_duration: f64,
+}
+
+impl Default for CompositeOptions {
+    fn default() -> Self {
+        CompositeOptions { min_duration: 1e-12 }
+    }
+}
+
+/// Key identifying a merged overlap segment: bit-exact start/end times
+/// plus the sorted constituent task indices.
+type SegKey = (u64, u64, Vec<usize>);
+
+/// An overlap segment on one host before cross-host merging.
+#[derive(Debug, Clone, PartialEq)]
+struct Segment {
+    start: f64,
+    end: f64,
+    /// Sorted indices of the overlapping tasks.
+    tasks: Vec<usize>,
+}
+
+/// Computes the composite tasks of a schedule.
+///
+/// Returned tasks have type [`COMPOSITE_KIND`], an id of the form
+/// `id1+id2+…`, and attributes [`ATTR_IDS`] / [`ATTR_TYPES`] used by color
+/// maps to resolve composite colors.
+pub fn composite_tasks(schedule: &Schedule, opts: &CompositeOptions) -> Vec<Task> {
+    let mut out = Vec::new();
+    for cluster in &schedule.clusters {
+        // Per-host list of (task index, start, end).
+        let mut per_host: Vec<Vec<usize>> = vec![Vec::new(); cluster.hosts as usize];
+        for (ti, t) in schedule.tasks.iter().enumerate() {
+            for a in &t.allocations {
+                if a.cluster != cluster.id {
+                    continue;
+                }
+                for h in a.hosts.iter() {
+                    if (h as usize) < per_host.len() {
+                        per_host[h as usize].push(ti);
+                    }
+                }
+            }
+        }
+
+        // Sweep each host; key segments by (bit-exact times, task set).
+        let mut groups: HashMap<SegKey, Vec<u32>> = HashMap::new();
+        for (host, tasks) in per_host.iter().enumerate() {
+            if tasks.len() < 2 {
+                continue;
+            }
+            for seg in host_overlaps(schedule, tasks, opts) {
+                groups
+                    .entry((seg.start.to_bits(), seg.end.to_bits(), seg.tasks))
+                    .or_default()
+                    .push(host as u32);
+            }
+        }
+
+        let mut segs: Vec<(SegKey, Vec<u32>)> = groups.into_iter().collect();
+        // Deterministic output order: by start, end, then constituent ids.
+        segs.sort_by(|a, b| {
+            f64::from_bits(a.0 .0)
+                .total_cmp(&f64::from_bits(b.0 .0))
+                .then(f64::from_bits(a.0 .1).total_cmp(&f64::from_bits(b.0 .1)))
+                .then(a.0 .2.cmp(&b.0 .2))
+        });
+
+        for ((s_bits, e_bits, task_idx), hosts) in segs {
+            let ids: Vec<&str> = task_idx
+                .iter()
+                .map(|&i| schedule.tasks[i].id.as_str())
+                .collect();
+            let mut types: Vec<&str> = task_idx
+                .iter()
+                .map(|&i| schedule.tasks[i].kind.as_str())
+                .collect();
+            types.sort_unstable();
+            types.dedup();
+            let task = Task::new(
+                ids.join("+"),
+                COMPOSITE_KIND,
+                f64::from_bits(s_bits),
+                f64::from_bits(e_bits),
+            )
+            .on(Allocation::new(cluster.id, HostSet::from_hosts(hosts)))
+            .with_attr(ATTR_IDS, ids.join("+"))
+            .with_attr(ATTR_TYPES, types.join("+"));
+            out.push(task);
+        }
+    }
+    out
+}
+
+/// Sweeps one host's tasks and returns maximal segments where at least two
+/// tasks are simultaneously active.
+fn host_overlaps(schedule: &Schedule, task_indices: &[usize], opts: &CompositeOptions) -> Vec<Segment> {
+    // Event sweep: +1 at start, -1 at end.
+    let mut events: Vec<(f64, i32, usize)> = Vec::with_capacity(task_indices.len() * 2);
+    for &ti in task_indices {
+        let t = &schedule.tasks[ti];
+        if t.end > t.start {
+            events.push((t.start, 1, ti));
+            events.push((t.end, -1, ti));
+        }
+    }
+    // Ends before starts at equal times so touching tasks don't overlap.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut active: Vec<usize> = Vec::new();
+    let mut out: Vec<Segment> = Vec::new();
+    let mut prev_t = f64::NEG_INFINITY;
+    for (t, delta, ti) in events {
+        if active.len() >= 2 && t - prev_t > opts.min_duration {
+            let mut tasks = active.clone();
+            tasks.sort_unstable();
+            // Extend the previous segment if it has the same constituents
+            // and touches (can happen when an unrelated event splits it).
+            if let Some(last) = out.last_mut() {
+                if last.tasks == tasks && (last.end - prev_t).abs() <= opts.min_duration {
+                    last.end = t;
+                } else {
+                    out.push(Segment { start: prev_t, end: t, tasks });
+                }
+            } else {
+                out.push(Segment { start: prev_t, end: t, tasks });
+            }
+        }
+        if delta > 0 {
+            active.push(ti);
+        } else if let Some(pos) = active.iter().position(|&x| x == ti) {
+            active.swap_remove(pos);
+        }
+        prev_t = t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cluster;
+
+    fn schedule_with(tasks: Vec<Task>) -> Schedule {
+        Schedule {
+            clusters: vec![Cluster::new(0, "c0", 8)],
+            tasks,
+            meta: Default::default(),
+        }
+    }
+
+    #[test]
+    fn no_overlap_no_composites() {
+        let s = schedule_with(vec![
+            Task::new("a", "computation", 0.0, 1.0).on(Allocation::contiguous(0, 0, 4)),
+            Task::new("b", "computation", 1.0, 2.0).on(Allocation::contiguous(0, 0, 4)),
+        ]);
+        assert!(composite_tasks(&s, &CompositeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn simple_overlap_creates_one_composite() {
+        let s = schedule_with(vec![
+            Task::new("a", "computation", 0.0, 2.0).on(Allocation::contiguous(0, 0, 4)),
+            Task::new("b", "transfer", 1.0, 3.0).on(Allocation::contiguous(0, 0, 4)),
+        ]);
+        let comps = composite_tasks(&s, &CompositeOptions::default());
+        assert_eq!(comps.len(), 1);
+        let c = &comps[0];
+        assert_eq!(c.kind, COMPOSITE_KIND);
+        assert_eq!(c.id, "a+b");
+        assert_eq!(c.start, 1.0);
+        assert_eq!(c.end, 2.0);
+        assert_eq!(c.allocations.len(), 1);
+        assert_eq!(c.allocations[0].hosts, HostSet::contiguous(0, 4));
+        let types = c
+            .attrs
+            .iter()
+            .find(|(k, _)| k == ATTR_TYPES)
+            .map(|(_, v)| v.as_str());
+        assert_eq!(types, Some("computation+transfer"));
+    }
+
+    #[test]
+    fn partial_host_overlap_restricts_hosts() {
+        let s = schedule_with(vec![
+            Task::new("a", "computation", 0.0, 2.0).on(Allocation::contiguous(0, 0, 4)),
+            Task::new("b", "transfer", 1.0, 3.0).on(Allocation::contiguous(0, 2, 4)),
+        ]);
+        let comps = composite_tasks(&s, &CompositeOptions::default());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].allocations[0].hosts, HostSet::contiguous(2, 2));
+    }
+
+    #[test]
+    fn triple_overlap_produces_staged_composites() {
+        let s = schedule_with(vec![
+            Task::new("a", "x", 0.0, 10.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("b", "y", 2.0, 8.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("c", "z", 4.0, 6.0).on(Allocation::contiguous(0, 0, 1)),
+        ]);
+        let comps = composite_tasks(&s, &CompositeOptions::default());
+        // [2,4): a+b, [4,6): a+b+c, [6,8): a+b
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].id, "a+b");
+        assert_eq!((comps[0].start, comps[0].end), (2.0, 4.0));
+        assert_eq!(comps[1].id, "a+b+c");
+        assert_eq!((comps[1].start, comps[1].end), (4.0, 6.0));
+        assert_eq!(comps[2].id, "a+b");
+        assert_eq!((comps[2].start, comps[2].end), (6.0, 8.0));
+    }
+
+    #[test]
+    fn touching_tasks_do_not_compose() {
+        let s = schedule_with(vec![
+            Task::new("a", "x", 0.0, 1.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("b", "y", 1.0, 2.0).on(Allocation::contiguous(0, 0, 1)),
+        ]);
+        assert!(composite_tasks(&s, &CompositeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn composites_respect_cluster_boundaries() {
+        let s = Schedule {
+            clusters: vec![Cluster::new(0, "c0", 2), Cluster::new(1, "c1", 2)],
+            tasks: vec![
+                Task::new("a", "x", 0.0, 2.0).on(Allocation::contiguous(0, 0, 2)),
+                Task::new("b", "y", 1.0, 3.0).on(Allocation::contiguous(1, 0, 2)),
+            ],
+            meta: Default::default(),
+        };
+        // Same host indices but different clusters: no shared resource.
+        assert!(composite_tasks(&s, &CompositeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_tasks_ignored() {
+        let s = schedule_with(vec![
+            Task::new("a", "x", 1.0, 1.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("b", "y", 0.0, 2.0).on(Allocation::contiguous(0, 0, 1)),
+        ]);
+        assert!(composite_tasks(&s, &CompositeOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn noncontiguous_composite_hosts() {
+        // Overlap on hosts 0 and 2 only.
+        let s = schedule_with(vec![
+            Task::new("a", "x", 0.0, 2.0)
+                .on(Allocation::new(0, HostSet::from_hosts([0, 2]))),
+            Task::new("b", "y", 1.0, 3.0).on(Allocation::contiguous(0, 0, 4)),
+        ]);
+        let comps = composite_tasks(&s, &CompositeOptions::default());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].allocations[0].hosts, HostSet::from_hosts([0, 2]));
+        assert!(!comps[0].allocations[0].hosts.is_contiguous());
+    }
+}

@@ -1,0 +1,209 @@
+//! Task-level schedule comparison.
+//!
+//! The §IV case study compares "the Jedule outputs with and without
+//! backfilling … that no task is delayed by this step". [`diff_schedules`]
+//! performs that comparison programmatically: tasks are matched by id and
+//! classified as unchanged, moved (same duration, different start),
+//! resized, relocated (different resources), added or removed.
+
+use crate::model::{Schedule, Task};
+
+/// One changed task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskChange {
+    pub id: String,
+    /// Start-time delta `after - before` (0 when only resources changed).
+    pub dt: f64,
+    /// Duration delta.
+    pub ddur: f64,
+    /// True when the resource allocation changed.
+    pub relocated: bool,
+}
+
+/// Result of a schedule comparison.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScheduleDiff {
+    pub unchanged: usize,
+    /// Tasks whose start moved (same duration, same resources).
+    pub moved: Vec<TaskChange>,
+    /// Tasks whose duration changed.
+    pub resized: Vec<TaskChange>,
+    /// Tasks whose resources changed.
+    pub relocated: Vec<TaskChange>,
+    /// Ids only in the second schedule.
+    pub added: Vec<String>,
+    /// Ids only in the first schedule.
+    pub removed: Vec<String>,
+}
+
+impl ScheduleDiff {
+    /// True when the two schedules are task-identical.
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty()
+            && self.resized.is_empty()
+            && self.relocated.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+    }
+
+    /// Largest positive start delta — >0 means some task was *delayed*
+    /// (what the conservative-backfilling check forbids).
+    pub fn max_delay(&self) -> f64 {
+        self.moved
+            .iter()
+            .chain(&self.resized)
+            .chain(&self.relocated)
+            .map(|c| c.dt)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of negative deltas — total time tasks moved earlier.
+    pub fn total_advance(&self) -> f64 {
+        self.moved
+            .iter()
+            .chain(&self.resized)
+            .chain(&self.relocated)
+            .map(|c| (-c.dt).max(0.0))
+            .sum()
+    }
+}
+
+fn same_allocations(a: &Task, b: &Task) -> bool {
+    a.allocations == b.allocations
+}
+
+/// Compares two schedules task by task (matched by id).
+pub fn diff_schedules(before: &Schedule, after: &Schedule) -> ScheduleDiff {
+    let mut diff = ScheduleDiff::default();
+    const EPS: f64 = 1e-12;
+
+    for t in &before.tasks {
+        match after.task_by_id(&t.id) {
+            None => diff.removed.push(t.id.clone()),
+            Some(u) => {
+                let dt = u.start - t.start;
+                let ddur = u.duration() - t.duration();
+                let relocated = !same_allocations(t, u);
+                let change = TaskChange {
+                    id: t.id.clone(),
+                    dt,
+                    ddur,
+                    relocated,
+                };
+                if ddur.abs() > EPS {
+                    diff.resized.push(change);
+                } else if relocated {
+                    diff.relocated.push(change);
+                } else if dt.abs() > EPS {
+                    diff.moved.push(change);
+                } else {
+                    diff.unchanged += 1;
+                }
+            }
+        }
+    }
+    for u in &after.tasks {
+        if before.task_by_id(&u.id).is_none() {
+            diff.added.push(u.id.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScheduleBuilder;
+    use crate::model::Allocation;
+
+    fn base() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c", 4)
+            .task(Task::new("a", "t", 0.0, 2.0).on(Allocation::contiguous(0, 0, 1)))
+            .task(Task::new("b", "t", 5.0, 6.0).on(Allocation::contiguous(0, 1, 1)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_schedules_diff_empty() {
+        let s = base();
+        let d = diff_schedules(&s, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.unchanged, 2);
+        assert_eq!(d.max_delay(), 0.0);
+    }
+
+    #[test]
+    fn moved_task_detected() {
+        let s = base();
+        let mut t = s.clone();
+        t.tasks[1].start = 2.0;
+        t.tasks[1].end = 3.0;
+        let d = diff_schedules(&s, &t);
+        assert_eq!(d.moved.len(), 1);
+        assert_eq!(d.moved[0].id, "b");
+        assert!((d.moved[0].dt + 3.0).abs() < 1e-12);
+        assert_eq!(d.max_delay(), 0.0); // moved earlier, not delayed
+        assert!((d.total_advance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_detected() {
+        let s = base();
+        let mut t = s.clone();
+        t.tasks[0].start += 1.5;
+        t.tasks[0].end += 1.5;
+        let d = diff_schedules(&s, &t);
+        assert!((d.max_delay() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resize_and_relocation_classified() {
+        let s = base();
+        let mut t = s.clone();
+        t.tasks[0].end = 3.0; // longer
+        t.tasks[1].allocations = vec![Allocation::contiguous(0, 3, 1)];
+        let d = diff_schedules(&s, &t);
+        assert_eq!(d.resized.len(), 1);
+        assert_eq!(d.resized[0].id, "a");
+        assert_eq!(d.relocated.len(), 1);
+        assert_eq!(d.relocated[0].id, "b");
+        assert!(d.relocated[0].relocated);
+    }
+
+    #[test]
+    fn added_and_removed() {
+        let s = base();
+        let mut t = s.clone();
+        t.tasks.remove(0);
+        t.tasks
+            .push(Task::new("c", "t", 0.0, 1.0).on(Allocation::contiguous(0, 2, 1)));
+        let d = diff_schedules(&s, &t);
+        assert_eq!(d.removed, vec!["a"]);
+        assert_eq!(d.added, vec!["c"]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn backfilling_verifies_via_diff() {
+        // The §IV check expressed with the diff: after backfilling no
+        // task may have positive dt.
+        use crate::model::Cluster;
+        let s = Schedule {
+            clusters: vec![Cluster::new(0, "c", 2)],
+            tasks: vec![
+                Task::new("x", "t", 0.0, 2.0).on(Allocation::contiguous(0, 0, 1)),
+                Task::new("y", "t", 5.0, 6.0).on(Allocation::contiguous(0, 1, 1)),
+            ],
+            meta: Default::default(),
+        };
+        // Simulate a compaction: y slides to 0.
+        let mut after = s.clone();
+        after.tasks[1].start = 0.0;
+        after.tasks[1].end = 1.0;
+        let d = diff_schedules(&s, &after);
+        assert_eq!(d.max_delay(), 0.0, "no task delayed");
+        assert!(d.total_advance() > 0.0, "idle time reduced");
+    }
+}

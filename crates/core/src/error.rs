@@ -1,0 +1,67 @@
+//! Error type shared by the core model.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A task references a cluster id that is not defined in the schedule.
+    UnknownCluster { task: String, cluster: u32 },
+    /// An allocation addresses a host outside its cluster's host range.
+    HostOutOfRange {
+        task: String,
+        cluster: u32,
+        host: u32,
+        cluster_hosts: u32,
+    },
+    /// Task finish time precedes its start time.
+    NegativeDuration { task: String, start: f64, end: f64 },
+    /// Task start or finish time is NaN or infinite.
+    NonFiniteTime { task: String },
+    /// A task has no allocation at all.
+    EmptyAllocation { task: String },
+    /// Two clusters share the same identifier.
+    DuplicateCluster { cluster: u32 },
+    /// A schedule must define at least one cluster (paper, §II-C1).
+    NoClusters,
+    /// Malformed color specification (expects 6 hex digits).
+    BadColor { spec: String },
+    /// Generic invariant violation with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownCluster { task, cluster } => {
+                write!(f, "task {task:?} references unknown cluster {cluster}")
+            }
+            CoreError::HostOutOfRange {
+                task,
+                cluster,
+                host,
+                cluster_hosts,
+            } => write!(
+                f,
+                "task {task:?} allocates host {host} on cluster {cluster} which only has {cluster_hosts} hosts"
+            ),
+            CoreError::NegativeDuration { task, start, end } => {
+                write!(f, "task {task:?} ends ({end}) before it starts ({start})")
+            }
+            CoreError::NonFiniteTime { task } => {
+                write!(f, "task {task:?} has a NaN or infinite start/end time")
+            }
+            CoreError::EmptyAllocation { task } => {
+                write!(f, "task {task:?} has no resource allocation")
+            }
+            CoreError::DuplicateCluster { cluster } => {
+                write!(f, "cluster id {cluster} defined more than once")
+            }
+            CoreError::NoClusters => write!(f, "a schedule requires at least one cluster"),
+            CoreError::BadColor { spec } => write!(f, "malformed RGB color spec {spec:?}"),
+            CoreError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

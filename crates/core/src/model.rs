@@ -1,0 +1,398 @@
+//! The schedule data model.
+//!
+//! Mirrors the structure defined by the Jedule Java API (paper, §II-C1):
+//! a schedule `S` consists of tasks `v_i`, each with a start time, a finish
+//! time, a unique identifier, a user-chosen *type*, and a list of allocated
+//! resources. Resources are grouped into disjoint clusters `C_j` with
+//! `⋃_j C_j = P` and `C_i ∩ C_j = ∅`; a task may span several clusters
+//! (e.g. an inter-cluster communication), hence it carries one
+//! [`Allocation`] per cluster it touches.
+
+use crate::hostset::HostSet;
+
+/// A logical cluster: a named group of `hosts` resources.
+///
+/// A cluster might be a commodity cluster running MPI programs or a single
+/// multicore machine whose cores are the "hosts" (paper, §IX).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Identifier referenced by task allocations.
+    pub id: u32,
+    /// Human-readable name shown on the resource axis.
+    pub name: String,
+    /// Number of hosts (resources) in this cluster.
+    pub hosts: u32,
+}
+
+impl Cluster {
+    pub fn new(id: u32, name: impl Into<String>, hosts: u32) -> Self {
+        Cluster {
+            id,
+            name: name.into(),
+            hosts,
+        }
+    }
+}
+
+/// The resources a task occupies on one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Cluster id (must be defined in the schedule header).
+    pub cluster: u32,
+    /// Cluster-local host indices; may be non-contiguous.
+    pub hosts: HostSet,
+}
+
+impl Allocation {
+    pub fn new(cluster: u32, hosts: HostSet) -> Self {
+        Allocation { cluster, hosts }
+    }
+
+    /// Convenience: a contiguous allocation `[start, start+nb)` on `cluster`.
+    pub fn contiguous(cluster: u32, start: u32, nb: u32) -> Self {
+        Allocation {
+            cluster,
+            hosts: HostSet::contiguous(start, nb),
+        }
+    }
+}
+
+/// A scheduled task: the atom of a Jedule visualization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Unique identifier (drawn as the rectangle label).
+    pub id: String,
+    /// User-chosen type used to group tasks and pick colors,
+    /// e.g. "computation", "transfer", "wait".
+    pub kind: String,
+    /// Start time `t_s`.
+    pub start: f64,
+    /// Finish time `t_f`.
+    pub end: f64,
+    /// Resources the task occupies, per cluster.
+    pub allocations: Vec<Allocation>,
+    /// Extra node properties preserved verbatim from the input
+    /// (shown in the interactive task-info popup).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Task {
+    pub fn new(id: impl Into<String>, kind: impl Into<String>, start: f64, end: f64) -> Self {
+        Task {
+            id: id.into(),
+            kind: kind.into(),
+            start,
+            end,
+            allocations: Vec::new(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds an allocation and returns `self` (builder style).
+    pub fn on(mut self, alloc: Allocation) -> Self {
+        self.allocations.push(alloc);
+        self
+    }
+
+    /// Adds an arbitrary key/value attribute and returns `self`.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Task duration `t_f - t_s`.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Total number of resources allocated across all clusters (`p_v`).
+    pub fn resource_count(&self) -> u32 {
+        self.allocations.iter().map(|a| a.hosts.count()).sum()
+    }
+
+    /// True if the task occupies `host` on `cluster` (used by hit-testing
+    /// and composite computation).
+    pub fn occupies(&self, cluster: u32, host: u32) -> bool {
+        self.allocations
+            .iter()
+            .any(|a| a.cluster == cluster && a.hosts.contains(host))
+    }
+
+    /// True if the two tasks overlap in time (open-interval semantics:
+    /// touching endpoints do not overlap).
+    pub fn overlaps_time(&self, other: &Task) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Work area of the task: duration × allocated resources.
+    pub fn area(&self) -> f64 {
+        self.duration() * f64::from(self.resource_count())
+    }
+}
+
+/// Key/value meta information characterizing the schedule
+/// (algorithm parameters, platform, …) shown in the output header
+/// (paper, §II-C2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetaInfo {
+    entries: Vec<(String, String)>,
+}
+
+impl MetaInfo {
+    pub fn new() -> Self {
+        MetaInfo::default()
+    }
+
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = value.into();
+        } else {
+            self.entries.push((key, value.into()));
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A complete schedule: clusters, tasks and meta information.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    pub clusters: Vec<Cluster>,
+    pub tasks: Vec<Task>,
+    pub meta: MetaInfo,
+}
+
+impl Schedule {
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Total number of resources `|P|` over all clusters.
+    pub fn total_hosts(&self) -> u32 {
+        self.clusters.iter().map(|c| c.hosts).sum()
+    }
+
+    /// Looks up a cluster by id.
+    pub fn cluster(&self, id: u32) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.id == id)
+    }
+
+    /// Global row index of the first host of cluster `id` when clusters are
+    /// stacked in declaration order (the canonical drawing order).
+    pub fn cluster_row_offset(&self, id: u32) -> Option<u32> {
+        let mut off = 0u32;
+        for c in &self.clusters {
+            if c.id == id {
+                return Some(off);
+            }
+            off += c.hosts;
+        }
+        None
+    }
+
+    /// Inverse of [`Schedule::cluster_row_offset`]: maps a global row to
+    /// `(cluster id, cluster-local host index)`.
+    pub fn row_to_host(&self, row: u32) -> Option<(u32, u32)> {
+        let mut off = 0u32;
+        for c in &self.clusters {
+            if row < off + c.hosts {
+                return Some((c.id, row - off));
+            }
+            off += c.hosts;
+        }
+        None
+    }
+
+    /// Looks up a task by identifier.
+    pub fn task_by_id(&self, id: &str) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// All task indices that occupy `host` on `cluster`, unsorted.
+    pub fn tasks_on_host(&self, cluster: u32, host: u32) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.occupies(cluster, host))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Minimal start time over all tasks (global `t_s`).
+    pub fn min_start(&self) -> Option<f64> {
+        self.tasks.iter().map(|t| t.start).fold(None, |acc, s| {
+            Some(acc.map_or(s, |a: f64| a.min(s)))
+        })
+    }
+
+    /// Maximal finish time over all tasks (global `t_f`).
+    pub fn max_end(&self) -> Option<f64> {
+        self.tasks
+            .iter()
+            .map(|t| t.end)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Makespan: `max_end - min_start` (0 for empty schedules).
+    pub fn makespan(&self) -> f64 {
+        match (self.min_start(), self.max_end()) {
+            (Some(s), Some(e)) => e - s,
+            _ => 0.0,
+        }
+    }
+
+    /// The distinct task types present, in first-appearance order.
+    pub fn task_types(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.tasks {
+            if !out.contains(&t.kind.as_str()) {
+                out.push(&t.kind);
+            }
+        }
+        out
+    }
+
+    /// Restricts the schedule to one cluster (the interactive mode lets the
+    /// user select which cluster to display). Tasks spanning several
+    /// clusters keep only the allocation on the selected cluster.
+    pub fn restrict_to_cluster(&self, cluster: u32) -> Schedule {
+        let clusters = self
+            .clusters
+            .iter()
+            .filter(|c| c.id == cluster)
+            .cloned()
+            .collect();
+        let tasks = self
+            .tasks
+            .iter()
+            .filter(|t| t.allocations.iter().any(|a| a.cluster == cluster))
+            .map(|t| {
+                let mut t = t.clone();
+                t.allocations.retain(|a| a.cluster == cluster);
+                t
+            })
+            .collect();
+        Schedule {
+            clusters,
+            tasks,
+            meta: self.meta.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hostset::HostSet;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new();
+        s.clusters.push(Cluster::new(0, "c0", 8));
+        s.clusters.push(Cluster::new(1, "c1", 4));
+        s.tasks.push(
+            Task::new("1", "computation", 0.0, 0.31).on(Allocation::contiguous(0, 0, 8)),
+        );
+        s.tasks.push(
+            Task::new("2", "transfer", 0.31, 0.5)
+                .on(Allocation::contiguous(0, 4, 2))
+                .on(Allocation::contiguous(1, 0, 2)),
+        );
+        s
+    }
+
+    #[test]
+    fn totals_and_extents() {
+        let s = sample();
+        assert_eq!(s.total_hosts(), 12);
+        assert_eq!(s.min_start(), Some(0.0));
+        assert_eq!(s.max_end(), Some(0.5));
+        assert!((s.makespan() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_mapping_roundtrip() {
+        let s = sample();
+        assert_eq!(s.cluster_row_offset(0), Some(0));
+        assert_eq!(s.cluster_row_offset(1), Some(8));
+        assert_eq!(s.row_to_host(0), Some((0, 0)));
+        assert_eq!(s.row_to_host(7), Some((0, 7)));
+        assert_eq!(s.row_to_host(8), Some((1, 0)));
+        assert_eq!(s.row_to_host(11), Some((1, 3)));
+        assert_eq!(s.row_to_host(12), None);
+    }
+
+    #[test]
+    fn occupancy_and_lookup() {
+        let s = sample();
+        assert_eq!(s.tasks_on_host(0, 5), vec![0, 1]);
+        assert_eq!(s.tasks_on_host(1, 0), vec![1]);
+        assert_eq!(s.tasks_on_host(1, 3), Vec::<usize>::new());
+        assert!(s.task_by_id("2").is_some());
+        assert!(s.task_by_id("404").is_none());
+    }
+
+    #[test]
+    fn task_helpers() {
+        let t = Task::new("x", "comp", 1.0, 3.0)
+            .on(Allocation::new(0, HostSet::from_hosts([0, 2, 3])));
+        assert_eq!(t.duration(), 2.0);
+        assert_eq!(t.resource_count(), 3);
+        assert_eq!(t.area(), 6.0);
+        assert!(t.occupies(0, 2));
+        assert!(!t.occupies(0, 1));
+        assert!(!t.occupies(1, 0));
+    }
+
+    #[test]
+    fn time_overlap_is_open_interval() {
+        let a = Task::new("a", "t", 0.0, 1.0);
+        let b = Task::new("b", "t", 1.0, 2.0);
+        let c = Task::new("c", "t", 0.5, 1.5);
+        assert!(!a.overlaps_time(&b));
+        assert!(a.overlaps_time(&c));
+        assert!(c.overlaps_time(&b));
+    }
+
+    #[test]
+    fn meta_info_set_get_overwrite() {
+        let mut m = MetaInfo::new();
+        m.set("alg", "cpa");
+        m.set("alg", "mcpa");
+        m.set("procs", "32");
+        assert_eq!(m.get("alg"), Some("mcpa"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn restrict_to_cluster_trims_allocations() {
+        let s = sample().restrict_to_cluster(1);
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.tasks.len(), 1);
+        assert_eq!(s.tasks[0].allocations.len(), 1);
+        assert_eq!(s.tasks[0].allocations[0].cluster, 1);
+    }
+
+    #[test]
+    fn task_types_first_appearance_order() {
+        let s = sample();
+        assert_eq!(s.task_types(), vec!["computation", "transfer"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Schedule transformations: shifting, scaling, filtering and merging.
+//!
+//! The interactive mode lets the user "focus on specific parts of the
+//! schedule by filtering" (paper, §IX) — [`filter_types`] and
+//! [`filter_window`] implement that; [`normalize`]/[`scale_time`] support
+//! comparing runs with different time origins; [`merge`] stacks two
+//! schedules (e.g. the CPA/MCPA side-by-side comparison of §III-B as one
+//! document).
+
+use crate::model::{Cluster, Schedule};
+
+/// Shifts all task times by `dt`.
+pub fn shift_time(schedule: &Schedule, dt: f64) -> Schedule {
+    let mut s = schedule.clone();
+    for t in &mut s.tasks {
+        t.start += dt;
+        t.end += dt;
+    }
+    s
+}
+
+/// Shifts the schedule so the earliest task starts at 0.
+pub fn normalize(schedule: &Schedule) -> Schedule {
+    match schedule.min_start() {
+        Some(m) if m != 0.0 => shift_time(schedule, -m),
+        _ => schedule.clone(),
+    }
+}
+
+/// Scales all task times by `factor` (e.g. seconds → milliseconds).
+pub fn scale_time(schedule: &Schedule, factor: f64) -> Schedule {
+    let mut s = schedule.clone();
+    for t in &mut s.tasks {
+        t.start *= factor;
+        t.end *= factor;
+    }
+    s
+}
+
+/// Keeps only tasks whose type satisfies `keep`.
+pub fn filter_types<F: Fn(&str) -> bool>(schedule: &Schedule, keep: F) -> Schedule {
+    let mut s = schedule.clone();
+    s.tasks.retain(|t| keep(&t.kind));
+    s
+}
+
+/// Keeps only tasks intersecting `[t0, t1]`, clipping them to the window.
+pub fn filter_window(schedule: &Schedule, t0: f64, t1: f64) -> Schedule {
+    let mut s = schedule.clone();
+    s.tasks.retain_mut(|t| {
+        if t.end <= t0 || t.start >= t1 {
+            return false;
+        }
+        t.start = t.start.max(t0);
+        t.end = t.end.min(t1);
+        true
+    });
+    s
+}
+
+/// Stacks two schedules into one document: `b`'s clusters are appended
+/// after `a`'s with re-numbered ids (offset by `a`'s max id + 1), task
+/// ids prefixed to stay unique. Useful for side-by-side algorithm
+/// comparisons in a single Jedule file.
+pub fn merge(a: &Schedule, b: &Schedule, a_name: &str, b_name: &str) -> Schedule {
+    let mut out = Schedule::new();
+    let offset = a.clusters.iter().map(|c| c.id).max().map_or(0, |m| m + 1);
+
+    for c in &a.clusters {
+        out.clusters.push(Cluster::new(
+            c.id,
+            format!("{a_name}:{}", c.name),
+            c.hosts,
+        ));
+    }
+    for c in &b.clusters {
+        out.clusters.push(Cluster::new(
+            c.id + offset,
+            format!("{b_name}:{}", c.name),
+            c.hosts,
+        ));
+    }
+    for t in &a.tasks {
+        let mut t = t.clone();
+        t.id = format!("{a_name}.{}", t.id);
+        out.tasks.push(t);
+    }
+    for t in &b.tasks {
+        let mut t = t.clone();
+        t.id = format!("{b_name}.{}", t.id);
+        for alloc in &mut t.allocations {
+            alloc.cluster += offset;
+        }
+        out.tasks.push(t);
+    }
+    for (k, v) in a.meta.iter() {
+        out.meta.set(format!("{a_name}.{k}"), v);
+    }
+    for (k, v) in b.meta.iter() {
+        out.meta.set(format!("{b_name}.{k}"), v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScheduleBuilder;
+    use crate::model::{Allocation, Task};
+    use crate::validate::validate;
+
+    fn sample() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c0", 4)
+            .meta("alg", "x")
+            .task(Task::new("a", "computation", 1.0, 3.0).on(Allocation::contiguous(0, 0, 2)))
+            .task(Task::new("b", "transfer", 2.0, 5.0).on(Allocation::contiguous(0, 2, 2)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shift_and_normalize() {
+        let s = sample();
+        let shifted = shift_time(&s, 10.0);
+        assert_eq!(shifted.min_start(), Some(11.0));
+        assert_eq!(shifted.makespan(), s.makespan());
+        let norm = normalize(&shifted);
+        assert_eq!(norm.min_start(), Some(0.0));
+        assert_eq!(norm.makespan(), s.makespan());
+        // Normalizing an already-normalized schedule is the identity.
+        assert_eq!(normalize(&norm), norm);
+    }
+
+    #[test]
+    fn scaling() {
+        let s = scale_time(&sample(), 1000.0);
+        assert_eq!(s.tasks[0].start, 1000.0);
+        assert_eq!(s.tasks[0].end, 3000.0);
+        assert_eq!(s.makespan(), sample().makespan() * 1000.0);
+    }
+
+    #[test]
+    fn type_filter() {
+        let s = filter_types(&sample(), |k| k == "transfer");
+        assert_eq!(s.tasks.len(), 1);
+        assert_eq!(s.tasks[0].id, "b");
+        // Clusters and meta survive.
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.meta.get("alg"), Some("x"));
+    }
+
+    #[test]
+    fn window_filter_clips() {
+        let s = filter_window(&sample(), 2.5, 4.0);
+        assert_eq!(s.tasks.len(), 2);
+        let a = s.task_by_id("a").unwrap();
+        assert_eq!((a.start, a.end), (2.5, 3.0));
+        let b = s.task_by_id("b").unwrap();
+        assert_eq!((b.start, b.end), (2.5, 4.0));
+        // Fully-outside tasks vanish.
+        let empty = filter_window(&sample(), 10.0, 20.0);
+        assert!(empty.tasks.is_empty());
+    }
+
+    #[test]
+    fn merge_stacks_schedules() {
+        let a = sample();
+        let b = sample();
+        let m = merge(&a, &b, "cpa", "mcpa");
+        assert!(validate(&m).is_empty());
+        assert_eq!(m.clusters.len(), 2);
+        assert_eq!(m.clusters[0].name, "cpa:c0");
+        assert_eq!(m.clusters[1].name, "mcpa:c0");
+        assert_eq!(m.clusters[1].id, 1);
+        assert_eq!(m.tasks.len(), 4);
+        assert!(m.task_by_id("cpa.a").is_some());
+        assert!(m.task_by_id("mcpa.b").is_some());
+        // The second schedule's allocations moved to the new cluster id.
+        let mb = m.task_by_id("mcpa.a").unwrap();
+        assert_eq!(mb.allocations[0].cluster, 1);
+        assert_eq!(m.meta.get("cpa.alg"), Some("x"));
+        assert_eq!(m.meta.get("mcpa.alg"), Some("x"));
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = sample();
+        let empty = ScheduleBuilder::new().cluster(0, "e", 2).build().unwrap();
+        let m = merge(&a, &empty, "a", "b");
+        assert_eq!(m.clusters.len(), 2);
+        assert_eq!(m.tasks.len(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Schedule validation.
+//!
+//! The paper motivates visualization with "sanity checks, e.g., checking
+//! the number of requested and assigned processors for a multiprocessor
+//! job". This module performs those checks programmatically; the CLI's
+//! `jedule info` prints the result.
+
+use crate::error::CoreError;
+use crate::model::Schedule;
+use std::collections::HashSet;
+
+/// One validation finding; wraps [`CoreError`] plus a severity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationIssue {
+    pub error: CoreError,
+    /// `true` if the schedule cannot be drawn meaningfully.
+    pub fatal: bool,
+}
+
+/// Validates a schedule. Returns all findings (empty = valid).
+pub fn validate(schedule: &Schedule) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+
+    if schedule.clusters.is_empty() {
+        issues.push(ValidationIssue {
+            error: CoreError::NoClusters,
+            fatal: true,
+        });
+    }
+
+    let mut seen = HashSet::new();
+    for c in &schedule.clusters {
+        if !seen.insert(c.id) {
+            issues.push(ValidationIssue {
+                error: CoreError::DuplicateCluster { cluster: c.id },
+                fatal: true,
+            });
+        }
+    }
+
+    for t in &schedule.tasks {
+        if !t.start.is_finite() || !t.end.is_finite() {
+            issues.push(ValidationIssue {
+                error: CoreError::NonFiniteTime { task: t.id.clone() },
+                fatal: true,
+            });
+            continue;
+        }
+        if t.end < t.start {
+            issues.push(ValidationIssue {
+                error: CoreError::NegativeDuration {
+                    task: t.id.clone(),
+                    start: t.start,
+                    end: t.end,
+                },
+                fatal: true,
+            });
+        }
+        if t.allocations.is_empty() || t.allocations.iter().all(|a| a.hosts.is_empty()) {
+            issues.push(ValidationIssue {
+                error: CoreError::EmptyAllocation { task: t.id.clone() },
+                fatal: false,
+            });
+        }
+        for a in &t.allocations {
+            match schedule.cluster(a.cluster) {
+                None => issues.push(ValidationIssue {
+                    error: CoreError::UnknownCluster {
+                        task: t.id.clone(),
+                        cluster: a.cluster,
+                    },
+                    fatal: true,
+                }),
+                Some(c) => {
+                    if let Some(max) = a.hosts.max_host() {
+                        if max >= c.hosts {
+                            issues.push(ValidationIssue {
+                                error: CoreError::HostOutOfRange {
+                                    task: t.id.clone(),
+                                    cluster: a.cluster,
+                                    host: max,
+                                    cluster_hosts: c.hosts,
+                                },
+                                fatal: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    issues
+}
+
+/// Validates and returns an error for the first fatal issue, if any.
+pub fn validate_strict(schedule: &Schedule) -> Result<(), CoreError> {
+    match validate(schedule).into_iter().find(|i| i.fatal) {
+        Some(i) => Err(i.error),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Allocation, Cluster, Task};
+
+    fn ok_schedule() -> Schedule {
+        Schedule {
+            clusters: vec![Cluster::new(0, "c0", 8)],
+            tasks: vec![Task::new("1", "computation", 0.0, 0.31)
+                .on(Allocation::contiguous(0, 0, 8))],
+            meta: Default::default(),
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        assert!(validate(&ok_schedule()).is_empty());
+        assert!(validate_strict(&ok_schedule()).is_ok());
+    }
+
+    #[test]
+    fn no_clusters_is_fatal() {
+        let s = Schedule::new();
+        let issues = validate(&s);
+        assert!(issues.iter().any(|i| i.error == CoreError::NoClusters && i.fatal));
+    }
+
+    #[test]
+    fn unknown_cluster_detected() {
+        let mut s = ok_schedule();
+        s.tasks.push(Task::new("2", "t", 0.0, 1.0).on(Allocation::contiguous(9, 0, 1)));
+        assert!(matches!(
+            validate_strict(&s),
+            Err(CoreError::UnknownCluster { cluster: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn host_out_of_range_detected() {
+        let mut s = ok_schedule();
+        s.tasks.push(Task::new("2", "t", 0.0, 1.0).on(Allocation::contiguous(0, 6, 4)));
+        assert!(matches!(
+            validate_strict(&s),
+            Err(CoreError::HostOutOfRange { host: 9, cluster_hosts: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_duration_detected() {
+        let mut s = ok_schedule();
+        s.tasks.push(Task::new("2", "t", 2.0, 1.0).on(Allocation::contiguous(0, 0, 1)));
+        assert!(matches!(
+            validate_strict(&s),
+            Err(CoreError::NegativeDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_time_detected() {
+        let mut s = ok_schedule();
+        s.tasks.push(Task::new("2", "t", f64::NAN, 1.0).on(Allocation::contiguous(0, 0, 1)));
+        assert!(matches!(validate_strict(&s), Err(CoreError::NonFiniteTime { .. })));
+    }
+
+    #[test]
+    fn empty_allocation_is_warning_not_fatal() {
+        let mut s = ok_schedule();
+        s.tasks.push(Task::new("2", "t", 0.0, 1.0));
+        let issues = validate(&s);
+        assert_eq!(issues.len(), 1);
+        assert!(!issues[0].fatal);
+        assert!(validate_strict(&s).is_ok());
+    }
+
+    #[test]
+    fn duplicate_cluster_detected() {
+        let mut s = ok_schedule();
+        s.clusters.push(Cluster::new(0, "dup", 4));
+        assert!(matches!(
+            validate_strict(&s),
+            Err(CoreError::DuplicateCluster { cluster: 0 })
+        ));
+    }
+
+    #[test]
+    fn zero_duration_task_is_fine() {
+        let mut s = ok_schedule();
+        s.tasks.push(Task::new("2", "t", 1.0, 1.0).on(Allocation::contiguous(0, 0, 1)));
+        assert!(validate_strict(&s).is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! Graph analytics used by the schedulers.
+//!
+//! The CPA family reasons about two lower bounds on the makespan (paper,
+//! §III-B): the critical-path length `T_CP` and the average area
+//! `T_A = (1/P) Σ_v T(v, p(v)) · p(v)`. Both are computed here against an
+//! arbitrary per-task allocation, plus the precedence levels MCPA's
+//! per-level allocation cap needs.
+
+use crate::model::{Dag, TaskId};
+
+/// Kahn topological order; `None` if the graph has a cycle.
+pub fn topo_order(dag: &Dag) -> Option<Vec<TaskId>> {
+    let mut deg = dag.in_degrees();
+    let succs = dag.succ_lists();
+    let mut queue: Vec<TaskId> = (0..dag.task_count()).filter(|&t| deg[t] == 0).collect();
+    let mut out = Vec::with_capacity(dag.task_count());
+    let mut head = 0;
+    while head < queue.len() {
+        let t = queue[head];
+        head += 1;
+        out.push(t);
+        for &(s, _) in &succs[t] {
+            deg[s] -= 1;
+            if deg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    (out.len() == dag.task_count()).then_some(out)
+}
+
+/// Precedence level of each task: `level(v) = 1 + max(level(preds))`,
+/// sources at level 0. This is the quantity MCPA caps allocations by.
+pub fn levels(dag: &Dag) -> Vec<u32> {
+    let order = topo_order(dag).expect("levels() requires an acyclic graph");
+    let preds = dag.pred_lists();
+    let mut lv = vec![0u32; dag.task_count()];
+    for &t in &order {
+        lv[t] = preds[t]
+            .iter()
+            .map(|&(p, _)| lv[p] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    lv
+}
+
+/// Critical-path time `T_CP` under the execution times `exec[t]`
+/// (communication-free, as in the CPA allocation phase).
+pub fn critical_path_time(dag: &Dag, exec: &[f64]) -> f64 {
+    assert_eq!(exec.len(), dag.task_count());
+    let order = topo_order(dag).expect("critical_path_time() requires an acyclic graph");
+    let preds = dag.pred_lists();
+    let mut finish = vec![0.0f64; dag.task_count()];
+    let mut best = 0.0f64;
+    for &t in &order {
+        let ready = preds[t]
+            .iter()
+            .map(|&(p, _)| finish[p])
+            .fold(0.0f64, f64::max);
+        finish[t] = ready + exec[t];
+        best = best.max(finish[t]);
+    }
+    best
+}
+
+/// The tasks on (one) critical path, from source to sink, under `exec`.
+pub fn critical_path(dag: &Dag, exec: &[f64]) -> Vec<TaskId> {
+    let order = topo_order(dag).expect("critical_path() requires an acyclic graph");
+    let preds = dag.pred_lists();
+    let mut finish = vec![0.0f64; dag.task_count()];
+    let mut from: Vec<Option<TaskId>> = vec![None; dag.task_count()];
+    for &t in &order {
+        let mut ready = 0.0;
+        for &(p, _) in &preds[t] {
+            if finish[p] > ready {
+                ready = finish[p];
+                from[t] = Some(p);
+            }
+        }
+        finish[t] = ready + exec[t];
+    }
+    let mut cur = (0..dag.task_count())
+        .max_by(|&a, &b| finish[a].total_cmp(&finish[b]))
+        .unwrap_or(0);
+    let mut path = vec![cur];
+    while let Some(p) = from[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+/// Average area time `T_A = (1/P) Σ_v T(v, p(v)) · p(v)` — how much each
+/// of the `total_procs` processors works on average (paper, §III-B).
+pub fn total_area_time(dag: &Dag, exec: &[f64], alloc: &[u32], total_procs: u32) -> f64 {
+    assert_eq!(exec.len(), dag.task_count());
+    assert_eq!(alloc.len(), dag.task_count());
+    let area: f64 = exec
+        .iter()
+        .zip(alloc)
+        .map(|(t, &p)| t * f64::from(p))
+        .sum();
+    area / f64::from(total_procs.max(1))
+}
+
+/// Bottom level of each task: length of the longest `exec`-weighted path
+/// from the task to a sink, including the task itself. Classic list-
+/// scheduling priority.
+pub fn bottom_levels(dag: &Dag, exec: &[f64]) -> Vec<f64> {
+    let order = topo_order(dag).expect("bottom_levels() requires an acyclic graph");
+    let succs = dag.succ_lists();
+    let mut bl = vec![0.0f64; dag.task_count()];
+    for &t in order.iter().rev() {
+        let below = succs[t].iter().map(|&(s, _)| bl[s]).fold(0.0f64, f64::max);
+        bl[t] = exec[t] + below;
+    }
+    bl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DagTask;
+
+    fn diamond() -> Dag {
+        let mut d = Dag::new("diamond");
+        for (n, w) in [("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 1.0)] {
+            d.add_task(DagTask::sequential(n, "comp", w));
+        }
+        d.add_edge(0, 1, 0.0);
+        d.add_edge(0, 2, 0.0);
+        d.add_edge(1, 3, 0.0);
+        d.add_edge(2, 3, 0.0);
+        d
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = diamond();
+        let order = topo_order(&d).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &t) in order.iter().enumerate() {
+                p[t] = i;
+            }
+            p
+        };
+        for e in &d.edges {
+            assert!(pos[e.from] < pos[e.to]);
+        }
+    }
+
+    #[test]
+    fn topo_order_none_on_cycle() {
+        let mut d = diamond();
+        d.add_edge(3, 0, 0.0);
+        assert!(topo_order(&d).is_none());
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        assert_eq!(levels(&diamond()), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let d = diamond();
+        let exec = vec![1.0, 2.0, 3.0, 1.0];
+        // a → c → d = 1 + 3 + 1 = 5.
+        assert_eq!(critical_path_time(&d, &exec), 5.0);
+        assert_eq!(critical_path(&d, &exec), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn area_time() {
+        let d = diamond();
+        let exec = vec![1.0, 2.0, 3.0, 1.0];
+        let alloc = vec![2, 1, 4, 2];
+        // Σ exec·alloc = 2 + 2 + 12 + 2 = 18; / 8 procs = 2.25.
+        assert!((total_area_time(&d, &exec, &alloc, 8) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottom_levels_of_diamond() {
+        let d = diamond();
+        let exec = vec![1.0, 2.0, 3.0, 1.0];
+        let bl = bottom_levels(&d, &exec);
+        assert_eq!(bl[3], 1.0);
+        assert_eq!(bl[1], 3.0);
+        assert_eq!(bl[2], 4.0);
+        assert_eq!(bl[0], 5.0);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new("empty");
+        assert_eq!(topo_order(&d), Some(vec![]));
+        assert_eq!(critical_path_time(&d, &[]), 0.0);
+        assert_eq!(total_area_time(&d, &[], &[], 8), 0.0);
+    }
+
+    #[test]
+    fn chain_levels_increase() {
+        let mut d = Dag::new("chain");
+        for i in 0..5 {
+            d.add_task(DagTask::sequential(format!("t{i}"), "c", 1.0));
+        }
+        for i in 0..4 {
+            d.add_edge(i, i + 1, 0.0);
+        }
+        assert_eq!(levels(&d), vec![0, 1, 2, 3, 4]);
+        assert_eq!(critical_path_time(&d, &[1.0; 5]), 5.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! DAX workflow import/export.
+//!
+//! Real Montage instances (the §V workload) are distributed by the
+//! Pegasus project as *DAX* files — an XML of `<job>` elements with
+//! `<uses>` file declarations and `<child>/<parent>` dependency records:
+//!
+//! ```xml
+//! <adag name="montage">
+//!   <job id="ID00000" name="mProjectPP" runtime="13.59">
+//!     <uses file="img0.fits" link="input" size="4200000"/>
+//!     <uses file="proj0.fits" link="output" size="4100000"/>
+//!   </job>
+//!   ...
+//!   <child ref="ID00042"><parent ref="ID00000"/></child>
+//! </adag>
+//! ```
+//!
+//! This module reads the subset needed to build a [`Dag`] (job name →
+//! task type, `runtime` at a reference speed → Gflop, file sizes →
+//! edge volumes) and writes it back, so users can feed genuine workflow
+//! instances to the HEFT case study.
+
+use crate::model::{Dag, DagTask};
+use jedule_xmlio::xml::{self, Element};
+use jedule_xmlio::IoError;
+use std::collections::HashMap;
+
+/// Reference speed used to convert DAX `runtime` seconds into Gflop:
+/// a runtime of 1 s equals `DAX_REF_GFLOPS` Gflop of work.
+pub const DAX_REF_GFLOPS: f64 = 1.0;
+
+/// Reads a DAX document into a DAG.
+///
+/// * `runtime` (seconds at the reference machine) becomes
+///   `work_gflop = runtime · DAX_REF_GFLOPS`;
+/// * an edge `parent → child` carries the total size of the files the
+///   parent produces (`link="output"`) that the child consumes
+///   (`link="input"`); explicit `<child>/<parent>` pairs without shared
+///   files get zero-byte control edges;
+/// * all tasks are sequential (DAX jobs are single-core).
+pub fn read_dax(src: &str) -> Result<Dag, IoError> {
+    let root = xml::parse(src)?;
+    if root.name != "adag" {
+        return Err(IoError::format(format!(
+            "expected <adag> root element, found <{}>",
+            root.name
+        )));
+    }
+    let mut dag = Dag::new(root.get_attr("name").unwrap_or("dax"));
+
+    // Jobs.
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut outputs: Vec<HashMap<String, f64>> = Vec::new(); // file -> size
+    let mut inputs: Vec<HashMap<String, f64>> = Vec::new();
+    for job in root.find_all("job") {
+        let id = job.require_attr("id")?.to_string();
+        let name = job.get_attr("name").unwrap_or("job").to_string();
+        let runtime: f64 = job
+            .get_attr("runtime")
+            .unwrap_or("1")
+            .trim()
+            .parse()
+            .map_err(|_| IoError::number("runtime", job.get_attr("runtime").unwrap_or("")))?;
+        let mut task = DagTask::sequential(id.clone(), name, runtime.max(0.0) * DAX_REF_GFLOPS);
+        task.name = id.clone();
+        let t = dag.add_task(task);
+        index.insert(id, t);
+
+        let (mut outs, mut ins) = (HashMap::new(), HashMap::new());
+        for uses in job.find_all("uses") {
+            let file = uses.require_attr("file")?.to_string();
+            let size: f64 = uses
+                .get_attr("size")
+                .unwrap_or("0")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            match uses.get_attr("link") {
+                Some("output") => {
+                    outs.insert(file, size);
+                }
+                Some("input") => {
+                    ins.insert(file, size);
+                }
+                _ => {}
+            }
+        }
+        outputs.push(outs);
+        inputs.push(ins);
+    }
+
+    // Dependencies.
+    for child in root.find_all("child") {
+        let c_id = child.require_attr("ref")?;
+        let &c = index
+            .get(c_id)
+            .ok_or_else(|| IoError::format(format!("<child ref={c_id:?}> names unknown job")))?;
+        for parent in child.find_all("parent") {
+            let p_id = parent.require_attr("ref")?;
+            let &p = index.get(p_id).ok_or_else(|| {
+                IoError::format(format!("<parent ref={p_id:?}> names unknown job"))
+            })?;
+            // Data volume: parent outputs consumed by the child.
+            let bytes: f64 = outputs[p]
+                .iter()
+                .filter(|(f, _)| inputs[c].contains_key(*f))
+                .map(|(_, s)| s)
+                .sum();
+            dag.add_edge(p, c, bytes);
+        }
+    }
+
+    if !dag.is_acyclic() {
+        return Err(IoError::format("DAX dependencies contain a cycle"));
+    }
+    Ok(dag)
+}
+
+/// Writes a DAG as a DAX document (inverse of [`read_dax`] up to file
+/// bookkeeping: each edge becomes one synthetic file).
+pub fn write_dax(dag: &Dag) -> String {
+    let mut root = Element::new("adag").attr("name", &dag.name);
+    for (i, t) in dag.tasks.iter().enumerate() {
+        let mut job = Element::new("job")
+            .attr("id", format!("ID{i:05}"))
+            .attr("name", &t.kind)
+            .attr("runtime", format!("{}", t.work_gflop / DAX_REF_GFLOPS));
+        for (ei, e) in dag.edges.iter().enumerate() {
+            if e.from == i {
+                job = job.child(
+                    Element::new("uses")
+                        .attr("file", format!("f{ei}.dat"))
+                        .attr("link", "output")
+                        .attr("size", format!("{}", e.data_bytes)),
+                );
+            }
+            if e.to == i {
+                job = job.child(
+                    Element::new("uses")
+                        .attr("file", format!("f{ei}.dat"))
+                        .attr("link", "input")
+                        .attr("size", format!("{}", e.data_bytes)),
+                );
+            }
+        }
+        root = root.child(job);
+    }
+    // Group parents per child.
+    let mut children: Vec<usize> = dag.edges.iter().map(|e| e.to).collect();
+    children.sort_unstable();
+    children.dedup();
+    for c in children {
+        let mut el = Element::new("child").attr("ref", format!("ID{c:05}"));
+        for e in dag.edges.iter().filter(|e| e.to == c) {
+            el = el.child(Element::new("parent").attr("ref", format!("ID{:05}", e.from)));
+        }
+        root = root.child(el);
+    }
+    xml::write_document(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montage::montage;
+
+    const SAMPLE: &str = r#"<adag name="mini-montage">
+  <job id="A" name="mProjectPP" runtime="13.5">
+    <uses file="img.fits" link="input" size="4000000"/>
+    <uses file="proj.fits" link="output" size="4100000"/>
+  </job>
+  <job id="B" name="mDiffFit" runtime="9.25">
+    <uses file="proj.fits" link="input" size="4100000"/>
+    <uses file="fit.txt" link="output" size="200"/>
+  </job>
+  <job id="C" name="mConcatFit" runtime="5">
+    <uses file="fit.txt" link="input" size="200"/>
+  </job>
+  <child ref="B"><parent ref="A"/></child>
+  <child ref="C"><parent ref="B"/></child>
+</adag>"#;
+
+    #[test]
+    fn parses_jobs_and_edges() {
+        let dag = read_dax(SAMPLE).unwrap();
+        assert_eq!(dag.task_count(), 3);
+        assert_eq!(dag.edges.len(), 2);
+        assert_eq!(dag.name, "mini-montage");
+        let a = &dag.tasks[0];
+        assert_eq!(a.name, "A");
+        assert_eq!(a.kind, "mProjectPP");
+        assert!((a.work_gflop - 13.5).abs() < 1e-12);
+        assert_eq!(a.max_procs, Some(1));
+        // Edge volume = shared file size.
+        assert_eq!(dag.edges[0].data_bytes, 4_100_000.0);
+        assert_eq!(dag.edges[1].data_bytes, 200.0);
+    }
+
+    #[test]
+    fn unknown_refs_rejected() {
+        let bad = r#"<adag><child ref="nope"><parent ref="X"/></child></adag>"#;
+        assert!(read_dax(bad).is_err());
+    }
+
+    #[test]
+    fn cyclic_dax_rejected() {
+        let bad = r#"<adag>
+  <job id="A" name="x" runtime="1"/>
+  <job id="B" name="y" runtime="1"/>
+  <child ref="B"><parent ref="A"/></child>
+  <child ref="A"><parent ref="B"/></child>
+</adag>"#;
+        let err = read_dax(bad).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn montage_roundtrips_through_dax() {
+        let m = montage(6);
+        let dax = write_dax(&m);
+        let back = read_dax(&dax).unwrap();
+        assert_eq!(back.task_count(), m.task_count());
+        assert_eq!(back.edges.len(), m.edges.len());
+        // Work and types preserved.
+        for (a, b) in m.tasks.iter().zip(&back.tasks) {
+            assert_eq!(a.kind, b.kind);
+            assert!((a.work_gflop - b.work_gflop).abs() < 1e-9);
+        }
+        // Edge volumes preserved (synthetic files carry them).
+        let mut va: Vec<f64> = m.edges.iter().map(|e| e.data_bytes).collect();
+        let mut vb: Vec<f64> = back.edges.iter().map(|e| e.data_bytes).collect();
+        va.sort_by(f64::total_cmp);
+        vb.sort_by(f64::total_cmp);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn dax_feeds_heft_pipeline() {
+        // A DAX-sourced DAG is schedulable like any other.
+        let dag = read_dax(SAMPLE).unwrap();
+        use crate::analysis::topo_order;
+        assert!(topo_order(&dag).is_some());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(read_dax("<workflow/>").is_err());
+    }
+
+    #[test]
+    fn control_edges_have_zero_bytes() {
+        let src = r#"<adag>
+  <job id="A" name="x" runtime="1"/>
+  <job id="B" name="y" runtime="1"/>
+  <child ref="B"><parent ref="A"/></child>
+</adag>"#;
+        let dag = read_dax(src).unwrap();
+        assert_eq!(dag.edges[0].data_bytes, 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! DAG generators.
+//!
+//! The §III evaluation sweeps "several thousand experiments with different
+//! types of DAGs (long, wide, serial, etc.)". These generators produce
+//! those shapes deterministically from a seed.
+
+use crate::model::{Dag, DagTask, SpeedupModel, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the layered random generator.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Number of precedence levels.
+    pub depth: usize,
+    /// Mean tasks per level.
+    pub width: usize,
+    /// Multiplicative jitter applied to the per-level width, `0.0..=1.0`
+    /// (0 = exactly `width` everywhere).
+    pub width_jitter: f64,
+    /// Mean task work in Gflop.
+    pub work_mean: f64,
+    /// Work jitter `0.0..=1.0`: work is uniform in
+    /// `work_mean · [1 − j, 1 + j]`.
+    pub work_jitter: f64,
+    /// Probability of an edge between a task and each task of the next
+    /// level (at least one is always added to keep the graph connected).
+    pub edge_density: f64,
+    /// Bytes per edge.
+    pub edge_bytes: f64,
+    /// Parallel fraction of the Amdahl model assigned to tasks.
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            depth: 8,
+            width: 6,
+            width_jitter: 0.5,
+            work_mean: 50.0,
+            work_jitter: 0.5,
+            edge_density: 0.3,
+            edge_bytes: 1e6,
+            alpha: 0.95,
+            seed: 42,
+        }
+    }
+}
+
+impl GenParams {
+    /// A "wide" DAG: few levels, many tasks per level (task parallelism).
+    pub fn wide(seed: u64) -> Self {
+        GenParams {
+            depth: 4,
+            width: 16,
+            seed,
+            ..GenParams::default()
+        }
+    }
+
+    /// A "long" DAG: many levels, few tasks per level.
+    pub fn long(seed: u64) -> Self {
+        GenParams {
+            depth: 24,
+            width: 3,
+            seed,
+            ..GenParams::default()
+        }
+    }
+
+    /// A "serial" DAG: essentially a chain.
+    pub fn serial(seed: u64) -> Self {
+        GenParams {
+            depth: 20,
+            width: 1,
+            width_jitter: 0.0,
+            seed,
+            ..GenParams::default()
+        }
+    }
+
+    /// An irregular DAG: strong width and cost jitter — the shape that
+    /// exposes MCPA's load-imbalance problem (§III-B: "tasks in the
+    /// precedence layer have different costs").
+    pub fn irregular(seed: u64) -> Self {
+        GenParams {
+            depth: 8,
+            width: 6,
+            width_jitter: 0.8,
+            work_jitter: 0.9,
+            seed,
+            ..GenParams::default()
+        }
+    }
+}
+
+/// Generates a layered random DAG.
+pub fn layered(params: &GenParams) -> Dag {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut dag = Dag::new(format!("layered-{}x{}-s{}", params.depth, params.width, params.seed));
+    let mut layers: Vec<Vec<TaskId>> = Vec::with_capacity(params.depth);
+
+    for d in 0..params.depth.max(1) {
+        let jitter = params.width_jitter.clamp(0.0, 1.0);
+        let min_w = ((params.width as f64) * (1.0 - jitter)).round().max(1.0) as usize;
+        let max_w = ((params.width as f64) * (1.0 + jitter)).round().max(1.0) as usize;
+        let w = if min_w >= max_w {
+            min_w
+        } else {
+            rng.gen_range(min_w..=max_w)
+        };
+        let mut layer = Vec::with_capacity(w);
+        for i in 0..w {
+            let wj = params.work_jitter.clamp(0.0, 1.0);
+            let work = params.work_mean * rng.gen_range(1.0 - wj..=1.0 + wj);
+            let mut task = DagTask::new(format!("{}-{}", d, i), "computation", work.max(1e-9));
+            task.speedup = SpeedupModel::Amdahl {
+                alpha: params.alpha,
+            };
+            layer.push(dag.add_task(task));
+        }
+        layers.push(layer);
+    }
+
+    for d in 0..layers.len().saturating_sub(1) {
+        let (cur, next) = (&layers[d], &layers[d + 1]);
+        for &t in cur {
+            let mut connected = false;
+            for &n in next {
+                if rng.gen_bool(params.edge_density.clamp(0.0, 1.0)) {
+                    dag.add_edge(t, n, params.edge_bytes);
+                    connected = true;
+                }
+            }
+            if !connected {
+                let n = next[rng.gen_range(0..next.len())];
+                dag.add_edge(t, n, params.edge_bytes);
+            }
+        }
+        // Every next-level task needs at least one predecessor, otherwise
+        // "levels" would collapse.
+        for &n in next {
+            if !dag.edges.iter().any(|e| e.to == n) {
+                let t = cur[rng.gen_range(0..cur.len())];
+                dag.add_edge(t, n, params.edge_bytes);
+            }
+        }
+    }
+    dag
+}
+
+/// A pure chain of `n` tasks.
+pub fn chain(n: usize, work_gflop: f64) -> Dag {
+    let mut dag = Dag::new(format!("chain-{n}"));
+    let ids: Vec<TaskId> = (0..n.max(1))
+        .map(|i| dag.add_task(DagTask::new(format!("c{i}"), "computation", work_gflop)))
+        .collect();
+    for w in ids.windows(2) {
+        dag.add_edge(w[0], w[1], 0.0);
+    }
+    dag
+}
+
+/// Fork-join: a source fanning out to `width` parallel tasks joined by a
+/// sink.
+pub fn fork_join(width: usize, work_gflop: f64, edge_bytes: f64) -> Dag {
+    let mut dag = Dag::new(format!("forkjoin-{width}"));
+    let src = dag.add_task(DagTask::new("fork", "computation", work_gflop));
+    let sink_task = DagTask::new("join", "computation", work_gflop);
+    let mids: Vec<TaskId> = (0..width.max(1))
+        .map(|i| dag.add_task(DagTask::new(format!("w{i}"), "computation", work_gflop)))
+        .collect();
+    let sink = dag.add_task(sink_task);
+    for &m in &mids {
+        dag.add_edge(src, m, edge_bytes);
+        dag.add_edge(m, sink, edge_bytes);
+    }
+    dag
+}
+
+/// Diamond of depth `d`: widths 1, 2, …, d, …, 2, 1.
+pub fn diamond(d: usize, work_gflop: f64) -> Dag {
+    let d = d.max(1);
+    let mut dag = Dag::new(format!("diamond-{d}"));
+    let mut prev: Vec<TaskId> = Vec::new();
+    let widths: Vec<usize> = (1..=d).chain((1..d).rev()).collect();
+    for (li, &w) in widths.iter().enumerate() {
+        let layer: Vec<TaskId> = (0..w)
+            .map(|i| dag.add_task(DagTask::new(format!("d{li}-{i}"), "computation", work_gflop)))
+            .collect();
+        for (i, &t) in layer.iter().enumerate() {
+            if prev.is_empty() {
+                continue;
+            }
+            if prev.len() < layer.len() {
+                // Expanding: connect to clamped parents.
+                dag.add_edge(prev[i.min(prev.len() - 1)], t, 0.0);
+                if i > 0 && i - 1 < prev.len() {
+                    dag.add_edge(prev[i - 1], t, 0.0);
+                }
+            } else {
+                // Contracting: each parent pair joins.
+                dag.add_edge(prev[i], t, 0.0);
+                if i + 1 < prev.len() {
+                    dag.add_edge(prev[i + 1], t, 0.0);
+                }
+            }
+        }
+        prev = layer;
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{levels, topo_order};
+
+    #[test]
+    fn layered_is_acyclic_and_connected_forward() {
+        for seed in 0..10 {
+            let dag = layered(&GenParams {
+                seed,
+                ..GenParams::default()
+            });
+            assert!(dag.is_acyclic(), "seed {seed}");
+            // Every non-first-level task has a predecessor.
+            let lv = levels(&dag);
+            for (t, &level) in lv.iter().enumerate() {
+                if level > 0 {
+                    assert!(dag.preds(t).next().is_some(), "task {t} orphaned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layered_is_deterministic_per_seed() {
+        let p = GenParams::default();
+        assert_eq!(layered(&p), layered(&p));
+        let q = GenParams {
+            seed: 43,
+            ..GenParams::default()
+        };
+        assert_ne!(layered(&p), layered(&q));
+    }
+
+    #[test]
+    fn layered_levels_match_depth() {
+        let dag = layered(&GenParams {
+            depth: 6,
+            width_jitter: 0.0,
+            edge_density: 1.0,
+            ..GenParams::default()
+        });
+        let lv = levels(&dag);
+        assert_eq!(*lv.iter().max().unwrap(), 5);
+    }
+
+    #[test]
+    fn shape_presets_differ() {
+        let wide = layered(&GenParams::wide(1));
+        let long = layered(&GenParams::long(1));
+        let serial = layered(&GenParams::serial(1));
+        let lw = levels(&wide).into_iter().max().unwrap();
+        let ll = levels(&long).into_iter().max().unwrap();
+        assert!(ll > lw);
+        assert_eq!(serial.task_count(), 20);
+        // A serial DAG is a chain: each level has width 1.
+        assert!(serial.edges.len() >= 19);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let c = chain(5, 1.0);
+        assert_eq!(c.task_count(), 5);
+        assert_eq!(c.edges.len(), 4);
+        assert_eq!(levels(&c), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let f = fork_join(8, 1.0, 100.0);
+        assert_eq!(f.task_count(), 10);
+        assert_eq!(f.edges.len(), 16);
+        assert_eq!(f.sources(), vec![0]);
+        assert_eq!(f.sinks().len(), 1);
+        assert!(f.is_acyclic());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let d = diamond(4, 1.0);
+        // Widths 1+2+3+4+3+2+1 = 16 tasks.
+        assert_eq!(d.task_count(), 16);
+        assert!(d.is_acyclic());
+        assert_eq!(d.sources().len(), 1);
+        assert_eq!(d.sinks().len(), 1);
+        assert!(topo_order(&d).is_some());
+    }
+
+    #[test]
+    fn work_is_positive() {
+        let dag = layered(&GenParams {
+            work_jitter: 1.0,
+            ..GenParams::default()
+        });
+        assert!(dag.tasks.iter().all(|t| t.work_gflop > 0.0));
+    }
+}

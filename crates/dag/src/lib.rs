@@ -1,0 +1,33 @@
+//! # jedule-dag
+//!
+//! Task graphs for the Jedule reproduction's scheduling case studies.
+//!
+//! A mixed-parallel application is a DAG `G = (V, E)` whose vertices are
+//! *moldable* tasks — computational tasks executable on varying numbers of
+//! processors — and whose edges carry communication volumes (paper,
+//! §III-A). This crate provides:
+//!
+//! * the [`Dag`] model with moldable-task execution-time models
+//!   ([`SpeedupModel`]: Amdahl and power-law profiles),
+//! * graph analytics: topological order, precedence levels, critical path
+//!   `T_CP`, average area `T_A`, bottom levels,
+//! * generators for the DAG shapes the paper sweeps ("long, wide, serial,
+//!   etc."), fork-join and diamond shapes, and the Montage-shape workflow
+//!   of the §V study (Fig. 6),
+//! * DOT export for structural figures.
+
+pub mod analysis;
+pub mod dax;
+pub mod generators;
+pub mod merge;
+pub mod metrics;
+pub mod model;
+pub mod montage;
+
+pub use analysis::{bottom_levels, critical_path_time, levels, topo_order, total_area_time};
+pub use dax::{read_dax, write_dax};
+pub use generators::{chain, diamond, fork_join, layered, GenParams};
+pub use merge::{merge_dags, MergeMap};
+pub use metrics::{metrics, transitive_reduction, DagMetrics};
+pub use model::{Dag, DagTask, Edge, SpeedupModel, TaskId};
+pub use montage::montage;

@@ -1,0 +1,115 @@
+//! Merging several task graphs into one.
+//!
+//! The first of the three multi-DAG approaches the paper's §IV-A lists:
+//! "multiple task graphs are combined into one and then a standard task
+//! graph scheduling heuristic is used". [`merge_dags`] concatenates the
+//! graphs (disjoint union; the merged DAG simply has several sources and
+//! sinks), renaming tasks `a<i>.<name>` and remembering which id range
+//! belongs to which application so per-application metrics can be
+//! recovered afterwards.
+
+use crate::model::{Dag, TaskId};
+
+/// Which merged task ids belong to which input DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeMap {
+    /// `ranges[i] = (first, count)` of application `i`'s tasks in the
+    /// merged DAG.
+    pub ranges: Vec<(TaskId, usize)>,
+}
+
+impl MergeMap {
+    /// The application a merged task id belongs to.
+    pub fn app_of(&self, task: TaskId) -> Option<usize> {
+        self.ranges
+            .iter()
+            .position(|&(first, count)| task >= first && task < first + count)
+    }
+
+    /// Iterator over application `i`'s merged task ids.
+    pub fn tasks_of(&self, app: usize) -> impl Iterator<Item = TaskId> {
+        let (first, count) = self.ranges.get(app).copied().unwrap_or((0, 0));
+        first..first + count
+    }
+}
+
+/// Disjoint union of `dags`, tasks renamed `a<i>.<name>` and typed
+/// `app<i>` (so the combined schedule colors per application, like
+/// Fig. 5).
+pub fn merge_dags(dags: &[Dag]) -> (Dag, MergeMap) {
+    let mut merged = Dag::new("merged");
+    let mut ranges = Vec::with_capacity(dags.len());
+    for (i, d) in dags.iter().enumerate() {
+        let first = merged.task_count();
+        ranges.push((first, d.task_count()));
+        for t in &d.tasks {
+            let mut t = t.clone();
+            t.name = format!("a{i}.{}", t.name);
+            t.kind = format!("app{i}");
+            merged.add_task(t);
+        }
+        for e in &d.edges {
+            merged.add_edge(first + e.from, first + e.to, e.data_bytes);
+        }
+    }
+    (merged, MergeMap { ranges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{chain, fork_join};
+    use crate::analysis::topo_order;
+
+    #[test]
+    fn merge_preserves_structure() {
+        let a = chain(3, 1.0);
+        let b = fork_join(2, 2.0, 5.0);
+        let (m, map) = merge_dags(&[a.clone(), b.clone()]);
+        assert_eq!(m.task_count(), a.task_count() + b.task_count());
+        assert_eq!(m.edges.len(), a.edges.len() + b.edges.len());
+        assert!(topo_order(&m).is_some());
+        // Two independent components: sources of both appear.
+        assert_eq!(m.sources().len(), a.sources().len() + b.sources().len());
+        assert_eq!(map.ranges, vec![(0, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn app_of_maps_back() {
+        let (m, map) = merge_dags(&[chain(3, 1.0), chain(2, 1.0)]);
+        assert_eq!(map.app_of(0), Some(0));
+        assert_eq!(map.app_of(2), Some(0));
+        assert_eq!(map.app_of(3), Some(1));
+        assert_eq!(map.app_of(4), Some(1));
+        assert_eq!(map.app_of(5), None);
+        assert_eq!(map.tasks_of(1).collect::<Vec<_>>(), vec![3, 4]);
+        let _ = m;
+    }
+
+    #[test]
+    fn names_and_kinds_tagged() {
+        let (m, _) = merge_dags(&[chain(2, 1.0), chain(2, 1.0)]);
+        assert_eq!(m.tasks[0].name, "a0.c0");
+        assert_eq!(m.tasks[2].name, "a1.c0");
+        assert_eq!(m.tasks[0].kind, "app0");
+        assert_eq!(m.tasks[3].kind, "app1");
+    }
+
+    #[test]
+    fn no_cross_application_edges() {
+        let (m, map) = merge_dags(&[fork_join(3, 1.0, 0.0), fork_join(2, 1.0, 0.0)]);
+        for e in &m.edges {
+            assert_eq!(map.app_of(e.from), map.app_of(e.to));
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (m, map) = merge_dags(&[]);
+        assert_eq!(m.task_count(), 0);
+        assert!(map.ranges.is_empty());
+        let (m2, map2) = merge_dags(&[Dag::new("empty")]);
+        assert_eq!(m2.task_count(), 0);
+        assert_eq!(map2.ranges, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Structural DAG metrics and normalization.
+//!
+//! Quantities the scheduling literature (and hence the §III sweep)
+//! characterizes task graphs by: width profiles, parallelism degree,
+//! communication-to-computation ratio, plus transitive reduction to
+//! normalize generated or imported (DAX) graphs.
+
+use crate::analysis::{critical_path_time, levels, topo_order};
+use crate::model::Dag;
+
+/// Summary metrics of a task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagMetrics {
+    pub tasks: usize,
+    pub edges: usize,
+    /// Number of precedence levels.
+    pub depth: usize,
+    /// Tasks per level.
+    pub width_profile: Vec<usize>,
+    /// Maximum level width — the graph's task parallelism.
+    pub max_width: usize,
+    /// Total sequential work (Gflop).
+    pub total_work: f64,
+    /// `total_work / critical path work` at one processor per task —
+    /// the average parallelism achievable.
+    pub avg_parallelism: f64,
+    /// Communication-to-computation ratio: total bytes transferred per
+    /// Gflop of work (0 for communication-free graphs).
+    pub ccr_bytes_per_gflop: f64,
+}
+
+/// Computes the metrics of an acyclic graph.
+pub fn metrics(dag: &Dag) -> DagMetrics {
+    let n = dag.task_count();
+    if n == 0 {
+        return DagMetrics {
+            tasks: 0,
+            edges: 0,
+            depth: 0,
+            width_profile: vec![],
+            max_width: 0,
+            total_work: 0.0,
+            avg_parallelism: 0.0,
+            ccr_bytes_per_gflop: 0.0,
+        };
+    }
+    let lv = levels(dag);
+    let depth = *lv.iter().max().unwrap() as usize + 1;
+    let mut width_profile = vec![0usize; depth];
+    for &l in &lv {
+        width_profile[l as usize] += 1;
+    }
+    let total_work = dag.total_work();
+    let exec: Vec<f64> = dag.tasks.iter().map(|t| t.work_gflop).collect();
+    let cp = critical_path_time(dag, &exec);
+    let total_bytes: f64 = dag.edges.iter().map(|e| e.data_bytes).sum();
+    DagMetrics {
+        tasks: n,
+        edges: dag.edges.len(),
+        depth,
+        max_width: width_profile.iter().copied().max().unwrap_or(0),
+        width_profile,
+        total_work,
+        avg_parallelism: if cp > 0.0 { total_work / cp } else { 0.0 },
+        ccr_bytes_per_gflop: if total_work > 0.0 {
+            total_bytes / total_work
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Removes redundant edges: an edge `u → v` is redundant when another
+/// path `u ⇝ v` of length ≥ 2 exists. Data volumes of removed edges are
+/// *dropped* (they model direct transfers that would still happen — call
+/// this only on graphs whose redundant edges are pure precedence, e.g.
+/// generated or imported control structures).
+pub fn transitive_reduction(dag: &Dag) -> Dag {
+    let n = dag.task_count();
+    let order = topo_order(dag).expect("transitive_reduction requires an acyclic graph");
+    let mut pos = vec![0usize; n];
+    for (i, &t) in order.iter().enumerate() {
+        pos[t] = i;
+    }
+    // Reachability via bitsets over topological positions.
+    let words = n.div_ceil(64);
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    let succs = dag.succ_lists();
+
+    let mut out = dag.clone();
+    let mut keep = vec![true; dag.edges.len()];
+
+    for &u in order.iter().rev() {
+        // First decide which out-edges of u are redundant using the
+        // already-computed reachability of its successors.
+        let mut edge_ids: Vec<usize> = dag
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == u)
+            .map(|(i, _)| i)
+            .collect();
+        // Consider nearer successors first (they can shadow farther ones).
+        edge_ids.sort_by_key(|&i| pos[dag.edges[i].to]);
+        let mut covered = vec![0u64; words];
+        for &ei in &edge_ids {
+            let v = dag.edges[ei].to;
+            if covered[v / 64] & (1 << (v % 64)) != 0 {
+                keep[ei] = false; // v already reachable through a kept edge
+                continue;
+            }
+            // Mark v and everything v reaches as covered.
+            covered[v / 64] |= 1 << (v % 64);
+            for w in 0..words {
+                covered[w] |= reach[v][w];
+            }
+        }
+        // Now compute u's full reachability for its own predecessors.
+        let mut r = vec![0u64; words];
+        for &(v, _) in &succs[u] {
+            r[v / 64] |= 1 << (v % 64);
+            for w in 0..words {
+                r[w] |= reach[v][w];
+            }
+        }
+        reach[u] = r;
+    }
+
+    let mut k = 0;
+    out.edges.retain(|_| {
+        let keep_it = keep[k];
+        k += 1;
+        keep_it
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{chain, fork_join, layered, GenParams};
+    use crate::model::DagTask;
+    use crate::montage::montage;
+
+    #[test]
+    fn metrics_of_fork_join() {
+        let d = fork_join(4, 10.0, 100.0);
+        let m = metrics(&d);
+        assert_eq!(m.tasks, 6);
+        assert_eq!(m.edges, 8);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.width_profile, vec![1, 4, 1]);
+        assert_eq!(m.max_width, 4);
+        assert_eq!(m.total_work, 60.0);
+        // CP = 30, work = 60 → parallelism 2.
+        assert!((m.avg_parallelism - 2.0).abs() < 1e-12);
+        // 800 bytes over 60 Gflop.
+        assert!((m.ccr_bytes_per_gflop - 800.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_of_chain() {
+        let m = metrics(&chain(5, 2.0));
+        assert_eq!(m.depth, 5);
+        assert_eq!(m.max_width, 1);
+        assert!((m.avg_parallelism - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dag_metrics() {
+        let m = metrics(&Dag::new("empty"));
+        assert_eq!(m.tasks, 0);
+        assert_eq!(m.avg_parallelism, 0.0);
+    }
+
+    #[test]
+    fn reduction_removes_shortcut() {
+        // a → b → c plus a shortcut a → c.
+        let mut d = Dag::new("x");
+        for n in ["a", "b", "c"] {
+            d.add_task(DagTask::sequential(n, "t", 1.0));
+        }
+        d.add_edge(0, 1, 0.0);
+        d.add_edge(1, 2, 0.0);
+        d.add_edge(0, 2, 0.0); // redundant
+        let r = transitive_reduction(&d);
+        assert_eq!(r.edges.len(), 2);
+        assert!(r.edges.iter().all(|e| !(e.from == 0 && e.to == 2)));
+    }
+
+    #[test]
+    fn reduction_keeps_required_edges() {
+        let d = fork_join(4, 1.0, 0.0);
+        let r = transitive_reduction(&d);
+        assert_eq!(r.edges.len(), d.edges.len(), "fork-join is already reduced");
+    }
+
+    #[test]
+    fn reduction_preserves_reachability() {
+        // Reachability must be identical before and after reduction.
+        for seed in 0..5 {
+            let d = layered(&GenParams {
+                seed,
+                edge_density: 0.7,
+                ..GenParams::default()
+            });
+            let r = transitive_reduction(&d);
+            assert!(r.edges.len() <= d.edges.len());
+            let reach = |g: &Dag| -> Vec<Vec<bool>> {
+                let n = g.task_count();
+                let mut m = vec![vec![false; n]; n];
+                for e in &g.edges {
+                    m[e.from][e.to] = true;
+                }
+                for k in 0..n {
+                    for i in 0..n {
+                        if m[i][k] {
+                            for j in 0..n {
+                                if m[k][j] {
+                                    m[i][j] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                m
+            };
+            assert_eq!(reach(&d), reach(&r), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let d = layered(&GenParams {
+            seed: 3,
+            edge_density: 0.8,
+            ..GenParams::default()
+        });
+        let once = transitive_reduction(&d);
+        let twice = transitive_reduction(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn montage_metrics_match_structure() {
+        let m = metrics(&montage(10));
+        assert_eq!(m.tasks, 43);
+        assert_eq!(m.max_width, 17); // the mDiffFit level
+        assert_eq!(m.depth, 9); // mProjectPP .. mJPEG
+        assert!(m.ccr_bytes_per_gflop > 0.0);
+    }
+}

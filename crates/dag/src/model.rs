@@ -1,0 +1,336 @@
+//! The DAG model: moldable tasks, edges, speedup models.
+
+/// Index of a task within its [`Dag`].
+pub type TaskId = usize;
+
+/// How a moldable task's execution time scales with processor count.
+///
+/// `T(v, p)` must be non-increasing in `p` for the two-step algorithms'
+/// allocation phase to make sense; both models guarantee that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedupModel {
+    /// Amdahl's law: `T(p) = seq + par / p`, expressed via the parallel
+    /// fraction `alpha`: `T(p) = T(1) · ((1 − α) + α / p)`.
+    Amdahl { alpha: f64 },
+    /// Power-law (Downey-style) profile: `T(p) = T(1) / p^beta` with
+    /// `0 ≤ beta ≤ 1` (`beta = 1` is perfect speedup).
+    Power { beta: f64 },
+    /// Rigid task: runs on exactly one processor, no speedup.
+    Sequential,
+}
+
+impl SpeedupModel {
+    /// Speedup factor `T(1) / T(p)` on `p ≥ 1` processors.
+    pub fn speedup(&self, p: u32) -> f64 {
+        let p = f64::from(p.max(1));
+        match self {
+            SpeedupModel::Amdahl { alpha } => {
+                let a = alpha.clamp(0.0, 1.0);
+                1.0 / ((1.0 - a) + a / p)
+            }
+            SpeedupModel::Power { beta } => p.powf(beta.clamp(0.0, 1.0)),
+            SpeedupModel::Sequential => 1.0,
+        }
+    }
+}
+
+/// A vertex of the task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagTask {
+    /// Display name (becomes the Jedule task id).
+    pub name: String,
+    /// Task type (Jedule color grouping; e.g. the Montage stage names).
+    pub kind: String,
+    /// Sequential work in Gflop: `T(v, 1) = work / host_speed`.
+    pub work_gflop: f64,
+    /// Scaling behaviour when moldable.
+    pub speedup: SpeedupModel,
+    /// Upper bound on processors this task can use (None = whole cluster).
+    pub max_procs: Option<u32>,
+}
+
+impl DagTask {
+    pub fn new(name: impl Into<String>, kind: impl Into<String>, work_gflop: f64) -> Self {
+        DagTask {
+            name: name.into(),
+            kind: kind.into(),
+            work_gflop,
+            speedup: SpeedupModel::Amdahl { alpha: 0.95 },
+            max_procs: None,
+        }
+    }
+
+    pub fn sequential(name: impl Into<String>, kind: impl Into<String>, work_gflop: f64) -> Self {
+        DagTask {
+            name: name.into(),
+            kind: kind.into(),
+            work_gflop,
+            speedup: SpeedupModel::Sequential,
+            max_procs: Some(1),
+        }
+    }
+
+    /// Execution time `T(v, p)` on `p` processors of speed `speed_gflops`.
+    pub fn exec_time(&self, p: u32, speed_gflops: f64) -> f64 {
+        let p = match self.max_procs {
+            Some(m) => p.min(m).max(1),
+            None => p.max(1),
+        };
+        (self.work_gflop / speed_gflops) / self.speedup.speedup(p)
+    }
+}
+
+/// A directed edge with a communication volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub from: TaskId,
+    pub to: TaskId,
+    /// Data transferred from `from` to `to`, in bytes.
+    pub data_bytes: f64,
+}
+
+/// A directed acyclic task graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dag {
+    pub name: String,
+    pub tasks: Vec<DagTask>,
+    pub edges: Vec<Edge>,
+}
+
+impl Dag {
+    pub fn new(name: impl Into<String>) -> Self {
+        Dag {
+            name: name.into(),
+            ..Dag::default()
+        }
+    }
+
+    /// Adds a task, returning its id.
+    pub fn add_task(&mut self, task: DagTask) -> TaskId {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Adds an edge. Panics on out-of-range endpoints (programming error).
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId, data_bytes: f64) {
+        assert!(from < self.tasks.len() && to < self.tasks.len(), "edge endpoints must exist");
+        self.edges.push(Edge {
+            from,
+            to,
+            data_bytes,
+        });
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Predecessor ids of `t`.
+    pub fn preds(&self, t: TaskId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.to == t)
+    }
+
+    /// Successor ids of `t`.
+    pub fn succs(&self, t: TaskId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == t)
+    }
+
+    /// Tasks without predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.tasks.len())
+            .filter(|&t| self.preds(t).next().is_none())
+            .collect()
+    }
+
+    /// Tasks without successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        (0..self.tasks.len())
+            .filter(|&t| self.succs(t).next().is_none())
+            .collect()
+    }
+
+    /// In-degree per task (indexed by task id).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.tasks.len()];
+        for e in &self.edges {
+            deg[e.to] += 1;
+        }
+        deg
+    }
+
+    /// Adjacency list of successors (indexed by task id); built once for
+    /// algorithms that traverse repeatedly.
+    pub fn succ_lists(&self) -> Vec<Vec<(TaskId, f64)>> {
+        let mut out = vec![Vec::new(); self.tasks.len()];
+        for e in &self.edges {
+            out[e.from].push((e.to, e.data_bytes));
+        }
+        out
+    }
+
+    /// Adjacency list of predecessors.
+    pub fn pred_lists(&self) -> Vec<Vec<(TaskId, f64)>> {
+        let mut out = vec![Vec::new(); self.tasks.len()];
+        for e in &self.edges {
+            out[e.to].push((e.from, e.data_bytes));
+        }
+        out
+    }
+
+    /// True if the graph is acyclic (every generator must produce DAGs).
+    pub fn is_acyclic(&self) -> bool {
+        crate::analysis::topo_order(self).is_some()
+    }
+
+    /// Total sequential work in Gflop.
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work_gflop).sum()
+    }
+
+    /// GraphViz DOT export; `color_by_kind` assigns one fill color per
+    /// task type ("nodes with the same color are of same task type" —
+    /// Fig. 6 caption).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        const PALETTE: [&str; 10] = [
+            "#4682b4", "#f1a340", "#66c2a5", "#e78ac3", "#a6d854", "#ffd92f", "#8da0cb",
+            "#fc8d62", "#b3b3b3", "#e5c494",
+        ];
+        let mut kinds: Vec<&str> = Vec::new();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=TB; node [style=filled, shape=ellipse];");
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ki = match kinds.iter().position(|k| *k == t.kind) {
+                Some(p) => p,
+                None => {
+                    kinds.push(&t.kind);
+                    kinds.len() - 1
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", fillcolor=\"{}\"];",
+                i,
+                t.name,
+                PALETTE[ki % PALETTE.len()]
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  n{} -> n{};", e.from, e.to);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut d = Dag::new("diamond");
+        let a = d.add_task(DagTask::new("a", "comp", 1.0));
+        let b = d.add_task(DagTask::new("b", "comp", 2.0));
+        let c = d.add_task(DagTask::new("c", "comp", 3.0));
+        let e = d.add_task(DagTask::new("d", "comp", 1.0));
+        d.add_edge(a, b, 10.0);
+        d.add_edge(a, c, 10.0);
+        d.add_edge(b, e, 10.0);
+        d.add_edge(c, e, 10.0);
+        d
+    }
+
+    #[test]
+    fn structure_queries() {
+        let d = diamond();
+        assert_eq!(d.task_count(), 4);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+        assert_eq!(d.preds(3).count(), 2);
+        assert_eq!(d.succs(0).count(), 2);
+        assert_eq!(d.in_degrees(), vec![0, 1, 1, 2]);
+        assert!(d.is_acyclic());
+        assert_eq!(d.total_work(), 7.0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut d = diamond();
+        d.add_edge(3, 0, 1.0);
+        assert!(!d.is_acyclic());
+    }
+
+    #[test]
+    fn amdahl_speedup_properties() {
+        let m = SpeedupModel::Amdahl { alpha: 0.9 };
+        assert_eq!(m.speedup(1), 1.0);
+        assert!(m.speedup(4) > m.speedup(2));
+        // Bounded by 1/(1-alpha) = 10.
+        assert!(m.speedup(100_000) < 10.0);
+        assert!(m.speedup(100_000) > 9.0);
+    }
+
+    #[test]
+    fn power_speedup_properties() {
+        let m = SpeedupModel::Power { beta: 0.5 };
+        assert_eq!(m.speedup(1), 1.0);
+        assert!((m.speedup(4) - 2.0).abs() < 1e-12);
+        let perfect = SpeedupModel::Power { beta: 1.0 };
+        assert!((perfect.speedup(8) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_time_nonincreasing_in_p() {
+        let t = DagTask::new("x", "comp", 100.0);
+        let mut prev = f64::INFINITY;
+        for p in 1..=64 {
+            let e = t.exec_time(p, 1.0);
+            assert!(e <= prev + 1e-12, "p={p}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn max_procs_caps_allocation() {
+        let mut t = DagTask::new("x", "comp", 100.0);
+        t.max_procs = Some(4);
+        assert_eq!(t.exec_time(4, 1.0), t.exec_time(64, 1.0));
+    }
+
+    #[test]
+    fn sequential_tasks_never_speed_up() {
+        let t = DagTask::sequential("x", "comp", 10.0);
+        assert_eq!(t.exec_time(1, 2.0), 5.0);
+        assert_eq!(t.exec_time(32, 2.0), 5.0);
+    }
+
+    #[test]
+    fn exec_time_scales_with_speed() {
+        let t = DagTask::sequential("x", "comp", 3.3);
+        assert!((t.exec_time(1, 3.3) - 1.0).abs() < 1e-12);
+        assert!((t.exec_time(1, 1.65) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_export_has_nodes_edges_and_colors() {
+        let mut d = diamond();
+        d.tasks[1].kind = "io".into();
+        let dot = d.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("n0 [label=\"a\""));
+        // Two kinds → two distinct fill colors.
+        let c0 = "#4682b4";
+        let c1 = "#f1a340";
+        assert!(dot.contains(c0) && dot.contains(c1));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoints")]
+    fn bad_edge_panics() {
+        let mut d = Dag::new("x");
+        d.add_task(DagTask::new("a", "c", 1.0));
+        d.add_edge(0, 7, 1.0);
+    }
+}

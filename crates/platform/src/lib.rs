@@ -1,0 +1,23 @@
+//! # jedule-platform
+//!
+//! Execution-platform models for the Jedule reproduction's case studies.
+//!
+//! The paper's experiments run on (simulated) parallel platforms:
+//! homogeneous clusters for the CPA/MCPA and multi-DAG studies
+//! (§III, §IV) and a heterogeneous multi-cluster for the HEFT/Montage
+//! study (§V, Fig. 7). This crate models those platforms: clusters of
+//! hosts with per-host compute speeds, per-host communication links, a
+//! switch per cluster and a backbone interconnecting clusters. Routing
+//! returns the effective latency and bottleneck bandwidth between any two
+//! hosts — the quantity the §V case study's bug hinged on (the backbone
+//! latency accidentally set equal to the intra-cluster latency).
+
+pub mod model;
+pub mod presets;
+pub mod xmlfmt;
+
+pub use model::{ClusterSpec, GlobalHost, Link, Platform, Route};
+pub use xmlfmt::{read_platform, read_platform_file, write_platform};
+pub use presets::{
+    fig7_platform, fig7_platform_flawed, fig7_platform_realistic, homogeneous, multi_homogeneous,
+};

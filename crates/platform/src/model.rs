@@ -1,0 +1,347 @@
+//! Platform data model and routing.
+
+/// A communication link: latency in seconds, bandwidth in bytes/second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    pub latency: f64,
+    pub bandwidth: f64,
+}
+
+impl Link {
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        Link { latency, bandwidth }
+    }
+
+    /// Time to push `bytes` through this single link.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// A homogeneous group of hosts behind one switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    pub id: u32,
+    pub name: String,
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Compute speed of each host, in Gflop/s (paper, §V: 1.65 / 3.3).
+    pub speed_gflops: f64,
+    /// The private link connecting each host to the cluster switch.
+    pub host_link: Link,
+}
+
+impl ClusterSpec {
+    /// Execution time of `gflop` billion operations on one host.
+    pub fn exec_time(&self, gflop: f64) -> f64 {
+        gflop / self.speed_gflops
+    }
+}
+
+/// A host addressed globally: `(cluster index, host index within cluster)`
+/// plus its flat global index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalHost {
+    pub cluster: u32,
+    pub host: u32,
+    pub global: u32,
+}
+
+/// The route between two hosts: total latency and bottleneck bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Route {
+    pub latency: f64,
+    pub bandwidth: f64,
+    /// Number of links traversed (0 = same host).
+    pub hops: u32,
+}
+
+impl Route {
+    /// End-to-end time for `bytes` (wormhole/fluid model: total latency +
+    /// bytes over the bottleneck bandwidth).
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        if self.hops == 0 {
+            return 0.0;
+        }
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// A multi-cluster platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    pub name: String,
+    pub clusters: Vec<ClusterSpec>,
+    /// The single backbone interconnecting all cluster switches
+    /// (paper, Fig. 7).
+    pub backbone: Link,
+}
+
+impl Platform {
+    pub fn new(name: impl Into<String>, clusters: Vec<ClusterSpec>, backbone: Link) -> Self {
+        Platform {
+            name: name.into(),
+            clusters,
+            backbone,
+        }
+    }
+
+    /// Total number of hosts.
+    pub fn total_hosts(&self) -> u32 {
+        self.clusters.iter().map(|c| c.hosts).sum()
+    }
+
+    /// Cluster spec by id.
+    pub fn cluster(&self, id: u32) -> Option<&ClusterSpec> {
+        self.clusters.iter().find(|c| c.id == id)
+    }
+
+    /// Maps a flat global host index to a [`GlobalHost`].
+    pub fn host(&self, global: u32) -> Option<GlobalHost> {
+        let mut off = 0u32;
+        for c in &self.clusters {
+            if global < off + c.hosts {
+                return Some(GlobalHost {
+                    cluster: c.id,
+                    host: global - off,
+                    global,
+                });
+            }
+            off += c.hosts;
+        }
+        None
+    }
+
+    /// Flat global index of `(cluster, host)`.
+    pub fn global_index(&self, cluster: u32, host: u32) -> Option<u32> {
+        let mut off = 0u32;
+        for c in &self.clusters {
+            if c.id == cluster {
+                return (host < c.hosts).then_some(off + host);
+            }
+            off += c.hosts;
+        }
+        None
+    }
+
+    /// Compute speed of a global host in Gflop/s.
+    pub fn speed_of(&self, global: u32) -> Option<f64> {
+        let h = self.host(global)?;
+        self.cluster(h.cluster).map(|c| c.speed_gflops)
+    }
+
+    /// Execution time of `gflop` work on a global host.
+    pub fn exec_time(&self, global: u32, gflop: f64) -> Option<f64> {
+        self.speed_of(global).map(|s| gflop / s)
+    }
+
+    /// Average execution time of `gflop` over all hosts (HEFT's rank
+    /// computations use cost averages).
+    pub fn mean_exec_time(&self, gflop: f64) -> f64 {
+        let total: f64 = self
+            .clusters
+            .iter()
+            .map(|c| f64::from(c.hosts) * (gflop / c.speed_gflops))
+            .sum();
+        total / f64::from(self.total_hosts().max(1))
+    }
+
+    /// The route between two global hosts.
+    ///
+    /// * same host → zero-cost route;
+    /// * same cluster → host link, switch, host link (2 link latencies,
+    ///   host-link bandwidth bottleneck);
+    /// * different clusters → host link, switch, backbone, switch, host
+    ///   link (2 host-link latencies + backbone latency, min bandwidth).
+    pub fn route(&self, a: u32, b: u32) -> Option<Route> {
+        let ha = self.host(a)?;
+        let hb = self.host(b)?;
+        if a == b {
+            return Some(Route {
+                latency: 0.0,
+                bandwidth: f64::INFINITY,
+                hops: 0,
+            });
+        }
+        let ca = self.cluster(ha.cluster)?;
+        let cb = self.cluster(hb.cluster)?;
+        if ha.cluster == hb.cluster {
+            Some(Route {
+                latency: ca.host_link.latency * 2.0,
+                bandwidth: ca.host_link.bandwidth,
+                hops: 2,
+            })
+        } else {
+            Some(Route {
+                latency: ca.host_link.latency + self.backbone.latency + cb.host_link.latency,
+                bandwidth: ca
+                    .host_link
+                    .bandwidth
+                    .min(self.backbone.bandwidth)
+                    .min(cb.host_link.bandwidth),
+                hops: 3,
+            })
+        }
+    }
+
+    /// Mean end-to-end transfer time of `bytes` over all ordered host
+    /// pairs with distinct hosts (used by HEFT's average communication
+    /// cost).
+    pub fn mean_transfer_time(&self, bytes: f64) -> f64 {
+        let n = self.total_hosts();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                total += self.route(a, b).expect("valid hosts").transfer_time(bytes);
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+
+    /// A plain-text description of the platform (the Fig. 7 "diagram" of
+    /// the reproduction; the SVG version lives in the bench crate).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "platform {} ({} hosts)", self.name, self.total_hosts());
+        let _ = writeln!(
+            s,
+            "  backbone: latency {:.2e} s, bandwidth {:.3e} B/s",
+            self.backbone.latency, self.backbone.bandwidth
+        );
+        for c in &self.clusters {
+            let first = self.global_index(c.id, 0).unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "  cluster {} ({}): {} hosts @ {} Gflop/s, global {}..{}, link latency {:.2e} s",
+                c.id,
+                c.name,
+                c.hosts,
+                c.speed_gflops,
+                first,
+                first + c.hosts - 1,
+                c.host_link.latency
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "test",
+            vec![
+                ClusterSpec {
+                    id: 0,
+                    name: "a".into(),
+                    hosts: 2,
+                    speed_gflops: 1.0,
+                    host_link: Link::new(1e-4, 1e9),
+                },
+                ClusterSpec {
+                    id: 1,
+                    name: "b".into(),
+                    hosts: 3,
+                    speed_gflops: 2.0,
+                    host_link: Link::new(1e-4, 1e9),
+                },
+            ],
+            Link::new(1e-2, 1e8),
+        )
+    }
+
+    #[test]
+    fn host_indexing_roundtrip() {
+        let p = platform();
+        assert_eq!(p.total_hosts(), 5);
+        for g in 0..5 {
+            let h = p.host(g).unwrap();
+            assert_eq!(p.global_index(h.cluster, h.host), Some(g));
+        }
+        assert!(p.host(5).is_none());
+        assert!(p.global_index(0, 2).is_none());
+        assert!(p.global_index(9, 0).is_none());
+    }
+
+    #[test]
+    fn speeds_and_exec_time() {
+        let p = platform();
+        assert_eq!(p.speed_of(0), Some(1.0));
+        assert_eq!(p.speed_of(2), Some(2.0));
+        assert_eq!(p.exec_time(2, 10.0), Some(5.0));
+        // mean over 2 hosts @1 + 3 @2 for 6 Gflop: (2*6 + 3*3)/5 = 4.2
+        assert!((p.mean_exec_time(6.0) - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_host_route_is_free() {
+        let p = platform();
+        let r = p.route(1, 1).unwrap();
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.transfer_time(1e9), 0.0);
+    }
+
+    #[test]
+    fn intra_cluster_route() {
+        let p = platform();
+        let r = p.route(0, 1).unwrap();
+        assert_eq!(r.hops, 2);
+        assert!((r.latency - 2e-4).abs() < 1e-15);
+        assert_eq!(r.bandwidth, 1e9);
+        // 1 GB at 1 GB/s + 0.2 ms.
+        assert!((r.transfer_time(1e9) - 1.0002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inter_cluster_route_pays_backbone() {
+        let p = platform();
+        let r = p.route(0, 2).unwrap();
+        assert_eq!(r.hops, 3);
+        assert!((r.latency - (1e-4 + 1e-2 + 1e-4)).abs() < 1e-15);
+        assert_eq!(r.bandwidth, 1e8); // bottleneck: backbone
+    }
+
+    #[test]
+    fn backbone_latency_dominates_when_raised() {
+        // The §V experiment: raising only the backbone latency must change
+        // inter-cluster routes and leave intra-cluster routes untouched.
+        let mut p = platform();
+        let intra_before = p.route(0, 1).unwrap();
+        let inter_before = p.route(0, 2).unwrap();
+        p.backbone.latency *= 100.0;
+        let intra_after = p.route(0, 1).unwrap();
+        let inter_after = p.route(0, 2).unwrap();
+        assert_eq!(intra_before, intra_after);
+        assert!(inter_after.latency > inter_before.latency * 50.0);
+    }
+
+    #[test]
+    fn mean_transfer_time_positive() {
+        let p = platform();
+        let m = p.mean_transfer_time(1e6);
+        assert!(m > 0.0);
+        // And zero bytes still pays latency on average.
+        assert!(p.mean_transfer_time(0.0) > 0.0);
+    }
+
+    #[test]
+    fn describe_mentions_every_cluster() {
+        let p = platform();
+        let d = p.describe();
+        assert!(d.contains("cluster 0"));
+        assert!(d.contains("cluster 1"));
+        assert!(d.contains("backbone"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Platform constructors for the paper's case studies.
+
+use crate::model::{ClusterSpec, Link, Platform};
+
+/// Default intra-cluster host link: 100 µs latency, 1 GB/s — a commodity
+/// gigabit-class switch.
+pub const DEFAULT_HOST_LINK: Link = Link {
+    latency: 1e-4,
+    bandwidth: 1.25e9,
+};
+
+/// A single homogeneous cluster of `hosts` processors at `speed_gflops`
+/// (the §III and §IV platforms: "smaller cluster with 32 processors to
+/// bigger ones").
+pub fn homogeneous(hosts: u32, speed_gflops: f64) -> Platform {
+    Platform::new(
+        format!("homogeneous-{hosts}"),
+        vec![ClusterSpec {
+            id: 0,
+            name: format!("cluster-{hosts}x{speed_gflops}"),
+            hosts,
+            speed_gflops,
+            host_link: DEFAULT_HOST_LINK,
+        }],
+        // A backbone exists but is unused with a single cluster.
+        Link::new(1e-3, 1.25e9),
+    )
+}
+
+/// Several identical homogeneous clusters behind one backbone.
+pub fn multi_homogeneous(clusters: u32, hosts_each: u32, speed_gflops: f64) -> Platform {
+    let specs = (0..clusters)
+        .map(|i| ClusterSpec {
+            id: i,
+            name: format!("cluster-{i}"),
+            hosts: hosts_each,
+            speed_gflops,
+            host_link: DEFAULT_HOST_LINK,
+        })
+        .collect();
+    Platform::new(
+        format!("multi-{clusters}x{hosts_each}"),
+        specs,
+        Link::new(1e-3, 1.25e9),
+    )
+}
+
+/// The heterogeneous platform of the paper's Fig. 7:
+///
+/// * two clusters of four processors at 1.65 Gflop/s,
+/// * two clusters of two processors at 3.3 Gflop/s (twice as fast),
+/// * each processor has its own link, clusters joined by a single
+///   backbone.
+///
+/// Host numbering follows the Fig. 8 discussion: "the two fast clusters
+/// (processors 0-1 and 6-7)", so the order is fast(2), slow(4), fast(2),
+/// slow(4) — twelve processors total.
+///
+/// `backbone_latency` is the knob the case study turns: the flawed
+/// description used the intra-cluster latency (1e-4 s) for the backbone
+/// too; the corrected description uses a much larger value.
+pub fn fig7_platform(backbone_latency: f64) -> Platform {
+    let fast = |id: u32| ClusterSpec {
+        id,
+        name: format!("fast-{id}"),
+        hosts: 2,
+        speed_gflops: 3.3,
+        host_link: DEFAULT_HOST_LINK,
+    };
+    let slow = |id: u32| ClusterSpec {
+        id,
+        name: format!("slow-{id}"),
+        hosts: 4,
+        speed_gflops: 1.65,
+        host_link: DEFAULT_HOST_LINK,
+    };
+    Platform::new(
+        "fig7-heterogeneous",
+        vec![fast(0), slow(1), fast(2), slow(3)],
+        Link::new(backbone_latency, 1.25e9),
+    )
+}
+
+/// The flawed Fig. 7 variant: backbone latency equal to the intra-cluster
+/// link latency (what the §V case study started from).
+pub fn fig7_platform_flawed() -> Platform {
+    fig7_platform(DEFAULT_HOST_LINK.latency)
+}
+
+/// The corrected Fig. 7 variant: a realistic two-orders-of-magnitude
+/// higher backbone latency.
+pub fn fig7_platform_realistic() -> Platform {
+    fig7_platform(DEFAULT_HOST_LINK.latency * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_shape() {
+        let p = homogeneous(32, 1.0);
+        assert_eq!(p.total_hosts(), 32);
+        assert_eq!(p.clusters.len(), 1);
+        assert_eq!(p.speed_of(31), Some(1.0));
+    }
+
+    #[test]
+    fn multi_homogeneous_shape() {
+        let p = multi_homogeneous(3, 8, 2.0);
+        assert_eq!(p.total_hosts(), 24);
+        assert_eq!(p.clusters.len(), 3);
+        assert_eq!(p.host(23).unwrap().cluster, 2);
+    }
+
+    #[test]
+    fn fig7_matches_paper() {
+        let p = fig7_platform_flawed();
+        assert_eq!(p.total_hosts(), 12);
+        assert_eq!(p.clusters.len(), 4);
+        // Fast clusters: processors 0-1 and 6-7 at 3.3 Gflop/s.
+        for g in [0, 1, 6, 7] {
+            assert_eq!(p.speed_of(g), Some(3.3), "host {g}");
+        }
+        // Slow clusters: processors 2-5 and 8-11 at 1.65 Gflop/s.
+        for g in [2, 3, 4, 5, 8, 9, 10, 11] {
+            assert_eq!(p.speed_of(g), Some(1.65), "host {g}");
+        }
+        // Fast hosts are exactly twice as fast.
+        assert!((p.exec_time(2, 3.3).unwrap() - 2.0).abs() < 1e-12);
+        assert!((p.exec_time(0, 3.3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flawed_platform_has_cheap_backbone() {
+        let flawed = fig7_platform_flawed();
+        // Inter-cluster latency ≈ intra-cluster latency (the bug).
+        let intra = flawed.route(2, 3).unwrap().latency;
+        let inter = flawed.route(0, 2).unwrap().latency;
+        assert!(inter < intra * 2.0, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn realistic_platform_penalizes_backbone() {
+        let real = fig7_platform_realistic();
+        let intra = real.route(2, 3).unwrap().latency;
+        let inter = real.route(0, 2).unwrap().latency;
+        assert!(inter > intra * 10.0, "inter {inter} vs intra {intra}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Platform-description XML.
+//!
+//! The §V case study turned on a *platform description* bug: "the reason
+//! for the strange behavior … was in fact the description of the
+//! execution platform used for the simulation". This module gives the
+//! reproduction the same workflow — platforms live in files the
+//! experimenter edits (a SimGrid-flavored XML subset):
+//!
+//! ```xml
+//! <platform name="fig7">
+//!   <backbone latency="1e-2" bandwidth="1.25e9"/>
+//!   <cluster id="0" name="fast-0" hosts="2" speed="3.3Gf"
+//!            link_latency="1e-4" link_bandwidth="1.25e9"/>
+//! </platform>
+//! ```
+//!
+//! `speed` accepts a plain number (Gflop/s) or a `Gf`/`Mf` suffix.
+
+use crate::model::{ClusterSpec, Link, Platform};
+use jedule_xmlio::xml::{self, Element};
+use jedule_xmlio::IoError;
+use std::path::Path;
+
+fn parse_speed(v: &str) -> Result<f64, IoError> {
+    let t = v.trim();
+    let (num, mult) = if let Some(n) = t.strip_suffix("Gf") {
+        (n, 1.0)
+    } else if let Some(n) = t.strip_suffix("Mf") {
+        (n, 1e-3)
+    } else {
+        (t, 1.0)
+    };
+    num.trim()
+        .parse::<f64>()
+        .map(|x| x * mult)
+        .map_err(|_| IoError::number("speed", v))
+}
+
+fn parse_f64(field: &str, v: &str) -> Result<f64, IoError> {
+    v.trim().parse().map_err(|_| IoError::number(field, v))
+}
+
+/// Reads a platform from XML text.
+pub fn read_platform(src: &str) -> Result<Platform, IoError> {
+    let root = xml::parse(src)?;
+    if root.name != "platform" {
+        return Err(IoError::format(format!(
+            "expected <platform> root element, found <{}>",
+            root.name
+        )));
+    }
+    let name = root.get_attr("name").unwrap_or("platform").to_string();
+
+    let backbone = match root.find("backbone") {
+        Some(b) => Link::new(
+            parse_f64("backbone latency", b.require_attr("latency")?)?,
+            parse_f64("backbone bandwidth", b.require_attr("bandwidth")?)?,
+        ),
+        None => Link::new(1e-3, 1.25e9),
+    };
+
+    let mut clusters = Vec::new();
+    for c in root.find_all("cluster") {
+        let id: u32 = c
+            .require_attr("id")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::number("cluster id", c.get_attr("id").unwrap_or("")))?;
+        let hosts: u32 = c
+            .require_attr("hosts")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::number("cluster hosts", c.get_attr("hosts").unwrap_or("")))?;
+        clusters.push(ClusterSpec {
+            id,
+            name: c
+                .get_attr("name")
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("cluster-{id}")),
+            hosts,
+            speed_gflops: parse_speed(c.require_attr("speed")?)?,
+            host_link: Link::new(
+                parse_f64("link_latency", c.get_attr("link_latency").unwrap_or("1e-4"))?,
+                parse_f64(
+                    "link_bandwidth",
+                    c.get_attr("link_bandwidth").unwrap_or("1.25e9"),
+                )?,
+            ),
+        });
+    }
+    if clusters.is_empty() {
+        return Err(IoError::format("a platform needs at least one <cluster>"));
+    }
+    // Duplicate ids would silently shadow each other in routing.
+    let mut ids: Vec<u32> = clusters.iter().map(|c| c.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != clusters.len() {
+        return Err(IoError::format("duplicate cluster ids in platform"));
+    }
+    Ok(Platform::new(name, clusters, backbone))
+}
+
+/// Serializes a platform to XML.
+pub fn write_platform(platform: &Platform) -> String {
+    let mut root = Element::new("platform").attr("name", &platform.name);
+    root = root.child(
+        Element::new("backbone")
+            .attr("latency", format!("{}", platform.backbone.latency))
+            .attr("bandwidth", format!("{}", platform.backbone.bandwidth)),
+    );
+    for c in &platform.clusters {
+        root = root.child(
+            Element::new("cluster")
+                .attr("id", c.id.to_string())
+                .attr("name", &c.name)
+                .attr("hosts", c.hosts.to_string())
+                .attr("speed", format!("{}Gf", c.speed_gflops))
+                .attr("link_latency", format!("{}", c.host_link.latency))
+                .attr("link_bandwidth", format!("{}", c.host_link.bandwidth)),
+        );
+    }
+    xml::write_document(&root)
+}
+
+/// Reads a platform file.
+pub fn read_platform_file(path: impl AsRef<Path>) -> Result<Platform, IoError> {
+    read_platform(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{fig7_platform_flawed, fig7_platform_realistic};
+
+    #[test]
+    fn roundtrip_fig7() {
+        for p in [fig7_platform_flawed(), fig7_platform_realistic()] {
+            let xml = write_platform(&p);
+            let back = read_platform(&xml).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn speed_suffixes() {
+        assert_eq!(parse_speed("3.3Gf").unwrap(), 3.3);
+        assert!((parse_speed("1650Mf").unwrap() - 1.65).abs() < 1e-12);
+        assert_eq!(parse_speed("2.5").unwrap(), 2.5);
+        assert!(parse_speed("fast").is_err());
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let src = r#"<platform><cluster id="0" hosts="4" speed="1"/></platform>"#;
+        let p = read_platform(src).unwrap();
+        assert_eq!(p.clusters[0].name, "cluster-0");
+        assert_eq!(p.clusters[0].host_link.latency, 1e-4);
+        assert_eq!(p.backbone.latency, 1e-3);
+    }
+
+    #[test]
+    fn the_fig9_fix_is_one_attribute_edit() {
+        // The case study's actual workflow: edit the platform file,
+        // re-run. Raising the backbone latency in the XML is all it takes.
+        let flawed = write_platform(&fig7_platform_flawed());
+        let fixed_xml = flawed.replace(
+            r#"<backbone latency="0.0001""#,
+            r#"<backbone latency="0.01""#,
+        );
+        let fixed = read_platform(&fixed_xml).unwrap();
+        assert_eq!(fixed, fig7_platform_realistic());
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(read_platform("<machines/>").is_err());
+        assert!(read_platform("<platform/>").is_err());
+        let dup = r#"<platform>
+          <cluster id="0" hosts="1" speed="1"/>
+          <cluster id="0" hosts="1" speed="1"/>
+        </platform>"#;
+        assert!(read_platform(dup).is_err());
+    }
+}

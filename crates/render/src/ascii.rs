@@ -1,0 +1,245 @@
+//! ANSI terminal back-end.
+//!
+//! Renders a scene onto a character grid using 24-bit ANSI background
+//! colors (or plain characters when colors are disabled). This is the
+//! display surface of the port's interactive mode: the original opens a
+//! Swing window, we draw into the terminal (see DESIGN.md).
+
+use crate::scene::{Anchor, Prim, Scene};
+use jedule_core::Color;
+
+/// Character cell.
+#[derive(Clone, Copy, PartialEq)]
+struct Cell {
+    ch: char,
+    fg: Option<Color>,
+    bg: Option<Color>,
+}
+
+const EMPTY: Cell = Cell {
+    ch: ' ',
+    fg: None,
+    bg: None,
+};
+
+/// A character grid the scene is sampled into.
+pub struct CharGrid {
+    pub cols: usize,
+    pub rows: usize,
+    cells: Vec<Cell>,
+}
+
+impl CharGrid {
+    fn new(cols: usize, rows: usize) -> Self {
+        CharGrid {
+            cols,
+            rows,
+            cells: vec![EMPTY; cols * rows],
+        }
+    }
+
+    fn at(&mut self, x: usize, y: usize) -> Option<&mut Cell> {
+        if x < self.cols && y < self.rows {
+            Some(&mut self.cells[y * self.cols + x])
+        } else {
+            None
+        }
+    }
+
+    /// Plain-text rendering (no escape codes).
+    pub fn to_plain(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for y in 0..self.rows {
+            for x in 0..self.cols {
+                out.push(self.cells[y * self.cols + x].ch);
+            }
+            // Trim trailing spaces per line.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// ANSI 24-bit color rendering.
+    pub fn to_ansi(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows * 4);
+        for y in 0..self.rows {
+            let mut cur: (Option<Color>, Option<Color>) = (None, None);
+            for x in 0..self.cols {
+                let c = self.cells[y * self.cols + x];
+                if (c.fg, c.bg) != cur {
+                    out.push_str("\x1b[0m");
+                    if let Some(bg) = c.bg {
+                        out.push_str(&format!("\x1b[48;2;{};{};{}m", bg.r, bg.g, bg.b));
+                    }
+                    if let Some(fg) = c.fg {
+                        out.push_str(&format!("\x1b[38;2;{};{};{}m", fg.r, fg.g, fg.b));
+                    }
+                    cur = (c.fg, c.bg);
+                }
+                out.push(c.ch);
+            }
+            out.push_str("\x1b[0m\n");
+        }
+        out
+    }
+}
+
+/// Samples a scene into a character grid of the given width (height is
+/// derived from the scene aspect ratio; character cells are ~1:2).
+pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
+    let cols = cols.max(20);
+    let sx = scene.width / cols as f64;
+    let sy = sx * 2.0; // terminal cells are twice as tall as wide
+    let rows = ((scene.height / sy).ceil() as usize).max(4);
+    let mut grid = CharGrid::new(cols, rows);
+
+    let map_x = |x: f64| (x / sx).floor() as i64;
+    let map_y = |y: f64| (y / sy).floor() as i64;
+
+    for p in &scene.prims {
+        match p {
+            Prim::Rect { x, y, w, h, fill, .. } => {
+                let x0 = map_x(*x).max(0);
+                let y0 = map_y(*y).max(0);
+                let x1 = map_x(x + w.max(0.0)).min(cols as i64 - 1);
+                let y1 = map_y(y + h.max(0.0)).min(rows as i64 - 1);
+                for yy in y0..=y1.max(y0) {
+                    for xx in x0..=x1.max(x0) {
+                        if let Some(c) = grid.at(xx as usize, yy as usize) {
+                            c.ch = ' ';
+                            c.bg = Some(*fill);
+                        }
+                    }
+                }
+            }
+            Prim::Line { x1, y1, x2, y2, color } => {
+                // Coarse Bresenham over cells.
+                let (mut cx, mut cy) = (map_x(*x1), map_y(*y1));
+                let (ex, ey) = (map_x(*x2), map_y(*y2));
+                let dx = (ex - cx).abs();
+                let dy = -(ey - cy).abs();
+                let sx_ = if cx < ex { 1 } else { -1 };
+                let sy_ = if cy < ey { 1 } else { -1 };
+                let mut err = dx + dy;
+                let ch = if dx == 0 { '|' } else if dy == 0 { '-' } else { '+' };
+                loop {
+                    if cx >= 0 && cy >= 0 {
+                        if let Some(c) = grid.at(cx as usize, cy as usize) {
+                            if c.bg.is_none() {
+                                c.ch = ch;
+                                c.fg = Some(*color);
+                            }
+                        }
+                    }
+                    if cx == ex && cy == ey {
+                        break;
+                    }
+                    let e2 = 2 * err;
+                    if e2 >= dy {
+                        err += dy;
+                        cx += sx_;
+                    }
+                    if e2 <= dx {
+                        err += dx;
+                        cy += sy_;
+                    }
+                }
+            }
+            Prim::Text {
+                x,
+                y,
+                text,
+                color,
+                anchor,
+                ..
+            } => {
+                let len = text.chars().count() as i64;
+                let cx = match anchor {
+                    Anchor::Start => map_x(*x),
+                    Anchor::Middle => map_x(*x) - len / 2,
+                    Anchor::End => map_x(*x) - len,
+                };
+                let cy = map_y(*y - 1.0);
+                for (i, ch) in text.chars().enumerate() {
+                    let xx = cx + i as i64;
+                    if xx >= 0 && cy >= 0 {
+                        if let Some(c) = grid.at(xx as usize, cy as usize) {
+                            c.ch = ch;
+                            c.fg = Some(*color);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Renders a scene as terminal text; `color` selects ANSI vs plain.
+pub fn to_ascii(scene: &Scene, color: bool) -> String {
+    let grid = sample(scene, 100);
+    if color {
+        grid.to_ansi()
+    } else {
+        grid.to_plain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> Scene {
+        let mut s = Scene::new(200.0, 100.0);
+        s.rect(20.0, 20.0, 100.0, 40.0, Color::new(0, 0, 255));
+        s.line(0.0, 90.0, 200.0, 90.0, Color::BLACK);
+        s.text(10.0, 12.0, 10.0, "HI", Color::BLACK, Anchor::Start);
+        s
+    }
+
+    #[test]
+    fn plain_contains_text_and_axis() {
+        let grid = sample(&scene(), 80);
+        let plain = grid.to_plain();
+        assert!(plain.contains("HI"), "{plain}");
+        assert!(plain.contains('-'));
+    }
+
+    #[test]
+    fn ansi_contains_color_codes() {
+        let out = to_ascii(&scene(), true);
+        assert!(out.contains("\x1b[48;2;0;0;255m"));
+        assert!(out.contains("\x1b[0m"));
+    }
+
+    #[test]
+    fn plain_has_no_escapes() {
+        let out = to_ascii(&scene(), false);
+        assert!(!out.contains('\x1b'));
+    }
+
+    #[test]
+    fn grid_dimensions_follow_aspect() {
+        let grid = sample(&scene(), 100);
+        assert_eq!(grid.cols, 100);
+        // 200x100 scene at 2:1 cell aspect → about 25 rows.
+        assert!((20..=30).contains(&grid.rows), "rows {}", grid.rows);
+    }
+
+    #[test]
+    fn minimum_width_enforced() {
+        let grid = sample(&scene(), 1);
+        assert_eq!(grid.cols, 20);
+    }
+
+    #[test]
+    fn rect_fills_cells() {
+        let grid = sample(&scene(), 100);
+        // Center of the rect: x=70/200→col 35, y=40/100: sy=2*2=4 → row 10.
+        let cell = grid.cells[10 * grid.cols + 35];
+        assert_eq!(cell.bg, Some(Color::new(0, 0, 255)));
+    }
+}

@@ -1,0 +1,818 @@
+//! A from-scratch baseline JPEG codec.
+//!
+//! The original Jedule exports PNG, **JPEG** and PDF (paper, §II-D2).
+//! This module restores the JPEG path without external dependencies: a
+//! baseline sequential encoder (JFIF, 4:4:4 sampling, standard Annex-K
+//! style quantization and Huffman tables, quality knob) and a matching
+//! decoder used for verification. The decoder builds its quantization and
+//! Huffman tables strictly from the file's own `DQT`/`DHT` segments —
+//! the same information any third-party decoder uses — so an
+//! encode→decode round trip genuinely exercises the container format,
+//! not shared in-memory constants.
+
+use crate::raster::{rasterize, Canvas};
+use crate::scene::Scene;
+use jedule_core::Color;
+
+// ---------------------------------------------------------------------------
+// Shared tables
+// ---------------------------------------------------------------------------
+
+/// Zig-zag scan order: `ZIGZAG[i]` is the block index of scan position `i`.
+const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Base luminance quantization table (Annex K style), row-major.
+const QTBL_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
+    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Base chrominance quantization table.
+const QTBL_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
+    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Huffman spec: code-length counts (`bits[k]` codes of length `k+1`) and
+/// the symbol values in canonical order.
+struct HuffSpec {
+    bits: [u8; 16],
+    values: &'static [u8],
+}
+
+const DC_LUMA: HuffSpec = HuffSpec {
+    bits: [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+    values: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+};
+
+const DC_CHROMA: HuffSpec = HuffSpec {
+    bits: [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+    values: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+};
+
+const AC_LUMA: HuffSpec = HuffSpec {
+    bits: [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125],
+    values: &[
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52,
+        0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+        0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3,
+        0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8,
+        0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ],
+};
+
+const AC_CHROMA: HuffSpec = HuffSpec {
+    bits: [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 119],
+    values: &[
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+        0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33,
+        0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18,
+        0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44,
+        0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63,
+        0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a,
+        0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+        0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+        0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca,
+        0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7,
+        0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ],
+};
+
+/// Canonical code assignment: `(code, length)` per symbol, in spec order.
+fn build_codes(spec: &HuffSpec) -> Vec<(u16, u8)> {
+    let mut out = Vec::with_capacity(spec.values.len());
+    let mut code = 0u16;
+    for (len_minus_1, &count) in spec.bits.iter().enumerate() {
+        for _ in 0..count {
+            out.push((code, len_minus_1 as u8 + 1));
+            code += 1;
+        }
+        code <<= 1;
+    }
+    out
+}
+
+/// Scales a base quantization table by libjpeg's quality formula.
+fn scaled_qtable(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    let q = quality.clamp(1, 100) as i32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        *o = (((i32::from(b) * scale + 50) / 100).clamp(1, 255)) as u16;
+    }
+    out
+}
+
+/// 8-point DCT-II of rows then columns (straightforward O(n²) per 1-D
+/// pass — plenty for chart-sized images).
+fn fdct8x8(block: &mut [f32; 64]) {
+    let mut tmp = [0f32; 64];
+    for (u, row) in tmp.chunks_exact_mut(8).enumerate() {
+        for (x, r) in row.iter_mut().enumerate() {
+            let mut acc = 0f32;
+            for k in 0..8 {
+                acc += block[u * 8 + k]
+                    * (std::f32::consts::PI * (2.0 * k as f32 + 1.0) * x as f32 / 16.0).cos();
+            }
+            let c = if x == 0 { (0.5f32).sqrt() } else { 1.0 };
+            *r = 0.5 * c * acc;
+        }
+    }
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0f32;
+            for k in 0..8 {
+                acc += tmp[k * 8 + x]
+                    * (std::f32::consts::PI * (2.0 * k as f32 + 1.0) * y as f32 / 16.0).cos();
+            }
+            let c = if y == 0 { (0.5f32).sqrt() } else { 1.0 };
+            block[y * 8 + x] = 0.5 * c * acc;
+        }
+    }
+}
+
+/// Inverse 8×8 DCT.
+fn idct8x8(block: &mut [f32; 64]) {
+    let mut tmp = [0f32; 64];
+    for (row_i, row) in tmp.chunks_exact_mut(8).enumerate() {
+        for (k, r) in row.iter_mut().enumerate() {
+            let mut acc = 0f32;
+            for x in 0..8 {
+                let c = if x == 0 { (0.5f32).sqrt() } else { 1.0 };
+                acc += c
+                    * block[row_i * 8 + x]
+                    * (std::f32::consts::PI * (2.0 * k as f32 + 1.0) * x as f32 / 16.0).cos();
+            }
+            *r = 0.5 * acc;
+        }
+    }
+    for x in 0..8 {
+        for k in 0..8 {
+            let mut acc = 0f32;
+            for y in 0..8 {
+                let c = if y == 0 { (0.5f32).sqrt() } else { 1.0 };
+                acc += c
+                    * tmp[y * 8 + x]
+                    * (std::f32::consts::PI * (2.0 * k as f32 + 1.0) * y as f32 / 16.0).cos();
+            }
+            block[k * 8 + x] = 0.5 * acc;
+        }
+    }
+}
+
+/// Magnitude category of a coefficient (number of bits).
+fn category(v: i32) -> u8 {
+    (32 - v.unsigned_abs().leading_zeros()) as u8
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+/// MSB-first bit writer with JPEG byte stuffing (0xFF → 0xFF 0x00).
+struct JBitWriter {
+    out: Vec<u8>,
+    buf: u32,
+    nbits: u32,
+}
+
+impl JBitWriter {
+    fn new(out: Vec<u8>) -> Self {
+        JBitWriter { out, buf: 0, nbits: 0 }
+    }
+
+    fn put(&mut self, bits: u32, count: u32) {
+        self.buf = (self.buf << count) | (bits & ((1u32 << count) - 1).max(0));
+        self.nbits += count;
+        while self.nbits >= 8 {
+            let byte = ((self.buf >> (self.nbits - 8)) & 0xff) as u8;
+            self.out.push(byte);
+            if byte == 0xff {
+                self.out.push(0x00);
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    fn flush(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1 << pad) - 1, pad); // pad with 1-bits
+        }
+        self.out
+    }
+}
+
+fn marker(out: &mut Vec<u8>, m: u8, payload: &[u8]) {
+    out.push(0xff);
+    out.push(m);
+    let len = (payload.len() + 2) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes one quantized block (zig-zag order) into the bit stream.
+fn encode_block(
+    w: &mut JBitWriter,
+    zz: &[i32; 64],
+    prev_dc: i32,
+    dc_codes: &[(u16, u8)],
+    ac_codes: &[(u16, u8)],
+) -> i32 {
+    // DC difference.
+    let diff = zz[0] - prev_dc;
+    let cat = category(diff);
+    let (code, len) = dc_codes[cat as usize];
+    w.put(u32::from(code), u32::from(len));
+    if cat > 0 {
+        let bits = if diff < 0 { diff - 1 } else { diff };
+        w.put(bits as u32, u32::from(cat));
+    }
+
+    // AC run-length coding.
+    let mut run = 0u32;
+    for &v in &zz[1..] {
+        if v == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            let (c, l) = ac_codes[0xf0];
+            w.put(u32::from(c), u32::from(l)); // ZRL
+            run -= 16;
+        }
+        let cat = category(v);
+        let sym = ((run as usize) << 4) | cat as usize;
+        let (c, l) = ac_codes[sym];
+        w.put(u32::from(c), u32::from(l));
+        let bits = if v < 0 { v - 1 } else { v };
+        w.put(bits as u32, u32::from(cat));
+        run = 0;
+    }
+    if run > 0 {
+        let (c, l) = ac_codes[0x00];
+        w.put(u32::from(c), u32::from(l)); // EOB
+    }
+    zz[0]
+}
+
+/// Maps a symbol-indexed code table: `table[symbol] = (code, len)`.
+fn codes_by_symbol(spec: &HuffSpec) -> Vec<(u16, u8)> {
+    let codes = build_codes(spec);
+    let mut by_sym = vec![(0u16, 0u8); 256];
+    for (i, &(code, len)) in codes.iter().enumerate() {
+        by_sym[spec.values[i] as usize] = (code, len);
+    }
+    by_sym
+}
+
+fn dht_payload(class_id: u8, spec: &HuffSpec) -> Vec<u8> {
+    let mut p = vec![class_id];
+    p.extend_from_slice(&spec.bits);
+    p.extend_from_slice(spec.values);
+    p
+}
+
+/// Encodes an RGB canvas as a baseline JFIF JPEG at `quality` (1–100).
+pub fn encode(canvas: &Canvas, quality: u8) -> Vec<u8> {
+    let (w, h) = (canvas.width, canvas.height);
+    assert!(w > 0 && h > 0 && w < 65_536 && h < 65_536, "JPEG dimensions");
+    let qy = scaled_qtable(&QTBL_LUMA, quality);
+    let qc = scaled_qtable(&QTBL_CHROMA, quality);
+
+    let mut out = vec![0xff, 0xd8]; // SOI
+    // APP0 / JFIF.
+    marker(
+        &mut out,
+        0xe0,
+        &[b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0],
+    );
+    // DQT: two tables, zig-zag order.
+    let mut dqt = vec![0x00];
+    dqt.extend(ZIGZAG.iter().map(|&i| qy[i] as u8));
+    dqt.push(0x01);
+    dqt.extend(ZIGZAG.iter().map(|&i| qc[i] as u8));
+    marker(&mut out, 0xdb, &dqt);
+    // SOF0: baseline, 3 components, 4:4:4.
+    let mut sof = vec![8];
+    sof.extend_from_slice(&(h as u16).to_be_bytes());
+    sof.extend_from_slice(&(w as u16).to_be_bytes());
+    sof.push(3);
+    sof.extend_from_slice(&[1, 0x11, 0]); // Y: h1v1, qtable 0
+    sof.extend_from_slice(&[2, 0x11, 1]); // Cb
+    sof.extend_from_slice(&[3, 0x11, 1]); // Cr
+    marker(&mut out, 0xc0, &sof);
+    // DHT: four tables.
+    marker(&mut out, 0xc4, &dht_payload(0x00, &DC_LUMA));
+    marker(&mut out, 0xc4, &dht_payload(0x10, &AC_LUMA));
+    marker(&mut out, 0xc4, &dht_payload(0x01, &DC_CHROMA));
+    marker(&mut out, 0xc4, &dht_payload(0x11, &AC_CHROMA));
+    // SOS.
+    marker(&mut out, 0xda, &[3, 1, 0x00, 2, 0x11, 3, 0x11, 0, 63, 0]);
+
+    // Entropy-coded data.
+    let dc_y = codes_by_symbol(&DC_LUMA);
+    let ac_y = codes_by_symbol(&AC_LUMA);
+    let dc_c = codes_by_symbol(&DC_CHROMA);
+    let ac_c = codes_by_symbol(&AC_CHROMA);
+    let mut bw = JBitWriter::new(out);
+    let (mut prev_y, mut prev_cb, mut prev_cr) = (0i32, 0i32, 0i32);
+
+    let blocks_x = w.div_ceil(8);
+    let blocks_y = h.div_ceil(8);
+    for by in 0..blocks_y {
+        for bx in 0..blocks_x {
+            // Gather the 8×8 block in YCbCr (edge pixels replicated).
+            let mut ycc = [[0f32; 64]; 3];
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let px = (bx * 8 + dx).min(w - 1);
+                    let py = (by * 8 + dy).min(h - 1);
+                    let c = canvas.get(px, py).expect("in bounds");
+                    let (r, g, b) = (f32::from(c.r), f32::from(c.g), f32::from(c.b));
+                    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+                    let cb = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0;
+                    let cr = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0;
+                    let i = dy * 8 + dx;
+                    ycc[0][i] = y - 128.0;
+                    ycc[1][i] = cb - 128.0;
+                    ycc[2][i] = cr - 128.0;
+                }
+            }
+            for (ci, comp) in ycc.iter_mut().enumerate() {
+                fdct8x8(comp);
+                let q = if ci == 0 { &qy } else { &qc };
+                let mut zz = [0i32; 64];
+                for (pos, &src) in ZIGZAG.iter().enumerate() {
+                    zz[pos] = (comp[src] / q[src] as f32).round() as i32;
+                }
+                let (dc_codes, ac_codes, prev) = match ci {
+                    0 => (&dc_y, &ac_y, &mut prev_y),
+                    1 => (&dc_c, &ac_c, &mut prev_cb),
+                    _ => (&dc_c, &ac_c, &mut prev_cr),
+                };
+                *prev = encode_block(&mut bw, &zz, *prev, dc_codes, ac_codes);
+            }
+        }
+    }
+
+    let mut out = bw.flush();
+    out.extend_from_slice(&[0xff, 0xd9]); // EOI
+    out
+}
+
+/// Rasterizes a scene and encodes it as JPEG.
+pub fn to_jpeg(scene: &Scene, quality: u8) -> Vec<u8> {
+    encode(&rasterize(scene), quality)
+}
+
+// ---------------------------------------------------------------------------
+// Decoder (verification-grade: baseline, 4:4:4, non-interleaved-free)
+// ---------------------------------------------------------------------------
+
+/// Huffman decode table built from a DHT segment.
+struct HuffDecode {
+    /// `(length, code) → symbol`.
+    map: std::collections::HashMap<(u8, u16), u8>,
+}
+
+impl HuffDecode {
+    fn from_dht(bits: &[u8], values: &[u8]) -> Self {
+        let spec_codes = {
+            let mut out = Vec::new();
+            let mut code = 0u16;
+            for (len_minus_1, &count) in bits.iter().enumerate() {
+                for _ in 0..count {
+                    out.push((code, len_minus_1 as u8 + 1));
+                    code += 1;
+                }
+                code <<= 1;
+            }
+            out
+        };
+        let mut map = std::collections::HashMap::new();
+        for (i, &(code, len)) in spec_codes.iter().enumerate() {
+            map.insert((len, code), values[i]);
+        }
+        HuffDecode { map }
+    }
+}
+
+struct JBitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    buf: u32,
+    nbits: u32,
+}
+
+impl<'a> JBitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        JBitReader { data, pos: 0, buf: 0, nbits: 0 }
+    }
+
+    fn bit(&mut self) -> Result<u32, String> {
+        if self.nbits == 0 {
+            let mut b = *self.data.get(self.pos).ok_or("entropy data truncated")?;
+            self.pos += 1;
+            if b == 0xff {
+                match self.data.get(self.pos) {
+                    Some(0x00) => self.pos += 1, // stuffed byte
+                    Some(0xd9) => return Err("hit EOI".into()),
+                    _ => b = 0xff,
+                }
+            }
+            self.buf = u32::from(b);
+            self.nbits = 8;
+        }
+        self.nbits -= 1;
+        Ok((self.buf >> self.nbits) & 1)
+    }
+
+    fn bits(&mut self, n: u8) -> Result<u32, String> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    fn huff(&mut self, table: &HuffDecode) -> Result<u8, String> {
+        let mut code = 0u16;
+        for len in 1..=16u8 {
+            code = (code << 1) | self.bit()? as u16;
+            if let Some(&sym) = table.map.get(&(len, code)) {
+                return Ok(sym);
+            }
+        }
+        Err("invalid Huffman code".into())
+    }
+}
+
+/// Sign-extends a JPEG magnitude-coded value.
+fn extend(v: u32, cat: u8) -> i32 {
+    if cat == 0 {
+        return 0;
+    }
+    let v = v as i32;
+    if v < (1 << (cat - 1)) {
+        v - (1 << cat) + 1
+    } else {
+        v
+    }
+}
+
+/// Decodes a baseline 4:4:4 three-component JFIF JPEG (as produced by
+/// [`encode`]) back into an RGB canvas.
+pub fn decode(data: &[u8]) -> Result<Canvas, String> {
+    if data.len() < 4 || data[0] != 0xff || data[1] != 0xd8 {
+        return Err("not a JPEG (missing SOI)".into());
+    }
+    let mut i = 2usize;
+    let mut qtables: [Option<[u16; 64]>; 4] = [None, None, None, None];
+    let mut dc_tables: [Option<HuffDecode>; 4] = [None, None, None, None];
+    let mut ac_tables: [Option<HuffDecode>; 4] = [None, None, None, None];
+    let mut width = 0usize;
+    let mut height = 0usize;
+    // Components as `(id, qtable, dc table, ac table)`.
+    let mut comps: Vec<(u8, usize, usize, usize)> = Vec::new();
+    let mut scan_at = None;
+
+    while i + 4 <= data.len() {
+        if data[i] != 0xff {
+            return Err(format!("expected marker at byte {i}"));
+        }
+        let m = data[i + 1];
+        if m == 0xd9 {
+            break;
+        }
+        let len = usize::from(u16::from_be_bytes([data[i + 2], data[i + 3]]));
+        let seg = data
+            .get(i + 4..i + 2 + len)
+            .ok_or("truncated marker segment")?;
+        match m {
+            0xdb => {
+                let mut s = seg;
+                while !s.is_empty() {
+                    let id = usize::from(s[0] & 0x0f);
+                    if s[0] >> 4 != 0 {
+                        return Err("16-bit quant tables unsupported".into());
+                    }
+                    let mut t = [0u16; 64];
+                    for (pos, &v) in s[1..65].iter().enumerate() {
+                        t[ZIGZAG[pos]] = u16::from(v);
+                    }
+                    qtables[id] = Some(t);
+                    s = &s[65..];
+                }
+            }
+            0xc4 => {
+                let mut s = seg;
+                while s.len() >= 17 {
+                    let class = s[0] >> 4;
+                    let id = usize::from(s[0] & 0x0f);
+                    let bits: [u8; 16] = s[1..17].try_into().expect("16 bytes");
+                    let count: usize = bits.iter().map(|&b| usize::from(b)).sum();
+                    let values = &s[17..17 + count];
+                    let table = HuffDecode::from_dht(&bits, values);
+                    if class == 0 {
+                        dc_tables[id] = Some(table);
+                    } else {
+                        ac_tables[id] = Some(table);
+                    }
+                    s = &s[17 + count..];
+                }
+            }
+            0xc0 => {
+                height = usize::from(u16::from_be_bytes([seg[1], seg[2]]));
+                width = usize::from(u16::from_be_bytes([seg[3], seg[4]]));
+                let n = usize::from(seg[5]);
+                if n != 3 {
+                    return Err("only 3-component JPEGs supported".into());
+                }
+                for c in 0..n {
+                    let id = seg[6 + c * 3];
+                    let sampling = seg[7 + c * 3];
+                    if sampling != 0x11 {
+                        return Err("only 4:4:4 sampling supported".into());
+                    }
+                    let q = usize::from(seg[8 + c * 3]);
+                    comps.push((id, q, 0, 0));
+                }
+            }
+            0xc2 => return Err("progressive JPEG unsupported".into()),
+            0xda => {
+                let n = usize::from(seg[0]);
+                for c in 0..n {
+                    let id = seg[1 + c * 2];
+                    let tables = seg[2 + c * 2];
+                    let comp = comps
+                        .iter_mut()
+                        .find(|(cid, ..)| *cid == id)
+                        .ok_or("SOS names unknown component")?;
+                    comp.2 = usize::from(tables >> 4);
+                    comp.3 = usize::from(tables & 0x0f);
+                }
+                scan_at = Some(i + 2 + len);
+                break;
+            }
+            _ => {}
+        }
+        i += 2 + len;
+    }
+
+    let scan_at = scan_at.ok_or("no SOS marker")?;
+    if width == 0 || height == 0 {
+        return Err("no SOF0 before SOS".into());
+    }
+    let mut r = JBitReader::new(&data[scan_at..]);
+    let mut canvas = Canvas::new(width, height, Color::WHITE);
+    let mut prev = [0i32; 3];
+    let blocks_x = width.div_ceil(8);
+    let blocks_y = height.div_ceil(8);
+    let mut planes = vec![vec![0f32; blocks_x * 8 * blocks_y * 8]; 3];
+
+    for by in 0..blocks_y {
+        for bx in 0..blocks_x {
+            for (ci, &(_, qid, dcid, acid)) in comps.iter().enumerate() {
+                let q = qtables[qid].as_ref().ok_or("missing quant table")?;
+                let dc = dc_tables[dcid].as_ref().ok_or("missing DC table")?;
+                let ac = ac_tables[acid].as_ref().ok_or("missing AC table")?;
+                let mut zz = [0i32; 64];
+                let cat = r.huff(dc)?;
+                let diff = extend(r.bits(cat)?, cat);
+                prev[ci] += diff;
+                zz[0] = prev[ci];
+                let mut pos = 1usize;
+                while pos < 64 {
+                    let sym = r.huff(ac)?;
+                    if sym == 0x00 {
+                        break; // EOB
+                    }
+                    if sym == 0xf0 {
+                        pos += 16;
+                        continue;
+                    }
+                    pos += usize::from(sym >> 4);
+                    if pos >= 64 {
+                        return Err("AC run beyond block".into());
+                    }
+                    let cat = sym & 0x0f;
+                    zz[pos] = extend(r.bits(cat)?, cat);
+                    pos += 1;
+                }
+                // Dequantize + inverse zig-zag + IDCT.
+                let mut block = [0f32; 64];
+                for (p, &src) in ZIGZAG.iter().enumerate() {
+                    block[src] = zz[p] as f32 * q[src] as f32;
+                }
+                idct8x8(&mut block);
+                let plane_w = blocks_x * 8;
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        planes[ci][(by * 8 + dy) * plane_w + bx * 8 + dx] =
+                            block[dy * 8 + dx] + 128.0;
+                    }
+                }
+            }
+        }
+    }
+
+    let plane_w = blocks_x * 8;
+    for py in 0..height {
+        for px in 0..width {
+            let y = planes[0][py * plane_w + px];
+            let cb = planes[1][py * plane_w + px] - 128.0;
+            let cr = planes[2][py * plane_w + px] - 128.0;
+            let r8 = (y + 1.402 * cr).round().clamp(0.0, 255.0) as u8;
+            let g8 = (y - 0.344136 * cb - 0.714136 * cr).round().clamp(0.0, 255.0) as u8;
+            let b8 = (y + 1.772 * cb).round().clamp(0.0, 255.0) as u8;
+            canvas.put(px as i64, py as i64, Color::new(r8, g8, b8));
+        }
+    }
+    Ok(canvas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psnr(a: &Canvas, b: &Canvas) -> f64 {
+        assert_eq!((a.width, a.height), (b.width, b.height));
+        let mut se = 0f64;
+        for (x, y) in a.pixels.iter().zip(&b.pixels) {
+            let d = f64::from(*x) - f64::from(*y);
+            se += d * d;
+        }
+        let mse = se / a.pixels.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+
+    fn chart_canvas(w: usize, h: usize) -> Canvas {
+        let mut c = Canvas::new(w, h, Color::WHITE);
+        c.fill_rect(10.0, 10.0, w as f64 * 0.6, h as f64 * 0.3, Color::new(0, 0, 255));
+        c.fill_rect(20.0, h as f64 * 0.5, w as f64 * 0.4, h as f64 * 0.2, Color::new(0xf1, 0, 0));
+        c.line(0.0, 0.0, w as f64 - 1.0, h as f64 - 1.0, Color::BLACK);
+        c
+    }
+
+    #[test]
+    fn huffman_specs_are_complete_codes() {
+        for spec in [&DC_LUMA, &DC_CHROMA, &AC_LUMA, &AC_CHROMA] {
+            let total: usize = spec.bits.iter().map(|&b| usize::from(b)).sum();
+            assert_eq!(total, spec.values.len(), "BITS sum matches values");
+            let codes = build_codes(spec);
+            // Canonical codes are prefix-free by construction; check no
+            // code overflows its length.
+            for &(code, len) in &codes {
+                assert!(u32::from(code) < (1u32 << len), "code fits length");
+            }
+        }
+    }
+
+    #[test]
+    fn dct_idct_roundtrip() {
+        let mut block = [0f32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 7919) % 255) as f32 - 128.0;
+        }
+        let orig = block;
+        fdct8x8(&mut block);
+        idct8x8(&mut block);
+        for (a, b) in orig.iter().zip(&block) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn category_values() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-1024), 11);
+    }
+
+    #[test]
+    fn extend_inverts_magnitude_coding() {
+        for v in [-1024i32, -255, -3, -1, 1, 2, 3, 255, 1023] {
+            let cat = category(v);
+            let bits = if v < 0 { v - 1 } else { v };
+            let mask = (1u32 << cat) - 1;
+            assert_eq!(extend(bits as u32 & mask, cat), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn structure_markers_present() {
+        let c = chart_canvas(64, 48);
+        let jpeg = encode(&c, 90);
+        assert_eq!(&jpeg[..2], &[0xff, 0xd8]);
+        assert_eq!(&jpeg[jpeg.len() - 2..], &[0xff, 0xd9]);
+        // JFIF tag.
+        assert_eq!(&jpeg[6..10], b"JFIF");
+        // Contains SOF0, DQT, DHT, SOS markers.
+        let has = |m: u8| jpeg.windows(2).any(|w| w[0] == 0xff && w[1] == m);
+        for m in [0xdb, 0xc0, 0xc4, 0xda] {
+            assert!(has(m), "missing marker {m:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_high_quality_chart() {
+        let c = chart_canvas(120, 80);
+        let jpeg = encode(&c, 92);
+        let back = decode(&jpeg).expect("decodes");
+        let p = psnr(&c, &back);
+        assert!(p > 28.0, "PSNR {p:.1} dB too low");
+    }
+
+    #[test]
+    fn solid_color_is_nearly_exact() {
+        let c = Canvas::new(32, 32, Color::new(0, 0, 255));
+        let jpeg = encode(&c, 95);
+        let back = decode(&jpeg).unwrap();
+        let p = psnr(&c, &back);
+        assert!(p > 40.0, "PSNR {p:.1} dB");
+    }
+
+    #[test]
+    fn quality_trades_size_for_fidelity() {
+        let c = chart_canvas(160, 120);
+        let hi = encode(&c, 95);
+        let lo = encode(&c, 20);
+        assert!(lo.len() < hi.len(), "low quality must be smaller");
+        let p_hi = psnr(&c, &decode(&hi).unwrap());
+        let p_lo = psnr(&c, &decode(&lo).unwrap());
+        assert!(p_hi > p_lo, "hi {p_hi:.1} dB vs lo {p_lo:.1} dB");
+    }
+
+    #[test]
+    fn non_multiple_of_8_dimensions() {
+        let c = chart_canvas(37, 23);
+        let back = decode(&encode(&c, 90)).unwrap();
+        assert_eq!((back.width, back.height), (37, 23));
+        assert!(psnr(&c, &back) > 24.0);
+    }
+
+    #[test]
+    fn byte_stuffing_roundtrips() {
+        // A noisy canvas maximizes the chance of 0xFF bytes in the
+        // entropy stream.
+        let mut c = Canvas::new(48, 48, Color::WHITE);
+        let mut x = 99u64;
+        for py in 0..48 {
+            for px in 0..48 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                c.put(
+                    px,
+                    py,
+                    Color::new((x >> 13) as u8, (x >> 29) as u8, (x >> 47) as u8),
+                );
+            }
+        }
+        let jpeg = encode(&c, 75);
+        let back = decode(&jpeg).unwrap();
+        assert_eq!((back.width, back.height), (48, 48));
+        // Noise compresses badly; just require a sane reconstruction.
+        assert!(psnr(&c, &back) > 15.0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"not a jpeg").is_err());
+        assert!(decode(&[0xff, 0xd8, 0xff, 0xd9]).is_err()); // no SOS
+        let c = chart_canvas(16, 16);
+        let mut j = encode(&c, 80);
+        let cut = j.len() / 2;
+        j.truncate(cut);
+        assert!(decode(&j).is_err());
+    }
+
+    #[test]
+    fn to_jpeg_smoke() {
+        let mut s = Scene::new(40.0, 30.0);
+        s.rect(0.0, 0.0, 20.0, 15.0, Color::BLACK);
+        let jpeg = to_jpeg(&s, 85);
+        assert_eq!(&jpeg[..2], &[0xff, 0xd8]);
+        let back = decode(&jpeg).unwrap();
+        assert_eq!((back.width, back.height), (40, 30));
+    }
+}

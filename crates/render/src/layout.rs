@@ -1,0 +1,609 @@
+//! The Gantt-chart layout engine.
+//!
+//! Turns a [`Schedule`] plus [`RenderOptions`] into a [`Scene`]:
+//!
+//! * one panel per cluster, stacked vertically, each dividing its resource
+//!   axis into `p` equal segments (paper, §II-A);
+//! * a rectangle per task per contiguous host range (multiprocessor tasks
+//!   with scattered resources get multiple rectangles);
+//! * composite-task overlays for overlapping tasks (Fig. 3);
+//! * scaled or aligned per-cluster time axes (§II-C3);
+//! * a meta-info header and a task-type legend;
+//! * task-id labels when they fit, honoring the color map's
+//!   `min_fontsize_label`.
+
+use crate::options::RenderOptions;
+use crate::scene::{text_width, Anchor, Scene};
+use crate::ticks;
+use jedule_core::align::extent_for;
+use jedule_core::composite::{ATTR_TYPES, COMPOSITE_KIND};
+use jedule_core::{
+    composite_tasks, Cluster, Color, ColorPair, CompositeOptions, Schedule, Task, TimeExtent,
+};
+
+const LEFT_MARGIN: f64 = 72.0;
+const RIGHT_MARGIN: f64 = 12.0;
+const TOP_PAD: f64 = 8.0;
+const PANEL_GAP: f64 = 10.0;
+const AXIS_H: f64 = 22.0;
+const LEGEND_H: f64 = 20.0;
+const PROFILE_H: f64 = 44.0;
+const TITLE_H: f64 = 22.0;
+const META_LINE_H: f64 = 13.0;
+
+/// Picks a row height from the total resource count when no explicit
+/// canvas height is requested.
+fn auto_row_height(total_rows: u32) -> f64 {
+    let r = f64::from(total_rows.max(1));
+    (640.0 / r).clamp(1.0, 18.0)
+}
+
+struct Panel {
+    cluster: Cluster,
+    y: f64,
+    row_h: f64,
+    extent: Option<TimeExtent>,
+}
+
+/// Lays out a schedule into a scene.
+pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
+    let visible: Vec<&Cluster> = schedule
+        .clusters
+        .iter()
+        .filter(|c| opts.cluster.is_none_or(|id| id == c.id))
+        .collect();
+    let total_rows: u32 = visible.iter().map(|c| c.hosts).sum();
+
+    // Header sizing.
+    let meta_lines = if opts.show_meta { schedule.meta.len() } else { 0 };
+    let header_h = TOP_PAD
+        + if opts.title.is_some() { TITLE_H } else { 0.0 }
+        + meta_lines as f64 * META_LINE_H;
+
+    // Vertical sizing.
+    let n_panels = visible.len().max(1) as f64;
+    let profile_h = if opts.show_profile { PROFILE_H } else { 0.0 };
+    let chrome = header_h + n_panels * (PANEL_GAP + AXIS_H) + LEGEND_H + profile_h;
+    let row_h = match opts.height {
+        Some(h) => ((h - chrome) / f64::from(total_rows.max(1))).max(1.0),
+        None => auto_row_height(total_rows),
+    };
+    let height = opts
+        .height
+        .unwrap_or(chrome + row_h * f64::from(total_rows.max(1)));
+    let mut scene = Scene::new(opts.width, height);
+
+    let plot_x = LEFT_MARGIN;
+    let plot_w = (opts.width - LEFT_MARGIN - RIGHT_MARGIN).max(10.0);
+
+    // Header.
+    let mut y = TOP_PAD;
+    if let Some(title) = &opts.title {
+        scene.text(
+            opts.width / 2.0,
+            y + TITLE_H - 6.0,
+            opts.colormap.config.font_size_label + 2.0,
+            title.clone(),
+            Color::BLACK,
+            Anchor::Middle,
+        );
+        y += TITLE_H;
+    }
+    if opts.show_meta {
+        for (k, v) in schedule.meta.iter() {
+            y += META_LINE_H;
+            scene.text(
+                plot_x,
+                y - 3.0,
+                opts.colormap.config.font_size_axes - 3.0,
+                format!("{k} = {v}"),
+                Color::new(90, 90, 90),
+                Anchor::Start,
+            );
+        }
+    }
+
+    // Panels.
+    let mut panels: Vec<Panel> = Vec::new();
+    for c in &visible {
+        y += PANEL_GAP;
+        let mut extent = extent_for(schedule, c.id, opts.align);
+        if let Some((t0, t1)) = opts.time_window {
+            if t1 > t0 {
+                extent = Some(TimeExtent::new(t0, t1));
+            }
+        }
+        panels.push(Panel {
+            cluster: (*c).clone(),
+            y,
+            row_h,
+            extent,
+        });
+        y += row_h * f64::from(c.hosts) + AXIS_H;
+    }
+
+    // Precompute composites once if requested.
+    let composites = if opts.show_composites {
+        composite_tasks(schedule, &CompositeOptions::default())
+    } else {
+        Vec::new()
+    };
+
+    let mut types_seen: Vec<String> = Vec::new();
+    for panel in &panels {
+        draw_panel(
+            &mut scene,
+            schedule,
+            panel,
+            opts,
+            plot_x,
+            plot_w,
+            &composites,
+            &mut types_seen,
+        );
+    }
+
+    // Utilization-profile strip.
+    if opts.show_profile {
+        draw_profile(&mut scene, schedule, opts, plot_x, plot_w, y + PANEL_GAP / 2.0);
+    }
+
+    // Legend.
+    draw_legend(&mut scene, opts, &types_seen, plot_x, height - LEGEND_H + 4.0);
+
+    scene
+}
+
+/// Draws the busy-hosts-over-time step curve as a filled strip.
+fn draw_profile(
+    scene: &mut Scene,
+    schedule: &Schedule,
+    opts: &RenderOptions,
+    plot_x: f64,
+    plot_w: f64,
+    y: f64,
+) {
+    use jedule_core::align::global_extent;
+    use jedule_core::stats::utilization_profile;
+
+    let h = PROFILE_H - 14.0;
+    let Some(ext) = global_extent(schedule) else {
+        return;
+    };
+    let mut ext = ext;
+    if let Some((t0, t1)) = opts.time_window {
+        if t1 > t0 {
+            ext = TimeExtent::new(t0, t1);
+        }
+    }
+    let span = ext.span().max(1e-300);
+    let total = f64::from(schedule.total_hosts().max(1));
+    let to_x = |t: f64| plot_x + ((t - ext.start) / span * plot_w).clamp(0.0, plot_w);
+
+    scene.rect_stroked(plot_x, y, plot_w, h, Color::WHITE, Color::new(60, 60, 60));
+    let fill = Color::new(0x9d, 0xc3, 0xe6);
+    let profile = utilization_profile(schedule);
+    for (i, &(t, busy)) in profile.iter().enumerate() {
+        if busy == 0 {
+            continue;
+        }
+        let next_t = profile.get(i + 1).map_or(ext.end, |&(nt, _)| nt);
+        let (seg0, seg1) = (t.max(ext.start), next_t.min(ext.end));
+        if seg1 <= seg0 {
+            continue;
+        }
+        let bar_h = h * f64::from(busy) / total;
+        scene.rect(to_x(seg0), y + h - bar_h, to_x(seg1) - to_x(seg0), bar_h, fill);
+    }
+    scene.text(
+        plot_x - 4.0,
+        y + opts.colormap.config.font_size_axes,
+        (opts.colormap.config.font_size_axes - 3.0).max(5.0),
+        "busy",
+        Color::new(80, 80, 80),
+        Anchor::End,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn draw_panel(
+    scene: &mut Scene,
+    schedule: &Schedule,
+    panel: &Panel,
+    opts: &RenderOptions,
+    plot_x: f64,
+    plot_w: f64,
+    composites: &[Task],
+    types_seen: &mut Vec<String>,
+) {
+    let c = &panel.cluster;
+    let panel_h = panel.row_h * f64::from(c.hosts);
+    let axes_size = opts.colormap.config.font_size_axes;
+
+    // Frame and cluster name.
+    scene.rect_stroked(
+        plot_x,
+        panel.y,
+        plot_w,
+        panel_h,
+        Color::WHITE,
+        Color::new(60, 60, 60),
+    );
+    scene.text(
+        4.0,
+        panel.y + axes_size,
+        axes_size,
+        c.name.clone(),
+        Color::BLACK,
+        Anchor::Start,
+    );
+
+    // Host labels: subsample so they never collide.
+    let label_every = (axes_size / panel.row_h).ceil().max(1.0) as u32;
+    if panel.row_h >= 3.0 {
+        for h in (0..c.hosts).step_by(label_every as usize) {
+            scene.text(
+                plot_x - 4.0,
+                panel.y + f64::from(h) * panel.row_h + panel.row_h / 2.0 + axes_size * 0.35,
+                (axes_size - 3.0).max(5.0),
+                h.to_string(),
+                Color::new(80, 80, 80),
+                Anchor::End,
+            );
+        }
+    }
+
+    let Some(ext) = panel.extent else {
+        // Nothing scheduled on this cluster: frame + axis line only.
+        scene.line(
+            plot_x,
+            panel.y + panel_h,
+            plot_x + plot_w,
+            panel.y + panel_h,
+            Color::BLACK,
+        );
+        return;
+    };
+    let span = ext.span().max(1e-300);
+    let to_x = |t: f64| plot_x + (t - ext.start) / span * plot_w;
+
+    // Grid + axis ticks.
+    let tick_vals = ticks::ticks(ext.start, ext.end, (plot_w / 90.0) as usize + 2);
+    for &t in &tick_vals {
+        let x = to_x(t);
+        scene.line(x, panel.y, x, panel.y + panel_h, Color::new(225, 225, 225));
+        scene.line(x, panel.y + panel_h, x, panel.y + panel_h + 4.0, Color::BLACK);
+        scene.text(
+            x,
+            panel.y + panel_h + AXIS_H - 6.0,
+            axes_size - 2.0,
+            ticks::format_tick(t),
+            Color::BLACK,
+            Anchor::Middle,
+        );
+    }
+    scene.line(
+        plot_x,
+        panel.y + panel_h,
+        plot_x + plot_w,
+        panel.y + panel_h,
+        Color::BLACK,
+    );
+
+    // Tasks, then composites on top.
+    for task in &schedule.tasks {
+        let pair = opts.colormap.resolve(&task.kind);
+        if !types_seen.contains(&task.kind) {
+            types_seen.push(task.kind.clone());
+        }
+        draw_task_rects(scene, task, c.id, panel, opts, &ext, to_x, pair);
+    }
+    for comp in composites {
+        let types: Vec<&str> = comp
+            .attrs
+            .iter()
+            .find(|(k, _)| k == ATTR_TYPES)
+            .map(|(_, v)| v.split('+').collect())
+            .unwrap_or_default();
+        let pair = opts.colormap.resolve_composite(types);
+        if !types_seen.iter().any(|t| t == COMPOSITE_KIND) {
+            types_seen.push(COMPOSITE_KIND.to_string());
+        }
+        draw_task_rects(scene, comp, c.id, panel, opts, &ext, to_x, pair);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn draw_task_rects(
+    scene: &mut Scene,
+    task: &Task,
+    cluster: u32,
+    panel: &Panel,
+    opts: &RenderOptions,
+    ext: &TimeExtent,
+    to_x: impl Fn(f64) -> f64,
+    pair: ColorPair,
+) {
+    // Clip to the panel extent (zooming drops invisible tasks).
+    let t0 = task.start.max(ext.start);
+    let t1 = task.end.min(ext.end);
+    if t1 <= t0 && task.duration() > 0.0 {
+        return;
+    }
+    let x = to_x(t0);
+    let w = (to_x(t1) - x).max(0.5);
+
+    for a in &task.allocations {
+        if a.cluster != cluster {
+            continue;
+        }
+        for r in a.hosts.ranges() {
+            let ry = panel.y + f64::from(r.start) * panel.row_h;
+            let rh = f64::from(r.nb) * panel.row_h;
+            scene.rect_stroked(x, ry, w, rh, pair.bg, pair.bg.to_grayscale().contrasting_fg());
+
+            if opts.show_labels {
+                let cfg = &opts.colormap.config;
+                // Shrink the label to fit, but never below the configured
+                // minimum font size — below that, omit it (paper's
+                // min_fontsize_label knob).
+                let mut size = cfg.font_size_label.min(rh - 2.0);
+                while size >= cfg.min_font_size_label
+                    && text_width(&task.id, size) > w - 4.0
+                {
+                    size -= 1.0;
+                }
+                if size >= cfg.min_font_size_label && rh >= size {
+                    scene.text(
+                        x + w / 2.0,
+                        ry + rh / 2.0 + size * 0.4,
+                        size,
+                        task.id.clone(),
+                        pair.fg,
+                        Anchor::Middle,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn draw_legend(
+    scene: &mut Scene,
+    opts: &RenderOptions,
+    types: &[String],
+    mut x: f64,
+    y: f64,
+) {
+    let size = (opts.colormap.config.font_size_axes - 2.0).max(6.0);
+    for kind in types {
+        let pair = if kind == COMPOSITE_KIND {
+            opts.colormap.resolve_composite([] as [&str; 0])
+        } else {
+            opts.colormap.resolve(kind)
+        };
+        scene.rect_stroked(x, y, 10.0, 10.0, pair.bg, Color::BLACK);
+        scene.text(
+            x + 14.0,
+            y + 9.0,
+            size,
+            kind.clone(),
+            Color::BLACK,
+            Anchor::Start,
+        );
+        x += 14.0 + text_width(kind, size) + 16.0;
+        if x > scene.width {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // option tweaking reads clearer
+mod tests {
+    use super::*;
+    use crate::options::RenderOptions;
+    use crate::scene::Prim;
+    use jedule_core::{Allocation, HostSet, ScheduleBuilder};
+
+    fn sched() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c0", 8)
+            .cluster(1, "c1", 4)
+            .meta("alg", "demo")
+            .task(Task::new("a", "computation", 0.0, 4.0).on(Allocation::contiguous(0, 0, 8)))
+            .task(Task::new("b", "transfer", 3.0, 6.0).on(Allocation::contiguous(0, 2, 2)))
+            .task(Task::new("c", "computation", 1.0, 5.0).on(Allocation::contiguous(1, 0, 4)))
+            .build()
+            .unwrap()
+    }
+
+    fn rects(scene: &Scene) -> Vec<(f64, f64, f64, f64)> {
+        scene
+            .prims
+            .iter()
+            .filter_map(|p| match p {
+                Prim::Rect { x, y, w, h, .. } => Some((*x, *y, *w, *h)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn emits_rect_per_contiguous_range() {
+        let s = ScheduleBuilder::new()
+            .cluster(0, "c", 8)
+            .task(Task::new("x", "t", 0.0, 1.0).on(Allocation::new(
+                0,
+                HostSet::from_hosts([0, 1, 4, 5, 7]),
+            )))
+            .build()
+            .unwrap();
+        let scene = layout(&s, &RenderOptions::default());
+        // 1 panel frame + 3 task rects (ranges 0-1, 4-5, 7) + 1 legend swatch.
+        let (r, _, _) = scene.census();
+        assert_eq!(r, 1 + 3 + 1);
+    }
+
+    #[test]
+    fn scene_has_positive_size_and_prims() {
+        let scene = layout(&sched(), &RenderOptions::default());
+        assert!(scene.width > 0.0 && scene.height > 0.0);
+        let (r, l, t) = scene.census();
+        assert!(r >= 5, "rects {r}");
+        assert!(l > 4, "lines {l}");
+        assert!(t > 4, "texts {t}");
+    }
+
+    #[test]
+    fn cluster_filter_drops_other_panels() {
+        let all = layout(&sched(), &RenderOptions::default());
+        let mut o = RenderOptions::default();
+        o.cluster = Some(1);
+        let one = layout(&sched(), &o);
+        assert!(one.height < all.height);
+        let (r_all, ..) = all.census();
+        let (r_one, ..) = one.census();
+        assert!(r_one < r_all);
+    }
+
+    #[test]
+    fn composites_add_rects() {
+        let mut with = RenderOptions::default();
+        with.show_composites = true;
+        let mut without = RenderOptions::default();
+        without.show_composites = false;
+        let (rw, ..) = layout(&sched(), &with).census();
+        let (ro, ..) = layout(&sched(), &without).census();
+        // Tasks a and b overlap on hosts 2-3 of cluster 0 → 1 extra rect
+        // and 1 extra legend entry.
+        assert_eq!(rw, ro + 2);
+    }
+
+    #[test]
+    fn time_window_clips_tasks() {
+        let mut o = RenderOptions::default();
+        o.time_window = Some((10.0, 20.0)); // beyond all tasks
+        o.show_composites = false;
+        let scene = layout(&sched(), &o);
+        // Only frames + legend remain.
+        let task_rects: Vec<_> = rects(&scene)
+            .into_iter()
+            .filter(|(_, _, w, h)| *w > 1.0 && *h > 1.0 && *w < 700.0)
+            .collect();
+        // Panel frames are full-width; tasks were clipped away.
+        assert!(task_rects.iter().all(|(_, _, w, _)| *w > 600.0 || *w <= 10.0),
+            "unexpected rects {task_rects:?}");
+    }
+
+    #[test]
+    fn explicit_height_respected() {
+        let mut o = RenderOptions::default();
+        o.height = Some(480.0);
+        let scene = layout(&sched(), &o);
+        assert_eq!(scene.height, 480.0);
+    }
+
+    #[test]
+    fn scaled_vs_aligned_differ() {
+        use jedule_core::AlignMode;
+        let mut scaled = RenderOptions::default();
+        scaled.align = AlignMode::Scaled;
+        scaled.show_composites = false;
+        let mut aligned = RenderOptions::default();
+        aligned.align = AlignMode::Aligned;
+        aligned.show_composites = false;
+        let s_scene = layout(&sched(), &scaled);
+        let a_scene = layout(&sched(), &aligned);
+        // Task "c" on cluster 1 spans the full width in scaled mode
+        // (extent [1,5]) but not in aligned mode (extent [0,6]).
+        assert_ne!(rects(&s_scene), rects(&a_scene));
+    }
+
+    #[test]
+    fn labels_suppressed_below_min_font() {
+        let s = ScheduleBuilder::new()
+            .cluster(0, "c", 2)
+            .task(Task::new("very-long-task-identifier", "t", 0.0, 0.001)
+                .on(Allocation::contiguous(0, 0, 1)))
+            .task(Task::new("q", "t", 0.001, 10.0).on(Allocation::contiguous(0, 1, 1)))
+            .build()
+            .unwrap();
+        let mut o = RenderOptions::default();
+        o.height = Some(300.0);
+        let scene = layout(&s, &o);
+        let texts: Vec<&String> = scene
+            .prims
+            .iter()
+            .filter_map(|p| match p {
+                Prim::Text { text, .. } => Some(text),
+                _ => None,
+            })
+            .collect();
+        assert!(!texts.iter().any(|t| t.as_str() == "very-long-task-identifier"));
+        assert!(texts.iter().any(|t| t.as_str() == "q"));
+    }
+
+    #[test]
+    fn meta_header_rendered_when_enabled() {
+        let mut on = RenderOptions::default();
+        on.show_meta = true;
+        let mut off = RenderOptions::default();
+        off.show_meta = false;
+        let scene_on = layout(&sched(), &on);
+        let scene_off = layout(&sched(), &off);
+        let has_meta = |s: &Scene| {
+            s.prims.iter().any(|p| matches!(p, Prim::Text { text, .. } if text.contains("alg = demo")))
+        };
+        assert!(has_meta(&scene_on));
+        assert!(!has_meta(&scene_off));
+    }
+
+    #[test]
+    fn title_rendered() {
+        let o = RenderOptions::default().with_title("CPA vs MCPA");
+        let scene = layout(&sched(), &o);
+        assert!(scene
+            .prims
+            .iter()
+            .any(|p| matches!(p, Prim::Text { text, .. } if text == "CPA vs MCPA")));
+    }
+
+    #[test]
+    fn huge_cluster_rows_shrink() {
+        let mut b = ScheduleBuilder::new().cluster(0, "big", 1024);
+        b = b.simple_task("job", 0.0, 10.0, 0, 0, 512);
+        let s = b.build().unwrap();
+        let scene = layout(&s, &RenderOptions::default());
+        // Auto height stays bounded even for 1024 rows: 1 px per row
+        // plus fixed chrome.
+        assert!(scene.height < 1200.0, "height {}", scene.height);
+    }
+
+    #[test]
+    fn profile_strip_adds_height_and_rects() {
+        let mut with = RenderOptions::default();
+        with.show_profile = true;
+        let without = RenderOptions::default();
+        let s_with = layout(&sched(), &with);
+        let s_without = layout(&sched(), &without);
+        assert!(s_with.height > s_without.height);
+        let (r_with, ..) = s_with.census();
+        let (r_without, ..) = s_without.census();
+        // Frame + at least one busy bar.
+        assert!(r_with >= r_without + 2, "{r_with} vs {r_without}");
+        assert!(s_with
+            .prims
+            .iter()
+            .any(|p| matches!(p, Prim::Text { text, .. } if text == "busy")));
+    }
+
+    #[test]
+    fn empty_schedule_still_renders() {
+        let s = ScheduleBuilder::new().cluster(0, "c", 4).build().unwrap();
+        let scene = layout(&s, &RenderOptions::default());
+        let (r, l, _) = scene.census();
+        assert!(r >= 1);
+        assert!(l >= 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # jedule-render
+//!
+//! Rendering back-ends for the Jedule reproduction.
+//!
+//! A schedule is first turned into a resolution-independent [`Scene`] of
+//! drawing primitives by the [`layout`](mod@layout) engine (panels per cluster, task
+//! rectangles, composite overlays, axes, labels, meta header), then any
+//! back-end serializes the scene:
+//!
+//! * [`svg`] — scalable vector graphics,
+//! * [`png`] — true-color PNG via the built-in software rasterizer
+//!   ([`raster`]) and a from-scratch encoder with fixed-Huffman DEFLATE,
+//! * [`jpeg`] — baseline JFIF encoder (+ verification decoder),
+//! * [`ppm`] — portable pixmap (handy for golden-image tests),
+//! * [`pdf`] — single-page PDF 1.4 with Helvetica text, matching the
+//!   paper's "high quality graphics … to be included in articles",
+//! * [`ascii`] — ANSI terminal rendering used by the interactive mode.
+//!
+//! The choice of output format, canvas size, color map, alignment mode and
+//! time window mirrors the original command-line parameters (paper,
+//! §II-D2).
+
+pub mod ascii;
+pub mod dagviz;
+pub mod deflate;
+pub mod font;
+pub mod jpeg;
+pub mod layout;
+pub mod options;
+pub mod pdf;
+pub mod png;
+pub mod ppm;
+pub mod raster;
+pub mod scene;
+pub mod svg;
+pub mod ticks;
+
+pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
+pub use layout::layout;
+pub use options::{OutputFormat, RenderOptions};
+pub use scene::{Anchor, Prim, Scene};
+
+use jedule_core::Schedule;
+
+/// One-call rendering: lays out `schedule` and serializes it in
+/// `options.format`, returning the output bytes.
+pub fn render(schedule: &Schedule, options: &RenderOptions) -> Vec<u8> {
+    let scene = layout(schedule, options);
+    match options.format {
+        OutputFormat::Svg => svg::to_svg(&scene).into_bytes(),
+        OutputFormat::Png => png::to_png(&scene),
+        OutputFormat::Jpeg => jpeg::to_jpeg(&scene, 90),
+        OutputFormat::Ppm => ppm::to_ppm(&scene),
+        OutputFormat::Pdf => pdf::to_pdf(&scene),
+        OutputFormat::Ascii => ascii::to_ascii(&scene, true).into_bytes(),
+    }
+}
+
+/// Renders to a file, picking the format from `options`.
+pub fn render_to_file(
+    schedule: &Schedule,
+    options: &RenderOptions,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, render(schedule, options))
+}

@@ -1,0 +1,167 @@
+//! Rendering options, mirroring the Jedule command-line parameters
+//! (paper, §II-D2): output format, width/height, color map, alignment of
+//! cluster start/finish times, plus the interactive-mode state (cluster
+//! selection, time window).
+
+use jedule_core::{AlignMode, ColorMap};
+
+/// Output graphic formats supported by [`crate::render`].
+///
+/// Covers the original's PNG, JPEG and PDF (paper, §II-D2) plus SVG, PPM
+/// and ANSI. All encoders are implemented in-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    #[default]
+    Svg,
+    Png,
+    /// Baseline JFIF at quality 90 (use [`crate::jpeg`] directly for
+    /// other qualities).
+    Jpeg,
+    Ppm,
+    Pdf,
+    Ascii,
+}
+
+impl OutputFormat {
+    /// Parses a format name as given on the command line.
+    pub fn parse(name: &str) -> Option<OutputFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "svg" => Some(OutputFormat::Svg),
+            "png" => Some(OutputFormat::Png),
+            "jpg" | "jpeg" => Some(OutputFormat::Jpeg),
+            "ppm" => Some(OutputFormat::Ppm),
+            "pdf" => Some(OutputFormat::Pdf),
+            "ascii" | "ansi" | "txt" => Some(OutputFormat::Ascii),
+            _ => None,
+        }
+    }
+
+    pub fn extension(&self) -> &'static str {
+        match self {
+            OutputFormat::Svg => "svg",
+            OutputFormat::Png => "png",
+            OutputFormat::Jpeg => "jpg",
+            OutputFormat::Ppm => "ppm",
+            OutputFormat::Pdf => "pdf",
+            OutputFormat::Ascii => "txt",
+        }
+    }
+}
+
+/// All knobs of a rendering run.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    pub format: OutputFormat,
+    /// Canvas width in pixels (points for PDF).
+    pub width: f64,
+    /// Canvas height in pixels; `None` picks a height from the number of
+    /// resources.
+    pub height: Option<f64>,
+    pub colormap: ColorMap,
+    /// Scaled vs aligned cluster time axes (paper, §II-C3).
+    pub align: AlignMode,
+    /// Draw composite tasks over overlapping regions (paper, Fig. 3).
+    pub show_composites: bool,
+    /// Restrict to one cluster (interactive mode selection).
+    pub cluster: Option<u32>,
+    /// Restrict to a time window (interactive mode zooming).
+    pub time_window: Option<(f64, f64)>,
+    /// Title drawn above the chart.
+    pub title: Option<String>,
+    /// Render the meta-info header block.
+    pub show_meta: bool,
+    /// Label each task rectangle with its id when it fits.
+    pub show_labels: bool,
+    /// Draw a busy-hosts-over-time strip under the panels (the profile
+    /// the Quicksort case study reads off the chart).
+    pub show_profile: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            format: OutputFormat::Svg,
+            width: 800.0,
+            height: None,
+            colormap: ColorMap::standard(),
+            align: AlignMode::Aligned,
+            show_composites: true,
+            cluster: None,
+            time_window: None,
+            title: None,
+            show_meta: true,
+            show_labels: true,
+            show_profile: false,
+        }
+    }
+}
+
+impl RenderOptions {
+    pub fn with_format(mut self, format: OutputFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    pub fn with_size(mut self, width: f64, height: Option<f64>) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    pub fn with_colormap(mut self, map: ColorMap) -> Self {
+        self.colormap = map;
+        self
+    }
+
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    pub fn scaled(mut self) -> Self {
+        self.align = AlignMode::Scaled;
+        self
+    }
+
+    pub fn grayscale(mut self) -> Self {
+        self.colormap = self.colormap.to_grayscale();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(OutputFormat::parse("PNG"), Some(OutputFormat::Png));
+        assert_eq!(OutputFormat::parse("svg"), Some(OutputFormat::Svg));
+        assert_eq!(OutputFormat::parse("pdf"), Some(OutputFormat::Pdf));
+        assert_eq!(OutputFormat::parse("ansi"), Some(OutputFormat::Ascii));
+        assert_eq!(OutputFormat::parse("jpeg"), Some(OutputFormat::Jpeg));
+        assert_eq!(OutputFormat::parse("JPG"), Some(OutputFormat::Jpeg));
+        assert_eq!(OutputFormat::parse("bmp"), None);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let o = RenderOptions::default()
+            .with_format(OutputFormat::Png)
+            .with_size(640.0, Some(480.0))
+            .with_title("t")
+            .scaled()
+            .grayscale();
+        assert_eq!(o.format, OutputFormat::Png);
+        assert_eq!(o.width, 640.0);
+        assert_eq!(o.height, Some(480.0));
+        assert_eq!(o.align, AlignMode::Scaled);
+        assert!(o.colormap.name.ends_with("_gray"));
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(OutputFormat::Png.extension(), "png");
+        assert_eq!(OutputFormat::Ascii.extension(), "txt");
+    }
+}

@@ -1,0 +1,261 @@
+//! PDF back-end: a from-scratch single-page PDF 1.4 writer.
+//!
+//! The paper emphasizes Jedule's "PDF export function … to create
+//! documents with hundreds of schedule pictures" (§III-B). This writer
+//! emits an uncompressed content stream with filled rectangles, lines and
+//! Helvetica text — fully valid vector output that embeds cleanly in
+//! LaTeX documents.
+
+use crate::scene::{Anchor, Prim, Scene};
+use std::fmt::Write as _;
+
+fn pdf_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '(' => out.push_str("\\("),
+            ')' => out.push_str("\\)"),
+            '\\' => out.push_str("\\\\"),
+            c if c.is_ascii() && !c.is_control() => out.push(c),
+            _ => out.push('?'), // non-ASCII: Helvetica/WinAnsi subset only
+        }
+    }
+    out
+}
+
+fn rg(out: &mut String, c: jedule_core::Color) {
+    let _ = write!(
+        out,
+        "{:.3} {:.3} {:.3}",
+        f64::from(c.r) / 255.0,
+        f64::from(c.g) / 255.0,
+        f64::from(c.b) / 255.0
+    );
+}
+
+/// Approximate Helvetica advance width for ASCII, in 1/1000 em.
+/// (Coarse 3-bucket model: narrow, regular, wide.)
+fn helv_width(c: char) -> f64 {
+    match c {
+        'i' | 'j' | 'l' | '!' | '\'' | '.' | ',' | ':' | ';' | '|' | 'I' => 278.0,
+        'm' | 'M' | 'W' | 'w' | '@' => 889.0,
+        _ => 556.0,
+    }
+}
+
+/// Approximate width of a text run at `size` points.
+pub fn text_width_pt(text: &str, size: f64) -> f64 {
+    text.chars().map(helv_width).sum::<f64>() / 1000.0 * size
+}
+
+/// Serializes a scene as a single-page PDF.
+pub fn to_pdf(scene: &Scene) -> Vec<u8> {
+    let h = scene.height;
+    // Build the content stream (PDF origin is bottom-left; flip y).
+    let mut cs = String::new();
+    // Background.
+    cs.push_str("q ");
+    rg(&mut cs, scene.background);
+    let _ = writeln!(cs, " rg 0 0 {:.2} {:.2} re f Q", scene.width, scene.height);
+
+    for p in &scene.prims {
+        match p {
+            Prim::Rect {
+                x,
+                y,
+                w,
+                h: rh,
+                fill,
+                stroke,
+            } => {
+                cs.push_str("q ");
+                rg(&mut cs, *fill);
+                let _ = write!(
+                    cs,
+                    " rg {:.2} {:.2} {:.2} {:.2} re f",
+                    x,
+                    h - y - rh,
+                    w.max(0.0),
+                    rh.max(0.0)
+                );
+                if let Some(s) = stroke {
+                    cs.push(' ');
+                    rg(&mut cs, *s);
+                    let _ = write!(
+                        cs,
+                        " RG 0.5 w {:.2} {:.2} {:.2} {:.2} re S",
+                        x,
+                        h - y - rh,
+                        w.max(0.0),
+                        rh.max(0.0)
+                    );
+                }
+                cs.push_str(" Q\n");
+            }
+            Prim::Line { x1, y1, x2, y2, color } => {
+                cs.push_str("q ");
+                rg(&mut cs, *color);
+                let _ = writeln!(
+                    cs,
+                    " RG 0.5 w {:.2} {:.2} m {:.2} {:.2} l S Q",
+                    x1,
+                    h - y1,
+                    x2,
+                    h - y2
+                );
+            }
+            Prim::Text {
+                x,
+                y,
+                size,
+                text,
+                color,
+                anchor,
+            } => {
+                let width = text_width_pt(text, *size);
+                let tx = match anchor {
+                    Anchor::Start => *x,
+                    Anchor::Middle => x - width / 2.0,
+                    Anchor::End => x - width,
+                };
+                cs.push_str("q BT /F1 ");
+                let _ = write!(cs, "{size:.2} Tf ");
+                rg(&mut cs, *color);
+                let _ = writeln!(
+                    cs,
+                    " rg {:.2} {:.2} Td ({}) Tj ET Q",
+                    tx,
+                    h - y,
+                    pdf_escape(text)
+                );
+            }
+        }
+    }
+
+    // Assemble objects.
+    let mut body: Vec<(usize, String)> = Vec::new();
+    body.push((1, "<< /Type /Catalog /Pages 2 0 R >>".to_string()));
+    body.push((
+        2,
+        "<< /Type /Pages /Kids [3 0 R] /Count 1 >>".to_string(),
+    ));
+    body.push((
+        3,
+        format!(
+            "<< /Type /Page /Parent 2 0 R /MediaBox [0 0 {:.2} {:.2}] /Contents 4 0 R /Resources << /Font << /F1 5 0 R >> >> >>",
+            scene.width, scene.height
+        ),
+    ));
+    body.push((
+        4,
+        format!("<< /Length {} >>\nstream\n{}endstream", cs.len(), cs),
+    ));
+    body.push((
+        5,
+        "<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica /Encoding /WinAnsiEncoding >>"
+            .to_string(),
+    ));
+
+    let mut out = String::from("%PDF-1.4\n%\u{00e2}\u{00e3}\u{00cf}\u{00d3}\n");
+    let mut offsets = vec![0usize; body.len() + 1];
+    for (id, content) in &body {
+        offsets[*id] = out.len();
+        let _ = write!(out, "{id} 0 obj\n{content}\nendobj\n");
+    }
+    let xref_pos = out.len();
+    let _ = write!(out, "xref\n0 {}\n", body.len() + 1);
+    out.push_str("0000000000 65535 f \n");
+    for off in &offsets[1..] {
+        let _ = writeln!(out, "{off:010} 00000 n ");
+    }
+    let _ = write!(
+        out,
+        "trailer\n<< /Size {} /Root 1 0 R >>\nstartxref\n{}\n%%EOF\n",
+        body.len() + 1,
+        xref_pos
+    );
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::Color;
+
+    fn scene() -> Scene {
+        let mut s = Scene::new(200.0, 100.0);
+        s.rect(10.0, 10.0, 50.0, 20.0, Color::new(0, 0, 255));
+        s.line(0.0, 0.0, 200.0, 100.0, Color::BLACK);
+        s.text(100.0, 50.0, 12.0, "task (1)", Color::BLACK, Anchor::Middle);
+        s
+    }
+
+    #[test]
+    fn header_and_trailer() {
+        let pdf = to_pdf(&scene());
+        let text = String::from_utf8_lossy(&pdf);
+        assert!(text.starts_with("%PDF-1.4"));
+        assert!(text.trim_end().ends_with("%%EOF"));
+        assert!(text.contains("/Type /Catalog"));
+        assert!(text.contains("/BaseFont /Helvetica"));
+        assert!(text.contains("/MediaBox [0 0 200.00 100.00]"));
+    }
+
+    #[test]
+    fn xref_offsets_are_accurate() {
+        let pdf = to_pdf(&scene());
+        let text = String::from_utf8_lossy(&pdf).into_owned();
+        // Each "N 0 obj" must start exactly at the offset listed in xref.
+        let xref_at = text.find("xref\n").unwrap();
+        let lines: Vec<&str> = text[xref_at..].lines().collect();
+        // lines[0]="xref", [1]="0 6", [2]=free entry, then objects 1..=5.
+        for (i, line) in lines[3..8].iter().enumerate() {
+            let off: usize = line[..10].parse().unwrap();
+            let expect = format!("{} 0 obj", i + 1);
+            assert!(
+                text[off..].starts_with(&expect),
+                "object {} offset {off} points at {:?}",
+                i + 1,
+                &text[off..off + 10.min(text.len() - off)]
+            );
+        }
+    }
+
+    #[test]
+    fn stream_length_matches() {
+        let pdf = to_pdf(&scene());
+        let text = String::from_utf8_lossy(&pdf).into_owned();
+        let len_at = text.find("/Length ").unwrap() + "/Length ".len();
+        let len: usize = text[len_at..].split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap();
+        let stream_at = text.find("stream\n").unwrap() + "stream\n".len();
+        let end_at = text.find("endstream").unwrap();
+        assert_eq!(end_at - stream_at, len);
+    }
+
+    #[test]
+    fn text_parentheses_escaped() {
+        let pdf = to_pdf(&scene());
+        let text = String::from_utf8_lossy(&pdf);
+        assert!(text.contains("(task \\(1\\))"));
+    }
+
+    #[test]
+    fn y_axis_flipped() {
+        // A rect at scene top (y=0) must be near PDF y = height.
+        let mut s = Scene::new(100.0, 100.0);
+        s.rect(0.0, 0.0, 10.0, 10.0, Color::BLACK);
+        let text = String::from_utf8_lossy(&to_pdf(&s)).into_owned();
+        assert!(text.contains("0.00 90.00 10.00 10.00 re f"), "{text}");
+    }
+
+    #[test]
+    fn helvetica_widths_monotone() {
+        assert!(text_width_pt("iii", 10.0) < text_width_pt("mmm", 10.0));
+        assert!(text_width_pt("abc", 20.0) > text_width_pt("abc", 10.0));
+    }
+
+    #[test]
+    fn non_ascii_replaced() {
+        assert_eq!(pdf_escape("café"), "caf?");
+    }
+}

@@ -1,0 +1,207 @@
+//! A from-scratch PNG encoder.
+//!
+//! Produces a valid true-color (8-bit RGB) PNG. Scanlines are compressed
+//! with the crate's own fixed-Huffman DEFLATE ([`crate::deflate`]);
+//! [`zlib_stored`] remains available for uncompressed output. Everything
+//! is implemented in-tree — no compression or image dependencies.
+
+use crate::raster::{rasterize, Canvas};
+use crate::scene::Scene;
+
+/// CRC-32 (ISO 3309) over `data`, as required for PNG chunks.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Bitwise implementation; fine for chart-sized images.
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Adler-32 checksum, as required by the zlib wrapper.
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let (mut a, mut b) = (1u32, 0u32);
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Wraps raw bytes in a zlib stream of stored (uncompressed) deflate
+/// blocks.
+pub fn zlib_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 65_535 * 5 + 16);
+    out.push(0x78); // CMF: deflate, 32K window
+    out.push(0x01); // FLG: check bits, no dict, fastest
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        out.push(u8::from(last));
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// Encodes a canvas as a PNG file.
+pub fn encode(canvas: &Canvas) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n']);
+
+    // IHDR: width, height, bit depth 8, color type 2 (RGB), default rest.
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(canvas.width as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(canvas.height as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]);
+    chunk(&mut out, b"IHDR", &ihdr);
+
+    // IDAT: each scanline prefixed with filter byte 0 (None).
+    let stride = canvas.width * 3;
+    let mut raw = Vec::with_capacity((stride + 1) * canvas.height);
+    for y in 0..canvas.height {
+        raw.push(0);
+        raw.extend_from_slice(&canvas.pixels[y * stride..(y + 1) * stride]);
+    }
+    chunk(&mut out, b"IDAT", &crate::deflate::zlib_compress(&raw));
+    chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Rasterizes a scene and encodes it as PNG.
+pub fn to_png(scene: &Scene) -> Vec<u8> {
+    encode(&rasterize(scene))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::Color;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"IEND"), 0xae42_6082);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11e6_0398);
+    }
+
+    fn parse_chunks(png: &[u8]) -> Vec<(String, Vec<u8>)> {
+        assert_eq!(&png[..8], &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n']);
+        let mut i = 8;
+        let mut out = Vec::new();
+        while i < png.len() {
+            let len = u32::from_be_bytes(png[i..i + 4].try_into().unwrap()) as usize;
+            let kind = String::from_utf8(png[i + 4..i + 8].to_vec()).unwrap();
+            let payload = png[i + 8..i + 8 + len].to_vec();
+            let stored_crc = u32::from_be_bytes(png[i + 8 + len..i + 12 + len].try_into().unwrap());
+            let mut check = png[i + 4..i + 8 + len].to_vec();
+            check.splice(..0, std::iter::empty());
+            assert_eq!(crc32(&check), stored_crc, "chunk {kind} CRC");
+            out.push((kind, payload));
+            i += 12 + len;
+        }
+        out
+    }
+
+    /// Decodes any zlib stream this crate produces.
+    fn zlib_decode(z: &[u8]) -> Vec<u8> {
+        crate::deflate::zlib_decompress(z).expect("valid zlib stream")
+    }
+
+    #[test]
+    fn png_structure_valid() {
+        let c = Canvas::new(3, 2, Color::new(10, 20, 30));
+        let png = encode(&c);
+        let chunks = parse_chunks(&png);
+        assert_eq!(chunks[0].0, "IHDR");
+        assert_eq!(chunks.last().unwrap().0, "IEND");
+        let ihdr = &chunks[0].1;
+        assert_eq!(u32::from_be_bytes(ihdr[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_be_bytes(ihdr[4..8].try_into().unwrap()), 2);
+        assert_eq!(ihdr[8], 8); // bit depth
+        assert_eq!(ihdr[9], 2); // RGB
+    }
+
+    #[test]
+    fn png_pixels_roundtrip() {
+        let mut c = Canvas::new(4, 3, Color::WHITE);
+        c.put(1, 1, Color::new(255, 0, 0));
+        let png = encode(&c);
+        let chunks = parse_chunks(&png);
+        let idat = &chunks.iter().find(|(k, _)| k == "IDAT").unwrap().1;
+        let raw = zlib_decode(idat);
+        assert_eq!(raw.len(), (4 * 3 + 1) * 3);
+        // Row 1 starts at offset (stride+1)*1; pixel 1 at +1 (filter) + 3.
+        let off = (4 * 3 + 1) + 1 + 3;
+        assert_eq!(&raw[off..off + 3], &[255, 0, 0]);
+    }
+
+    #[test]
+    fn zlib_stored_splits_large_payloads() {
+        let data = vec![7u8; 70_000];
+        let z = zlib_stored(&data);
+        assert_eq!(zlib_decode(&z), data);
+    }
+
+    #[test]
+    fn zlib_stored_empty_payload() {
+        let z = zlib_stored(&[]);
+        assert_eq!(zlib_decode(&z), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn compressed_idat_is_much_smaller_than_stored() {
+        // A chart-like canvas: big uniform regions.
+        let mut c = Canvas::new(400, 300, Color::WHITE);
+        c.fill_rect(20.0, 20.0, 300.0, 100.0, Color::new(0, 0, 255));
+        c.fill_rect(40.0, 150.0, 200.0, 80.0, Color::new(0xf1, 0, 0));
+        let png = encode(&c);
+        let raw_size = 400 * 300 * 3;
+        assert!(
+            png.len() < raw_size / 20,
+            "png {} bytes for {} raw",
+            png.len(),
+            raw_size
+        );
+    }
+
+    #[test]
+    fn to_png_smoke() {
+        let mut s = Scene::new(16.0, 16.0);
+        s.rect(0.0, 0.0, 8.0, 8.0, Color::BLACK);
+        let png = to_png(&s);
+        assert!(png.len() > 50);
+        assert_eq!(&png[1..4], b"PNG");
+    }
+}

@@ -1,0 +1,91 @@
+//! Binary PPM (P6) output — trivial raster format, useful for golden-image
+//! testing and piping into external converters.
+
+use crate::raster::{rasterize, Canvas};
+use crate::scene::Scene;
+
+/// Encodes a canvas as binary PPM.
+pub fn encode(canvas: &Canvas) -> Vec<u8> {
+    let header = format!("P6\n{} {}\n255\n", canvas.width, canvas.height);
+    let mut out = Vec::with_capacity(header.len() + canvas.pixels.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&canvas.pixels);
+    out
+}
+
+/// Rasterizes a scene and encodes it as PPM.
+pub fn to_ppm(scene: &Scene) -> Vec<u8> {
+    encode(&rasterize(scene))
+}
+
+/// Decodes a binary PPM produced by [`encode`] (test helper and simple
+/// interchange reader).
+pub fn decode(data: &[u8]) -> Option<Canvas> {
+    // Parse "P6\nW H\n255\n".
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while fields.len() < 4 && i < data.len() {
+        while i < data.len() && data[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < data.len() && !data[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        fields.push(std::str::from_utf8(&data[start..i]).ok()?.to_owned());
+        if fields.len() == 4 {
+            i += 1; // single whitespace after maxval
+            break;
+        }
+    }
+    if fields.len() != 4 || fields[0] != "P6" || fields[3] != "255" {
+        return None;
+    }
+    let width: usize = fields[1].parse().ok()?;
+    let height: usize = fields[2].parse().ok()?;
+    let pixels = data.get(i..i + width * height * 3)?.to_vec();
+    Some(Canvas {
+        width,
+        height,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::Color;
+
+    #[test]
+    fn roundtrip() {
+        let mut c = Canvas::new(5, 4, Color::WHITE);
+        c.put(2, 1, Color::new(9, 8, 7));
+        let ppm = encode(&c);
+        let back = decode(&ppm).unwrap();
+        assert_eq!(back.width, 5);
+        assert_eq!(back.height, 4);
+        assert_eq!(back.get(2, 1), Some(Color::new(9, 8, 7)));
+        assert_eq!(back.pixels, c.pixels);
+    }
+
+    #[test]
+    fn header_format() {
+        let c = Canvas::new(3, 2, Color::BLACK);
+        let ppm = encode(&c);
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"not a ppm").is_none());
+        assert!(decode(b"P6\n3 2\n255\nxx").is_none()); // truncated
+    }
+
+    #[test]
+    fn to_ppm_smoke() {
+        let s = Scene::new(8.0, 8.0);
+        let ppm = to_ppm(&s);
+        assert!(decode(&ppm).is_some());
+    }
+}

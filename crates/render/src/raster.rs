@@ -1,0 +1,268 @@
+//! A small software rasterizer: an RGB canvas with rectangle, line and
+//! bitmap-text drawing. Used by the PNG and PPM back-ends.
+
+use crate::font;
+use crate::scene::{Anchor, Prim, Scene};
+use jedule_core::Color;
+
+/// An RGB8 pixel canvas.
+pub struct Canvas {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major RGB triples.
+    pub pixels: Vec<u8>,
+}
+
+impl Canvas {
+    /// Creates a canvas filled with `bg`.
+    pub fn new(width: usize, height: usize, bg: Color) -> Self {
+        let mut pixels = vec![0u8; width * height * 3];
+        for p in pixels.chunks_exact_mut(3) {
+            p[0] = bg.r;
+            p[1] = bg.g;
+            p[2] = bg.b;
+        }
+        Canvas {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Sets one pixel (silently clips).
+    pub fn put(&mut self, x: i64, y: i64, c: Color) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let i = (y as usize * self.width + x as usize) * 3;
+        self.pixels[i] = c.r;
+        self.pixels[i + 1] = c.g;
+        self.pixels[i + 2] = c.b;
+    }
+
+    /// Reads one pixel (None when out of bounds).
+    pub fn get(&self, x: usize, y: usize) -> Option<Color> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        let i = (y * self.width + x) * 3;
+        Some(Color::new(
+            self.pixels[i],
+            self.pixels[i + 1],
+            self.pixels[i + 2],
+        ))
+    }
+
+    /// Fills an axis-aligned rectangle (clipped).
+    pub fn fill_rect(&mut self, x: f64, y: f64, w: f64, h: f64, c: Color) {
+        let x0 = x.round().max(0.0) as usize;
+        let y0 = y.round().max(0.0) as usize;
+        let x1 = ((x + w).round().max(0.0) as usize).min(self.width);
+        let y1 = ((y + h).round().max(0.0) as usize).min(self.height);
+        for yy in y0..y1 {
+            let row = (yy * self.width + x0) * 3;
+            for i in 0..(x1.saturating_sub(x0)) {
+                let p = row + i * 3;
+                self.pixels[p] = c.r;
+                self.pixels[p + 1] = c.g;
+                self.pixels[p + 2] = c.b;
+            }
+        }
+    }
+
+    /// Draws a 1-pixel rectangle outline.
+    pub fn stroke_rect(&mut self, x: f64, y: f64, w: f64, h: f64, c: Color) {
+        let x0 = x.round() as i64;
+        let y0 = y.round() as i64;
+        let x1 = (x + w).round() as i64 - 1;
+        let y1 = (y + h).round() as i64 - 1;
+        if x1 < x0 || y1 < y0 {
+            return;
+        }
+        for xx in x0..=x1 {
+            self.put(xx, y0, c);
+            self.put(xx, y1, c);
+        }
+        for yy in y0..=y1 {
+            self.put(x0, yy, c);
+            self.put(x1, yy, c);
+        }
+    }
+
+    /// Bresenham line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, c: Color) {
+        let (mut x0, mut y0) = (x1.round() as i64, y1.round() as i64);
+        let (xe, ye) = (x2.round() as i64, y2.round() as i64);
+        let dx = (xe - x0).abs();
+        let dy = -(ye - y0).abs();
+        let sx = if x0 < xe { 1 } else { -1 };
+        let sy = if y0 < ye { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.put(x0, y0, c);
+            if x0 == xe && y0 == ye {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Draws text with the built-in 5×7 font. `y` is the baseline; `size`
+    /// is the approximate glyph height in pixels (rounded to an integer
+    /// scale factor ≥ 1).
+    pub fn text(&mut self, x: f64, y: f64, size: f64, text: &str, c: Color, anchor: Anchor) {
+        let scale = ((size / font::GLYPH_H as f64).round() as i64).max(1);
+        let advance = font::ADVANCE as i64 * scale;
+        let total = advance * text.chars().count() as i64;
+        let mut pen_x = match anchor {
+            Anchor::Start => x.round() as i64,
+            Anchor::Middle => x.round() as i64 - total / 2,
+            Anchor::End => x.round() as i64 - total,
+        };
+        let top = y.round() as i64 - font::GLYPH_H as i64 * scale;
+        for ch in text.chars() {
+            for (gx, gy) in font::lit_pixels(ch) {
+                for dx in 0..scale {
+                    for dy in 0..scale {
+                        self.put(
+                            pen_x + gx as i64 * scale + dx,
+                            top + gy as i64 * scale + dy,
+                            c,
+                        );
+                    }
+                }
+            }
+            pen_x += advance;
+        }
+    }
+}
+
+/// Rasterizes a scene into a canvas.
+pub fn rasterize(scene: &Scene) -> Canvas {
+    let mut c = Canvas::new(
+        scene.width.round().max(1.0) as usize,
+        scene.height.round().max(1.0) as usize,
+        scene.background,
+    );
+    for p in &scene.prims {
+        match p {
+            Prim::Rect {
+                x,
+                y,
+                w,
+                h,
+                fill,
+                stroke,
+            } => {
+                c.fill_rect(*x, *y, *w, *h, *fill);
+                if let Some(s) = stroke {
+                    c.stroke_rect(*x, *y, *w, *h, *s);
+                }
+            }
+            Prim::Line { x1, y1, x2, y2, color } => c.line(*x1, *y1, *x2, *y2, *color),
+            Prim::Text {
+                x,
+                y,
+                size,
+                text,
+                color,
+                anchor,
+            } => c.text(*x, *y, *size, text, *color, *anchor),
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_starts_with_background() {
+        let c = Canvas::new(4, 4, Color::new(1, 2, 3));
+        assert_eq!(c.get(0, 0), Some(Color::new(1, 2, 3)));
+        assert_eq!(c.get(3, 3), Some(Color::new(1, 2, 3)));
+        assert_eq!(c.get(4, 0), None);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut c = Canvas::new(4, 4, Color::WHITE);
+        c.fill_rect(-10.0, -10.0, 100.0, 100.0, Color::BLACK);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(c.get(x, y), Some(Color::BLACK));
+            }
+        }
+    }
+
+    #[test]
+    fn fill_rect_exact_bounds() {
+        let mut c = Canvas::new(10, 10, Color::WHITE);
+        c.fill_rect(2.0, 3.0, 4.0, 2.0, Color::BLACK);
+        assert_eq!(c.get(2, 3), Some(Color::BLACK));
+        assert_eq!(c.get(5, 4), Some(Color::BLACK));
+        assert_eq!(c.get(6, 4), Some(Color::WHITE));
+        assert_eq!(c.get(2, 5), Some(Color::WHITE));
+        assert_eq!(c.get(1, 3), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn stroke_rect_outline_only() {
+        let mut c = Canvas::new(10, 10, Color::WHITE);
+        c.stroke_rect(1.0, 1.0, 5.0, 5.0, Color::BLACK);
+        assert_eq!(c.get(1, 1), Some(Color::BLACK));
+        assert_eq!(c.get(5, 1), Some(Color::BLACK));
+        assert_eq!(c.get(3, 3), Some(Color::WHITE)); // interior untouched
+    }
+
+    #[test]
+    fn lines_connect_endpoints() {
+        let mut c = Canvas::new(10, 10, Color::WHITE);
+        c.line(0.0, 0.0, 9.0, 9.0, Color::BLACK);
+        assert_eq!(c.get(0, 0), Some(Color::BLACK));
+        assert_eq!(c.get(9, 9), Some(Color::BLACK));
+        assert_eq!(c.get(5, 5), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn text_paints_pixels() {
+        let mut c = Canvas::new(40, 20, Color::WHITE);
+        c.text(2.0, 15.0, 7.0, "A1", Color::BLACK, Anchor::Start);
+        let black = (0..20)
+            .flat_map(|y| (0..40).map(move |x| (x, y)))
+            .filter(|&(x, y)| c.get(x, y) == Some(Color::BLACK))
+            .count();
+        assert!(black > 10, "text should paint pixels, got {black}");
+    }
+
+    #[test]
+    fn anchored_text_positions() {
+        let mut a = Canvas::new(60, 20, Color::WHITE);
+        a.text(30.0, 15.0, 7.0, "X", Color::BLACK, Anchor::Middle);
+        // Middle anchor: pixels around x=30.
+        let min_x = (0..60)
+            .find(|&x| (0..20).any(|y| a.get(x, y) == Some(Color::BLACK)))
+            .unwrap();
+        assert!((25..=30).contains(&min_x), "min_x={min_x}");
+    }
+
+    #[test]
+    fn rasterize_scene() {
+        let mut s = Scene::new(20.0, 10.0);
+        s.rect(0.0, 0.0, 5.0, 5.0, Color::BLACK);
+        let c = rasterize(&s);
+        assert_eq!(c.width, 20);
+        assert_eq!(c.height, 10);
+        assert_eq!(c.get(1, 1), Some(Color::BLACK));
+        assert_eq!(c.get(10, 5), Some(Color::WHITE));
+    }
+}

@@ -1,0 +1,154 @@
+//! Resolution-independent drawing primitives.
+//!
+//! The layout engine emits a [`Scene`]; back-ends only need to know how to
+//! draw filled rectangles, lines and text.
+
+use jedule_core::Color;
+
+/// Horizontal text anchoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    Start,
+    Middle,
+    End,
+}
+
+/// A drawing primitive in scene coordinates (origin top-left, y grows
+/// downwards, units are pixels at the nominal canvas size).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prim {
+    /// A filled rectangle with optional 1px outline.
+    Rect {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: Color,
+        stroke: Option<Color>,
+    },
+    /// A straight line.
+    Line {
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        color: Color,
+    },
+    /// A text run. `y` is the baseline.
+    Text {
+        x: f64,
+        y: f64,
+        size: f64,
+        text: String,
+        color: Color,
+        anchor: Anchor,
+    },
+}
+
+/// A complete scene: canvas size, background and primitives in painter's
+/// order (later primitives draw on top).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    pub width: f64,
+    pub height: f64,
+    pub background: Color,
+    pub prims: Vec<Prim>,
+}
+
+impl Scene {
+    pub fn new(width: f64, height: f64) -> Self {
+        Scene {
+            width,
+            height,
+            background: Color::WHITE,
+            prims: Vec::new(),
+        }
+    }
+
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color) {
+        self.prims.push(Prim::Rect {
+            x,
+            y,
+            w,
+            h,
+            fill,
+            stroke: None,
+        });
+    }
+
+    pub fn rect_stroked(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color, stroke: Color) {
+        self.prims.push(Prim::Rect {
+            x,
+            y,
+            w,
+            h,
+            fill,
+            stroke: Some(stroke),
+        });
+    }
+
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, color: Color) {
+        self.prims.push(Prim::Line { x1, y1, x2, y2, color });
+    }
+
+    pub fn text(
+        &mut self,
+        x: f64,
+        y: f64,
+        size: f64,
+        text: impl Into<String>,
+        color: Color,
+        anchor: Anchor,
+    ) {
+        self.prims.push(Prim::Text {
+            x,
+            y,
+            size,
+            text: text.into(),
+            color,
+            anchor,
+        });
+    }
+
+    /// Count of primitives of each kind `(rects, lines, texts)` — used by
+    /// layout tests.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut r = (0, 0, 0);
+        for p in &self.prims {
+            match p {
+                Prim::Rect { .. } => r.0 += 1,
+                Prim::Line { .. } => r.1 += 1,
+                Prim::Text { .. } => r.2 += 1,
+            }
+        }
+        r
+    }
+}
+
+/// Approximate advance width of a text run in the built-in font, in pixels
+/// at font size `size`. (Glyphs are 5×7 on a 6-px advance at size 7.)
+pub fn text_width(text: &str, size: f64) -> f64 {
+    text.chars().count() as f64 * size * 6.0 / 7.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts() {
+        let mut s = Scene::new(100.0, 50.0);
+        s.rect(0.0, 0.0, 10.0, 10.0, Color::BLACK);
+        s.rect_stroked(0.0, 0.0, 10.0, 10.0, Color::BLACK, Color::WHITE);
+        s.line(0.0, 0.0, 5.0, 5.0, Color::BLACK);
+        s.text(0.0, 0.0, 12.0, "hi", Color::BLACK, Anchor::Start);
+        assert_eq!(s.census(), (2, 1, 1));
+    }
+
+    #[test]
+    fn text_width_scales() {
+        assert!(text_width("abc", 14.0) > text_width("abc", 7.0));
+        assert_eq!(text_width("", 12.0), 0.0);
+        assert!((text_width("a", 7.0) - 6.0).abs() < 1e-9);
+    }
+}

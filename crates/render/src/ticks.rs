@@ -1,0 +1,120 @@
+//! "Nice" axis tick computation for the time axis.
+
+/// Returns tick positions covering `[lo, hi]` with roughly `target` ticks,
+/// snapped to 1/2/5 × 10^k steps.
+pub fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo || target == 0 {
+        return vec![];
+    }
+    let step = nice_step((hi - lo) / target as f64);
+    let first = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = first;
+    let mut guard = 0;
+    while t <= hi + step * 1e-9 && guard < 10_000 {
+        // Snap tiny floating noise to zero.
+        let v = if t.abs() < step * 1e-9 { 0.0 } else { t };
+        out.push(v);
+        t += step;
+        guard += 1;
+    }
+    out
+}
+
+/// Rounds `raw` up to the nearest 1/2/5 × 10^k value.
+pub fn nice_step(raw: f64) -> f64 {
+    if raw <= 0.0 || !raw.is_finite() {
+        return 1.0;
+    }
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let nice = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+/// Formats a tick label compactly (trims trailing zeros).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    let s = if !(1e-3..1e6).contains(&a) {
+        format!("{v:.2e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    };
+    if s.contains('.') && !s.contains('e') {
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_steps() {
+        assert_eq!(nice_step(0.7), 1.0);
+        assert_eq!(nice_step(1.3), 2.0);
+        assert_eq!(nice_step(3.0), 5.0);
+        assert_eq!(nice_step(7.0), 10.0);
+        assert_eq!(nice_step(0.03), 0.05);
+        assert_eq!(nice_step(23.0), 50.0);
+    }
+
+    #[test]
+    fn ticks_cover_range() {
+        let t = ticks(0.0, 10.0, 5);
+        assert!(!t.is_empty());
+        assert!(t[0] >= 0.0);
+        assert!(*t.last().unwrap() <= 10.0 + 1e-9);
+        // Monotone.
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn ticks_handle_offsets() {
+        let t = ticks(140.0, 141.0, 4);
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|&v| (140.0..=141.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn degenerate_ranges_yield_nothing() {
+        assert!(ticks(5.0, 5.0, 4).is_empty());
+        assert!(ticks(5.0, 1.0, 4).is_empty());
+        assert!(ticks(f64::NAN, 1.0, 4).is_empty());
+        assert!(ticks(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn label_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(2.5), "2.5");
+        assert_eq!(format_tick(140.9), "141");
+        assert_eq!(format_tick(3.0), "3");
+        assert_eq!(format_tick(0.125), "0.125");
+    }
+
+    #[test]
+    fn zero_crossing_has_clean_zero() {
+        let t = ticks(-1.0, 1.0, 4);
+        assert!(t.contains(&0.0));
+    }
+}

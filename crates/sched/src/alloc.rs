@@ -1,0 +1,272 @@
+//! Allocation phase of the two-step algorithms (paper, §III-B).
+//!
+//! CPA decouples scheduling into an *allocation* phase — deciding how many
+//! processors `p(v)` each moldable task gets — and a *mapping* phase. The
+//! allocation phase balances the two lower bounds on the makespan:
+//!
+//! * `T_CP`: the critical-path length under the current allocation,
+//! * `T_A = (1/P) Σ_v T(v, p(v)) · p(v)`: the average work per processor.
+//!
+//! While `T_CP > T_A`, CPA grants one more processor to the critical-path
+//! task that benefits most. Growing allocations shortens the critical path
+//! but inflates the total area; the loop stops at the crossover.
+//!
+//! Bansal et al. observed that CPA "often reduces the potential task
+//! parallelism of a DAG by letting allocations grow too big, as it does
+//! not consider the precedence levels of the graph". **MCPA** adds one
+//! rule: the total allocation of a precedence level may not exceed the
+//! cluster size `P`.
+
+use jedule_dag::analysis::{critical_path, critical_path_time, levels, total_area_time};
+use jedule_dag::Dag;
+
+/// Result of an allocation phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocResult {
+    /// Processors per task, parallel to `dag.tasks`.
+    pub procs: Vec<u32>,
+    /// Final critical-path time `T_CP`.
+    pub t_cp: f64,
+    /// Final average-area time `T_A`.
+    pub t_a: f64,
+    /// Number of refinement iterations performed.
+    pub iterations: u32,
+}
+
+fn exec_times(dag: &Dag, procs: &[u32], speed: f64) -> Vec<f64> {
+    dag.tasks
+        .iter()
+        .zip(procs)
+        .map(|(t, &p)| t.exec_time(p, speed))
+        .collect()
+}
+
+/// Per-task cap: cluster size, further limited by the task's own
+/// `max_procs`.
+fn cap(dag: &Dag, t: usize, total_procs: u32) -> u32 {
+    match dag.tasks[t].max_procs {
+        Some(m) => m.min(total_procs),
+        None => total_procs,
+    }
+}
+
+/// Core allocation loop shared by CPA and MCPA. `level_cap` enables the
+/// MCPA per-level constraint.
+fn allocate(dag: &Dag, total_procs: u32, speed: f64, level_cap: bool) -> AllocResult {
+    let n = dag.task_count();
+    let mut procs = vec![1u32; n];
+    let task_levels = if n > 0 { levels(dag) } else { Vec::new() };
+    let n_levels = task_levels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut level_alloc = vec![0u64; n_levels];
+    for t in 0..n {
+        level_alloc[task_levels[t] as usize] += 1;
+    }
+
+    let mut iterations = 0u32;
+    let mut exec = exec_times(dag, &procs, speed);
+    let mut t_cp = critical_path_time(dag, &exec);
+    let mut t_a = total_area_time(dag, &exec, &procs, total_procs);
+
+    // Safety bound: allocations can only grow n * P times.
+    let max_iters = (n as u64 * u64::from(total_procs)).min(5_000_000);
+
+    while t_cp > t_a && u64::from(iterations) < max_iters {
+        // Candidates: critical-path tasks that may still grow.
+        let path = critical_path(dag, &exec);
+        let mut best: Option<(usize, f64)> = None;
+        for &v in &path {
+            if procs[v] >= cap(dag, v, total_procs) {
+                continue;
+            }
+            if level_cap && level_alloc[task_levels[v] as usize] >= u64::from(total_procs) {
+                // MCPA: this precedence level is saturated.
+                continue;
+            }
+            // Benefit criterion: largest reduction in execution time per
+            // processor added — the task whose T(v, p)/p ratio improves
+            // most (CPA's "biggest gain" rule).
+            let now = dag.tasks[v].exec_time(procs[v], speed);
+            let next = dag.tasks[v].exec_time(procs[v] + 1, speed);
+            let gain = now - next;
+            if gain <= 0.0 {
+                continue;
+            }
+            match best {
+                Some((_, g)) if g >= gain => {}
+                _ => best = Some((v, gain)),
+            }
+        }
+        let Some((v, _)) = best else {
+            break; // nothing on the critical path can improve
+        };
+        procs[v] += 1;
+        level_alloc[task_levels[v] as usize] += 1;
+        exec[v] = dag.tasks[v].exec_time(procs[v], speed);
+        t_cp = critical_path_time(dag, &exec);
+        t_a = total_area_time(dag, &exec, &procs, total_procs);
+        iterations += 1;
+    }
+
+    AllocResult {
+        procs,
+        t_cp,
+        t_a,
+        iterations,
+    }
+}
+
+/// CPA allocation: unconstrained growth of critical-path tasks.
+pub fn cpa_allocation(dag: &Dag, total_procs: u32, speed: f64) -> AllocResult {
+    allocate(dag, total_procs.max(1), speed, false)
+}
+
+/// MCPA allocation: growth capped so each precedence level's total
+/// allocation stays within the cluster size.
+pub fn mcpa_allocation(dag: &Dag, total_procs: u32, speed: f64) -> AllocResult {
+    allocate(dag, total_procs.max(1), speed, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_dag::{chain, fork_join, layered, DagTask, GenParams, SpeedupModel};
+
+    fn moldable(name: &str, work: f64, alpha: f64) -> DagTask {
+        let mut t = DagTask::new(name, "computation", work);
+        t.speedup = SpeedupModel::Amdahl { alpha };
+        t
+    }
+
+    #[test]
+    fn single_task_gets_many_procs() {
+        let mut d = Dag::new("one");
+        d.add_task(moldable("t", 100.0, 0.99));
+        let r = cpa_allocation(&d, 16, 1.0);
+        // With one task, T_A = T(v,p)·p/16; growing helps until crossover.
+        assert!(r.procs[0] > 1);
+        assert!(r.t_cp <= r.t_a + 1e-9 || r.procs[0] == 16);
+    }
+
+    #[test]
+    fn chain_allocations_grow() {
+        let mut d = chain(4, 50.0);
+        for t in &mut d.tasks {
+            t.speedup = SpeedupModel::Amdahl { alpha: 0.95 };
+            t.max_procs = None;
+        }
+        let r = cpa_allocation(&d, 8, 1.0);
+        // A serial chain *is* the critical path; all tasks should grow.
+        assert!(r.procs.iter().all(|&p| p >= 2), "{:?}", r.procs);
+    }
+
+    #[test]
+    fn sequential_tasks_stay_at_one() {
+        let mut d = Dag::new("seq");
+        d.add_task(DagTask::sequential("a", "c", 10.0));
+        d.add_task(DagTask::sequential("b", "c", 10.0));
+        d.add_edge(0, 1, 0.0);
+        let r = cpa_allocation(&d, 8, 1.0);
+        assert_eq!(r.procs, vec![1, 1]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn mcpa_respects_level_cap() {
+        // A wide level of 6 tasks on a 8-proc cluster: MCPA may grow the
+        // level's total allocation to at most 8.
+        let d = {
+            let mut d = fork_join(6, 80.0, 0.0);
+            for t in &mut d.tasks {
+                t.speedup = SpeedupModel::Amdahl { alpha: 0.98 };
+                t.max_procs = None;
+            }
+            d
+        };
+        let total = 8u32;
+        let r = mcpa_allocation(&d, total, 1.0);
+        let lv = levels(&d);
+        let n_levels = *lv.iter().max().unwrap() as usize + 1;
+        let mut per_level = vec![0u64; n_levels];
+        for t in 0..d.task_count() {
+            per_level[lv[t] as usize] += u64::from(r.procs[t]);
+        }
+        for (l, &sum) in per_level.iter().enumerate() {
+            assert!(sum <= u64::from(total), "level {l} allocated {sum} > {total}");
+        }
+    }
+
+    #[test]
+    fn cpa_can_exceed_level_cap() {
+        // Same DAG: CPA has no level rule, and with a strong parallel
+        // fraction it allocates the wide level beyond P in total.
+        let d = {
+            let mut d = fork_join(6, 80.0, 0.0);
+            for t in &mut d.tasks {
+                t.speedup = SpeedupModel::Amdahl { alpha: 0.98 };
+                t.max_procs = None;
+            }
+            d
+        };
+        let total = 8u32;
+        let cpa = cpa_allocation(&d, total, 1.0);
+        let lv = levels(&d);
+        let wide_level = 1u32;
+        let sum: u64 = (0..d.task_count())
+            .filter(|&t| lv[t] == wide_level)
+            .map(|t| u64::from(cpa.procs[t]))
+            .sum();
+        assert!(sum > u64::from(total), "CPA wide-level total {sum}");
+    }
+
+    #[test]
+    fn loop_terminates_on_random_dags() {
+        for seed in 0..5 {
+            let d = layered(&GenParams {
+                seed,
+                ..GenParams::default()
+            });
+            let r = cpa_allocation(&d, 32, 1.0);
+            assert!(r.procs.iter().all(|&p| (1..=32).contains(&p)));
+            let m = mcpa_allocation(&d, 32, 1.0);
+            assert!(m.procs.iter().all(|&p| (1..=32).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn t_cp_and_t_a_consistent() {
+        let d = layered(&GenParams::default());
+        let r = cpa_allocation(&d, 16, 1.0);
+        let exec = exec_times(&d, &r.procs, 1.0);
+        assert!((critical_path_time(&d, &exec) - r.t_cp).abs() < 1e-9);
+        assert!((total_area_time(&d, &exec, &r.procs, 16) - r.t_a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dag_allocates_nothing() {
+        let d = Dag::new("empty");
+        let r = cpa_allocation(&d, 8, 1.0);
+        assert!(r.procs.is_empty());
+        assert_eq!(r.t_cp, 0.0);
+    }
+
+    #[test]
+    fn mcpa_never_allocates_more_than_cpa_per_level() {
+        let d = layered(&GenParams::irregular(7));
+        let total = 16;
+        let c = cpa_allocation(&d, total, 1.0);
+        let m = mcpa_allocation(&d, total, 1.0);
+        let lv = levels(&d);
+        let n_levels = *lv.iter().max().unwrap() as usize + 1;
+        for l in 0..n_levels {
+            let msum: u64 = (0..d.task_count())
+                .filter(|&t| lv[t] as usize == l)
+                .map(|t| u64::from(m.procs[t]))
+                .sum();
+            assert!(msum <= u64::from(total));
+        }
+        // And CPA's overall area is at least MCPA's (it grows more).
+        let ca: u64 = c.procs.iter().map(|&p| u64::from(p)).sum();
+        let ma: u64 = m.procs.iter().map(|&p| u64::from(p)).sum();
+        assert!(ca >= ma);
+    }
+}

@@ -1,0 +1,184 @@
+//! Baseline schedulers the mixed-parallel algorithms are measured
+//! against.
+//!
+//! The paper's §III motivation: mixed-parallel algorithms "reduce the
+//! completion time of the scheduled applications with regard to schedules
+//! that only exploit either task- or data-parallelism". These are those
+//! two reference points:
+//!
+//! * **pure task parallelism** — every task runs on exactly one
+//!   processor; concurrency comes only from independent tasks
+//!   (list-scheduled);
+//! * **pure data parallelism** — every task runs on the *whole* cluster;
+//!   tasks execute one after another in topological order.
+
+use crate::cpa::schedule_from_mapping;
+use crate::mapping::{map_allocated_tasks, MappingResult};
+use crate::{AllocResult, DagScheduleResult};
+use jedule_dag::analysis::{critical_path_time, total_area_time};
+use jedule_dag::Dag;
+
+fn result_from(
+    dag: &Dag,
+    mapping: MappingResult,
+    procs: &[u32],
+    total_procs: u32,
+    speed: f64,
+    algorithm: &'static str,
+) -> DagScheduleResult {
+    let exec: Vec<f64> = dag
+        .tasks
+        .iter()
+        .zip(procs)
+        .map(|(t, &p)| t.exec_time(p, speed))
+        .collect();
+    let alloc = AllocResult {
+        procs: procs.to_vec(),
+        t_cp: critical_path_time(dag, &exec),
+        t_a: total_area_time(dag, &exec, procs, total_procs),
+        iterations: 0,
+    };
+    let schedule = schedule_from_mapping(dag, &mapping, total_procs, algorithm, &alloc);
+    DagScheduleResult {
+        algorithm,
+        makespan: mapping.makespan,
+        allocation: alloc,
+        mapping,
+        schedule,
+    }
+}
+
+/// Pure task parallelism: one processor per task.
+pub fn task_parallel(dag: &Dag, total_procs: u32, speed: f64) -> DagScheduleResult {
+    let procs = vec![1u32; dag.task_count()];
+    let mapping = map_allocated_tasks(dag, &procs, total_procs, speed);
+    result_from(dag, mapping, &procs, total_procs, speed, "TASK_PARALLEL")
+}
+
+/// Pure data parallelism: the whole cluster per task (tasks serialize).
+pub fn data_parallel(dag: &Dag, total_procs: u32, speed: f64) -> DagScheduleResult {
+    let procs = vec![total_procs.max(1); dag.task_count()];
+    let mapping = map_allocated_tasks(dag, &procs, total_procs, speed);
+    result_from(dag, mapping, &procs, total_procs, speed, "DATA_PARALLEL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpa::fig4_dag;
+    use crate::mapping::verify_mapping;
+    use crate::{schedule_dag, CpaVariant};
+    use jedule_core::validate;
+    use jedule_dag::{chain, fork_join, layered, GenParams, SpeedupModel};
+
+    #[test]
+    fn task_parallel_uses_one_proc_each() {
+        let d = fork_join(8, 10.0, 0.0);
+        let r = task_parallel(&d, 16, 1.0);
+        verify_mapping(&d, &r.mapping).unwrap();
+        assert!(r.mapping.placed.iter().all(|m| m.procs.len() == 1));
+        // 8 independent middle tasks run fully concurrently.
+        assert_eq!(r.makespan, 30.0);
+    }
+
+    #[test]
+    fn data_parallel_serializes() {
+        let mut d = fork_join(4, 16.0, 0.0);
+        for t in &mut d.tasks {
+            t.speedup = SpeedupModel::Power { beta: 1.0 };
+            t.max_procs = None;
+        }
+        let r = data_parallel(&d, 16, 1.0);
+        verify_mapping(&d, &r.mapping).unwrap();
+        // 6 tasks × (16 Gflop / 16 procs) = 6 s, strictly serial.
+        assert_eq!(r.makespan, 6.0);
+        assert!(r.mapping.placed.iter().all(|m| m.procs.len() == 16));
+    }
+
+    #[test]
+    fn data_parallel_wins_on_chains() {
+        // A chain has no task parallelism; scaling each task wins.
+        let mut d = chain(6, 60.0);
+        for t in &mut d.tasks {
+            t.speedup = SpeedupModel::Amdahl { alpha: 0.95 };
+            t.max_procs = None;
+        }
+        let tp = task_parallel(&d, 16, 1.0);
+        let dp = data_parallel(&d, 16, 1.0);
+        assert!(dp.makespan < tp.makespan);
+    }
+
+    #[test]
+    fn task_parallel_wins_on_wide_dags() {
+        // Many cheap independent tasks: giving each the whole cluster
+        // serializes them.
+        let d = layered(&GenParams {
+            depth: 2,
+            width: 16,
+            width_jitter: 0.0,
+            alpha: 0.5, // poor scalability
+            seed: 9,
+            ..GenParams::default()
+        });
+        let tp = task_parallel(&d, 16, 1.0);
+        let dp = data_parallel(&d, 16, 1.0);
+        assert!(tp.makespan < dp.makespan);
+    }
+
+    #[test]
+    fn mixed_parallel_beats_both_baselines() {
+        // The paper's whole §III point: mixed parallelism beats both pure
+        // strategies. A fork-join of moderately scalable tasks is the
+        // textbook case: task parallelism wastes the cluster on the
+        // serial fork/join stages, data parallelism serializes the
+        // branches.
+        let mut d = fork_join(8, 100.0, 0.0);
+        for t in &mut d.tasks {
+            t.speedup = SpeedupModel::Amdahl { alpha: 0.8 };
+            t.max_procs = None;
+        }
+        let mixed = schedule_dag(&d, 16, 1.0, CpaVariant::Mcpa2);
+        let tp = task_parallel(&d, 16, 1.0);
+        let dp = data_parallel(&d, 16, 1.0);
+        assert!(
+            mixed.makespan < tp.makespan && mixed.makespan < dp.makespan,
+            "mixed {} vs task {} vs data {}",
+            mixed.makespan,
+            tp.makespan,
+            dp.makespan
+        );
+    }
+
+    #[test]
+    fn baselines_bracket_mcpa2_on_fig4() {
+        // On the crafted Fig. 4 DAG the poly-algorithm is competitive
+        // with the best pure strategy (within a few percent) and far
+        // ahead of the worst.
+        let d = fig4_dag();
+        let mixed = schedule_dag(&d, 16, 1.0, CpaVariant::Mcpa2);
+        let tp = task_parallel(&d, 16, 1.0);
+        let dp = data_parallel(&d, 16, 1.0);
+        let best = tp.makespan.min(dp.makespan);
+        let worst = tp.makespan.max(dp.makespan);
+        assert!(mixed.makespan <= best * 1.05);
+        assert!(mixed.makespan < worst / 2.0);
+    }
+
+    #[test]
+    fn baseline_schedules_are_valid_and_labeled() {
+        let d = layered(&GenParams::default());
+        let tp = task_parallel(&d, 8, 1.0);
+        let dp = data_parallel(&d, 8, 1.0);
+        assert!(validate(&tp.schedule).is_empty());
+        assert!(validate(&dp.schedule).is_empty());
+        assert_eq!(tp.schedule.meta.get("algorithm"), Some("TASK_PARALLEL"));
+        assert_eq!(dp.schedule.meta.get("algorithm"), Some("DATA_PARALLEL"));
+    }
+
+    #[test]
+    fn empty_dag_baselines() {
+        let d = Dag::new("empty");
+        assert_eq!(task_parallel(&d, 8, 1.0).makespan, 0.0);
+        assert_eq!(data_parallel(&d, 8, 1.0).makespan, 0.0);
+    }
+}

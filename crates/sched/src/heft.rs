@@ -1,0 +1,352 @@
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al., TPDS
+//! 2002), the scheduler of the §V Montage case study.
+//!
+//! HEFT sorts the tasks by decreasing *upward rank* — "the length of the
+//! critical path from a task to the exit task, including the computation
+//! cost of this task … the sum of the average execution cost of this task
+//! over all available processors and a maximum computed over all its
+//! successors \[of\] the average communication cost of an edge and the
+//! upward rank of the successor" (paper, §V-A) — then assigns each task
+//! to the processor minimizing its Earliest Finish Time, with the classic
+//! insertion policy (a task may slip into an idle gap).
+
+use jedule_core::{Allocation, HostSet, Schedule, ScheduleBuilder, Task};
+use jedule_dag::analysis::topo_order;
+use jedule_dag::Dag;
+use jedule_platform::Platform;
+
+/// One scheduled task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeftPlacement {
+    pub task: usize,
+    /// Global host index.
+    pub host: u32,
+    pub start: f64,
+    pub end: f64,
+}
+
+/// Result of a HEFT run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeftResult {
+    pub placements: Vec<HeftPlacement>,
+    pub makespan: f64,
+    pub ranks: Vec<f64>,
+    pub schedule: Schedule,
+}
+
+impl HeftResult {
+    pub fn of(&self, task: usize) -> Option<&HeftPlacement> {
+        self.placements.iter().find(|p| p.task == task)
+    }
+
+    /// Host chosen for the task named `name` (convenience for the case
+    /// study's "the last mBackground ran on processor 2" analysis).
+    pub fn host_of_named(&self, dag: &Dag, name: &str) -> Option<u32> {
+        let t = dag.tasks.iter().position(|t| t.name == name)?;
+        self.of(t).map(|p| p.host)
+    }
+}
+
+/// Upward ranks with mean execution and mean communication costs.
+pub fn upward_ranks(dag: &Dag, platform: &Platform) -> Vec<f64> {
+    let order = topo_order(dag).expect("HEFT requires an acyclic graph");
+    let succs = dag.succ_lists();
+    let mut rank = vec![0.0f64; dag.task_count()];
+    for &t in order.iter().rev() {
+        let w_mean = platform.mean_exec_time(dag.tasks[t].work_gflop);
+        let below = succs[t]
+            .iter()
+            .map(|&(s, bytes)| platform.mean_transfer_time(bytes) + rank[s])
+            .fold(0.0f64, f64::max);
+        rank[t] = w_mean + below;
+    }
+    rank
+}
+
+/// A busy interval on one host.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    start: f64,
+    end: f64,
+}
+
+/// Earliest start ≥ `ready` on a host with busy `slots` (sorted by start)
+/// for a task of length `dur` — the insertion-based policy.
+fn earliest_slot(slots: &[Slot], ready: f64, dur: f64) -> f64 {
+    let mut candidate = ready;
+    for s in slots {
+        if candidate + dur <= s.start + 1e-12 {
+            return candidate;
+        }
+        candidate = candidate.max(s.end);
+    }
+    candidate
+}
+
+/// Runs HEFT on `dag` over `platform`. All tasks are treated as
+/// single-processor (the §V study schedules a workflow of sequential
+/// tasks).
+pub fn heft(dag: &Dag, platform: &Platform) -> HeftResult {
+    let n = dag.task_count();
+    let ranks = if n > 0 {
+        upward_ranks(dag, platform)
+    } else {
+        Vec::new()
+    };
+    let preds = dag.pred_lists();
+
+    // Decreasing upward rank is a valid topological order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]).then(a.cmp(&b)));
+
+    let hosts = platform.total_hosts();
+    let mut busy: Vec<Vec<Slot>> = vec![Vec::new(); hosts as usize];
+    let mut placement: Vec<Option<HeftPlacement>> = vec![None; n];
+
+    for &t in &order {
+        let mut best: Option<HeftPlacement> = None;
+        for h in 0..hosts {
+            let exec = platform
+                .exec_time(h, dag.tasks[t].work_gflop)
+                .expect("valid host");
+            // EST: when all input data can be on host h.
+            let mut ready = 0.0f64;
+            for &(p, bytes) in &preds[t] {
+                let pp = placement[p].as_ref().expect("rank order is topological");
+                let comm = if pp.host == h {
+                    0.0
+                } else {
+                    platform
+                        .route(pp.host, h)
+                        .expect("valid hosts")
+                        .transfer_time(bytes)
+                };
+                ready = ready.max(pp.end + comm);
+            }
+            let start = earliest_slot(&busy[h as usize], ready, exec);
+            let eft = start + exec;
+            match &best {
+                Some(b) if b.end <= eft => {}
+                _ => {
+                    best = Some(HeftPlacement {
+                        task: t,
+                        host: h,
+                        start,
+                        end: eft,
+                    })
+                }
+            }
+        }
+        let chosen = best.expect("platform has at least one host");
+        let slots = &mut busy[chosen.host as usize];
+        let pos = slots
+            .binary_search_by(|s| s.start.total_cmp(&chosen.start))
+            .unwrap_or_else(|e| e);
+        slots.insert(
+            pos,
+            Slot {
+                start: chosen.start,
+                end: chosen.end,
+            },
+        );
+        placement[t] = Some(chosen);
+    }
+
+    let placements: Vec<HeftPlacement> = placement.into_iter().map(Option::unwrap).collect();
+    let makespan = placements.iter().map(|p| p.end).fold(0.0, f64::max);
+    let schedule = heft_schedule(dag, platform, &placements, makespan);
+    HeftResult {
+        placements,
+        makespan,
+        ranks,
+        schedule,
+    }
+}
+
+fn heft_schedule(
+    dag: &Dag,
+    platform: &Platform,
+    placements: &[HeftPlacement],
+    makespan: f64,
+) -> Schedule {
+    let mut b = ScheduleBuilder::new();
+    for c in &platform.clusters {
+        b = b.cluster(c.id, c.name.clone(), c.hosts);
+    }
+    b = b
+        .meta("algorithm", "HEFT")
+        .meta("dag", dag.name.clone())
+        .meta("platform", platform.name.clone())
+        .meta("makespan", format!("{makespan:.4}"));
+    for p in placements {
+        let h = platform.host(p.host).expect("valid host");
+        let dag_task = &dag.tasks[p.task];
+        let task = Task::new(dag_task.name.clone(), dag_task.kind.clone(), p.start, p.end)
+            .on(Allocation::new(h.cluster, HostSet::contiguous(h.host, 1)))
+            .with_attr("global_host", p.host.to_string());
+        b = b.task(task);
+    }
+    b.build_unchecked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::validate;
+    use jedule_dag::{chain, montage, DagTask};
+    use jedule_platform::{fig7_platform_flawed, fig7_platform_realistic, homogeneous};
+
+    #[test]
+    fn single_task_runs_on_fastest_host() {
+        let mut d = Dag::new("one");
+        d.add_task(DagTask::sequential("t", "c", 3.3));
+        let p = fig7_platform_flawed();
+        let r = heft(&d, &p);
+        // Fastest hosts are 0,1,6,7 at 3.3 Gflop/s → 1 s.
+        assert!((r.makespan - 1.0).abs() < 1e-9);
+        assert_eq!(p.speed_of(r.placements[0].host), Some(3.3));
+    }
+
+    #[test]
+    fn ranks_decrease_along_chain() {
+        let d = chain(4, 10.0);
+        let p = homogeneous(4, 1.0);
+        let ranks = upward_ranks(&d, &p);
+        assert!(ranks[0] > ranks[1]);
+        assert!(ranks[1] > ranks[2]);
+        assert!(ranks[2] > ranks[3]);
+        assert!((ranks[3] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_host_runs_two_tasks_at_once() {
+        let d = montage(8);
+        let p = fig7_platform_realistic();
+        let r = heft(&d, &p);
+        for (i, a) in r.placements.iter().enumerate() {
+            for b in &r.placements[i + 1..] {
+                if a.host == b.host {
+                    assert!(
+                        a.end <= b.start + 1e-9 || b.end <= a.start + 1e-9,
+                        "host {} overlap: {a:?} vs {b:?}",
+                        a.host
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_respected_with_comm() {
+        let d = montage(8);
+        let p = fig7_platform_realistic();
+        let r = heft(&d, &p);
+        for e in &d.edges {
+            let from = r.of(e.from).unwrap();
+            let to = r.of(e.to).unwrap();
+            let comm = if from.host == to.host {
+                0.0
+            } else {
+                p.route(from.host, to.host)
+                    .unwrap()
+                    .transfer_time(e.data_bytes)
+            };
+            assert!(
+                to.start + 1e-9 >= from.end + comm,
+                "edge {}→{} violated",
+                e.from,
+                e.to
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_policy_fills_gaps() {
+        let slots = vec![
+            Slot { start: 0.0, end: 2.0 },
+            Slot { start: 5.0, end: 9.0 },
+        ];
+        // A 2-unit task ready at 1 fits the [2,5) gap.
+        assert_eq!(earliest_slot(&slots, 1.0, 2.0), 2.0);
+        // A 4-unit task does not: it goes after 9.
+        assert_eq!(earliest_slot(&slots, 1.0, 4.0), 9.0);
+        // Ready inside the gap.
+        assert_eq!(earliest_slot(&slots, 2.5, 1.0), 2.5);
+        // Empty host: starts when ready.
+        assert_eq!(earliest_slot(&[], 3.0, 10.0), 3.0);
+    }
+
+    #[test]
+    fn schedule_is_valid_jedule() {
+        let d = montage(10);
+        let p = fig7_platform_realistic();
+        let r = heft(&d, &p);
+        assert!(validate(&r.schedule).is_empty());
+        assert_eq!(r.schedule.tasks.len(), d.task_count());
+        assert_eq!(r.schedule.clusters.len(), 4);
+        assert!((r.schedule.makespan() - r.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn montage_prefers_fast_clusters_under_high_latency() {
+        // §V: "The two fast clusters (processors 0-1 and 6-7) are chosen
+        // first" on the realistic platform.
+        let d = montage(10);
+        let p = fig7_platform_realistic();
+        let r = heft(&d, &p);
+        let fast_hosts = [0u32, 1, 6, 7];
+        let fast_busy: f64 = r
+            .placements
+            .iter()
+            .filter(|pl| fast_hosts.contains(&pl.host))
+            .map(|pl| pl.end - pl.start)
+            .sum();
+        let total_busy: f64 = r.placements.iter().map(|pl| pl.end - pl.start).sum();
+        // Fast hosts are 1/3 of the machine but should carry well over
+        // 1/3 of the (time-weighted) work.
+        assert!(
+            fast_busy / total_busy > 0.4,
+            "fast share {}",
+            fast_busy / total_busy
+        );
+    }
+
+    #[test]
+    fn flawed_platform_spreads_more_across_clusters() {
+        // The §V bug: with backbone latency == intra latency, migrating a
+        // task to another cluster looks free, so placements scatter more.
+        let d = montage(10);
+        let spread = |r: &HeftResult, p: &Platform| {
+            let mut clusters: Vec<u32> = r
+                .placements
+                .iter()
+                .map(|pl| p.host(pl.host).unwrap().cluster)
+                .collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            clusters.len()
+        };
+        let flawed = fig7_platform_flawed();
+        let real = fig7_platform_realistic();
+        let rf = heft(&d, &flawed);
+        let rr = heft(&d, &real);
+        assert!(spread(&rf, &flawed) >= spread(&rr, &real));
+        // Cheap backbone can only help the greedy EFT choices: the flawed
+        // platform's makespan is no worse than the realistic one's.
+        assert!(
+            rf.makespan <= rr.makespan + 1e-9,
+            "flawed {} vs realistic {}",
+            rf.makespan,
+            rr.makespan
+        );
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new("empty");
+        let p = homogeneous(2, 1.0);
+        let r = heft(&d, &p);
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.placements.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # jedule-sched
+//!
+//! The scheduling algorithms whose behaviour the paper's case studies
+//! visualize with Jedule:
+//!
+//! * **§III — mixed-parallel DAGs on homogeneous clusters**: the two-step
+//!   CPA algorithm (allocation + mapping), Bansal et al.'s MCPA with its
+//!   per-precedence-level allocation cap, and the MCPA2 poly-algorithm
+//!   that picks whichever of the two wins ([`cpa`], [`alloc`],
+//!   [`mapping`]).
+//! * **§IV — multiple DAGs on one cluster**: constrained resource
+//!   allocation (CRA) with work-/width-proportional β shares, stretch and
+//!   fairness metrics, and a conservative backfilling post-pass
+//!   ([`multidag`], [`backfill`](mod@backfill)).
+//! * **§V — workflows on heterogeneous platforms**: HEFT with upward
+//!   ranks and insertion-based earliest-finish-time host selection
+//!   ([`heft`](mod@heft)).
+//!
+//! Every scheduler emits a [`jedule_core::Schedule`] ready for rendering,
+//! plus the raw mapping for simulation with `jedule-simx`.
+
+pub mod alloc;
+pub mod baselines;
+pub mod backfill;
+pub mod cpa;
+pub mod heft;
+pub mod mapping;
+pub mod multidag;
+
+pub use alloc::{cpa_allocation, mcpa_allocation, AllocResult};
+pub use baselines::{data_parallel, task_parallel};
+pub use backfill::{backfill, BackfillReport};
+pub use cpa::{schedule_dag, CpaVariant, DagScheduleResult};
+pub use heft::{heft, HeftResult};
+pub use mapping::{map_allocated_tasks, MappedTask, MappingResult};
+pub use multidag::{
+    schedule_combined, schedule_moldable, schedule_multi_dag, CraPolicy, MultiDagResult,
+};

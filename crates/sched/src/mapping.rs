@@ -1,0 +1,277 @@
+//! Mapping phase of the two-step algorithms.
+//!
+//! Given the per-task allocations decided by CPA/MCPA, the mapping phase
+//! places tasks onto concrete processors of the homogeneous cluster. We
+//! use the classic list-scheduling rule: tasks become eligible in
+//! precedence order, prioritized by *bottom level* (longest remaining
+//! path), and each task takes the `p(v)` processors that become free
+//! earliest, starting as soon as both its predecessors have finished and
+//! those processors are idle.
+
+use jedule_dag::analysis::{bottom_levels, topo_order};
+use jedule_dag::Dag;
+
+/// One placed task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedTask {
+    pub task: usize,
+    pub start: f64,
+    pub end: f64,
+    /// Cluster-local processor indices (sorted).
+    pub procs: Vec<u32>,
+}
+
+/// Result of the mapping phase.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MappingResult {
+    pub placed: Vec<MappedTask>,
+    pub makespan: f64,
+}
+
+impl MappingResult {
+    /// Placement of task `t`, if any.
+    pub fn of(&self, t: usize) -> Option<&MappedTask> {
+        self.placed.iter().find(|m| m.task == t)
+    }
+}
+
+/// Maps allocated tasks onto `total_procs` processors of speed `speed`.
+///
+/// `procs_per_task[t]` is the allocation `p(t)` from the allocation phase.
+/// Intra-cluster redistribution costs are ignored, as in CPA.
+pub fn map_allocated_tasks(
+    dag: &Dag,
+    procs_per_task: &[u32],
+    total_procs: u32,
+    speed: f64,
+) -> MappingResult {
+    assert_eq!(procs_per_task.len(), dag.task_count());
+    let total = total_procs.max(1);
+    let exec: Vec<f64> = dag
+        .tasks
+        .iter()
+        .zip(procs_per_task)
+        .map(|(t, &p)| t.exec_time(p.min(total), speed))
+        .collect();
+    let bl = if dag.task_count() > 0 {
+        bottom_levels(dag, &exec)
+    } else {
+        Vec::new()
+    };
+    let order = topo_order(dag).expect("mapping requires an acyclic graph");
+    let preds = dag.pred_lists();
+
+    // Ready list processed by priority; we emulate list scheduling by
+    // visiting tasks in topological order sorted stably by bottom level
+    // within the constraint of precedence (classic static list).
+    let mut list = order;
+    list.sort_by(|&a, &b| bl[b].total_cmp(&bl[a]));
+    // Re-stabilize: a topological pass over the priority-sorted list.
+    let mut scheduled = vec![false; dag.task_count()];
+    let mut proc_free = vec![0.0f64; total as usize];
+    let mut finish = vec![0.0f64; dag.task_count()];
+    let mut placed = Vec::with_capacity(dag.task_count());
+    let mut makespan = 0.0f64;
+
+    let mut remaining: Vec<usize> = list;
+    while !remaining.is_empty() {
+        // Pick the highest-priority task whose predecessors are done.
+        let idx = remaining
+            .iter()
+            .position(|&t| preds[t].iter().all(|&(p, _)| scheduled[p]))
+            .expect("acyclic graph always has a ready task");
+        let t = remaining.remove(idx);
+        let p = procs_per_task[t].clamp(1, total) as usize;
+
+        let data_ready = preds[t]
+            .iter()
+            .map(|&(q, _)| finish[q])
+            .fold(0.0f64, f64::max);
+
+        // The p processors that free up earliest.
+        let mut by_free: Vec<u32> = (0..total).collect();
+        by_free.sort_by(|&a, &b| {
+            proc_free[a as usize]
+                .total_cmp(&proc_free[b as usize])
+                .then(a.cmp(&b))
+        });
+        let mut chosen: Vec<u32> = by_free[..p].to_vec();
+        chosen.sort_unstable();
+        let start = chosen
+            .iter()
+            .map(|&c| proc_free[c as usize])
+            .fold(data_ready, f64::max);
+        let end = start + exec[t];
+        for &c in &chosen {
+            proc_free[c as usize] = end;
+        }
+        finish[t] = end;
+        scheduled[t] = true;
+        makespan = makespan.max(end);
+        placed.push(MappedTask {
+            task: t,
+            start,
+            end,
+            procs: chosen,
+        });
+    }
+
+    MappingResult { placed, makespan }
+}
+
+/// Checks that a mapping never runs two tasks on the same processor at
+/// overlapping times and respects precedence — the "sanity checks" the
+/// paper motivates Jedule with. Returns a violation description.
+pub fn verify_mapping(dag: &Dag, result: &MappingResult) -> Result<(), String> {
+    // Resource exclusivity.
+    for (i, a) in result.placed.iter().enumerate() {
+        for b in &result.placed[i + 1..] {
+            if a.start < b.end && b.start < a.end {
+                if let Some(p) = a.procs.iter().find(|p| b.procs.contains(p)) {
+                    return Err(format!(
+                        "tasks {} and {} overlap on processor {p}",
+                        a.task, b.task
+                    ));
+                }
+            }
+        }
+    }
+    // Precedence.
+    for e in &dag.edges {
+        let from = result.of(e.from).ok_or_else(|| format!("task {} unplaced", e.from))?;
+        let to = result.of(e.to).ok_or_else(|| format!("task {} unplaced", e.to))?;
+        if to.start + 1e-9 < from.end {
+            return Err(format!(
+                "edge {} -> {} violated: {} starts at {} before {} ends at {}",
+                e.from, e.to, e.to, to.start, e.from, from.end
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_dag::{chain, fork_join, layered, GenParams, SpeedupModel};
+
+    #[test]
+    fn fork_join_parallelizes() {
+        let d = fork_join(4, 10.0, 0.0);
+        let alloc = vec![1u32; d.task_count()];
+        let r = map_allocated_tasks(&d, &alloc, 4, 1.0);
+        verify_mapping(&d, &r).unwrap();
+        // src 10 + parallel 10 + join 10.
+        assert_eq!(r.makespan, 30.0);
+    }
+
+    #[test]
+    fn serial_when_single_processor() {
+        let d = fork_join(4, 10.0, 0.0);
+        let alloc = vec![1u32; d.task_count()];
+        let r = map_allocated_tasks(&d, &alloc, 1, 1.0);
+        verify_mapping(&d, &r).unwrap();
+        assert_eq!(r.makespan, 60.0);
+    }
+
+    #[test]
+    fn chain_runs_back_to_back() {
+        let d = chain(5, 10.0);
+        let alloc = vec![2u32; 5];
+        let r = map_allocated_tasks(&d, &alloc, 4, 1.0);
+        verify_mapping(&d, &r).unwrap();
+        let mut placed = r.placed.clone();
+        placed.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for w in placed.windows(2) {
+            assert!((w[1].start - w[0].end).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiprocessor_task_takes_p_procs() {
+        let mut d = Dag::new("one");
+        let mut t = jedule_dag::DagTask::new("m", "c", 40.0);
+        t.speedup = SpeedupModel::Power { beta: 1.0 };
+        d.add_task(t);
+        let r = map_allocated_tasks(&d, &[4], 8, 1.0);
+        assert_eq!(r.placed[0].procs.len(), 4);
+        assert_eq!(r.makespan, 10.0);
+    }
+
+    #[test]
+    fn allocation_clamped_to_cluster() {
+        let mut d = Dag::new("big");
+        d.add_task(jedule_dag::DagTask::new("m", "c", 10.0));
+        let r = map_allocated_tasks(&d, &[64], 8, 1.0);
+        assert_eq!(r.placed[0].procs.len(), 8);
+    }
+
+    #[test]
+    fn random_dags_verify() {
+        for seed in 0..5 {
+            let d = layered(&GenParams {
+                seed,
+                ..GenParams::default()
+            });
+            let alloc: Vec<u32> = (0..d.task_count()).map(|t| 1 + (t % 4) as u32).collect();
+            let r = map_allocated_tasks(&d, &alloc, 16, 1.0);
+            verify_mapping(&d, &r).unwrap();
+            assert_eq!(r.placed.len(), d.task_count());
+            assert!(r.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn verify_catches_overlap() {
+        let d = chain(2, 10.0);
+        let bad = MappingResult {
+            placed: vec![
+                MappedTask {
+                    task: 0,
+                    start: 0.0,
+                    end: 10.0,
+                    procs: vec![0],
+                },
+                MappedTask {
+                    task: 1,
+                    start: 5.0,
+                    end: 15.0,
+                    procs: vec![0],
+                },
+            ],
+            makespan: 15.0,
+        };
+        assert!(verify_mapping(&d, &bad).is_err());
+    }
+
+    #[test]
+    fn verify_catches_precedence_violation() {
+        let d = chain(2, 10.0);
+        let bad = MappingResult {
+            placed: vec![
+                MappedTask {
+                    task: 0,
+                    start: 0.0,
+                    end: 10.0,
+                    procs: vec![0],
+                },
+                MappedTask {
+                    task: 1,
+                    start: 5.0,
+                    end: 15.0,
+                    procs: vec![1],
+                },
+            ],
+            makespan: 15.0,
+        };
+        assert!(verify_mapping(&d, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_dag_maps_to_nothing() {
+        let d = Dag::new("empty");
+        let r = map_allocated_tasks(&d, &[], 4, 1.0);
+        assert!(r.placed.is_empty());
+        assert_eq!(r.makespan, 0.0);
+    }
+}

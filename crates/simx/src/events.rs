@@ -1,0 +1,157 @@
+//! A deterministic event queue over `f64` simulation time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; ties broken by insertion order so the
+        // simulation is fully deterministic.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap event queue with insertion-order tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`. Times before `now` are
+    /// clamped to `now` (events cannot fire in the past).
+    pub fn push(&mut self, time: f64, event: E) {
+        let time = if time.is_nan() { self.now } else { time.max(self.now) };
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "first");
+        q.push(1.0, "second");
+        q.push(1.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn now_advances() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.push(5.0, ());
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.push(5.0, "later");
+        q.pop();
+        q.push(1.0, "past");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, 5.0);
+        assert_eq!(e, "past");
+    }
+
+    #[test]
+    fn nan_times_clamped() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, "x");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! # jedule-simx
+//!
+//! A discrete-event simulator standing in for SimGrid (paper, §III-B:
+//! "the experiments were performed using a simulator, which was built on
+//! top of SimGrid").
+//!
+//! Given a [`jedule_dag::Dag`], a [`jedule_platform::Platform`] and a
+//! [`Mapping`] (which hosts run each task), the engine replays the
+//! execution:
+//!
+//! * a task starts once **all** its input transfers have arrived *and*
+//!   all its hosts are free;
+//! * a transfer starts when its producer finishes and takes
+//!   `route.latency + bytes / route.bandwidth` (zero when producer and
+//!   consumer share a host);
+//! * hosts are exclusive resources; readiness is served FIFO.
+//!
+//! The result is an exact event trace convertible to a Jedule
+//! [`jedule_core::Schedule`] — computation tasks typed by their DAG task
+//! kind and inter-host transfers typed `"transfer"`, spanning clusters
+//! exactly as the paper's Fig. 1 describes.
+
+pub mod engine;
+pub mod events;
+pub mod trace;
+
+pub use engine::{simulate, simulate_with, Mapping, SimError, SimOptions, SimResult};
+pub use events::EventQueue;
+pub use trace::{schedule_from_trace, CommRecord, ExecRecord, Trace, TraceOptions};

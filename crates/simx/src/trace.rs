@@ -1,0 +1,226 @@
+//! Simulation traces and their conversion to Jedule schedules.
+
+use jedule_core::{Allocation, HostSet, Schedule, ScheduleBuilder, Task};
+use jedule_dag::{Dag, TaskId};
+use jedule_platform::Platform;
+
+/// One task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRecord {
+    pub task: TaskId,
+    pub start: f64,
+    pub end: f64,
+    /// Global host indices.
+    pub hosts: Vec<u32>,
+}
+
+/// One inter-host data transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRecord {
+    /// Index of the DAG edge.
+    pub edge: usize,
+    pub from_task: TaskId,
+    pub to_task: TaskId,
+    pub start: f64,
+    pub end: f64,
+    pub from_host: u32,
+    pub to_host: u32,
+}
+
+/// A full simulation trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    pub execs: Vec<ExecRecord>,
+    pub comms: Vec<CommRecord>,
+}
+
+/// Conversion options.
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Include transfer tasks in the schedule (they overlap computation,
+    /// producing the composite regions of Fig. 3).
+    pub include_transfers: bool,
+    /// Type name given to transfer tasks.
+    pub transfer_kind: String,
+    /// Label computation tasks with the DAG task name (vs numeric id).
+    pub use_task_names: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            include_transfers: true,
+            transfer_kind: "transfer".into(),
+            use_task_names: true,
+        }
+    }
+}
+
+/// Converts a trace into a Jedule schedule over `platform`'s clusters.
+pub fn schedule_from_trace(
+    trace: &Trace,
+    dag: &Dag,
+    platform: &Platform,
+    opts: &TraceOptions,
+) -> Schedule {
+    let mut b = ScheduleBuilder::new();
+    for c in &platform.clusters {
+        b = b.cluster(c.id, c.name.clone(), c.hosts);
+    }
+    b = b.meta("platform", platform.name.clone());
+    b = b.meta("dag", dag.name.clone());
+
+    for e in &trace.execs {
+        let dag_task = &dag.tasks[e.task];
+        let id = if opts.use_task_names {
+            dag_task.name.clone()
+        } else {
+            e.task.to_string()
+        };
+        let mut task = Task::new(id, dag_task.kind.clone(), e.start, e.end);
+        task = task.with_attr("work_gflop", format!("{}", dag_task.work_gflop));
+        // Group global hosts by cluster into allocations.
+        let mut per_cluster: Vec<(u32, Vec<u32>)> = Vec::new();
+        for &g in &e.hosts {
+            let h = platform.host(g).expect("host in platform");
+            match per_cluster.iter_mut().find(|(c, _)| *c == h.cluster) {
+                Some((_, v)) => v.push(h.host),
+                None => per_cluster.push((h.cluster, vec![h.host])),
+            }
+        }
+        for (cluster, hosts) in per_cluster {
+            task.allocations
+                .push(Allocation::new(cluster, HostSet::from_hosts(hosts)));
+        }
+        b = b.task(task);
+    }
+
+    if opts.include_transfers {
+        for c in &trace.comms {
+            let from = platform.host(c.from_host).expect("host in platform");
+            let to = platform.host(c.to_host).expect("host in platform");
+            let id = format!(
+                "{}->{}",
+                dag.tasks[c.from_task].name, dag.tasks[c.to_task].name
+            );
+            let mut task = Task::new(id, opts.transfer_kind.clone(), c.start, c.end);
+            task.allocations
+                .push(Allocation::new(from.cluster, HostSet::contiguous(from.host, 1)));
+            if (to.cluster, to.host) != (from.cluster, from.host) {
+                if to.cluster == from.cluster {
+                    task.allocations[0]
+                        .hosts
+                        .insert_range(jedule_core::HostRange::new(to.host, 1));
+                } else {
+                    // A transfer between clusters spans both — the very
+                    // case the Fig. 1 multi-configuration format exists
+                    // for.
+                    task.allocations
+                        .push(Allocation::new(to.cluster, HostSet::contiguous(to.host, 1)));
+                }
+            }
+            b = b.task(task);
+        }
+    }
+
+    b.build_unchecked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, Mapping};
+    use jedule_core::validate;
+    use jedule_dag::DagTask;
+    use jedule_platform::multi_homogeneous;
+
+    fn cross_cluster_setup() -> (Dag, Platform, Mapping) {
+        let mut d = Dag::new("x");
+        d.add_task(DagTask::sequential("a", "computation", 10.0));
+        d.add_task(DagTask::sequential("b", "computation", 10.0));
+        d.add_edge(0, 1, 1.25e9);
+        let p = multi_homogeneous(2, 2, 1.0);
+        let m = Mapping::new(vec![vec![0], vec![2]]); // different clusters
+        (d, p, m)
+    }
+
+    #[test]
+    fn schedule_is_valid_and_complete() {
+        let (d, p, m) = cross_cluster_setup();
+        let r = simulate(&d, &p, &m).unwrap();
+        let s = schedule_from_trace(&r.trace, &d, &p, &TraceOptions::default());
+        assert!(validate(&s).is_empty(), "{:?}", validate(&s));
+        assert_eq!(s.clusters.len(), 2);
+        // 2 computations + 1 transfer.
+        assert_eq!(s.tasks.len(), 3);
+        assert_eq!(s.meta.get("dag"), Some("x"));
+    }
+
+    #[test]
+    fn transfer_spans_clusters() {
+        let (d, p, m) = cross_cluster_setup();
+        let r = simulate(&d, &p, &m).unwrap();
+        let s = schedule_from_trace(&r.trace, &d, &p, &TraceOptions::default());
+        let tr = s.tasks.iter().find(|t| t.kind == "transfer").unwrap();
+        assert_eq!(tr.allocations.len(), 2);
+        assert_eq!(tr.id, "a->b");
+        let clusters: Vec<u32> = tr.allocations.iter().map(|a| a.cluster).collect();
+        assert_eq!(clusters, vec![0, 1]);
+    }
+
+    #[test]
+    fn transfers_can_be_excluded() {
+        let (d, p, m) = cross_cluster_setup();
+        let r = simulate(&d, &p, &m).unwrap();
+        let opts = TraceOptions {
+            include_transfers: false,
+            ..TraceOptions::default()
+        };
+        let s = schedule_from_trace(&r.trace, &d, &p, &opts);
+        assert_eq!(s.tasks.len(), 2);
+    }
+
+    #[test]
+    fn numeric_ids_option() {
+        let (d, p, m) = cross_cluster_setup();
+        let r = simulate(&d, &p, &m).unwrap();
+        let opts = TraceOptions {
+            use_task_names: false,
+            ..TraceOptions::default()
+        };
+        let s = schedule_from_trace(&r.trace, &d, &p, &opts);
+        assert!(s.task_by_id("0").is_some());
+        assert!(s.task_by_id("1").is_some());
+    }
+
+    #[test]
+    fn multi_host_task_grouped_per_cluster() {
+        let mut d = Dag::new("wide");
+        d.add_task(DagTask::new("m", "computation", 10.0));
+        let p = multi_homogeneous(2, 2, 1.0);
+        // Hosts 1 (cluster 0) and 2, 3 (cluster 1).
+        let m = Mapping::new(vec![vec![1, 2, 3]]);
+        let r = simulate(&d, &p, &m).unwrap();
+        let s = schedule_from_trace(&r.trace, &d, &p, &TraceOptions::default());
+        let t = &s.tasks[0];
+        assert_eq!(t.allocations.len(), 2);
+        assert_eq!(t.resource_count(), 3);
+        assert!(validate(&s).is_empty());
+    }
+
+    #[test]
+    fn makespan_matches_schedule() {
+        let (d, p, m) = cross_cluster_setup();
+        let r = simulate(&d, &p, &m).unwrap();
+        let s = schedule_from_trace(
+            &r.trace,
+            &d,
+            &p,
+            &TraceOptions {
+                include_transfers: false,
+                ..Default::default()
+            },
+        );
+        assert!((s.makespan() - r.makespan).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # jedule-taskpool
+//!
+//! The task-pool runtime of the paper's §VI case study ("load balancing
+//! on NUMA architectures").
+//!
+//! A task pool "stores executable tasks in a virtually shared data
+//! structure accessible by all processors"; workers loop
+//! `get() → execute() → free()` while executed tasks may create new
+//! tasks (paper, Fig. 10). The runtime "is able to log run-time
+//! information about each task for offline analysis in Jedule": per
+//! worker, the time spent executing tasks and the time spent getting or
+//! waiting for tasks.
+//!
+//! Three pieces:
+//!
+//! * [`pool`] — real multi-threaded pools (central queue and
+//!   crossbeam-deque work stealing) with wall-clock trace logging,
+//! * [`quicksort`] — the paper's workload: task-parallel Quicksort whose
+//!   recursion tree depends on the pivot strategy and input,
+//! * [`sim`] — a deterministic virtual-time executor over the same
+//!   recursion tree, with a NUMA memory-penalty model; this reproduces
+//!   Figs. 11 and 12 exactly and independently of the machine the tests
+//!   run on.
+//!
+//! [`trace`] converts either execution's log into a Jedule schedule
+//! (execution time blue, waiting time red — exactly the §VI color coding).
+
+pub mod pool;
+pub mod quicksort;
+pub mod sim;
+pub mod trace;
+
+pub use pool::{run_pool, PoolKind};
+pub use quicksort::{build_qs_tree, PivotStrategy, QsNode, QsTree};
+pub use sim::{simulate_tree, NumaModel, PoolPolicy, SimParams, SimReport};
+pub use trace::{trace_to_schedule, TraceLog, TraceSpan};

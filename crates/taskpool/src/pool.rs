@@ -1,0 +1,411 @@
+//! Real multi-threaded task pools with trace logging.
+//!
+//! Implements the execution scheme of the paper's Fig. 10:
+//!
+//! ```text
+//! // initialization (master thread)
+//! for (each initial work unit U)
+//!     TaskPool.create_initial_task(U.Function, U.Argument);
+//! // working phase
+//! parallel for (each thread 1...p)
+//!     forever() {
+//!         Task T = TaskPool.get();
+//!         if (T == ∅) exit;
+//!         T.execute();   // may create new tasks
+//!         T.free();
+//!     }
+//! ```
+//!
+//! Two pool organizations are provided — a *central* shared queue and a
+//! crossbeam-deque *work-stealing* pool ("the actual storing may use
+//! central or distributed data structures … hidden behind the task pool
+//! interface"). Both log, per worker, the time spent in `execute()` and
+//! the time spent in `get()`/waiting, producing the §VI trace.
+
+use crate::trace::{SpanKind, TraceLog, TraceSpan};
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Context handed to every executing task; `spawn` creates new tasks
+/// ("may create new tasks").
+pub struct Ctx<'a> {
+    pool: &'a dyn AnyPool,
+    pub worker: u32,
+}
+
+impl Ctx<'_> {
+    pub fn spawn(&self, job: Job) {
+        self.pool.push(job);
+    }
+}
+
+/// A unit of work.
+pub struct Job {
+    /// Identifier recorded in the trace.
+    pub id: String,
+    pub run: Box<dyn FnOnce(&Ctx) + Send>,
+}
+
+impl Job {
+    pub fn new(id: impl Into<String>, run: impl FnOnce(&Ctx) + Send + 'static) -> Self {
+        Job {
+            id: id.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Which pool organization to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// One shared FIFO protected by a lock.
+    Central,
+    /// Per-worker deques with stealing (crossbeam).
+    WorkStealing,
+}
+
+trait AnyPool: Sync {
+    fn push(&self, job: Job);
+    fn pop(&self, worker: usize) -> Option<Job>;
+}
+
+struct CentralPool {
+    queue: Mutex<VecDeque<Job>>,
+}
+
+impl AnyPool for CentralPool {
+    fn push(&self, job: Job) {
+        self.queue.lock().push_back(job);
+    }
+
+    fn pop(&self, _worker: usize) -> Option<Job> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct StealingPool {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    locals: Vec<Mutex<Deque<Job>>>,
+}
+
+impl AnyPool for StealingPool {
+    fn push(&self, job: Job) {
+        // Tasks spawned by workers go to the global injector; locals are
+        // only popped by their owner. (A production pool would push to
+        // the current worker's deque; the injector keeps `push` callable
+        // from any thread, which the Fig. 10 master-initialization needs.)
+        self.injector.push(job);
+    }
+
+    fn pop(&self, worker: usize) -> Option<Job> {
+        if let Some(j) = self.locals[worker].lock().pop() {
+            return Some(j);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(&*self.locals[worker].lock()) {
+                crossbeam::deque::Steal::Success(j) => return Some(j),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+        for (i, s) in self.stealers.iter().enumerate() {
+            if i == worker {
+                continue;
+            }
+            loop {
+                match s.steal() {
+                    crossbeam::deque::Steal::Success(j) => return Some(j),
+                    crossbeam::deque::Steal::Retry => continue,
+                    crossbeam::deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs `initial` jobs on `workers` threads with the chosen pool kind.
+/// Returns the trace spans (exec and wait intervals per worker, in
+/// seconds relative to the start of the working phase).
+pub fn run_pool(kind: PoolKind, workers: u32, initial: Vec<Job>) -> Vec<TraceSpan> {
+    let workers = workers.max(1);
+    let pool: Arc<dyn AnyPool + Send + Sync> = match kind {
+        PoolKind::Central => Arc::new(CentralPool {
+            queue: Mutex::new(VecDeque::new()),
+        }),
+        PoolKind::WorkStealing => {
+            let locals: Vec<Deque<Job>> =
+                (0..workers).map(|_| Deque::new_fifo()).collect();
+            let stealers = locals.iter().map(Deque::stealer).collect();
+            Arc::new(StealingPool {
+                injector: Injector::new(),
+                stealers,
+                locals: locals.into_iter().map(Mutex::new).collect(),
+            })
+        }
+    };
+
+    // Termination: count of tasks created but not yet finished. A worker
+    // exits when the count hits zero (no task can create more).
+    let outstanding = Arc::new(AtomicUsize::new(initial.len()));
+    for j in initial {
+        pool.push(j);
+    }
+
+    let log = Arc::new(TraceLog::new());
+    let t0 = Instant::now();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let pool = Arc::clone(&pool);
+            let outstanding = Arc::clone(&outstanding);
+            let log = Arc::clone(&log);
+            scope.spawn(move || {
+                let mut wait_started = t0.elapsed().as_secs_f64();
+                loop {
+                    if outstanding.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    let Some(job) = pool.pop(w as usize) else {
+                        std::hint::spin_loop();
+                        continue;
+                    };
+                    let start = t0.elapsed().as_secs_f64();
+                    if start > wait_started {
+                        log.record(TraceSpan {
+                            worker: w,
+                            kind: SpanKind::Wait,
+                            task_id: String::new(),
+                            start: wait_started,
+                            end: start,
+                        });
+                    }
+                    let counted = CountGuard(&outstanding);
+                    let ctx = Ctx {
+                        pool: &*pool,
+                        worker: w,
+                    };
+                    // Spawns must be counted before the task finishes, so
+                    // wrap the context push.
+                    struct CountingCtx<'a> {
+                        inner: &'a dyn AnyPool,
+                        outstanding: &'a AtomicUsize,
+                    }
+                    impl AnyPool for CountingCtx<'_> {
+                        fn push(&self, job: Job) {
+                            self.outstanding.fetch_add(1, Ordering::AcqRel);
+                            self.inner.push(job);
+                        }
+                        fn pop(&self, w: usize) -> Option<Job> {
+                            self.inner.pop(w)
+                        }
+                    }
+                    let counting = CountingCtx {
+                        inner: ctx.pool,
+                        outstanding: &outstanding,
+                    };
+                    let ctx = Ctx {
+                        pool: &counting,
+                        worker: w,
+                    };
+                    (job.run)(&ctx);
+                    drop(counted);
+                    let end = t0.elapsed().as_secs_f64();
+                    log.record(TraceSpan {
+                        worker: w,
+                        kind: SpanKind::Exec,
+                        task_id: job.id,
+                        start,
+                        end,
+                    });
+                    wait_started = end;
+                }
+            });
+        }
+    });
+
+    Arc::try_unwrap(log).expect("all workers joined").into_spans()
+}
+
+/// Decrements the outstanding-task counter on drop (after the task body
+/// ran and its spawns were counted).
+struct CountGuard<'a>(&'a AtomicUsize);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Convenience: runs the task-parallel Quicksort of §VI on a real pool
+/// over shared atomic storage and returns (trace, sorted check).
+pub fn run_quicksort(
+    kind: PoolKind,
+    workers: u32,
+    data: Vec<i64>,
+    threshold: usize,
+) -> (Vec<TraceSpan>, Vec<i64>) {
+    use std::sync::atomic::AtomicI64;
+    let shared: Arc<Vec<AtomicI64>> =
+        Arc::new(data.into_iter().map(AtomicI64::new).collect());
+    let threshold = threshold.max(2);
+
+    fn sort_task(shared: Arc<Vec<AtomicI64>>, off: usize, len: usize, threshold: usize, ctx: &Ctx) {
+        // Snapshot the segment (segments of concurrent tasks are
+        // disjoint, so relaxed ordering is fine).
+        let mut seg: Vec<i64> = (0..len)
+            .map(|i| shared[off + i].load(Ordering::Relaxed))
+            .collect();
+        if len <= threshold {
+            seg.sort_unstable();
+            for (i, v) in seg.iter().enumerate() {
+                shared[off + i].store(*v, Ordering::Relaxed);
+            }
+            return;
+        }
+        let pivot = seg[len / 2];
+        let mut less: Vec<i64> = Vec::with_capacity(len / 2);
+        let mut geq: Vec<i64> = Vec::with_capacity(len / 2);
+        for &v in &seg {
+            if v < pivot {
+                less.push(v);
+            } else {
+                geq.push(v);
+            }
+        }
+        if less.is_empty() || geq.is_empty() {
+            seg.sort_unstable();
+            for (i, v) in seg.iter().enumerate() {
+                shared[off + i].store(*v, Ordering::Relaxed);
+            }
+            return;
+        }
+        let split = less.len();
+        for (i, v) in less.iter().chain(geq.iter()).enumerate() {
+            shared[off + i].store(*v, Ordering::Relaxed);
+        }
+        let (s1, s2) = (Arc::clone(&shared), Arc::clone(&shared));
+        ctx.spawn(Job::new(format!("qs[{off}+{split}]"), move |c| {
+            sort_task(s1, off, split, threshold, c)
+        }));
+        ctx.spawn(Job::new(
+            format!("qs[{}+{}]", off + split, len - split),
+            move |c| sort_task(s2, off + split, len - split, threshold, c),
+        ));
+    }
+
+    let root = {
+        let shared = Arc::clone(&shared);
+        let n = shared.len();
+        Job::new("qs-root", move |c| sort_task(shared, 0, n, threshold, c))
+    };
+    let spans = run_pool(kind, workers, vec![root]);
+    let result: Vec<i64> = shared.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    (spans, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quicksort::random_input;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_initial_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| {
+                let c = Arc::clone(&counter);
+                Job::new(format!("j{i}"), move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let spans = run_pool(PoolKind::Central, 4, jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+        let execs = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Exec)
+            .count();
+        assert_eq!(execs, 20);
+    }
+
+    #[test]
+    fn spawned_jobs_run_too() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        for kind in [PoolKind::Central, PoolKind::WorkStealing] {
+            counter.store(0, Ordering::Relaxed);
+            let c = Arc::clone(&counter);
+            let root = Job::new("root", move |ctx| {
+                for i in 0..8 {
+                    let c2 = Arc::clone(&c);
+                    ctx.spawn(Job::new(format!("child{i}"), move |_| {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+            });
+            run_pool(kind, 3, vec![root]);
+            assert_eq!(counter.load(Ordering::Relaxed), 8, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn quicksort_sorts_on_central_pool() {
+        let data = random_input(20_000, 7);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let (spans, sorted) = run_quicksort(PoolKind::Central, 4, data, 512);
+        assert_eq!(sorted, expect);
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Exec));
+    }
+
+    #[test]
+    fn quicksort_sorts_on_stealing_pool() {
+        let data = random_input(20_000, 8);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let (_, sorted) = run_quicksort(PoolKind::WorkStealing, 4, data, 512);
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn trace_spans_are_well_formed() {
+        let data = random_input(5_000, 9);
+        let (spans, _) = run_quicksort(PoolKind::Central, 3, data, 256);
+        for s in &spans {
+            assert!(s.end >= s.start, "negative span");
+            assert!(s.worker < 3);
+        }
+        // Exec spans per worker never overlap.
+        for w in 0..3 {
+            let mut mine: Vec<&TraceSpan> = spans
+                .iter()
+                .filter(|s| s.worker == w && s.kind == SpanKind::Exec)
+                .collect();
+            mine.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for pair in mine.windows(2) {
+                assert!(pair[0].end <= pair[1].start + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let data = random_input(2_000, 10);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let (_, sorted) = run_quicksort(PoolKind::Central, 1, data, 128);
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn empty_pool_terminates() {
+        let spans = run_pool(PoolKind::Central, 2, vec![]);
+        assert!(spans.iter().all(|s| s.kind == SpanKind::Wait));
+    }
+}

@@ -1,0 +1,330 @@
+//! Task-parallel Quicksort (paper, §VI-B).
+//!
+//! "The parallel Quicksort … creates two tasks for sorting each
+//! sub-array. At the beginning, there is only one task for the whole
+//! input array." The shape of the recursion tree — and hence the
+//! schedule — depends on the pivot strategy and the input:
+//!
+//! * random input + naive pivot: "due to an accidental bad choice of the
+//!   pivot element, the initial array is not split into nearly
+//!   equal-sized sub-arrays" (Fig. 11);
+//! * inversely sorted input + middle pivot: perfectly equal splits, but
+//!   "the processor has to swap every pair of numbers", so the serial
+//!   prefix dominates (Fig. 12).
+//!
+//! [`build_qs_tree`] runs the real partitioning on the data and records
+//! the task tree with exact element and swap counts; the tree is then
+//! either executed by the real pool ([`crate::pool`]) or replayed in
+//! virtual time ([`crate::sim`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the pivot is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotStrategy {
+    /// First element — classic naive choice.
+    First,
+    /// Middle element (the Fig. 12 configuration).
+    Middle,
+    /// Median of first/middle/last.
+    MedianOfThree,
+}
+
+/// One task of the recursion tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QsNode {
+    /// Index within the tree (`0` is the initial whole-array task).
+    pub id: usize,
+    /// Parent task (None for the root).
+    pub parent: Option<usize>,
+    /// Segment offset and length in the original array.
+    pub offset: usize,
+    pub len: usize,
+    /// Number of swaps the partition performed (drives the Fig. 12 cost).
+    pub swaps: usize,
+    /// Children spawned (0, 1 or 2).
+    pub children: Vec<usize>,
+    /// Recursion depth (root = 0).
+    pub depth: usize,
+}
+
+/// The complete recursion tree of one Quicksort run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QsTree {
+    pub nodes: Vec<QsNode>,
+    /// Below this segment length a task sorts sequentially (no spawns).
+    pub threshold: usize,
+    /// Total input length.
+    pub input_len: usize,
+}
+
+impl QsTree {
+    /// Total elements processed over all tasks: Σ len — the `n log n`
+    /// style total work.
+    pub fn total_elements(&self) -> usize {
+        self.nodes.iter().map(|n| n.len).sum()
+    }
+
+    /// Total swaps over all tasks.
+    pub fn total_swaps(&self) -> usize {
+        self.nodes.iter().map(|n| n.swaps).sum()
+    }
+
+    /// Maximum recursion depth.
+    pub fn max_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+}
+
+/// Partitions `data` around the pivot at `pivot_idx`: moves the pivot to
+/// the front, Hoare-scans the rest into `< pivot | ≥ pivot`, then places
+/// the pivot at the boundary. Returns `(pivot position, swaps)`; the
+/// halves `[0, pos)` and `[pos+1, len)` are both strictly shorter than
+/// `data`, so recursion always makes progress (no degenerate loops on
+/// duplicate or pre-sorted inputs).
+fn partition(data: &mut [i64], pivot_idx: usize) -> (usize, usize) {
+    let mut swaps = 0usize;
+    if pivot_idx != 0 {
+        data.swap(0, pivot_idx);
+        swaps += 1;
+    }
+    let pivot = data[0];
+    let (mut i, mut j) = (1usize, data.len());
+    loop {
+        while i < data.len() && data[i] < pivot {
+            i += 1;
+        }
+        while j > i && data[j - 1] >= pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j - 1);
+        swaps += 1;
+        i += 1;
+        j -= 1;
+    }
+    // data[1..i] < pivot, data[i..] >= pivot; park the pivot at i-1.
+    if i > 1 {
+        data.swap(0, i - 1);
+        swaps += 1;
+    }
+    (i - 1, swaps)
+}
+
+fn choose_pivot_index(data: &[i64], strategy: PivotStrategy) -> usize {
+    match strategy {
+        PivotStrategy::First => 0,
+        PivotStrategy::Middle => data.len() / 2,
+        PivotStrategy::MedianOfThree => {
+            let (ai, bi, ci) = (0, data.len() / 2, data.len() - 1);
+            let (a, b, c) = (data[ai], data[bi], data[ci]);
+            // Index of the median value.
+            if (a <= b && b <= c) || (c <= b && b <= a) {
+                bi
+            } else if (b <= a && a <= c) || (c <= a && a <= b) {
+                ai
+            } else {
+                ci
+            }
+        }
+    }
+}
+
+/// Runs Quicksort on a copy of `data`, recording the task tree. The sort
+/// itself is verified by the caller (the data really is sorted).
+pub fn build_qs_tree(data: &[i64], strategy: PivotStrategy, threshold: usize) -> (QsTree, Vec<i64>) {
+    let threshold = threshold.max(2);
+    let mut work = data.to_vec();
+    let mut nodes: Vec<QsNode> = Vec::new();
+    // Explicit stack of (node id, offset, len, depth).
+    let mut stack: Vec<(usize, usize, usize, usize)> = Vec::new();
+    nodes.push(QsNode {
+        id: 0,
+        parent: None,
+        offset: 0,
+        len: work.len(),
+        swaps: 0,
+        children: Vec::new(),
+        depth: 0,
+    });
+    stack.push((0, 0, work.len(), 0));
+
+    while let Some((id, off, len, depth)) = stack.pop() {
+        if len <= threshold {
+            // Leaf: sequential sort, no spawns.
+            work[off..off + len].sort_unstable();
+            continue;
+        }
+        let seg = &mut work[off..off + len];
+        let pidx = choose_pivot_index(seg, strategy);
+        let (pos, swaps) = partition(seg, pidx);
+        nodes[id].swaps = swaps;
+        // The pivot sits at `pos`; recurse on both sides of it. Each side
+        // is strictly shorter than `len`, so the tree is finite even for
+        // duplicate-heavy or pre-sorted inputs.
+        for (co, cl) in [(off, pos), (off + pos + 1, len - pos - 1)] {
+            if cl == 0 {
+                continue;
+            }
+            let cid = nodes.len();
+            nodes.push(QsNode {
+                id: cid,
+                parent: Some(id),
+                offset: co,
+                len: cl,
+                swaps: 0,
+                children: Vec::new(),
+                depth: depth + 1,
+            });
+            nodes[id].children.push(cid);
+            stack.push((cid, co, cl, depth + 1));
+        }
+    }
+
+    (
+        QsTree {
+            nodes,
+            threshold,
+            input_len: data.len(),
+        },
+        work,
+    )
+}
+
+/// Random input of `n` integers (Fig. 11's "10 million random integers").
+pub fn random_input(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..i64::MAX / 2)).collect()
+}
+
+/// Inversely sorted input (Fig. 12's worst case for memory traffic).
+pub fn inverse_input(n: usize) -> Vec<i64> {
+    (0..n as i64).rev().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted(v: &[i64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let data = random_input(10_000, 1);
+        for strat in [
+            PivotStrategy::First,
+            PivotStrategy::Middle,
+            PivotStrategy::MedianOfThree,
+        ] {
+            let (_, sorted) = build_qs_tree(&data, strat, 64);
+            assert!(is_sorted(&sorted), "{strat:?}");
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn sorts_inverse_input() {
+        let data = inverse_input(5_000);
+        let (tree, sorted) = build_qs_tree(&data, PivotStrategy::Middle, 64);
+        assert!(is_sorted(&sorted));
+        assert!(tree.total_swaps() > 0);
+    }
+
+    #[test]
+    fn sorts_pathological_inputs() {
+        for data in [
+            vec![],
+            vec![1],
+            vec![5, 5, 5, 5, 5, 5],
+            vec![2, 1],
+            (0..100).collect::<Vec<i64>>(), // already sorted
+        ] {
+            let (_, sorted) = build_qs_tree(&data, PivotStrategy::First, 4);
+            assert!(is_sorted(&sorted), "{data:?}");
+            assert_eq!(sorted.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn root_is_whole_array() {
+        let data = random_input(1_000, 2);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 32);
+        assert_eq!(tree.nodes[0].offset, 0);
+        assert_eq!(tree.nodes[0].len, 1_000);
+        assert_eq!(tree.nodes[0].depth, 0);
+        assert!(tree.nodes[0].parent.is_none());
+    }
+
+    #[test]
+    fn children_partition_the_parent() {
+        let data = random_input(4_096, 3);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::MedianOfThree, 32);
+        for n in &tree.nodes {
+            if n.children.len() == 2 {
+                let a = &tree.nodes[n.children[0]];
+                let b = &tree.nodes[n.children[1]];
+                assert_eq!(a.offset, n.offset);
+                // The pivot element sits between the two children.
+                assert_eq!(a.offset + a.len + 1, b.offset);
+                assert_eq!(a.len + b.len + 1, n.len);
+                assert_eq!(a.depth, n.depth + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn middle_pivot_on_inverse_input_splits_evenly() {
+        // The Fig. 12 construction: "inversely sorted numbers and
+        // selecting the middle element as pivot element … force the
+        // Quicksort algorithm to equally partition the input array".
+        let data = inverse_input(1 << 14);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 64);
+        let root = &tree.nodes[0];
+        assert_eq!(root.children.len(), 2);
+        let a = tree.nodes[root.children[0]].len as f64;
+        let b = tree.nodes[root.children[1]].len as f64;
+        assert!((a / b - 1.0).abs() < 0.05, "split {a} / {b}");
+        // And the root swaps every pair: n/2 swaps.
+        assert!(root.swaps as f64 > data.len() as f64 * 0.45);
+    }
+
+    #[test]
+    fn random_input_has_moderate_root_swaps() {
+        let data = random_input(1 << 14, 4);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 64);
+        // Random data swaps far fewer than every pair.
+        assert!((tree.nodes[0].swaps as f64) < data.len() as f64 * 0.45);
+    }
+
+    #[test]
+    fn many_tasks_for_large_inputs() {
+        // §VI: "some experiments with the parallel Quicksort have created
+        // more than 200,000 individual tasks" — small threshold, big n.
+        let data = random_input(1 << 16, 5);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::First, 2);
+        assert!(tree.nodes.len() > 10_000, "{} tasks", tree.nodes.len());
+    }
+
+    #[test]
+    fn threshold_bounds_leaf_size() {
+        let data = random_input(10_000, 6);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 128);
+        for n in &tree.nodes {
+            if n.len > 128 {
+                assert!(
+                    !n.children.is_empty(),
+                    "over-threshold segment (len {}) must recurse",
+                    n.len
+                );
+            }
+        }
+        assert!(tree.max_depth() > 3);
+    }
+}

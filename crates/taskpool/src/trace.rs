@@ -1,0 +1,231 @@
+//! Trace logging and conversion to Jedule schedules.
+//!
+//! "The run-time environment stores for each thread the time used for
+//! executing a task and the time to get new tasks (or wait for new tasks
+//! if necessary)" (paper, §VI-B). A [`TraceSpan`] is one such interval;
+//! [`trace_to_schedule`] renders the log as a Jedule schedule where
+//! "task execution times are highlighted in blue and waiting times are
+//! colored red".
+
+use jedule_core::{Allocation, ColorMap, ColorPair, Color, Schedule, ScheduleBuilder, Task};
+use parking_lot::Mutex;
+
+/// What a worker was doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Executing a task (`execute()`).
+    Exec,
+    /// Getting or waiting for a task (`get()` / `free()`).
+    Wait,
+}
+
+impl SpanKind {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SpanKind::Exec => "exec",
+            SpanKind::Wait => "wait",
+        }
+    }
+}
+
+/// One logged interval on one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    pub worker: u32,
+    pub kind: SpanKind,
+    /// Task identifier for exec spans (empty for waits).
+    pub task_id: String,
+    pub start: f64,
+    pub end: f64,
+}
+
+/// A thread-safe trace collector.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    spans: Mutex<Vec<TraceSpan>>,
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    pub fn record(&self, span: TraceSpan) {
+        self.spans.lock().push(span);
+    }
+
+    /// Takes all recorded spans, sorted by (worker, start).
+    pub fn into_spans(self) -> Vec<TraceSpan> {
+        let mut v = self.spans.into_inner();
+        v.sort_by(|a, b| a.worker.cmp(&b.worker).then(a.start.total_cmp(&b.start)));
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+}
+
+/// Options for schedule conversion.
+#[derive(Debug, Clone)]
+pub struct TraceScheduleOptions {
+    /// Cluster name shown on the chart.
+    pub cluster_name: String,
+    /// Drop spans shorter than this (noise in wall-clock traces).
+    pub min_span: f64,
+    /// Include wait spans (red) in the schedule.
+    pub include_waits: bool,
+}
+
+impl Default for TraceScheduleOptions {
+    fn default() -> Self {
+        TraceScheduleOptions {
+            cluster_name: "workers".into(),
+            min_span: 0.0,
+            include_waits: true,
+        }
+    }
+}
+
+/// Converts a span log over `workers` workers into a Jedule schedule.
+pub fn trace_to_schedule(
+    spans: &[TraceSpan],
+    workers: u32,
+    opts: &TraceScheduleOptions,
+) -> Schedule {
+    let mut b = ScheduleBuilder::new().cluster(0, opts.cluster_name.clone(), workers);
+    let mut wait_seq = 0u64;
+    for s in spans {
+        if s.end - s.start < opts.min_span {
+            continue;
+        }
+        if s.kind == SpanKind::Wait && !opts.include_waits {
+            continue;
+        }
+        let id = match s.kind {
+            SpanKind::Exec => s.task_id.clone(),
+            SpanKind::Wait => {
+                wait_seq += 1;
+                format!("w{wait_seq}")
+            }
+        };
+        b = b.task(
+            Task::new(id, s.kind.type_name(), s.start, s.end)
+                .on(Allocation::contiguous(0, s.worker, 1)),
+        );
+    }
+    b.build_unchecked()
+}
+
+/// The §VI color map: execution blue, waiting red.
+pub fn taskpool_colormap() -> ColorMap {
+    let mut m = ColorMap::new("taskpool");
+    m.set("exec", ColorPair::new(Color::WHITE, Color::parse("0000FF").unwrap()));
+    m.set("wait", ColorPair::new(Color::BLACK, Color::parse("f10000").unwrap()));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::validate;
+
+    fn spans() -> Vec<TraceSpan> {
+        vec![
+            TraceSpan {
+                worker: 0,
+                kind: SpanKind::Exec,
+                task_id: "t1".into(),
+                start: 0.0,
+                end: 2.0,
+            },
+            TraceSpan {
+                worker: 1,
+                kind: SpanKind::Wait,
+                task_id: String::new(),
+                start: 0.0,
+                end: 1.0,
+            },
+            TraceSpan {
+                worker: 1,
+                kind: SpanKind::Exec,
+                task_id: "t2".into(),
+                start: 1.0,
+                end: 1.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn conversion_produces_valid_schedule() {
+        let s = trace_to_schedule(&spans(), 2, &TraceScheduleOptions::default());
+        assert!(validate(&s).is_empty());
+        assert_eq!(s.tasks.len(), 3);
+        assert_eq!(s.task_types(), vec!["exec", "wait"]);
+        assert_eq!(s.total_hosts(), 2);
+    }
+
+    #[test]
+    fn waits_can_be_dropped() {
+        let opts = TraceScheduleOptions {
+            include_waits: false,
+            ..Default::default()
+        };
+        let s = trace_to_schedule(&spans(), 2, &opts);
+        assert_eq!(s.tasks.len(), 2);
+        assert!(s.tasks.iter().all(|t| t.kind == "exec"));
+    }
+
+    #[test]
+    fn min_span_filters_noise() {
+        let opts = TraceScheduleOptions {
+            min_span: 0.75,
+            ..Default::default()
+        };
+        let s = trace_to_schedule(&spans(), 2, &opts);
+        assert_eq!(s.tasks.len(), 2); // t2 (0.5) dropped
+    }
+
+    #[test]
+    fn log_is_thread_safe_and_sorts() {
+        let log = std::sync::Arc::new(TraceLog::new());
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    log.record(TraceSpan {
+                        worker: w,
+                        kind: SpanKind::Exec,
+                        task_id: format!("{w}-{i}"),
+                        start: f64::from(i),
+                        end: f64::from(i) + 0.5,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 40);
+        let spans = std::sync::Arc::try_unwrap(log).unwrap().into_spans();
+        // Sorted by worker then start.
+        for w in spans.windows(2) {
+            assert!(
+                (w[0].worker, w[0].start) <= (w[1].worker, w[1].start),
+                "unsorted"
+            );
+        }
+    }
+
+    #[test]
+    fn colormap_matches_paper_palette() {
+        let m = taskpool_colormap();
+        assert_eq!(m.get("exec").unwrap().bg, Color::new(0, 0, 255));
+        assert_eq!(m.get("wait").unwrap().bg, Color::new(0xf1, 0, 0));
+    }
+}

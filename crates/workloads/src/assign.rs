@@ -1,0 +1,246 @@
+//! Node-assignment reconstruction.
+//!
+//! SWF traces record how many processors each job used, but not *which*
+//! nodes — yet the Fig. 13 bird's-eye view needs rectangles on concrete
+//! rows. This module replays the trace through an event-driven allocator:
+//! jobs grab nodes at their start time (first-fit contiguous, falling
+//! back to the lowest free indices when fragmented — producing the
+//! multi-rectangle tasks Jedule exists to draw) and release them at their
+//! end time. The first `reserved` nodes are never allocated, matching
+//! "20 nodes of this cluster were reserved as login and debug nodes …
+//! jobs get only executed by nodes with a number greater than 20".
+
+use crate::swf::Job;
+use jedule_core::{HostRange, HostSet};
+
+/// A job with reconstructed nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignedJob {
+    pub job: Job,
+    pub nodes: HostSet,
+    /// True when the allocator could not find enough free nodes and the
+    /// job was truncated to what was available (dirty traces only).
+    pub truncated: bool,
+}
+
+/// Free-node pool over `[reserved, total)`.
+struct FreePool {
+    free: HostSet,
+}
+
+impl FreePool {
+    fn new(total: u32, reserved: u32) -> Self {
+        FreePool {
+            free: HostSet::contiguous(reserved, total.saturating_sub(reserved)),
+        }
+    }
+
+    /// Takes `n` nodes: a contiguous run if one exists, else the lowest
+    /// free indices.
+    fn take(&mut self, n: u32) -> HostSet {
+        if n == 0 {
+            return HostSet::new();
+        }
+        // First fit: smallest-start contiguous range that holds n.
+        if let Some(r) = self
+            .free
+            .ranges()
+            .iter()
+            .find(|r| r.nb >= n)
+            .copied()
+        {
+            let taken = HostSet::contiguous(r.start, n);
+            self.remove(&taken);
+            return taken;
+        }
+        // Scatter: lowest free indices.
+        let picked: Vec<u32> = self.free.iter().take(n as usize).collect();
+        let taken = HostSet::from_hosts(picked);
+        self.remove(&taken);
+        taken
+    }
+
+    fn remove(&mut self, set: &HostSet) {
+        // Set difference via ranges.
+        let mut out = HostSet::new();
+        for r in self.free.ranges() {
+            let mut cursor = r.start;
+            for t in set.ranges() {
+                let lo = t.start.max(r.start);
+                let hi = t.end().min(r.end());
+                if lo >= hi {
+                    continue;
+                }
+                if lo > cursor {
+                    out.insert_range(HostRange::new(cursor, lo - cursor));
+                }
+                cursor = cursor.max(hi);
+            }
+            if cursor < r.end() {
+                out.insert_range(HostRange::new(cursor, r.end() - cursor));
+            }
+        }
+        self.free = out;
+    }
+
+    fn give_back(&mut self, set: &HostSet) {
+        self.free = self.free.union(set);
+    }
+
+    fn free_count(&self) -> u32 {
+        self.free.count()
+    }
+}
+
+/// Replays `jobs` over a machine of `total_nodes`, the first `reserved`
+/// of which are never used. Jobs are processed in event order (releases
+/// before grabs at equal times). Jobs asking for more nodes than exist
+/// outside the reservation are truncated.
+pub fn assign_nodes(jobs: &[Job], total_nodes: u32, reserved: u32) -> Vec<AssignedJob> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Ev {
+        End(usize),
+        Start(usize),
+    }
+    let mut events: Vec<(f64, u8, Ev)> = Vec::with_capacity(jobs.len() * 2);
+    for (i, j) in jobs.iter().enumerate() {
+        events.push((j.start(), 1, Ev::Start(i)));
+        events.push((j.end(), 0, Ev::End(i)));
+    }
+    // Ends (tag 0) before starts (tag 1) at equal times.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut pool = FreePool::new(total_nodes, reserved);
+    let mut out: Vec<Option<AssignedJob>> = vec![None; jobs.len()];
+
+    for (_, _, ev) in events {
+        match ev {
+            Ev::End(i) => {
+                if let Some(a) = &out[i] {
+                    let nodes = a.nodes.clone();
+                    pool.give_back(&nodes);
+                }
+            }
+            Ev::Start(i) => {
+                let want = jobs[i].procs;
+                let available = pool.free_count();
+                let take = want.min(available);
+                let nodes = pool.take(take);
+                out[i] = Some(AssignedJob {
+                    job: jobs[i].clone(),
+                    nodes,
+                    truncated: take < want,
+                });
+            }
+        }
+    }
+
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: i64, submit: f64, run: f64, procs: u32) -> Job {
+        Job {
+            id,
+            submit,
+            wait: 0.0,
+            run,
+            procs,
+            user: 0,
+            group: 0,
+            queue: 0,
+            status: 1,
+        }
+    }
+
+    #[test]
+    fn reserved_nodes_never_used() {
+        let jobs = vec![job(1, 0.0, 10.0, 8)];
+        let a = assign_nodes(&jobs, 32, 20);
+        assert_eq!(a[0].nodes.min_host(), Some(20));
+        assert_eq!(a[0].nodes.count(), 8);
+        assert!(!a[0].truncated);
+    }
+
+    #[test]
+    fn concurrent_jobs_get_disjoint_nodes() {
+        let jobs = vec![job(1, 0.0, 10.0, 8), job(2, 1.0, 10.0, 8)];
+        let a = assign_nodes(&jobs, 32, 0);
+        assert!(!a[0].nodes.intersects(&a[1].nodes));
+        assert_eq!(a[0].nodes.count() + a[1].nodes.count(), 16);
+    }
+
+    #[test]
+    fn nodes_reused_after_release() {
+        let jobs = vec![job(1, 0.0, 10.0, 16), job(2, 10.0, 10.0, 16)];
+        let a = assign_nodes(&jobs, 16, 0);
+        // Release at t=10 happens before the grab at t=10.
+        assert_eq!(a[1].nodes.count(), 16);
+        assert!(!a[1].truncated);
+        assert_eq!(a[0].nodes, a[1].nodes);
+    }
+
+    #[test]
+    fn fragmentation_produces_noncontiguous_sets() {
+        // j1 [0..4), j2 [4..8), j3 [8..12); j2 releases; j4 wants 6 →
+        // must scatter across the [4..8) hole and [12..16).
+        let jobs = vec![
+            job(1, 0.0, 100.0, 4),
+            job(2, 0.0, 10.0, 4),
+            job(3, 0.0, 100.0, 4),
+            job(4, 20.0, 10.0, 6),
+        ];
+        let a = assign_nodes(&jobs, 16, 0);
+        let j4 = a.iter().find(|x| x.job.id == 4).unwrap();
+        assert_eq!(j4.nodes.count(), 6);
+        assert!(!j4.nodes.is_contiguous(), "nodes {}", j4.nodes);
+    }
+
+    #[test]
+    fn oversized_jobs_truncated() {
+        let jobs = vec![job(1, 0.0, 10.0, 64)];
+        let a = assign_nodes(&jobs, 32, 20);
+        assert!(a[0].truncated);
+        assert_eq!(a[0].nodes.count(), 12);
+    }
+
+    #[test]
+    fn no_overlap_invariant_on_dense_trace() {
+        // Many random-ish jobs; verify the fundamental invariant: at any
+        // time, node sets of running jobs are pairwise disjoint.
+        let mut jobs = Vec::new();
+        for i in 0..60i64 {
+            jobs.push(job(
+                i,
+                (i % 17) as f64,
+                5.0 + (i % 7) as f64,
+                1 + (i % 9) as u32,
+            ));
+        }
+        let a = assign_nodes(&jobs, 48, 4);
+        for (x, ja) in a.iter().enumerate() {
+            assert!(ja.nodes.min_host().is_none_or(|m| m >= 4));
+            for jb in &a[x + 1..] {
+                let overlap_time = ja.job.start() < jb.job.end() && jb.job.start() < ja.job.end();
+                if overlap_time {
+                    assert!(
+                        !ja.nodes.intersects(&jb.nodes),
+                        "jobs {} and {} share nodes",
+                        ja.job.id,
+                        jb.job.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_proc_job_gets_nothing() {
+        let jobs = vec![job(1, 0.0, 10.0, 0)];
+        let a = assign_nodes(&jobs, 8, 0);
+        assert!(a[0].nodes.is_empty());
+    }
+}

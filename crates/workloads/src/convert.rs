@@ -1,0 +1,144 @@
+//! Conversion of workloads to Jedule schedules (the Fig. 13 view).
+
+use crate::assign::{assign_nodes, AssignedJob};
+use crate::swf::Job;
+use jedule_core::{Allocation, Color, ColorMap, ColorPair, Schedule, ScheduleBuilder, Task};
+
+/// Conversion options.
+#[derive(Debug, Clone)]
+pub struct ConvertOptions {
+    pub cluster_name: String,
+    pub total_nodes: u32,
+    /// First nodes reserved for login/debug (drawn empty).
+    pub reserved: u32,
+    /// Jobs of this user get the task type `"highlight"` ("we also
+    /// highlighted in yellow the jobs of user 6447").
+    pub highlight_user: Option<i64>,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions {
+            cluster_name: "thunder".into(),
+            total_nodes: 1024,
+            reserved: 20,
+            highlight_user: Some(6447),
+        }
+    }
+}
+
+/// Assigns nodes and converts to a Jedule schedule.
+pub fn jobs_to_schedule(jobs: &[Job], opts: &ConvertOptions) -> Schedule {
+    let assigned = assign_nodes(jobs, opts.total_nodes, opts.reserved);
+    assigned_to_schedule(&assigned, opts)
+}
+
+/// Converts pre-assigned jobs.
+pub fn assigned_to_schedule(assigned: &[AssignedJob], opts: &ConvertOptions) -> Schedule {
+    let mut b = ScheduleBuilder::new()
+        .cluster(0, opts.cluster_name.clone(), opts.total_nodes)
+        .meta("jobs", assigned.len().to_string())
+        .meta("reserved_nodes", opts.reserved.to_string());
+    if let Some(u) = opts.highlight_user {
+        b = b.meta("highlight_user", u.to_string());
+    }
+    for a in assigned {
+        if a.nodes.is_empty() {
+            continue;
+        }
+        let kind = match opts.highlight_user {
+            Some(u) if a.job.user == u => "highlight",
+            _ => "job",
+        };
+        let task = Task::new(a.job.id.to_string(), kind, a.job.start(), a.job.end())
+            .on(Allocation::new(0, a.nodes.clone()))
+            .with_attr("user", a.job.user.to_string())
+            .with_attr("procs", a.job.procs.to_string());
+        b = b.task(task);
+    }
+    b.build_unchecked()
+}
+
+/// The Fig. 13 color map: regular jobs muted, the highlighted user's
+/// jobs yellow.
+pub fn workload_colormap() -> ColorMap {
+    let mut m = ColorMap::new("workload");
+    m.set(
+        "job",
+        ColorPair::new(Color::WHITE, Color::parse("4682b4").unwrap()),
+    );
+    m.set(
+        "highlight",
+        ColorPair::new(Color::BLACK, Color::parse("ffd700").unwrap()),
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_thunder_day, ThunderParams};
+    use jedule_core::validate;
+
+    #[test]
+    fn thunder_day_schedule_is_valid() {
+        let p = ThunderParams::default();
+        let jobs = synth_thunder_day(&p);
+        let s = jobs_to_schedule(&jobs, &ConvertOptions::default());
+        assert!(validate(&s).is_empty());
+        assert_eq!(s.total_hosts(), 1024);
+        assert!(s.tasks.len() > 700, "{} tasks", s.tasks.len());
+    }
+
+    #[test]
+    fn reserved_nodes_stay_empty() {
+        let jobs = synth_thunder_day(&ThunderParams::default());
+        let s = jobs_to_schedule(&jobs, &ConvertOptions::default());
+        for host in 0..20 {
+            assert!(
+                s.tasks_on_host(0, host).is_empty(),
+                "reserved node {host} was used"
+            );
+        }
+    }
+
+    #[test]
+    fn highlight_user_typed_separately() {
+        let p = ThunderParams::default();
+        let jobs = synth_thunder_day(&p);
+        let s = jobs_to_schedule(&jobs, &ConvertOptions::default());
+        let highlighted = s.tasks.iter().filter(|t| t.kind == "highlight").count();
+        assert!(highlighted > 0);
+        assert!(s.tasks.iter().any(|t| t.kind == "job"));
+        // Highlighted tasks all belong to the user.
+        for t in s.tasks.iter().filter(|t| t.kind == "highlight") {
+            let user = t.attrs.iter().find(|(k, _)| k == "user").unwrap();
+            assert_eq!(user.1, "6447");
+        }
+    }
+
+    #[test]
+    fn no_highlighting_when_disabled() {
+        let jobs = synth_thunder_day(&ThunderParams::default());
+        let opts = ConvertOptions {
+            highlight_user: None,
+            ..Default::default()
+        };
+        let s = jobs_to_schedule(&jobs, &opts);
+        assert!(s.tasks.iter().all(|t| t.kind == "job"));
+    }
+
+    #[test]
+    fn colormap_has_yellow_highlight() {
+        let m = workload_colormap();
+        assert_eq!(m.get("highlight").unwrap().bg, Color::new(0xff, 0xd7, 0));
+    }
+
+    #[test]
+    fn meta_records_the_setup() {
+        let jobs = synth_thunder_day(&ThunderParams::default());
+        let s = jobs_to_schedule(&jobs, &ConvertOptions::default());
+        assert_eq!(s.meta.get("reserved_nodes"), Some("20"));
+        assert_eq!(s.meta.get("highlight_user"), Some("6447"));
+    }
+}

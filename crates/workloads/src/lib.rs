@@ -1,0 +1,30 @@
+//! # jedule-workloads
+//!
+//! Parallel production workloads (paper, §VII).
+//!
+//! The paper's last case study renders a bird's-eye view of one day of
+//! the LLNL Thunder cluster (1024 nodes, 834 jobs finishing on
+//! 2007-02-02, nodes 0–19 reserved for login/debug, jobs of user 6447
+//! highlighted in yellow), taken from the Parallel Workloads Archive.
+//!
+//! * [`swf`] parses the archive's Standard Workload Format, so any real
+//!   PWA trace the user downloads works directly;
+//! * [`assign`] reconstructs per-job node sets (SWF records only
+//!   processor *counts*) with an event-driven first-fit allocator;
+//! * [`synth`] generates a calibrated synthetic Thunder-like day — the
+//!   real trace is not redistributable in this repository (see
+//!   DESIGN.md);
+//! * [`convert`] turns jobs into a Jedule schedule with per-user
+//!   highlighting.
+
+pub mod assign;
+pub mod convert;
+pub mod stats;
+pub mod swf;
+pub mod synth;
+
+pub use assign::{assign_nodes, AssignedJob};
+pub use convert::{jobs_to_schedule, ConvertOptions};
+pub use stats::{top_users, workload_stats, UserStats, WorkloadStats};
+pub use swf::{parse_swf, Job, SwfHeader};
+pub use synth::{synth_thunder_day, ThunderParams};

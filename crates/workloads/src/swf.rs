@@ -1,0 +1,256 @@
+//! Standard Workload Format (SWF) parsing.
+//!
+//! The Parallel Workloads Archive stores traces as one line per job with
+//! 18 whitespace-separated fields; header lines start with `;`. Missing
+//! values are `-1`. Fields (1-based, per the PWA definition):
+//!
+//! ```text
+//!  1 job number          7 used memory        13 group id
+//!  2 submit time         8 requested procs    14 executable
+//!  3 wait time           9 requested time     15 queue
+//!  4 run time           10 requested memory   16 partition
+//!  5 allocated procs    11 status             17 preceding job
+//!  6 avg cpu time       12 user id            18 think time
+//! ```
+
+use std::fmt;
+
+/// One job record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    pub id: i64,
+    /// Seconds since trace start.
+    pub submit: f64,
+    pub wait: f64,
+    pub run: f64,
+    /// Allocated processors (falls back to requested when missing).
+    pub procs: u32,
+    pub user: i64,
+    pub group: i64,
+    pub queue: i64,
+    pub status: i64,
+}
+
+impl Job {
+    /// Start of execution.
+    pub fn start(&self) -> f64 {
+        self.submit + self.wait.max(0.0)
+    }
+
+    /// End of execution.
+    pub fn end(&self) -> f64 {
+        self.start() + self.run.max(0.0)
+    }
+}
+
+/// Selected header metadata (`; Key: Value` lines).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SwfHeader {
+    pub computer: Option<String>,
+    pub max_nodes: Option<u32>,
+    pub max_procs: Option<u32>,
+    pub raw: Vec<(String, String)>,
+}
+
+/// Parse error with line number.
+#[derive(Debug)]
+pub struct SwfError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWF parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parses SWF text into header metadata and jobs. Jobs with unusable
+/// essential fields (no processors, negative run time with no wait) are
+/// skipped rather than failing the whole trace, mirroring how PWA
+/// consumers treat dirty records.
+pub fn parse_swf(src: &str) -> Result<(SwfHeader, Vec<Job>), SwfError> {
+    let mut header = SwfHeader::default();
+    let mut jobs = Vec::new();
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            if let Some((k, v)) = comment.split_once(':') {
+                let key = k.trim().to_string();
+                let value = v.trim().to_string();
+                match key.as_str() {
+                    "Computer" => header.computer = Some(value.clone()),
+                    "MaxNodes" => header.max_nodes = value.parse().ok(),
+                    "MaxProcs" => header.max_procs = value.parse().ok(),
+                    _ => {}
+                }
+                header.raw.push((key, value));
+            }
+            continue;
+        }
+
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() < 5 {
+            return Err(SwfError {
+                line: ln + 1,
+                msg: format!("expected ≥5 fields, found {}", f.len()),
+            });
+        }
+        let get = |i: usize| -> f64 { f.get(i).and_then(|s| s.parse().ok()).unwrap_or(-1.0) };
+        let id = get(0) as i64;
+        let submit = get(1);
+        let wait = get(2);
+        let run = get(3);
+        let mut procs = get(4);
+        if procs <= 0.0 {
+            procs = get(7); // fall back to requested processors
+        }
+        if procs <= 0.0 || run < 0.0 || submit < 0.0 {
+            continue; // unusable record
+        }
+        jobs.push(Job {
+            id,
+            submit,
+            wait: wait.max(0.0),
+            run,
+            procs: procs as u32,
+            user: get(11) as i64,
+            group: get(12) as i64,
+            queue: get(14) as i64,
+            status: get(10) as i64,
+        });
+    }
+
+    Ok((header, jobs))
+}
+
+/// Keeps the jobs that *finished* within `[day_start, day_start + 86400)`
+/// — the paper's "all jobs that finished on 02/02" selection.
+pub fn filter_finished_on_day(jobs: &[Job], day_start: f64) -> Vec<Job> {
+    jobs.iter()
+        .filter(|j| {
+            let e = j.end();
+            e >= day_start && e < day_start + 86_400.0
+        })
+        .cloned()
+        .collect()
+}
+
+/// Serializes jobs back to SWF (for round-trip tests and export).
+pub fn write_swf(header: &SwfHeader, jobs: &[Job]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(c) = &header.computer {
+        let _ = writeln!(out, "; Computer: {c}");
+    }
+    if let Some(n) = header.max_nodes {
+        let _ = writeln!(out, "; MaxNodes: {n}");
+    }
+    if let Some(p) = header.max_procs {
+        let _ = writeln!(out, "; MaxProcs: {p}");
+    }
+    for j in jobs {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} -1 -1 {} -1 -1 {} {} {} -1 {} -1 -1 -1",
+            j.id, j.submit, j.wait, j.run, j.procs, j.procs, j.status, j.user, j.group, j.queue
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Computer: LLNL Thunder
+; MaxNodes: 1024
+; MaxProcs: 4096
+; Note: demo extract
+1 0 10 3600 64 -1 -1 64 7200 -1 1 6447 5 -1 2 -1 -1 -1
+2 100 0 1800 128 -1 -1 128 3600 -1 1 1234 5 -1 2 -1 -1 -1
+3 200 50 -1 32 -1 -1 32 100 -1 0 9 9 -1 1 -1 -1 -1
+4 300 0 60 -1 -1 -1 16 100 -1 1 7 7 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_header() {
+        let (h, _) = parse_swf(SAMPLE).unwrap();
+        assert_eq!(h.computer.as_deref(), Some("LLNL Thunder"));
+        assert_eq!(h.max_nodes, Some(1024));
+        assert_eq!(h.max_procs, Some(4096));
+        assert!(h.raw.iter().any(|(k, _)| k == "Note"));
+    }
+
+    #[test]
+    fn parses_jobs_and_skips_dirty() {
+        let (_, jobs) = parse_swf(SAMPLE).unwrap();
+        // Job 3 has run = -1 → skipped; job 4 falls back to requested 16.
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].id, 1);
+        assert_eq!(jobs[0].procs, 64);
+        assert_eq!(jobs[0].user, 6447);
+        assert_eq!(jobs[2].procs, 16);
+    }
+
+    #[test]
+    fn start_end_math() {
+        let (_, jobs) = parse_swf(SAMPLE).unwrap();
+        assert_eq!(jobs[0].start(), 10.0);
+        assert_eq!(jobs[0].end(), 3610.0);
+    }
+
+    #[test]
+    fn malformed_line_errors_with_position() {
+        let err = parse_swf("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn day_filter() {
+        let mk = |submit: f64, run: f64| Job {
+            id: 0,
+            submit,
+            wait: 0.0,
+            run,
+            procs: 1,
+            user: 0,
+            group: 0,
+            queue: 0,
+            status: 1,
+        };
+        let jobs = vec![
+            mk(0.0, 100.0),           // ends day 0
+            mk(86_000.0, 1000.0),     // ends day 1
+            mk(172_700.0, 200.0),     // ends day 2
+        ];
+        assert_eq!(filter_finished_on_day(&jobs, 0.0).len(), 1);
+        assert_eq!(filter_finished_on_day(&jobs, 86_400.0).len(), 1);
+        let d1 = filter_finished_on_day(&jobs, 86_400.0);
+        assert_eq!(d1[0].submit, 86_000.0);
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let (h, jobs) = parse_swf(SAMPLE).unwrap();
+        let text = write_swf(&h, &jobs);
+        let (h2, jobs2) = parse_swf(&text).unwrap();
+        assert_eq!(h2.computer, h.computer);
+        assert_eq!(jobs2, jobs);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (h, jobs) = parse_swf("").unwrap();
+        assert!(jobs.is_empty());
+        assert!(h.computer.is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic Thunder-like day generator.
+//!
+//! The real `LLNL-Thunder-2007` trace is not redistributable inside this
+//! repository, so Fig. 13 is regenerated from a calibrated synthetic
+//! workload matching the figure's published characteristics: a 1024-node
+//! cluster, the first 20 nodes reserved, 834 jobs finishing within one
+//! day, power-of-two-heavy job sizes, a heavy-tailed runtime mix and a
+//! small population of users of which one is highlighted. Real traces
+//! can be substituted at any time via [`crate::swf::parse_swf`].
+
+use crate::swf::Job;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters, defaulting to the Fig. 13 setting.
+#[derive(Debug, Clone)]
+pub struct ThunderParams {
+    pub nodes: u32,
+    pub reserved: u32,
+    /// Jobs finishing within the day.
+    pub jobs: usize,
+    /// Day length in seconds.
+    pub day: f64,
+    /// Number of distinct users.
+    pub users: usize,
+    /// The user whose jobs the figure highlights.
+    pub highlight_user: i64,
+    pub seed: u64,
+}
+
+impl Default for ThunderParams {
+    fn default() -> Self {
+        ThunderParams {
+            nodes: 1024,
+            reserved: 20,
+            jobs: 834,
+            day: 86_400.0,
+            users: 40,
+            highlight_user: 6447,
+            seed: 20070202,
+        }
+    }
+}
+
+/// Samples a job size: mostly powers of two (dominant on Thunder), with
+/// occasional odd sizes, capped by the non-reserved node count.
+fn sample_size(rng: &mut StdRng, max: u32) -> u32 {
+    let r: f64 = rng.gen();
+    let size = if r < 0.85 {
+        // Power of two, geometric-ish: small sizes common, big rare.
+        let exp: u32 = rng.gen_range(0..=9); // 1..512
+        let bias: u32 = rng.gen_range(0..=2);
+        1u32 << exp.saturating_sub(bias)
+    } else if r < 0.97 {
+        rng.gen_range(1..=64)
+    } else {
+        // The occasional very large job that dominates the picture.
+        rng.gen_range(256..=768)
+    };
+    size.clamp(1, max)
+}
+
+/// Samples a runtime: log-uniform between 30 s and 8 h, with a bump of
+/// short debug jobs.
+fn sample_runtime(rng: &mut StdRng) -> f64 {
+    if rng.gen_bool(0.25) {
+        rng.gen_range(20.0..300.0)
+    } else {
+        let lo: f64 = 30.0;
+        let hi: f64 = 8.0 * 3600.0;
+        (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp()
+    }
+}
+
+/// Generates the synthetic day. All jobs *finish* within `[0, day)` (the
+/// paper plots "all jobs that finished on 02/02"), so some start before
+/// time zero — exactly like the real day view, where long jobs reach
+/// back into the previous day.
+pub fn synth_thunder_day(params: &ThunderParams) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let usable = params.nodes - params.reserved;
+    // Zipf-ish user weights.
+    let user_ids: Vec<i64> = (0..params.users)
+        .map(|u| {
+            if u == 0 {
+                params.highlight_user
+            } else {
+                1000 + u as i64 * 13
+            }
+        })
+        .collect();
+
+    // Peak concurrent node usage of the accepted jobs inside [start, end)
+    // — the generator is capacity-aware so the trace never oversubscribes
+    // the machine (real traces cannot, either).
+    let peak_usage = |accepted: &[Job], start: f64, end: f64| -> u32 {
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for j in accepted {
+            let s = j.start().max(start);
+            let e = j.end().min(end);
+            if s < e {
+                events.push((s, i64::from(j.procs)));
+                events.push((e, -i64::from(j.procs)));
+            }
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let (mut cur, mut peak) = (0i64, 0i64);
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as u32
+    };
+
+    let mut jobs: Vec<Job> = Vec::with_capacity(params.jobs);
+    for i in 0..params.jobs {
+        let mut run = sample_runtime(&mut rng);
+        let mut end: f64 = rng.gen_range(0.0..params.day);
+        let mut procs = sample_size(&mut rng, usable);
+        // Resample until the job fits; as a last resort shrink it.
+        for attempt in 0..24 {
+            let free = usable.saturating_sub(peak_usage(&jobs, end - run, end));
+            if procs <= free {
+                break;
+            }
+            if attempt >= 16 && free >= 1 {
+                procs = free;
+                break;
+            }
+            run = sample_runtime(&mut rng);
+            end = rng.gen_range(0.0..params.day);
+            procs = sample_size(&mut rng, usable.max(1) / 2);
+        }
+        let start = end - run;
+        // Zipf rank selection: user k with weight 1/(k+1).
+        let total_w: f64 = (0..params.users).map(|k| 1.0 / (k + 1) as f64).sum();
+        let mut pick = rng.gen::<f64>() * total_w;
+        let mut user = user_ids[0];
+        for (k, &uid) in user_ids.iter().enumerate() {
+            pick -= 1.0 / (k + 1) as f64;
+            if pick <= 0.0 {
+                user = uid;
+                break;
+            }
+        }
+        jobs.push(Job {
+            id: i as i64 + 1,
+            submit: start.min(end - 1.0),
+            wait: 0.0,
+            run,
+            procs,
+            user,
+            group: user % 10,
+            queue: i64::from(procs > 64),
+            status: 1,
+        });
+    }
+    // Present jobs in start order, like a real trace.
+    jobs.sort_by(|a, b| a.start().total_cmp(&b.start()));
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.id = i as i64 + 1;
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swf::filter_finished_on_day;
+
+    #[test]
+    fn default_matches_fig13_shape() {
+        let p = ThunderParams::default();
+        let jobs = synth_thunder_day(&p);
+        assert_eq!(jobs.len(), 834);
+        // All jobs finish within the day.
+        assert_eq!(filter_finished_on_day(&jobs, 0.0).len(), 834);
+        // Sizes respect the usable node count.
+        assert!(jobs.iter().all(|j| j.procs >= 1 && j.procs <= 1004));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ThunderParams::default();
+        assert_eq!(synth_thunder_day(&p), synth_thunder_day(&p));
+        let q = ThunderParams {
+            seed: 7,
+            ..ThunderParams::default()
+        };
+        assert_ne!(synth_thunder_day(&p), synth_thunder_day(&q));
+    }
+
+    #[test]
+    fn highlight_user_present() {
+        let p = ThunderParams::default();
+        let jobs = synth_thunder_day(&p);
+        let mine = jobs.iter().filter(|j| j.user == p.highlight_user).count();
+        // User 0 has the largest Zipf weight; expect a healthy share.
+        assert!(mine > 20, "highlight user has only {mine} jobs");
+        assert!(mine < 834);
+    }
+
+    #[test]
+    fn power_of_two_sizes_dominate() {
+        let jobs = synth_thunder_day(&ThunderParams::default());
+        let pow2 = jobs
+            .iter()
+            .filter(|j| j.procs.is_power_of_two())
+            .count();
+        assert!(
+            pow2 * 2 > jobs.len(),
+            "{pow2}/{} power-of-two sizes",
+            jobs.len()
+        );
+    }
+
+    #[test]
+    fn some_jobs_started_the_previous_day() {
+        let jobs = synth_thunder_day(&ThunderParams::default());
+        assert!(jobs.iter().any(|j| j.start() < 0.0));
+    }
+
+    #[test]
+    fn ids_follow_start_order() {
+        let jobs = synth_thunder_day(&ThunderParams::default());
+        for w in jobs.windows(2) {
+            assert!(w[0].start() <= w[1].start());
+            assert_eq!(w[1].id, w[0].id + 1);
+        }
+    }
+
+    #[test]
+    fn small_configurations_work() {
+        let p = ThunderParams {
+            nodes: 64,
+            reserved: 4,
+            jobs: 50,
+            users: 3,
+            ..ThunderParams::default()
+        };
+        let jobs = synth_thunder_day(&p);
+        assert_eq!(jobs.len(), 50);
+        assert!(jobs.iter().all(|j| j.procs <= 60));
+    }
+}

@@ -1,0 +1,236 @@
+//! The color-map XML format (paper, Fig. 2).
+//!
+//! ```xml
+//! <cmap name="standard_map">
+//!   <conf name="min_fontsize_label" value="11"/>
+//!   <conf name="fontsize_label" value="13"/>
+//!   <conf name="fontsize_axes" value="12"/>
+//!   <task id="computation">
+//!     <color type="fg" rgb="FFFFFF"/>
+//!     <color type="bg" rgb="0000FF"/>
+//!   </task>
+//!   <composite>
+//!     <task id="computation"/>
+//!     <task id="transfer"/>
+//!     <color type="fg" rgb="FFFFFF"/>
+//!     <color type="bg" rgb="ff6200"/>
+//!   </composite>
+//! </cmap>
+//! ```
+
+use crate::error::IoError;
+use crate::xml::{self, Element};
+use jedule_core::{Color, ColorMap, ColorPair};
+use std::path::Path;
+
+/// Reads a color map from XML text.
+pub fn read_colormap(src: &str) -> Result<ColorMap, IoError> {
+    let root = xml::parse(src)?;
+    if root.name != "cmap" {
+        return Err(IoError::format(format!(
+            "expected <cmap> root element, found <{}>",
+            root.name
+        )));
+    }
+    let name = root.get_attr("name").unwrap_or("unnamed");
+    let mut map = ColorMap::new(name);
+
+    for conf in root.find_all("conf") {
+        let cname = conf.require_attr("name")?;
+        let value = conf.require_attr("value")?;
+        let v: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| IoError::number(cname, value))?;
+        match cname {
+            "min_fontsize_label" => map.config.min_font_size_label = v,
+            "fontsize_label" => map.config.font_size_label = v,
+            "fontsize_axes" => map.config.font_size_axes = v,
+            _ => {} // unknown drawing knobs are ignored, like the original
+        }
+    }
+
+    for el in root.elements() {
+        match el.name.as_str() {
+            "task" => {
+                let id = el.require_attr("id")?;
+                map.set(id, read_colors(el, id)?);
+            }
+            "composite" => {
+                let types: Vec<String> = el
+                    .find_all("task")
+                    .map(|t| t.require_attr("id").map(str::to_owned))
+                    .collect::<Result<_, _>>()?;
+                if types.is_empty() {
+                    return Err(IoError::format("<composite> without <task> members"));
+                }
+                map.add_composite(types, read_colors(el, "composite")?);
+            }
+            _ => {}
+        }
+    }
+
+    Ok(map)
+}
+
+/// Extracts the fg/bg `<color>` pair of an element.
+fn read_colors(el: &Element, what: &str) -> Result<ColorPair, IoError> {
+    let mut fg: Option<Color> = None;
+    let mut bg: Option<Color> = None;
+    for c in el.find_all("color") {
+        let ty = c.require_attr("type")?;
+        let rgb = c.require_attr("rgb")?;
+        let color = Color::parse(rgb)?;
+        match ty {
+            "fg" => fg = Some(color),
+            "bg" => bg = Some(color),
+            other => {
+                return Err(IoError::format(format!(
+                    "unknown color type {other:?} in {what} (expected fg or bg)"
+                )))
+            }
+        }
+    }
+    let bg = bg.ok_or_else(|| IoError::format(format!("{what}: missing bg color")))?;
+    Ok(ColorPair {
+        fg: fg.unwrap_or_else(|| bg.contrasting_fg()),
+        bg,
+    })
+}
+
+/// Serializes a color map to XML.
+pub fn write_colormap_string(map: &ColorMap) -> String {
+    let mut root = Element::new("cmap").attr("name", &map.name);
+    root = root
+        .child(conf("min_fontsize_label", map.config.min_font_size_label))
+        .child(conf("fontsize_label", map.config.font_size_label))
+        .child(conf("fontsize_axes", map.config.font_size_axes));
+
+    for (kind, pair) in map.entries() {
+        root = root.child(
+            Element::new("task")
+                .attr("id", kind)
+                .child(color_el("fg", pair.fg))
+                .child(color_el("bg", pair.bg)),
+        );
+    }
+    for rule in map.composites() {
+        let mut comp = Element::new("composite");
+        for t in &rule.types {
+            comp = comp.child(Element::new("task").attr("id", t));
+        }
+        comp = comp
+            .child(color_el("fg", rule.colors.fg))
+            .child(color_el("bg", rule.colors.bg));
+        root = root.child(comp);
+    }
+
+    xml::write_document(&root)
+}
+
+fn conf(name: &str, value: f64) -> Element {
+    let v = if value.fract() == 0.0 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    };
+    Element::new("conf").attr("name", name).attr("value", v)
+}
+
+fn color_el(ty: &str, c: Color) -> Element {
+    Element::new("color").attr("type", ty).attr("rgb", c.to_hex())
+}
+
+/// Reads a color map from a file.
+pub fn read_colormap_file(path: impl AsRef<Path>) -> Result<ColorMap, IoError> {
+    read_colormap(&std::fs::read_to_string(path)?)
+}
+
+/// Writes a color map to a file.
+pub fn write_colormap(map: &ColorMap, path: impl AsRef<Path>) -> Result<(), IoError> {
+    std::fs::write(path, write_colormap_string(map))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2 of the paper, verbatim modulo scan whitespace.
+    const FIG2: &str = r#"<cmap name="standard_map">
+  <conf name="min_fontsize_label" value="11"/>
+  <conf name="fontsize_label" value="13"/>
+  <conf name="fontsize_axes" value="12"/>
+  <task id="computation">
+    <color type="fg" rgb="FFFFFF"/>
+    <color type="bg" rgb="0000FF"/>
+  </task>
+  <task id="transfer">
+    <color type="fg" rgb="000000"/>
+    <color type="bg" rgb="f10000"/>
+  </task>
+  <composite>
+    <task id="computation"/>
+    <task id="transfer"/>
+    <color type="fg" rgb="FFFFFF"/>
+    <color type="bg" rgb="ff6200"/>
+  </composite>
+</cmap>"#;
+
+    #[test]
+    fn fig2_parses_to_standard_map() {
+        let map = read_colormap(FIG2).unwrap();
+        assert_eq!(map, ColorMap::standard());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let map = ColorMap::standard();
+        let text = write_colormap_string(&map);
+        assert_eq!(read_colormap(&text).unwrap(), map);
+    }
+
+    #[test]
+    fn font_config_parsed() {
+        let map = read_colormap(FIG2).unwrap();
+        assert_eq!(map.config.min_font_size_label, 11.0);
+        assert_eq!(map.config.font_size_label, 13.0);
+        assert_eq!(map.config.font_size_axes, 12.0);
+    }
+
+    #[test]
+    fn missing_fg_defaults_to_contrast() {
+        let src = r#"<cmap name="m"><task id="x"><color type="bg" rgb="000000"/></task></cmap>"#;
+        let map = read_colormap(src).unwrap();
+        assert_eq!(map.get("x").unwrap().fg, Color::WHITE);
+    }
+
+    #[test]
+    fn missing_bg_rejected() {
+        let src = r#"<cmap name="m"><task id="x"><color type="fg" rgb="000000"/></task></cmap>"#;
+        assert!(read_colormap(src).is_err());
+    }
+
+    #[test]
+    fn bad_color_type_rejected() {
+        let src = r#"<cmap name="m"><task id="x"><color type="border" rgb="000000"/></task></cmap>"#;
+        assert!(read_colormap(src).is_err());
+    }
+
+    #[test]
+    fn empty_composite_rejected() {
+        let src = r#"<cmap name="m"><composite><color type="bg" rgb="000000"/></composite></cmap>"#;
+        assert!(read_colormap(src).is_err());
+    }
+
+    #[test]
+    fn bad_rgb_rejected() {
+        let src = r#"<cmap name="m"><task id="x"><color type="bg" rgb="zzz"/></task></cmap>"#;
+        assert!(read_colormap(src).is_err());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(read_colormap("<colors/>").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! I/O and parse errors with source positions.
+
+use jedule_core::CoreError;
+use std::fmt;
+
+/// Position in a source document, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced while reading or writing schedule files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Malformed XML with a description and position.
+    Xml { msg: String, pos: Pos },
+    /// Structurally valid XML that is not a valid Jedule document.
+    Format(String),
+    /// A field failed to parse as a number.
+    Number { field: String, value: String },
+    /// Semantic error from the core model.
+    Core(CoreError),
+    /// Underlying file-system error.
+    Io(std::io::Error),
+}
+
+impl IoError {
+    pub fn xml(msg: impl Into<String>, pos: Pos) -> Self {
+        IoError::Xml { msg: msg.into(), pos }
+    }
+
+    pub fn format(msg: impl Into<String>) -> Self {
+        IoError::Format(msg.into())
+    }
+
+    pub fn number(field: impl Into<String>, value: impl Into<String>) -> Self {
+        IoError::Number {
+            field: field.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Xml { msg, pos } => write!(f, "XML error at {pos}: {msg}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+            IoError::Number { field, value } => {
+                write!(f, "cannot parse {field}={value:?} as a number")
+            }
+            IoError::Core(e) => write!(f, "schedule error: {e}"),
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<CoreError> for IoError {
+    fn from(e: CoreError) -> Self {
+        IoError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}

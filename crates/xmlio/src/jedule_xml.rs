@@ -1,0 +1,423 @@
+//! The Jedule schedule XML format (paper, Fig. 1 and §II-C).
+//!
+//! Document layout:
+//!
+//! ```xml
+//! <jedule version="0.2">
+//!   <jedule_meta>
+//!     <info name="alg" value="cpa"/>
+//!   </jedule_meta>
+//!   <platform>
+//!     <cluster id="0" name="cluster-0" hosts="8"/>
+//!   </platform>
+//!   <node_infos>
+//!     <node_statistics>
+//!       <node_property name="id" value="1"/>
+//!       <node_property name="type" value="computation"/>
+//!       <node_property name="start_time" value="0.000"/>
+//!       <node_property name="end_time" value="0.310"/>
+//!       <configuration>
+//!         <conf_property name="cluster_id" value="0"/>
+//!         <conf_property name="host_nb" value="8"/>
+//!         <host_lists>
+//!           <hosts start="0" nb="8"/>
+//!         </host_lists>
+//!       </configuration>
+//!     </node_statistics>
+//!   </node_infos>
+//! </jedule>
+//! ```
+//!
+//! A `<node_statistics>` may carry several `<configuration>` entries — e.g.
+//! a communication between clusters (paper, Fig. 1 caption) — and
+//! additional `<node_property>` entries are preserved as task attributes.
+//! A `<meta_info>`/`<meta .../>` block (paper, §II-C2) is accepted as an
+//! alias for `<jedule_meta>`.
+
+use crate::error::IoError;
+use crate::xml::{self, Element};
+use jedule_core::{Allocation, HostRange, HostSet, Schedule, ScheduleBuilder, Task};
+use std::path::Path;
+
+const KNOWN_PROPS: [&str; 4] = ["id", "type", "start_time", "end_time"];
+
+fn parse_f64(field: &str, v: &str) -> Result<f64, IoError> {
+    v.trim()
+        .parse::<f64>()
+        .map_err(|_| IoError::number(field, v))
+}
+
+fn parse_u32(field: &str, v: &str) -> Result<u32, IoError> {
+    v.trim()
+        .parse::<u32>()
+        .map_err(|_| IoError::number(field, v))
+}
+
+/// Reads a schedule from Jedule XML text.
+pub fn read_schedule(src: &str) -> Result<Schedule, IoError> {
+    let root = xml::parse(src)?;
+    if root.name != "jedule" {
+        return Err(IoError::format(format!(
+            "expected <jedule> root element, found <{}>",
+            root.name
+        )));
+    }
+    let mut b = ScheduleBuilder::new();
+
+    // Meta information: <jedule_meta><info .../> or <meta_info><meta .../>.
+    for meta_el in root
+        .find_all("jedule_meta")
+        .chain(root.find_all("meta_info"))
+    {
+        for info in meta_el.elements() {
+            if info.name == "info" || info.name == "meta" {
+                b = b.meta(info.require_attr("name")?, info.require_attr("value")?);
+            }
+        }
+    }
+
+    // Platform header: at least one cluster is required (paper, §II-C1).
+    let platform = root
+        .find("platform")
+        .ok_or_else(|| IoError::format("missing <platform> header"))?;
+    let mut n_clusters = 0u32;
+    for c in platform.find_all("cluster") {
+        let id = parse_u32("cluster id", c.require_attr("id")?)?;
+        let hosts = parse_u32("cluster hosts", c.require_attr("hosts")?)?;
+        let name = c
+            .get_attr("name")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("cluster-{id}"));
+        b = b.cluster(id, name, hosts);
+        n_clusters += 1;
+    }
+    if n_clusters == 0 {
+        return Err(IoError::format("a schedule requires at least one <cluster>"));
+    }
+
+    // Tasks.
+    if let Some(infos) = root.find("node_infos") {
+        for node in infos.find_all("node_statistics") {
+            b = b.task(read_task(node)?);
+        }
+    }
+
+    Ok(b.build()?)
+}
+
+fn read_task(node: &Element) -> Result<Task, IoError> {
+    let mut id: Option<String> = None;
+    let mut kind: Option<String> = None;
+    let mut start: Option<f64> = None;
+    let mut end: Option<f64> = None;
+    let mut attrs: Vec<(String, String)> = Vec::new();
+
+    for p in node.find_all("node_property") {
+        let name = p.require_attr("name")?;
+        let value = p.require_attr("value")?;
+        match name {
+            "id" => id = Some(value.to_owned()),
+            "type" => kind = Some(value.to_owned()),
+            "start_time" => start = Some(parse_f64("start_time", value)?),
+            "end_time" => end = Some(parse_f64("end_time", value)?),
+            _ => attrs.push((name.to_owned(), value.to_owned())),
+        }
+    }
+
+    let id = id.ok_or_else(|| IoError::format("<node_statistics> without id property"))?;
+    let missing = |what: &str| IoError::format(format!("task {id:?} is missing {what}"));
+    let mut task = Task::new(
+        id.clone(),
+        kind.ok_or_else(|| missing("a type property"))?,
+        start.ok_or_else(|| missing("a start_time property"))?,
+        end.ok_or_else(|| missing("an end_time property"))?,
+    );
+    task.attrs = attrs;
+
+    for conf in node.find_all("configuration") {
+        let mut cluster: Option<u32> = None;
+        let mut host_nb: Option<u32> = None;
+        for p in conf.find_all("conf_property") {
+            let name = p.require_attr("name")?;
+            let value = p.require_attr("value")?;
+            match name {
+                "cluster_id" => cluster = Some(parse_u32("cluster_id", value)?),
+                "host_nb" => host_nb = Some(parse_u32("host_nb", value)?),
+                _ => {}
+            }
+        }
+        let cluster =
+            cluster.ok_or_else(|| IoError::format(format!("task {id:?}: configuration without cluster_id")))?;
+        let mut hosts = HostSet::new();
+        if let Some(hl) = conf.find("host_lists") {
+            for h in hl.find_all("hosts") {
+                let s = parse_u32("hosts start", h.require_attr("start")?)?;
+                let nb = parse_u32("hosts nb", h.require_attr("nb")?)?;
+                hosts.insert_range(HostRange::new(s, nb));
+            }
+        }
+        // Sanity check mentioned in the paper's introduction: the number of
+        // requested (host_nb) and assigned processors must agree.
+        if let Some(nb) = host_nb {
+            if hosts.count() != nb {
+                return Err(IoError::format(format!(
+                    "task {id:?}: host_nb={nb} but host list contains {} hosts",
+                    hosts.count()
+                )));
+            }
+        }
+        task.allocations.push(Allocation::new(cluster, hosts));
+    }
+
+    Ok(task)
+}
+
+/// Serializes a schedule to Jedule XML.
+pub fn write_schedule_string(schedule: &Schedule) -> String {
+    let mut root = Element::new("jedule").attr("version", "0.2");
+
+    if !schedule.meta.is_empty() {
+        let mut meta = Element::new("jedule_meta");
+        for (k, v) in schedule.meta.iter() {
+            meta = meta.child(Element::new("info").attr("name", k).attr("value", v));
+        }
+        root = root.child(meta);
+    }
+
+    let mut platform = Element::new("platform");
+    for c in &schedule.clusters {
+        platform = platform.child(
+            Element::new("cluster")
+                .attr("id", c.id.to_string())
+                .attr("name", &c.name)
+                .attr("hosts", c.hosts.to_string()),
+        );
+    }
+    root = root.child(platform);
+
+    let mut infos = Element::new("node_infos");
+    for t in &schedule.tasks {
+        let mut node = Element::new("node_statistics")
+            .child(prop("id", &t.id))
+            .child(prop("type", &t.kind))
+            .child(prop("start_time", &format_time(t.start)))
+            .child(prop("end_time", &format_time(t.end)));
+        for (k, v) in &t.attrs {
+            if !KNOWN_PROPS.contains(&k.as_str()) {
+                node = node.child(prop(k, v));
+            }
+        }
+        for a in &t.allocations {
+            let mut conf = Element::new("configuration")
+                .child(conf_prop("cluster_id", &a.cluster.to_string()))
+                .child(conf_prop("host_nb", &a.hosts.count().to_string()));
+            let mut hl = Element::new("host_lists");
+            for r in a.hosts.ranges() {
+                hl = hl.child(
+                    Element::new("hosts")
+                        .attr("start", r.start.to_string())
+                        .attr("nb", r.nb.to_string()),
+                );
+            }
+            conf = conf.child(hl);
+            node = node.child(conf);
+        }
+        infos = infos.child(node);
+    }
+    root = root.child(infos);
+
+    xml::write_document(&root)
+}
+
+fn format_time(t: f64) -> String {
+    // Shortest representation that round-trips exactly.
+    let mut s = format!("{t}");
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn prop(name: &str, value: &str) -> Element {
+    Element::new("node_property")
+        .attr("name", name)
+        .attr("value", value)
+}
+
+fn conf_prop(name: &str, value: &str) -> Element {
+    Element::new("conf_property")
+        .attr("name", name)
+        .attr("value", value)
+}
+
+/// Writes a schedule to a file.
+pub fn write_schedule(schedule: &Schedule, path: impl AsRef<Path>) -> Result<(), IoError> {
+    std::fs::write(path, write_schedule_string(schedule))?;
+    Ok(())
+}
+
+/// Reads a schedule from a file.
+pub fn read_schedule_file(path: impl AsRef<Path>) -> Result<Schedule, IoError> {
+    let src = std::fs::read_to_string(path)?;
+    read_schedule(&src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::ScheduleBuilder;
+
+    fn sample() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c0", 8)
+            .cluster(1, "c1", 4)
+            .meta("mindelta", "-2")
+            .meta("sort", "comm")
+            .task(
+                Task::new("1", "computation", 0.0, 0.31)
+                    .on(Allocation::contiguous(0, 0, 8)),
+            )
+            .task(
+                Task::new("2", "transfer", 0.31, 0.5)
+                    .on(Allocation::new(0, HostSet::from_hosts([1, 3, 5])))
+                    .on(Allocation::contiguous(1, 0, 2))
+                    .with_attr("note", "inter-cluster"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_schedule() {
+        let s = sample();
+        let text = write_schedule_string(&s);
+        let back = read_schedule(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fig1_document_parses() {
+        let src = r#"<jedule>
+  <platform><cluster id="0" hosts="8"/></platform>
+  <node_infos>
+    <node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="computation"/>
+      <node_property name="start_time" value="0.000"/>
+      <node_property name="end_time" value="0.310"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="8"/>
+        <host_lists>
+          <hosts start="0" nb="8"/>
+        </host_lists>
+      </configuration>
+    </node_statistics>
+  </node_infos>
+</jedule>"#;
+        let s = read_schedule(src).unwrap();
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.tasks.len(), 1);
+        let t = &s.tasks[0];
+        assert_eq!(t.id, "1");
+        assert_eq!(t.kind, "computation");
+        assert_eq!(t.start, 0.0);
+        assert!((t.end - 0.31).abs() < 1e-12);
+        assert_eq!(t.resource_count(), 8);
+    }
+
+    #[test]
+    fn meta_info_alias_accepted() {
+        let src = r#"<jedule>
+  <meta_info>
+    <meta name="mindelta" value="-2"/>
+    <meta name="maxdelta" value="2"/>
+    <meta name="sort" value="comm"/>
+  </meta_info>
+  <platform><cluster id="0" hosts="1"/></platform>
+</jedule>"#;
+        let s = read_schedule(src).unwrap();
+        assert_eq!(s.meta.get("mindelta"), Some("-2"));
+        assert_eq!(s.meta.get("maxdelta"), Some("2"));
+        assert_eq!(s.meta.get("sort"), Some("comm"));
+    }
+
+    #[test]
+    fn host_nb_mismatch_rejected() {
+        let src = r#"<jedule>
+  <platform><cluster id="0" hosts="8"/></platform>
+  <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="t"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="4"/>
+        <host_lists><hosts start="0" nb="8"/></host_lists>
+      </configuration>
+  </node_statistics></node_infos>
+</jedule>"#;
+        let err = read_schedule(src).unwrap_err();
+        assert!(err.to_string().contains("host_nb"), "{err}");
+    }
+
+    #[test]
+    fn missing_platform_rejected() {
+        assert!(read_schedule("<jedule/>").is_err());
+        assert!(read_schedule("<jedule><platform/></jedule>").is_err());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let err = read_schedule("<schedule/>").unwrap_err();
+        assert!(err.to_string().contains("jedule"));
+    }
+
+    #[test]
+    fn out_of_range_host_rejected_semantically() {
+        let src = r#"<jedule>
+  <platform><cluster id="0" hosts="4"/></platform>
+  <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="t"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <host_lists><hosts start="2" nb="8"/></host_lists>
+      </configuration>
+  </node_statistics></node_infos>
+</jedule>"#;
+        assert!(matches!(read_schedule(src), Err(IoError::Core(_))));
+    }
+
+    #[test]
+    fn extra_properties_preserved() {
+        let s = sample();
+        let back = read_schedule(&write_schedule_string(&s)).unwrap();
+        let t = back.task_by_id("2").unwrap();
+        assert_eq!(
+            t.attrs,
+            vec![("note".to_string(), "inter-cluster".to_string())]
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("jedule_xml_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.jed");
+        let s = sample();
+        write_schedule(&s, &path).unwrap();
+        assert_eq!(read_schedule_file(&path).unwrap(), s);
+    }
+
+    #[test]
+    fn time_format_roundtrips_exactly() {
+        for t in [0.0, 0.31, 140.9, 1e-9, 12345.6789, 3.0] {
+            let s: f64 = format_time(t).parse().unwrap();
+            assert_eq!(s, t);
+        }
+    }
+}

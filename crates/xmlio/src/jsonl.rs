@@ -1,0 +1,231 @@
+//! Alternative schedule input format: JSON lines.
+//!
+//! One JSON object per line; the `rec` field selects the record type:
+//!
+//! ```text
+//! {"rec":"cluster","id":0,"name":"c0","hosts":8}
+//! {"rec":"meta","name":"alg","value":"cpa"}
+//! {"rec":"task","id":"t1","type":"computation","start":0.0,"end":2.5,
+//!  "allocations":[{"cluster":0,"hosts":[[0,8]]}]}
+//! ```
+//!
+//! `hosts` is a list of `[start, nb]` ranges, mirroring the XML
+//! `<hosts start nb/>` elements.
+
+use crate::error::IoError;
+use crate::json::{obj, parse, Json};
+use jedule_core::{Allocation, HostRange, HostSet, Schedule, ScheduleBuilder, Task};
+
+fn field_str<'a>(v: &'a Json, key: &str, line: usize) -> Result<&'a str, IoError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| IoError::format(format!("line {line}: missing string field {key:?}")))
+}
+
+fn field_num(v: &Json, key: &str, line: usize) -> Result<f64, IoError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| IoError::format(format!("line {line}: missing numeric field {key:?}")))
+}
+
+/// Reads a schedule from JSON-lines text.
+pub fn read_schedule_jsonl(src: &str) -> Result<Schedule, IoError> {
+    let mut b = ScheduleBuilder::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ln = i + 1;
+        let v = parse(line)?;
+        match field_str(&v, "rec", ln)? {
+            "cluster" => {
+                let id = field_num(&v, "id", ln)? as u32;
+                let hosts = field_num(&v, "hosts", ln)? as u32;
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("cluster-{id}"));
+                b = b.cluster(id, name, hosts);
+            }
+            "meta" => {
+                b = b.meta(field_str(&v, "name", ln)?, field_str(&v, "value", ln)?);
+            }
+            "task" => {
+                let mut task = Task::new(
+                    field_str(&v, "id", ln)?,
+                    field_str(&v, "type", ln)?,
+                    field_num(&v, "start", ln)?,
+                    field_num(&v, "end", ln)?,
+                );
+                let allocs = v
+                    .get("allocations")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        IoError::format(format!("line {ln}: task needs an allocations array"))
+                    })?;
+                for a in allocs {
+                    let cluster = field_num(a, "cluster", ln)? as u32;
+                    let ranges = a.get("hosts").and_then(Json::as_arr).ok_or_else(|| {
+                        IoError::format(format!("line {ln}: allocation needs a hosts array"))
+                    })?;
+                    let mut hosts = HostSet::new();
+                    for r in ranges {
+                        let pair = r.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                            IoError::format(format!("line {ln}: host range must be [start, nb]"))
+                        })?;
+                        let start = pair[0].as_f64().unwrap_or(-1.0);
+                        let nb = pair[1].as_f64().unwrap_or(-1.0);
+                        if start < 0.0 || nb < 0.0 {
+                            return Err(IoError::format(format!(
+                                "line {ln}: negative host range values"
+                            )));
+                        }
+                        hosts.insert_range(HostRange::new(start as u32, nb as u32));
+                    }
+                    task.allocations.push(Allocation::new(cluster, hosts));
+                }
+                if let Some(attrs) = v.get("attrs").and_then(Json::as_obj) {
+                    for (k, val) in attrs {
+                        if let Some(s) = val.as_str() {
+                            task.attrs.push((k.clone(), s.to_owned()));
+                        }
+                    }
+                }
+                b = b.task(task);
+            }
+            other => {
+                return Err(IoError::format(format!(
+                    "line {ln}: unknown record type {other:?}"
+                )));
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Writes a schedule as JSON-lines text.
+pub fn write_schedule_jsonl(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for c in &schedule.clusters {
+        out.push_str(
+            &obj([
+                ("rec", Json::Str("cluster".into())),
+                ("id", Json::Num(f64::from(c.id))),
+                ("name", Json::Str(c.name.clone())),
+                ("hosts", Json::Num(f64::from(c.hosts))),
+            ])
+            .to_string_compact(),
+        );
+        out.push('\n');
+    }
+    for (k, v) in schedule.meta.iter() {
+        out.push_str(
+            &obj([
+                ("rec", Json::Str("meta".into())),
+                ("name", Json::Str(k.into())),
+                ("value", Json::Str(v.into())),
+            ])
+            .to_string_compact(),
+        );
+        out.push('\n');
+    }
+    for t in &schedule.tasks {
+        let allocs: Vec<Json> = t
+            .allocations
+            .iter()
+            .map(|a| {
+                let ranges: Vec<Json> = a
+                    .hosts
+                    .ranges()
+                    .iter()
+                    .map(|r| {
+                        Json::Arr(vec![Json::Num(f64::from(r.start)), Json::Num(f64::from(r.nb))])
+                    })
+                    .collect();
+                obj([
+                    ("cluster", Json::Num(f64::from(a.cluster))),
+                    ("hosts", Json::Arr(ranges)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("rec", Json::Str("task".into())),
+            ("id", Json::Str(t.id.clone())),
+            ("type", Json::Str(t.kind.clone())),
+            ("start", Json::Num(t.start)),
+            ("end", Json::Num(t.end)),
+            ("allocations", Json::Arr(allocs)),
+        ];
+        if !t.attrs.is_empty() {
+            fields.push((
+                "attrs",
+                Json::Obj(
+                    t.attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push_str(&obj(fields).to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedule_core::ScheduleBuilder;
+
+    fn sample() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c0", 8)
+            .meta("alg", "mcpa")
+            .task(
+                Task::new("a", "computation", 0.0, 1.5)
+                    .on(Allocation::contiguous(0, 0, 4))
+                    .with_attr("level", "2"),
+            )
+            .task(Task::new("b", "transfer", 1.5, 2.0).on(Allocation::new(
+                0,
+                HostSet::from_hosts([0, 2, 5]),
+            )))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let text = write_schedule_jsonl(&s);
+        assert_eq!(read_schedule_jsonl(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let s = sample();
+        let text = format!("# header\n\n{}", write_schedule_jsonl(&s));
+        assert_eq!(read_schedule_jsonl(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn missing_fields_report_line() {
+        let err = read_schedule_jsonl("{\"rec\":\"cluster\",\"id\":0}\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        assert!(read_schedule_jsonl("{\"rec\":\"frob\"}\n").is_err());
+    }
+
+    #[test]
+    fn negative_host_range_rejected() {
+        let line = r#"{"rec":"cluster","id":0,"hosts":4}
+{"rec":"task","id":"t","type":"x","start":0,"end":1,"allocations":[{"cluster":0,"hosts":[[-1,2]]}]}"#;
+        assert!(read_schedule_jsonl(line).is_err());
+    }
+}

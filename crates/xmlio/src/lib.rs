@@ -1,0 +1,35 @@
+//! # jedule-xmlio
+//!
+//! Input/output formats of the Jedule reproduction.
+//!
+//! Jedule is bundled with a parser for its custom XML input format and
+//! "one can also extend Jedule with a different parser … not necessarily
+//! in XML" (paper, §II-C1). Accordingly this crate provides:
+//!
+//! * `xml` — a from-scratch, dependency-free XML subset parser and writer
+//!   (elements, attributes, comments, CDATA, character references) with
+//!   line/column error reporting.
+//! * `jedule_xml` — the Jedule schedule format of Fig. 1
+//!   (`<node_statistics>` with `<node_property>`, `<configuration>`,
+//!   `<host_lists>`, plus platform header and `<meta_info>`).
+//! * `cmap_xml` — the color-map format of Fig. 2 (`<cmap>`, `<task>`,
+//!   `<color type="fg|bg" rgb="RRGGBB">`, `<composite>`).
+//! * `parser` — the pluggable [`ScheduleParser`] trait with a format
+//!   registry, plus two alternative built-in formats: a CSV dialect
+//!   (`csvfmt`) and JSON lines (`jsonl`, backed by the `json` mini-parser).
+
+pub mod cmap_xml;
+pub mod csvfmt;
+pub mod error;
+pub mod jedule_xml;
+pub mod json;
+pub mod jsonl;
+pub mod parser;
+pub mod stream;
+pub mod xml;
+
+pub use cmap_xml::{read_colormap, write_colormap_string};
+pub use error::IoError;
+pub use jedule_xml::{read_schedule, read_schedule_file, write_schedule, write_schedule_string};
+pub use parser::{detect_format, parse_any, Format, ScheduleParser};
+pub use stream::{read_schedule_streaming, stream_schedule, StreamEvent};

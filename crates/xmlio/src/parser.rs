@@ -1,0 +1,235 @@
+//! Pluggable schedule parsers.
+//!
+//! The original Jedule ships with an XML parser but is explicitly designed
+//! so that "it is … possible to have different input formats, not
+//! necessarily in XML" (paper, §II-C1). [`ScheduleParser`] is that
+//! extension point; the three built-in formats register themselves and
+//! [`parse_any`] sniffs which one applies.
+
+use crate::csvfmt;
+use crate::error::IoError;
+use crate::jedule_xml;
+use crate::jsonl;
+use jedule_core::Schedule;
+use std::path::Path;
+
+/// Identifier of a built-in format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The paper's XML format (Fig. 1).
+    JeduleXml,
+    /// The CSV dialect.
+    Csv,
+    /// JSON lines.
+    JsonLines,
+}
+
+impl Format {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Format::JeduleXml => "jedule-xml",
+            Format::Csv => "csv",
+            Format::JsonLines => "jsonl",
+        }
+    }
+
+    /// All built-in formats.
+    pub fn all() -> [Format; 3] {
+        [Format::JeduleXml, Format::Csv, Format::JsonLines]
+    }
+}
+
+/// A parser for one schedule input format. Implement this trait to plug a
+/// custom format into the CLI and library entry points.
+pub trait ScheduleParser {
+    /// Short format name (used in CLI `--format` flags).
+    fn name(&self) -> &str;
+
+    /// Quick syntactic sniff: could `src` be this format?
+    fn sniff(&self, src: &str) -> bool;
+
+    /// Full parse.
+    fn parse(&self, src: &str) -> Result<Schedule, IoError>;
+
+    /// Serialize (optional; formats may be read-only).
+    fn write(&self, _schedule: &Schedule) -> Option<String> {
+        None
+    }
+}
+
+struct XmlParser;
+
+impl ScheduleParser for XmlParser {
+    fn name(&self) -> &str {
+        "jedule-xml"
+    }
+
+    fn sniff(&self, src: &str) -> bool {
+        let s = src.trim_start();
+        s.starts_with("<?xml") || s.starts_with("<jedule") || s.starts_with("<!--")
+    }
+
+    fn parse(&self, src: &str) -> Result<Schedule, IoError> {
+        jedule_xml::read_schedule(src)
+    }
+
+    fn write(&self, schedule: &Schedule) -> Option<String> {
+        Some(jedule_xml::write_schedule_string(schedule))
+    }
+}
+
+struct CsvParser;
+
+impl ScheduleParser for CsvParser {
+    fn name(&self) -> &str {
+        "csv"
+    }
+
+    fn sniff(&self, src: &str) -> bool {
+        src.lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .is_some_and(|l| {
+                l.starts_with("cluster,") || l.starts_with("task,") || l.starts_with("meta,")
+            })
+    }
+
+    fn parse(&self, src: &str) -> Result<Schedule, IoError> {
+        csvfmt::read_schedule_csv(src)
+    }
+
+    fn write(&self, schedule: &Schedule) -> Option<String> {
+        Some(csvfmt::write_schedule_csv(schedule))
+    }
+}
+
+struct JsonlParser;
+
+impl ScheduleParser for JsonlParser {
+    fn name(&self) -> &str {
+        "jsonl"
+    }
+
+    fn sniff(&self, src: &str) -> bool {
+        src.lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .is_some_and(|l| l.starts_with('{'))
+    }
+
+    fn parse(&self, src: &str) -> Result<Schedule, IoError> {
+        jsonl::read_schedule_jsonl(src)
+    }
+
+    fn write(&self, schedule: &Schedule) -> Option<String> {
+        Some(jsonl::write_schedule_jsonl(schedule))
+    }
+}
+
+/// Returns the built-in parser for a format.
+pub fn builtin(format: Format) -> Box<dyn ScheduleParser> {
+    match format {
+        Format::JeduleXml => Box::new(XmlParser),
+        Format::Csv => Box::new(CsvParser),
+        Format::JsonLines => Box::new(JsonlParser),
+    }
+}
+
+/// Sniffs the format of `src`; file `path` extension (if given) wins.
+pub fn detect_format(src: &str, path: Option<&Path>) -> Option<Format> {
+    if let Some(p) = path {
+        match p.extension().and_then(|e| e.to_str()) {
+            Some("jed" | "xml" | "jedule") => return Some(Format::JeduleXml),
+            Some("csv") => return Some(Format::Csv),
+            Some("jsonl" | "ndjson") => return Some(Format::JsonLines),
+            _ => {}
+        }
+    }
+    Format::all()
+        .into_iter()
+        .find(|f| builtin(*f).sniff(src))
+}
+
+/// Parses `src` with format auto-detection.
+pub fn parse_any(src: &str, path: Option<&Path>) -> Result<Schedule, IoError> {
+    let format = detect_format(src, path)
+        .ok_or_else(|| IoError::format("cannot detect schedule input format"))?;
+    builtin(format).parse(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jedule_xml::write_schedule_string;
+    use jedule_core::{Allocation, ScheduleBuilder, Task};
+
+    fn sample() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c0", 4)
+            .task(Task::new("t", "x", 0.0, 1.0).on(Allocation::contiguous(0, 0, 4)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn detect_by_content() {
+        let s = sample();
+        let xml = write_schedule_string(&s);
+        assert_eq!(detect_format(&xml, None), Some(Format::JeduleXml));
+        let csv = crate::csvfmt::write_schedule_csv(&s);
+        assert_eq!(detect_format(&csv, None), Some(Format::Csv));
+        let jl = crate::jsonl::write_schedule_jsonl(&s);
+        assert_eq!(detect_format(&jl, None), Some(Format::JsonLines));
+        assert_eq!(detect_format("random text", None), None);
+    }
+
+    #[test]
+    fn detect_by_extension_wins() {
+        let p = Path::new("x.csv");
+        assert_eq!(detect_format("<jedule/>", Some(p)), Some(Format::Csv));
+    }
+
+    #[test]
+    fn parse_any_roundtrips_all_formats() {
+        let s = sample();
+        for f in Format::all() {
+            let text = builtin(f).write(&s).unwrap();
+            let back = parse_any(&text, None).unwrap();
+            assert_eq!(back, s, "format {}", f.name());
+        }
+    }
+
+    #[test]
+    fn parse_any_rejects_unknown() {
+        assert!(parse_any("????", None).is_err());
+    }
+
+    #[test]
+    fn custom_parser_trait_object() {
+        // A user-supplied parser: one task per line "<id> <start> <end>".
+        struct Tiny;
+        impl ScheduleParser for Tiny {
+            fn name(&self) -> &str {
+                "tiny"
+            }
+            fn sniff(&self, _: &str) -> bool {
+                true
+            }
+            fn parse(&self, src: &str) -> Result<Schedule, IoError> {
+                let mut b = ScheduleBuilder::new().cluster(0, "c", 1);
+                for l in src.lines() {
+                    let mut it = l.split_whitespace();
+                    let id = it.next().unwrap_or("?");
+                    let s: f64 = it.next().unwrap_or("0").parse().unwrap_or(0.0);
+                    let e: f64 = it.next().unwrap_or("0").parse().unwrap_or(0.0);
+                    b = b.task(Task::new(id, "t", s, e).on(Allocation::contiguous(0, 0, 1)));
+                }
+                Ok(b.build()?)
+            }
+        }
+        let p: Box<dyn ScheduleParser> = Box::new(Tiny);
+        let s = p.parse("a 0 1\nb 1 2\n").unwrap();
+        assert_eq!(s.tasks.len(), 2);
+        assert!(p.write(&s).is_none());
+    }
+}

@@ -1,0 +1,527 @@
+//! Streaming Jedule XML reading.
+//!
+//! The §VI case study notes that "Jedule can handle big data sets …
+//! some experiments with the parallel Quicksort have created more than
+//! 200,000 individual tasks". The DOM reader ([`crate::jedule_xml`])
+//! materializes the whole document tree; this reader walks the byte
+//! stream once and hands each `<node_statistics>` to a callback as soon
+//! as it closes, so peak memory is one task instead of one document.
+//!
+//! The two readers are verified against each other (same schedules, task
+//! by task) and benchmarked side by side in `jedule-bench`.
+
+use crate::error::{IoError, Pos};
+use crate::xml::unescape;
+use jedule_core::{Allocation, Cluster, HostRange, HostSet, MetaInfo, Schedule, Task};
+
+/// Events delivered by [`stream_schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A `<cluster>` definition from the platform header.
+    Cluster(Cluster),
+    /// One meta key/value pair.
+    Meta(String, String),
+    /// A completed task.
+    Task(Task),
+}
+
+/// A minimal pull scanner over start/end tags with attributes.
+struct TagScanner<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+/// One scanned tag.
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+    /// `</name>` closing tag.
+    closing: bool,
+    /// `<name/>` self-closing tag.
+    self_closing: bool,
+}
+
+impl<'a> TagScanner<'a> {
+    fn new(src: &'a str) -> Self {
+        TagScanner {
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.i)?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_until(&mut self, delim: &[u8]) -> Result<(), IoError> {
+        let at = self.pos();
+        while self.i < self.bytes.len() {
+            if self.bytes[self.i..].starts_with(delim) {
+                for _ in 0..delim.len() {
+                    self.bump();
+                }
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(IoError::xml(
+            format!("unterminated section, expected {:?}", String::from_utf8_lossy(delim)),
+            at,
+        ))
+    }
+
+    /// Next tag, skipping text, comments, PIs and DOCTYPE. `None` at EOF.
+    fn next_tag(&mut self) -> Result<Option<Tag>, IoError> {
+        loop {
+            // Scan to the next '<'.
+            while self.i < self.bytes.len() && self.bytes[self.i] != b'<' {
+                self.bump();
+            }
+            if self.i >= self.bytes.len() {
+                return Ok(None);
+            }
+            if self.bytes[self.i..].starts_with(b"<!--") {
+                self.skip_until(b"-->")?;
+                continue;
+            }
+            if self.bytes[self.i..].starts_with(b"<?") {
+                self.skip_until(b"?>")?;
+                continue;
+            }
+            if self.bytes[self.i..].starts_with(b"<![CDATA[") {
+                self.skip_until(b"]]>")?;
+                continue;
+            }
+            if self.bytes[self.i..].starts_with(b"<!") {
+                self.skip_until(b">")?;
+                continue;
+            }
+            break;
+        }
+        let at = self.pos();
+        self.bump(); // '<'
+        let closing = self.bytes.get(self.i) == Some(&b'/');
+        if closing {
+            self.bump();
+        }
+        // Name.
+        let start = self.i;
+        while let Some(&b) = self.bytes.get(self.i) {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.i == start {
+            return Err(IoError::xml("expected a tag name", at));
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|_| IoError::xml("invalid UTF-8 in tag name", at))?
+            .to_owned();
+
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            // Whitespace.
+            while matches!(self.bytes.get(self.i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.bump();
+            }
+            match self.bytes.get(self.i) {
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.bytes.get(self.i) == Some(&b'>') {
+                        self.bump();
+                        self_closing = true;
+                        break;
+                    }
+                    return Err(IoError::xml("stray '/' in tag", self.pos()));
+                }
+                Some(_) => {
+                    let astart = self.i;
+                    while let Some(&b) = self.bytes.get(self.i) {
+                        if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let aname = std::str::from_utf8(&self.bytes[astart..self.i])
+                        .map_err(|_| IoError::xml("invalid UTF-8 in attribute", at))?
+                        .to_owned();
+                    while matches!(self.bytes.get(self.i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                        self.bump();
+                    }
+                    if self.bump() != Some(b'=') {
+                        return Err(IoError::xml("expected '=' after attribute name", self.pos()));
+                    }
+                    while matches!(self.bytes.get(self.i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                        self.bump();
+                    }
+                    let quote = match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(IoError::xml("expected quoted attribute value", self.pos())),
+                    };
+                    let vstart = self.i;
+                    while self.bytes.get(self.i).is_some_and(|&b| b != quote) {
+                        self.bump();
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[vstart..self.i])
+                        .map_err(|_| IoError::xml("invalid UTF-8 in attribute value", at))?;
+                    let value = unescape(raw, at)?;
+                    if self.bump() != Some(quote) {
+                        return Err(IoError::xml("unterminated attribute value", at));
+                    }
+                    attrs.push((aname, value));
+                }
+                None => return Err(IoError::xml("unterminated tag", at)),
+            }
+        }
+        Ok(Some(Tag {
+            name,
+            attrs,
+            closing,
+            self_closing,
+        }))
+    }
+}
+
+fn attr<'t>(tag: &'t Tag, name: &str) -> Option<&'t str> {
+    tag.attrs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn require<'t>(tag: &'t Tag, name: &str) -> Result<&'t str, IoError> {
+    attr(tag, name)
+        .ok_or_else(|| IoError::format(format!("<{}> missing attribute {name:?}", tag.name)))
+}
+
+/// Streams a Jedule XML document, invoking `sink` per event, without
+/// building a DOM. Structural assumptions match the writer's output and
+/// [`crate::jedule_xml::read_schedule`]'s semantics (including the
+/// `host_nb`-vs-host-list sanity check).
+pub fn stream_schedule<F>(src: &str, mut sink: F) -> Result<(), IoError>
+where
+    F: FnMut(StreamEvent),
+{
+    let mut sc = TagScanner::new(src);
+
+    // Current task under construction.
+    let mut cur: Option<Task> = None;
+    let mut cur_conf: Option<(u32, Option<u32>, HostSet)> = None;
+    let mut saw_root = false;
+
+    while let Some(tag) = sc.next_tag()? {
+        if tag.closing {
+            match tag.name.as_str() {
+                "configuration" => {
+                    if let (Some(task), Some((cluster, host_nb, hosts))) =
+                        (cur.as_mut(), cur_conf.take())
+                    {
+                        if let Some(nb) = host_nb {
+                            if hosts.count() != nb {
+                                return Err(IoError::format(format!(
+                                    "task {:?}: host_nb={nb} but host list contains {} hosts",
+                                    task.id,
+                                    hosts.count()
+                                )));
+                            }
+                        }
+                        task.allocations.push(Allocation::new(cluster, hosts));
+                    }
+                }
+                "node_statistics" => {
+                    if let Some(task) = cur.take() {
+                        if task.id.is_empty() {
+                            return Err(IoError::format(
+                                "<node_statistics> without id property",
+                            ));
+                        }
+                        sink(StreamEvent::Task(task));
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match tag.name.as_str() {
+            "jedule" => saw_root = true,
+            "cluster" => {
+                let id_str = require(&tag, "id")?;
+                let id: u32 = id_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| IoError::number("cluster id", id_str))?;
+                let hosts_str = require(&tag, "hosts")?;
+                let hosts: u32 = hosts_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| IoError::number("cluster hosts", hosts_str))?;
+                let name = attr(&tag, "name")
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("cluster-{id}"));
+                sink(StreamEvent::Cluster(Cluster::new(id, name, hosts)));
+            }
+            "info" | "meta" => {
+                sink(StreamEvent::Meta(
+                    require(&tag, "name")?.to_owned(),
+                    require(&tag, "value")?.to_owned(),
+                ));
+            }
+            "node_statistics" => {
+                cur = Some(Task::new("", "", 0.0, 0.0));
+                if tag.self_closing {
+                    cur = None;
+                }
+            }
+            "node_property" => {
+                if let Some(task) = cur.as_mut() {
+                    let name = require(&tag, "name")?;
+                    let value = require(&tag, "value")?;
+                    match name {
+                        "id" => task.id = value.to_owned(),
+                        "type" => task.kind = value.to_owned(),
+                        "start_time" => {
+                            task.start = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| IoError::number("start_time", value))?
+                        }
+                        "end_time" => {
+                            task.end = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| IoError::number("end_time", value))?
+                        }
+                        _ => task.attrs.push((name.to_owned(), value.to_owned())),
+                    }
+                }
+            }
+            "configuration" => {
+                cur_conf = Some((0, None, HostSet::new()));
+            }
+            "conf_property" => {
+                if let Some((cluster, host_nb, _)) = cur_conf.as_mut() {
+                    let name = require(&tag, "name")?;
+                    let value = require(&tag, "value")?;
+                    match name {
+                        "cluster_id" => {
+                            *cluster = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| IoError::number("cluster_id", value))?
+                        }
+                        "host_nb" => {
+                            *host_nb = Some(
+                                value
+                                    .trim()
+                                    .parse()
+                                    .map_err(|_| IoError::number("host_nb", value))?,
+                            )
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            "hosts" => {
+                if let Some((_, _, hosts)) = cur_conf.as_mut() {
+                    let start_str = require(&tag, "start")?;
+                    let start: u32 = start_str
+                        .trim()
+                        .parse()
+                        .map_err(|_| IoError::number("hosts start", start_str))?;
+                    let nb_str = require(&tag, "nb")?;
+                    let nb: u32 = nb_str
+                        .trim()
+                        .parse()
+                        .map_err(|_| IoError::number("hosts nb", nb_str))?;
+                    hosts.insert_range(HostRange::new(start, nb));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if !saw_root {
+        return Err(IoError::format("missing <jedule> root element"));
+    }
+    Ok(())
+}
+
+/// Convenience: streams into a full [`Schedule`] (same result as
+/// [`crate::jedule_xml::read_schedule`], one-task peak memory during parsing).
+pub fn read_schedule_streaming(src: &str) -> Result<Schedule, IoError> {
+    let mut clusters = Vec::new();
+    let mut meta = MetaInfo::new();
+    let mut tasks = Vec::new();
+    stream_schedule(src, |ev| match ev {
+        StreamEvent::Cluster(c) => clusters.push(c),
+        StreamEvent::Meta(k, v) => meta.set(k, v),
+        StreamEvent::Task(t) => tasks.push(t),
+    })?;
+    if clusters.is_empty() {
+        return Err(IoError::format("a schedule requires at least one <cluster>"));
+    }
+    let schedule = Schedule {
+        clusters,
+        tasks,
+        meta,
+    };
+    jedule_core::validate::validate_strict(&schedule)?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jedule_xml;
+    use jedule_core::ScheduleBuilder;
+
+    fn sample() -> Schedule {
+        let mut b = ScheduleBuilder::new()
+            .cluster(0, "c0", 64)
+            .cluster(1, "c1", 8)
+            .meta("alg", "stream-test");
+        for i in 0..50 {
+            let h = (i % 60) as u32;
+            b = b.task(
+                Task::new(format!("t{i}"), "computation", f64::from(i), f64::from(i) + 1.5)
+                    .on(Allocation::contiguous(0, h, 4.min(64 - h)))
+                    .with_attr("idx", i.to_string()),
+            );
+        }
+        b.task(
+            Task::new("x", "transfer", 0.0, 1.0)
+                .on(Allocation::new(0, HostSet::from_hosts([0, 5, 9])))
+                .on(Allocation::contiguous(1, 0, 2)),
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_dom_reader_exactly() {
+        let s = sample();
+        let xml = jedule_xml::write_schedule_string(&s);
+        let dom = jedule_xml::read_schedule(&xml).unwrap();
+        let streamed = read_schedule_streaming(&xml).unwrap();
+        assert_eq!(streamed, dom);
+        assert_eq!(streamed, s);
+    }
+
+    #[test]
+    fn events_arrive_in_document_order() {
+        let s = sample();
+        let xml = jedule_xml::write_schedule_string(&s);
+        let mut task_ids = Vec::new();
+        let mut clusters = 0;
+        let mut metas = 0;
+        stream_schedule(&xml, |ev| match ev {
+            StreamEvent::Task(t) => task_ids.push(t.id),
+            StreamEvent::Cluster(_) => clusters += 1,
+            StreamEvent::Meta(..) => metas += 1,
+        })
+        .unwrap();
+        assert_eq!(clusters, 2);
+        assert_eq!(metas, 1);
+        assert_eq!(task_ids.len(), 51);
+        assert_eq!(task_ids[0], "t0");
+        assert_eq!(task_ids[50], "x");
+    }
+
+    #[test]
+    fn host_nb_sanity_check_applies() {
+        let src = r#"<jedule>
+  <platform><cluster id="0" hosts="8"/></platform>
+  <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="t"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="4"/>
+        <host_lists><hosts start="0" nb="8"/></host_lists>
+      </configuration>
+  </node_statistics></node_infos>
+</jedule>"#;
+        let err = read_schedule_streaming(src).unwrap_err();
+        assert!(err.to_string().contains("host_nb"), "{err}");
+    }
+
+    #[test]
+    fn rejects_documents_without_root_or_clusters() {
+        assert!(read_schedule_streaming("<schedule/>").is_err());
+        assert!(read_schedule_streaming("<jedule/>").is_err());
+    }
+
+    #[test]
+    fn comments_and_prolog_skipped() {
+        let s = sample();
+        let xml = jedule_xml::write_schedule_string(&s);
+        let spiced = format!("<!-- head -->\n{}", xml.replacen(
+            "<node_infos>",
+            "<!-- tasks below --><node_infos>",
+            1
+        ));
+        assert_eq!(read_schedule_streaming(&spiced).unwrap(), s);
+    }
+
+    #[test]
+    fn large_document_streams() {
+        // A 20k-task document parses without building a DOM.
+        let mut b = ScheduleBuilder::new().cluster(0, "c", 64);
+        for i in 0..20_000 {
+            b = b.simple_task("computation", f64::from(i), f64::from(i) + 1.0, 0, (i % 64) as u32, 1);
+        }
+        let s = b.build().unwrap();
+        let xml = jedule_xml::write_schedule_string(&s);
+        let mut count = 0usize;
+        stream_schedule(&xml, |ev| {
+            if matches!(ev, StreamEvent::Task(_)) {
+                count += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(count, 20_000);
+    }
+
+    #[test]
+    fn truncated_document_errors() {
+        let s = sample();
+        let xml = jedule_xml::write_schedule_string(&s);
+        let cut = &xml[..xml.len() / 2];
+        // Either an explicit error or a partial stream — but never a panic;
+        // for the convenience reader it must be an error or a *valid*
+        // partial schedule.
+        match read_schedule_streaming(cut) {
+            Ok(partial) => assert!(partial.tasks.len() < s.tasks.len()),
+            Err(_) => {}
+        }
+    }
+}

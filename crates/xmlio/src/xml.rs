@@ -1,0 +1,606 @@
+//! A from-scratch XML subset parser and writer.
+//!
+//! Supports what the Jedule formats need (and a bit more): elements with
+//! single- or double-quoted attributes, self-closing tags, text nodes,
+//! comments, CDATA sections, processing instructions, a skipped DOCTYPE,
+//! and the five predefined entities plus numeric character references.
+//! Namespaces are treated as plain name prefixes. Errors carry 1-based
+//! line/column positions.
+
+use crate::error::{IoError, Pos};
+
+/// A DOM node: element or text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    Element(Element),
+    Text(String),
+}
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            ..Element::default()
+        }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: adds a child element.
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: adds a text child.
+    pub fn text_child(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Attribute value by name.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute value or a format error naming the element.
+    pub fn require_attr(&self, name: &str) -> Result<&str, IoError> {
+        self.get_attr(name).ok_or_else(|| {
+            IoError::format(format!("<{}> is missing required attribute {name:?}", self.name))
+        })
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// All child elements.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                s.push_str(t);
+            }
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Scanner {
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.i..].starts_with(s.as_bytes())
+    }
+
+    fn consume(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), IoError> {
+        if self.consume(s) {
+            Ok(())
+        } else {
+            Err(IoError::xml(format!("expected {s:?}"), self.pos()))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Consumes until the delimiter string, returning the consumed slice
+    /// (delimiter excluded but consumed).
+    fn until(&mut self, delim: &str) -> Result<String, IoError> {
+        let start = self.i;
+        let at = self.pos();
+        while self.peek().is_some() {
+            if self.starts_with(delim) {
+                let s = std::str::from_utf8(&self.bytes[start..self.i])
+                    .map_err(|_| IoError::xml("invalid UTF-8", at))?
+                    .to_owned();
+                self.expect(delim)?;
+                return Ok(s);
+            }
+            self.bump();
+        }
+        Err(IoError::xml(format!("unterminated section, expected {delim:?}"), at))
+    }
+
+    fn name(&mut self) -> Result<String, IoError> {
+        let start = self.i;
+        let at = self.pos();
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.bump();
+        }
+        if self.i == start {
+            return Err(IoError::xml("expected a name", at));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|_| IoError::xml("invalid UTF-8 in name", at))?
+            .to_owned())
+    }
+}
+
+/// Decodes the predefined entities and numeric character references.
+pub fn unescape(raw: &str, at: Pos) -> Result<String, IoError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| IoError::xml("unterminated entity reference", at))?;
+        let ent = &rest[1..end];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let v = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| IoError::xml(format!("bad character reference &{ent};"), at))?;
+                out.push(char::from_u32(v).ok_or_else(|| {
+                    IoError::xml(format!("invalid code point &{ent};"), at)
+                })?);
+            }
+            _ if ent.starts_with('#') => {
+                let v: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| IoError::xml(format!("bad character reference &{ent};"), at))?;
+                out.push(char::from_u32(v).ok_or_else(|| {
+                    IoError::xml(format!("invalid code point &{ent};"), at)
+                })?);
+            }
+            _ => {
+                return Err(IoError::xml(format!("unknown entity &{ent};"), at));
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Escapes text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (double-quote convention).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a document and returns its root element.
+pub fn parse(src: &str) -> Result<Element, IoError> {
+    let mut sc = Scanner::new(src);
+    skip_misc(&mut sc)?;
+    let at = sc.pos();
+    if sc.peek() != Some(b'<') {
+        return Err(IoError::xml("expected root element", at));
+    }
+    let root = parse_element(&mut sc)?;
+    skip_misc(&mut sc)?;
+    if sc.peek().is_some() {
+        return Err(IoError::xml("trailing content after root element", sc.pos()));
+    }
+    Ok(root)
+}
+
+/// Skips whitespace, comments, processing instructions and DOCTYPE.
+fn skip_misc(sc: &mut Scanner) -> Result<(), IoError> {
+    loop {
+        sc.skip_ws();
+        if sc.starts_with("<!--") {
+            sc.expect("<!--")?;
+            sc.until("-->")?;
+        } else if sc.starts_with("<?") {
+            sc.expect("<?")?;
+            sc.until("?>")?;
+        } else if sc.starts_with("<!DOCTYPE") || sc.starts_with("<!doctype") {
+            // Skip until the matching '>', allowing one bracket nesting
+            // level for an internal subset.
+            for _ in 0..9 {
+                sc.bump();
+            }
+            let mut depth = 0i32;
+            loop {
+                match sc.bump() {
+                    Some(b'[') => depth += 1,
+                    Some(b']') => depth -= 1,
+                    Some(b'>') if depth <= 0 => break,
+                    Some(_) => {}
+                    None => return Err(IoError::xml("unterminated DOCTYPE", sc.pos())),
+                }
+            }
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn parse_element(sc: &mut Scanner) -> Result<Element, IoError> {
+    sc.expect("<")?;
+    let name = sc.name()?;
+    let mut el = Element::new(name);
+
+    // Attributes.
+    loop {
+        sc.skip_ws();
+        match sc.peek() {
+            Some(b'/') => {
+                sc.expect("/>")?;
+                return Ok(el);
+            }
+            Some(b'>') => {
+                sc.bump();
+                break;
+            }
+            Some(_) => {
+                let at = sc.pos();
+                let aname = sc.name()?;
+                sc.skip_ws();
+                sc.expect("=")?;
+                sc.skip_ws();
+                let quote = match sc.bump() {
+                    Some(q @ (b'"' | b'\'')) => q,
+                    _ => return Err(IoError::xml("expected quoted attribute value", at)),
+                };
+                let raw = sc.until(if quote == b'"' { "\"" } else { "'" })?;
+                el.attrs.push((aname, unescape(&raw, at)?));
+            }
+            None => return Err(IoError::xml("unterminated start tag", sc.pos())),
+        }
+    }
+
+    // Children.
+    let mut text_buf = String::new();
+    loop {
+        if sc.starts_with("</") {
+            flush_text(&mut el, &mut text_buf);
+            sc.expect("</")?;
+            let at = sc.pos();
+            let close = sc.name()?;
+            if close != el.name {
+                return Err(IoError::xml(
+                    format!("mismatched closing tag </{close}> for <{}>", el.name),
+                    at,
+                ));
+            }
+            sc.skip_ws();
+            sc.expect(">")?;
+            return Ok(el);
+        } else if sc.starts_with("<!--") {
+            sc.expect("<!--")?;
+            sc.until("-->")?;
+        } else if sc.starts_with("<![CDATA[") {
+            sc.expect("<![CDATA[")?;
+            let raw = sc.until("]]>")?;
+            text_buf.push_str(&raw);
+        } else if sc.starts_with("<?") {
+            sc.expect("<?")?;
+            sc.until("?>")?;
+        } else if sc.starts_with("<") {
+            flush_text(&mut el, &mut text_buf);
+            let child = parse_element(sc)?;
+            el.children.push(Node::Element(child));
+        } else {
+            let at = sc.pos();
+            match sc.peek() {
+                None => return Err(IoError::xml(format!("unclosed element <{}>", el.name), at)),
+                Some(_) => {
+                    let start = sc.i;
+                    while sc.peek().is_some() && sc.peek() != Some(b'<') {
+                        sc.bump();
+                    }
+                    let raw = std::str::from_utf8(&sc.bytes[start..sc.i])
+                        .map_err(|_| IoError::xml("invalid UTF-8 in text", at))?;
+                    text_buf.push_str(&unescape(raw, at)?);
+                }
+            }
+        }
+    }
+}
+
+fn flush_text(el: &mut Element, buf: &mut String) {
+    if !buf.trim().is_empty() {
+        el.children.push(Node::Text(std::mem::take(buf)));
+    } else {
+        buf.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Serializes an element as a pretty-printed document with XML prolog.
+pub fn write_document(root: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element(root, 0, &mut out);
+    out
+}
+
+/// Serializes one element (no prolog) at the given indent depth.
+pub fn write_element(el: &Element, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    let only_text = el.children.iter().all(|n| matches!(n, Node::Text(_)));
+    if only_text {
+        out.push('>');
+        for n in &el.children {
+            if let Node::Text(t) = n {
+                out.push_str(&escape_text(t));
+            }
+        }
+        out.push_str("</");
+        out.push_str(&el.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for n in &el.children {
+        match n {
+            Node::Element(c) => write_element(c, depth + 1, out),
+            Node::Text(t) => {
+                out.push_str(&"  ".repeat(depth + 1));
+                out.push_str(&escape_text(t));
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig1_structure() {
+        // The paper's Fig. 1 XML (whitespace in the scan normalized).
+        let src = r#"
+<node_statistics>
+  <node_property name="id" value="1"/>
+  <node_property name="type" value="computation"/>
+  <node_property name="start_time" value="0.000"/>
+  <node_property name="end_time" value="0.310"/>
+  <configuration>
+    <conf_property name="cluster_id" value="0"/>
+    <conf_property name="host_nb" value="8"/>
+    <host_lists>
+      <hosts start="0" nb="8"/>
+    </host_lists>
+  </configuration>
+</node_statistics>"#;
+        let el = parse(src).unwrap();
+        assert_eq!(el.name, "node_statistics");
+        assert_eq!(el.find_all("node_property").count(), 4);
+        let conf = el.find("configuration").unwrap();
+        let hosts = conf.find("host_lists").unwrap().find("hosts").unwrap();
+        assert_eq!(hosts.get_attr("start"), Some("0"));
+        assert_eq!(hosts.get_attr("nb"), Some("8"));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let el = Element::new("root")
+            .attr("a", "1")
+            .child(Element::new("child").attr("x", "y<z&\"q\""))
+            .child(Element::new("t").text_child("hello <world> & co"));
+        let doc = write_document(&el);
+        let back = parse(&doc).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn prolog_comments_doctype_skipped() {
+        let src = r#"<?xml version="1.0"?>
+<!DOCTYPE jedule [ <!ELEMENT jedule ANY> ]>
+<!-- a comment -->
+<jedule><!-- inner --><a/></jedule>"#;
+        let el = parse(src).unwrap();
+        assert_eq!(el.name, "jedule");
+        assert_eq!(el.elements().count(), 1);
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let el = parse("<x><![CDATA[a < b && c]]></x>").unwrap();
+        assert_eq!(el.text(), "a < b && c");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let el = parse(r#"<x a="&lt;&amp;&quot;&#65;&#x42;">&gt;&apos;</x>"#).unwrap();
+        assert_eq!(el.get_attr("a"), Some("<&\"AB"));
+        assert_eq!(el.text(), ">'");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let el = parse("<x a='v1' b=\"v2\"/>").unwrap();
+        assert_eq!(el.get_attr("a"), Some("v1"));
+        assert_eq!(el.get_attr("b"), Some("v2"));
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        match err {
+            IoError::Xml { pos, .. } => {
+                assert_eq!(pos.line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_tag_rejected() {
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        for bad in ["<a>", "<a", "<a x=>", "<a x='1'", "<!-- foo", "<a>&unknown;</a>"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let el = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(el.children.len(), 2);
+    }
+
+    #[test]
+    fn require_attr_errors_helpfully() {
+        let el = parse("<hosts start=\"0\"/>").unwrap();
+        let err = el.require_attr("nb").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("hosts") && msg.contains("nb"), "{msg}");
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..200).rev() {
+            src.push_str(&format!("</n{i}>"));
+        }
+        let el = parse(&src).unwrap();
+        assert_eq!(el.name, "n0");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests of the from-scratch parsers: anything we can write, we
+//! can read back bit-exactly.
+
+use jedule_xmlio::json::{self, Json};
+use jedule_xmlio::xml::{self, Element};
+use proptest::prelude::*;
+
+/// Text without control characters (XML 1.0 forbids most of them; our
+/// writer never emits them either).
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~àéü☃𝄞]{0,40}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z_][A-Za-z0-9_.-]{0,12}").expect("valid regex")
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..4), arb_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut el = Element::new(name);
+            // Attribute names must be unique within an element for the
+            // round-trip to be exact.
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el.attrs.push((k, v));
+                }
+            }
+            if !text.trim().is_empty() {
+                el = el.text_child(text);
+            }
+            el
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, proptest::collection::vec(arb_element(depth - 1), 0..3))
+            .prop_map(|(mut el, children)| {
+                // Mixed content (text + elements) round-trips only up to
+                // whitespace normalization; keep either text or children.
+                if !children.is_empty() {
+                    el.children.clear();
+                    for c in children {
+                        el = el.child(c);
+                    }
+                }
+                el
+            })
+            .boxed()
+    }
+}
+
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e12f64..1e12).prop_map(|v| Json::Num((v * 1000.0).round() / 1000.0)),
+        arb_text().prop_map(Json::Str),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf.clone(),
+            proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Json::Arr),
+            proptest::collection::btree_map(arb_name(), arb_json(depth - 1), 0..4)
+                .prop_map(Json::Obj),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → parse is the identity for XML element trees.
+    #[test]
+    fn xml_roundtrip(el in arb_element(3)) {
+        let doc = xml::write_document(&el);
+        let back = xml::parse(&doc).expect("our own output parses");
+        prop_assert_eq!(back, el);
+    }
+
+    /// Attribute values survive every escaping path.
+    #[test]
+    fn attr_escaping(value in arb_text()) {
+        let el = Element::new("e").attr("v", value.clone());
+        let doc = xml::write_document(&el);
+        let back = xml::parse(&doc).unwrap();
+        prop_assert_eq!(back.get_attr("v"), Some(value.as_str()));
+    }
+
+    /// JSON write → parse is the identity.
+    #[test]
+    fn json_roundtrip(v in arb_json(3)) {
+        let text = v.to_string_compact();
+        let back = json::parse(&text).expect("our own output parses");
+        prop_assert_eq!(back, v);
+    }
+
+    /// The XML parser never panics on arbitrary input (it may error).
+    #[test]
+    fn xml_parser_total(garbage in proptest::string::string_regex(".{0,200}").unwrap()) {
+        let _ = xml::parse(&garbage);
+    }
+
+    /// The JSON parser never panics on arbitrary input.
+    #[test]
+    fn json_parser_total(garbage in proptest::string::string_regex(".{0,200}").unwrap()) {
+        let _ = json::parse(&garbage);
+    }
+
+    /// Format auto-detection + parsing never panics on arbitrary
+    /// line-oriented input (exercises all three built-in parsers).
+    #[test]
+    fn schedule_parsers_total(lines in proptest::collection::vec(
+        proptest::string::string_regex("[-0-9eE. ,;:{}\\[\\]<>a-zA-Z\"]{0,80}").unwrap(), 0..10)) {
+        let src = lines.join("\n");
+        let _ = jedule_xmlio::parse_any(&src, None);
+    }
+}

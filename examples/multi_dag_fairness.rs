@@ -1,0 +1,91 @@
+//! The §IV case study: schedule a batch of mixed-parallel applications
+//! on one cluster under the CRA policies, compare makespan vs fairness
+//! (stretch), verify the resource constraint the Fig. 5 chart confirms,
+//! and apply the conservative backfilling post-pass.
+//!
+//! ```text
+//! cargo run --release --example multi_dag_fairness
+//! ```
+
+use jedule::dag::{layered, Dag, GenParams};
+use jedule::sched::multidag::verify_partition;
+use jedule::sched::{backfill, schedule_multi_dag, CraPolicy};
+use jedule::prelude::*;
+
+fn batch() -> Vec<Dag> {
+    (0..4)
+        .map(|i| {
+            let mut d = layered(&GenParams {
+                seed: 40 + i as u64,
+                depth: 5,
+                width: 3,
+                work_mean: 20.0 * (1.0 + i as f64),
+                ..GenParams::default()
+            });
+            d.name = format!("app{i}");
+            d
+        })
+        .collect()
+}
+
+fn main() {
+    let dags = batch();
+    let procs = 20;
+
+    println!("four applications on a cluster of {procs} processors\n");
+    println!("policy      μ     makespan   max-stretch  mean-stretch  shares");
+    for (policy, mu) in [
+        (CraPolicy::Equal, 1.0),
+        (CraPolicy::Work { mu: 0.0 }, 0.0),
+        (CraPolicy::Work { mu: 0.5 }, 0.5),
+        (CraPolicy::Width { mu: 0.0 }, 0.0),
+        (CraPolicy::Width { mu: 0.5 }, 0.5),
+    ] {
+        let r = schedule_multi_dag(&dags, procs, 1.0, policy);
+        // The check the Fig. 5 color map made visual: every application
+        // stays within its processor range.
+        verify_partition(&r).expect("resource constraint respected");
+        println!(
+            "{:<11} {:<5} {:<10.2} {:<12.3} {:<13.3} {:?}",
+            policy.name(),
+            mu,
+            r.overall_makespan,
+            r.max_stretch,
+            r.mean_stretch,
+            r.apps.iter().map(|a| a.share).collect::<Vec<_>>()
+        );
+    }
+
+    // Render the CRA_WORK schedule with one color per application.
+    let r = schedule_multi_dag(&dags, procs, 1.0, CraPolicy::Work { mu: 0.5 });
+    let cmap = ColorMap::per_type("apps", ["app0", "app1", "app2", "app3"]);
+    std::fs::create_dir_all("target/examples").unwrap();
+    render_to_file(
+        &r.schedule,
+        &RenderOptions::default()
+            .with_colormap(cmap)
+            .with_title("CRA_WORK — four applications, one cluster"),
+        "target/examples/multi_dag.svg",
+    )
+    .unwrap();
+
+    // Conservative backfilling: same-application precedence is
+    // over-approximated by start order within the app.
+    let kinds: Vec<String> = r.schedule.tasks.iter().map(|t| t.kind.clone()).collect();
+    let starts: Vec<f64> = r.schedule.tasks.iter().map(|t| t.start).collect();
+    let report = backfill(&r.schedule, |i, j| {
+        kinds[i] == kinds[j] && starts[i] < starts[j]
+    });
+    println!(
+        "\nconservative backfilling: makespan {:.2} -> {:.2}, idle {:.1} -> {:.1} ({} tasks moved)",
+        report.makespan_before,
+        report.makespan_after,
+        report.idle_before,
+        report.idle_after,
+        report.moved
+    );
+    jedule::sched::backfill::verify_no_delay(&r.schedule, &report.schedule)
+        .expect("no task delayed — the check the paper made visually");
+    println!("verified: no task was delayed by the backfilling step");
+    println!("\nwrote target/examples/multi_dag.svg");
+}

@@ -1,0 +1,109 @@
+//! The §VI case study: run the task-parallel Quicksort on a *real*
+//! multi-threaded task pool (tracing every get/execute interval), then
+//! replay the same workload on the deterministic 64-worker NUMA
+//! simulator that regenerates Figs. 11 and 12.
+//!
+//! ```text
+//! cargo run --release --example taskpool_quicksort
+//! ```
+
+use jedule::taskpool::pool::{run_quicksort, PoolKind};
+use jedule::taskpool::quicksort::{build_qs_tree, inverse_input, random_input, PivotStrategy};
+use jedule::taskpool::sim::{simulate_tree, NumaModel, SimParams};
+use jedule::taskpool::trace::{taskpool_colormap, trace_to_schedule, TraceScheduleOptions};
+use jedule::prelude::*;
+
+fn main() {
+    std::fs::create_dir_all("target/examples").unwrap();
+
+    // ---- Real execution on this machine's threads --------------------
+    let n = 2_000_000;
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get() as u32)
+        .unwrap_or(4)
+        .min(16);
+    println!("real run: sorting {n} random integers on {workers} workers (work stealing)");
+    let data = random_input(n, 1);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    let t0 = std::time::Instant::now();
+    let (spans, sorted) = run_quicksort(PoolKind::WorkStealing, workers, data, 16_384);
+    assert_eq!(sorted, expect, "the pool really sorts");
+    println!(
+        "  sorted in {:.3} s wall clock, {} trace spans",
+        t0.elapsed().as_secs_f64(),
+        spans.len()
+    );
+    let schedule = trace_to_schedule(
+        &spans,
+        workers,
+        &TraceScheduleOptions {
+            min_span: 1e-4,
+            ..Default::default()
+        },
+    );
+    render_to_file(
+        &schedule,
+        &RenderOptions::default()
+            .with_colormap(taskpool_colormap())
+            .with_title("real task pool — quicksort trace"),
+        "target/examples/quicksort_real.svg",
+    )
+    .unwrap();
+    println!("  wrote target/examples/quicksort_real.svg (blue=exec, red=wait)\n");
+
+    // ---- Simulated Altix 4700, the paper's machine --------------------
+    let sim_n = 1 << 20;
+    let params = SimParams {
+        workers: 64,
+        numa: NumaModel::altix(),
+        ..SimParams::default()
+    };
+
+    // Fig. 11: random input, naive pivot.
+    let (tree, _) = build_qs_tree(&random_input(sim_n, 1102), PivotStrategy::First, 512);
+    let r11 = simulate_tree(&tree, &params);
+    println!("fig-11 setting (random input, 64 simulated workers):");
+    println!(
+        "  {} tasks, makespan {:.3} s, utilization {:.1} %, single-worker time {:.1} %",
+        tree.nodes.len(),
+        r11.makespan,
+        r11.utilization * 100.0,
+        r11.single_worker_fraction() * 100.0
+    );
+
+    // Fig. 12: inversely sorted input, middle pivot.
+    let (tree, _) = build_qs_tree(&inverse_input(sim_n), PivotStrategy::Middle, 512);
+    let r12 = simulate_tree(&tree, &params);
+    println!("fig-12 setting (inversely sorted input, middle pivot):");
+    println!(
+        "  {} tasks, makespan {:.3} s, single-worker time {:.1} % (paper: 'almost half')",
+        tree.nodes.len(),
+        r12.makespan,
+        r12.single_worker_fraction() * 100.0
+    );
+    println!(
+        "  root partition swaps every pair: {} swaps for {} elements",
+        tree.nodes[0].swaps, sim_n
+    );
+
+    for (r, name) in [(&r11, "quicksort_fig11"), (&r12, "quicksort_fig12")] {
+        let s = trace_to_schedule(
+            &r.spans,
+            64,
+            &TraceScheduleOptions {
+                min_span: r.makespan * 1e-4,
+                ..Default::default()
+            },
+        );
+        render_to_file(
+            &s,
+            &RenderOptions::default()
+                .with_colormap(taskpool_colormap())
+                .with_title(name.to_string()),
+            format!("target/examples/{name}.svg"),
+        )
+        .unwrap();
+    }
+    println!("\nwrote target/examples/quicksort_fig11.svg and quicksort_fig12.svg");
+}

@@ -1,0 +1,147 @@
+//! End-to-end pipeline: scheduler → Jedule schedule → XML round-trip →
+//! every rendering back-end, across crate boundaries.
+
+use jedule::prelude::*;
+use jedule::render::{ppm, OutputFormat};
+
+fn demo_schedule() -> Schedule {
+    ScheduleBuilder::new()
+        .cluster(0, "c0", 8)
+        .cluster(1, "c1", 4)
+        .meta("alg", "demo")
+        .task(Task::new("1", "computation", 0.0, 4.0).on(Allocation::contiguous(0, 0, 8)))
+        .task(Task::new("2", "transfer", 3.0, 5.0).on(Allocation::contiguous(0, 2, 2)))
+        .task(
+            Task::new("3", "computation", 1.0, 6.0)
+                .on(Allocation::new(1, HostSet::from_hosts([0, 2, 3]))),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn xml_roundtrip_then_render_all_backends() {
+    let s = demo_schedule();
+    let xml = write_schedule_string(&s);
+    let back = read_schedule(&xml).unwrap();
+    assert_eq!(back, s);
+
+    for format in [
+        OutputFormat::Svg,
+        OutputFormat::Png,
+        OutputFormat::Jpeg,
+        OutputFormat::Ppm,
+        OutputFormat::Pdf,
+        OutputFormat::Ascii,
+    ] {
+        let opts = RenderOptions::default().with_format(format);
+        let bytes = render(&back, &opts);
+        assert!(!bytes.is_empty(), "{format:?} produced no output");
+        match format {
+            OutputFormat::Svg => {
+                let text = String::from_utf8(bytes).unwrap();
+                assert!(text.starts_with("<svg"));
+                // SVG must be valid XML per our own parser.
+                assert!(jedule::xmlio::xml::parse(&text).is_ok());
+            }
+            OutputFormat::Png => {
+                assert_eq!(&bytes[1..4], b"PNG");
+            }
+            OutputFormat::Jpeg => {
+                assert_eq!(&bytes[..2], &[0xff, 0xd8]);
+                // The verification decoder reads our own output back.
+                let canvas = jedule::render::jpeg::decode(&bytes).expect("valid JPEG");
+                assert!(canvas.width > 100);
+            }
+            OutputFormat::Ppm => {
+                let canvas = ppm::decode(&bytes).expect("valid PPM");
+                assert!(canvas.width > 100);
+            }
+            OutputFormat::Pdf => {
+                assert!(bytes.starts_with(b"%PDF-1.4"));
+                assert!(String::from_utf8_lossy(&bytes).contains("%%EOF"));
+            }
+            OutputFormat::Ascii => {
+                assert!(String::from_utf8(bytes).unwrap().contains('\n'));
+            }
+        }
+    }
+}
+
+#[test]
+fn render_sizes_scale_with_options() {
+    let s = demo_schedule();
+    let small = render(
+        &s,
+        &RenderOptions::default()
+            .with_format(OutputFormat::Png)
+            .with_size(200.0, Some(150.0)),
+    );
+    let large = render(
+        &s,
+        &RenderOptions::default()
+            .with_format(OutputFormat::Png)
+            .with_size(1200.0, Some(900.0)),
+    );
+    assert!(large.len() > small.len());
+}
+
+#[test]
+fn grayscale_render_has_no_color_pixels() {
+    let s = demo_schedule();
+    let opts = RenderOptions::default()
+        .with_format(OutputFormat::Ppm)
+        .grayscale();
+    let bytes = render(&s, &opts);
+    let canvas = ppm::decode(&bytes).unwrap();
+    for y in 0..canvas.height {
+        for x in 0..canvas.width {
+            let c = canvas.get(x, y).unwrap();
+            assert!(c.r == c.g && c.g == c.b, "colored pixel at {x},{y}: {c:?}");
+        }
+    }
+}
+
+#[test]
+fn cluster_filter_and_window_compose() {
+    let s = demo_schedule();
+    let opts = RenderOptions {
+        cluster: Some(1),
+        time_window: Some((2.0, 5.0)),
+        ..Default::default()
+    };
+    let svg = String::from_utf8(render(&s, &opts)).unwrap();
+    // Only cluster c1's panel is drawn.
+    assert!(svg.contains(">c1<"));
+    assert!(!svg.contains(">c0<"));
+}
+
+#[test]
+fn composite_overlap_appears_in_svg() {
+    let s = demo_schedule();
+    let with = RenderOptions {
+        show_composites: true,
+        ..Default::default()
+    };
+    let without = RenderOptions {
+        show_composites: false,
+        ..Default::default()
+    };
+    let svg_with = String::from_utf8(render(&s, &with)).unwrap();
+    let svg_without = String::from_utf8(render(&s, &without)).unwrap();
+    // The composite legend entry and orange fill only exist when enabled.
+    assert!(svg_with.contains("composite"));
+    assert!(!svg_without.contains("composite"));
+    assert!(svg_with.contains("#ff6200"));
+}
+
+#[test]
+fn schedule_written_and_reloaded_from_disk() {
+    let dir = std::env::temp_dir().join("jedule_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.jed");
+    let s = demo_schedule();
+    jedule::xmlio::write_schedule(&s, &path).unwrap();
+    let back = jedule::xmlio::read_schedule_file(&path).unwrap();
+    assert_eq!(back, s);
+}
