@@ -33,11 +33,9 @@ fn bench_variants(c: &mut Criterion) {
             cpa.makespan.min(mcpa.makespan)
         );
         for variant in [CpaVariant::Cpa, CpaVariant::Mcpa, CpaVariant::Mcpa2] {
-            g.bench_with_input(
-                BenchmarkId::new(variant.name(), name),
-                &dag,
-                |b, d| b.iter(|| black_box(schedule_dag(d, 32, 1.0, variant))),
-            );
+            g.bench_with_input(BenchmarkId::new(variant.name(), name), &dag, |b, d| {
+                b.iter(|| black_box(schedule_dag(d, 32, 1.0, variant)))
+            });
         }
     }
     g.finish();

@@ -59,5 +59,10 @@ fn bench_simx_replay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_montage_generation, bench_heft, bench_simx_replay);
+criterion_group!(
+    benches,
+    bench_montage_generation,
+    bench_heft,
+    bench_simx_replay
+);
 criterion_main!(benches);

@@ -80,7 +80,9 @@ fn bench_backfill(c: &mut Criterion) {
     let starts: Vec<f64> = r.schedule.tasks.iter().map(|t| t.start).collect();
     let mut g = c.benchmark_group("backfill");
     g.sample_size(10);
-    let report = backfill(&r.schedule, |i, j| kinds[i] == kinds[j] && starts[i] < starts[j]);
+    let report = backfill(&r.schedule, |i, j| {
+        kinds[i] == kinds[j] && starts[i] < starts[j]
+    });
     println!(
         "backfilling: idle {:.1} -> {:.1}, moved {}",
         report.idle_before, report.idle_after, report.moved

@@ -35,12 +35,45 @@ fn bench_backends(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole measurement: the PNG path (rasterize + encode) at the
+/// Fig. 13 scale for several `threads` settings. `threads_1` is the
+/// sequential baseline; the decoded pixels are identical for every row.
+fn bench_png_thread_scaling(c: &mut Criterion) {
+    let (schedule, cmap) = jedule_bench::fig13();
+    let opts = RenderOptions::default()
+        .with_size(900.0, None)
+        .with_colormap(cmap);
+    let scene = layout(&schedule, &opts);
+
+    let mut g = c.benchmark_group("png_threads_fig13");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 0] {
+        let label = if threads == 0 {
+            "threads_auto".to_string()
+        } else {
+            format!("threads_{threads}")
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let canvas = jedule_render::raster::rasterize_threads(&scene, threads);
+                black_box(jedule_render::png::encode_with(&canvas, threads))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let f = jedule_bench::fig4();
     let opts = jedule_bench::fig4_options("bench");
     let mut g = c.benchmark_group("render_end_to_end");
     g.sample_size(20);
-    for fmt in [OutputFormat::Svg, OutputFormat::Png, OutputFormat::Jpeg, OutputFormat::Pdf] {
+    for fmt in [
+        OutputFormat::Svg,
+        OutputFormat::Png,
+        OutputFormat::Jpeg,
+        OutputFormat::Pdf,
+    ] {
         let mut o = opts.clone();
         o.format = fmt;
         g.bench_function(format!("fig4_{}", fmt.extension()), |b| {
@@ -50,5 +83,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_png_thread_scaling,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn bench_tree_build(c: &mut Criterion) {
     // The >200k-tasks stress: tiny threshold.
     let data = random_input(1 << 20, 43);
     let (tree, _) = build_qs_tree(&data, PivotStrategy::Middle, 2);
-    println!("qs tree with threshold 2 on 1M elements: {} tasks", tree.nodes.len());
+    println!(
+        "qs tree with threshold 2 on 1M elements: {} tasks",
+        tree.nodes.len()
+    );
     g.bench_function("many_tasks_1M_thr2", |b| {
         b.iter(|| black_box(build_qs_tree(&data, PivotStrategy::Middle, 2)))
     });
@@ -72,5 +75,10 @@ fn bench_real_pools(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tree_build, bench_simulation, bench_real_pools);
+criterion_group!(
+    benches,
+    bench_tree_build,
+    bench_simulation,
+    bench_real_pools
+);
 criterion_main!(benches);

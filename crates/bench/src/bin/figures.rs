@@ -81,22 +81,55 @@ fn fig3() {
     header("fig3", "composite tasks (computation+transfer overlap)");
     let s = fig::fig3_schedule();
     let comps = jedule_core::composite_tasks(&s, &Default::default());
-    fig::emit(&s, "fig3_composites", fig::figure_options("Figure 3 — composite tasks", ColorMap::standard()))
-        .expect("render fig3");
-    println!("   {} base tasks, {} composite region(s)", s.tasks.len(), comps.len());
+    fig::emit(
+        &s,
+        "fig3_composites",
+        fig::figure_options("Figure 3 — composite tasks", ColorMap::standard()),
+    )
+    .expect("render fig3");
+    println!(
+        "   {} base tasks, {} composite region(s)",
+        s.tasks.len(),
+        comps.len()
+    );
 }
 
 fn fig4() {
     header("fig4", "CPA vs MCPA (load imbalance)");
     let f = fig::fig4();
-    fig::emit(&f.cpa, "fig4_cpa", fig::fig4_options("Figure 4 (left) — CPA")).expect("render");
-    fig::emit(&f.mcpa, "fig4_mcpa", fig::fig4_options("Figure 4 (right) — MCPA")).expect("render");
-    println!("   CPA   makespan {:8.2}  utilization {:5.1} %", f.cpa_makespan, f.cpa_utilization * 100.0);
-    println!("   MCPA  makespan {:8.2}  utilization {:5.1} %", f.mcpa_makespan, f.mcpa_utilization * 100.0);
-    println!("   MCPA2 makespan {:8.2}  (winner: {})", f.mcpa2_makespan, f.mcpa2_winner);
+    fig::emit(
+        &f.cpa,
+        "fig4_cpa",
+        fig::fig4_options("Figure 4 (left) — CPA"),
+    )
+    .expect("render");
+    fig::emit(
+        &f.mcpa,
+        "fig4_mcpa",
+        fig::fig4_options("Figure 4 (right) — MCPA"),
+    )
+    .expect("render");
+    println!(
+        "   CPA   makespan {:8.2}  utilization {:5.1} %",
+        f.cpa_makespan,
+        f.cpa_utilization * 100.0
+    );
+    println!(
+        "   MCPA  makespan {:8.2}  utilization {:5.1} %",
+        f.mcpa_makespan,
+        f.mcpa_utilization * 100.0
+    );
+    println!(
+        "   MCPA2 makespan {:8.2}  (winner: {})",
+        f.mcpa2_makespan, f.mcpa2_winner
+    );
     println!(
         "   paper shape: CPA better, MCPA leaves holes, MCPA2 == CPA here -> {}",
-        if f.cpa_makespan < f.mcpa_makespan && f.mcpa2_winner == "CPA" { "REPRODUCED" } else { "DIFFERS" }
+        if f.cpa_makespan < f.mcpa_makespan && f.mcpa2_winner == "CPA" {
+            "REPRODUCED"
+        } else {
+            "DIFFERS"
+        }
     );
 }
 
@@ -106,7 +139,10 @@ fn fig5() {
     fig::emit(
         &r.schedule,
         "fig5_cra_width",
-        fig::figure_options("Figure 5 — CRA_WIDTH, 4 apps, 20 procs", fig::fig5_colormap()),
+        fig::figure_options(
+            "Figure 5 — CRA_WIDTH, 4 apps, 20 procs",
+            fig::fig5_colormap(),
+        ),
     )
     .expect("render");
     for a in &r.apps {
@@ -165,27 +201,54 @@ fn fig7() {
     header("fig7", "heterogeneous platform");
     let text = fig::fig7_text(false);
     std::fs::write("figures/fig7_platform.txt", &text).expect("write fig7");
-    print!("{}", text.lines().map(|l| format!("   {l}\n")).collect::<String>());
+    print!(
+        "{}",
+        text.lines()
+            .map(|l| format!("   {l}\n"))
+            .collect::<String>()
+    );
 }
 
 fn fig8_9(realistic: bool) {
     let (name, title) = if realistic {
-        ("fig9", "Figure 9 — HEFT Montage, realistic backbone latency")
+        (
+            "fig9",
+            "Figure 9 — HEFT Montage, realistic backbone latency",
+        )
     } else {
-        ("fig8", "Figure 8 — HEFT Montage, flawed (equal) backbone latency")
+        (
+            "fig8",
+            "Figure 8 — HEFT Montage, flawed (equal) backbone latency",
+        )
     };
     header(name, title);
     let (r, dag) = fig::fig8_9(realistic);
     fig::emit(
         &r.schedule,
         &format!("{name}_heft_montage"),
-        fig::figure_options(title, ColorMap::per_type(
-            "montage",
-            ["mProjectPP", "mDiffFit", "mConcatFit", "mBgModel", "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"],
-        )),
+        fig::figure_options(
+            title,
+            ColorMap::per_type(
+                "montage",
+                [
+                    "mProjectPP",
+                    "mDiffFit",
+                    "mConcatFit",
+                    "mBgModel",
+                    "mBackground",
+                    "mImgtbl",
+                    "mAdd",
+                    "mShrink",
+                    "mJPEG",
+                ],
+            ),
+        ),
     )
     .expect("render");
-    println!("   makespan {:.1} s (paper: 140.9 s for both variants)", r.makespan);
+    println!(
+        "   makespan {:.1} s (paper: 140.9 s for both variants)",
+        r.makespan
+    );
     // The paper's telltale task: where did the mBackground tasks go?
     let platform = if realistic {
         jedule_platform::fig7_platform_realistic()
@@ -245,11 +308,20 @@ fn fig10() {
     header("fig10", "task-based execution scheme");
     let scheme = fig::fig10_scheme();
     std::fs::write("figures/fig10_scheme.rs.txt", scheme).expect("write fig10");
-    println!("{}", scheme.lines().map(|l| format!("   {l}\n")).collect::<String>());
+    println!(
+        "{}",
+        scheme
+            .lines()
+            .map(|l| format!("   {l}\n"))
+            .collect::<String>()
+    );
 }
 
 fn fig11() {
-    header("fig11", "Quicksort, random input, 64 workers (simulated Altix)");
+    header(
+        "fig11",
+        "Quicksort, random input, 64 workers (simulated Altix)",
+    );
     let f = fig::fig11(1 << 20, 64);
     fig::emit(
         &f.schedule,
@@ -267,7 +339,9 @@ fn fig11() {
         f.report.utilization * 100.0,
         f.report.single_worker_fraction() * 100.0
     );
-    println!("   paper shape: slow ramp-up + low-utilization holes -> utilization well below 100 %");
+    println!(
+        "   paper shape: slow ramp-up + low-utilization holes -> utilization well below 100 %"
+    );
 }
 
 fn fig12() {
@@ -314,7 +388,11 @@ fn fig13(swf: Option<&str>) {
     opts.show_labels = false;
     fig::emit(&schedule, "fig13_thunder_day", opts).expect("render");
     let st = schedule_stats(&schedule);
-    let highlighted = schedule.tasks.iter().filter(|t| t.kind == "highlight").count();
+    let highlighted = schedule
+        .tasks
+        .iter()
+        .filter(|t| t.kind == "highlight")
+        .count();
     println!(
         "   {} jobs ({} highlighted), utilization {:.1} %, nodes 0-19 reserved (empty rows)",
         st.task_count,

@@ -27,15 +27,13 @@ impl<'a> Args<'a> {
     /// The value following a flag, parsed.
     pub fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
         let v = self.value(flag)?;
-        v.parse()
-            .map_err(|_| format!("{flag}: cannot parse {v:?}"))
+        v.parse().map_err(|_| format!("{flag}: cannot parse {v:?}"))
     }
 }
 
 /// Loads a schedule with format auto-detection.
 pub fn load_schedule(path: &str) -> Result<jedule_core::Schedule, String> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     jedule_xmlio::parse_any(&src, Some(std::path::Path::new(path)))
         .map_err(|e| format!("{path}: {e}"))
 }

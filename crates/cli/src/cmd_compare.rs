@@ -20,8 +20,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "-o" | "--output" => output = Some(args.value(a)?.to_string()),
             "-f" | "--format" => {
                 let name = args.value(a)?;
-                format = OutputFormat::parse(name)
-                    .ok_or_else(|| format!("unknown format {name:?}"))?;
+                format =
+                    OutputFormat::parse(name).ok_or_else(|| format!("unknown format {name:?}"))?;
             }
             "--keep-origins" => align_origins = false,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
@@ -54,7 +54,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let ha = idle_holes(&a, 1e-9).len();
     let hb = idle_holes(&b, 1e-9).len();
     println!("{:<14} {:>12} {:>12}", "", na, nb);
-    println!("{:<14} {:>12} {:>12}", "tasks", sa.task_count, sb.task_count);
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "tasks", sa.task_count, sb.task_count
+    );
     println!(
         "{:<14} {:>12.4} {:>12.4}",
         "makespan", sa.makespan, sb.makespan

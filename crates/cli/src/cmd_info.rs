@@ -80,11 +80,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         } else {
             println!("validation: {} issue(s)", issues.len());
             for i in &issues {
-                println!(
-                    "  [{}] {}",
-                    if i.fatal { "FATAL" } else { "warn" },
-                    i.error
-                );
+                println!("  [{}] {}", if i.fatal { "FATAL" } else { "warn" }, i.error);
             }
             if issues.iter().any(|i| i.fatal) {
                 return Err("schedule has fatal validation issues".into());

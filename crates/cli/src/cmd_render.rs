@@ -2,7 +2,7 @@
 
 use crate::args::{load_schedule, Args};
 use jedule_core::AlignMode;
-use jedule_render::{render, OutputFormat, RenderOptions};
+use jedule_render::{render_timed, OutputFormat, RenderOptions};
 use std::path::PathBuf;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -13,14 +13,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut gray = false;
     let mut cmap_path: Option<String> = None;
     let mut only_types: Vec<String> = Vec::new();
+    let mut timings = false;
 
     while let Some(a) = args.next() {
         match a {
             "-o" | "--output" => output = Some(args.value(a)?.to_string()),
             "-f" | "--format" => {
                 let name = args.value(a)?;
-                opts.format = OutputFormat::parse(name)
-                    .ok_or_else(|| format!("unknown format {name:?}"))?;
+                opts.format =
+                    OutputFormat::parse(name).ok_or_else(|| format!("unknown format {name:?}"))?;
             }
             "-W" | "--width" => opts.width = args.parse(a)?,
             "-H" | "--height" => opts.height = Some(args.parse(a)?),
@@ -40,6 +41,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--no-composites" => opts.show_composites = false,
             "--profile" => opts.show_profile = true,
             "--only-type" => only_types.push(args.value(a)?.to_string()),
+            "-j" | "--threads" => opts.threads = args.parse(a)?,
+            "--timings" => timings = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             positional => {
                 if input.is_some() {
@@ -53,9 +56,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let input = input.ok_or("render needs an input schedule file")?;
     let mut schedule = load_schedule(&input)?;
     if !only_types.is_empty() {
-        schedule = jedule_core::transform::filter_types(&schedule, |k| {
-            only_types.iter().any(|t| t == k)
-        });
+        schedule =
+            jedule_core::transform::filter_types(&schedule, |k| only_types.iter().any(|t| t == k));
     }
 
     if let Some(p) = cmap_path {
@@ -66,7 +68,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         opts.colormap = opts.colormap.to_grayscale();
     }
 
-    let bytes = render(&schedule, &opts);
+    let (bytes, stage_times) = render_timed(&schedule, &opts);
+    if timings {
+        eprintln!("{}", stage_times.report());
+    }
     match output {
         Some(path) => {
             std::fs::write(&path, bytes).map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -84,9 +84,8 @@ pub fn execute(session: &mut Session, line: &str, out: &mut impl std::io::Write)
         }
         "z" => {
             let f = num(it.next()).unwrap_or(0.5);
-            let center = num(it.next()).unwrap_or(
-                (session.view.viewport.t0 + session.view.viewport.t1) / 2.0,
-            );
+            let center = num(it.next())
+                .unwrap_or((session.view.viewport.t0 + session.view.viewport.t1) / 2.0);
             session.view.zoom_time(f, center);
             session.redraw(out);
         }
@@ -185,9 +184,8 @@ pub fn execute(session: &mut Session, line: &str, out: &mut impl std::io::Write)
             match it.next() {
                 Some(file) => match std::fs::read_to_string(file)
                     .map_err(|e| e.to_string())
-                    .and_then(|src| {
-                        jedule_xmlio::read_colormap(&src).map_err(|e| e.to_string())
-                    }) {
+                    .and_then(|src| jedule_xmlio::read_colormap(&src).map_err(|e| e.to_string()))
+                {
                     Ok(map) => {
                         session.cmap = map;
                         session.redraw(out);

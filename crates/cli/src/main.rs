@@ -50,6 +50,9 @@ RENDER OPTIONS:
         --no-composites     do not draw composite (overlap) tasks
         --profile           add a busy-hosts-over-time strip
         --only-type <t>     keep only tasks of this type (repeatable)
+    -j, --threads <n>       raster/encode worker threads (0 = all cores,
+                            1 = sequential; pixels identical either way)
+        --timings           print per-stage wall times to stderr
 ";
 
 fn main() -> ExitCode {

@@ -117,7 +117,11 @@ fn render_produces_each_format() {
             "-o",
             out_path.to_str().unwrap(),
         ]);
-        assert!(out.status.success(), "{fmt}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{fmt}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let bytes = std::fs::read(&out_path).expect("output written");
         assert!(bytes.starts_with(magic), "{fmt} magic mismatch");
     }
@@ -145,7 +149,11 @@ fn render_supports_jpeg() {
         "-o",
         out_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&out_path).unwrap();
     assert_eq!(&bytes[..2], &[0xff, 0xd8]); // SOI
     assert_eq!(&bytes[bytes.len() - 2..], &[0xff, 0xd9]); // EOI
@@ -184,15 +192,30 @@ fn convert_roundtrips_formats() {
     let csv = dir.join("demo.csv");
     let jsonl = dir.join("demo.jsonl");
     let back = dir.join("back.jed");
-    assert!(jedule(&["convert", input.to_str().unwrap(), "-o", csv.to_str().unwrap()])
-        .status
-        .success());
-    assert!(jedule(&["convert", csv.to_str().unwrap(), "-o", jsonl.to_str().unwrap()])
-        .status
-        .success());
-    assert!(jedule(&["convert", jsonl.to_str().unwrap(), "-o", back.to_str().unwrap()])
-        .status
-        .success());
+    assert!(jedule(&[
+        "convert",
+        input.to_str().unwrap(),
+        "-o",
+        csv.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(jedule(&[
+        "convert",
+        csv.to_str().unwrap(),
+        "-o",
+        jsonl.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(jedule(&[
+        "convert",
+        jsonl.to_str().unwrap(),
+        "-o",
+        back.to_str().unwrap()
+    ])
+    .status
+    .success());
     // Semantically identical after the full tour.
     let a = jedule_xmlio::read_schedule(&std::fs::read_to_string(&input).unwrap()).unwrap();
     let b = jedule_xmlio::read_schedule(&std::fs::read_to_string(&back).unwrap()).unwrap();
@@ -211,7 +234,11 @@ fn compare_two_schedules() {
         "-o",
         out_svg.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("makespan"));
     assert!(std::fs::read_to_string(&out_svg).unwrap().contains("<svg"));
@@ -233,12 +260,13 @@ fn view_session_scripted() {
     let dir = tmp();
     let input = demo_schedule(&dir);
     let export = dir.join("view_export.svg");
-    let script = format!(
-        "h\nz 0.5\ni 3.5 1\nc 1\nc all\ne {}\nq\n",
-        export.display()
-    );
+    let script = format!("h\nz 0.5\ni 3.5 1\nc 1\nc all\ne {}\nq\n", export.display());
     let out = jedule_with_stdin(&["view", input.to_str().unwrap()], &script);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("task 1"), "inspect output missing: {text}");
     assert!(text.contains("exported"));

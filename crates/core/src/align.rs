@@ -121,14 +121,8 @@ mod tests {
                 .on(Allocation::contiguous(0, 0, 1))
                 .on(Allocation::contiguous(1, 0, 1)),
         );
-        assert_eq!(
-            cluster_extent(&s, 0),
-            Some(TimeExtent::new(1.0, 7.0))
-        );
-        assert_eq!(
-            cluster_extent(&s, 1),
-            Some(TimeExtent::new(6.0, 20.0))
-        );
+        assert_eq!(cluster_extent(&s, 0), Some(TimeExtent::new(1.0, 7.0)));
+        assert_eq!(cluster_extent(&s, 1), Some(TimeExtent::new(6.0, 20.0)));
     }
 
     #[test]

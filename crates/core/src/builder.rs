@@ -53,7 +53,8 @@ impl ScheduleBuilder {
         let id = self.next_task_id.to_string();
         self.next_task_id += 1;
         self.schedule.tasks.push(
-            Task::new(id, kind, start, end).on(Allocation::contiguous(cluster, first_host, nb_hosts)),
+            Task::new(id, kind, start, end)
+                .on(Allocation::contiguous(cluster, first_host, nb_hosts)),
         );
         self
     }

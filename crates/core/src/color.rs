@@ -28,7 +28,8 @@ impl Color {
         if s.len() != 6 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(CoreError::BadColor { spec: spec.into() });
         }
-        let v = u32::from_str_radix(s, 16).map_err(|_| CoreError::BadColor { spec: spec.into() })?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| CoreError::BadColor { spec: spec.into() })?;
         Ok(Color::new((v >> 16) as u8, (v >> 8) as u8, v as u8))
     }
 
@@ -100,7 +101,10 @@ mod tests {
         assert_eq!(Color::parse("0000FF").unwrap(), Color::new(0, 0, 255));
         assert_eq!(Color::parse("f10000").unwrap(), Color::new(0xf1, 0, 0));
         assert_eq!(Color::parse("ff6200").unwrap(), Color::new(0xff, 0x62, 0));
-        assert_eq!(Color::parse("#abcdef").unwrap(), Color::new(0xab, 0xcd, 0xef));
+        assert_eq!(
+            Color::parse("#abcdef").unwrap(),
+            Color::new(0xab, 0xcd, 0xef)
+        );
     }
 
     #[test]

@@ -155,9 +155,9 @@ impl ColorMap {
             return c;
         }
         // Hash-free deterministic pick: sum of bytes mod palette length.
-        let idx = kind
-            .bytes()
-            .fold(0usize, |acc, b| (acc * 31 + usize::from(b)) % FALLBACK_PALETTE.len());
+        let idx = kind.bytes().fold(0usize, |acc, b| {
+            (acc * 31 + usize::from(b)) % FALLBACK_PALETTE.len()
+        });
         ColorPair::on(FALLBACK_PALETTE[idx])
     }
 
@@ -221,7 +221,10 @@ impl ColorMap {
     {
         let mut m = ColorMap::new(name);
         for (i, t) in types.into_iter().enumerate() {
-            m.set(t, ColorPair::on(FALLBACK_PALETTE[i % FALLBACK_PALETTE.len()]));
+            m.set(
+                t,
+                ColorPair::on(FALLBACK_PALETTE[i % FALLBACK_PALETTE.len()]),
+            );
         }
         m
     }

@@ -13,6 +13,7 @@
 
 use crate::hostset::HostSet;
 use crate::model::{Allocation, Schedule, Task};
+use crate::parallel::{chunk_bounds, effective_threads};
 use std::collections::HashMap;
 
 /// The type name assigned to generated composite tasks.
@@ -30,11 +31,25 @@ pub struct CompositeOptions {
     /// Overlap segments shorter than this are ignored (guards against
     /// floating-point touching of task boundaries).
     pub min_duration: f64,
+    /// Worker threads for the per-host sweep: `0` = available
+    /// parallelism, `1` = sequential. The output is identical for every
+    /// worker count (hosts are chunked and merged in index order).
+    pub threads: usize,
 }
 
 impl Default for CompositeOptions {
     fn default() -> Self {
-        CompositeOptions { min_duration: 1e-12 }
+        CompositeOptions {
+            min_duration: 1e-12,
+            threads: 0,
+        }
+    }
+}
+
+impl CompositeOptions {
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -73,18 +88,60 @@ pub fn composite_tasks(schedule: &Schedule, opts: &CompositeOptions) -> Vec<Task
                 }
             }
         }
+        // A task with several allocations on this cluster (or one
+        // allocation listing a host twice) would appear multiple times in
+        // a host's list, making the sweep see the task overlap *itself*
+        // and emit bogus `a+a` composites. Task indices are appended in
+        // increasing order, so duplicates are adjacent and dedup suffices.
+        for tasks in &mut per_host {
+            tasks.dedup();
+        }
 
-        // Sweep each host; key segments by (bit-exact times, task set).
+        // Sweep each host (in parallel across hosts); key segments by
+        // (bit-exact times, task set). The work list and the merge below
+        // are both in ascending host order regardless of the worker
+        // count, so the result is deterministic.
+        let work: Vec<(u32, &[usize])> = per_host
+            .iter()
+            .enumerate()
+            .filter(|(_, tasks)| tasks.len() >= 2)
+            .map(|(host, tasks)| (host as u32, tasks.as_slice()))
+            .collect();
+        let workers = effective_threads(opts.threads).min(work.len()).max(1);
+
+        let swept: Vec<Vec<(u32, Vec<Segment>)>> = if workers <= 1 {
+            vec![work
+                .iter()
+                .map(|&(host, tasks)| (host, host_overlaps(schedule, tasks, opts)))
+                .collect()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunk_bounds(work.len(), workers)
+                    .into_iter()
+                    .map(|(lo, hi)| {
+                        let items = &work[lo..hi];
+                        scope.spawn(move || {
+                            items
+                                .iter()
+                                .map(|&(host, tasks)| (host, host_overlaps(schedule, tasks, opts)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("composite sweep worker panicked"))
+                    .collect()
+            })
+        };
+
         let mut groups: HashMap<SegKey, Vec<u32>> = HashMap::new();
-        for (host, tasks) in per_host.iter().enumerate() {
-            if tasks.len() < 2 {
-                continue;
-            }
-            for seg in host_overlaps(schedule, tasks, opts) {
+        for (host, segs) in swept.into_iter().flatten() {
+            for seg in segs {
                 groups
                     .entry((seg.start.to_bits(), seg.end.to_bits(), seg.tasks))
                     .or_default()
-                    .push(host as u32);
+                    .push(host);
             }
         }
 
@@ -125,7 +182,11 @@ pub fn composite_tasks(schedule: &Schedule, opts: &CompositeOptions) -> Vec<Task
 
 /// Sweeps one host's tasks and returns maximal segments where at least two
 /// tasks are simultaneously active.
-fn host_overlaps(schedule: &Schedule, task_indices: &[usize], opts: &CompositeOptions) -> Vec<Segment> {
+fn host_overlaps(
+    schedule: &Schedule,
+    task_indices: &[usize],
+    opts: &CompositeOptions,
+) -> Vec<Segment> {
     // Event sweep: +1 at start, -1 at end.
     let mut events: Vec<(f64, i32, usize)> = Vec::with_capacity(task_indices.len() * 2);
     for &ti in task_indices {
@@ -147,14 +208,25 @@ fn host_overlaps(schedule: &Schedule, task_indices: &[usize], opts: &CompositeOp
             tasks.sort_unstable();
             // Extend the previous segment if it has the same constituents
             // and touches (can happen when an unrelated event splits it).
+            // The comparison is strict: a gap of exactly `min_duration`
+            // is a real (just-suppressed) interval, not floating-point
+            // noise, and must keep the segments apart.
             if let Some(last) = out.last_mut() {
-                if last.tasks == tasks && (last.end - prev_t).abs() <= opts.min_duration {
+                if last.tasks == tasks && (last.end - prev_t).abs() < opts.min_duration {
                     last.end = t;
                 } else {
-                    out.push(Segment { start: prev_t, end: t, tasks });
+                    out.push(Segment {
+                        start: prev_t,
+                        end: t,
+                        tasks,
+                    });
                 }
             } else {
-                out.push(Segment { start: prev_t, end: t, tasks });
+                out.push(Segment {
+                    start: prev_t,
+                    end: t,
+                    tasks,
+                });
             }
         }
         if delta > 0 {
@@ -274,11 +346,123 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_allocations_do_not_self_compose() {
+        // A task listed twice on the same host (two allocations on one
+        // cluster) must not overlap itself and emit an `a+a` composite.
+        let s = schedule_with(vec![Task::new("a", "computation", 0.0, 2.0)
+            .on(Allocation::contiguous(0, 0, 2))
+            .on(Allocation::contiguous(0, 1, 2))]);
+        let comps = composite_tasks(&s, &CompositeOptions::default());
+        assert!(
+            comps.is_empty(),
+            "lone task self-composed: {:?}",
+            comps.iter().map(|c| c.id.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_allocations_still_compose_with_real_overlaps() {
+        // The deduped task still composes with a genuinely overlapping
+        // one — as `a+b`, never `a+a` or `a+a+b`.
+        let s = schedule_with(vec![
+            Task::new("a", "computation", 0.0, 2.0)
+                .on(Allocation::contiguous(0, 1, 1))
+                .on(Allocation::contiguous(0, 1, 1)),
+            Task::new("b", "transfer", 1.0, 3.0).on(Allocation::contiguous(0, 1, 1)),
+        ]);
+        let comps = composite_tasks(&s, &CompositeOptions::default());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].id, "a+b");
+        assert_eq!((comps[0].start, comps[0].end), (1.0, 2.0));
+    }
+
+    #[test]
+    fn gap_of_exactly_min_duration_is_not_glued() {
+        // a and b overlap throughout [0, 10]; c joins for exactly
+        // min_duration at [5, 5.5]. The a+b+c segment is suppressed
+        // (== min_duration), but the two surrounding a+b segments are
+        // separated by that real interval and must NOT be merged into
+        // one [0, 10] segment.
+        let opts = CompositeOptions {
+            min_duration: 0.5,
+            ..CompositeOptions::default()
+        };
+        let s = schedule_with(vec![
+            Task::new("a", "x", 0.0, 10.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("b", "y", 0.0, 10.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("c", "z", 5.0, 5.5).on(Allocation::contiguous(0, 0, 1)),
+        ]);
+        let comps = composite_tasks(&s, &opts);
+        let ab: Vec<(f64, f64)> = comps
+            .iter()
+            .filter(|c| c.id == "a+b")
+            .map(|c| (c.start, c.end))
+            .collect();
+        assert_eq!(
+            ab,
+            vec![(0.0, 5.0), (5.5, 10.0)],
+            "boundary gap glued: {comps:?}"
+        );
+    }
+
+    #[test]
+    fn sub_min_duration_jitter_still_merges() {
+        // The merge exists to bridge floating-point-sized splits from
+        // unrelated events; a split far below min_duration still glues.
+        let opts = CompositeOptions {
+            min_duration: 0.5,
+            ..CompositeOptions::default()
+        };
+        let s = schedule_with(vec![
+            Task::new("a", "x", 0.0, 10.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("b", "y", 0.0, 10.0).on(Allocation::contiguous(0, 0, 1)),
+            Task::new("c", "z", 5.0, 5.1).on(Allocation::contiguous(0, 0, 1)),
+        ]);
+        let comps = composite_tasks(&s, &opts);
+        let ab: Vec<(f64, f64)> = comps
+            .iter()
+            .filter(|c| c.id == "a+b")
+            .map(|c| (c.start, c.end))
+            .collect();
+        assert_eq!(ab, vec![(0.0, 10.0)]);
+    }
+
+    #[test]
+    fn output_is_identical_for_any_worker_count() {
+        // A many-host schedule with overlaps everywhere: the composite
+        // list (content *and* order) must not depend on `threads`.
+        let mut tasks = Vec::new();
+        for i in 0..40u32 {
+            let h = i % 8;
+            let start = f64::from(i % 5);
+            tasks.push(
+                Task::new(
+                    format!("t{i}"),
+                    if i % 2 == 0 {
+                        "computation"
+                    } else {
+                        "transfer"
+                    },
+                    start,
+                    start + 2.0,
+                )
+                .on(Allocation::contiguous(0, h, 1 + (i % 3))),
+            );
+        }
+        let s = schedule_with(tasks);
+        let base = composite_tasks(&s, &CompositeOptions::default().with_threads(1));
+        assert!(!base.is_empty());
+        for threads in [0, 2, 3, 5, 8, 16] {
+            let got = composite_tasks(&s, &CompositeOptions::default().with_threads(threads));
+            assert_eq!(got, base, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn noncontiguous_composite_hosts() {
         // Overlap on hosts 0 and 2 only.
         let s = schedule_with(vec![
-            Task::new("a", "x", 0.0, 2.0)
-                .on(Allocation::new(0, HostSet::from_hosts([0, 2]))),
+            Task::new("a", "x", 0.0, 2.0).on(Allocation::new(0, HostSet::from_hosts([0, 2]))),
             Task::new("b", "y", 1.0, 3.0).on(Allocation::contiguous(0, 0, 4)),
         ]);
         let comps = composite_tasks(&s, &CompositeOptions::default());

@@ -131,15 +131,17 @@ impl HostSet {
 
     pub fn contains(&self, host: u32) -> bool {
         // Ranges are sorted; binary search by start.
-        self.ranges.binary_search_by(|r| {
-            if r.contains(host) {
-                std::cmp::Ordering::Equal
-            } else if r.end() <= host {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Greater
-            }
-        }).is_ok()
+        self.ranges
+            .binary_search_by(|r| {
+                if r.contains(host) {
+                    std::cmp::Ordering::Equal
+                } else if r.end() <= host {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            })
+            .is_ok()
     }
 
     /// Smallest host index, if non-empty.

@@ -30,6 +30,7 @@ pub mod diff;
 pub mod error;
 pub mod hostset;
 pub mod model;
+pub mod parallel;
 pub mod stats;
 pub mod transform;
 pub mod validate;
@@ -44,6 +45,7 @@ pub use diff::{diff_schedules, ScheduleDiff, TaskChange};
 pub use error::CoreError;
 pub use hostset::{HostRange, HostSet};
 pub use model::{Allocation, Cluster, MetaInfo, Schedule, Task};
+pub use parallel::effective_threads;
 pub use stats::{ClusterStats, Hole, ScheduleStats};
 pub use transform::{filter_types, filter_window, merge, normalize, scale_time, shift_time};
 pub use validate::{validate, ValidationIssue};

@@ -238,9 +238,10 @@ impl Schedule {
 
     /// Minimal start time over all tasks (global `t_s`).
     pub fn min_start(&self) -> Option<f64> {
-        self.tasks.iter().map(|t| t.start).fold(None, |acc, s| {
-            Some(acc.map_or(s, |a: f64| a.min(s)))
-        })
+        self.tasks
+            .iter()
+            .map(|t| t.start)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.min(s))))
     }
 
     /// Maximal finish time over all tasks (global `t_f`).
@@ -307,9 +308,8 @@ mod tests {
         let mut s = Schedule::new();
         s.clusters.push(Cluster::new(0, "c0", 8));
         s.clusters.push(Cluster::new(1, "c1", 4));
-        s.tasks.push(
-            Task::new("1", "computation", 0.0, 0.31).on(Allocation::contiguous(0, 0, 8)),
-        );
+        s.tasks
+            .push(Task::new("1", "computation", 0.0, 0.31).on(Allocation::contiguous(0, 0, 8)));
         s.tasks.push(
             Task::new("2", "transfer", 0.31, 0.5)
                 .on(Allocation::contiguous(0, 4, 2))
@@ -351,8 +351,8 @@ mod tests {
 
     #[test]
     fn task_helpers() {
-        let t = Task::new("x", "comp", 1.0, 3.0)
-            .on(Allocation::new(0, HostSet::from_hosts([0, 2, 3])));
+        let t =
+            Task::new("x", "comp", 1.0, 3.0).on(Allocation::new(0, HostSet::from_hosts([0, 2, 3])));
         assert_eq!(t.duration(), 2.0);
         assert_eq!(t.resource_count(), 3);
         assert_eq!(t.area(), 6.0);

@@ -1,0 +1,80 @@
+//! Shared thread-count policy for the parallel hot paths (composite
+//! sweep, rasterization, PNG encoding).
+//!
+//! Every parallel stage in the workspace takes a `threads` knob with the
+//! same convention: `0` means "use all available parallelism", `1` forces
+//! the sequential code path (byte-identical to the pre-parallel
+//! implementation), and any other value is an explicit worker count.
+
+/// Resolves a `threads` knob to an actual worker count (≥ 1).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Splits `n` work items into at most `workers` contiguous chunk bounds
+/// `(start, end)`, each non-empty, preserving order. Used so parallel
+/// stages can merge worker results deterministically (chunks are always
+/// formed and concatenated in index order, whatever the worker count).
+pub fn chunk_bounds(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves() {
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(7), 7);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        for n in [0usize, 1, 2, 5, 16, 100, 1024] {
+            for w in [1usize, 2, 3, 4, 7, 8, 200] {
+                let bounds = chunk_bounds(n, w);
+                if n == 0 {
+                    assert!(bounds.is_empty());
+                    continue;
+                }
+                assert!(bounds.len() <= w.min(n));
+                assert_eq!(bounds.first().unwrap().0, 0);
+                assert_eq!(bounds.last().unwrap().1, n);
+                for pair in bounds.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "contiguous");
+                }
+                for &(s, e) in &bounds {
+                    assert!(e > s, "non-empty chunk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let bounds = chunk_bounds(10, 3);
+        let sizes: Vec<usize> = bounds.iter().map(|&(s, e)| e - s).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

@@ -85,7 +85,10 @@ pub fn cluster_stats(schedule: &Schedule, cluster: u32) -> Option<ClusterStats> 
         Some(ext) if ext.span() > 0.0 => {
             let cap = ext.span() * f64::from(c.hosts);
             let total_busy: f64 = busy.iter().sum();
-            ((total_busy / cap).clamp(0.0, 1.0), (cap - total_busy).max(0.0))
+            (
+                (total_busy / cap).clamp(0.0, 1.0),
+                (cap - total_busy).max(0.0),
+            )
         }
         _ => (0.0, 0.0),
     };

@@ -67,11 +67,8 @@ pub fn merge(a: &Schedule, b: &Schedule, a_name: &str, b_name: &str) -> Schedule
     let offset = a.clusters.iter().map(|c| c.id).max().map_or(0, |m| m + 1);
 
     for c in &a.clusters {
-        out.clusters.push(Cluster::new(
-            c.id,
-            format!("{a_name}:{}", c.name),
-            c.hosts,
-        ));
+        out.clusters
+            .push(Cluster::new(c.id, format!("{a_name}:{}", c.name), c.hosts));
     }
     for c in &b.clusters {
         out.clusters.push(Cluster::new(

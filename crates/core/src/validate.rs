@@ -109,8 +109,9 @@ mod tests {
     fn ok_schedule() -> Schedule {
         Schedule {
             clusters: vec![Cluster::new(0, "c0", 8)],
-            tasks: vec![Task::new("1", "computation", 0.0, 0.31)
-                .on(Allocation::contiguous(0, 0, 8))],
+            tasks: vec![
+                Task::new("1", "computation", 0.0, 0.31).on(Allocation::contiguous(0, 0, 8))
+            ],
             meta: Default::default(),
         }
     }
@@ -125,13 +126,16 @@ mod tests {
     fn no_clusters_is_fatal() {
         let s = Schedule::new();
         let issues = validate(&s);
-        assert!(issues.iter().any(|i| i.error == CoreError::NoClusters && i.fatal));
+        assert!(issues
+            .iter()
+            .any(|i| i.error == CoreError::NoClusters && i.fatal));
     }
 
     #[test]
     fn unknown_cluster_detected() {
         let mut s = ok_schedule();
-        s.tasks.push(Task::new("2", "t", 0.0, 1.0).on(Allocation::contiguous(9, 0, 1)));
+        s.tasks
+            .push(Task::new("2", "t", 0.0, 1.0).on(Allocation::contiguous(9, 0, 1)));
         assert!(matches!(
             validate_strict(&s),
             Err(CoreError::UnknownCluster { cluster: 9, .. })
@@ -141,17 +145,23 @@ mod tests {
     #[test]
     fn host_out_of_range_detected() {
         let mut s = ok_schedule();
-        s.tasks.push(Task::new("2", "t", 0.0, 1.0).on(Allocation::contiguous(0, 6, 4)));
+        s.tasks
+            .push(Task::new("2", "t", 0.0, 1.0).on(Allocation::contiguous(0, 6, 4)));
         assert!(matches!(
             validate_strict(&s),
-            Err(CoreError::HostOutOfRange { host: 9, cluster_hosts: 8, .. })
+            Err(CoreError::HostOutOfRange {
+                host: 9,
+                cluster_hosts: 8,
+                ..
+            })
         ));
     }
 
     #[test]
     fn negative_duration_detected() {
         let mut s = ok_schedule();
-        s.tasks.push(Task::new("2", "t", 2.0, 1.0).on(Allocation::contiguous(0, 0, 1)));
+        s.tasks
+            .push(Task::new("2", "t", 2.0, 1.0).on(Allocation::contiguous(0, 0, 1)));
         assert!(matches!(
             validate_strict(&s),
             Err(CoreError::NegativeDuration { .. })
@@ -161,8 +171,12 @@ mod tests {
     #[test]
     fn nan_time_detected() {
         let mut s = ok_schedule();
-        s.tasks.push(Task::new("2", "t", f64::NAN, 1.0).on(Allocation::contiguous(0, 0, 1)));
-        assert!(matches!(validate_strict(&s), Err(CoreError::NonFiniteTime { .. })));
+        s.tasks
+            .push(Task::new("2", "t", f64::NAN, 1.0).on(Allocation::contiguous(0, 0, 1)));
+        assert!(matches!(
+            validate_strict(&s),
+            Err(CoreError::NonFiniteTime { .. })
+        ));
     }
 
     #[test]
@@ -188,7 +202,8 @@ mod tests {
     #[test]
     fn zero_duration_task_is_fine() {
         let mut s = ok_schedule();
-        s.tasks.push(Task::new("2", "t", 1.0, 1.0).on(Allocation::contiguous(0, 0, 1)));
+        s.tasks
+            .push(Task::new("2", "t", 1.0, 1.0).on(Allocation::contiguous(0, 0, 1)));
         assert!(validate_strict(&s).is_ok());
     }
 }

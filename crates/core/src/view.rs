@@ -72,12 +72,15 @@ pub struct ViewState {
 impl ViewState {
     /// A view fitted to the whole schedule.
     pub fn fit(schedule: &Schedule) -> ViewState {
-        let ext = crate::align::global_extent(schedule)
-            .unwrap_or(TimeExtent::new(0.0, 1.0));
+        let ext = crate::align::global_extent(schedule).unwrap_or(TimeExtent::new(0.0, 1.0));
         let rows = f64::from(schedule.total_hosts().max(1));
         let vp = Viewport {
             t0: ext.start,
-            t1: if ext.span() > 0.0 { ext.end } else { ext.start + 1.0 },
+            t1: if ext.span() > 0.0 {
+                ext.end
+            } else {
+                ext.start + 1.0
+            },
             r0: 0.0,
             r1: rows,
         };
@@ -329,7 +332,10 @@ mod tests {
         // idle only in aligned mode (extent covers it).
         assert_eq!(
             v.hit_test(&s, 1.0, 4.0),
-            HitTarget::Idle { cluster: 1, host: 0 }
+            HitTarget::Idle {
+                cluster: 1,
+                host: 0
+            }
         );
         assert_eq!(v.hit_test(&s, 3.0, 99.0), HitTarget::Nothing);
         assert_eq!(v.hit_test(&s, 3.0, -1.0), HitTarget::Nothing);
@@ -352,7 +358,10 @@ mod tests {
         assert_eq!(info.id, "b");
         assert_eq!(info.kind, "transfer");
         assert_eq!(info.duration, 3.0);
-        assert_eq!(info.resources, vec![(0, "c0".to_string(), "1-2".to_string())]);
+        assert_eq!(
+            info.resources,
+            vec![(0, "c0".to_string(), "1-2".to_string())]
+        );
         assert_eq!(v.selected_task, Some(1));
         // Clicking empty space clears the selection.
         assert!(v.click(&s, 1.0, 4.0).is_none());

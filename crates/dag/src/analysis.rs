@@ -36,11 +36,7 @@ pub fn levels(dag: &Dag) -> Vec<u32> {
     let preds = dag.pred_lists();
     let mut lv = vec![0u32; dag.task_count()];
     for &t in &order {
-        lv[t] = preds[t]
-            .iter()
-            .map(|&(p, _)| lv[p] + 1)
-            .max()
-            .unwrap_or(0);
+        lv[t] = preds[t].iter().map(|&(p, _)| lv[p] + 1).max().unwrap_or(0);
     }
     lv
 }
@@ -97,11 +93,7 @@ pub fn critical_path(dag: &Dag, exec: &[f64]) -> Vec<TaskId> {
 pub fn total_area_time(dag: &Dag, exec: &[f64], alloc: &[u32], total_procs: u32) -> f64 {
     assert_eq!(exec.len(), dag.task_count());
     assert_eq!(alloc.len(), dag.task_count());
-    let area: f64 = exec
-        .iter()
-        .zip(alloc)
-        .map(|(t, &p)| t * f64::from(p))
-        .sum();
+    let area: f64 = exec.iter().zip(alloc).map(|(t, &p)| t * f64::from(p)).sum();
     area / f64::from(total_procs.max(1))
 }
 

@@ -100,7 +100,10 @@ impl GenParams {
 /// Generates a layered random DAG.
 pub fn layered(params: &GenParams) -> Dag {
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut dag = Dag::new(format!("layered-{}x{}-s{}", params.depth, params.width, params.seed));
+    let mut dag = Dag::new(format!(
+        "layered-{}x{}-s{}",
+        params.depth, params.width, params.seed
+    ));
     let mut layers: Vec<Vec<TaskId>> = Vec::with_capacity(params.depth);
 
     for d in 0..params.depth.max(1) {
@@ -189,7 +192,13 @@ pub fn diamond(d: usize, work_gflop: f64) -> Dag {
     let widths: Vec<usize> = (1..=d).chain((1..d).rev()).collect();
     for (li, &w) in widths.iter().enumerate() {
         let layer: Vec<TaskId> = (0..w)
-            .map(|i| dag.add_task(DagTask::new(format!("d{li}-{i}"), "computation", work_gflop)))
+            .map(|i| {
+                dag.add_task(DagTask::new(
+                    format!("d{li}-{i}"),
+                    "computation",
+                    work_gflop,
+                ))
+            })
             .collect();
         for (i, &t) in layer.iter().enumerate() {
             if prev.is_empty() {

@@ -58,8 +58,8 @@ pub fn merge_dags(dags: &[Dag]) -> (Dag, MergeMap) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{chain, fork_join};
     use crate::analysis::topo_order;
+    use crate::generators::{chain, fork_join};
 
     #[test]
     fn merge_preserves_structure() {

@@ -213,11 +213,14 @@ mod tests {
                     m[e.from][e.to] = true;
                 }
                 for k in 0..n {
-                    for i in 0..n {
-                        if m[i][k] {
-                            for j in 0..n {
-                                if m[k][j] {
-                                    m[i][j] = true;
+                    // Row k never gains entries during its own round
+                    // (m[k][j] |= m[k][j]), so a snapshot is equivalent.
+                    let row_k = m[k].clone();
+                    for row in m.iter_mut() {
+                        if row[k] {
+                            for (j, &through_k) in row_k.iter().enumerate() {
+                                if through_k {
+                                    row[j] = true;
                                 }
                             }
                         }

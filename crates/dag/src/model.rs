@@ -113,7 +113,10 @@ impl Dag {
 
     /// Adds an edge. Panics on out-of-range endpoints (programming error).
     pub fn add_edge(&mut self, from: TaskId, to: TaskId, data_bytes: f64) {
-        assert!(from < self.tasks.len() && to < self.tasks.len(), "edge endpoints must exist");
+        assert!(
+            from < self.tasks.len() && to < self.tasks.len(),
+            "edge endpoints must exist"
+        );
         self.edges.push(Edge {
             from,
             to,
@@ -193,8 +196,8 @@ impl Dag {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         const PALETTE: [&str; 10] = [
-            "#4682b4", "#f1a340", "#66c2a5", "#e78ac3", "#a6d854", "#ffd92f", "#8da0cb",
-            "#fc8d62", "#b3b3b3", "#e5c494",
+            "#4682b4", "#f1a340", "#66c2a5", "#e78ac3", "#a6d854", "#ffd92f", "#8da0cb", "#fc8d62",
+            "#b3b3b3", "#e5c494",
         ];
         let mut kinds: Vec<&str> = Vec::new();
         let mut out = String::new();

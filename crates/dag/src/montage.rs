@@ -199,9 +199,7 @@ mod tests {
     fn level_ordering_of_stages() {
         let m = montage(6);
         let lv = levels(&m);
-        let level_of = |name: &str| {
-            lv[m.tasks.iter().position(|t| t.name == name).unwrap()]
-        };
+        let level_of = |name: &str| lv[m.tasks.iter().position(|t| t.name == name).unwrap()];
         assert_eq!(level_of("mProjectPP-0"), 0);
         assert!(level_of("mConcatFit") > level_of("mDiffFit-0"));
         assert!(level_of("mBgModel") > level_of("mConcatFit"));

@@ -17,7 +17,7 @@ pub mod presets;
 pub mod xmlfmt;
 
 pub use model::{ClusterSpec, GlobalHost, Link, Platform, Route};
-pub use xmlfmt::{read_platform, read_platform_file, write_platform};
 pub use presets::{
     fig7_platform, fig7_platform_flawed, fig7_platform_realistic, homogeneous, multi_homogeneous,
 };
+pub use xmlfmt::{read_platform, read_platform_file, write_platform};

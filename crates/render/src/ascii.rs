@@ -101,7 +101,9 @@ pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
 
     for p in &scene.prims {
         match p {
-            Prim::Rect { x, y, w, h, fill, .. } => {
+            Prim::Rect {
+                x, y, w, h, fill, ..
+            } => {
                 let x0 = map_x(*x).max(0);
                 let y0 = map_y(*y).max(0);
                 let x1 = map_x(x + w.max(0.0)).min(cols as i64 - 1);
@@ -115,7 +117,13 @@ pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
                     }
                 }
             }
-            Prim::Line { x1, y1, x2, y2, color } => {
+            Prim::Line {
+                x1,
+                y1,
+                x2,
+                y2,
+                color,
+            } => {
                 // Coarse Bresenham over cells.
                 let (mut cx, mut cy) = (map_x(*x1), map_y(*y1));
                 let (ex, ey) = (map_x(*x2), map_y(*y2));
@@ -124,7 +132,13 @@ pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
                 let sx_ = if cx < ex { 1 } else { -1 };
                 let sy_ = if cy < ey { 1 } else { -1 };
                 let mut err = dx + dy;
-                let ch = if dx == 0 { '|' } else if dy == 0 { '-' } else { '+' };
+                let ch = if dx == 0 {
+                    '|'
+                } else if dy == 0 {
+                    '-'
+                } else {
+                    '+'
+                };
                 loop {
                     if cx >= 0 && cy >= 0 {
                         if let Some(c) = grid.at(cx as usize, cy as usize) {

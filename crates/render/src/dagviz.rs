@@ -145,7 +145,14 @@ pub fn dag_scene(dag: &Dag, opts: &DagVizOptions) -> Scene {
                 size -= 1.0;
             }
             if text_width(&task.name, size) <= lay.node_w - 2.0 {
-                scene.text(cx, cy + size * 0.4, size, task.name.clone(), pair.fg, Anchor::Middle);
+                scene.text(
+                    cx,
+                    cy + size * 0.4,
+                    size,
+                    task.name.clone(),
+                    pair.fg,
+                    Anchor::Middle,
+                );
             }
         }
     }

@@ -45,6 +45,15 @@ impl BitWriter {
         self.bits(rev, len);
     }
 
+    /// Pads with zero bits to the next byte boundary.
+    fn align(&mut self) {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+
     fn finish(mut self) -> Vec<u8> {
         if self.bit_count > 0 {
             self.out.push((self.bit_buf & 0xff) as u8);
@@ -55,20 +64,68 @@ impl BitWriter {
 
 /// Length code table: `(code, extra_bits, base_length)`, RFC 1951 §3.2.5.
 const LENGTH_CODES: [(u32, u32, u32); 29] = [
-    (257, 0, 3), (258, 0, 4), (259, 0, 5), (260, 0, 6), (261, 0, 7), (262, 0, 8),
-    (263, 0, 9), (264, 0, 10), (265, 1, 11), (266, 1, 13), (267, 1, 15), (268, 1, 17),
-    (269, 2, 19), (270, 2, 23), (271, 2, 27), (272, 2, 31), (273, 3, 35), (274, 3, 43),
-    (275, 3, 51), (276, 3, 59), (277, 4, 67), (278, 4, 83), (279, 4, 99), (280, 4, 115),
-    (281, 5, 131), (282, 5, 163), (283, 5, 195), (284, 5, 227), (285, 0, 258),
+    (257, 0, 3),
+    (258, 0, 4),
+    (259, 0, 5),
+    (260, 0, 6),
+    (261, 0, 7),
+    (262, 0, 8),
+    (263, 0, 9),
+    (264, 0, 10),
+    (265, 1, 11),
+    (266, 1, 13),
+    (267, 1, 15),
+    (268, 1, 17),
+    (269, 2, 19),
+    (270, 2, 23),
+    (271, 2, 27),
+    (272, 2, 31),
+    (273, 3, 35),
+    (274, 3, 43),
+    (275, 3, 51),
+    (276, 3, 59),
+    (277, 4, 67),
+    (278, 4, 83),
+    (279, 4, 99),
+    (280, 4, 115),
+    (281, 5, 131),
+    (282, 5, 163),
+    (283, 5, 195),
+    (284, 5, 227),
+    (285, 0, 258),
 ];
 
 /// Distance code table: `(code, extra_bits, base_distance)`.
 const DIST_CODES: [(u32, u32, u32); 30] = [
-    (0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (4, 1, 5), (5, 1, 7), (6, 2, 9),
-    (7, 2, 13), (8, 3, 17), (9, 3, 25), (10, 4, 33), (11, 4, 49), (12, 5, 65),
-    (13, 5, 97), (14, 6, 129), (15, 6, 193), (16, 7, 257), (17, 7, 385), (18, 8, 513),
-    (19, 8, 769), (20, 9, 1025), (21, 9, 1537), (22, 10, 2049), (23, 10, 3073),
-    (24, 11, 4097), (25, 11, 6145), (26, 12, 8193), (27, 12, 12289), (28, 13, 16385),
+    (0, 0, 1),
+    (1, 0, 2),
+    (2, 0, 3),
+    (3, 0, 4),
+    (4, 1, 5),
+    (5, 1, 7),
+    (6, 2, 9),
+    (7, 2, 13),
+    (8, 3, 17),
+    (9, 3, 25),
+    (10, 4, 33),
+    (11, 4, 49),
+    (12, 5, 65),
+    (13, 5, 97),
+    (14, 6, 129),
+    (15, 6, 193),
+    (16, 7, 257),
+    (17, 7, 385),
+    (18, 8, 513),
+    (19, 8, 769),
+    (20, 9, 1025),
+    (21, 9, 1537),
+    (22, 10, 2049),
+    (23, 10, 3073),
+    (24, 11, 4097),
+    (25, 11, 6145),
+    (26, 12, 8193),
+    (27, 12, 12289),
+    (28, 13, 16385),
     (29, 13, 24577),
 ];
 
@@ -114,17 +171,14 @@ const HASH_BITS: u32 = 15;
 const MAX_CHAIN: usize = 64;
 
 fn hash3(data: &[u8], i: usize) -> usize {
-    let v = u32::from(data[i])
-        | (u32::from(data[i + 1]) << 8)
-        | (u32::from(data[i + 2]) << 16);
+    let v = u32::from(data[i]) | (u32::from(data[i + 1]) << 8) | (u32::from(data[i + 2]) << 16);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Compresses `data` as a single fixed-Huffman DEFLATE block with greedy
-/// hash-chain LZ77 matching.
-pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
-    let mut w = BitWriter::new();
-    w.bits(1, 1); // BFINAL
+/// Writes one fixed-Huffman DEFLATE block covering all of `data` into
+/// `w`: block header, greedy hash-chain LZ77 body, end-of-block symbol.
+fn fixed_block(w: &mut BitWriter, data: &[u8], bfinal: bool) {
+    w.bits(u32::from(bfinal), 1); // BFINAL
     w.bits(1, 2); // BTYPE = 01 (fixed Huffman)
 
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
@@ -159,8 +213,8 @@ pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
         }
 
         if best_len >= MIN_MATCH {
-            emit_length(&mut w, best_len as u32);
-            emit_distance(&mut w, best_dist as u32);
+            emit_length(w, best_len as u32);
+            emit_distance(w, best_dist as u32);
             // Insert hash entries for the skipped positions so later
             // matches can refer into this run.
             for k in 1..best_len {
@@ -182,7 +236,35 @@ pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
     // End of block.
     let (c, n) = fixed_litlen(256);
     w.code(c, n);
+}
+
+/// Compresses `data` as a single fixed-Huffman DEFLATE block with greedy
+/// hash-chain LZ77 matching.
+pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    fixed_block(&mut w, data, true);
     w.finish()
+}
+
+/// Compresses `data` as one *non-final* fixed-Huffman block followed by
+/// an empty non-final stored block (a zlib "sync flush", as in pigz).
+///
+/// The stored block byte-aligns the stream, so the returned byte
+/// sequences from several calls concatenate into one legal DEFLATE
+/// stream — the basis of the parallel PNG encoder, which compresses
+/// image bands independently and stitches them (terminated by a final
+/// empty stored block, see `png::encode_with`). Matches never reach
+/// across band boundaries, costing a little compression for the
+/// parallelism.
+pub fn deflate_fixed_sync(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    fixed_block(&mut w, data, false);
+    // Empty stored block: BFINAL=0, BTYPE=00, pad to byte, LEN=0, NLEN=!0.
+    w.bits(0, 3);
+    w.align();
+    let mut out = w.finish();
+    out.extend_from_slice(&[0x00, 0x00, 0xff, 0xff]);
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -198,7 +280,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, byte: 0, bit: 0 }
+        BitReader {
+            data,
+            byte: 0,
+            bit: 0,
+        }
     }
 
     fn bit(&mut self) -> Result<u32, String> {
@@ -385,7 +471,11 @@ mod tests {
         for row in 0..200 {
             data.push(0u8);
             for px in 0..300 {
-                let c = if (px / 40 + row / 20) % 2 == 0 { 0x30 } else { 0xC8 };
+                let c = if (px / 40 + row / 20) % 2 == 0 {
+                    0x30
+                } else {
+                    0xC8
+                };
                 data.extend_from_slice(&[c, c / 2, 255 - c]);
             }
         }
@@ -433,7 +523,10 @@ mod tests {
         let mut z = zlib_compress(b"hello world hello world");
         let mid = z.len() / 2;
         z[mid] ^= 0xff;
-        assert!(zlib_decompress(&z).is_err() || zlib_decompress(&z).unwrap() != b"hello world hello world");
+        assert!(
+            zlib_decompress(&z).is_err()
+                || zlib_decompress(&z).unwrap() != b"hello world hello world"
+        );
     }
 
     #[test]
@@ -441,5 +534,39 @@ mod tests {
         // Overlapping copy (dist 1, len > 1) is the classic RLE case.
         let data = vec![7u8; 500];
         roundtrip(&data);
+    }
+
+    #[test]
+    fn sync_segments_concatenate_into_one_stream() {
+        // The parallel PNG encoder's contract: independently produced
+        // sync-flushed segments, stitched in order and terminated by a
+        // final empty stored block, inflate to the concatenated input.
+        let parts: [&[u8]; 4] = [
+            b"first band, quite repetitive repetitive repetitive",
+            b"",
+            b"second band",
+            &[0u8; 1000],
+        ];
+        let mut stream = Vec::new();
+        let mut want = Vec::new();
+        for p in parts {
+            stream.extend_from_slice(&deflate_fixed_sync(p));
+            want.extend_from_slice(p);
+        }
+        stream.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+        assert_eq!(inflate(&stream).unwrap(), want);
+    }
+
+    #[test]
+    fn sync_segments_are_byte_aligned() {
+        for data in [&b""[..], b"x", b"hello world hello world", &[9u8; 313]] {
+            let seg = deflate_fixed_sync(data);
+            // Ends with the empty stored block's LEN/NLEN…
+            assert_eq!(&seg[seg.len() - 4..], &[0x00, 0x00, 0xff, 0xff]);
+            // …and alone (with a terminator) forms a valid stream.
+            let mut stream = seg.clone();
+            stream.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+            assert_eq!(inflate(&stream).unwrap(), data);
+        }
     }
 }

@@ -20,23 +20,23 @@ use jedule_core::Color;
 
 /// Zig-zag scan order: `ZIGZAG[i]` is the block index of scan position `i`.
 const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Base luminance quantization table (Annex K style), row-major.
 const QTBL_LUMA: [u16; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Base chrominance quantization table.
 const QTBL_CHROMA: [u16; 64] = [
-    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
-    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
-    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
 ];
 
 /// Huffman spec: code-length counts (`bits[k]` codes of length `k+1`) and
@@ -190,11 +190,15 @@ struct JBitWriter {
 
 impl JBitWriter {
     fn new(out: Vec<u8>) -> Self {
-        JBitWriter { out, buf: 0, nbits: 0 }
+        JBitWriter {
+            out,
+            buf: 0,
+            nbits: 0,
+        }
     }
 
     fn put(&mut self, bits: u32, count: u32) {
-        self.buf = (self.buf << count) | (bits & ((1u32 << count) - 1).max(0));
+        self.buf = (self.buf << count) | (bits & ((1u32 << count) - 1));
         self.nbits += count;
         while self.nbits >= 8 {
             let byte = ((self.buf >> (self.nbits - 8)) & 0xff) as u8;
@@ -288,12 +292,15 @@ fn dht_payload(class_id: u8, spec: &HuffSpec) -> Vec<u8> {
 /// Encodes an RGB canvas as a baseline JFIF JPEG at `quality` (1–100).
 pub fn encode(canvas: &Canvas, quality: u8) -> Vec<u8> {
     let (w, h) = (canvas.width, canvas.height);
-    assert!(w > 0 && h > 0 && w < 65_536 && h < 65_536, "JPEG dimensions");
+    assert!(
+        w > 0 && h > 0 && w < 65_536 && h < 65_536,
+        "JPEG dimensions"
+    );
     let qy = scaled_qtable(&QTBL_LUMA, quality);
     let qc = scaled_qtable(&QTBL_CHROMA, quality);
 
     let mut out = vec![0xff, 0xd8]; // SOI
-    // APP0 / JFIF.
+                                    // APP0 / JFIF.
     marker(
         &mut out,
         0xe0,
@@ -419,7 +426,12 @@ struct JBitReader<'a> {
 
 impl<'a> JBitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        JBitReader { data, pos: 0, buf: 0, nbits: 0 }
+        JBitReader {
+            data,
+            pos: 0,
+            buf: 0,
+            nbits: 0,
+        }
     }
 
     fn bit(&mut self) -> Result<u32, String> {
@@ -636,7 +648,9 @@ pub fn decode(data: &[u8]) -> Result<Canvas, String> {
             let cb = planes[1][py * plane_w + px] - 128.0;
             let cr = planes[2][py * plane_w + px] - 128.0;
             let r8 = (y + 1.402 * cr).round().clamp(0.0, 255.0) as u8;
-            let g8 = (y - 0.344136 * cb - 0.714136 * cr).round().clamp(0.0, 255.0) as u8;
+            let g8 = (y - 0.344136 * cb - 0.714136 * cr)
+                .round()
+                .clamp(0.0, 255.0) as u8;
             let b8 = (y + 1.772 * cb).round().clamp(0.0, 255.0) as u8;
             canvas.put(px as i64, py as i64, Color::new(r8, g8, b8));
         }
@@ -665,8 +679,20 @@ mod tests {
 
     fn chart_canvas(w: usize, h: usize) -> Canvas {
         let mut c = Canvas::new(w, h, Color::WHITE);
-        c.fill_rect(10.0, 10.0, w as f64 * 0.6, h as f64 * 0.3, Color::new(0, 0, 255));
-        c.fill_rect(20.0, h as f64 * 0.5, w as f64 * 0.4, h as f64 * 0.2, Color::new(0xf1, 0, 0));
+        c.fill_rect(
+            10.0,
+            10.0,
+            w as f64 * 0.6,
+            h as f64 * 0.3,
+            Color::new(0, 0, 255),
+        );
+        c.fill_rect(
+            20.0,
+            h as f64 * 0.5,
+            w as f64 * 0.4,
+            h as f64 * 0.2,
+            Color::new(0xf1, 0, 0),
+        );
         c.line(0.0, 0.0, w as f64 - 1.0, h as f64 - 1.0, Color::BLACK);
         c
     }

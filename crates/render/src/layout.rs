@@ -55,7 +55,11 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
     let total_rows: u32 = visible.iter().map(|c| c.hosts).sum();
 
     // Header sizing.
-    let meta_lines = if opts.show_meta { schedule.meta.len() } else { 0 };
+    let meta_lines = if opts.show_meta {
+        schedule.meta.len()
+    } else {
+        0
+    };
     let header_h = TOP_PAD
         + if opts.title.is_some() { TITLE_H } else { 0.0 }
         + meta_lines as f64 * META_LINE_H;
@@ -145,11 +149,24 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
 
     // Utilization-profile strip.
     if opts.show_profile {
-        draw_profile(&mut scene, schedule, opts, plot_x, plot_w, y + PANEL_GAP / 2.0);
+        draw_profile(
+            &mut scene,
+            schedule,
+            opts,
+            plot_x,
+            plot_w,
+            y + PANEL_GAP / 2.0,
+        );
     }
 
     // Legend.
-    draw_legend(&mut scene, opts, &types_seen, plot_x, height - LEGEND_H + 4.0);
+    draw_legend(
+        &mut scene,
+        opts,
+        &types_seen,
+        plot_x,
+        height - LEGEND_H + 4.0,
+    );
 
     scene
 }
@@ -193,7 +210,13 @@ fn draw_profile(
             continue;
         }
         let bar_h = h * f64::from(busy) / total;
-        scene.rect(to_x(seg0), y + h - bar_h, to_x(seg1) - to_x(seg0), bar_h, fill);
+        scene.rect(
+            to_x(seg0),
+            y + h - bar_h,
+            to_x(seg1) - to_x(seg0),
+            bar_h,
+            fill,
+        );
     }
     scene.text(
         plot_x - 4.0,
@@ -272,7 +295,13 @@ fn draw_panel(
     for &t in &tick_vals {
         let x = to_x(t);
         scene.line(x, panel.y, x, panel.y + panel_h, Color::new(225, 225, 225));
-        scene.line(x, panel.y + panel_h, x, panel.y + panel_h + 4.0, Color::BLACK);
+        scene.line(
+            x,
+            panel.y + panel_h,
+            x,
+            panel.y + panel_h + 4.0,
+            Color::BLACK,
+        );
         scene.text(
             x,
             panel.y + panel_h + AXIS_H - 6.0,
@@ -340,7 +369,14 @@ fn draw_task_rects(
         for r in a.hosts.ranges() {
             let ry = panel.y + f64::from(r.start) * panel.row_h;
             let rh = f64::from(r.nb) * panel.row_h;
-            scene.rect_stroked(x, ry, w, rh, pair.bg, pair.bg.to_grayscale().contrasting_fg());
+            scene.rect_stroked(
+                x,
+                ry,
+                w,
+                rh,
+                pair.bg,
+                pair.bg.to_grayscale().contrasting_fg(),
+            );
 
             if opts.show_labels {
                 let cfg = &opts.colormap.config;
@@ -348,9 +384,7 @@ fn draw_task_rects(
                 // minimum font size — below that, omit it (paper's
                 // min_fontsize_label knob).
                 let mut size = cfg.font_size_label.min(rh - 2.0);
-                while size >= cfg.min_font_size_label
-                    && text_width(&task.id, size) > w - 4.0
-                {
+                while size >= cfg.min_font_size_label && text_width(&task.id, size) > w - 4.0 {
                     size -= 1.0;
                 }
                 if size >= cfg.min_font_size_label && rh >= size {
@@ -368,13 +402,7 @@ fn draw_task_rects(
     }
 }
 
-fn draw_legend(
-    scene: &mut Scene,
-    opts: &RenderOptions,
-    types: &[String],
-    mut x: f64,
-    y: f64,
-) {
+fn draw_legend(scene: &mut Scene, opts: &RenderOptions, types: &[String], mut x: f64, y: f64) {
     let size = (opts.colormap.config.font_size_axes - 2.0).max(6.0);
     for kind in types {
         let pair = if kind == COMPOSITE_KIND {
@@ -433,10 +461,10 @@ mod tests {
     fn emits_rect_per_contiguous_range() {
         let s = ScheduleBuilder::new()
             .cluster(0, "c", 8)
-            .task(Task::new("x", "t", 0.0, 1.0).on(Allocation::new(
-                0,
-                HostSet::from_hosts([0, 1, 4, 5, 7]),
-            )))
+            .task(
+                Task::new("x", "t", 0.0, 1.0)
+                    .on(Allocation::new(0, HostSet::from_hosts([0, 1, 4, 5, 7]))),
+            )
             .build()
             .unwrap();
         let scene = layout(&s, &RenderOptions::default());
@@ -492,8 +520,12 @@ mod tests {
             .filter(|(_, _, w, h)| *w > 1.0 && *h > 1.0 && *w < 700.0)
             .collect();
         // Panel frames are full-width; tasks were clipped away.
-        assert!(task_rects.iter().all(|(_, _, w, _)| *w > 600.0 || *w <= 10.0),
-            "unexpected rects {task_rects:?}");
+        assert!(
+            task_rects
+                .iter()
+                .all(|(_, _, w, _)| *w > 600.0 || *w <= 10.0),
+            "unexpected rects {task_rects:?}"
+        );
     }
 
     #[test]
@@ -524,8 +556,10 @@ mod tests {
     fn labels_suppressed_below_min_font() {
         let s = ScheduleBuilder::new()
             .cluster(0, "c", 2)
-            .task(Task::new("very-long-task-identifier", "t", 0.0, 0.001)
-                .on(Allocation::contiguous(0, 0, 1)))
+            .task(
+                Task::new("very-long-task-identifier", "t", 0.0, 0.001)
+                    .on(Allocation::contiguous(0, 0, 1)),
+            )
             .task(Task::new("q", "t", 0.001, 10.0).on(Allocation::contiguous(0, 1, 1)))
             .build()
             .unwrap();
@@ -540,7 +574,9 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(!texts.iter().any(|t| t.as_str() == "very-long-task-identifier"));
+        assert!(!texts
+            .iter()
+            .any(|t| t.as_str() == "very-long-task-identifier"));
         assert!(texts.iter().any(|t| t.as_str() == "q"));
     }
 
@@ -553,7 +589,9 @@ mod tests {
         let scene_on = layout(&sched(), &on);
         let scene_off = layout(&sched(), &off);
         let has_meta = |s: &Scene| {
-            s.prims.iter().any(|p| matches!(p, Prim::Text { text, .. } if text.contains("alg = demo")))
+            s.prims
+                .iter()
+                .any(|p| matches!(p, Prim::Text { text, .. } if text.contains("alg = demo")))
         };
         assert!(has_meta(&scene_on));
         assert!(!has_meta(&scene_off));

@@ -28,6 +28,7 @@ pub mod jpeg;
 pub mod layout;
 pub mod options;
 pub mod pdf;
+pub mod perf;
 pub mod png;
 pub mod ppm;
 pub mod raster;
@@ -38,22 +39,47 @@ pub mod ticks;
 pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
 pub use layout::layout;
 pub use options::{OutputFormat, RenderOptions};
+pub use perf::RenderTimings;
 pub use scene::{Anchor, Prim, Scene};
 
 use jedule_core::Schedule;
 
 /// One-call rendering: lays out `schedule` and serializes it in
-/// `options.format`, returning the output bytes.
+/// `options.format`, returning the output bytes. The raster back-ends
+/// (PNG/JPEG/PPM) honor `options.threads`.
 pub fn render(schedule: &Schedule, options: &RenderOptions) -> Vec<u8> {
+    render_timed(schedule, options).0
+}
+
+/// Like [`render`], but also reports how long each pipeline stage took
+/// (surfaced by `jedule render --timings` and the bench harness).
+pub fn render_timed(schedule: &Schedule, options: &RenderOptions) -> (Vec<u8>, RenderTimings) {
+    let mut clock = perf::StageClock::start();
     let scene = layout(schedule, options);
-    match options.format {
+    let layout_t = clock.lap();
+
+    let mut raster_t = std::time::Duration::ZERO;
+    let mut raster_canvas = |threads| {
+        let c = raster::rasterize_threads(&scene, threads);
+        raster_t = clock.lap();
+        c
+    };
+    let bytes = match options.format {
         OutputFormat::Svg => svg::to_svg(&scene).into_bytes(),
-        OutputFormat::Png => png::to_png(&scene),
-        OutputFormat::Jpeg => jpeg::to_jpeg(&scene, 90),
-        OutputFormat::Ppm => ppm::to_ppm(&scene),
+        OutputFormat::Png => png::encode_with(&raster_canvas(options.threads), options.threads),
+        OutputFormat::Jpeg => jpeg::encode(&raster_canvas(options.threads), 90),
+        OutputFormat::Ppm => ppm::encode(&raster_canvas(options.threads)),
         OutputFormat::Pdf => pdf::to_pdf(&scene),
         OutputFormat::Ascii => ascii::to_ascii(&scene, true).into_bytes(),
-    }
+    };
+    let encode_t = clock.lap();
+    let timings = RenderTimings {
+        layout: layout_t,
+        raster: raster_t,
+        encode: encode_t,
+        total: layout_t + raster_t + encode_t,
+    };
+    (bytes, timings)
 }
 
 /// Renders to a file, picking the format from `options`.

@@ -75,6 +75,11 @@ pub struct RenderOptions {
     /// Draw a busy-hosts-over-time strip under the panels (the profile
     /// the Quicksort case study reads off the chart).
     pub show_profile: bool,
+    /// Worker threads for the raster back-ends (PNG/JPEG/PPM): `0` uses
+    /// all available cores, `1` forces the sequential path (byte-identical
+    /// to the pre-threading encoder), other values are explicit counts.
+    /// Decoded pixels are identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for RenderOptions {
@@ -92,6 +97,7 @@ impl Default for RenderOptions {
             show_meta: true,
             show_labels: true,
             show_profile: false,
+            threads: 0,
         }
     }
 }
@@ -125,6 +131,11 @@ impl RenderOptions {
 
     pub fn grayscale(mut self) -> Self {
         self.colormap = self.colormap.to_grayscale();
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

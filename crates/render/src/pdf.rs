@@ -92,7 +92,13 @@ pub fn to_pdf(scene: &Scene) -> Vec<u8> {
                 }
                 cs.push_str(" Q\n");
             }
-            Prim::Line { x1, y1, x2, y2, color } => {
+            Prim::Line {
+                x1,
+                y1,
+                x2,
+                y2,
+                color,
+            } => {
                 cs.push_str("q ");
                 rg(&mut cs, *color);
                 let _ = writeln!(
@@ -135,10 +141,7 @@ pub fn to_pdf(scene: &Scene) -> Vec<u8> {
     // Assemble objects.
     let mut body: Vec<(usize, String)> = Vec::new();
     body.push((1, "<< /Type /Catalog /Pages 2 0 R >>".to_string()));
-    body.push((
-        2,
-        "<< /Type /Pages /Kids [3 0 R] /Count 1 >>".to_string(),
-    ));
+    body.push((2, "<< /Type /Pages /Kids [3 0 R] /Count 1 >>".to_string()));
     body.push((
         3,
         format!(
@@ -226,7 +229,12 @@ mod tests {
         let pdf = to_pdf(&scene());
         let text = String::from_utf8_lossy(&pdf).into_owned();
         let len_at = text.find("/Length ").unwrap() + "/Length ".len();
-        let len: usize = text[len_at..].split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap();
+        let len: usize = text[len_at..]
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         let stream_at = text.find("stream\n").unwrap() + "stream\n".len();
         let end_at = text.find("endstream").unwrap();
         assert_eq!(end_at - stream_at, len);

@@ -1,0 +1,99 @@
+//! Per-stage wall-clock instrumentation for the rendering pipeline.
+//!
+//! [`crate::render_timed`] records how long each stage of a render takes
+//! — scene layout, rasterization (raster back-ends only) and encoding —
+//! so `jedule render --timings` and the bench harness can report where
+//! the time goes and how the thread knob changes it.
+
+use std::time::{Duration, Instant};
+
+/// Measures consecutive stages: every [`lap`](StageClock::lap) returns
+/// the time since the previous lap (or construction).
+pub struct StageClock {
+    last: Instant,
+}
+
+impl StageClock {
+    pub fn start() -> Self {
+        StageClock {
+            last: Instant::now(),
+        }
+    }
+
+    /// Ends the current stage, returning its duration.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last;
+        self.last = now;
+        d
+    }
+}
+
+impl Default for StageClock {
+    fn default() -> Self {
+        StageClock::start()
+    }
+}
+
+/// Wall-clock time spent in each stage of one render.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderTimings {
+    /// Schedule → scene (layout engine).
+    pub layout: Duration,
+    /// Scene → pixels (zero for the vector back-ends SVG/PDF/ASCII).
+    pub raster: Duration,
+    /// Pixels/scene → output bytes.
+    pub encode: Duration,
+    /// Whole pipeline (sum of the stages).
+    pub total: Duration,
+}
+
+impl RenderTimings {
+    /// Multi-line human-readable report (as printed by
+    /// `jedule render --timings`).
+    pub fn report(&self) -> String {
+        format!(
+            "layout  {}\nraster  {}\nencode  {}\ntotal   {}",
+            fmt_duration(self.layout),
+            fmt_duration(self.raster),
+            fmt_duration(self.encode),
+            fmt_duration(self.total),
+        )
+    }
+}
+
+/// Formats a duration as fixed-point milliseconds.
+pub fn fmt_duration(d: Duration) -> String {
+    format!("{:8.3} ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_are_monotonic_and_disjoint() {
+        let mut c = StageClock::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = c.lap();
+        let b = c.lap();
+        assert!(a >= Duration::from_millis(1));
+        assert!(b < a, "second lap restarts from the first's end");
+    }
+
+    #[test]
+    fn report_lists_every_stage() {
+        let t = RenderTimings {
+            layout: Duration::from_micros(1500),
+            raster: Duration::from_micros(2500),
+            encode: Duration::from_micros(500),
+            total: Duration::from_micros(4500),
+        };
+        let r = t.report();
+        for stage in ["layout", "raster", "encode", "total"] {
+            assert!(r.contains(stage), "missing {stage} in {r:?}");
+        }
+        assert!(r.contains("1.500 ms"), "{r:?}");
+        assert!(r.contains("4.500 ms"), "{r:?}");
+    }
+}

@@ -5,7 +5,7 @@
 //! [`zlib_stored`] remains available for uncompressed output. Everything
 //! is implemented in-tree — no compression or image dependencies.
 
-use crate::raster::{rasterize, Canvas};
+use crate::raster::{rasterize, rasterize_threads, Canvas};
 use crate::scene::Scene;
 
 /// CRC-32 (ISO 3309) over `data`, as required for PNG chunks.
@@ -59,6 +59,25 @@ pub fn zlib_stored(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Combines the Adler-32 of two adjacent byte ranges: given
+/// `a1 = adler32(A)`, `a2 = adler32(B)` and `len2 = B.len()`, returns
+/// `adler32(A ++ B)` without touching the data (the zlib
+/// `adler32_combine` identity). Lets the parallel PNG encoder checksum
+/// each band independently and fold the results in band order.
+pub fn adler32_combine(a1: u32, a2: u32, len2: u64) -> u32 {
+    const MOD: u64 = 65_521;
+    let rem = len2 % MOD;
+    let s1a = u64::from(a1 & 0xffff);
+    let s1b = u64::from(a1 >> 16);
+    let s2a = u64::from(a2 & 0xffff);
+    let s2b = u64::from(a2 >> 16);
+    // B's running sum starts from A's low word instead of 1, which adds
+    // (s1a - 1) at each of B's len2 steps to the high word.
+    let a = (s1a + s2a + MOD - 1) % MOD;
+    let b = (s1b + s2b + rem * ((s1a + MOD - 1) % MOD)) % MOD;
+    ((b as u32) << 16) | a as u32
+}
+
 fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(kind);
@@ -69,8 +88,8 @@ fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
     out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
 }
 
-/// Encodes a canvas as a PNG file.
-pub fn encode(canvas: &Canvas) -> Vec<u8> {
+/// Assembles the PNG container around a ready-made zlib IDAT payload.
+fn write_png(canvas: &Canvas, idat: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n']);
 
@@ -80,22 +99,95 @@ pub fn encode(canvas: &Canvas) -> Vec<u8> {
     ihdr.extend_from_slice(&(canvas.height as u32).to_be_bytes());
     ihdr.extend_from_slice(&[8, 2, 0, 0, 0]);
     chunk(&mut out, b"IHDR", &ihdr);
-
-    // IDAT: each scanline prefixed with filter byte 0 (None).
-    let stride = canvas.width * 3;
-    let mut raw = Vec::with_capacity((stride + 1) * canvas.height);
-    for y in 0..canvas.height {
-        raw.push(0);
-        raw.extend_from_slice(&canvas.pixels[y * stride..(y + 1) * stride]);
-    }
-    chunk(&mut out, b"IDAT", &crate::deflate::zlib_compress(&raw));
+    chunk(&mut out, b"IDAT", idat);
     chunk(&mut out, b"IEND", &[]);
     out
 }
 
-/// Rasterizes a scene and encodes it as PNG.
+/// The raw (pre-compression) IDAT bytes for rows `r0..r1`: each
+/// scanline prefixed with filter byte 0 (None).
+fn raw_scanlines(canvas: &Canvas, r0: usize, r1: usize) -> Vec<u8> {
+    let stride = canvas.width * 3;
+    let mut raw = Vec::with_capacity((stride + 1) * (r1 - r0));
+    for y in r0..r1 {
+        raw.push(0);
+        raw.extend_from_slice(&canvas.pixels[y * stride..(y + 1) * stride]);
+    }
+    raw
+}
+
+/// Encodes a canvas as a PNG file (sequentially, one deflate block).
+pub fn encode(canvas: &Canvas) -> Vec<u8> {
+    let raw = raw_scanlines(canvas, 0, canvas.height);
+    write_png(canvas, &crate::deflate::zlib_compress(&raw))
+}
+
+/// Encodes a canvas as a PNG file with up to `threads` compression
+/// workers (`0` = all available cores, `1` = the byte-identical
+/// sequential [`encode`] path).
+///
+/// Each worker compresses a contiguous band of scanlines as an
+/// independent sync-flushed deflate segment
+/// ([`crate::deflate::deflate_fixed_sync`]) and computes its Adler-32;
+/// the segments are stitched in band order into one zlib stream,
+/// terminated by a final empty stored block, with the checksum folded
+/// via [`adler32_combine`]. Any spec-compliant decoder reads the result;
+/// the decoded pixels are identical to [`encode`]'s for every thread
+/// count.
+pub fn encode_with(canvas: &Canvas, threads: usize) -> Vec<u8> {
+    // In auto mode small images stay on the sequential path (band setup
+    // costs more than it saves below ~64 rows per worker).
+    let workers = if threads == 0 {
+        jedule_core::effective_threads(0).min(canvas.height / 64)
+    } else {
+        threads.min(canvas.height)
+    }
+    .max(1);
+    if workers <= 1 {
+        return encode(canvas);
+    }
+    let bands = jedule_core::parallel::chunk_bounds(canvas.height, workers);
+    let parts: Vec<(Vec<u8>, u32, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = bands
+            .iter()
+            .map(|&(r0, r1)| {
+                s.spawn(move || {
+                    let raw = raw_scanlines(canvas, r0, r1);
+                    let body = crate::deflate::deflate_fixed_sync(&raw);
+                    (body, adler32(&raw), raw.len() as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("png encode worker panicked"))
+            .collect()
+    });
+
+    let mut idat = Vec::with_capacity(parts.iter().map(|(b, _, _)| b.len()).sum::<usize>() + 11);
+    idat.push(0x78);
+    idat.push(0x9c); // FLG with check bits for CMF 0x78
+    let mut adler = 1u32; // adler32 of the empty prefix
+    for (body, band_adler, band_len) in &parts {
+        idat.extend_from_slice(body);
+        adler = adler32_combine(adler, *band_adler, *band_len);
+    }
+    // Final empty stored block terminates the deflate stream.
+    idat.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    idat.extend_from_slice(&adler.to_be_bytes());
+    write_png(canvas, &idat)
+}
+
+/// Rasterizes a scene and encodes it as PNG (sequentially).
 pub fn to_png(scene: &Scene) -> Vec<u8> {
     encode(&rasterize(scene))
+}
+
+/// Rasterizes a scene and encodes it as PNG, both with up to `threads`
+/// workers (`0` = auto, `1` = sequential and byte-identical to
+/// [`to_png`]).
+pub fn to_png_threads(scene: &Scene, threads: usize) -> Vec<u8> {
+    encode_with(&rasterize_threads(scene, threads), threads)
 }
 
 #[cfg(test)]
@@ -117,7 +209,10 @@ mod tests {
     }
 
     fn parse_chunks(png: &[u8]) -> Vec<(String, Vec<u8>)> {
-        assert_eq!(&png[..8], &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n']);
+        assert_eq!(
+            &png[..8],
+            &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n']
+        );
         let mut i = 8;
         let mut out = Vec::new();
         while i < png.len() {
@@ -194,6 +289,73 @@ mod tests {
             png.len(),
             raw_size
         );
+    }
+
+    #[test]
+    fn adler32_combine_matches_direct() {
+        // Split points all over a structured buffer, including empties.
+        let data: Vec<u8> = (0..9000u32).map(|i| (i * 7 + i / 300) as u8).collect();
+        for split in [0, 1, 2, 4499, 8999, 9000] {
+            let (a, b) = data.split_at(split);
+            let combined = adler32_combine(adler32(a), adler32(b), b.len() as u64);
+            assert_eq!(combined, adler32(&data), "split at {split}");
+        }
+        // Folding from the empty prefix (as encode_with does).
+        let mut acc = 1u32;
+        for chunk in data.chunks(1234) {
+            acc = adler32_combine(acc, adler32(chunk), chunk.len() as u64);
+        }
+        assert_eq!(acc, adler32(&data));
+    }
+
+    fn chart(w: usize, h: usize) -> Canvas {
+        let mut c = Canvas::new(w, h, Color::WHITE);
+        c.fill_rect(
+            3.0,
+            2.0,
+            w as f64 * 0.7,
+            h as f64 * 0.4,
+            Color::new(0, 0, 255),
+        );
+        c.fill_rect(
+            10.0,
+            h as f64 * 0.5,
+            w as f64 * 0.5,
+            h as f64 * 0.3,
+            Color::new(200, 30, 30),
+        );
+        c.line(0.0, 0.0, w as f64 - 1.0, h as f64 - 1.0, Color::BLACK);
+        c
+    }
+
+    #[test]
+    fn parallel_encode_decodes_to_identical_pixels() {
+        let c = chart(120, 90);
+        let want = zlib_decode(
+            &parse_chunks(&encode(&c))
+                .into_iter()
+                .find(|(k, _)| k == "IDAT")
+                .unwrap()
+                .1,
+        );
+        for threads in [2, 3, 7, 16, 90, 1000] {
+            let png = encode_with(&c, threads);
+            let chunks = parse_chunks(&png);
+            let idat = &chunks.iter().find(|(k, _)| k == "IDAT").unwrap().1;
+            assert_eq!(zlib_decode(idat), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_encode_is_deterministic() {
+        let c = chart(64, 200);
+        assert_eq!(encode_with(&c, 4), encode_with(&c, 4));
+    }
+
+    #[test]
+    fn one_thread_is_byte_identical_to_sequential() {
+        let c = chart(80, 60);
+        assert_eq!(encode_with(&c, 1), encode(&c));
     }
 
     #[test]

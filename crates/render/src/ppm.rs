@@ -47,6 +47,7 @@ pub fn decode(data: &[u8]) -> Option<Canvas> {
     Some(Canvas {
         width,
         height,
+        y0: 0,
         pixels,
     })
 }

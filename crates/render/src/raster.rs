@@ -1,22 +1,43 @@
 //! A small software rasterizer: an RGB canvas with rectangle, line and
 //! bitmap-text drawing. Used by the PNG and PPM back-ends.
+//!
+//! For multi-core rendering a canvas can be a horizontal *band* of a
+//! larger image ([`Canvas::band`]): drawing always happens in global
+//! image coordinates, and pixels outside the band are clipped. Because
+//! every coordinate is rounded in global space (never translated first),
+//! a band renders bit-identically to the same rows of a full canvas, so
+//! [`rasterize_threads`] can split a scene across workers and
+//! concatenate the bands without any visible seam.
 
 use crate::font;
 use crate::scene::{Anchor, Prim, Scene};
 use jedule_core::Color;
 
-/// An RGB8 pixel canvas.
+/// An RGB8 pixel canvas — either a whole image or one horizontal band
+/// of it.
 pub struct Canvas {
     pub width: usize,
+    /// Number of rows stored in `pixels` (the band height; equals the
+    /// image height for a full canvas).
     pub height: usize,
-    /// Row-major RGB triples.
+    /// First global image row covered by this canvas (0 for a full
+    /// canvas). All drawing coordinates are global; rows outside
+    /// `y0..y0 + height` are clipped.
+    pub y0: usize,
+    /// Row-major RGB triples for rows `y0..y0 + height`.
     pub pixels: Vec<u8>,
 }
 
 impl Canvas {
     /// Creates a canvas filled with `bg`.
     pub fn new(width: usize, height: usize, bg: Color) -> Self {
-        let mut pixels = vec![0u8; width * height * 3];
+        Canvas::band(width, 0, height, bg)
+    }
+
+    /// Creates a band covering global rows `y0..y0 + rows` of a wider
+    /// image, filled with `bg`.
+    pub fn band(width: usize, y0: usize, rows: usize, bg: Color) -> Self {
+        let mut pixels = vec![0u8; width * rows * 3];
         for p in pixels.chunks_exact_mut(3) {
             p[0] = bg.r;
             p[1] = bg.g;
@@ -24,28 +45,35 @@ impl Canvas {
         }
         Canvas {
             width,
-            height,
+            height: rows,
+            y0,
             pixels,
         }
     }
 
-    /// Sets one pixel (silently clips).
+    /// Sets one pixel, addressed in global image coordinates (silently
+    /// clips to the band).
     pub fn put(&mut self, x: i64, y: i64, c: Color) {
-        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+        if x < 0 || y < 0 || x as usize >= self.width {
             return;
         }
-        let i = (y as usize * self.width + x as usize) * 3;
+        let (x, y) = (x as usize, y as usize);
+        if y < self.y0 || y - self.y0 >= self.height {
+            return;
+        }
+        let i = ((y - self.y0) * self.width + x) * 3;
         self.pixels[i] = c.r;
         self.pixels[i + 1] = c.g;
         self.pixels[i + 2] = c.b;
     }
 
-    /// Reads one pixel (None when out of bounds).
+    /// Reads one pixel by global image coordinates (None when out of
+    /// bounds or outside the band).
     pub fn get(&self, x: usize, y: usize) -> Option<Color> {
-        if x >= self.width || y >= self.height {
+        if x >= self.width || y < self.y0 || y - self.y0 >= self.height {
             return None;
         }
-        let i = (y * self.width + x) * 3;
+        let i = ((y - self.y0) * self.width + x) * 3;
         Some(Color::new(
             self.pixels[i],
             self.pixels[i + 1],
@@ -56,11 +84,13 @@ impl Canvas {
     /// Fills an axis-aligned rectangle (clipped).
     pub fn fill_rect(&mut self, x: f64, y: f64, w: f64, h: f64, c: Color) {
         let x0 = x.round().max(0.0) as usize;
-        let y0 = y.round().max(0.0) as usize;
         let x1 = ((x + w).round().max(0.0) as usize).min(self.width);
-        let y1 = ((y + h).round().max(0.0) as usize).min(self.height);
-        for yy in y0..y1 {
-            let row = (yy * self.width + x0) * 3;
+        // Rounded in global coordinates, then clipped to the band, so a
+        // band fills exactly the rows a full canvas would.
+        let gy0 = (y.round().max(0.0) as usize).max(self.y0);
+        let gy1 = ((y + h).round().max(0.0) as usize).min(self.y0 + self.height);
+        for yy in gy0..gy1 {
+            let row = ((yy - self.y0) * self.width + x0) * 3;
             for i in 0..(x1.saturating_sub(x0)) {
                 let p = row + i * 3;
                 self.pixels[p] = c.r;
@@ -145,13 +175,9 @@ impl Canvas {
     }
 }
 
-/// Rasterizes a scene into a canvas.
-pub fn rasterize(scene: &Scene) -> Canvas {
-    let mut c = Canvas::new(
-        scene.width.round().max(1.0) as usize,
-        scene.height.round().max(1.0) as usize,
-        scene.background,
-    );
+/// Replays every primitive of `scene` onto `c` (a full canvas or a
+/// band — the canvas clips).
+fn draw_scene(c: &mut Canvas, scene: &Scene) {
     for p in &scene.prims {
         match p {
             Prim::Rect {
@@ -167,7 +193,13 @@ pub fn rasterize(scene: &Scene) -> Canvas {
                     c.stroke_rect(*x, *y, *w, *h, *s);
                 }
             }
-            Prim::Line { x1, y1, x2, y2, color } => c.line(*x1, *y1, *x2, *y2, *color),
+            Prim::Line {
+                x1,
+                y1,
+                x2,
+                y2,
+                color,
+            } => c.line(*x1, *y1, *x2, *y2, *color),
             Prim::Text {
                 x,
                 y,
@@ -178,7 +210,70 @@ pub fn rasterize(scene: &Scene) -> Canvas {
             } => c.text(*x, *y, *size, text, *color, *anchor),
         }
     }
+}
+
+/// Rasterizes a scene into a canvas (sequentially).
+pub fn rasterize(scene: &Scene) -> Canvas {
+    let mut c = Canvas::new(
+        scene.width.round().max(1.0) as usize,
+        scene.height.round().max(1.0) as usize,
+        scene.background,
+    );
+    draw_scene(&mut c, scene);
     c
+}
+
+/// Rasterizes a scene with up to `threads` workers (`0` = all available
+/// cores, `1` = the sequential [`rasterize`] path).
+///
+/// The image is split into contiguous horizontal bands, one per worker;
+/// each worker replays the whole primitive list onto its band (the
+/// canvas clips rows outside the band) and the bands are concatenated in
+/// row order. Primitives are cheap to clip relative to the pixels they
+/// fill, and all rounding happens in global coordinates, so the result
+/// is bit-identical to the sequential rasterizer for any worker count.
+pub fn rasterize_threads(scene: &Scene, threads: usize) -> Canvas {
+    let width = scene.width.round().max(1.0) as usize;
+    let height = scene.height.round().max(1.0) as usize;
+    // An explicit worker count is honored (capped so bands stay
+    // non-empty); in auto mode, small images stay sequential — below
+    // ~64 rows per worker the spawn overhead outweighs the fill.
+    let workers = if threads == 0 {
+        jedule_core::effective_threads(0).min(height / 64)
+    } else {
+        threads.min(height)
+    }
+    .max(1);
+    if workers <= 1 {
+        return rasterize(scene);
+    }
+    let bands = jedule_core::parallel::chunk_bounds(height, workers);
+    let mut pixels = Vec::with_capacity(width * height * 3);
+    let band_pixels: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let handles: Vec<_> = bands
+            .iter()
+            .map(|&(r0, r1)| {
+                s.spawn(move || {
+                    let mut c = Canvas::band(width, r0, r1 - r0, scene.background);
+                    draw_scene(&mut c, scene);
+                    c.pixels
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("raster worker panicked"))
+            .collect()
+    });
+    for band in band_pixels {
+        pixels.extend_from_slice(&band);
+    }
+    Canvas {
+        width,
+        height,
+        y0: 0,
+        pixels,
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +359,66 @@ mod tests {
         assert_eq!(c.height, 10);
         assert_eq!(c.get(1, 1), Some(Color::BLACK));
         assert_eq!(c.get(10, 5), Some(Color::WHITE));
+    }
+
+    /// A scene exercising every primitive with awkward fractional
+    /// coordinates (including `.5` rounding ties) that cross band
+    /// boundaries.
+    fn busy_scene() -> Scene {
+        let mut s = Scene::new(97.0, 211.0);
+        s.rect(3.5, 10.5, 40.25, 77.5, Color::new(0, 0, 255));
+        s.rect_stroked(
+            20.0,
+            60.0,
+            50.0,
+            120.0,
+            Color::new(250, 220, 40),
+            Color::BLACK,
+        );
+        s.rect(-5.0, 190.0, 500.0, 500.0, Color::new(10, 200, 10));
+        s.line(0.0, 0.0, 96.0, 210.0, Color::BLACK);
+        s.line(96.0, 13.7, 2.2, 207.9, Color::new(128, 0, 0));
+        s.text(48.0, 100.0, 9.0, "bands", Color::BLACK, Anchor::Middle);
+        s.text(2.0, 205.0, 7.0, "edge", Color::new(0, 99, 0), Anchor::Start);
+        s
+    }
+
+    #[test]
+    fn band_canvas_matches_full_canvas_rows() {
+        let s = busy_scene();
+        let full = rasterize(&s);
+        for (y0, rows) in [(0usize, 211usize), (0, 50), (37, 64), (200, 11), (210, 1)] {
+            let mut band = Canvas::band(full.width, y0, rows, s.background);
+            draw_scene(&mut band, &s);
+            let stride = full.width * 3;
+            assert_eq!(
+                band.pixels,
+                &full.pixels[y0 * stride..(y0 + rows) * stride],
+                "band at rows {y0}..{}",
+                y0 + rows
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_rasterizer_is_pixel_identical() {
+        let s = busy_scene();
+        let full = rasterize(&s);
+        for threads in [0, 2, 3, 5, 8, 64, 1000] {
+            let t = rasterize_threads(&s, threads);
+            assert_eq!((t.width, t.height), (full.width, full.height));
+            assert_eq!(t.pixels, full.pixels, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn band_clips_out_of_band_drawing() {
+        let mut band = Canvas::band(10, 5, 3, Color::WHITE);
+        band.put(2, 0, Color::BLACK); // above the band
+        band.put(2, 9, Color::BLACK); // below the band
+        assert!(band.pixels.iter().all(|&b| b == 255));
+        band.put(2, 6, Color::BLACK);
+        assert_eq!(band.get(2, 6), Some(Color::BLACK));
+        assert_eq!(band.get(2, 0), None);
     }
 }

@@ -88,7 +88,13 @@ impl Scene {
     }
 
     pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, color: Color) {
-        self.prims.push(Prim::Line { x1, y1, x2, y2, color });
+        self.prims.push(Prim::Line {
+            x1,
+            y1,
+            x2,
+            y2,
+            color,
+        });
     }
 
     pub fn text(

@@ -62,7 +62,13 @@ pub fn to_svg(scene: &Scene) -> String {
                     stroke_attr
                 );
             }
-            Prim::Line { x1, y1, x2, y2, color } => {
+            Prim::Line {
+                x1,
+                y1,
+                x2,
+                y2,
+                color,
+            } => {
                 let _ = writeln!(
                     out,
                     r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="1"/>"#,
@@ -137,7 +143,7 @@ mod tests {
     fn number_formatting_is_compact() {
         assert_eq!(fnum(3.0), "3");
         assert_eq!(fnum(3.10), "3.1");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(1.23456), "1.23");
         assert_eq!(fnum(0.0), "0");
     }
 

@@ -1,0 +1,194 @@
+//! Property tests of the multi-core render pipeline: for randomly
+//! generated scenes, the threaded rasterizer must produce bit-identical
+//! pixels to the sequential one, and PNGs produced with any thread count
+//! must decode to the same image.
+
+use jedule_core::Color;
+use jedule_render::png;
+use jedule_render::raster::{rasterize, rasterize_threads, Canvas};
+use jedule_render::scene::{Anchor, Scene};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum ArbPrim {
+    Rect {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        color: (u8, u8, u8),
+        stroked: bool,
+    },
+    Line {
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+    },
+    Text {
+        x: f64,
+        y: f64,
+        size: f64,
+        text: String,
+    },
+}
+
+/// Coordinates deliberately overshoot the canvas (clipping paths) and
+/// land on fractional values (rounding paths, including `.5` ties).
+fn arb_prim() -> BoxedStrategy<ArbPrim> {
+    let coord = -40.0..460.0f64;
+    let extent = 0.0..300.0f64;
+    prop_oneof![
+        (
+            coord.clone(),
+            coord.clone(),
+            extent.clone(),
+            extent,
+            (any::<u8>(), any::<u8>(), any::<u8>()),
+            any::<bool>(),
+        )
+            .prop_map(|(x, y, w, h, color, stroked)| ArbPrim::Rect {
+                x,
+                y,
+                w,
+                h,
+                color,
+                stroked,
+            }),
+        (coord.clone(), coord.clone(), coord.clone(), coord.clone())
+            .prop_map(|(x1, y1, x2, y2)| ArbPrim::Line { x1, y1, x2, y2 }),
+        (
+            coord.clone(),
+            coord,
+            4.0..16.0f64,
+            proptest::string::string_regex("[a-z0-9]{1,8}").expect("valid regex"),
+        )
+            .prop_map(|(x, y, size, text)| ArbPrim::Text { x, y, size, text }),
+    ]
+    .boxed()
+}
+
+fn arb_scene() -> impl Strategy<Value = Scene> {
+    (
+        40.0..200.0f64,
+        130.0..420.0f64,
+        proptest::collection::vec(arb_prim(), 1..24),
+    )
+        .prop_map(|(w, h, prims)| {
+            let mut s = Scene::new(w, h);
+            for p in prims {
+                match p {
+                    ArbPrim::Rect {
+                        x,
+                        y,
+                        w,
+                        h,
+                        color: (r, g, b),
+                        stroked,
+                    } => {
+                        if stroked {
+                            s.rect_stroked(x, y, w, h, Color::new(r, g, b), Color::BLACK);
+                        } else {
+                            s.rect(x, y, w, h, Color::new(r, g, b));
+                        }
+                    }
+                    ArbPrim::Line { x1, y1, x2, y2 } => s.line(x1, y1, x2, y2, Color::BLACK),
+                    ArbPrim::Text { x, y, size, text } => {
+                        s.text(x, y, size, &text, Color::BLACK, Anchor::Middle)
+                    }
+                }
+            }
+            s
+        })
+}
+
+/// Extracts the decoded scanline bytes of a PNG produced by this crate.
+fn decoded_scanlines(png_bytes: &[u8]) -> Vec<u8> {
+    assert_eq!(
+        &png_bytes[..8],
+        &[0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n']
+    );
+    let mut i = 8;
+    while i < png_bytes.len() {
+        let len = u32::from_be_bytes(png_bytes[i..i + 4].try_into().unwrap()) as usize;
+        let kind = &png_bytes[i + 4..i + 8];
+        if kind == b"IDAT" {
+            let payload = &png_bytes[i + 8..i + 8 + len];
+            return jedule_render::deflate::zlib_decompress(payload).expect("valid zlib IDAT");
+        }
+        i += 12 + len;
+    }
+    panic!("no IDAT chunk");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threaded_raster_matches_sequential(scene in arb_scene(), threads in 2usize..9) {
+        let seq = rasterize(&scene);
+        let par = rasterize_threads(&scene, threads);
+        prop_assert_eq!(&par.pixels, &seq.pixels);
+        prop_assert_eq!((par.width, par.height), (seq.width, seq.height));
+    }
+
+    #[test]
+    fn png_pixels_identical_for_any_thread_count(scene in arb_scene(), threads in 2usize..9) {
+        let canvas = rasterize(&scene);
+        let want = decoded_scanlines(&png::encode(&canvas));
+        let got = decoded_scanlines(&png::encode_with(&canvas, threads));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_png_has_valid_checksums(scene in arb_scene()) {
+        // zlib_decompress verifies the stitched Adler-32; the chunk CRCs
+        // cover the container. Decoding at all proves both.
+        let canvas = rasterize(&scene);
+        let bytes = png::encode_with(&canvas, 5);
+        let raw = decoded_scanlines(&bytes);
+        prop_assert_eq!(raw.len(), (canvas.width * 3 + 1) * canvas.height);
+    }
+}
+
+#[test]
+fn full_pipeline_thread_knob_is_invisible_in_the_pixels() {
+    // End-to-end over the public API: same schedule, every thread count,
+    // the decoded PNG is the same image byte-for-byte.
+    use jedule_core::{Allocation, ScheduleBuilder, Task};
+    use jedule_render::{render, OutputFormat, RenderOptions};
+
+    let mut b = ScheduleBuilder::new().cluster(0, "c0", 64);
+    for i in 0..48u32 {
+        let start = f64::from(i % 12) * 3.5;
+        let t = Task::new(format!("t{i}"), "comp", start, start + 4.25).on(Allocation::contiguous(
+            0,
+            (i * 5) % 60,
+            4,
+        ));
+        b = b.task(t);
+    }
+    let schedule = b.build().unwrap();
+
+    let opts = |threads| {
+        RenderOptions::default()
+            .with_format(OutputFormat::Png)
+            .with_size(480.0, Some(360.0))
+            .with_threads(threads)
+    };
+    let want = decoded_scanlines(&render(&schedule, &opts(1)));
+    for threads in [0, 2, 3, 4, 8] {
+        let got = decoded_scanlines(&render(&schedule, &opts(threads)));
+        assert_eq!(got, want, "threads={threads}");
+    }
+}
+
+#[test]
+fn band_constructor_reads_back_global_rows() {
+    let mut band = Canvas::band(8, 100, 4, Color::WHITE);
+    band.fill_rect(0.0, 0.0, 8.0, 1000.0, Color::BLACK); // covers the band
+    assert_eq!(band.get(0, 100), Some(Color::BLACK));
+    assert_eq!(band.get(0, 103), Some(Color::BLACK));
+    assert_eq!(band.get(0, 99), None);
+    assert_eq!(band.get(0, 104), None);
+}

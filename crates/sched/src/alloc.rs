@@ -56,7 +56,11 @@ fn allocate(dag: &Dag, total_procs: u32, speed: f64, level_cap: bool) -> AllocRe
     let n = dag.task_count();
     let mut procs = vec![1u32; n];
     let task_levels = if n > 0 { levels(dag) } else { Vec::new() };
-    let n_levels = task_levels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let n_levels = task_levels
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut level_alloc = vec![0u64; n_levels];
     for t in 0..n {
         level_alloc[task_levels[t] as usize] += 1;
@@ -191,7 +195,10 @@ mod tests {
             per_level[lv[t] as usize] += u64::from(r.procs[t]);
         }
         for (l, &sum) in per_level.iter().enumerate() {
-            assert!(sum <= u64::from(total), "level {l} allocated {sum} > {total}");
+            assert!(
+                sum <= u64::from(total),
+                "level {l} allocated {sum} > {total}"
+            );
         }
     }
 

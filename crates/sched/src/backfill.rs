@@ -144,10 +144,7 @@ pub fn verify_no_delay(before: &Schedule, after: &Schedule) -> Result<(), String
     }
     for (b, a) in before.tasks.iter().zip(&after.tasks) {
         if a.start > b.start + 1e-12 {
-            return Err(format!(
-                "task {} delayed: {} -> {}",
-                b.id, b.start, a.start
-            ));
+            return Err(format!("task {} delayed: {} -> {}", b.id, b.start, a.start));
         }
         if (a.duration() - b.duration()).abs() > 1e-12 {
             return Err(format!("task {} changed duration", b.id));
@@ -250,10 +247,12 @@ mod tests {
         use crate::multidag::{schedule_multi_dag, CraPolicy};
         use jedule_dag::{layered, GenParams};
         let dags: Vec<_> = (0..3)
-            .map(|i| layered(&GenParams {
-                seed: i,
-                ..GenParams::default()
-            }))
+            .map(|i| {
+                layered(&GenParams {
+                    seed: i,
+                    ..GenParams::default()
+                })
+            })
             .collect();
         let r = schedule_multi_dag(&dags, 16, 1.0, CraPolicy::Work { mu: 0.5 });
         // Conservative pass with *no* precedence knowledge would break

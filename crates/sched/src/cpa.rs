@@ -114,18 +114,18 @@ pub fn schedule_dag(
             let mcpa = schedule_dag(dag, total_procs, speed, CpaVariant::Mcpa);
             // Poly-algorithm: pick the better makespan (CPA on ties,
             // matching the Fig. 4 account).
-            let mut winner = if mcpa.makespan < cpa.makespan { mcpa } else { cpa };
+            let mut winner = if mcpa.makespan < cpa.makespan {
+                mcpa
+            } else {
+                cpa
+            };
             winner.schedule.meta.set("algorithm", "MCPA2");
-            winner
-                .schedule
-                .meta
-                .set("mcpa2_winner", winner.algorithm);
+            winner.schedule.meta.set("mcpa2_winner", winner.algorithm);
             winner
         }
         v => {
             let (alloc, mapping) = run_variant(dag, total_procs, speed, v);
-            let schedule =
-                schedule_from_mapping(dag, &mapping, total_procs, v.name(), &alloc);
+            let schedule = schedule_from_mapping(dag, &mapping, total_procs, v.name(), &alloc);
             DagScheduleResult {
                 algorithm: v.name(),
                 makespan: mapping.makespan,
@@ -214,10 +214,7 @@ mod tests {
         let mcpa = schedule_dag(&d, 16, 1.0, CpaVariant::Mcpa);
         let u_cpa = schedule_stats(&cpa.schedule).utilization;
         let u_mcpa = schedule_stats(&mcpa.schedule).utilization;
-        assert!(
-            u_cpa > u_mcpa,
-            "CPA utilization {u_cpa} !> MCPA {u_mcpa}"
-        );
+        assert!(u_cpa > u_mcpa, "CPA utilization {u_cpa} !> MCPA {u_mcpa}");
     }
 
     #[test]
@@ -279,8 +276,7 @@ mod tests {
         let platform = jedule_platform::homogeneous(FIG4_PROCS, 1.0);
         let run = |v| {
             let r = schedule_dag(&d, FIG4_PROCS, 1.0, v);
-            let sim =
-                jedule_simx::simulate(&d, &platform, &r.simx_mapping(&d, 0)).unwrap();
+            let sim = jedule_simx::simulate(&d, &platform, &r.simx_mapping(&d, 0)).unwrap();
             (r.makespan, sim.makespan)
         };
         let (cpa_an, cpa_sim) = run(CpaVariant::Cpa);

@@ -263,8 +263,14 @@ mod tests {
     #[test]
     fn insertion_policy_fills_gaps() {
         let slots = vec![
-            Slot { start: 0.0, end: 2.0 },
-            Slot { start: 5.0, end: 9.0 },
+            Slot {
+                start: 0.0,
+                end: 2.0,
+            },
+            Slot {
+                start: 5.0,
+                end: 9.0,
+            },
         ];
         // A 2-unit task ready at 1 fits the [2,5) gap.
         assert_eq!(earliest_slot(&slots, 1.0, 2.0), 2.0);

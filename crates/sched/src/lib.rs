@@ -20,16 +20,16 @@
 //! plus the raw mapping for simulation with `jedule-simx`.
 
 pub mod alloc;
-pub mod baselines;
 pub mod backfill;
+pub mod baselines;
 pub mod cpa;
 pub mod heft;
 pub mod mapping;
 pub mod multidag;
 
 pub use alloc::{cpa_allocation, mcpa_allocation, AllocResult};
-pub use baselines::{data_parallel, task_parallel};
 pub use backfill::{backfill, BackfillReport};
+pub use baselines::{data_parallel, task_parallel};
 pub use cpa::{schedule_dag, CpaVariant, DagScheduleResult};
 pub use heft::{heft, HeftResult};
 pub use mapping::{map_allocated_tasks, MappedTask, MappingResult};

@@ -138,8 +138,12 @@ pub fn verify_mapping(dag: &Dag, result: &MappingResult) -> Result<(), String> {
     }
     // Precedence.
     for e in &dag.edges {
-        let from = result.of(e.from).ok_or_else(|| format!("task {} unplaced", e.from))?;
-        let to = result.of(e.to).ok_or_else(|| format!("task {} unplaced", e.to))?;
+        let from = result
+            .of(e.from)
+            .ok_or_else(|| format!("task {} unplaced", e.from))?;
+        let to = result
+            .of(e.to)
+            .ok_or_else(|| format!("task {} unplaced", e.to))?;
         if to.start + 1e-9 < from.end {
             return Err(format!(
                 "edge {} -> {} violated: {} starts at {} before {} ends at {}",

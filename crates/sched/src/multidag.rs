@@ -86,10 +86,7 @@ fn measure(policy: CraPolicy, dag: &Dag, _cluster_size: u32, speed: f64) -> f64 
         CraPolicy::Work { .. } => {
             // W(i) with the single-processor allocation — the submission-
             // time estimate (allocations are not known yet).
-            dag.tasks
-                .iter()
-                .map(|t| t.exec_time(1, speed))
-                .sum()
+            dag.tasks.iter().map(|t| t.exec_time(1, speed)).sum()
         }
         CraPolicy::Width { .. } => {
             if dag.task_count() == 0 {
@@ -215,8 +212,7 @@ pub fn schedule_with_shares(
 
         for m in &inner.mapping.placed {
             let kind = format!("app{i}");
-            let hosts =
-                HostSet::from_hosts(m.procs.iter().map(|q| q + offset));
+            let hosts = HostSet::from_hosts(m.procs.iter().map(|q| q + offset));
             let mut task = Task::new(
                 format!("a{i}.{}", dag.tasks[m.task].name),
                 kind,
@@ -364,7 +360,11 @@ pub fn schedule_combined(dags: &[Dag], total_procs: u32, speed: f64) -> MultiDag
             first_proc: 0,
             makespan,
             dedicated_makespan: dedicated,
-            stretch: if dedicated > 0.0 { makespan / dedicated } else { 1.0 },
+            stretch: if dedicated > 0.0 {
+                makespan / dedicated
+            } else {
+                1.0
+            },
         });
     }
 

@@ -126,32 +126,30 @@ pub fn simulate_with(
     let mut trace = Trace::default();
 
     // Start a ready task: claim its hosts and schedule completion.
-    let start_task = |t: TaskId,
-                      queue: &mut EventQueue<Event>,
-                      host_free: &mut [f64],
-                      trace: &mut Trace| {
-        let hosts = &mapping.hosts_per_task[t];
-        let now = queue.now();
-        let start = hosts
-            .iter()
-            .map(|&h| host_free[h as usize])
-            .fold(now, f64::max);
-        let speed = hosts
-            .iter()
-            .map(|&h| platform.speed_of(h).expect("validated host"))
-            .fold(f64::INFINITY, f64::min);
-        let dur = dag.tasks[t].exec_time(hosts.len() as u32, speed);
-        for &h in hosts {
-            host_free[h as usize] = start + dur;
-        }
-        trace.execs.push(ExecRecord {
-            task: t,
-            start,
-            end: start + dur,
-            hosts: hosts.clone(),
-        });
-        queue.push(start + dur, Event::TaskDone(t));
-    };
+    let start_task =
+        |t: TaskId, queue: &mut EventQueue<Event>, host_free: &mut [f64], trace: &mut Trace| {
+            let hosts = &mapping.hosts_per_task[t];
+            let now = queue.now();
+            let start = hosts
+                .iter()
+                .map(|&h| host_free[h as usize])
+                .fold(now, f64::max);
+            let speed = hosts
+                .iter()
+                .map(|&h| platform.speed_of(h).expect("validated host"))
+                .fold(f64::INFINITY, f64::min);
+            let dur = dag.tasks[t].exec_time(hosts.len() as u32, speed);
+            for &h in hosts {
+                host_free[h as usize] = start + dur;
+            }
+            trace.execs.push(ExecRecord {
+                task: t,
+                start,
+                end: start + dur,
+                hosts: hosts.clone(),
+            });
+            queue.push(start + dur, Event::TaskDone(t));
+        };
 
     let initially_ready: Vec<TaskId> = (0..n).filter(|&t| pending[t] == 0).collect();
     for t in initially_ready {

@@ -64,7 +64,11 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at absolute time `time`. Times before `now` are
     /// clamped to `now` (events cannot fire in the past).
     pub fn push(&mut self, time: f64, event: E) {
-        let time = if time.is_nan() { self.now } else { time.max(self.now) };
+        let time = if time.is_nan() {
+            self.now
+        } else {
+            time.max(self.now)
+        };
         self.heap.push(Entry {
             time,
             seq: self.seq,

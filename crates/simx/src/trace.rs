@@ -104,8 +104,10 @@ pub fn schedule_from_trace(
                 dag.tasks[c.from_task].name, dag.tasks[c.to_task].name
             );
             let mut task = Task::new(id, opts.transfer_kind.clone(), c.start, c.end);
-            task.allocations
-                .push(Allocation::new(from.cluster, HostSet::contiguous(from.host, 1)));
+            task.allocations.push(Allocation::new(
+                from.cluster,
+                HostSet::contiguous(from.host, 1),
+            ));
             if (to.cluster, to.host) != (from.cluster, from.host) {
                 if to.cluster == from.cluster {
                     task.allocations[0]

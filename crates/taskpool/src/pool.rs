@@ -107,7 +107,10 @@ impl AnyPool for StealingPool {
             return Some(j);
         }
         loop {
-            match self.injector.steal_batch_and_pop(&*self.locals[worker].lock()) {
+            match self
+                .injector
+                .steal_batch_and_pop(&*self.locals[worker].lock())
+            {
                 crossbeam::deque::Steal::Success(j) => return Some(j),
                 crossbeam::deque::Steal::Retry => continue,
                 crossbeam::deque::Steal::Empty => break,
@@ -139,8 +142,7 @@ pub fn run_pool(kind: PoolKind, workers: u32, initial: Vec<Job>) -> Vec<TraceSpa
             queue: Mutex::new(VecDeque::new()),
         }),
         PoolKind::WorkStealing => {
-            let locals: Vec<Deque<Job>> =
-                (0..workers).map(|_| Deque::new_fifo()).collect();
+            let locals: Vec<Deque<Job>> = (0..workers).map(|_| Deque::new_fifo()).collect();
             let stealers = locals.iter().map(Deque::stealer).collect();
             Arc::new(StealingPool {
                 injector: Injector::new(),
@@ -229,7 +231,9 @@ pub fn run_pool(kind: PoolKind, workers: u32, initial: Vec<Job>) -> Vec<TraceSpa
         }
     });
 
-    Arc::try_unwrap(log).expect("all workers joined").into_spans()
+    Arc::try_unwrap(log)
+        .expect("all workers joined")
+        .into_spans()
 }
 
 /// Decrements the outstanding-task counter on drop (after the task body
@@ -251,8 +255,7 @@ pub fn run_quicksort(
     threshold: usize,
 ) -> (Vec<TraceSpan>, Vec<i64>) {
     use std::sync::atomic::AtomicI64;
-    let shared: Arc<Vec<AtomicI64>> =
-        Arc::new(data.into_iter().map(AtomicI64::new).collect());
+    let shared: Arc<Vec<AtomicI64>> = Arc::new(data.into_iter().map(AtomicI64::new).collect());
     let threshold = threshold.max(2);
 
     fn sort_task(shared: Arc<Vec<AtomicI64>>, off: usize, len: usize, threshold: usize, ctx: &Ctx) {
@@ -328,10 +331,7 @@ mod tests {
             .collect();
         let spans = run_pool(PoolKind::Central, 4, jobs);
         assert_eq!(counter.load(Ordering::Relaxed), 20);
-        let execs = spans
-            .iter()
-            .filter(|s| s.kind == SpanKind::Exec)
-            .count();
+        let execs = spans.iter().filter(|s| s.kind == SpanKind::Exec).count();
         assert_eq!(execs, 20);
     }
 

@@ -135,7 +135,11 @@ fn choose_pivot_index(data: &[i64], strategy: PivotStrategy) -> usize {
 
 /// Runs Quicksort on a copy of `data`, recording the task tree. The sort
 /// itself is verified by the caller (the data really is sorted).
-pub fn build_qs_tree(data: &[i64], strategy: PivotStrategy, threshold: usize) -> (QsTree, Vec<i64>) {
+pub fn build_qs_tree(
+    data: &[i64],
+    strategy: PivotStrategy,
+    threshold: usize,
+) -> (QsTree, Vec<i64>) {
     let threshold = threshold.max(2);
     let mut work = data.to_vec();
     let mut nodes: Vec<QsNode> = Vec::new();

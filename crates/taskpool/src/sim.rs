@@ -142,7 +142,13 @@ pub fn simulate_tree(tree: &QsTree, params: &SimParams) -> SimReport {
 }
 
 /// Cost of one task on one worker under the NUMA model.
-fn task_cost(tree: &QsTree, params: &SimParams, node_id: usize, worker: usize, workers: u32) -> f64 {
+fn task_cost(
+    tree: &QsTree,
+    params: &SimParams,
+    node_id: usize,
+    worker: usize,
+    workers: u32,
+) -> f64 {
     let node = &tree.nodes[node_id];
     let penalty = if params.numa.worker_domain(worker as u32, workers)
         == params.numa.segment_domain(node.offset, tree.input_len)
@@ -156,10 +162,7 @@ fn task_cost(tree: &QsTree, params: &SimParams, node_id: usize, worker: usize, w
 
 /// Builds the report (utilization, single-worker sweep) from raw spans.
 fn build_report(spans: Vec<TraceSpan>, workers: u32) -> SimReport {
-    let makespan = spans
-        .iter()
-        .map(|s| s.end)
-        .fold(0.0f64, f64::max);
+    let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
     let busy_time: f64 = spans
         .iter()
         .filter(|s| s.kind == SpanKind::Exec)
@@ -457,11 +460,8 @@ mod tests {
                 .unwrap()
         };
         let (a, b) = (d(&numa, kids[0]), d(&numa, kids[1]));
-        let sizes_equal = (tree.nodes[kids[0]].len as f64
-            / tree.nodes[kids[1]].len as f64
-            - 1.0)
-            .abs()
-            < 0.05;
+        let sizes_equal =
+            (tree.nodes[kids[0]].len as f64 / tree.nodes[kids[1]].len as f64 - 1.0).abs() < 0.05;
         assert!(sizes_equal);
         // Cost may or may not differ depending on which worker picked
         // which half; makespan inflation is the robust signal. Check the
@@ -480,8 +480,7 @@ mod tests {
         let (tree, _) = build_qs_tree(&data, PivotStrategy::First, 256);
         let r = sim(&tree, 4, NumaModel::altix());
         for w in 0..4u32 {
-            let mut mine: Vec<&TraceSpan> =
-                r.spans.iter().filter(|s| s.worker == w).collect();
+            let mut mine: Vec<&TraceSpan> = r.spans.iter().filter(|s| s.worker == w).collect();
             mine.sort_by(|a, b| a.start.total_cmp(&b.start));
             for pair in mine.windows(2) {
                 assert!(pair[0].end <= pair[1].start + 1e-12);

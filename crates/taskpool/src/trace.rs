@@ -7,7 +7,7 @@
 //! "task execution times are highlighted in blue and waiting times are
 //! colored red".
 
-use jedule_core::{Allocation, ColorMap, ColorPair, Color, Schedule, ScheduleBuilder, Task};
+use jedule_core::{Allocation, Color, ColorMap, ColorPair, Schedule, ScheduleBuilder, Task};
 use parking_lot::Mutex;
 
 /// What a worker was doing during a span.
@@ -124,8 +124,14 @@ pub fn trace_to_schedule(
 /// The §VI color map: execution blue, waiting red.
 pub fn taskpool_colormap() -> ColorMap {
     let mut m = ColorMap::new("taskpool");
-    m.set("exec", ColorPair::new(Color::WHITE, Color::parse("0000FF").unwrap()));
-    m.set("wait", ColorPair::new(Color::BLACK, Color::parse("f10000").unwrap()));
+    m.set(
+        "exec",
+        ColorPair::new(Color::WHITE, Color::parse("0000FF").unwrap()),
+    );
+    m.set(
+        "wait",
+        ColorPair::new(Color::BLACK, Color::parse("f10000").unwrap()),
+    );
     m
 }
 

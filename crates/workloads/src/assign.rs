@@ -42,13 +42,7 @@ impl FreePool {
             return HostSet::new();
         }
         // First fit: smallest-start contiguous range that holds n.
-        if let Some(r) = self
-            .free
-            .ranges()
-            .iter()
-            .find(|r| r.nb >= n)
-            .copied()
-        {
+        if let Some(r) = self.free.ranges().iter().find(|r| r.nb >= n).copied() {
             let taken = HostSet::contiguous(r.start, n);
             self.remove(&taken);
             return taken;

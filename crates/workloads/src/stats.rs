@@ -135,11 +135,11 @@ mod tests {
     #[test]
     fn size_histogram_buckets() {
         let jobs = vec![
-            job(1, 0.0, 1.0, 1),   // bucket 0
-            job(1, 0.0, 1.0, 2),   // bucket 1
-            job(1, 0.0, 1.0, 3),   // bucket 1
-            job(1, 0.0, 1.0, 4),   // bucket 2
-            job(1, 0.0, 1.0, 64),  // bucket 6
+            job(1, 0.0, 1.0, 1),  // bucket 0
+            job(1, 0.0, 1.0, 2),  // bucket 1
+            job(1, 0.0, 1.0, 3),  // bucket 1
+            job(1, 0.0, 1.0, 4),  // bucket 2
+            job(1, 0.0, 1.0, 64), // bucket 6
         ];
         let s = workload_stats(&jobs);
         assert_eq!(s.size_histogram[0], 1);

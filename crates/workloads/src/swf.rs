@@ -228,9 +228,9 @@ mod tests {
             status: 1,
         };
         let jobs = vec![
-            mk(0.0, 100.0),           // ends day 0
-            mk(86_000.0, 1000.0),     // ends day 1
-            mk(172_700.0, 200.0),     // ends day 2
+            mk(0.0, 100.0),       // ends day 0
+            mk(86_000.0, 1000.0), // ends day 1
+            mk(172_700.0, 200.0), // ends day 2
         ];
         assert_eq!(filter_finished_on_day(&jobs, 0.0).len(), 1);
         assert_eq!(filter_finished_on_day(&jobs, 86_400.0).len(), 1);

@@ -203,10 +203,7 @@ mod tests {
     #[test]
     fn power_of_two_sizes_dominate() {
         let jobs = synth_thunder_day(&ThunderParams::default());
-        let pow2 = jobs
-            .iter()
-            .filter(|j| j.procs.is_power_of_two())
-            .count();
+        let pow2 = jobs.iter().filter(|j| j.procs.is_power_of_two()).count();
         assert!(
             pow2 * 2 > jobs.len(),
             "{pow2}/{} power-of-two sizes",

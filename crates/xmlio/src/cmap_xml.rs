@@ -138,7 +138,9 @@ fn conf(name: &str, value: f64) -> Element {
 }
 
 fn color_el(ty: &str, c: Color) -> Element {
-    Element::new("color").attr("type", ty).attr("rgb", c.to_hex())
+    Element::new("color")
+        .attr("type", ty)
+        .attr("rgb", c.to_hex())
 }
 
 /// Reads a color map from a file.
@@ -213,7 +215,8 @@ mod tests {
 
     #[test]
     fn bad_color_type_rejected() {
-        let src = r#"<cmap name="m"><task id="x"><color type="border" rgb="000000"/></task></cmap>"#;
+        let src =
+            r#"<cmap name="m"><task id="x"><color type="border" rgb="000000"/></task></cmap>"#;
         assert!(read_colormap(src).is_err());
     }
 

@@ -41,9 +41,7 @@ pub fn parse_hostlist(expr: &str) -> Result<HostSet, IoError> {
                 set.insert_range(HostRange::new(lo, hi - lo + 1));
             }
             None => {
-                let h: u32 = part
-                    .parse()
-                    .map_err(|_| IoError::number("host", part))?;
+                let h: u32 = part.parse().map_err(|_| IoError::number("host", part))?;
                 set.insert_range(HostRange::new(h, 1));
             }
         }
@@ -72,7 +70,9 @@ pub fn read_schedule_csv(src: &str) -> Result<Schedule, IoError> {
     let mut b = ScheduleBuilder::new();
     for (ln, raw) in src.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        // Blank lines, `#` comments and XML-style `<!-- ... -->` banner
+        // lines (as emitted by converters) carry no records.
+        if line.is_empty() || line.starts_with('#') || crate::is_banner_comment(line) {
             continue;
         }
         let mut fields = line.split(',').map(str::trim);
@@ -200,7 +200,10 @@ task,t3,computation,3,4,1:0+2-3
             parse_hostlist("0-1+4-5").unwrap(),
             HostSet::from_hosts([0, 1, 4, 5])
         );
-        assert_eq!(format_hostlist(&HostSet::from_hosts([0, 1, 4, 5])), "0-1+4-5");
+        assert_eq!(
+            format_hostlist(&HostSet::from_hosts([0, 1, 4, 5])),
+            "0-1+4-5"
+        );
     }
 
     #[test]

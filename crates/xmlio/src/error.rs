@@ -19,7 +19,9 @@ impl fmt::Display for Pos {
 /// Errors produced while reading or writing schedule files.
 #[derive(Debug)]
 pub enum IoError {
-    /// Malformed XML with a description and position.
+    /// Malformed document syntax with a description and position (raised
+    /// by both the XML and the JSON mini-parser, hence the neutral
+    /// display label).
     Xml { msg: String, pos: Pos },
     /// Structurally valid XML that is not a valid Jedule document.
     Format(String),
@@ -33,7 +35,10 @@ pub enum IoError {
 
 impl IoError {
     pub fn xml(msg: impl Into<String>, pos: Pos) -> Self {
-        IoError::Xml { msg: msg.into(), pos }
+        IoError::Xml {
+            msg: msg.into(),
+            pos,
+        }
     }
 
     pub fn format(msg: impl Into<String>) -> Self {
@@ -51,7 +56,7 @@ impl IoError {
 impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IoError::Xml { msg, pos } => write!(f, "XML error at {pos}: {msg}"),
+            IoError::Xml { msg, pos } => write!(f, "parse error at {pos}: {msg}"),
             IoError::Format(msg) => write!(f, "format error: {msg}"),
             IoError::Number { field, value } => {
                 write!(f, "cannot parse {field}={value:?} as a number")

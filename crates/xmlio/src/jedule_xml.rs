@@ -92,7 +92,9 @@ pub fn read_schedule(src: &str) -> Result<Schedule, IoError> {
         n_clusters += 1;
     }
     if n_clusters == 0 {
-        return Err(IoError::format("a schedule requires at least one <cluster>"));
+        return Err(IoError::format(
+            "a schedule requires at least one <cluster>",
+        ));
     }
 
     // Tasks.
@@ -146,8 +148,9 @@ fn read_task(node: &Element) -> Result<Task, IoError> {
                 _ => {}
             }
         }
-        let cluster =
-            cluster.ok_or_else(|| IoError::format(format!("task {id:?}: configuration without cluster_id")))?;
+        let cluster = cluster.ok_or_else(|| {
+            IoError::format(format!("task {id:?}: configuration without cluster_id"))
+        })?;
         let mut hosts = HostSet::new();
         if let Some(hl) = conf.find("host_lists") {
             for h in hl.find_all("hosts") {
@@ -273,10 +276,7 @@ mod tests {
             .cluster(1, "c1", 4)
             .meta("mindelta", "-2")
             .meta("sort", "comm")
-            .task(
-                Task::new("1", "computation", 0.0, 0.31)
-                    .on(Allocation::contiguous(0, 0, 8)),
-            )
+            .task(Task::new("1", "computation", 0.0, 0.31).on(Allocation::contiguous(0, 0, 8)))
             .task(
                 Task::new("2", "transfer", 0.31, 0.5)
                     .on(Allocation::new(0, HostSet::from_hosts([1, 3, 5])))

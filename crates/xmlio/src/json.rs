@@ -407,7 +407,16 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{a:1}"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{a:1}",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }

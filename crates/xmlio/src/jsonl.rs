@@ -33,7 +33,9 @@ pub fn read_schedule_jsonl(src: &str) -> Result<Schedule, IoError> {
     let mut b = ScheduleBuilder::new();
     for (i, raw) in src.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        // Blank lines, `#` comments and XML-style `<!-- ... -->` banner
+        // lines (as emitted by converters) carry no records.
+        if line.is_empty() || line.starts_with('#') || crate::is_banner_comment(line) {
             continue;
         }
         let ln = i + 1;
@@ -59,12 +61,9 @@ pub fn read_schedule_jsonl(src: &str) -> Result<Schedule, IoError> {
                     field_num(&v, "start", ln)?,
                     field_num(&v, "end", ln)?,
                 );
-                let allocs = v
-                    .get("allocations")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| {
-                        IoError::format(format!("line {ln}: task needs an allocations array"))
-                    })?;
+                let allocs = v.get("allocations").and_then(Json::as_arr).ok_or_else(|| {
+                    IoError::format(format!("line {ln}: task needs an allocations array"))
+                })?;
                 for a in allocs {
                     let cluster = field_num(a, "cluster", ln)? as u32;
                     let ranges = a.get("hosts").and_then(Json::as_arr).ok_or_else(|| {
@@ -141,7 +140,10 @@ pub fn write_schedule_jsonl(schedule: &Schedule) -> String {
                     .ranges()
                     .iter()
                     .map(|r| {
-                        Json::Arr(vec![Json::Num(f64::from(r.start)), Json::Num(f64::from(r.nb))])
+                        Json::Arr(vec![
+                            Json::Num(f64::from(r.start)),
+                            Json::Num(f64::from(r.nb)),
+                        ])
                     })
                     .collect();
                 obj([
@@ -189,10 +191,10 @@ mod tests {
                     .on(Allocation::contiguous(0, 0, 4))
                     .with_attr("level", "2"),
             )
-            .task(Task::new("b", "transfer", 1.5, 2.0).on(Allocation::new(
-                0,
-                HostSet::from_hosts([0, 2, 5]),
-            )))
+            .task(
+                Task::new("b", "transfer", 1.5, 2.0)
+                    .on(Allocation::new(0, HostSet::from_hosts([0, 2, 5]))),
+            )
             .build()
             .unwrap()
     }

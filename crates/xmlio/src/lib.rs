@@ -28,6 +28,14 @@ pub mod parser;
 pub mod stream;
 pub mod xml;
 
+/// True for a whole-line XML-style comment (`<!-- ... -->`). Converter
+/// tools prepend such banner lines to exports; the line-oriented CSV and
+/// JSONL readers skip them like `#` comments so a banner never turns a
+/// parsable file into a parse error (see `parser::parse_any`).
+pub(crate) fn is_banner_comment(line: &str) -> bool {
+    line.starts_with("<!--") && line.ends_with("-->")
+}
+
 pub use cmap_xml::{read_colormap, write_colormap_string};
 pub use error::IoError;
 pub use jedule_xml::{read_schedule, read_schedule_file, write_schedule, write_schedule_string};

@@ -57,6 +57,15 @@ pub trait ScheduleParser {
     }
 }
 
+/// The first few lines a sniffer considers significant: non-empty after
+/// trimming and not `#` comments (which the CSV and JSONL readers skip).
+fn significant_lines(src: &str) -> impl Iterator<Item = &str> {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .take(8)
+}
+
 struct XmlParser;
 
 impl ScheduleParser for XmlParser {
@@ -65,8 +74,8 @@ impl ScheduleParser for XmlParser {
     }
 
     fn sniff(&self, src: &str) -> bool {
-        let s = src.trim_start();
-        s.starts_with("<?xml") || s.starts_with("<jedule") || s.starts_with("<!--")
+        significant_lines(src)
+            .any(|l| l.starts_with("<?xml") || l.starts_with("<jedule") || l.starts_with("<!--"))
     }
 
     fn parse(&self, src: &str) -> Result<Schedule, IoError> {
@@ -86,12 +95,8 @@ impl ScheduleParser for CsvParser {
     }
 
     fn sniff(&self, src: &str) -> bool {
-        src.lines()
-            .map(str::trim)
-            .find(|l| !l.is_empty() && !l.starts_with('#'))
-            .is_some_and(|l| {
-                l.starts_with("cluster,") || l.starts_with("task,") || l.starts_with("meta,")
-            })
+        significant_lines(src)
+            .any(|l| l.starts_with("cluster,") || l.starts_with("task,") || l.starts_with("meta,"))
     }
 
     fn parse(&self, src: &str) -> Result<Schedule, IoError> {
@@ -111,10 +116,7 @@ impl ScheduleParser for JsonlParser {
     }
 
     fn sniff(&self, src: &str) -> bool {
-        src.lines()
-            .map(str::trim)
-            .find(|l| !l.is_empty() && !l.starts_with('#'))
-            .is_some_and(|l| l.starts_with('{'))
+        significant_lines(src).any(|l| l.starts_with('{'))
     }
 
     fn parse(&self, src: &str) -> Result<Schedule, IoError> {
@@ -135,26 +137,72 @@ pub fn builtin(format: Format) -> Box<dyn ScheduleParser> {
     }
 }
 
-/// Sniffs the format of `src`; file `path` extension (if given) wins.
-pub fn detect_format(src: &str, path: Option<&Path>) -> Option<Format> {
-    if let Some(p) = path {
-        match p.extension().and_then(|e| e.to_str()) {
-            Some("jed" | "xml" | "jedule") => return Some(Format::JeduleXml),
-            Some("csv") => return Some(Format::Csv),
-            Some("jsonl" | "ndjson") => return Some(Format::JsonLines),
-            _ => {}
-        }
+/// The format implied by a file extension, if any.
+fn format_from_extension(path: &Path) -> Option<Format> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("jed" | "xml" | "jedule") => Some(Format::JeduleXml),
+        Some("csv") => Some(Format::Csv),
+        Some("jsonl" | "ndjson") => Some(Format::JsonLines),
+        _ => None,
     }
+}
+
+/// Every built-in format whose sniffer matches `src`, in the fixed,
+/// deterministic [`Format::all`] order. Content can legitimately match
+/// more than one sniffer (e.g. an XML-style `<!--` comment header above
+/// JSON lines); callers that need exactly one format must disambiguate —
+/// [`parse_any`] does so by attempting the candidates in this order.
+pub fn detect_formats(src: &str) -> Vec<Format> {
     Format::all()
         .into_iter()
-        .find(|f| builtin(*f).sniff(src))
+        .filter(|f| builtin(*f).sniff(src))
+        .collect()
+}
+
+/// Sniffs the format of `src`; file `path` extension (if given) wins.
+/// When several sniffers match, the first in [`Format::all`] order is
+/// returned (use [`detect_formats`] to see every candidate).
+pub fn detect_format(src: &str, path: Option<&Path>) -> Option<Format> {
+    if let Some(f) = path.and_then(format_from_extension) {
+        return Some(f);
+    }
+    detect_formats(src).into_iter().next()
 }
 
 /// Parses `src` with format auto-detection.
+///
+/// A trusted file extension selects the parser outright. Otherwise every
+/// sniffer is consulted in deterministic order; if more than one format
+/// matches, the candidates are attempted in that order and the first
+/// successful parse wins, so ambiguous-looking input (say, a JSONL file
+/// under an XML-comment banner) still routes to the format that can
+/// actually read it. If all candidates fail, the error names each
+/// format that matched and why it failed.
 pub fn parse_any(src: &str, path: Option<&Path>) -> Result<Schedule, IoError> {
-    let format = detect_format(src, path)
-        .ok_or_else(|| IoError::format("cannot detect schedule input format"))?;
-    builtin(format).parse(src)
+    if let Some(f) = path.and_then(format_from_extension) {
+        return builtin(f).parse(src);
+    }
+    let candidates = detect_formats(src);
+    match candidates.as_slice() {
+        [] => Err(IoError::format("cannot detect schedule input format")),
+        [only] => builtin(*only).parse(src),
+        several => {
+            let mut failures = Vec::with_capacity(several.len());
+            for f in several {
+                match builtin(*f).parse(src) {
+                    Ok(schedule) => return Ok(schedule),
+                    Err(e) => failures.push(format!("{}: {e}", f.name())),
+                }
+            }
+            let names: Vec<&str> = several.iter().map(|f| f.name()).collect();
+            Err(IoError::format(format!(
+                "ambiguous input sniffed as {} formats ({}); every candidate failed to parse: {}",
+                names.len(),
+                names.join(", "),
+                failures.join("; ")
+            )))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +250,61 @@ mod tests {
     #[test]
     fn parse_any_rejects_unknown() {
         assert!(parse_any("????", None).is_err());
+    }
+
+    #[test]
+    fn ambiguous_xml_jsonl_routes_to_the_parsing_format() {
+        // An XML-comment banner above JSON lines sniffs as both
+        // jedule-xml and jsonl; only jsonl can actually parse it.
+        let s = sample();
+        let src = format!(
+            "<!-- exported from jedule -->\n{}",
+            crate::jsonl::write_schedule_jsonl(&s)
+        );
+        let formats = detect_formats(&src);
+        assert_eq!(formats, vec![Format::JeduleXml, Format::JsonLines]);
+        // Pre-fix, detect_format returned JeduleXml and parse_any failed.
+        let back = parse_any(&src, None).expect("routes to jsonl");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn ambiguous_xml_csv_routes_to_the_parsing_format() {
+        let s = sample();
+        let src = format!(
+            "<!-- exported from jedule -->\n{}",
+            crate::csvfmt::write_schedule_csv(&s)
+        );
+        let formats = detect_formats(&src);
+        assert_eq!(formats, vec![Format::JeduleXml, Format::Csv]);
+        let back = parse_any(&src, None).expect("routes to csv");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn ambiguous_csv_jsonl_reports_matched_formats_when_all_fail() {
+        // First line looks like CSV, second like JSONL; neither parser
+        // accepts the whole document, and the error must say which
+        // formats were sniffed.
+        let src = "cluster,0,c0,4\n{\"rec\":\"bogus\"}\n";
+        let formats = detect_formats(src);
+        assert_eq!(formats, vec![Format::Csv, Format::JsonLines]);
+        let err = parse_any(src, None).unwrap_err().to_string();
+        assert!(err.contains("csv"), "error should name csv: {err}");
+        assert!(err.contains("jsonl"), "error should name jsonl: {err}");
+    }
+
+    #[test]
+    fn detect_formats_order_is_deterministic() {
+        // All three sniffers match this input; the candidate list must
+        // always come back in Format::all() order.
+        let src = "<!-- banner -->\ncluster,0,c0,4\n{\"rec\":\"meta\"}\n";
+        for _ in 0..10 {
+            assert_eq!(
+                detect_formats(src),
+                vec![Format::JeduleXml, Format::Csv, Format::JsonLines]
+            );
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Element {
     /// Attribute value or a format error naming the element.
     pub fn require_attr(&self, name: &str) -> Result<&str, IoError> {
         self.get_attr(name).ok_or_else(|| {
-            IoError::format(format!("<{}> is missing required attribute {name:?}", self.name))
+            IoError::format(format!(
+                "<{}> is missing required attribute {name:?}",
+                self.name
+            ))
         })
     }
 
@@ -183,7 +186,10 @@ impl<'a> Scanner<'a> {
             }
             self.bump();
         }
-        Err(IoError::xml(format!("unterminated section, expected {delim:?}"), at))
+        Err(IoError::xml(
+            format!("unterminated section, expected {delim:?}"),
+            at,
+        ))
     }
 
     fn name(&mut self) -> Result<String, IoError> {
@@ -228,17 +234,19 @@ pub fn unescape(raw: &str, at: Pos) -> Result<String, IoError> {
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 let v = u32::from_str_radix(&ent[2..], 16)
                     .map_err(|_| IoError::xml(format!("bad character reference &{ent};"), at))?;
-                out.push(char::from_u32(v).ok_or_else(|| {
-                    IoError::xml(format!("invalid code point &{ent};"), at)
-                })?);
+                out.push(
+                    char::from_u32(v)
+                        .ok_or_else(|| IoError::xml(format!("invalid code point &{ent};"), at))?,
+                );
             }
             _ if ent.starts_with('#') => {
                 let v: u32 = ent[1..]
                     .parse()
                     .map_err(|_| IoError::xml(format!("bad character reference &{ent};"), at))?;
-                out.push(char::from_u32(v).ok_or_else(|| {
-                    IoError::xml(format!("invalid code point &{ent};"), at)
-                })?);
+                out.push(
+                    char::from_u32(v)
+                        .ok_or_else(|| IoError::xml(format!("invalid code point &{ent};"), at))?,
+                );
             }
             _ => {
                 return Err(IoError::xml(format!("unknown entity &{ent};"), at));
@@ -290,7 +298,10 @@ pub fn parse(src: &str) -> Result<Element, IoError> {
     let root = parse_element(&mut sc)?;
     skip_misc(&mut sc)?;
     if sc.peek().is_some() {
-        return Err(IoError::xml("trailing content after root element", sc.pos()));
+        return Err(IoError::xml(
+            "trailing content after root element",
+            sc.pos(),
+        ));
     }
     Ok(root)
 }
@@ -572,7 +583,14 @@ mod tests {
 
     #[test]
     fn unterminated_rejected() {
-        for bad in ["<a>", "<a", "<a x=>", "<a x='1'", "<!-- foo", "<a>&unknown;</a>"] {
+        for bad in [
+            "<a>",
+            "<a",
+            "<a x=>",
+            "<a x='1'",
+            "<!-- foo",
+            "<a>&unknown;</a>",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }

@@ -16,7 +16,11 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..4), arb_text())
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..4),
+        arb_text(),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut el = Element::new(name);
             // Attribute names must be unique within an element for the
@@ -35,7 +39,10 @@ fn arb_element(depth: u32) -> BoxedStrategy<Element> {
     if depth == 0 {
         leaf.boxed()
     } else {
-        (leaf, proptest::collection::vec(arb_element(depth - 1), 0..3))
+        (
+            leaf,
+            proptest::collection::vec(arb_element(depth - 1), 0..3),
+        )
             .prop_map(|(mut el, children)| {
                 // Mixed content (text + elements) round-trips only up to
                 // whitespace normalization; keep either text or children.

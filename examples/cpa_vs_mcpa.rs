@@ -6,11 +6,11 @@
 //! cargo run --release --example cpa_vs_mcpa
 //! ```
 
+use jedule::core::stats::{idle_holes, schedule_stats};
 use jedule::dag::{layered, GenParams};
+use jedule::prelude::*;
 use jedule::sched::cpa::{fig4_dag, FIG4_PROCS};
 use jedule::sched::{schedule_dag, CpaVariant};
-use jedule::core::stats::{idle_holes, schedule_stats};
-use jedule::prelude::*;
 
 fn main() {
     // 1. The paper's sweep in miniature: several DAG shapes × seeds.

@@ -10,8 +10,8 @@
 
 use jedule::dag::montage;
 use jedule::platform::{fig7_platform, fig7_platform_flawed, fig7_platform_realistic};
-use jedule::sched::heft;
 use jedule::prelude::*;
+use jedule::sched::heft;
 
 fn main() {
     let dag = montage(12); // ~50 compute nodes, as in the paper

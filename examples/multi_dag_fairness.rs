@@ -8,9 +8,9 @@
 //! ```
 
 use jedule::dag::{layered, Dag, GenParams};
+use jedule::prelude::*;
 use jedule::sched::multidag::verify_partition;
 use jedule::sched::{backfill, schedule_multi_dag, CraPolicy};
-use jedule::prelude::*;
 
 fn batch() -> Vec<Dag> {
     (0..4)

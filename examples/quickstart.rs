@@ -23,10 +23,10 @@ fn main() {
         .task(Task::new("2", "transfer", 0.2, 0.45).on(Allocation::contiguous(0, 2, 4)))
         // A multiprocessor task with a *non-contiguous* allocation: Jedule
         // draws one rectangle per contiguous host run.
-        .task(Task::new("3", "computation", 0.35, 0.6).on(Allocation::new(
-            0,
-            HostSet::from_hosts([0, 1, 6, 7]),
-        )))
+        .task(
+            Task::new("3", "computation", 0.35, 0.6)
+                .on(Allocation::new(0, HostSet::from_hosts([0, 1, 6, 7]))),
+        )
         // A task spanning both clusters (e.g. an inter-cluster transfer).
         .task(
             Task::new("4", "transfer", 0.45, 0.55)

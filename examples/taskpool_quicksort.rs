@@ -7,11 +7,11 @@
 //! cargo run --release --example taskpool_quicksort
 //! ```
 
+use jedule::prelude::*;
 use jedule::taskpool::pool::{run_quicksort, PoolKind};
 use jedule::taskpool::quicksort::{build_qs_tree, inverse_input, random_input, PivotStrategy};
 use jedule::taskpool::sim::{simulate_tree, NumaModel, SimParams};
 use jedule::taskpool::trace::{taskpool_colormap, trace_to_schedule, TraceScheduleOptions};
-use jedule::prelude::*;
 
 fn main() {
     std::fs::create_dir_all("target/examples").unwrap();

@@ -14,9 +14,7 @@
 
 use jedule::dag::{layered, montage, read_dax, write_dax, GenParams};
 use jedule::platform::{fig7_platform_flawed, read_platform, write_platform};
-use jedule::sched::{
-    heft, schedule_combined, schedule_moldable, schedule_multi_dag, CraPolicy,
-};
+use jedule::sched::{heft, schedule_combined, schedule_moldable, schedule_multi_dag, CraPolicy};
 
 fn main() {
     std::fs::create_dir_all("target/examples").unwrap();

@@ -8,12 +8,12 @@
 //! ```
 
 use jedule::core::stats::schedule_stats;
+use jedule::prelude::*;
 use jedule::workloads::convert::workload_colormap;
 use jedule::workloads::swf::filter_finished_on_day;
 use jedule::workloads::{
     jobs_to_schedule, parse_swf, synth_thunder_day, ConvertOptions, ThunderParams,
 };
-use jedule::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,8 +87,10 @@ fn main() {
         };
         buckets[b] += 1;
     }
-    println!("job sizes: 1:{} 2-8:{} 9-32:{} 33-128:{} 129-512:{} >512:{}",
-        buckets[0], buckets[1], buckets[2], buckets[3], buckets[4], buckets[5]);
+    println!(
+        "job sizes: 1:{} 2-8:{} 9-32:{} 33-128:{} 129-512:{} >512:{}",
+        buckets[0], buckets[1], buckets[2], buckets[3], buckets[4], buckets[5]
+    );
 
     // Heaviest users — the candidates one would highlight.
     let wstats = jedule::workloads::workload_stats(&jobs);
@@ -97,7 +99,10 @@ fn main() {
         wstats.mean_runtime, wstats.mean_procs
     );
     for u in wstats.users.iter().take(3) {
-        println!("  user {:>6}: {:>4} jobs, {:.2e} processor-seconds", u.user, u.jobs, u.proc_seconds);
+        println!(
+            "  user {:>6}: {:>4} jobs, {:.2e} processor-seconds",
+            u.user, u.jobs, u.proc_seconds
+        );
     }
 
     std::fs::create_dir_all("target/examples").unwrap();

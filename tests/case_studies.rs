@@ -21,7 +21,10 @@ fn case_study_mtask_scheduling() {
     assert!(cpa.makespan < mcpa.makespan);
     assert_eq!(poly.makespan, cpa.makespan);
     let u = |s: &Schedule| schedule_stats(s).utilization;
-    assert!(u(&cpa.schedule) > 2.0 * u(&mcpa.schedule), "MCPA leaves big holes");
+    assert!(
+        u(&cpa.schedule) > 2.0 * u(&mcpa.schedule),
+        "MCPA leaves big holes"
+    );
 
     // The schedules survive the XML pipeline.
     for r in [&cpa, &mcpa] {
@@ -63,7 +66,9 @@ fn case_study_multi_dag() {
 
     let kinds: Vec<String> = r.schedule.tasks.iter().map(|t| t.kind.clone()).collect();
     let starts: Vec<f64> = r.schedule.tasks.iter().map(|t| t.start).collect();
-    let report = backfill(&r.schedule, |i, j| kinds[i] == kinds[j] && starts[i] < starts[j]);
+    let report = backfill(&r.schedule, |i, j| {
+        kinds[i] == kinds[j] && starts[i] < starts[j]
+    });
     jedule::sched::backfill::verify_no_delay(&r.schedule, &report.schedule).unwrap();
     assert!(report.idle_after <= report.idle_before + 1e-9);
 }
@@ -95,10 +100,8 @@ fn case_study_heft_montage() {
     // Render with per-stage coloring, like Figs. 8/9.
     let svg = String::from_utf8(render(
         &real.schedule,
-        &RenderOptions::default().with_colormap(ColorMap::per_type(
-            "montage",
-            real.schedule.task_types(),
-        )),
+        &RenderOptions::default()
+            .with_colormap(ColorMap::per_type("montage", real.schedule.task_types())),
     ))
     .unwrap();
     assert!(svg.contains("mBackground"));

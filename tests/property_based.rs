@@ -9,21 +9,22 @@ use proptest::prelude::*;
 fn arb_schedule(max_tasks: usize) -> impl Strategy<Value = Schedule> {
     let hosts = 16u32;
     let task = (
-        0..hosts,             // first host
-        1..=4u32,             // host count (clamped)
-        0.0..100.0f64,        // start
-        0.01..20.0f64,        // duration
-        0..3u8,               // type selector
+        0..hosts,      // first host
+        1..=4u32,      // host count (clamped)
+        0.0..100.0f64, // start
+        0.01..20.0f64, // duration
+        0..3u8,        // type selector
     );
     proptest::collection::vec(task, 1..max_tasks).prop_map(move |specs| {
         let mut b = ScheduleBuilder::new().cluster(0, "c0", hosts);
         for (i, (h, nb, start, dur, ty)) in specs.into_iter().enumerate() {
             let nb = nb.min(hosts - h);
             let kind = ["computation", "transfer", "io"][ty as usize];
-            b = b.task(
-                Task::new(format!("t{i}"), kind, start, start + dur)
-                    .on(Allocation::contiguous(0, h, nb.max(1))),
-            );
+            b =
+                b.task(
+                    Task::new(format!("t{i}"), kind, start, start + dur)
+                        .on(Allocation::contiguous(0, h, nb.max(1))),
+                );
         }
         b.build().expect("generated schedules are valid")
     })

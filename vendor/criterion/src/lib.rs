@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/API subset the bench suite uses
+//! (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) on top of a
+//! plain wall-clock harness: each benchmark is sampled `sample_size`
+//! times (auto-batching very fast closures) and the median, minimum and
+//! mean are printed. No statistics machinery, no plotting — enough to
+//! compare configurations (e.g. thread counts) on one machine.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark: rendered as `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Filled in by `iter`: collected per-iteration durations.
+    result: Option<Stats>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    median: Duration,
+    min: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size so one sample lasts ≥ ~1 ms.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            per_iter.push(t.elapsed() / batch);
+        }
+        per_iter.sort_unstable();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let total: Duration = per_iter.iter().sum();
+        let mean = total / per_iter.len() as u32;
+        self.result = Some(Stats { median, min, mean });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(2),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => println!(
+            "{full_id:<48} median {:>12}   min {:>12}   mean {:>12}",
+            fmt_duration(s.median),
+            fmt_duration(s.min),
+            fmt_duration(s.mean)
+        ),
+        None => println!("{full_id:<48} (no measurement — iter() not called)"),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    filter: Option<&'a str>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.matches(&full) {
+            run_one(&full, self.samples, &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.matches(&full) {
+            run_one(&full, self.samples, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn matches(&self, full: &str) -> bool {
+        self.filter.is_none_or(|f| full.contains(f))
+    }
+}
+
+/// The harness entry object.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads a substring filter from argv (ignores criterion's own
+    /// `--bench`/`--test` harness flags).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+                break;
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            filter: self.filter.as_deref(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().id;
+        if self.filter.as_deref().is_none_or(|flt| full.contains(flt)) {
+            run_one(&full, 20, &mut f);
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

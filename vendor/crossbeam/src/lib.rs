@@ -1,0 +1,176 @@
+//! Offline stand-in for `crossbeam`. Only the `deque` module is
+//! provided, with the `Injector`/`Worker`/`Stealer` API the task-pool
+//! crate uses. The lock-free algorithms are replaced by mutex-guarded
+//! queues — semantics (FIFO injector, LIFO/FIFO worker deques, stealing
+//! from the opposite end) are preserved, raw throughput is not the point
+//! of this stand-in.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    /// A global FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue.lock().unwrap().push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves a batch into `worker`'s deque and pops one item.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half of the remaining items over.
+            let batch = q.len() / 2;
+            let mut dst = worker.shared.lock().unwrap();
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(v) => dst.push_back(v),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// Which end the owner pops from.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// A worker-owned deque. The owner pushes/pops at one end; stealers
+    /// take from the other.
+    pub struct Worker<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Self {
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        pub fn new_lifo() -> Self {
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.shared.lock().unwrap().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.shared.lock().unwrap();
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap().is_empty()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// Handle other workers use to steal from a [`Worker`].
+    pub struct Stealer<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_fifo_order() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert!(matches!(inj.steal(), Steal::Success(1)));
+            assert!(matches!(inj.steal(), Steal::Success(2)));
+            assert!(matches!(inj.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn batch_steal_moves_items() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(0)));
+            assert!(!w.is_empty());
+            let s = w.stealer();
+            assert!(matches!(s.steal(), Steal::Success(_)));
+        }
+    }
+}

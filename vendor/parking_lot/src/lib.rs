@@ -1,0 +1,98 @@
+//! Offline stand-in for `parking_lot`: thin wrappers over the std
+//! primitives with parking_lot's non-poisoning API shape.
+
+use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex whose `lock` never returns a poison error (poisoned locks are
+/// recovered, matching parking_lot's behavior of not having poisoning).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.inner.try_lock().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+/// Reader-writer lock with the same non-poisoning shape.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

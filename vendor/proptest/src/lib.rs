@@ -1,0 +1,917 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`boxed`, range and tuple
+//! strategies, `Just`, `any`, collection and regex-string strategies, and
+//! the `proptest!`/`prop_oneof!`/`prop_assert!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline stub:
+//!
+//! * **No shrinking.** A failing case is reported verbatim (test name,
+//!   case number and the generated inputs) and the panic is propagated.
+//! * **Deterministic seeding.** The RNG is seeded from the test's module
+//!   path and name, so failures reproduce across runs without a
+//!   persistence file (`.proptest-regressions` files are ignored).
+
+pub mod test_runner {
+    /// Run configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic xoshiro256** generator used for value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Seeds deterministically from a test identifier (FNV-1a hash).
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::seed_from_u64(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a
+    /// strategy simply draws a value from the RNG.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + Clone,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe generation, used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter (rejection sampling with a retry cap).
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + Clone,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    /// Strategy driving [`Arbitrary`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds for generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi - self.lo) as u64 + 1;
+            self.lo + rng.below(span) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap` (duplicate keys collapse, so the size is
+    /// an upper bound — same caveat as real proptest documents).
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet` (duplicates collapse).
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from [`string_regex`] on an unsupported pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One parsed regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Inclusive char ranges the atom can produce.
+        ranges: Vec<(char, char)>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Strategy generating strings matching a (subset) regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let span = (atom.max - atom.min) as u64 + 1;
+                let count = atom.min + rng.below(span) as u32;
+                let total: u64 = atom
+                    .ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                    .sum();
+                for _ in 0..count {
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in &atom.ranges {
+                        let size = hi as u64 - lo as u64 + 1;
+                        if pick < size {
+                            // Skip the surrogate gap if the range straddles it.
+                            let cp = lo as u64 + pick;
+                            let ch =
+                                char::from_u32(cp as u32).unwrap_or(char::REPLACEMENT_CHARACTER);
+                            out.push(ch);
+                            break;
+                        }
+                        pick -= size;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// The `.` metachar's alphabet: printable ASCII plus a little
+    /// Unicode, excluding newline (as real proptest does by default).
+    const DOT_RANGES: &[(char, char)] = &[(' ', '~'), ('¡', 'ÿ'), ('Ā', 'ſ'), ('☀', '☃')];
+
+    /// Builds a strategy for strings matching a subset of regex syntax:
+    /// literal chars, escapes, `.`, character classes with ranges, and
+    /// the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (starred forms are
+    /// capped at 8 repetitions).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    let mut pending: Option<char> = None;
+                    let mut closed = false;
+                    while i < chars.len() {
+                        let c = chars[i];
+                        if c == ']' {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        let literal = if c == '\\' {
+                            i += 1;
+                            *chars
+                                .get(i)
+                                .ok_or_else(|| Error("trailing backslash in class".into()))?
+                        } else {
+                            c
+                        };
+                        if literal == '-'
+                            && c != '\\'
+                            && pending.is_some()
+                            && i + 1 < chars.len()
+                            && chars[i + 1] != ']'
+                        {
+                            // Range like `a-z` (or ` -~`).
+                            let lo = pending.take().expect("checked above");
+                            i += 1;
+                            let mut hi = chars[i];
+                            if hi == '\\' {
+                                i += 1;
+                                hi = *chars
+                                    .get(i)
+                                    .ok_or_else(|| Error("trailing backslash".into()))?;
+                            }
+                            if hi < lo {
+                                return Err(Error(format!("bad class range {lo}-{hi}")));
+                            }
+                            ranges.push((lo, hi));
+                        } else {
+                            if let Some(p) = pending.take() {
+                                ranges.push((p, p));
+                            }
+                            pending = Some(literal);
+                        }
+                        i += 1;
+                    }
+                    if !closed {
+                        return Err(Error("unterminated character class".into()));
+                    }
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    ranges
+                }
+                '.' => {
+                    i += 1;
+                    DOT_RANGES.to_vec()
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .ok_or_else(|| Error("trailing backslash".into()))?;
+                    i += 1;
+                    let lit = match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    vec![(lit, lit)]
+                }
+                '(' | ')' | '|' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {:?} in {pattern:?}",
+                        chars[i]
+                    )))
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .ok_or_else(|| Error("unterminated {} quantifier".into()))?
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        let parse = |s: &str| {
+                            s.trim()
+                                .parse::<u32>()
+                                .map_err(|_| Error(format!("bad quantifier {body:?}")))
+                        };
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                            None => {
+                                let n = parse(&body)?;
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            if max < min {
+                return Err(Error("quantifier max < min".into()));
+            }
+            atoms.push(Atom { ranges, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn class_with_ranges_and_escapes() {
+            let s = string_regex("[A-Za-z_][A-Za-z0-9_.-]{0,12}").unwrap();
+            let mut rng = TestRng::seed_from_u64(1);
+            for _ in 0..200 {
+                let v = s.generate(&mut rng);
+                assert!(!v.is_empty() && v.len() <= 13);
+                let first = v.chars().next().unwrap();
+                assert!(first.is_ascii_alphabetic() || first == '_', "{v:?}");
+            }
+        }
+
+        #[test]
+        fn escaped_brackets_in_class() {
+            let s = string_regex("[-0-9eE. ,;:{}\\[\\]<>a-zA-Z\"]{0,80}").unwrap();
+            let mut rng = TestRng::seed_from_u64(2);
+            for _ in 0..100 {
+                let v = s.generate(&mut rng);
+                assert!(v.chars().count() <= 80);
+            }
+        }
+
+        #[test]
+        fn dot_and_unicode_class() {
+            let s = string_regex(".{0,200}").unwrap();
+            let mut rng = TestRng::seed_from_u64(3);
+            let v = s.generate(&mut rng);
+            assert!(!v.contains('\n'));
+            let s2 = string_regex("[ -~àéü☃𝄞]{0,40}").unwrap();
+            for _ in 0..100 {
+                let v = s2.generate(&mut rng);
+                assert!(v.chars().count() <= 40);
+            }
+        }
+
+        #[test]
+        fn rejects_unsupported() {
+            assert!(string_regex("(a|b)").is_err());
+            assert!(string_regex("[abc").is_err());
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `prop::…` path alias, as real proptest's prelude provides.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
+            for __case in 0..__config.cases {
+                let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+ );
+                let __desc = format!("{:?}", __vals);
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ( $($pat,)+ ) = __vals;
+                    $body
+                }));
+                if let Err(__panic) = __result {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with input: {}",
+                        __test_name,
+                        __case + 1,
+                        __config.cases,
+                        __desc
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn arb_tree(depth: u32) -> BoxedStrategy<Tree> {
+        let leaf = (0u32..100).prop_map(Tree::Leaf);
+        if depth == 0 {
+            leaf.boxed()
+        } else {
+            prop_oneof![
+                leaf,
+                crate::collection::vec(arb_tree(depth - 1), 0..3).prop_map(Tree::Node),
+            ]
+            .boxed()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_and_ranges(x in 0u32..10, y in -5i64..=5, f in 0.0..1.0f64, b in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(0u8..4, 1..6),
+                       m in crate::collection::btree_map(0u32..8, 0u32..8, 0..5),
+                       s in crate::collection::btree_set(0u32..64, 0..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(m.len() < 5);
+            prop_assert!(s.len() < 20);
+        }
+
+        #[test]
+        fn recursive_strategies(t in arb_tree(3)) {
+            fn depth(t: &Tree) -> u32 {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            prop_assert!(depth(&t) <= 4);
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in crate::collection::vec(0i64..100, 0..10)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 5..6);
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
