@@ -2,7 +2,7 @@
 
 use crate::args::{load_schedule, Args};
 use jedule_core::AlignMode;
-use jedule_render::{render_timed, OutputFormat, RenderOptions};
+use jedule_render::{render_timed, LodMode, OutputFormat, RenderOptions};
 use std::path::PathBuf;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -41,6 +41,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--no-composites" => opts.show_composites = false,
             "--profile" => opts.show_profile = true,
             "--only-type" => only_types.push(args.value(a)?.to_string()),
+            "--lod" => {
+                let name = args.value(a)?;
+                opts.lod = LodMode::parse(name)
+                    .ok_or_else(|| format!("unknown LOD mode {name:?} (auto, off, force)"))?;
+            }
             "-j" | "--threads" => opts.threads = args.parse(a)?,
             "--timings" => timings = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
@@ -52,6 +57,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             }
         }
     }
+
+    opts.validate()?;
 
     let input = input.ok_or("render needs an input schedule file")?;
     let mut schedule = load_schedule(&input)?;

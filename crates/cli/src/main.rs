@@ -43,7 +43,10 @@ RENDER OPTIONS:
         --scaled            per-cluster local time axes
         --aligned           global time axis for all clusters (default)
         --cluster <id>      render only one cluster
-        --window <t0> <t1>  restrict to a time window
+        --window <t0> <t1>  restrict to a time window (t1 must exceed t0;
+                            tasks outside it are culled via an interval index)
+        --lod <mode>        auto | off | force — aggregate sub-pixel tasks
+                            into per-row density strips (default auto)
         --title <text>      chart title
         --no-meta           hide the meta-info header
         --no-labels         hide task id labels

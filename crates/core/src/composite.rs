@@ -12,6 +12,7 @@
 //! host run).
 
 use crate::hostset::HostSet;
+use crate::index::ScheduleIndex;
 use crate::model::{Allocation, Schedule, Task};
 use crate::parallel::{chunk_bounds, effective_threads};
 use std::collections::HashMap;
@@ -72,30 +73,35 @@ struct Segment {
 /// `id1+id2+…`, and attributes [`ATTR_IDS`] / [`ATTR_TYPES`] used by color
 /// maps to resolve composite colors.
 pub fn composite_tasks(schedule: &Schedule, opts: &CompositeOptions) -> Vec<Task> {
+    let index = ScheduleIndex::build_with_hosts(schedule);
+    composite_tasks_indexed(schedule, &index, opts)
+}
+
+/// [`composite_tasks`] against a pre-built interval index (must have host
+/// rows). Callers that already hold an index — the render pipeline builds
+/// one for window culling — avoid re-bucketing every task per host.
+pub fn composite_tasks_indexed(
+    schedule: &Schedule,
+    index: &ScheduleIndex,
+    opts: &CompositeOptions,
+) -> Vec<Task> {
     let mut out = Vec::new();
     for cluster in &schedule.clusters {
-        // Per-host list of (task index, start, end).
-        let mut per_host: Vec<Vec<usize>> = vec![Vec::new(); cluster.hosts as usize];
-        for (ti, t) in schedule.tasks.iter().enumerate() {
-            for a in &t.allocations {
-                if a.cluster != cluster.id {
-                    continue;
-                }
-                for h in a.hosts.iter() {
-                    if (h as usize) < per_host.len() {
-                        per_host[h as usize].push(ti);
-                    }
-                }
-            }
-        }
-        // A task with several allocations on this cluster (or one
-        // allocation listing a host twice) would appear multiple times in
-        // a host's list, making the sweep see the task overlap *itself*
-        // and emit bogus `a+a` composites. Task indices are appended in
-        // increasing order, so duplicates are adjacent and dedup suffices.
-        for tasks in &mut per_host {
-            tasks.dedup();
-        }
+        let Some(ci) = index.cluster(cluster.id) else {
+            continue;
+        };
+        // Per-host task lists come straight from the index rows, which
+        // already deduplicate a task with several allocations on this
+        // cluster (or one allocation listing a host twice) — without the
+        // dedup the sweep would see the task overlap *itself* and emit
+        // bogus `a+a` composites.
+        let per_host: Vec<Vec<usize>> = (0..cluster.hosts)
+            .map(|h| {
+                ci.host(h)
+                    .map(|seq| seq.entries().iter().map(|e| e.task as usize).collect())
+                    .unwrap_or_default()
+            })
+            .collect();
 
         // Sweep each host (in parallel across hosts); key segments by
         // (bit-exact times, task set). The work list and the merge below

@@ -31,9 +31,20 @@ impl HostRange {
 }
 
 /// A normalized set of cluster-local host indices.
+///
+/// Representation: the overwhelmingly common case — a single contiguous
+/// range per allocation — is stored **inline**, so reading it costs no
+/// heap dereference. Layout walks every task's host set once per render
+/// (10⁶ times for a bird's-eye chart), and the dependent pointer chase
+/// `Task → allocations → HostSet → ranges` was a measurable share of the
+/// scan; the inline fast path removes its last hop. Multi-range sets
+/// spill to a `Vec` (invariant: `spill.len() >= 2` and `inline` unset),
+/// which keeps the derived `PartialEq`/`Hash` canonical — every set has
+/// exactly one representation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct HostSet {
-    ranges: Vec<HostRange>,
+    inline: Option<HostRange>,
+    spill: Vec<HostRange>,
 }
 
 impl HostSet {
@@ -44,19 +55,19 @@ impl HostSet {
 
     /// A single contiguous range `[start, start + nb)`.
     pub fn contiguous(start: u32, nb: u32) -> Self {
-        let mut s = HostSet::new();
-        s.insert_range(HostRange::new(start, nb));
-        s
+        if nb == 0 {
+            return HostSet::new();
+        }
+        HostSet {
+            inline: Some(HostRange::new(start, nb)),
+            spill: Vec::new(),
+        }
     }
 
     /// Builds a normalized set from arbitrary (possibly overlapping,
     /// unsorted) ranges.
     pub fn from_ranges<I: IntoIterator<Item = HostRange>>(ranges: I) -> Self {
-        let mut s = HostSet::new();
-        for r in ranges {
-            s.insert_range(r);
-        }
-        s
+        Self::normalized(ranges.into_iter().collect())
     }
 
     /// Builds a set from individual host indices.
@@ -64,7 +75,7 @@ impl HostSet {
         let mut v: Vec<u32> = hosts.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        let mut s = HostSet::new();
+        let mut ranges: Vec<HostRange> = Vec::new();
         let mut it = v.into_iter();
         if let Some(first) = it.next() {
             let mut start = first;
@@ -73,29 +84,21 @@ impl HostSet {
                 if h == prev + 1 {
                     prev = h;
                 } else {
-                    s.ranges.push(HostRange::new(start, prev - start + 1));
+                    ranges.push(HostRange::new(start, prev - start + 1));
                     start = h;
                     prev = h;
                 }
             }
-            s.ranges.push(HostRange::new(start, prev - start + 1));
+            ranges.push(HostRange::new(start, prev - start + 1));
         }
-        s
+        Self::normalized(ranges)
     }
 
-    /// Inserts a range, keeping the set normalized (sorted + coalesced).
-    pub fn insert_range(&mut self, r: HostRange) {
-        if r.nb == 0 {
-            return;
-        }
-        self.ranges.push(r);
-        self.normalize();
-    }
-
-    fn normalize(&mut self) {
-        self.ranges.sort_unstable();
-        let mut out: Vec<HostRange> = Vec::with_capacity(self.ranges.len());
-        for r in self.ranges.drain(..) {
+    /// Sorts, coalesces and packs ranges into the canonical representation.
+    fn normalized(mut v: Vec<HostRange>) -> HostSet {
+        v.sort_unstable();
+        let mut out: Vec<HostRange> = Vec::with_capacity(v.len());
+        for r in v {
             if r.nb == 0 {
                 continue;
             }
@@ -107,31 +110,54 @@ impl HostSet {
                 _ => out.push(r),
             }
         }
-        self.ranges = out;
+        match out.len() {
+            0 => HostSet::default(),
+            1 => HostSet {
+                inline: Some(out[0]),
+                spill: Vec::new(),
+            },
+            _ => HostSet {
+                inline: None,
+                spill: out,
+            },
+        }
+    }
+
+    /// Inserts a range, keeping the set normalized (sorted + coalesced).
+    pub fn insert_range(&mut self, r: HostRange) {
+        if r.nb == 0 {
+            return;
+        }
+        let mut v = self.ranges().to_vec();
+        v.push(r);
+        *self = Self::normalized(v);
     }
 
     /// The normalized ranges (sorted, disjoint, maximal).
     pub fn ranges(&self) -> &[HostRange] {
-        &self.ranges
+        match &self.inline {
+            Some(r) => std::slice::from_ref(r),
+            None => &self.spill,
+        }
     }
 
     /// Total number of hosts in the set.
     pub fn count(&self) -> u32 {
-        self.ranges.iter().map(|r| r.nb).sum()
+        self.ranges().iter().map(|r| r.nb).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.ranges.is_empty()
+        self.inline.is_none() && self.spill.is_empty()
     }
 
     /// True if the set is a single contiguous run (one rectangle suffices).
     pub fn is_contiguous(&self) -> bool {
-        self.ranges.len() <= 1
+        self.ranges().len() <= 1
     }
 
     pub fn contains(&self, host: u32) -> bool {
         // Ranges are sorted; binary search by start.
-        self.ranges
+        self.ranges()
             .binary_search_by(|r| {
                 if r.contains(host) {
                     std::cmp::Ordering::Equal
@@ -146,31 +172,32 @@ impl HostSet {
 
     /// Smallest host index, if non-empty.
     pub fn min_host(&self) -> Option<u32> {
-        self.ranges.first().map(|r| r.start)
+        self.ranges().first().map(|r| r.start)
     }
 
     /// Largest host index, if non-empty.
     pub fn max_host(&self) -> Option<u32> {
-        self.ranges.last().map(|r| r.end() - 1)
+        self.ranges().last().map(|r| r.end() - 1)
     }
 
     /// Iterates all host indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.ranges.iter().flat_map(|r| r.start..r.end())
+        self.ranges().iter().flat_map(|r| r.start..r.end())
     }
 
     /// Set union.
     pub fn union(&self, other: &HostSet) -> HostSet {
-        HostSet::from_ranges(self.ranges.iter().chain(other.ranges.iter()).copied())
+        HostSet::from_ranges(self.ranges().iter().chain(other.ranges().iter()).copied())
     }
 
     /// Set intersection.
     pub fn intersect(&self, other: &HostSet) -> HostSet {
+        let (xs, ys) = (self.ranges(), other.ranges());
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ranges.len() && j < other.ranges.len() {
-            let a = self.ranges[i];
-            let b = other.ranges[j];
+        while i < xs.len() && j < ys.len() {
+            let a = xs[i];
+            let b = ys[j];
             let lo = a.start.max(b.start);
             let hi = a.end().min(b.end());
             if lo < hi {
@@ -182,15 +209,18 @@ impl HostSet {
                 j += 1;
             }
         }
-        HostSet { ranges: out }
+        // Intersecting normalized sets yields sorted disjoint ranges, but
+        // adjacent ones may now touch; normalize to the canonical form.
+        Self::normalized(out)
     }
 
     /// True if the two sets share at least one host.
     pub fn intersects(&self, other: &HostSet) -> bool {
+        let (xs, ys) = (self.ranges(), other.ranges());
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ranges.len() && j < other.ranges.len() {
-            let a = self.ranges[i];
-            let b = other.ranges[j];
+        while i < xs.len() && j < ys.len() {
+            let a = xs[i];
+            let b = ys[j];
             if a.start.max(b.start) < a.end().min(b.end()) {
                 return true;
             }
@@ -207,7 +237,7 @@ impl HostSet {
 impl fmt::Display for HostSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for r in &self.ranges {
+        for r in self.ranges() {
             if !first {
                 write!(f, ",")?;
             }

@@ -14,6 +14,9 @@
 //! * Composite-task computation for overlapping tasks (`composite`).
 //! * Scaled vs. aligned multi-cluster time alignment (`align`).
 //! * Utilization / idle-time statistics (`stats`).
+//! * [`ScheduleIndex`] — per-cluster / per-host interval index answering
+//!   "which tasks intersect `[t0, t1]` on this row?" in `O(log n + k)`
+//!   (`index`), backing window culling, statistics and the composite sweep.
 //! * [`ViewState`] — the interactive-mode semantics (zoom, pan, cluster
 //!   selection, hit-testing, task inspection) as a pure model (`view`).
 //! * Schedule validation (`validate`).
@@ -29,6 +32,7 @@ pub mod composite;
 pub mod diff;
 pub mod error;
 pub mod hostset;
+pub mod index;
 pub mod model;
 pub mod parallel;
 pub mod stats;
@@ -40,10 +44,11 @@ pub use align::{AlignMode, TimeExtent};
 pub use builder::ScheduleBuilder;
 pub use color::Color;
 pub use colormap::{ColorMap, ColorPair, CompositeRule};
-pub use composite::{composite_tasks, CompositeOptions};
+pub use composite::{composite_tasks, composite_tasks_indexed, CompositeOptions};
 pub use diff::{diff_schedules, ScheduleDiff, TaskChange};
 pub use error::CoreError;
 pub use hostset::{HostRange, HostSet};
+pub use index::{ClusterIndex, IndexEntry, IntervalSeq, ScheduleIndex};
 pub use model::{Allocation, Cluster, MetaInfo, Schedule, Task};
 pub use parallel::effective_threads;
 pub use stats::{ClusterStats, Hole, ScheduleStats};

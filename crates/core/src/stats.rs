@@ -7,6 +7,7 @@
 //! explicit list of idle holes.
 
 use crate::align::{cluster_extent, TimeExtent};
+use crate::index::{ClusterIndex, IntervalSeq, ScheduleIndex};
 use crate::model::Schedule;
 
 /// An idle interval on one host.
@@ -50,37 +51,50 @@ pub struct ScheduleStats {
     pub utilization: f64,
 }
 
-/// Merges a host's task intervals into disjoint busy intervals.
-fn busy_intervals(schedule: &Schedule, cluster: u32, host: u32) -> Vec<(f64, f64)> {
-    let mut iv: Vec<(f64, f64)> = schedule
-        .tasks
-        .iter()
-        .filter(|t| t.end > t.start && t.occupies(cluster, host))
-        .map(|t| (t.start, t.end))
-        .collect();
-    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
-    for (s, e) in iv {
+/// Merges a host row's task intervals into disjoint busy intervals. The
+/// per-host [`IntervalSeq`] is already sorted by start, so this is a single
+/// linear pass — no per-host re-scan of the whole task list, no sort.
+fn busy_intervals(seq: &IntervalSeq) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(seq.len());
+    for e in seq.entries() {
+        if e.end <= e.start {
+            continue;
+        }
         match out.last_mut() {
-            Some(last) if s <= last.1 => last.1 = last.1.max(e),
-            _ => out.push((s, e)),
+            Some(last) if e.start <= last.1 => last.1 = last.1.max(e.end),
+            _ => out.push((e.start, e.end)),
         }
     }
     out
 }
 
+/// Busy intervals for every host row of one cluster.
+fn busy_per_host_rows(ci: &ClusterIndex, hosts: u32) -> Vec<Vec<(f64, f64)>> {
+    (0..hosts)
+        .map(|h| ci.host(h).map(busy_intervals).unwrap_or_default())
+        .collect()
+}
+
 /// Computes per-cluster statistics against the chosen extent
 /// (the cluster's local extent).
 pub fn cluster_stats(schedule: &Schedule, cluster: u32) -> Option<ClusterStats> {
+    let index = ScheduleIndex::build_with_hosts(schedule);
+    cluster_stats_indexed(schedule, &index, cluster)
+}
+
+/// [`cluster_stats`] against a pre-built index (must have host rows).
+pub fn cluster_stats_indexed(
+    schedule: &Schedule,
+    index: &ScheduleIndex,
+    cluster: u32,
+) -> Option<ClusterStats> {
     let c = schedule.cluster(cluster)?;
+    let ci = index.cluster(cluster)?;
     let extent = cluster_extent(schedule, cluster);
-    let mut busy = vec![0.0f64; c.hosts as usize];
-    for (h, b) in busy.iter_mut().enumerate() {
-        *b = busy_intervals(schedule, cluster, h as u32)
-            .iter()
-            .map(|(s, e)| e - s)
-            .sum();
-    }
+    let busy: Vec<f64> = busy_per_host_rows(ci, c.hosts)
+        .iter()
+        .map(|iv| iv.iter().map(|(s, e)| e - s).sum())
+        .collect();
     let (utilization, idle) = match extent {
         Some(ext) if ext.span() > 0.0 => {
             let cap = ext.span() * f64::from(c.hosts);
@@ -101,12 +115,14 @@ pub fn cluster_stats(schedule: &Schedule, cluster: u32) -> Option<ClusterStats> 
     })
 }
 
-/// Computes statistics for the whole schedule.
+/// Computes statistics for the whole schedule. The per-host interval index
+/// is built once and shared by every cluster's stats.
 pub fn schedule_stats(schedule: &Schedule) -> ScheduleStats {
+    let index = ScheduleIndex::build_with_hosts(schedule);
     let per_cluster: Vec<ClusterStats> = schedule
         .clusters
         .iter()
-        .filter_map(|c| cluster_stats(schedule, c.id))
+        .filter_map(|c| cluster_stats_indexed(schedule, &index, c.id))
         .collect();
     let makespan = schedule.makespan();
     let total_area: f64 = schedule.tasks.iter().map(|t| t.area()).sum();
@@ -133,13 +149,17 @@ pub fn schedule_stats(schedule: &Schedule) -> ScheduleStats {
 /// cluster extent. The paper's MCPA case ("large holes that correspond to
 /// idle CPU time") is detected by exactly this scan.
 pub fn idle_holes(schedule: &Schedule, min_duration: f64) -> Vec<Hole> {
+    let index = ScheduleIndex::build_with_hosts(schedule);
     let mut holes = Vec::new();
     for c in &schedule.clusters {
         let Some(ext) = cluster_extent(schedule, c.id) else {
             continue;
         };
+        let Some(ci) = index.cluster(c.id) else {
+            continue;
+        };
         for host in 0..c.hosts {
-            let busy = busy_intervals(schedule, c.id, host);
+            let busy = ci.host(host).map(busy_intervals).unwrap_or_default();
             let mut cursor = ext.start;
             for (s, e) in &busy {
                 if s - cursor > min_duration {
@@ -173,10 +193,14 @@ pub fn idle_holes(schedule: &Schedule, min_duration: f64) -> Vec<Hole> {
 /// study reads off the chart (2–4 processors during the holes).
 pub fn utilization_profile(schedule: &Schedule) -> Vec<(f64, u32)> {
     // Per (cluster, host) busy intervals, merged; then a global sweep.
+    let index = ScheduleIndex::build_with_hosts(schedule);
     let mut events: Vec<(f64, i32)> = Vec::new();
     for c in &schedule.clusters {
+        let Some(ci) = index.cluster(c.id) else {
+            continue;
+        };
         for host in 0..c.hosts {
-            for (s, e) in busy_intervals(schedule, c.id, host) {
+            for (s, e) in ci.host(host).map(busy_intervals).unwrap_or_default() {
                 events.push((s, 1));
                 events.push((e, -1));
             }
@@ -205,15 +229,34 @@ pub fn utilization_profile(schedule: &Schedule) -> Vec<(f64, u32)> {
 /// clusters — the "how many processors are actually running" profile used
 /// in the Quicksort case study.
 pub fn busy_hosts_at(schedule: &Schedule, t: f64) -> u32 {
-    let mut n = 0;
-    for c in &schedule.clusters {
-        for host in 0..c.hosts {
-            if schedule
-                .tasks
-                .iter()
-                .any(|task| task.start <= t && t < task.end && task.occupies(c.id, host))
-            {
-                n += 1;
+    // One pass over the tasks, then a range-union per cluster — instead of
+    // re-scanning every task for every host row.
+    let mut per_cluster: Vec<Vec<(u32, u32)>> = vec![Vec::new(); schedule.clusters.len()];
+    for task in &schedule.tasks {
+        if !(task.start <= t && t < task.end) {
+            continue;
+        }
+        for a in &task.allocations {
+            if let Some(ci) = schedule.clusters.iter().position(|c| c.id == a.cluster) {
+                let cap = schedule.clusters[ci].hosts;
+                for r in a.hosts.ranges() {
+                    let end = (r.start + r.nb).min(cap);
+                    if r.start < end {
+                        per_cluster[ci].push((r.start, end));
+                    }
+                }
+            }
+        }
+    }
+    let mut n = 0u32;
+    for mut ranges in per_cluster {
+        ranges.sort_unstable();
+        let mut cursor = 0u32;
+        for (s, e) in ranges {
+            let s = s.max(cursor);
+            if e > s {
+                n += e - s;
+                cursor = e;
             }
         }
     }

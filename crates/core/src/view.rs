@@ -9,7 +9,8 @@
 //! interactive behaviour unit-testable.
 
 use crate::align::{extent_for, AlignMode, TimeExtent};
-use crate::model::Schedule;
+use crate::index::ScheduleIndex;
+use crate::model::{Schedule, Task};
 
 /// The visible window over a schedule: a time range × a global row range.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,6 +172,31 @@ impl ViewState {
     /// When several tasks overlap at the point (a composite situation), the
     /// one that started last wins — that is the rectangle drawn on top.
     pub fn hit_test(&self, schedule: &Schedule, t: f64, row: f64) -> HitTarget {
+        self.hit_test_impl(schedule, None, t, row)
+    }
+
+    /// [`ViewState::hit_test`] against a pre-built per-host interval index
+    /// — O(log n + k) per probe instead of a full task scan, which is what
+    /// an interactive front-end wants on every mouse move over a
+    /// million-task trace. The index must have been built with host rows
+    /// ([`ScheduleIndex::build_with_hosts`]).
+    pub fn hit_test_indexed(
+        &self,
+        schedule: &Schedule,
+        index: &ScheduleIndex,
+        t: f64,
+        row: f64,
+    ) -> HitTarget {
+        self.hit_test_impl(schedule, Some(index), t, row)
+    }
+
+    fn hit_test_impl(
+        &self,
+        schedule: &Schedule,
+        index: Option<&ScheduleIndex>,
+        t: f64,
+        row: f64,
+    ) -> HitTarget {
         if row < 0.0 {
             return HitTarget::Nothing;
         }
@@ -182,12 +208,29 @@ impl ViewState {
                 return HitTarget::Nothing;
             }
         }
+        // Latest start wins (the rectangle drawn on top); candidates are
+        // visited in ascending task index either way, so ties resolve
+        // identically with and without the index.
         let mut best: Option<usize> = None;
-        for (i, task) in schedule.tasks.iter().enumerate() {
-            if task.start <= t && t < task.end && task.occupies(cluster, host) {
+        let mut consider = |i: usize, task: &Task| {
+            if task.start <= t && t < task.end {
                 match best {
                     Some(b) if schedule.tasks[b].start >= task.start => {}
                     _ => best = Some(i),
+                }
+            }
+        };
+        match index.and_then(|ix| ix.cluster(cluster)) {
+            Some(ci) if ci.host(host).is_some() => {
+                for i in ci.query_host(host, t, t) {
+                    consider(i, &schedule.tasks[i]);
+                }
+            }
+            _ => {
+                for (i, task) in schedule.tasks.iter().enumerate() {
+                    if task.occupies(cluster, host) {
+                        consider(i, task);
+                    }
                 }
             }
         }
@@ -366,6 +409,38 @@ mod tests {
         // Clicking empty space clears the selection.
         assert!(v.click(&s, 1.0, 4.0).is_none());
         assert_eq!(v.selected_task, None);
+    }
+
+    #[test]
+    fn indexed_hit_test_agrees_with_scan() {
+        let s = sched();
+        let index = ScheduleIndex::build_with_hosts(&s);
+        let mut v = ViewState::fit(&s);
+        let probes: Vec<(f64, f64)> = vec![
+            (6.0, 1.0),
+            (1.0, 1.0),
+            (3.0, 4.0),
+            (1.0, 4.0),
+            (3.0, 99.0),
+            (3.0, -1.0),
+            (10.0, 0.0), // half-open: end time misses
+            (0.0, 0.0),
+        ];
+        for &(t, row) in &probes {
+            assert_eq!(
+                v.hit_test_indexed(&s, &index, t, row),
+                v.hit_test(&s, t, row),
+                "probe t={t} row={row}"
+            );
+        }
+        v.select_cluster(Some(1));
+        for &(t, row) in &probes {
+            assert_eq!(
+                v.hit_test_indexed(&s, &index, t, row),
+                v.hit_test(&s, t, row),
+                "filtered probe t={t} row={row}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! display surface of the port's interactive mode: the original opens a
 //! Swing window, we draw into the terminal (see DESIGN.md).
 
-use crate::scene::{Anchor, Prim, Scene};
+use crate::scene::{Anchor, PrimRef, Scene};
 use jedule_core::Color;
 
 /// Character cell.
@@ -99,34 +99,26 @@ pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
     let map_x = |x: f64| (x / sx).floor() as i64;
     let map_y = |y: f64| (y / sy).floor() as i64;
 
-    for p in &scene.prims {
+    for p in scene.iter() {
         match p {
-            Prim::Rect {
-                x, y, w, h, fill, ..
-            } => {
-                let x0 = map_x(*x).max(0);
-                let y0 = map_y(*y).max(0);
-                let x1 = map_x(x + w.max(0.0)).min(cols as i64 - 1);
-                let y1 = map_y(y + h.max(0.0)).min(rows as i64 - 1);
+            PrimRef::Rect(r) => {
+                let x0 = map_x(r.x).max(0);
+                let y0 = map_y(r.y).max(0);
+                let x1 = map_x(r.x + r.w.max(0.0)).min(cols as i64 - 1);
+                let y1 = map_y(r.y + r.h.max(0.0)).min(rows as i64 - 1);
                 for yy in y0..=y1.max(y0) {
                     for xx in x0..=x1.max(x0) {
                         if let Some(c) = grid.at(xx as usize, yy as usize) {
                             c.ch = ' ';
-                            c.bg = Some(*fill);
+                            c.bg = Some(r.fill);
                         }
                     }
                 }
             }
-            Prim::Line {
-                x1,
-                y1,
-                x2,
-                y2,
-                color,
-            } => {
+            PrimRef::Line(l) => {
                 // Coarse Bresenham over cells.
-                let (mut cx, mut cy) = (map_x(*x1), map_y(*y1));
-                let (ex, ey) = (map_x(*x2), map_y(*y2));
+                let (mut cx, mut cy) = (map_x(l.x1), map_y(l.y1));
+                let (ex, ey) = (map_x(l.x2), map_y(l.y2));
                 let dx = (ex - cx).abs();
                 let dy = -(ey - cy).abs();
                 let sx_ = if cx < ex { 1 } else { -1 };
@@ -144,7 +136,7 @@ pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
                         if let Some(c) = grid.at(cx as usize, cy as usize) {
                             if c.bg.is_none() {
                                 c.ch = ch;
-                                c.fg = Some(*color);
+                                c.fg = Some(l.color);
                             }
                         }
                     }
@@ -162,27 +154,20 @@ pub fn sample(scene: &Scene, cols: usize) -> CharGrid {
                     }
                 }
             }
-            Prim::Text {
-                x,
-                y,
-                text,
-                color,
-                anchor,
-                ..
-            } => {
-                let len = text.chars().count() as i64;
-                let cx = match anchor {
-                    Anchor::Start => map_x(*x),
-                    Anchor::Middle => map_x(*x) - len / 2,
-                    Anchor::End => map_x(*x) - len,
+            PrimRef::Text(t) => {
+                let len = t.text.chars().count() as i64;
+                let cx = match t.anchor {
+                    Anchor::Start => map_x(t.x),
+                    Anchor::Middle => map_x(t.x) - len / 2,
+                    Anchor::End => map_x(t.x) - len,
                 };
-                let cy = map_y(*y - 1.0);
-                for (i, ch) in text.chars().enumerate() {
+                let cy = map_y(t.y - 1.0);
+                for (i, ch) in t.text.chars().enumerate() {
                     let xx = cx + i as i64;
                     if xx >= 0 && cy >= 0 {
                         if let Some(c) = grid.at(xx as usize, cy as usize) {
                             c.ch = ch;
-                            c.fg = Some(*color);
+                            c.fg = Some(t.color);
                         }
                     }
                 }

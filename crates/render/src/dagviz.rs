@@ -230,15 +230,7 @@ mod tests {
         let scene = dag_scene(&d, &DagVizOptions::default());
         // Collect node fill colors by task kind via rect order (tasks are
         // drawn in id order after the edges).
-        use crate::scene::Prim;
-        let fills: Vec<jedule_core::Color> = scene
-            .prims
-            .iter()
-            .filter_map(|p| match p {
-                Prim::Rect { fill, .. } => Some(*fill),
-                _ => None,
-            })
-            .collect();
+        let fills: Vec<jedule_core::Color> = scene.rects().iter().map(|r| r.fill).collect();
         assert_eq!(fills.len(), d.task_count());
         for (i, a) in d.tasks.iter().enumerate() {
             for (j, b) in d.tasks.iter().enumerate() {

@@ -38,9 +38,9 @@ pub mod ticks;
 
 pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
 pub use layout::layout;
-pub use options::{OutputFormat, RenderOptions};
+pub use options::{LodMode, OutputFormat, RenderOptions};
 pub use perf::RenderTimings;
-pub use scene::{Anchor, Prim, Scene};
+pub use scene::{Anchor, LinePrim, PrimKind, PrimRef, RectPrim, Scene, SceneStats, TextPrim};
 
 use jedule_core::Schedule;
 
@@ -78,6 +78,7 @@ pub fn render_timed(schedule: &Schedule, options: &RenderOptions) -> (Vec<u8>, R
         raster: raster_t,
         encode: encode_t,
         total: layout_t + raster_t + encode_t,
+        scene: scene.stats,
     };
     (bytes, timings)
 }

@@ -48,6 +48,41 @@ impl OutputFormat {
     }
 }
 
+/// Level-of-detail aggregation of sub-pixel tasks (the `--lod` flag).
+///
+/// A million-job bird's-eye chart gives most tasks a fraction of a pixel;
+/// drawing each as its own rectangle costs per-task work for no visible
+/// gain. Under LOD, tasks narrower than the threshold are binned into
+/// per-(host row, pixel column) utilization cells and emitted as one
+/// density strip per run of equally-colored columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LodMode {
+    /// Aggregate tasks narrower than the threshold, draw the rest
+    /// individually (the default). Aggregation only engages when a
+    /// majority of a deterministic sample of the visible tasks is
+    /// sub-threshold — when slivers are a small minority, drawing them
+    /// directly beats paying for the utilization grid.
+    #[default]
+    Auto,
+    /// Always emit one rectangle per task (the pre-LOD behavior).
+    Off,
+    /// Aggregate every task regardless of width (useful for comparing
+    /// aggregate output against the exact one).
+    Force,
+}
+
+impl LodMode {
+    /// Parses a mode name as given on the command line.
+    pub fn parse(name: &str) -> Option<LodMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(LodMode::Auto),
+            "off" => Some(LodMode::Off),
+            "force" => Some(LodMode::Force),
+            _ => None,
+        }
+    }
+}
+
 /// All knobs of a rendering run.
 #[derive(Debug, Clone)]
 pub struct RenderOptions {
@@ -80,6 +115,18 @@ pub struct RenderOptions {
     /// to the pre-threading encoder), other values are explicit counts.
     /// Decoded pixels are identical for every setting.
     pub threads: usize,
+    /// Level-of-detail aggregation of sub-pixel tasks (`--lod`).
+    pub lod: LodMode,
+    /// On-screen width in pixels below which `LodMode::Auto` aggregates a
+    /// task instead of drawing it individually (once a majority of the
+    /// visible tasks is below it — see [`LodMode::Auto`]).
+    pub lod_threshold: f64,
+    /// Testing hook: when `false`, a `time_window` render scans every task
+    /// instead of querying the interval index. Output must be
+    /// pixel-identical either way (property-tested); there is no reason to
+    /// disable culling outside such comparisons.
+    #[doc(hidden)]
+    pub cull: bool,
 }
 
 impl Default for RenderOptions {
@@ -98,6 +145,9 @@ impl Default for RenderOptions {
             show_labels: true,
             show_profile: false,
             threads: 0,
+            lod: LodMode::Auto,
+            lod_threshold: 1.0,
+            cull: true,
         }
     }
 }
@@ -137,6 +187,45 @@ impl RenderOptions {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    pub fn with_lod(mut self, lod: LodMode) -> Self {
+        self.lod = lod;
+        self
+    }
+
+    pub fn with_time_window(mut self, t0: f64, t1: f64) -> Self {
+        self.time_window = Some((t0, t1));
+        self
+    }
+
+    /// Checks the options for contradictions a render cannot satisfy.
+    /// In particular an empty or reversed `time_window` is rejected here —
+    /// historically `layout()` silently fell back to the full extent,
+    /// which turned a typo'd zoom into a misleadingly complete chart.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some((t0, t1)) = self.time_window {
+            if !t0.is_finite() || !t1.is_finite() {
+                return Err(format!(
+                    "invalid time window [{t0}, {t1}]: bounds must be finite"
+                ));
+            }
+            if t1 <= t0 {
+                return Err(format!(
+                    "invalid time window [{t0}, {t1}]: end must be greater than start"
+                ));
+            }
+        }
+        if !self.lod_threshold.is_finite() || self.lod_threshold < 0.0 {
+            return Err(format!(
+                "invalid LOD threshold {}: must be a finite width in pixels",
+                self.lod_threshold
+            ));
+        }
+        if !(self.width.is_finite() && self.width >= 1.0) {
+            return Err(format!("invalid width {}: must be at least 1", self.width));
+        }
+        Ok(())
     }
 }
 

@@ -6,7 +6,7 @@
 //! Helvetica text — fully valid vector output that embeds cleanly in
 //! LaTeX documents.
 
-use crate::scene::{Anchor, Prim, Scene};
+use crate::scene::{Anchor, PrimRef, Scene};
 use std::fmt::Write as _;
 
 fn pdf_escape(s: &str) -> String {
@@ -58,81 +58,61 @@ pub fn to_pdf(scene: &Scene) -> Vec<u8> {
     rg(&mut cs, scene.background);
     let _ = writeln!(cs, " rg 0 0 {:.2} {:.2} re f Q", scene.width, scene.height);
 
-    for p in &scene.prims {
+    for p in scene.iter() {
         match p {
-            Prim::Rect {
-                x,
-                y,
-                w,
-                h: rh,
-                fill,
-                stroke,
-            } => {
+            PrimRef::Rect(r) => {
                 cs.push_str("q ");
-                rg(&mut cs, *fill);
+                rg(&mut cs, r.fill);
                 let _ = write!(
                     cs,
                     " rg {:.2} {:.2} {:.2} {:.2} re f",
-                    x,
-                    h - y - rh,
-                    w.max(0.0),
-                    rh.max(0.0)
+                    r.x,
+                    h - r.y - r.h,
+                    r.w.max(0.0),
+                    r.h.max(0.0)
                 );
-                if let Some(s) = stroke {
+                if let Some(s) = r.stroke {
                     cs.push(' ');
-                    rg(&mut cs, *s);
+                    rg(&mut cs, s);
                     let _ = write!(
                         cs,
                         " RG 0.5 w {:.2} {:.2} {:.2} {:.2} re S",
-                        x,
-                        h - y - rh,
-                        w.max(0.0),
-                        rh.max(0.0)
+                        r.x,
+                        h - r.y - r.h,
+                        r.w.max(0.0),
+                        r.h.max(0.0)
                     );
                 }
                 cs.push_str(" Q\n");
             }
-            Prim::Line {
-                x1,
-                y1,
-                x2,
-                y2,
-                color,
-            } => {
+            PrimRef::Line(l) => {
                 cs.push_str("q ");
-                rg(&mut cs, *color);
+                rg(&mut cs, l.color);
                 let _ = writeln!(
                     cs,
                     " RG 0.5 w {:.2} {:.2} m {:.2} {:.2} l S Q",
-                    x1,
-                    h - y1,
-                    x2,
-                    h - y2
+                    l.x1,
+                    h - l.y1,
+                    l.x2,
+                    h - l.y2
                 );
             }
-            Prim::Text {
-                x,
-                y,
-                size,
-                text,
-                color,
-                anchor,
-            } => {
-                let width = text_width_pt(text, *size);
-                let tx = match anchor {
-                    Anchor::Start => *x,
-                    Anchor::Middle => x - width / 2.0,
-                    Anchor::End => x - width,
+            PrimRef::Text(t) => {
+                let width = text_width_pt(&t.text, t.size);
+                let tx = match t.anchor {
+                    Anchor::Start => t.x,
+                    Anchor::Middle => t.x - width / 2.0,
+                    Anchor::End => t.x - width,
                 };
                 cs.push_str("q BT /F1 ");
-                let _ = write!(cs, "{size:.2} Tf ");
-                rg(&mut cs, *color);
+                let _ = write!(cs, "{:.2} Tf ", t.size);
+                rg(&mut cs, t.color);
                 let _ = writeln!(
                     cs,
                     " rg {:.2} {:.2} Td ({}) Tj ET Q",
                     tx,
-                    h - y,
-                    pdf_escape(text)
+                    h - t.y,
+                    pdf_escape(&t.text)
                 );
             }
         }

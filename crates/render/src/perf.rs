@@ -5,6 +5,7 @@
 //! so `jedule render --timings` and the bench harness can report where
 //! the time goes and how the thread knob changes it.
 
+use crate::scene::SceneStats;
 use std::time::{Duration, Instant};
 
 /// Measures consecutive stages: every [`lap`](StageClock::lap) returns
@@ -46,6 +47,9 @@ pub struct RenderTimings {
     pub encode: Duration,
     /// Whole pipeline (sum of the stages).
     pub total: Duration,
+    /// Layout-stage counters: LOD hits/misses, strips emitted, tasks
+    /// culled by the time-window interval query.
+    pub scene: SceneStats,
 }
 
 impl RenderTimings {
@@ -53,11 +57,15 @@ impl RenderTimings {
     /// `jedule render --timings`).
     pub fn report(&self) -> String {
         format!(
-            "layout  {}\nraster  {}\nencode  {}\ntotal   {}",
+            "layout  {}\nraster  {}\nencode  {}\ntotal   {}\nlod     {} drawn / {} aggregated into {} strips\nculled  {} tasks outside the time window",
             fmt_duration(self.layout),
             fmt_duration(self.raster),
             fmt_duration(self.encode),
             fmt_duration(self.total),
+            self.scene.lod_direct,
+            self.scene.lod_aggregated,
+            self.scene.lod_strips,
+            self.scene.culled,
         )
     }
 }
@@ -88,12 +96,23 @@ mod tests {
             raster: Duration::from_micros(2500),
             encode: Duration::from_micros(500),
             total: Duration::from_micros(4500),
+            scene: SceneStats {
+                lod_direct: 7,
+                lod_aggregated: 993,
+                lod_strips: 12,
+                culled: 41,
+            },
         };
         let r = t.report();
-        for stage in ["layout", "raster", "encode", "total"] {
+        for stage in ["layout", "raster", "encode", "total", "lod", "culled"] {
             assert!(r.contains(stage), "missing {stage} in {r:?}");
         }
         assert!(r.contains("1.500 ms"), "{r:?}");
         assert!(r.contains("4.500 ms"), "{r:?}");
+        assert!(
+            r.contains("7 drawn / 993 aggregated into 12 strips"),
+            "{r:?}"
+        );
+        assert!(r.contains("41 tasks"), "{r:?}");
     }
 }

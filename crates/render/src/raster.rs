@@ -10,7 +10,7 @@
 //! concatenate the bands without any visible seam.
 
 use crate::font;
-use crate::scene::{Anchor, Prim, Scene};
+use crate::scene::{Anchor, PrimKind, Scene};
 use jedule_core::Color;
 
 /// An RGB8 pixel canvas — either a whole image or one horizontal band
@@ -176,38 +176,38 @@ impl Canvas {
 }
 
 /// Replays every primitive of `scene` onto `c` (a full canvas or a
-/// band — the canvas clips).
+/// band — the canvas clips). Iterates the scene's homogeneous batches, so
+/// the long rectangle runs a task chart consists of draw without a
+/// per-primitive kind dispatch, and a band can reject a whole run of
+/// off-band rectangles with one bounds check each, cheaply.
 fn draw_scene(c: &mut Canvas, scene: &Scene) {
-    for p in &scene.prims {
-        match p {
-            Prim::Rect {
-                x,
-                y,
-                w,
-                h,
-                fill,
-                stroke,
-            } => {
-                c.fill_rect(*x, *y, *w, *h, *fill);
-                if let Some(s) = stroke {
-                    c.stroke_rect(*x, *y, *w, *h, *s);
+    let band_top = c.y0 as f64;
+    let band_bot = (c.y0 + c.height) as f64;
+    for (kind, range) in scene.batches() {
+        match kind {
+            PrimKind::Rect => {
+                for r in &scene.rects()[range] {
+                    // Cheap band rejection before the rounding math; the
+                    // 1px margin keeps `.5`-rounding ties in play.
+                    if r.y + r.h < band_top - 1.0 || r.y > band_bot + 1.0 {
+                        continue;
+                    }
+                    c.fill_rect(r.x, r.y, r.w, r.h, r.fill);
+                    if let Some(s) = r.stroke {
+                        c.stroke_rect(r.x, r.y, r.w, r.h, s);
+                    }
                 }
             }
-            Prim::Line {
-                x1,
-                y1,
-                x2,
-                y2,
-                color,
-            } => c.line(*x1, *y1, *x2, *y2, *color),
-            Prim::Text {
-                x,
-                y,
-                size,
-                text,
-                color,
-                anchor,
-            } => c.text(*x, *y, *size, text, *color, *anchor),
+            PrimKind::Line => {
+                for l in &scene.lines()[range] {
+                    c.line(l.x1, l.y1, l.x2, l.y2, l.color);
+                }
+            }
+            PrimKind::Text => {
+                for t in &scene.texts()[range] {
+                    c.text(t.x, t.y, t.size, &t.text, t.color, t.anchor);
+                }
+            }
         }
     }
 }

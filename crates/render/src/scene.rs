@@ -2,8 +2,18 @@
 //!
 //! The layout engine emits a [`Scene`]; back-ends only need to know how to
 //! draw filled rectangles, lines and text.
+//!
+//! Primitives are stored struct-of-arrays — one typed buffer per kind —
+//! instead of a single `Vec` of an enum. A million task rectangles then
+//! cost exactly `1M × size_of::<RectPrim>()` contiguous bytes (no enum
+//! discriminant padding to the largest variant, which here is the `String`
+//! -carrying text), buffers can be `reserve`d up front, and the rasterizer
+//! replays homogeneous runs without a per-primitive branch. Painter's
+//! order across kinds is preserved by a small list of [`PrimKind`] batches
+//! recording the emission order; [`Scene::iter`] replays it.
 
 use jedule_core::Color;
+use std::ops::Range;
 
 /// Horizontal text anchoring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,36 +23,82 @@ pub enum Anchor {
     End,
 }
 
-/// A drawing primitive in scene coordinates (origin top-left, y grows
-/// downwards, units are pixels at the nominal canvas size).
+/// A filled rectangle with optional 1px outline, in scene coordinates
+/// (origin top-left, y grows downwards, units are pixels at the nominal
+/// canvas size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectPrim {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+    pub fill: Color,
+    pub stroke: Option<Color>,
+}
+
+/// A straight line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinePrim {
+    pub x1: f64,
+    pub y1: f64,
+    pub x2: f64,
+    pub y2: f64,
+    pub color: Color,
+}
+
+/// A text run. `y` is the baseline.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Prim {
-    /// A filled rectangle with optional 1px outline.
-    Rect {
-        x: f64,
-        y: f64,
-        w: f64,
-        h: f64,
-        fill: Color,
-        stroke: Option<Color>,
-    },
-    /// A straight line.
-    Line {
-        x1: f64,
-        y1: f64,
-        x2: f64,
-        y2: f64,
-        color: Color,
-    },
-    /// A text run. `y` is the baseline.
-    Text {
-        x: f64,
-        y: f64,
-        size: f64,
-        text: String,
-        color: Color,
-        anchor: Anchor,
-    },
+pub struct TextPrim {
+    pub x: f64,
+    pub y: f64,
+    pub size: f64,
+    pub text: String,
+    pub color: Color,
+    pub anchor: Anchor,
+}
+
+/// Which typed buffer a batch of consecutive primitives lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimKind {
+    Rect,
+    Line,
+    Text,
+}
+
+/// A borrowed view of one primitive, yielded in painter's order by
+/// [`Scene::iter`] (later primitives draw on top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrimRef<'a> {
+    Rect(&'a RectPrim),
+    Line(&'a LinePrim),
+    Text(&'a TextPrim),
+}
+
+/// Counters the layout stage attaches to the scene it produces: how the
+/// level-of-detail stage and window culling treated the input tasks.
+/// Surfaced by `--timings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SceneStats {
+    /// Task draws wide enough to be emitted as individual rectangles
+    /// (LOD misses).
+    pub lod_direct: usize,
+    /// Task draws folded into per-(row, pixel-column) density cells
+    /// (LOD hits).
+    pub lod_aggregated: usize,
+    /// Aggregated density-strip rectangles emitted for the LOD hits.
+    pub lod_strips: usize,
+    /// Tasks skipped entirely by time-window culling (never inspected by
+    /// the per-task draw loop).
+    pub culled: usize,
+}
+
+/// A run of `len` consecutively-emitted primitives of one kind, stored at
+/// `first..first + len` of that kind's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Batch {
+    kind: PrimKind,
+    first: u32,
+    len: u32,
 }
 
 /// A complete scene: canvas size, background and primitives in painter's
@@ -52,7 +108,11 @@ pub struct Scene {
     pub width: f64,
     pub height: f64,
     pub background: Color,
-    pub prims: Vec<Prim>,
+    pub stats: SceneStats,
+    rects: Vec<RectPrim>,
+    lines: Vec<LinePrim>,
+    texts: Vec<TextPrim>,
+    batches: Vec<Batch>,
 }
 
 impl Scene {
@@ -61,12 +121,44 @@ impl Scene {
             width,
             height,
             background: Color::WHITE,
-            prims: Vec::new(),
+            stats: SceneStats::default(),
+            rects: Vec::new(),
+            lines: Vec::new(),
+            texts: Vec::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Pre-sizes the typed buffers — layout knows the primitive counts it
+    /// is about to emit (one rect per visible task plus fixed chrome), so
+    /// million-task scenes are built without reallocation.
+    pub fn reserve(&mut self, rects: usize, lines: usize, texts: usize) {
+        self.rects.reserve(rects);
+        self.lines.reserve(lines);
+        self.texts.reserve(texts);
+    }
+
+    fn note(&mut self, kind: PrimKind) {
+        match self.batches.last_mut() {
+            Some(b) if b.kind == kind => b.len += 1,
+            _ => {
+                let first = match kind {
+                    PrimKind::Rect => self.rects.len(),
+                    PrimKind::Line => self.lines.len(),
+                    PrimKind::Text => self.texts.len(),
+                } as u32
+                    - 1;
+                self.batches.push(Batch {
+                    kind,
+                    first,
+                    len: 1,
+                });
+            }
         }
     }
 
     pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color) {
-        self.prims.push(Prim::Rect {
+        self.rects.push(RectPrim {
             x,
             y,
             w,
@@ -74,10 +166,11 @@ impl Scene {
             fill,
             stroke: None,
         });
+        self.note(PrimKind::Rect);
     }
 
     pub fn rect_stroked(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color, stroke: Color) {
-        self.prims.push(Prim::Rect {
+        self.rects.push(RectPrim {
             x,
             y,
             w,
@@ -85,16 +178,18 @@ impl Scene {
             fill,
             stroke: Some(stroke),
         });
+        self.note(PrimKind::Rect);
     }
 
     pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, color: Color) {
-        self.prims.push(Prim::Line {
+        self.lines.push(LinePrim {
             x1,
             y1,
             x2,
             y2,
             color,
         });
+        self.note(PrimKind::Line);
     }
 
     pub fn text(
@@ -106,7 +201,7 @@ impl Scene {
         color: Color,
         anchor: Anchor,
     ) {
-        self.prims.push(Prim::Text {
+        self.texts.push(TextPrim {
             x,
             y,
             size,
@@ -114,20 +209,59 @@ impl Scene {
             color,
             anchor,
         });
+        self.note(PrimKind::Text);
+    }
+
+    /// The rectangle buffer, in emission order within the kind.
+    pub fn rects(&self) -> &[RectPrim] {
+        &self.rects
+    }
+
+    /// The line buffer, in emission order within the kind.
+    pub fn lines(&self) -> &[LinePrim] {
+        &self.lines
+    }
+
+    /// The text buffer, in emission order within the kind.
+    pub fn texts(&self) -> &[TextPrim] {
+        &self.texts
+    }
+
+    /// The homogeneous runs making up the painter's order: each item is a
+    /// kind plus the index range into that kind's buffer. Back-ends that
+    /// dispatch per run (the rasterizer) iterate this instead of matching
+    /// per primitive.
+    pub fn batches(&self) -> impl Iterator<Item = (PrimKind, Range<usize>)> + '_ {
+        self.batches
+            .iter()
+            .map(|b| (b.kind, b.first as usize..(b.first + b.len) as usize))
+    }
+
+    /// Every primitive in painter's order.
+    pub fn iter(&self) -> impl Iterator<Item = PrimRef<'_>> {
+        self.batches().flat_map(move |(kind, range)| {
+            let scene = self;
+            range.map(move |i| match kind {
+                PrimKind::Rect => PrimRef::Rect(&scene.rects[i]),
+                PrimKind::Line => PrimRef::Line(&scene.lines[i]),
+                PrimKind::Text => PrimRef::Text(&scene.texts[i]),
+            })
+        })
+    }
+
+    /// Total primitive count.
+    pub fn len(&self) -> usize {
+        self.rects.len() + self.lines.len() + self.texts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Count of primitives of each kind `(rects, lines, texts)` — used by
-    /// layout tests.
+    /// layout tests. O(1) now that the buffers are typed.
     pub fn census(&self) -> (usize, usize, usize) {
-        let mut r = (0, 0, 0);
-        for p in &self.prims {
-            match p {
-                Prim::Rect { .. } => r.0 += 1,
-                Prim::Line { .. } => r.1 += 1,
-                Prim::Text { .. } => r.2 += 1,
-            }
-        }
-        r
+        (self.rects.len(), self.lines.len(), self.texts.len())
     }
 }
 
@@ -149,6 +283,78 @@ mod tests {
         s.line(0.0, 0.0, 5.0, 5.0, Color::BLACK);
         s.text(0.0, 0.0, 12.0, "hi", Color::BLACK, Anchor::Start);
         assert_eq!(s.census(), (2, 1, 1));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_painters_order() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.rect(0.0, 0.0, 1.0, 1.0, Color::BLACK);
+        s.line(0.0, 0.0, 1.0, 1.0, Color::BLACK);
+        s.rect(2.0, 0.0, 1.0, 1.0, Color::WHITE);
+        s.text(0.0, 5.0, 7.0, "t", Color::BLACK, Anchor::Start);
+        s.rect(3.0, 0.0, 1.0, 1.0, Color::BLACK);
+        s.rect(4.0, 0.0, 1.0, 1.0, Color::BLACK);
+        let kinds: Vec<&'static str> = s
+            .iter()
+            .map(|p| match p {
+                PrimRef::Rect(_) => "r",
+                PrimRef::Line(_) => "l",
+                PrimRef::Text(_) => "t",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["r", "l", "r", "t", "r", "r"]);
+        // Interleaved emission produced 5 batches, with the trailing run
+        // of rects coalesced into one.
+        assert_eq!(s.batches().count(), 5);
+        let xs: Vec<f64> = s
+            .iter()
+            .filter_map(|p| match p {
+                PrimRef::Rect(r) => Some(r.x),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(xs, vec![0.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn batches_cover_all_prims_exactly_once() {
+        let mut s = Scene::new(10.0, 10.0);
+        for i in 0..7 {
+            s.rect(i as f64, 0.0, 1.0, 1.0, Color::BLACK);
+            if i % 2 == 0 {
+                s.line(0.0, 0.0, i as f64, 1.0, Color::BLACK);
+            }
+        }
+        assert_eq!(s.iter().count(), s.len());
+        let (mut r, mut l, mut t) = (0usize, 0usize, 0usize);
+        for (kind, range) in s.batches() {
+            match kind {
+                PrimKind::Rect => {
+                    assert_eq!(range.start, r);
+                    r = range.end;
+                }
+                PrimKind::Line => {
+                    assert_eq!(range.start, l);
+                    l = range.end;
+                }
+                PrimKind::Text => {
+                    assert_eq!(range.start, t);
+                    t = range.end;
+                }
+            }
+        }
+        assert_eq!((r, l, t), s.census());
+    }
+
+    #[test]
+    fn reserve_does_not_change_contents() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.reserve(1000, 10, 10);
+        s.rect(0.0, 0.0, 1.0, 1.0, Color::BLACK);
+        assert_eq!(s.census(), (1, 0, 0));
+        assert!(s.rects.capacity() >= 1000);
     }
 
     #[test]

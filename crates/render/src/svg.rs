@@ -1,6 +1,6 @@
 //! SVG back-end: serializes a scene as a standalone SVG document.
 
-use crate::scene::{Anchor, Prim, Scene};
+use crate::scene::{Anchor, PrimRef, Scene};
 use std::fmt::Write as _;
 
 fn esc(s: &str) -> String {
@@ -25,7 +25,7 @@ fn fnum(v: f64) -> String {
 
 /// Serializes a scene as SVG text.
 pub fn to_svg(scene: &Scene) -> String {
-    let mut out = String::with_capacity(scene.prims.len() * 64 + 256);
+    let mut out = String::with_capacity(scene.len() * 64 + 256);
     let _ = writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
@@ -37,57 +37,37 @@ pub fn to_svg(scene: &Scene) -> String {
         r#"<rect width="100%" height="100%" fill="{}"/>"#,
         scene.background
     );
-    for p in &scene.prims {
+    for p in scene.iter() {
         match p {
-            Prim::Rect {
-                x,
-                y,
-                w,
-                h,
-                fill,
-                stroke,
-            } => {
-                let stroke_attr = match stroke {
+            PrimRef::Rect(r) => {
+                let stroke_attr = match r.stroke {
                     Some(s) => format!(r#" stroke="{s}" stroke-width="1""#),
                     None => String::new(),
                 };
                 let _ = writeln!(
                     out,
                     r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"{}/>"#,
-                    fnum(*x),
-                    fnum(*y),
-                    fnum(w.max(0.0)),
-                    fnum(h.max(0.0)),
-                    fill,
+                    fnum(r.x),
+                    fnum(r.y),
+                    fnum(r.w.max(0.0)),
+                    fnum(r.h.max(0.0)),
+                    r.fill,
                     stroke_attr
                 );
             }
-            Prim::Line {
-                x1,
-                y1,
-                x2,
-                y2,
-                color,
-            } => {
+            PrimRef::Line(l) => {
                 let _ = writeln!(
                     out,
                     r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="1"/>"#,
-                    fnum(*x1),
-                    fnum(*y1),
-                    fnum(*x2),
-                    fnum(*y2),
-                    color
+                    fnum(l.x1),
+                    fnum(l.y1),
+                    fnum(l.x2),
+                    fnum(l.y2),
+                    l.color
                 );
             }
-            Prim::Text {
-                x,
-                y,
-                size,
-                text,
-                color,
-                anchor,
-            } => {
-                let a = match anchor {
+            PrimRef::Text(t) => {
+                let a = match t.anchor {
                     Anchor::Start => "start",
                     Anchor::Middle => "middle",
                     Anchor::End => "end",
@@ -95,11 +75,11 @@ pub fn to_svg(scene: &Scene) -> String {
                 let _ = writeln!(
                     out,
                     r#"<text x="{}" y="{}" font-family="Helvetica,Arial,sans-serif" font-size="{}" fill="{}" text-anchor="{a}">{}</text>"#,
-                    fnum(*x),
-                    fnum(*y),
-                    fnum(*size),
-                    color,
-                    esc(text)
+                    fnum(t.x),
+                    fnum(t.y),
+                    fnum(t.size),
+                    t.color,
+                    esc(&t.text)
                 );
             }
         }

@@ -1,0 +1,101 @@
+//! Property tests of the bird's-eye rendering optimizations:
+//!
+//! * LOD `Auto` must be pixel-identical to `Off` whenever every task is
+//!   at least the threshold wide on screen (aggregation only kicks in
+//!   below it);
+//! * time-window culling through the interval index must be
+//!   pixel-identical to clipping a full task scan against the same
+//!   window.
+
+use jedule_core::{Allocation, Schedule, ScheduleBuilder, Task};
+use jedule_render::{layout, ppm, raster, LodMode, RenderOptions};
+use proptest::prelude::*;
+
+const HOSTS: u32 = 8;
+
+/// Rasterizes a layout and returns the raw pixel bytes.
+fn pixels(s: &Schedule, o: &RenderOptions) -> Vec<u8> {
+    ppm::encode(&raster::rasterize(&layout(s, o)))
+}
+
+/// Schedules whose tasks all span at least 0.5 s of a ≤ 120 s extent:
+/// at 800 px canvas width (716 px plot area) every task is ≥ ~3 px wide,
+/// comfortably above the default 1 px LOD threshold.
+fn arb_wide_schedule() -> BoxedStrategy<Schedule> {
+    proptest::collection::vec((0.0f64..100.0, 0.5f64..20.0, 0u32..6, 1u32..=3), 0..40)
+        .prop_map(|tasks| {
+            let mut b = ScheduleBuilder::new().cluster(0, "c", HOSTS);
+            for (i, (start, dur, first, nb)) in tasks.into_iter().enumerate() {
+                b = b.task(
+                    Task::new(
+                        format!("t{i}"),
+                        if i % 3 == 0 { "a" } else { "b" },
+                        start,
+                        start + dur,
+                    )
+                    .on(Allocation::contiguous(0, first, nb)),
+                );
+            }
+            b.build().expect("generated schedule is valid")
+        })
+        .boxed()
+}
+
+/// Schedules that may contain sub-pixel and zero-duration tasks.
+fn arb_any_schedule() -> BoxedStrategy<Schedule> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..20.0, 0u32..6, 1u32..=3), 0..60)
+        .prop_map(|tasks| {
+            let mut b = ScheduleBuilder::new().cluster(0, "c", HOSTS);
+            for (i, (start, dur, first, nb)) in tasks.into_iter().enumerate() {
+                b = b.task(
+                    Task::new(
+                        format!("t{i}"),
+                        if i % 3 == 0 { "a" } else { "b" },
+                        start,
+                        start + dur,
+                    )
+                    .on(Allocation::contiguous(0, first, nb)),
+                );
+            }
+            b.build().expect("generated schedule is valid")
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lod_auto_is_exact_above_threshold(s in arb_wide_schedule()) {
+        let auto = RenderOptions::default().with_lod(LodMode::Auto);
+        let off = RenderOptions::default().with_lod(LodMode::Off);
+        prop_assert_eq!(pixels(&s, &auto), pixels(&s, &off));
+    }
+
+    #[test]
+    fn culled_window_render_is_pixel_identical(
+        s in arb_any_schedule(),
+        t0 in -10.0f64..110.0,
+        span in 0.5f64..60.0,
+    ) {
+        let culled = RenderOptions::default().with_time_window(t0, t0 + span);
+        let mut scanned = culled.clone();
+        scanned.cull = false;
+        prop_assert_eq!(pixels(&s, &culled), pixels(&s, &scanned));
+    }
+
+    #[test]
+    fn culling_and_lod_compose(
+        s in arb_any_schedule(),
+        t0 in 0.0f64..80.0,
+        span in 1.0f64..40.0,
+    ) {
+        // Force-aggregated windowed renders also survive culling.
+        let culled = RenderOptions::default()
+            .with_lod(LodMode::Force)
+            .with_time_window(t0, t0 + span);
+        let mut scanned = culled.clone();
+        scanned.cull = false;
+        prop_assert_eq!(pixels(&s, &culled), pixels(&s, &scanned));
+    }
+}

@@ -14,6 +14,12 @@ pub struct ConvertOptions {
     /// Jobs of this user get the task type `"highlight"` ("we also
     /// highlighted in yellow the jobs of user 6447").
     pub highlight_user: Option<i64>,
+    /// Attach per-task `user`/`procs` attributes (for the interactive
+    /// task-info popup). Disable for bird's-eye ingest of very large
+    /// traces: a million tasks otherwise materialize two extra strings
+    /// and a vector each — hundreds of megabytes that the renderer never
+    /// reads, interleaved between the fields it does read.
+    pub task_attrs: bool,
 }
 
 impl Default for ConvertOptions {
@@ -23,6 +29,7 @@ impl Default for ConvertOptions {
             total_nodes: 1024,
             reserved: 20,
             highlight_user: Some(6447),
+            task_attrs: true,
         }
     }
 }
@@ -37,6 +44,7 @@ pub fn jobs_to_schedule(jobs: &[Job], opts: &ConvertOptions) -> Schedule {
 pub fn assigned_to_schedule(assigned: &[AssignedJob], opts: &ConvertOptions) -> Schedule {
     let mut b = ScheduleBuilder::new()
         .cluster(0, opts.cluster_name.clone(), opts.total_nodes)
+        .reserve_tasks(assigned.len())
         .meta("jobs", assigned.len().to_string())
         .meta("reserved_nodes", opts.reserved.to_string());
     if let Some(u) = opts.highlight_user {
@@ -50,10 +58,13 @@ pub fn assigned_to_schedule(assigned: &[AssignedJob], opts: &ConvertOptions) -> 
             Some(u) if a.job.user == u => "highlight",
             _ => "job",
         };
-        let task = Task::new(a.job.id.to_string(), kind, a.job.start(), a.job.end())
-            .on(Allocation::new(0, a.nodes.clone()))
-            .with_attr("user", a.job.user.to_string())
-            .with_attr("procs", a.job.procs.to_string());
+        let mut task = Task::new(a.job.id.to_string(), kind, a.job.start(), a.job.end())
+            .on(Allocation::new(0, a.nodes.clone()));
+        if opts.task_attrs {
+            task = task
+                .with_attr("user", a.job.user.to_string())
+                .with_attr("procs", a.job.procs.to_string());
+        }
         b = b.task(task);
     }
     b.build_unchecked()

@@ -14,6 +14,7 @@
 //! ```
 
 use std::fmt;
+use std::io::BufRead;
 
 /// One job record.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,67 +68,127 @@ impl fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// Parses one SWF line (header comment or job record) into the
+/// accumulators. Tokenizes into a fixed-size buffer — no per-line heap
+/// allocation on the job path.
+fn parse_swf_line(
+    raw: &str,
+    ln: usize,
+    header: &mut SwfHeader,
+    jobs: &mut Vec<Job>,
+) -> Result<(), SwfError> {
+    let line = raw.trim();
+    if line.is_empty() {
+        return Ok(());
+    }
+    if let Some(comment) = line.strip_prefix(';') {
+        if let Some((k, v)) = comment.split_once(':') {
+            let key = k.trim().to_string();
+            let value = v.trim().to_string();
+            match key.as_str() {
+                "Computer" => header.computer = Some(value.clone()),
+                "MaxNodes" => header.max_nodes = value.parse().ok(),
+                "MaxProcs" => header.max_procs = value.parse().ok(),
+                _ => {}
+            }
+            header.raw.push((key, value));
+        }
+        return Ok(());
+    }
+
+    // The PWA definition has 18 fields; tolerate (and ignore) extras.
+    let mut f: [&str; 18] = [""; 18];
+    let mut n = 0usize;
+    for tok in line.split_whitespace() {
+        if n == f.len() {
+            break;
+        }
+        f[n] = tok;
+        n += 1;
+    }
+    if n < 5 {
+        return Err(SwfError {
+            line: ln,
+            msg: format!("expected ≥5 fields, found {n}"),
+        });
+    }
+    let get = |i: usize| -> f64 {
+        if i < n {
+            f[i].parse().unwrap_or(-1.0)
+        } else {
+            -1.0
+        }
+    };
+    let id = get(0) as i64;
+    let submit = get(1);
+    let wait = get(2);
+    let run = get(3);
+    let mut procs = get(4);
+    if procs <= 0.0 {
+        procs = get(7); // fall back to requested processors
+    }
+    if procs <= 0.0 || run < 0.0 || submit < 0.0 {
+        return Ok(()); // unusable record, skipped like other PWA consumers
+    }
+    jobs.push(Job {
+        id,
+        submit,
+        wait: wait.max(0.0),
+        run,
+        procs: procs as u32,
+        user: get(11) as i64,
+        group: get(12) as i64,
+        queue: get(14) as i64,
+        status: get(10) as i64,
+    });
+    Ok(())
+}
+
 /// Parses SWF text into header metadata and jobs. Jobs with unusable
 /// essential fields (no processors, negative run time with no wait) are
 /// skipped rather than failing the whole trace, mirroring how PWA
 /// consumers treat dirty records.
 pub fn parse_swf(src: &str) -> Result<(SwfHeader, Vec<Job>), SwfError> {
     let mut header = SwfHeader::default();
-    let mut jobs = Vec::new();
-
+    // A job line is ~60 bytes; pre-size to avoid regrowth on big traces.
+    let mut jobs = Vec::with_capacity(src.len() / 60);
     for (ln, raw) in src.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(comment) = line.strip_prefix(';') {
-            if let Some((k, v)) = comment.split_once(':') {
-                let key = k.trim().to_string();
-                let value = v.trim().to_string();
-                match key.as_str() {
-                    "Computer" => header.computer = Some(value.clone()),
-                    "MaxNodes" => header.max_nodes = value.parse().ok(),
-                    "MaxProcs" => header.max_procs = value.parse().ok(),
-                    _ => {}
-                }
-                header.raw.push((key, value));
-            }
-            continue;
-        }
-
-        let f: Vec<&str> = line.split_whitespace().collect();
-        if f.len() < 5 {
-            return Err(SwfError {
-                line: ln + 1,
-                msg: format!("expected ≥5 fields, found {}", f.len()),
-            });
-        }
-        let get = |i: usize| -> f64 { f.get(i).and_then(|s| s.parse().ok()).unwrap_or(-1.0) };
-        let id = get(0) as i64;
-        let submit = get(1);
-        let wait = get(2);
-        let run = get(3);
-        let mut procs = get(4);
-        if procs <= 0.0 {
-            procs = get(7); // fall back to requested processors
-        }
-        if procs <= 0.0 || run < 0.0 || submit < 0.0 {
-            continue; // unusable record
-        }
-        jobs.push(Job {
-            id,
-            submit,
-            wait: wait.max(0.0),
-            run,
-            procs: procs as u32,
-            user: get(11) as i64,
-            group: get(12) as i64,
-            queue: get(14) as i64,
-            status: get(10) as i64,
-        });
+        parse_swf_line(raw, ln + 1, &mut header, &mut jobs)?;
     }
-
     Ok((header, jobs))
+}
+
+/// Streaming variant of [`parse_swf`]: reads line by line from any
+/// buffered source, reusing one line buffer, so a million-job trace never
+/// needs the whole file in memory at once.
+pub fn parse_swf_reader<R: BufRead>(mut src: R) -> Result<(SwfHeader, Vec<Job>), SwfError> {
+    let mut header = SwfHeader::default();
+    let mut jobs = Vec::new();
+    let mut buf = String::new();
+    let mut ln = 0usize;
+    loop {
+        buf.clear();
+        ln += 1;
+        let n = src.read_line(&mut buf).map_err(|e| SwfError {
+            line: ln,
+            msg: format!("read error: {e}"),
+        })?;
+        if n == 0 {
+            return Ok((header, jobs));
+        }
+        parse_swf_line(&buf, ln, &mut header, &mut jobs)?;
+    }
+}
+
+/// Opens and streams an SWF trace from disk (see [`parse_swf_reader`]).
+pub fn parse_swf_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(SwfHeader, Vec<Job>), SwfError> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|e| SwfError {
+        line: 0,
+        msg: format!("cannot open {}: {e}", path.as_ref().display()),
+    })?;
+    parse_swf_reader(std::io::BufReader::new(file))
 }
 
 /// Keeps the jobs that *finished* within `[day_start, day_start + 86400)`
@@ -252,5 +313,36 @@ mod tests {
         let (h, jobs) = parse_swf("").unwrap();
         assert!(jobs.is_empty());
         assert!(h.computer.is_none());
+    }
+
+    #[test]
+    fn reader_matches_string_parser() {
+        let (h_str, j_str) = parse_swf(SAMPLE).unwrap();
+        let (h_rd, j_rd) = parse_swf_reader(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(h_rd, h_str);
+        assert_eq!(j_rd, j_str);
+    }
+
+    #[test]
+    fn reader_reports_line_numbers() {
+        let err = parse_swf_reader("; ok: header\n1 2 3\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn reader_handles_crlf_and_no_trailing_newline() {
+        let src = "; Computer: X\r\n1 0 10 3600 64\r\n2 100 0 1800 128";
+        let (h, jobs) = parse_swf_reader(src.as_bytes()).unwrap();
+        assert_eq!(h.computer.as_deref(), Some("X"));
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].procs, 128);
+    }
+
+    #[test]
+    fn extra_fields_tolerated() {
+        let src = "1 0 10 3600 64 -1 -1 64 7200 -1 1 6447 5 -1 2 -1 -1 -1 99 99\n";
+        let (_, jobs) = parse_swf(src).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].procs, 64);
     }
 }
