@@ -371,7 +371,7 @@ fn fig13(swf: Option<&str>) {
             let src = std::fs::read_to_string(path).expect("read SWF trace");
             let (head, jobs) = jedule_workloads::parse_swf(&src).expect("parse SWF");
             let nodes = head.max_nodes.unwrap_or(1024);
-            let day = jedule_workloads::swf::filter_finished_on_day(&jobs, 0.0);
+            let day = jedule_workloads::swf::filter_finished_on_day(jobs, 0.0);
             println!("   using real trace {path}: {} jobs on day 0", day.len());
             let opts = jedule_workloads::ConvertOptions {
                 total_nodes: nodes,

@@ -31,10 +31,17 @@ impl<'a> Args<'a> {
     }
 }
 
-/// Loads a schedule with format auto-detection.
+/// Loads a schedule with format auto-detection (sequential ingest).
 pub fn load_schedule(path: &str) -> Result<jedule_core::Schedule, String> {
+    load_schedule_threads(path, 1)
+}
+
+/// Loads a schedule with format auto-detection and the workspace
+/// `threads` knob (`0` auto, `1` sequential, `n` workers) for the
+/// line-oriented formats' chunked parallel ingest.
+pub fn load_schedule_threads(path: &str, threads: usize) -> Result<jedule_core::Schedule, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    jedule_xmlio::parse_any(&src, Some(std::path::Path::new(path)))
+    jedule_xmlio::parse_any_parallel(&src, Some(std::path::Path::new(path)), threads)
         .map_err(|e| format!("{path}: {e}"))
 }
 

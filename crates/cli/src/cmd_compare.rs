@@ -6,7 +6,8 @@
 use crate::args::{load_schedule, Args};
 use jedule_core::stats::{idle_holes, schedule_stats};
 use jedule_core::transform::{merge, normalize};
-use jedule_render::{render, OutputFormat, RenderOptions};
+use jedule_core::PreparedSchedule;
+use jedule_render::{render_prepared, OutputFormat, RenderOptions};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let mut args = Args::new(argv);
@@ -102,12 +103,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         );
     }
 
-    // Side-by-side chart (stacked cluster panels in one document).
-    let combined = merge(&a, &b, &na, &nb);
+    // Side-by-side chart (stacked cluster panels in one document). The
+    // merged schedule is wrapped in a PreparedSchedule so the render
+    // shares the same warm path as the interactive mode.
+    let combined = PreparedSchedule::new(merge(&a, &b, &na, &nb));
     let opts = RenderOptions::default()
         .with_format(format)
         .with_title(format!("{na} vs {nb}"));
-    let bytes = render(&combined, &opts);
+    let bytes = render_prepared(&combined, &opts);
     let out_path = output.unwrap_or_else(|| format!("compare.{}", format.extension()));
     if format == OutputFormat::Ascii && out_path == "compare.txt" {
         print!("{}", String::from_utf8_lossy(&bytes));

@@ -1,8 +1,8 @@
 //! `jedule render` — the batch command-line mode (paper, §II-D2).
 
-use crate::args::{load_schedule, Args};
+use crate::args::{load_schedule_threads, Args};
 use jedule_core::AlignMode;
-use jedule_render::{render_timed, LodMode, OutputFormat, RenderOptions};
+use jedule_render::{perf::fmt_duration, render_timed, LodMode, OutputFormat, RenderOptions};
 use std::path::PathBuf;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -61,11 +61,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     opts.validate()?;
 
     let input = input.ok_or("render needs an input schedule file")?;
-    let mut schedule = load_schedule(&input)?;
+    // The `-j` knob drives ingest (chunked parallel parse for the
+    // line-oriented formats) as well as the raster/encode stages.
+    let ingest_clock = std::time::Instant::now();
+    let mut schedule = load_schedule_threads(&input, opts.threads)?;
     if !only_types.is_empty() {
         schedule =
             jedule_core::transform::filter_types(&schedule, |k| only_types.iter().any(|t| t == k));
     }
+    let ingest_t = ingest_clock.elapsed();
 
     if let Some(p) = cmap_path {
         let src = std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
@@ -77,6 +81,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     let (bytes, stage_times) = render_timed(&schedule, &opts);
     if timings {
+        let tasks = schedule.tasks.len();
+        let rate = tasks as f64 / ingest_t.as_secs_f64().max(1e-9);
+        eprintln!(
+            "ingest  {}  ({tasks} tasks, {rate:.0} tasks/s)",
+            fmt_duration(ingest_t)
+        );
         eprintln!("{}", stage_times.report());
     }
     match output {

@@ -19,13 +19,17 @@
 
 use crate::args::{load_schedule, Args};
 use jedule_core::view::task_info;
-use jedule_core::{AlignMode, HitTarget, Schedule, ViewState};
-use jedule_render::{render, OutputFormat, RenderOptions};
+use jedule_core::{AlignMode, HitTarget, PreparedSchedule, ViewState};
+use jedule_render::{render_prepared, OutputFormat, RenderOptions};
 use std::io::BufRead;
 
 pub struct Session {
     path: String,
-    schedule: Schedule,
+    /// The schedule plus its cached index/extent/kind bundle: every
+    /// zoom/pan redraw reuses the prepared data instead of rebuilding it
+    /// per frame (the whole point of the interactive mode staying fast
+    /// on million-task traces).
+    schedule: PreparedSchedule,
     view: ViewState,
     gray: bool,
     cmap: jedule_core::ColorMap,
@@ -47,7 +51,7 @@ impl Session {
     }
 
     fn redraw(&self, out: &mut impl std::io::Write) {
-        let bytes = render(&self.schedule, &self.options());
+        let bytes = render_prepared(&self.schedule, &self.options());
         let _ = out.write_all(&bytes);
         let vp = &self.view.viewport;
         let _ = writeln!(
@@ -147,7 +151,7 @@ pub fn execute(session: &mut Session, line: &str, out: &mut impl std::io::Write)
             // new schedule.
             match load_schedule(&session.path) {
                 Ok(s) => {
-                    session.schedule = s;
+                    session.schedule = PreparedSchedule::new(s);
                     session.view = ViewState::fit(&session.schedule);
                     session.redraw(out);
                 }
@@ -165,7 +169,7 @@ pub fn execute(session: &mut Session, line: &str, out: &mut impl std::io::Write)
                     .unwrap_or(OutputFormat::Png);
                 let mut o = session.options();
                 o.format = format;
-                match std::fs::write(file, render(&session.schedule, &o)) {
+                match std::fs::write(file, render_prepared(&session.schedule, &o)) {
                     Ok(()) => {
                         let _ = writeln!(out, "exported {file}");
                     }
@@ -213,7 +217,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .next()
         .ok_or("view needs an input schedule file")?
         .to_string();
-    let schedule = load_schedule(&input)?;
+    let schedule = PreparedSchedule::new(load_schedule(&input)?);
+    // Build the index/extent caches up front so even the very first
+    // zoom or pan is served warm.
+    schedule.warm();
     let view = ViewState::fit(&schedule);
     let mut session = Session {
         path: input,
@@ -247,6 +254,7 @@ mod tests {
             .task(Task::new("a", "computation", 0.0, 10.0).on(Allocation::contiguous(0, 0, 4)))
             .build()
             .unwrap();
+        let schedule = PreparedSchedule::new(schedule);
         let view = ViewState::fit(&schedule);
         Session {
             path: "/nonexistent.jed".into(),

@@ -35,6 +35,7 @@ pub mod hostset;
 pub mod index;
 pub mod model;
 pub mod parallel;
+pub mod prepared;
 pub mod stats;
 pub mod transform;
 pub mod validate;
@@ -50,7 +51,8 @@ pub use error::CoreError;
 pub use hostset::{HostRange, HostSet};
 pub use index::{ClusterIndex, IndexEntry, IntervalSeq, ScheduleIndex};
 pub use model::{Allocation, Cluster, MetaInfo, Schedule, Task};
-pub use parallel::effective_threads;
+pub use parallel::{effective_threads, line_chunks, LineChunk};
+pub use prepared::PreparedSchedule;
 pub use stats::{ClusterStats, Hole, ScheduleStats};
 pub use transform::{filter_types, filter_window, merge, normalize, scale_time, shift_time};
 pub use validate::{validate, ValidationIssue};

@@ -1,5 +1,5 @@
 //! Shared thread-count policy for the parallel hot paths (composite
-//! sweep, rasterization, PNG encoding).
+//! sweep, rasterization, PNG encoding, chunked ingest).
 //!
 //! Every parallel stage in the workspace takes a `threads` knob with the
 //! same convention: `0` means "use all available parallelism", `1` forces
@@ -34,6 +34,56 @@ pub fn chunk_bounds(n: usize, workers: usize) -> Vec<(usize, usize)> {
         let len = base + usize::from(w < extra);
         out.push((start, start + len));
         start += len;
+    }
+    out
+}
+
+/// One chunk of a line-oriented document: the text slice plus the
+/// 1-based global line number of its first line, so chunk-local parsers
+/// can report errors with the same positions a sequential scan would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineChunk<'a> {
+    /// Global line number (1-based) of the chunk's first line.
+    pub first_line: usize,
+    /// The chunk text. Non-final chunks always end just after a `'\n'`.
+    pub text: &'a str,
+}
+
+/// Splits `src` at line boundaries into at most `workers` contiguous,
+/// non-empty chunks, in order, covering the whole string. Boundaries
+/// fall only just after a `'\n'` byte, so every line — including its
+/// `\r\n` ending — lives in exactly one chunk, and the concatenation of
+/// `chunk.text.lines()` over all chunks equals `src.lines()` exactly
+/// (a document without a trailing newline keeps its final partial line
+/// in the last chunk). Each chunk carries the global line number of its
+/// first line so chunk-local parsing can report exact positions.
+pub fn line_chunks(src: &str, workers: usize) -> Vec<LineChunk<'_>> {
+    let n = src.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1);
+    let target = n.div_ceil(workers);
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut first_line = 1usize;
+    while start < n {
+        let mut end = (start + target).min(n);
+        if end < n {
+            // Extend to the next line boundary (just past the '\n').
+            match bytes[end..].iter().position(|&b| b == b'\n') {
+                Some(off) => end += off + 1,
+                None => end = n,
+            }
+        }
+        // '\n' is ASCII, so start/end are always char boundaries.
+        out.push(LineChunk {
+            first_line,
+            text: &src[start..end],
+        });
+        first_line += bytes[start..end].iter().filter(|&&b| b == b'\n').count();
+        start = end;
     }
     out
 }
@@ -76,5 +126,47 @@ mod tests {
         let bounds = chunk_bounds(10, 3);
         let sizes: Vec<usize> = bounds.iter().map(|&(s, e)| e - s).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn line_chunks_partition_lines_exactly() {
+        let docs = [
+            "",
+            "one line, no newline",
+            "a\nb\nc\n",
+            "a\r\nb\r\nno trailing",
+            "\n\n\n",
+            "x\ny",
+            "héllo ☃\nwörld\n𝄞 music",
+        ];
+        for src in docs {
+            for workers in [1usize, 2, 3, 4, 7, 100] {
+                let chunks = line_chunks(src, workers);
+                if src.is_empty() {
+                    assert!(chunks.is_empty());
+                    continue;
+                }
+                assert!(chunks.len() <= workers);
+                // Chunks concatenate back to the source.
+                let joined: String = chunks.iter().map(|c| c.text).collect();
+                assert_eq!(joined, src, "workers {workers}");
+                // Lines partition exactly, and first_line is the running
+                // global line number.
+                let mut all_lines = Vec::new();
+                let mut expect_first = 1usize;
+                for c in &chunks {
+                    assert!(!c.text.is_empty());
+                    assert_eq!(c.first_line, expect_first, "src {src:?} workers {workers}");
+                    let lines: Vec<&str> = c.text.lines().collect();
+                    expect_first += lines.len();
+                    all_lines.extend(lines);
+                }
+                assert_eq!(all_lines, src.lines().collect::<Vec<_>>());
+                // Non-final chunks end on a line boundary.
+                for c in &chunks[..chunks.len() - 1] {
+                    assert!(c.text.ends_with('\n'));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,324 @@
+//! A schedule prepared for repeated serving.
+//!
+//! Interactive trace browsing (zoom, pan, repeated `--window` renders)
+//! asks for many views of one schedule, but every cold render pays the
+//! same per-schedule fixed work again: a full extent scan, an interval
+//! index build, a legend-type scan and per-task type classification.
+//! At a million tasks that fixed work dominates a windowed render — the
+//! tasks actually drawn are a tiny fraction of the trace.
+//!
+//! [`PreparedSchedule`] bundles a schedule with lazily built, cached
+//! derived data so the fixed work is paid **once** and every subsequent
+//! view is bounded by what it draws:
+//!
+//! * the per-cluster/per-host [`ScheduleIndex`] (window culling,
+//!   composite sweep, hit-testing),
+//! * global and per-cluster time extents for both [`AlignMode`]s,
+//! * the distinct task kinds in first-appearance order plus a per-task
+//!   kind slot (legend + classify/colormap memo), and
+//! * the default composite-task sweep.
+//!
+//! All caches are [`OnceLock`]s: a `PreparedSchedule` is `Send + Sync`,
+//! costs nothing beyond the schedule itself until a consumer asks for a
+//! piece, and hands out the same borrow on every later ask. The wrapped
+//! schedule is immutable (no `&mut` accessor), so the caches can never
+//! go stale.
+
+use crate::align::{AlignMode, TimeExtent};
+use crate::composite::{composite_tasks_indexed, CompositeOptions};
+use crate::index::ScheduleIndex;
+use crate::model::{Schedule, Task};
+use std::sync::OnceLock;
+
+/// Cached extents: the global one plus each cluster's local one, stored
+/// in cluster declaration order.
+#[derive(Debug)]
+struct Extents {
+    global: Option<TimeExtent>,
+    per_cluster: Vec<Option<TimeExtent>>,
+}
+
+/// Cached task-kind classification: the distinct kinds in order of first
+/// appearance, and for every task the slot of its kind in that list.
+#[derive(Debug)]
+struct Kinds {
+    names: Vec<String>,
+    of_task: Vec<u32>,
+}
+
+/// A [`Schedule`] plus memoized derived data for serving many renders.
+///
+/// ```
+/// use jedule_core::{PreparedSchedule, ScheduleBuilder};
+/// let s = ScheduleBuilder::new().cluster(0, "c", 4).build().unwrap();
+/// let prep = PreparedSchedule::new(s);
+/// let _idx = prep.index(); // built now, reused by every later call
+/// assert!(prep.kinds().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct PreparedSchedule {
+    schedule: Schedule,
+    index: OnceLock<ScheduleIndex>,
+    extents: OnceLock<Extents>,
+    kinds: OnceLock<Kinds>,
+    composites: OnceLock<Vec<Task>>,
+}
+
+impl PreparedSchedule {
+    /// Wraps a schedule. No derived data is built yet — each cache fills
+    /// on first use.
+    pub fn new(schedule: Schedule) -> Self {
+        PreparedSchedule {
+            schedule,
+            index: OnceLock::new(),
+            extents: OnceLock::new(),
+            kinds: OnceLock::new(),
+            composites: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Unwraps the schedule, dropping the caches.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+
+    /// The interval index, built with per-host rows on first use (a
+    /// superset of the cluster-only index, so one cache serves window
+    /// culling, the composite sweep, statistics and hit-testing alike).
+    pub fn index(&self) -> &ScheduleIndex {
+        self.index
+            .get_or_init(|| ScheduleIndex::build_with_hosts(&self.schedule))
+    }
+
+    /// Eagerly builds every cache a windowed render touches (index,
+    /// extents, kinds). Useful to move the one-time cost out of the
+    /// first frame — e.g. before entering an interactive loop.
+    pub fn warm(&self) -> &Self {
+        self.index();
+        self.extents();
+        self.kinds();
+        self
+    }
+
+    fn extents(&self) -> &Extents {
+        self.extents.get_or_init(|| {
+            // One pass over tasks × allocations computes what
+            // `align::global_extent` + per-cluster `align::cluster_extent`
+            // would, with identical min/max accumulation semantics.
+            let slot = |id: u32| self.schedule.clusters.iter().position(|c| c.id == id);
+            let mut global: Option<TimeExtent> = None;
+            let mut per_cluster: Vec<Option<TimeExtent>> = vec![None; self.schedule.clusters.len()];
+            for t in &self.schedule.tasks {
+                let g = global.get_or_insert(TimeExtent::new(t.start, t.end));
+                g.start = g.start.min(t.start);
+                g.end = g.end.max(t.end);
+                for a in &t.allocations {
+                    let Some(ci) = slot(a.cluster) else { continue };
+                    let e = per_cluster[ci].get_or_insert(TimeExtent::new(t.start, t.end));
+                    e.start = e.start.min(t.start);
+                    e.end = e.end.max(t.end);
+                }
+            }
+            Extents {
+                global,
+                per_cluster,
+            }
+        })
+    }
+
+    /// The global `[min start, max end]` extent (`None` when empty),
+    /// equal to [`crate::align::global_extent`].
+    pub fn global_extent(&self) -> Option<TimeExtent> {
+        self.extents().global
+    }
+
+    /// The extent to draw `cluster` with under `mode`, equal to
+    /// [`crate::align::extent_for`] — cached instead of rescanned.
+    pub fn extent_for(&self, cluster: u32, mode: AlignMode) -> Option<TimeExtent> {
+        let ex = self.extents();
+        match mode {
+            AlignMode::Aligned => ex.global,
+            AlignMode::Scaled => {
+                let pos = self
+                    .schedule
+                    .clusters
+                    .iter()
+                    .position(|c| c.id == cluster)?;
+                ex.per_cluster[pos]
+            }
+        }
+    }
+
+    fn kinds_cache(&self) -> &Kinds {
+        self.kinds.get_or_init(|| {
+            let mut names: Vec<String> = Vec::new();
+            let mut of_task = Vec::with_capacity(self.schedule.tasks.len());
+            // Consecutive tasks of real traces overwhelmingly share one
+            // kind; remembering the last slot makes the common case a
+            // single string compare.
+            let mut last: Option<(u32, &str)> = None;
+            for t in &self.schedule.tasks {
+                let slot = match last {
+                    Some((slot, kind)) if kind == t.kind => slot,
+                    _ => {
+                        let slot = match names.iter().position(|k| *k == t.kind) {
+                            Some(i) => i as u32,
+                            None => {
+                                names.push(t.kind.clone());
+                                (names.len() - 1) as u32
+                            }
+                        };
+                        slot
+                    }
+                };
+                last = Some((slot, t.kind.as_str()));
+                of_task.push(slot);
+            }
+            Kinds { names, of_task }
+        })
+    }
+
+    /// The distinct task kinds in order of first appearance — exactly
+    /// the list a legend scan over all tasks collects.
+    pub fn kinds(&self) -> &[String] {
+        &self.kinds_cache().names
+    }
+
+    /// For each task (by index), the slot of its kind in [`kinds`]
+    /// (`self.kinds()[kind_ids()[ti] as usize] == tasks[ti].kind`).
+    /// Classifiers can resolve each kind against a color map once and
+    /// then look tasks up by slot instead of comparing strings.
+    pub fn kind_ids(&self) -> &[u32] {
+        &self.kinds_cache().of_task
+    }
+
+    /// Composite tasks of overlap regions under default
+    /// [`CompositeOptions`] — what the layout engine draws. Computed on
+    /// first use (building the index if needed) and cached.
+    pub fn composites(&self) -> &[Task] {
+        self.composites
+            .get_or_init(|| {
+                composite_tasks_indexed(&self.schedule, self.index(), &CompositeOptions::default())
+            })
+            .as_slice()
+    }
+}
+
+impl From<Schedule> for PreparedSchedule {
+    fn from(schedule: Schedule) -> Self {
+        PreparedSchedule::new(schedule)
+    }
+}
+
+impl std::ops::Deref for PreparedSchedule {
+    type Target = Schedule;
+
+    fn deref(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::{extent_for, global_extent};
+    use crate::builder::ScheduleBuilder;
+    use crate::composite::composite_tasks;
+    use crate::model::{Allocation, Task};
+
+    fn sched() -> Schedule {
+        ScheduleBuilder::new()
+            .cluster(0, "c0", 8)
+            .cluster(3, "c1", 4)
+            .task(Task::new("a", "computation", 1.0, 4.0).on(Allocation::contiguous(0, 0, 4)))
+            .task(Task::new("b", "transfer", 3.0, 6.0).on(Allocation::contiguous(0, 2, 2)))
+            .task(Task::new("c", "computation", 0.5, 5.0).on(Allocation::contiguous(3, 0, 4)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn extents_match_align_module() {
+        let s = sched();
+        let p = PreparedSchedule::new(s.clone());
+        assert_eq!(p.global_extent(), global_extent(&s));
+        for cid in [0u32, 3, 99] {
+            for mode in [AlignMode::Scaled, AlignMode::Aligned] {
+                assert_eq!(
+                    p.extent_for(cid, mode),
+                    extent_for(&s, cid, mode),
+                    "cluster {cid} mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_extents() {
+        let s = ScheduleBuilder::new().cluster(0, "c", 2).build().unwrap();
+        let p = PreparedSchedule::new(s.clone());
+        assert_eq!(p.global_extent(), None);
+        assert_eq!(p.extent_for(0, AlignMode::Scaled), None);
+        // Aligned mode hands task-less clusters the global extent — which
+        // is None here, matching align::extent_for.
+        assert_eq!(
+            p.extent_for(0, AlignMode::Aligned),
+            extent_for(&s, 0, AlignMode::Aligned)
+        );
+    }
+
+    #[test]
+    fn kinds_in_first_appearance_order_with_slots() {
+        let s = sched();
+        let p = PreparedSchedule::new(s.clone());
+        assert_eq!(
+            p.kinds(),
+            ["computation".to_string(), "transfer".to_string()]
+        );
+        assert_eq!(p.kind_ids(), [0, 1, 0]);
+        for (ti, t) in s.tasks.iter().enumerate() {
+            assert_eq!(p.kinds()[p.kind_ids()[ti] as usize], t.kind);
+        }
+    }
+
+    #[test]
+    fn index_is_built_once_and_has_hosts() {
+        let p = PreparedSchedule::new(sched());
+        let a = p.index() as *const _;
+        let b = p.index() as *const _;
+        assert_eq!(a, b);
+        assert!(p.index().has_hosts());
+        assert_eq!(p.index().cluster(0).unwrap().query(0.0, 10.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn composites_match_uncached_sweep() {
+        let s = sched();
+        let p = PreparedSchedule::new(s.clone());
+        let cold = composite_tasks(&s, &CompositeOptions::default());
+        assert_eq!(p.composites(), cold.as_slice());
+        // Cached: same borrow twice.
+        assert_eq!(p.composites().as_ptr(), p.composites().as_ptr());
+    }
+
+    #[test]
+    fn deref_and_unwrap() {
+        let s = sched();
+        let p = PreparedSchedule::from(s.clone());
+        assert_eq!(p.tasks.len(), 3); // Deref
+        assert_eq!(p.schedule(), &s);
+        p.warm();
+        assert_eq!(p.into_schedule(), s);
+    }
+
+    #[test]
+    fn prepared_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PreparedSchedule>();
+    }
+}

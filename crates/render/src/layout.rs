@@ -36,7 +36,8 @@ use crate::ticks;
 use jedule_core::align::extent_for;
 use jedule_core::composite::{composite_tasks_indexed, ATTR_TYPES, COMPOSITE_KIND};
 use jedule_core::{
-    Cluster, Color, ColorPair, CompositeOptions, Schedule, ScheduleIndex, Task, TimeExtent,
+    Cluster, Color, ColorPair, CompositeOptions, PreparedSchedule, Schedule, ScheduleIndex, Task,
+    TimeExtent,
 };
 
 const LEFT_MARGIN: f64 = 72.0;
@@ -63,6 +64,15 @@ struct Panel {
     extent: Option<TimeExtent>,
 }
 
+/// Per-render task-classification table derived from a
+/// [`PreparedSchedule`]: the cached kind list resolved against this
+/// render's color map once, plus the per-task kind slots. Turns per-task
+/// colormap resolution into an array lookup.
+struct KindTable<'a> {
+    pairs: Vec<ColorPair>,
+    ids: &'a [u32],
+}
+
 /// Lays out a schedule into a scene.
 ///
 /// An invalid `time_window` (empty or reversed) is ignored here and the
@@ -70,6 +80,24 @@ struct Panel {
 /// [`RenderOptions::validate`] first — the CLI does, and rejects such
 /// windows by name.
 pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
+    layout_impl(schedule, opts, None)
+}
+
+/// [`layout`] served from a [`PreparedSchedule`]: the extent scan, the
+/// interval index, the legend kind list and the composite sweep come from
+/// the prepared bundle's caches instead of being recomputed, so repeated
+/// renders (zoom/pan, `--window` series, interactive redraws) only pay
+/// for what they draw. Pixel-identical to `layout(prep.schedule(), opts)`
+/// — property-tested.
+pub fn layout_prepared(prep: &PreparedSchedule, opts: &RenderOptions) -> Scene {
+    layout_impl(prep.schedule(), opts, Some(prep))
+}
+
+fn layout_impl(
+    schedule: &Schedule,
+    opts: &RenderOptions,
+    prep: Option<&PreparedSchedule>,
+) -> Scene {
     let visible: Vec<&Cluster> = schedule
         .clusters
         .iter()
@@ -134,7 +162,10 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
     let mut panels: Vec<Panel> = Vec::new();
     for c in &visible {
         y += PANEL_GAP;
-        let mut extent = extent_for(schedule, c.id, opts.align);
+        let mut extent = match prep {
+            Some(p) => p.extent_for(c.id, opts.align),
+            None => extent_for(schedule, c.id, opts.align),
+        };
         if let Some((t0, t1)) = opts.time_window {
             if t1 > t0 {
                 extent = Some(TimeExtent::new(t0, t1));
@@ -150,47 +181,75 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
     }
 
     // One interval index serves both the composite sweep and window
-    // culling; it is skipped entirely when neither needs it.
+    // culling; it is skipped entirely when neither needs it. A prepared
+    // schedule lends its cached index (always with host rows — a strict
+    // superset of the cluster-only index, so per-cluster queries agree).
     let cull = opts.cull && opts.time_window.is_some_and(|(t0, t1)| t1 > t0);
-    let index = if cull || opts.show_composites {
-        Some(if opts.show_composites {
+    let need_index = cull || opts.show_composites;
+    let index_owned: Option<ScheduleIndex> = match prep {
+        None if need_index => Some(if opts.show_composites {
             ScheduleIndex::build_with_hosts(schedule)
         } else {
             ScheduleIndex::build(schedule)
-        })
+        }),
+        _ => None,
+    };
+    let index: Option<&ScheduleIndex> = if need_index {
+        match prep {
+            Some(p) => Some(p.index()),
+            None => index_owned.as_ref(),
+        }
     } else {
         None
     };
-    let composites = match &index {
-        Some(idx) if opts.show_composites => {
-            composite_tasks_indexed(schedule, idx, &CompositeOptions::default())
+    let composites_owned: Vec<Task>;
+    let composites: &[Task] = match (prep, index) {
+        _ if !opts.show_composites => &[],
+        (Some(p), _) => p.composites(),
+        (None, Some(idx)) => {
+            composites_owned = composite_tasks_indexed(schedule, idx, &CompositeOptions::default());
+            &composites_owned
         }
-        _ => Vec::new(),
+        (None, None) => &[], // unreachable: show_composites forces an index
     };
 
     // The legend lists every task type of the schedule (plus the
     // composite swatch), independent of the time window: zooming must not
     // change what the colors mean. Types only appear once at least one
-    // panel actually plots tasks. Without a window the first drawn panel
-    // classifies every task anyway, so it collects the types as a side
-    // effect and the standalone scan (a full extra pass over the task
-    // array) is skipped; a windowed panel only visits the culled
-    // candidates, which is exactly the set the legend must not depend on.
+    // panel actually plots tasks. A prepared schedule serves its cached
+    // first-appearance kind list outright. Otherwise, without a window the
+    // first drawn panel classifies every task anyway, so it collects the
+    // types as a side effect and the standalone scan (a full extra pass
+    // over the task array) is skipped; a windowed panel only visits the
+    // culled candidates, which is exactly the set the legend must not
+    // depend on.
+    let any_extent = panels.iter().any(|p| p.extent.is_some());
     let mut types_seen: Vec<String> = Vec::new();
-    if cull && panels.iter().any(|p| p.extent.is_some()) {
-        for task in &schedule.tasks {
-            if !types_seen.contains(&task.kind) {
-                types_seen.push(task.kind.clone());
+    match prep {
+        Some(p) if any_extent => types_seen = p.kinds().to_vec(),
+        None if cull && any_extent => {
+            for task in &schedule.tasks {
+                if !types_seen.contains(&task.kind) {
+                    types_seen.push(task.kind.clone());
+                }
             }
         }
+        _ => {}
     }
-    let collect_idx = if cull {
+    let collect_idx = if cull || prep.is_some() {
         None
     } else {
         panels.iter().position(|p| p.extent.is_some())
     };
 
-    let panel_index = if cull { index.as_ref() } else { None };
+    // Resolve each cached kind against this render's color map once;
+    // tasks then classify by slot lookup instead of string compares.
+    let kind_table = prep.map(|p| KindTable {
+        pairs: p.kinds().iter().map(|k| opts.colormap.resolve(k)).collect(),
+        ids: p.kind_ids(),
+    });
+
+    let panel_index = if cull { index } else { None };
     for (pi, panel) in panels.iter().enumerate() {
         draw_panel(
             &mut scene,
@@ -199,8 +258,9 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
             opts,
             plot_x,
             plot_w,
-            &composites,
+            composites,
             panel_index,
+            kind_table.as_ref(),
             if collect_idx == Some(pi) {
                 Some(&mut types_seen)
             } else {
@@ -214,6 +274,10 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
 
     // Utilization-profile strip.
     if opts.show_profile {
+        let global_ext = match prep {
+            Some(p) => p.global_extent(),
+            None => jedule_core::align::global_extent(schedule),
+        };
         draw_profile(
             &mut scene,
             schedule,
@@ -221,6 +285,7 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
             plot_x,
             plot_w,
             y + PANEL_GAP / 2.0,
+            global_ext,
         );
     }
 
@@ -237,6 +302,9 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
 }
 
 /// Draws the busy-hosts-over-time step curve as a filled strip.
+/// `global_ext` is the schedule's global extent, supplied by the caller
+/// (possibly from a [`PreparedSchedule`] cache).
+#[allow(clippy::too_many_arguments)]
 fn draw_profile(
     scene: &mut Scene,
     schedule: &Schedule,
@@ -244,12 +312,12 @@ fn draw_profile(
     plot_x: f64,
     plot_w: f64,
     y: f64,
+    global_ext: Option<TimeExtent>,
 ) {
-    use jedule_core::align::global_extent;
     use jedule_core::stats::utilization_profile;
 
     let h = PROFILE_H - 14.0;
-    let Some(ext) = global_extent(schedule) else {
+    let Some(ext) = global_ext else {
         return;
     };
     let mut ext = ext;
@@ -447,6 +515,7 @@ fn draw_panel(
     plot_w: f64,
     composites: &[Task],
     index: Option<&ScheduleIndex>,
+    kind_table: Option<&KindTable<'_>>,
     mut types_out: Option<&mut Vec<String>>,
 ) {
     let c = &panel.cluster;
@@ -588,8 +657,11 @@ fn draw_panel(
     let mut last_pair: Option<(&str, ColorPair)> = None;
     let mut classify = |ti: usize, scene: &mut Scene| {
         let task = &tasks[ti];
-        let pair = match &last_pair {
-            Some((k, p)) if *k == task.kind => *p,
+        let pair = match (kind_table, &last_pair) {
+            // Prepared path: the kind slot indexes the pre-resolved
+            // table — same colors, no string compares at all.
+            (Some(kt), _) => kt.pairs[kt.ids[ti] as usize],
+            (None, Some((k, p))) if *k == task.kind => *p,
             _ => {
                 let p = opts.colormap.resolve(&task.kind);
                 if let Some(types) = types_out.as_deref_mut() {
@@ -1032,5 +1104,52 @@ mod tests {
         let (r, l, _) = scene.census();
         assert!(r >= 1);
         assert!(l >= 1);
+    }
+
+    #[test]
+    fn prepared_layout_matches_cold_across_options() {
+        use jedule_core::{AlignMode, PreparedSchedule};
+        let s = sched();
+        let prep = PreparedSchedule::new(s.clone());
+        let mut variants: Vec<RenderOptions> = Vec::new();
+        variants.push(RenderOptions::default());
+        let mut o = RenderOptions::default();
+        o.show_composites = false;
+        variants.push(o);
+        let mut o = RenderOptions::default();
+        o.time_window = Some((2.0, 4.0));
+        variants.push(o);
+        let mut o = RenderOptions::default();
+        o.time_window = Some((2.0, 4.0));
+        o.cull = false;
+        variants.push(o);
+        let mut o = RenderOptions::default();
+        o.align = AlignMode::Scaled;
+        o.cluster = Some(1);
+        variants.push(o);
+        let mut o = RenderOptions::default();
+        o.lod = LodMode::Force;
+        o.show_profile = true;
+        o.show_meta = true;
+        variants.push(o);
+        for (i, o) in variants.iter().enumerate() {
+            let cold = layout(&s, o);
+            let warm = layout_prepared(&prep, o);
+            assert_eq!(
+                crate::svg::to_svg(&cold),
+                crate::svg::to_svg(&warm),
+                "variant {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_layout_empty_schedule() {
+        use jedule_core::PreparedSchedule;
+        let s = ScheduleBuilder::new().cluster(0, "c", 4).build().unwrap();
+        let prep = PreparedSchedule::new(s.clone());
+        let cold = layout(&s, &RenderOptions::default());
+        let warm = layout_prepared(&prep, &RenderOptions::default());
+        assert_eq!(crate::svg::to_svg(&cold), crate::svg::to_svg(&warm));
     }
 }

@@ -37,12 +37,12 @@ pub mod svg;
 pub mod ticks;
 
 pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
-pub use layout::layout;
+pub use layout::{layout, layout_prepared};
 pub use options::{LodMode, OutputFormat, RenderOptions};
 pub use perf::RenderTimings;
 pub use scene::{Anchor, LinePrim, PrimKind, PrimRef, RectPrim, Scene, SceneStats, TextPrim};
 
-use jedule_core::Schedule;
+use jedule_core::{PreparedSchedule, Schedule};
 
 /// One-call rendering: lays out `schedule` and serializes it in
 /// `options.format`, returning the output bytes. The raster back-ends
@@ -51,11 +51,38 @@ pub fn render(schedule: &Schedule, options: &RenderOptions) -> Vec<u8> {
     render_timed(schedule, options).0
 }
 
+/// [`render`] served from a [`PreparedSchedule`]: repeated renders of
+/// the same trace (interactive redraws, `--window` series) reuse the
+/// cached index/extent/kind data instead of rebuilding it per frame.
+/// Output bytes are identical to `render(prep.schedule(), options)`.
+pub fn render_prepared(prep: &PreparedSchedule, options: &RenderOptions) -> Vec<u8> {
+    render_prepared_timed(prep, options).0
+}
+
+/// Like [`render_prepared`], but also reports per-stage timings.
+pub fn render_prepared_timed(
+    prep: &PreparedSchedule,
+    options: &RenderOptions,
+) -> (Vec<u8>, RenderTimings) {
+    render_timed_impl(prep.schedule(), options, Some(prep))
+}
+
 /// Like [`render`], but also reports how long each pipeline stage took
 /// (surfaced by `jedule render --timings` and the bench harness).
 pub fn render_timed(schedule: &Schedule, options: &RenderOptions) -> (Vec<u8>, RenderTimings) {
+    render_timed_impl(schedule, options, None)
+}
+
+fn render_timed_impl(
+    schedule: &Schedule,
+    options: &RenderOptions,
+    prep: Option<&PreparedSchedule>,
+) -> (Vec<u8>, RenderTimings) {
     let mut clock = perf::StageClock::start();
-    let scene = layout(schedule, options);
+    let scene = match prep {
+        Some(p) => layout_prepared(p, options),
+        None => layout(schedule, options),
+    };
     let layout_t = clock.lap();
 
     let mut raster_t = std::time::Duration::ZERO;

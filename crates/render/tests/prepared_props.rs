@@ -1,0 +1,87 @@
+//! Property tests of the [`PreparedSchedule`] render path: serving a
+//! render from the cached index/extent/kind bundle must be
+//! pixel-identical to a cold `layout` of the same schedule, for any
+//! window, LOD mode, alignment and composite setting — and repeated
+//! window renders from one prepared instance must each match their cold
+//! counterpart.
+
+use jedule_core::{AlignMode, Allocation, PreparedSchedule, Schedule, ScheduleBuilder, Task};
+use jedule_render::{layout, layout_prepared, ppm, raster, LodMode, RenderOptions};
+use proptest::prelude::*;
+
+/// Rasterized bytes of a cold layout.
+fn cold_pixels(s: &Schedule, o: &RenderOptions) -> Vec<u8> {
+    ppm::encode(&raster::rasterize(&layout(s, o)))
+}
+
+/// Rasterized bytes of a prepared layout.
+fn prep_pixels(p: &PreparedSchedule, o: &RenderOptions) -> Vec<u8> {
+    ppm::encode(&raster::rasterize(&layout_prepared(p, o)))
+}
+
+/// Two-cluster schedules (exercising the per-cluster extent cache),
+/// possibly with sub-pixel and zero-duration tasks.
+fn arb_schedule() -> BoxedStrategy<Schedule> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..20.0, 0u32..2, 0u32..6, 1u32..=3),
+        0..60,
+    )
+    .prop_map(|tasks| {
+        let mut b = ScheduleBuilder::new()
+            .cluster(0, "alpha", 8)
+            .cluster(1, "beta", 8);
+        for (i, (start, dur, cluster, first, nb)) in tasks.into_iter().enumerate() {
+            b = b.task(
+                Task::new(
+                    format!("t{i}"),
+                    if i % 3 == 0 { "a" } else { "b" },
+                    start,
+                    start + dur,
+                )
+                .on(Allocation::contiguous(cluster, first, nb)),
+            );
+        }
+        b.build().expect("generated schedule is valid")
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prepared_render_is_pixel_identical(
+        s in arb_schedule(),
+        t0 in -10.0f64..110.0,
+        span in 0.5f64..60.0,
+        force_lod in any::<bool>(),
+        composites in any::<bool>(),
+        scaled in any::<bool>(),
+    ) {
+        let mut o = RenderOptions::default().with_time_window(t0, t0 + span);
+        if force_lod {
+            o = o.with_lod(LodMode::Force);
+        }
+        o.show_composites = composites;
+        if scaled {
+            o.align = AlignMode::Scaled;
+        }
+        let prep = PreparedSchedule::new(s.clone());
+        prop_assert_eq!(prep_pixels(&prep, &o), cold_pixels(&s, &o));
+    }
+
+    /// One prepared instance serves a series of windows (the
+    /// interactive zoom/pan pattern); each frame matches a cold render.
+    #[test]
+    fn prepared_window_series_is_pixel_identical(
+        s in arb_schedule(),
+        windows in proptest::collection::vec((0.0f64..100.0, 0.5f64..40.0), 1..5),
+    ) {
+        let prep = PreparedSchedule::new(s.clone());
+        prep.warm();
+        for (t0, span) in windows {
+            let o = RenderOptions::default().with_time_window(t0, t0 + span);
+            prop_assert_eq!(prep_pixels(&prep, &o), cold_pixels(&s, &o));
+        }
+    }
+}

@@ -26,5 +26,5 @@ pub mod synth;
 pub use assign::{assign_nodes, AssignedJob};
 pub use convert::{jobs_to_schedule, ConvertOptions};
 pub use stats::{top_users, workload_stats, UserStats, WorkloadStats};
-pub use swf::{parse_swf, parse_swf_file, parse_swf_reader, Job, SwfHeader};
+pub use swf::{parse_swf, parse_swf_file, parse_swf_parallel, parse_swf_reader, Job, SwfHeader};
 pub use synth::{synth_scale_trace, synth_thunder_day, ThunderParams};

@@ -13,6 +13,7 @@
 //!  6 avg cpu time       12 user id            18 think time
 //! ```
 
+use jedule_core::{effective_threads, line_chunks};
 use std::fmt;
 use std::io::BufRead;
 
@@ -68,6 +69,27 @@ impl fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// Parses one numeric SWF field. The `-1` missing marker and plain
+/// unsigned integers — the overwhelming majority of SWF fields — skip
+/// the general float machinery; everything else (decimals, exponents,
+/// junk) falls through to `str::parse`. Up to 15 digits the integer fits
+/// in 53 bits, so the `u64 → f64` conversion is exact and the result is
+/// bit-identical to `tok.parse::<f64>().unwrap_or(-1.0)`.
+fn parse_field(tok: &str) -> f64 {
+    if tok == "-1" {
+        return -1.0;
+    }
+    let b = tok.as_bytes();
+    if !b.is_empty() && b.len() <= 15 && b.iter().all(u8::is_ascii_digit) {
+        let mut v: u64 = 0;
+        for &c in b {
+            v = v * 10 + u64::from(c - b'0');
+        }
+        return v as f64;
+    }
+    tok.parse().unwrap_or(-1.0)
+}
+
 /// Parses one SWF line (header comment or job record) into the
 /// accumulators. Tokenizes into a fixed-size buffer — no per-line heap
 /// allocation on the job path.
@@ -114,7 +136,7 @@ fn parse_swf_line(
     }
     let get = |i: usize| -> f64 {
         if i < n {
-            f[i].parse().unwrap_or(-1.0)
+            parse_field(f[i])
         } else {
             -1.0
         }
@@ -149,13 +171,84 @@ fn parse_swf_line(
 /// skipped rather than failing the whole trace, mirroring how PWA
 /// consumers treat dirty records.
 pub fn parse_swf(src: &str) -> Result<(SwfHeader, Vec<Job>), SwfError> {
+    parse_swf_chunk(src, 1)
+}
+
+/// Parses one line-aligned chunk of an SWF document whose first line has
+/// the given 1-based global line number. [`parse_swf`] is the
+/// whole-document special case (`first_line == 1`).
+fn parse_swf_chunk(text: &str, first_line: usize) -> Result<(SwfHeader, Vec<Job>), SwfError> {
     let mut header = SwfHeader::default();
     // A job line is ~60 bytes; pre-size to avoid regrowth on big traces.
-    let mut jobs = Vec::with_capacity(src.len() / 60);
-    for (ln, raw) in src.lines().enumerate() {
-        parse_swf_line(raw, ln + 1, &mut header, &mut jobs)?;
+    let mut jobs = Vec::with_capacity(text.len() / 60);
+    for (off, raw) in text.lines().enumerate() {
+        parse_swf_line(raw, first_line + off, &mut header, &mut jobs)?;
     }
     Ok((header, jobs))
+}
+
+/// Below this size the chunk/spawn/splice overhead outweighs the win, so
+/// auto mode (`threads == 0`) stays sequential. An explicit `threads ≥ 2`
+/// always chunks, which keeps the parallel path testable on tiny inputs.
+const PARALLEL_MIN_BYTES: usize = 1 << 20;
+
+/// Parallel [`parse_swf`]: splits `src` at line boundaries into
+/// ~`threads` chunks, parses them concurrently, and splices the results
+/// in order. Output is identical to the sequential parser — job order,
+/// header-line handling (later `; Key: Value` lines overwrite earlier
+/// ones, exactly as a sequential scan applies them), skipped dirty
+/// records, and the global line number of the first error all match.
+///
+/// `threads` follows the workspace knob convention: `0` = auto (all
+/// cores, falling back to sequential for small inputs), `1` = the
+/// sequential code path, `n` = exactly `n` workers.
+pub fn parse_swf_parallel(src: &str, threads: usize) -> Result<(SwfHeader, Vec<Job>), SwfError> {
+    let workers = effective_threads(threads);
+    if workers <= 1 || (threads == 0 && src.len() < PARALLEL_MIN_BYTES) {
+        return parse_swf(src);
+    }
+    let chunks = line_chunks(src, workers);
+    let parts = crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                let (text, first_line) = (c.text, c.first_line);
+                s.spawn(move |_| parse_swf_chunk(text, first_line))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SWF parser worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("SWF parser scope failed");
+
+    // Splice in chunk order. Workers stop at their first bad line, and
+    // chunks are ordered by line, so the first error seen here is the
+    // error a sequential scan would have reported.
+    let mut merged = SwfHeader::default();
+    let mut jobs: Vec<Job> = Vec::new();
+    for part in parts {
+        let (h, j) = part?;
+        // Replay raw header entries through the same per-line logic so
+        // last-write-wins (and unparseable values resetting MaxNodes /
+        // MaxProcs to None) behave exactly as in a sequential scan.
+        for (k, v) in h.raw {
+            match k.as_str() {
+                "Computer" => merged.computer = Some(v.clone()),
+                "MaxNodes" => merged.max_nodes = v.parse().ok(),
+                "MaxProcs" => merged.max_procs = v.parse().ok(),
+                _ => {}
+            }
+            merged.raw.push((k, v));
+        }
+        if jobs.is_empty() {
+            jobs = j; // keep the (pre-sized) first chunk's buffer
+        } else {
+            jobs.extend(j);
+        }
+    }
+    Ok((merged, jobs))
 }
 
 /// Streaming variant of [`parse_swf`]: reads line by line from any
@@ -192,29 +285,44 @@ pub fn parse_swf_file(
 }
 
 /// Keeps the jobs that *finished* within `[day_start, day_start + 86400)`
-/// — the paper's "all jobs that finished on 02/02" selection.
-pub fn filter_finished_on_day(jobs: &[Job], day_start: f64) -> Vec<Job> {
-    jobs.iter()
-        .filter(|j| {
-            let e = j.end();
-            e >= day_start && e < day_start + 86_400.0
-        })
-        .cloned()
-        .collect()
+/// — the paper's "all jobs that finished on 02/02" selection. Takes the
+/// vector by value and filters in place: on the million-job bird's-eye
+/// path this drops the per-job clone the old `&[Job]` signature paid.
+pub fn filter_finished_on_day(mut jobs: Vec<Job>, day_start: f64) -> Vec<Job> {
+    jobs.retain(|j| {
+        let e = j.end();
+        e >= day_start && e < day_start + 86_400.0
+    });
+    jobs
 }
 
 /// Serializes jobs back to SWF (for round-trip tests and export).
+///
+/// Every header line the parser recorded (`SwfHeader.raw`) is emitted in
+/// original order, so `; Note:`-style metadata survives a round-trip.
+/// The Computer / MaxNodes / MaxProcs conveniences are written explicitly
+/// only when set programmatically (i.e. absent from `raw`).
 pub fn write_swf(header: &SwfHeader, jobs: &[Job]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    let has = |key: &str| header.raw.iter().any(|(k, _)| k == key);
     if let Some(c) = &header.computer {
-        let _ = writeln!(out, "; Computer: {c}");
+        if !has("Computer") {
+            let _ = writeln!(out, "; Computer: {c}");
+        }
     }
     if let Some(n) = header.max_nodes {
-        let _ = writeln!(out, "; MaxNodes: {n}");
+        if !has("MaxNodes") {
+            let _ = writeln!(out, "; MaxNodes: {n}");
+        }
     }
     if let Some(p) = header.max_procs {
-        let _ = writeln!(out, "; MaxProcs: {p}");
+        if !has("MaxProcs") {
+            let _ = writeln!(out, "; MaxProcs: {p}");
+        }
+    }
+    for (k, v) in &header.raw {
+        let _ = writeln!(out, "; {k}: {v}");
     }
     for j in jobs {
         let _ = writeln!(
@@ -293,9 +401,9 @@ mod tests {
             mk(86_000.0, 1000.0), // ends day 1
             mk(172_700.0, 200.0), // ends day 2
         ];
-        assert_eq!(filter_finished_on_day(&jobs, 0.0).len(), 1);
-        assert_eq!(filter_finished_on_day(&jobs, 86_400.0).len(), 1);
-        let d1 = filter_finished_on_day(&jobs, 86_400.0);
+        assert_eq!(filter_finished_on_day(jobs.clone(), 0.0).len(), 1);
+        assert_eq!(filter_finished_on_day(jobs.clone(), 86_400.0).len(), 1);
+        let d1 = filter_finished_on_day(jobs, 86_400.0);
         assert_eq!(d1[0].submit, 86_000.0);
     }
 
@@ -304,8 +412,31 @@ mod tests {
         let (h, jobs) = parse_swf(SAMPLE).unwrap();
         let text = write_swf(&h, &jobs);
         let (h2, jobs2) = parse_swf(&text).unwrap();
-        assert_eq!(h2.computer, h.computer);
+        // The full header — including `; Note:`-style lines the old writer
+        // dropped — must survive the round-trip, in order.
+        assert_eq!(h2, h);
+        assert_eq!(
+            h2.raw.iter().find(|(k, _)| k == "Note"),
+            Some(&("Note".to_string(), "demo extract".to_string()))
+        );
         assert_eq!(jobs2, jobs);
+    }
+
+    #[test]
+    fn writer_emits_programmatic_header_once() {
+        // Parsed headers: big-3 come from raw, no duplicate lines.
+        let (h, _) = parse_swf(SAMPLE).unwrap();
+        let text = write_swf(&h, &[]);
+        assert_eq!(text.matches("; Computer:").count(), 1);
+        // Programmatic headers (empty raw) still serialize the big 3.
+        let h = SwfHeader {
+            computer: Some("X".into()),
+            max_nodes: Some(4),
+            max_procs: None,
+            raw: Vec::new(),
+        };
+        let text = write_swf(&h, &[]);
+        assert_eq!(text, "; Computer: X\n; MaxNodes: 4\n");
     }
 
     #[test]
@@ -344,5 +475,79 @@ mod tests {
         let (_, jobs) = parse_swf(src).unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].procs, 64);
+    }
+
+    #[test]
+    fn fast_field_path_matches_parse() {
+        for tok in [
+            "-1",
+            "0",
+            "1",
+            "42",
+            "999999999999999",
+            "1000000000000000",
+            "18446744073709551616",
+            "3.5",
+            "-2",
+            "1e3",
+            "0.0",
+            "junk",
+            "",
+            "007",
+            "+5",
+            "1.",
+            "NaN-ish",
+        ] {
+            let slow = tok.parse::<f64>().unwrap_or(-1.0);
+            let fast = parse_field(tok);
+            assert!(
+                fast == slow || (fast.is_nan() && slow.is_nan()),
+                "token {tok:?}: fast {fast} vs parse {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_sample() {
+        let seq = parse_swf(SAMPLE).unwrap();
+        for threads in [1usize, 2, 3, 4, 9] {
+            let par = parse_swf_parallel(SAMPLE, threads).unwrap();
+            assert_eq!(par, seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_error_line_is_global() {
+        // The bad record lands in a late chunk; its reported line number
+        // must still be the global one.
+        let mut src = String::from("; Computer: X\n");
+        for i in 0..100 {
+            src.push_str(&format!("{i} 0 10 3600 64\n"));
+        }
+        src.push_str("bad line\n");
+        let seq = parse_swf(&src).unwrap_err();
+        assert_eq!(seq.line, 102);
+        for threads in [2usize, 4, 7] {
+            let par = parse_swf_parallel(&src, threads).unwrap_err();
+            assert_eq!(par.line, seq.line, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_header_last_write_wins() {
+        // Later header lines overwrite earlier ones even when they fall
+        // into different chunks; an unparseable MaxNodes resets to None.
+        let mut src = String::from("; MaxNodes: 10\n; Computer: A\n");
+        for i in 0..50 {
+            src.push_str(&format!("{i} 0 10 3600 64\n"));
+        }
+        src.push_str("; Computer: B\n; MaxNodes: bogus\n");
+        let seq = parse_swf(&src).unwrap();
+        assert_eq!(seq.0.computer.as_deref(), Some("B"));
+        assert_eq!(seq.0.max_nodes, None);
+        for threads in [2usize, 3, 8] {
+            let par = parse_swf_parallel(&src, threads).unwrap();
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 }

@@ -221,7 +221,7 @@ mod tests {
         let jobs = synth_thunder_day(&p);
         assert_eq!(jobs.len(), 834);
         // All jobs finish within the day.
-        assert_eq!(filter_finished_on_day(&jobs, 0.0).len(), 834);
+        assert_eq!(filter_finished_on_day(jobs.clone(), 0.0).len(), 834);
         // Sizes respect the usable node count.
         assert!(jobs.iter().all(|j| j.procs >= 1 && j.procs <= 1004));
     }

@@ -1,0 +1,87 @@
+//! Property tests of the chunked parallel SWF ingest: for any input —
+//! CRLF line endings, interleaved `;` header lines, dirty records,
+//! missing trailing newline — and any worker count, the parallel parse
+//! is result-identical to the sequential one, and parse errors carry
+//! the same global line number.
+
+use jedule_workloads::{parse_swf, parse_swf_parallel};
+use proptest::prelude::*;
+
+/// One line of a well-formed (error-free) SWF document: blank lines,
+/// header comments (including repeats of the tracked keys, to exercise
+/// last-write-wins merging across chunk boundaries), free-form
+/// comments, clean job records and dirty records the parser skips.
+fn arb_clean_line() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        (
+            prop_oneof![
+                Just("Computer"),
+                Just("MaxNodes"),
+                Just("MaxProcs"),
+                Just("Note"),
+            ],
+            proptest::string::string_regex("[A-Za-z0-9 ]{0,10}").unwrap(),
+        )
+            .prop_map(|(k, v)| format!("; {k}: {v}")),
+        Just("; free-form comment without a colon".to_string()),
+        (0i64..10_000, 0.0f64..1e5, 0.0f64..1e4, 1u32..64).prop_map(|(id, submit, run, procs)| {
+            format!(
+                "{id} {submit:.2} 0 {run:.2} {procs} -1 -1 {procs} \
+                     -1 -1 1 1 1 -1 -1 -1 -1 -1"
+            )
+        }),
+        // Dirty record: zero processors → silently skipped, not an error.
+        (0i64..10_000, 0.0f64..1e5).prop_map(|(id, submit)| format!(
+            "{id} {submit:.2} 0 5 0 -1 -1 0 -1 -1 1 1 1 -1 -1 -1 -1 -1"
+        )),
+    ]
+    .boxed()
+}
+
+/// Joins lines into a document with the given separator and optional
+/// trailing newline.
+fn join(lines: &[String], crlf: bool, trailing: bool) -> String {
+    let sep = if crlf { "\r\n" } else { "\n" };
+    let mut src = lines.join(sep);
+    if trailing && !src.is_empty() {
+        src.push_str(sep);
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel parse == sequential parse for any chunking.
+    #[test]
+    fn parallel_matches_sequential(
+        lines in proptest::collection::vec(arb_clean_line(), 0..120),
+        crlf in any::<bool>(),
+        trailing in any::<bool>(),
+        threads in 1usize..9,
+    ) {
+        let src = join(&lines, crlf, trailing);
+        let seq = parse_swf(&src).expect("clean input parses");
+        let par = parse_swf_parallel(&src, threads).expect("clean input parses");
+        prop_assert_eq!(par.0, seq.0);
+        prop_assert_eq!(par.1, seq.1);
+    }
+
+    /// A malformed record reports the same global line number no matter
+    /// which chunk it lands in.
+    #[test]
+    fn parallel_error_line_is_global(
+        mut lines in proptest::collection::vec(arb_clean_line(), 1..80),
+        pos_seed in 0usize..80,
+        crlf in any::<bool>(),
+        threads in 2usize..9,
+    ) {
+        let pos = pos_seed % (lines.len() + 1);
+        lines.insert(pos, "oops 1".to_string());
+        let src = join(&lines, crlf, true);
+        let seq = parse_swf(&src).expect_err("malformed record errors");
+        let par = parse_swf_parallel(&src, threads).expect_err("malformed record errors");
+        prop_assert_eq!(par.to_string(), seq.to_string());
+    }
+}

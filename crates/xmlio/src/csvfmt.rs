@@ -15,7 +15,8 @@
 //! (ranges joined by `+`).
 
 use crate::error::IoError;
-use jedule_core::{Allocation, HostRange, HostSet, Schedule, ScheduleBuilder, Task};
+use crate::ingest::{self, Record};
+use jedule_core::{Allocation, HostRange, HostSet, Schedule, Task};
 
 /// Parses the host-list expression `0-3+7+9-10`.
 pub fn parse_hostlist(expr: &str) -> Result<HostSet, IoError> {
@@ -65,73 +66,88 @@ pub fn format_hostlist(hosts: &HostSet) -> String {
         .join("+")
 }
 
+/// Parses one CSV line into a [`Record`] (`None` for blank/comment
+/// lines). `ln` is the 1-based global line number used in errors.
+fn csv_record(raw: &str, ln: usize) -> Result<Option<Record>, IoError> {
+    let line = raw.trim();
+    // Blank lines, `#` comments and XML-style `<!-- ... -->` banner
+    // lines (as emitted by converters) carry no records.
+    if line.is_empty() || line.starts_with('#') || crate::is_banner_comment(line) {
+        return Ok(None);
+    }
+    let mut fields = line.split(',').map(str::trim);
+    let record = fields.next().unwrap_or("");
+    let ctx = |msg: &str| IoError::format(format!("line {ln}: {msg}"));
+    match record {
+        "cluster" => {
+            let id: u32 = fields
+                .next()
+                .ok_or_else(|| ctx("cluster needs an id"))?
+                .parse()
+                .map_err(|_| ctx("bad cluster id"))?;
+            let name = fields.next().ok_or_else(|| ctx("cluster needs a name"))?;
+            let hosts: u32 = fields
+                .next()
+                .ok_or_else(|| ctx("cluster needs a host count"))?
+                .parse()
+                .map_err(|_| ctx("bad cluster host count"))?;
+            Ok(Some(Record::Cluster {
+                id,
+                name: name.to_string(),
+                hosts,
+            }))
+        }
+        "meta" => {
+            let k = fields.next().ok_or_else(|| ctx("meta needs a key"))?;
+            let v = fields.next().unwrap_or("");
+            Ok(Some(Record::Meta {
+                key: k.to_string(),
+                value: v.to_string(),
+            }))
+        }
+        "task" => {
+            let id = fields.next().ok_or_else(|| ctx("task needs an id"))?;
+            let kind = fields.next().ok_or_else(|| ctx("task needs a type"))?;
+            let start: f64 = fields
+                .next()
+                .ok_or_else(|| ctx("task needs a start time"))?
+                .parse()
+                .map_err(|_| ctx("bad start time"))?;
+            let end: f64 = fields
+                .next()
+                .ok_or_else(|| ctx("task needs an end time"))?
+                .parse()
+                .map_err(|_| ctx("bad end time"))?;
+            let allocs = fields.next().ok_or_else(|| ctx("task needs allocations"))?;
+            let mut task = Task::new(id, kind, start, end);
+            for spec in allocs.split(';') {
+                let (c, hl) = spec
+                    .split_once(':')
+                    .ok_or_else(|| ctx("allocation must be cluster:hosts"))?;
+                let cluster: u32 = c
+                    .trim()
+                    .parse()
+                    .map_err(|_| ctx("bad allocation cluster id"))?;
+                task.allocations
+                    .push(Allocation::new(cluster, parse_hostlist(hl)?));
+            }
+            Ok(Some(Record::Task(task)))
+        }
+        other => Err(ctx(&format!("unknown record type {other:?}"))),
+    }
+}
+
 /// Reads a schedule from CSV text.
 pub fn read_schedule_csv(src: &str) -> Result<Schedule, IoError> {
-    let mut b = ScheduleBuilder::new();
-    for (ln, raw) in src.lines().enumerate() {
-        let line = raw.trim();
-        // Blank lines, `#` comments and XML-style `<!-- ... -->` banner
-        // lines (as emitted by converters) carry no records.
-        if line.is_empty() || line.starts_with('#') || crate::is_banner_comment(line) {
-            continue;
-        }
-        let mut fields = line.split(',').map(str::trim);
-        let record = fields.next().unwrap_or("");
-        let ctx = |msg: &str| IoError::format(format!("line {}: {msg}", ln + 1));
-        match record {
-            "cluster" => {
-                let id: u32 = fields
-                    .next()
-                    .ok_or_else(|| ctx("cluster needs an id"))?
-                    .parse()
-                    .map_err(|_| ctx("bad cluster id"))?;
-                let name = fields.next().ok_or_else(|| ctx("cluster needs a name"))?;
-                let hosts: u32 = fields
-                    .next()
-                    .ok_or_else(|| ctx("cluster needs a host count"))?
-                    .parse()
-                    .map_err(|_| ctx("bad cluster host count"))?;
-                b = b.cluster(id, name, hosts);
-            }
-            "meta" => {
-                let k = fields.next().ok_or_else(|| ctx("meta needs a key"))?;
-                let v = fields.next().unwrap_or("");
-                b = b.meta(k, v);
-            }
-            "task" => {
-                let id = fields.next().ok_or_else(|| ctx("task needs an id"))?;
-                let kind = fields.next().ok_or_else(|| ctx("task needs a type"))?;
-                let start: f64 = fields
-                    .next()
-                    .ok_or_else(|| ctx("task needs a start time"))?
-                    .parse()
-                    .map_err(|_| ctx("bad start time"))?;
-                let end: f64 = fields
-                    .next()
-                    .ok_or_else(|| ctx("task needs an end time"))?
-                    .parse()
-                    .map_err(|_| ctx("bad end time"))?;
-                let allocs = fields.next().ok_or_else(|| ctx("task needs allocations"))?;
-                let mut task = Task::new(id, kind, start, end);
-                for spec in allocs.split(';') {
-                    let (c, hl) = spec
-                        .split_once(':')
-                        .ok_or_else(|| ctx("allocation must be cluster:hosts"))?;
-                    let cluster: u32 = c
-                        .trim()
-                        .parse()
-                        .map_err(|_| ctx("bad allocation cluster id"))?;
-                    task.allocations
-                        .push(Allocation::new(cluster, parse_hostlist(hl)?));
-                }
-                b = b.task(task);
-            }
-            other => {
-                return Err(ctx(&format!("unknown record type {other:?}")));
-            }
-        }
-    }
-    Ok(b.build()?)
+    ingest::read_lines(src, 1, csv_record)
+}
+
+/// Parallel [`read_schedule_csv`]: chunked line-parallel ingest with the
+/// workspace `threads` knob (`0` auto, `1` sequential, `n` workers).
+/// Result and error reporting are identical to the sequential reader —
+/// see the `ingest` module for why.
+pub fn read_schedule_csv_parallel(src: &str, threads: usize) -> Result<Schedule, IoError> {
+    ingest::read_lines(src, threads, csv_record)
 }
 
 /// Writes a schedule as CSV text.
@@ -221,5 +237,30 @@ task,t3,computation,3,4,1:0+2-3
     fn semantic_validation_applies() {
         let res = read_schedule_csv("cluster,0,c,2\ntask,t,x,0,1,0:0-7\n");
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = read_schedule_csv(SAMPLE).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(
+                read_schedule_csv_parallel(SAMPLE, threads).unwrap(),
+                seq,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_error_line_is_global() {
+        let mut src = String::from("cluster,0,c,8\n");
+        for i in 0..40 {
+            src.push_str(&format!("task,t{i},x,0,1,0:0-3\n"));
+        }
+        src.push_str("bogus,1\n");
+        for threads in [2usize, 5] {
+            let err = read_schedule_csv_parallel(&src, threads).unwrap_err();
+            assert!(err.to_string().contains("line 42"), "{err}");
+        }
     }
 }

@@ -13,8 +13,9 @@
 //! `<hosts start nb/>` elements.
 
 use crate::error::IoError;
+use crate::ingest::{self, Record};
 use crate::json::{obj, parse, Json};
-use jedule_core::{Allocation, HostRange, HostSet, Schedule, ScheduleBuilder, Task};
+use jedule_core::{Allocation, HostRange, HostSet, Schedule, Task};
 
 fn field_str<'a>(v: &'a Json, key: &str, line: usize) -> Result<&'a str, IoError> {
     v.get(key)
@@ -28,80 +29,88 @@ fn field_num(v: &Json, key: &str, line: usize) -> Result<f64, IoError> {
         .ok_or_else(|| IoError::format(format!("line {line}: missing numeric field {key:?}")))
 }
 
+/// Parses one JSONL line into a [`Record`] (`None` for blank/comment
+/// lines). `ln` is the 1-based global line number used in errors.
+fn jsonl_record(raw: &str, ln: usize) -> Result<Option<Record>, IoError> {
+    let line = raw.trim();
+    // Blank lines, `#` comments and XML-style `<!-- ... -->` banner
+    // lines (as emitted by converters) carry no records.
+    if line.is_empty() || line.starts_with('#') || crate::is_banner_comment(line) {
+        return Ok(None);
+    }
+    let v = parse(line)?;
+    match field_str(&v, "rec", ln)? {
+        "cluster" => {
+            let id = field_num(&v, "id", ln)? as u32;
+            let hosts = field_num(&v, "hosts", ln)? as u32;
+            let name = v
+                .get("name")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("cluster-{id}"));
+            Ok(Some(Record::Cluster { id, name, hosts }))
+        }
+        "meta" => Ok(Some(Record::Meta {
+            key: field_str(&v, "name", ln)?.to_string(),
+            value: field_str(&v, "value", ln)?.to_string(),
+        })),
+        "task" => {
+            let mut task = Task::new(
+                field_str(&v, "id", ln)?,
+                field_str(&v, "type", ln)?,
+                field_num(&v, "start", ln)?,
+                field_num(&v, "end", ln)?,
+            );
+            let allocs = v.get("allocations").and_then(Json::as_arr).ok_or_else(|| {
+                IoError::format(format!("line {ln}: task needs an allocations array"))
+            })?;
+            for a in allocs {
+                let cluster = field_num(a, "cluster", ln)? as u32;
+                let ranges = a.get("hosts").and_then(Json::as_arr).ok_or_else(|| {
+                    IoError::format(format!("line {ln}: allocation needs a hosts array"))
+                })?;
+                let mut hosts = HostSet::new();
+                for r in ranges {
+                    let pair = r.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        IoError::format(format!("line {ln}: host range must be [start, nb]"))
+                    })?;
+                    let start = pair[0].as_f64().unwrap_or(-1.0);
+                    let nb = pair[1].as_f64().unwrap_or(-1.0);
+                    if start < 0.0 || nb < 0.0 {
+                        return Err(IoError::format(format!(
+                            "line {ln}: negative host range values"
+                        )));
+                    }
+                    hosts.insert_range(HostRange::new(start as u32, nb as u32));
+                }
+                task.allocations.push(Allocation::new(cluster, hosts));
+            }
+            if let Some(attrs) = v.get("attrs").and_then(Json::as_obj) {
+                for (k, val) in attrs {
+                    if let Some(s) = val.as_str() {
+                        task.attrs.push((k.clone(), s.to_owned()));
+                    }
+                }
+            }
+            Ok(Some(Record::Task(task)))
+        }
+        other => Err(IoError::format(format!(
+            "line {ln}: unknown record type {other:?}"
+        ))),
+    }
+}
+
 /// Reads a schedule from JSON-lines text.
 pub fn read_schedule_jsonl(src: &str) -> Result<Schedule, IoError> {
-    let mut b = ScheduleBuilder::new();
-    for (i, raw) in src.lines().enumerate() {
-        let line = raw.trim();
-        // Blank lines, `#` comments and XML-style `<!-- ... -->` banner
-        // lines (as emitted by converters) carry no records.
-        if line.is_empty() || line.starts_with('#') || crate::is_banner_comment(line) {
-            continue;
-        }
-        let ln = i + 1;
-        let v = parse(line)?;
-        match field_str(&v, "rec", ln)? {
-            "cluster" => {
-                let id = field_num(&v, "id", ln)? as u32;
-                let hosts = field_num(&v, "hosts", ln)? as u32;
-                let name = v
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| format!("cluster-{id}"));
-                b = b.cluster(id, name, hosts);
-            }
-            "meta" => {
-                b = b.meta(field_str(&v, "name", ln)?, field_str(&v, "value", ln)?);
-            }
-            "task" => {
-                let mut task = Task::new(
-                    field_str(&v, "id", ln)?,
-                    field_str(&v, "type", ln)?,
-                    field_num(&v, "start", ln)?,
-                    field_num(&v, "end", ln)?,
-                );
-                let allocs = v.get("allocations").and_then(Json::as_arr).ok_or_else(|| {
-                    IoError::format(format!("line {ln}: task needs an allocations array"))
-                })?;
-                for a in allocs {
-                    let cluster = field_num(a, "cluster", ln)? as u32;
-                    let ranges = a.get("hosts").and_then(Json::as_arr).ok_or_else(|| {
-                        IoError::format(format!("line {ln}: allocation needs a hosts array"))
-                    })?;
-                    let mut hosts = HostSet::new();
-                    for r in ranges {
-                        let pair = r.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
-                            IoError::format(format!("line {ln}: host range must be [start, nb]"))
-                        })?;
-                        let start = pair[0].as_f64().unwrap_or(-1.0);
-                        let nb = pair[1].as_f64().unwrap_or(-1.0);
-                        if start < 0.0 || nb < 0.0 {
-                            return Err(IoError::format(format!(
-                                "line {ln}: negative host range values"
-                            )));
-                        }
-                        hosts.insert_range(HostRange::new(start as u32, nb as u32));
-                    }
-                    task.allocations.push(Allocation::new(cluster, hosts));
-                }
-                if let Some(attrs) = v.get("attrs").and_then(Json::as_obj) {
-                    for (k, val) in attrs {
-                        if let Some(s) = val.as_str() {
-                            task.attrs.push((k.clone(), s.to_owned()));
-                        }
-                    }
-                }
-                b = b.task(task);
-            }
-            other => {
-                return Err(IoError::format(format!(
-                    "line {ln}: unknown record type {other:?}"
-                )));
-            }
-        }
-    }
-    Ok(b.build()?)
+    ingest::read_lines(src, 1, jsonl_record)
+}
+
+/// Parallel [`read_schedule_jsonl`]: chunked line-parallel ingest with
+/// the workspace `threads` knob (`0` auto, `1` sequential, `n` workers).
+/// Result and error reporting are identical to the sequential reader —
+/// see the `ingest` module for why.
+pub fn read_schedule_jsonl_parallel(src: &str, threads: usize) -> Result<Schedule, IoError> {
+    ingest::read_lines(src, threads, jsonl_record)
 }
 
 /// Writes a schedule as JSON-lines text.
@@ -222,6 +231,34 @@ mod tests {
     #[test]
     fn unknown_record_rejected() {
         assert!(read_schedule_jsonl("{\"rec\":\"frob\"}\n").is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let text = format!("# banner\n\n{}", write_schedule_jsonl(&sample()));
+        let seq = read_schedule_jsonl(&text).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(
+                read_schedule_jsonl_parallel(&text, threads).unwrap(),
+                seq,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_error_line_is_global() {
+        let mut src = String::from("{\"rec\":\"cluster\",\"id\":0,\"hosts\":4}\n");
+        for i in 0..30 {
+            src.push_str(&format!(
+                "{{\"rec\":\"task\",\"id\":\"t{i}\",\"type\":\"x\",\"start\":0,\"end\":1,\"allocations\":[{{\"cluster\":0,\"hosts\":[[0,2]]}}]}}\n"
+            ));
+        }
+        src.push_str("{\"rec\":\"frob\"}\n");
+        for threads in [2usize, 6] {
+            let err = read_schedule_jsonl_parallel(&src, threads).unwrap_err();
+            assert!(err.to_string().contains("line 32"), "{err}");
+        }
     }
 
     #[test]

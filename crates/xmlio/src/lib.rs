@@ -21,6 +21,7 @@
 pub mod cmap_xml;
 pub mod csvfmt;
 pub mod error;
+pub(crate) mod ingest;
 pub mod jedule_xml;
 pub mod json;
 pub mod jsonl;
@@ -37,7 +38,9 @@ pub(crate) fn is_banner_comment(line: &str) -> bool {
 }
 
 pub use cmap_xml::{read_colormap, write_colormap_string};
+pub use csvfmt::{read_schedule_csv, read_schedule_csv_parallel, write_schedule_csv};
 pub use error::IoError;
 pub use jedule_xml::{read_schedule, read_schedule_file, write_schedule, write_schedule_string};
-pub use parser::{detect_format, parse_any, Format, ScheduleParser};
+pub use jsonl::{read_schedule_jsonl, read_schedule_jsonl_parallel, write_schedule_jsonl};
+pub use parser::{detect_format, parse_any, parse_any_parallel, Format, ScheduleParser};
 pub use stream::{read_schedule_streaming, stream_schedule, StreamEvent};

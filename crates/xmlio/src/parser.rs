@@ -179,17 +179,41 @@ pub fn detect_format(src: &str, path: Option<&Path>) -> Option<Format> {
 /// actually read it. If all candidates fail, the error names each
 /// format that matched and why it failed.
 pub fn parse_any(src: &str, path: Option<&Path>) -> Result<Schedule, IoError> {
+    parse_any_parallel(src, path, 1)
+}
+
+/// Parses one format with the given ingest thread count. The
+/// line-oriented formats (CSV, JSONL) route through their chunked
+/// parallel readers; XML is a document format and always parses
+/// sequentially.
+fn parse_threads(format: Format, src: &str, threads: usize) -> Result<Schedule, IoError> {
+    match format {
+        Format::JeduleXml => jedule_xml::read_schedule(src),
+        Format::Csv => csvfmt::read_schedule_csv_parallel(src, threads),
+        Format::JsonLines => jsonl::read_schedule_jsonl_parallel(src, threads),
+    }
+}
+
+/// [`parse_any`] with a `threads` knob (`0` auto, `1` sequential, `n`
+/// workers) for the line-oriented formats. Detection, candidate order,
+/// results and errors are identical to [`parse_any`] for every thread
+/// count — only wall-clock time changes.
+pub fn parse_any_parallel(
+    src: &str,
+    path: Option<&Path>,
+    threads: usize,
+) -> Result<Schedule, IoError> {
     if let Some(f) = path.and_then(format_from_extension) {
-        return builtin(f).parse(src);
+        return parse_threads(f, src, threads);
     }
     let candidates = detect_formats(src);
     match candidates.as_slice() {
         [] => Err(IoError::format("cannot detect schedule input format")),
-        [only] => builtin(*only).parse(src),
+        [only] => parse_threads(*only, src, threads),
         several => {
             let mut failures = Vec::with_capacity(several.len());
             for f in several {
-                match builtin(*f).parse(src) {
+                match parse_threads(*f, src, threads) {
                     Ok(schedule) => return Ok(schedule),
                     Err(e) => failures.push(format!("{}: {e}", f.name())),
                 }

@@ -1,6 +1,7 @@
 //! Property tests of the from-scratch parsers: anything we can write, we
 //! can read back bit-exactly.
 
+use jedule_core::{Allocation, Schedule, ScheduleBuilder, Task};
 use jedule_xmlio::json::{self, Json};
 use jedule_xmlio::xml::{self, Element};
 use proptest::prelude::*;
@@ -78,6 +79,38 @@ fn arb_json(depth: u32) -> BoxedStrategy<Json> {
     }
 }
 
+/// Schedules with identifier-safe names (CSV/JSONL-writable without
+/// escaping concerns) spread over two clusters.
+fn arb_schedule() -> BoxedStrategy<Schedule> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..20.0, 0u32..2, 0u32..6, 1u32..=2),
+        0..40,
+    )
+    .prop_map(|tasks| {
+        let mut b = ScheduleBuilder::new()
+            .cluster(0, "alpha", 8)
+            .cluster(1, "beta", 8)
+            .meta("alg", "cpa");
+        for (i, (start, dur, cluster, first, nb)) in tasks.into_iter().enumerate() {
+            b = b.task(
+                Task::new(
+                    format!("t{i}"),
+                    if i % 3 == 0 {
+                        "computation"
+                    } else {
+                        "transfer"
+                    },
+                    start,
+                    start + dur,
+                )
+                .on(Allocation::contiguous(cluster, first, nb)),
+            );
+        }
+        b.build().expect("generated schedule is valid")
+    })
+    .boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -125,5 +158,26 @@ proptest! {
         proptest::string::string_regex("[-0-9eE. ,;:{}\\[\\]<>a-zA-Z\"]{0,80}").unwrap(), 0..10)) {
         let src = lines.join("\n");
         let _ = jedule_xmlio::parse_any(&src, None);
+    }
+
+    /// Chunked parallel CSV ingest is result-identical to sequential
+    /// for any schedule and worker count.
+    #[test]
+    fn csv_parallel_matches_sequential(s in arb_schedule(), threads in 1usize..9) {
+        let text = jedule_xmlio::write_schedule_csv(&s);
+        let seq = jedule_xmlio::read_schedule_csv(&text).expect("own output parses");
+        let par = jedule_xmlio::read_schedule_csv_parallel(&text, threads)
+            .expect("own output parses");
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Same for the JSON-lines reader.
+    #[test]
+    fn jsonl_parallel_matches_sequential(s in arb_schedule(), threads in 1usize..9) {
+        let text = jedule_xmlio::write_schedule_jsonl(&s);
+        let seq = jedule_xmlio::read_schedule_jsonl(&text).expect("own output parses");
+        let par = jedule_xmlio::read_schedule_jsonl_parallel(&text, threads)
+            .expect("own output parses");
+        prop_assert_eq!(par, seq);
     }
 }

@@ -24,12 +24,13 @@ fn main() {
             let (header, all) = parse_swf(&src).expect("parse SWF");
             let nodes = header.max_nodes.or(header.max_procs).unwrap_or(1024);
             let day: usize = args.get(1).and_then(|d| d.parse().ok()).unwrap_or(0);
-            let jobs = filter_finished_on_day(&all, day as f64 * 86_400.0);
+            let total = all.len();
+            let jobs = filter_finished_on_day(all, day as f64 * 86_400.0);
             println!(
                 "trace {} ({}): {} jobs total, {} finished on day {day}",
                 path,
                 header.computer.as_deref().unwrap_or("unknown machine"),
-                all.len(),
+                total,
                 jobs.len()
             );
             (

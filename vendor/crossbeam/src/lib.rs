@@ -1,9 +1,86 @@
-//! Offline stand-in for `crossbeam`. Only the `deque` module is
-//! provided, with the `Injector`/`Worker`/`Stealer` API the task-pool
-//! crate uses. The lock-free algorithms are replaced by mutex-guarded
-//! queues — semantics (FIFO injector, LIFO/FIFO worker deques, stealing
-//! from the opposite end) are preserved, raw throughput is not the point
-//! of this stand-in.
+//! Offline stand-in for `crossbeam`. The `deque` module carries the
+//! `Injector`/`Worker`/`Stealer` API the task-pool crate uses, and
+//! [`scope`] carries the scoped-spawn API the chunked-ingest paths use.
+//! The lock-free algorithms are replaced by mutex-guarded queues —
+//! semantics (FIFO injector, LIFO/FIFO worker deques, stealing from the
+//! opposite end) are preserved, raw throughput is not the point of this
+//! stand-in.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::scope` shape: spawned threads
+    //! may borrow from the caller's stack, and all are joined before
+    //! `scope` returns. Built on `std::thread::scope` (Rust ≥ 1.63).
+
+    /// A scope handle; `spawn` borrows data living at least as long as
+    /// the scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// returns `Ok(f's result)` once every spawned thread has been
+    /// joined, or `Err` with the payload of the first panic.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod scope_tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let sums = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let res = super::scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(res.unwrap().is_err());
+    }
+}
 
 pub mod deque {
     use std::collections::VecDeque;
