@@ -38,11 +38,39 @@ pub fn load_schedule(path: &str) -> Result<jedule_core::Schedule, String> {
 
 /// Loads a schedule with format auto-detection and the workspace
 /// `threads` knob (`0` auto, `1` sequential, `n` workers) for the
-/// line-oriented formats' chunked parallel ingest.
+/// line-oriented formats' chunked parallel ingest. `.swf` workload
+/// traces are converted through the bird's-eye pipeline with cluster
+/// geometry taken from the trace header.
 pub fn load_schedule_threads(path: &str, threads: usize) -> Result<jedule_core::Schedule, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    jedule_xmlio::parse_any_parallel(&src, Some(std::path::Path::new(path)), threads)
-        .map_err(|e| format!("{path}: {e}"))
+    let p = std::path::Path::new(path);
+    if p.extension().is_some_and(|e| e.eq_ignore_ascii_case("swf")) {
+        return swf_to_schedule(&src, threads).map_err(|e| format!("{path}: {e}"));
+    }
+    jedule_xmlio::parse_any_parallel(&src, Some(p), threads).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Converts an SWF workload trace into a renderable schedule. Node
+/// count comes from the `MaxNodes`/`MaxProcs` header, falling back to
+/// the widest job in the trace.
+fn swf_to_schedule(src: &str, threads: usize) -> Result<jedule_core::Schedule, String> {
+    let (header, jobs) =
+        jedule_workloads::parse_swf_parallel(src, threads).map_err(|e| e.to_string())?;
+    let total_nodes = header
+        .max_nodes
+        .or(header.max_procs)
+        .unwrap_or_else(|| jobs.iter().map(|j| j.procs).max().unwrap_or(1));
+    let opts = jedule_workloads::ConvertOptions {
+        cluster_name: header.computer.unwrap_or_else(|| "swf".to_string()),
+        total_nodes: total_nodes.max(1),
+        reserved: 0,
+        highlight_user: None,
+        task_attrs: false,
+    };
+    // Node assignment + task building dominate SWF ingest; give them
+    // their own span so `--timings` attributes the time.
+    let _s = jedule_core::obs::span("ingest.convert");
+    Ok(jedule_workloads::jobs_to_schedule(&jobs, &opts))
 }
 
 #[cfg(test)]

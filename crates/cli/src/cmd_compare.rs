@@ -4,6 +4,8 @@
 //! into one chart and prints a statistics diff.
 
 use crate::args::{load_schedule, Args};
+use crate::obs_cli::ObsSink;
+use jedule_core::obs;
 use jedule_core::stats::{idle_holes, schedule_stats};
 use jedule_core::transform::{merge, normalize};
 use jedule_core::PreparedSchedule;
@@ -15,6 +17,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut output: Option<String> = None;
     let mut format = OutputFormat::Svg;
     let mut align_origins = true;
+    let mut sink = ObsSink::default();
 
     while let Some(a) = args.next() {
         match a {
@@ -25,6 +28,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     OutputFormat::parse(name).ok_or_else(|| format!("unknown format {name:?}"))?;
             }
             "--keep-origins" => align_origins = false,
+            flag if sink.accept(flag, &mut args)? => {}
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             p => inputs.push(p.to_string()),
         }
@@ -33,8 +37,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err("compare needs exactly two schedule files".into());
     }
 
-    let mut a = load_schedule(&inputs[0])?;
-    let mut b = load_schedule(&inputs[1])?;
+    let _obs = sink.arm();
+    let (mut a, mut b) = {
+        let _s = obs::span("ingest");
+        (load_schedule(&inputs[0])?, load_schedule(&inputs[1])?)
+    };
     if align_origins {
         a = normalize(&a);
         b = normalize(&b);
@@ -111,6 +118,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .with_format(format)
         .with_title(format!("{na} vs {nb}"));
     let bytes = render_prepared(&combined, &opts);
+    sink.finish()?;
     let out_path = output.unwrap_or_else(|| format!("compare.{}", format.extension()));
     if format == OutputFormat::Ascii && out_path == "compare.txt" {
         print!("{}", String::from_utf8_lossy(&bytes));

@@ -1,8 +1,9 @@
 //! `jedule render` — the batch command-line mode (paper, §II-D2).
 
 use crate::args::{load_schedule_threads, Args};
-use jedule_core::AlignMode;
-use jedule_render::{perf::fmt_duration, render_timed, LodMode, OutputFormat, RenderOptions};
+use crate::obs_cli::ObsSink;
+use jedule_core::{obs, AlignMode, PreparedSchedule};
+use jedule_render::{render_prepared, LodMode, OutputFormat, RenderOptions};
 use std::path::PathBuf;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -13,7 +14,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut gray = false;
     let mut cmap_path: Option<String> = None;
     let mut only_types: Vec<String> = Vec::new();
-    let mut timings = false;
+    let mut sink = ObsSink::default();
 
     while let Some(a) = args.next() {
         match a {
@@ -39,7 +40,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--no-meta" => opts.show_meta = false,
             "--no-labels" => opts.show_labels = false,
             "--no-composites" => opts.show_composites = false,
-            "--profile" => opts.show_profile = true,
+            "--util-profile" => opts.show_profile = true,
             "--only-type" => only_types.push(args.value(a)?.to_string()),
             "--lod" => {
                 let name = args.value(a)?;
@@ -47,7 +48,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("unknown LOD mode {name:?} (auto, off, force)"))?;
             }
             "-j" | "--threads" => opts.threads = args.parse(a)?,
-            "--timings" => timings = true,
+            flag if sink.accept(flag, &mut args)? => {}
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             positional => {
                 if input.is_some() {
@@ -61,15 +62,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     opts.validate()?;
 
     let input = input.ok_or("render needs an input schedule file")?;
+    let _obs = sink.arm();
+
     // The `-j` knob drives ingest (chunked parallel parse for the
     // line-oriented formats) as well as the raster/encode stages.
-    let ingest_clock = std::time::Instant::now();
-    let mut schedule = load_schedule_threads(&input, opts.threads)?;
-    if !only_types.is_empty() {
-        schedule =
-            jedule_core::transform::filter_types(&schedule, |k| only_types.iter().any(|t| t == k));
-    }
-    let ingest_t = ingest_clock.elapsed();
+    let schedule = {
+        let _s = obs::span("ingest");
+        let mut schedule = load_schedule_threads(&input, opts.threads)?;
+        if !only_types.is_empty() {
+            schedule = jedule_core::transform::filter_types(&schedule, |k| {
+                only_types.iter().any(|t| t == k)
+            });
+        }
+        schedule
+    };
 
     if let Some(p) = cmap_path {
         let src = std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
@@ -79,16 +85,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         opts.colormap = opts.colormap.to_grayscale();
     }
 
-    let (bytes, stage_times) = render_timed(&schedule, &opts);
-    if timings {
-        let tasks = schedule.tasks.len();
-        let rate = tasks as f64 / ingest_t.as_secs_f64().max(1e-9);
-        eprintln!(
-            "ingest  {}  ({tasks} tasks, {rate:.0} tasks/s)",
-            fmt_duration(ingest_t)
-        );
-        eprintln!("{}", stage_times.report());
-    }
+    // The prepared path is pixel-identical to a cold render (property-
+    // tested) and its lazily built caches carry the `prepare.*` spans,
+    // so a profiled batch render shows every pipeline stage.
+    let prepared = PreparedSchedule::new(schedule);
+    let bytes = render_prepared(&prepared, &opts);
+    sink.finish()?;
     match output {
         Some(path) => {
             std::fs::write(&path, bytes).map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -213,11 +213,28 @@ pub fn execute(session: &mut Session, line: &str, out: &mut impl std::io::Write)
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let mut args = Args::new(argv);
-    let input = args
-        .next()
-        .ok_or("view needs an input schedule file")?
-        .to_string();
-    let schedule = PreparedSchedule::new(load_schedule(&input)?);
+    let mut input: Option<String> = None;
+    let mut sink = crate::obs_cli::ObsSink::default();
+    while let Some(a) = args.next() {
+        match a {
+            flag if sink.accept(flag, &mut args)? => {}
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if input.is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+                input = Some(positional.to_string());
+            }
+        }
+    }
+    let input = input.ok_or("view needs an input schedule file")?;
+    // The collector stays installed for the whole interactive session;
+    // exports are written when the session ends (q / EOF).
+    let _obs = sink.arm();
+    let schedule = {
+        let _s = jedule_core::obs::span("ingest");
+        PreparedSchedule::new(load_schedule(&input)?)
+    };
     // Build the index/extent caches up front so even the very first
     // zoom or pan is served warm.
     schedule.warm();
@@ -240,6 +257,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             break;
         }
     }
+    sink.finish()?;
     Ok(())
 }
 

@@ -19,6 +19,7 @@ mod cmd_convert;
 mod cmd_info;
 mod cmd_render;
 mod cmd_view;
+mod obs_cli;
 
 use std::process::ExitCode;
 
@@ -51,11 +52,18 @@ RENDER OPTIONS:
         --no-meta           hide the meta-info header
         --no-labels         hide task id labels
         --no-composites     do not draw composite (overlap) tasks
-        --profile           add a busy-hosts-over-time strip
+        --util-profile      add a busy-hosts-over-time strip
         --only-type <t>     keep only tasks of this type (repeatable)
     -j, --threads <n>       raster/encode worker threads (0 = all cores,
                             1 = sequential; pixels identical either way)
-        --timings           print per-stage wall times to stderr
+
+OBSERVABILITY (render, compare, view):
+        --timings           print the hierarchical span tree to stderr
+        --profile <file>    write a Chrome trace-event JSON (load it in
+                            Perfetto / chrome://tracing, or feed it back
+                            into `jedule render` as a schedule)
+        --metrics-json <file>  write flat stage/counter metrics JSON
+                            (schema jedule-metrics-v1, diffable in CI)
 ";
 
 fn main() -> ExitCode {

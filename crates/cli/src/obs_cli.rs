@@ -1,0 +1,141 @@
+//! Shared `--timings` / `--profile` / `--metrics-json` plumbing.
+//!
+//! Every subcommand that renders (`render`, `compare`, `view`) accepts
+//! the same three observability flags; [`ObsSink`] owns the collector
+//! behind them so each command only arms it, does its work, and calls
+//! [`ObsSink::finish`]. All three outputs are views over one recorded
+//! span tree — the `--timings` text, the Chrome trace and the metrics
+//! JSON can never disagree.
+
+use jedule_core::obs::{Collector, InstallGuard};
+
+/// Collects the observability flags of a subcommand and, once armed,
+/// the recording they feed.
+#[derive(Default)]
+pub struct ObsSink {
+    /// `--timings`: print the span tree to stderr.
+    pub timings: bool,
+    /// `--profile <file>`: write Chrome trace-event JSON.
+    pub trace_out: Option<String>,
+    /// `--metrics-json <file>`: write flat `jedule-metrics-v1` JSON.
+    pub metrics_out: Option<String>,
+    collector: Option<Collector>,
+}
+
+impl ObsSink {
+    /// Tries to consume one observability flag; returns whether `flag`
+    /// was one (so command arg loops can delegate unknown flags here).
+    pub fn accept(&mut self, flag: &str, args: &mut crate::args::Args) -> Result<bool, String> {
+        match flag {
+            "--timings" => self.timings = true,
+            "--profile" => self.trace_out = Some(args.value(flag)?.to_string()),
+            "--metrics-json" => self.metrics_out = Some(args.value(flag)?.to_string()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Whether any observability output was requested.
+    pub fn wanted(&self) -> bool {
+        self.timings || self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Installs a collector on the current thread when any output was
+    /// requested. Keep the guard alive for the instrumented region.
+    pub fn arm(&mut self) -> Option<InstallGuard> {
+        if !self.wanted() {
+            return None;
+        }
+        let col = Collector::new();
+        let guard = col.install();
+        self.collector = Some(col);
+        Some(guard)
+    }
+
+    /// Emits everything that was requested: the `--timings` tree to
+    /// stderr, the trace/metrics files to disk. Call after the spans of
+    /// interest have closed.
+    pub fn finish(&self) -> Result<(), String> {
+        let Some(col) = &self.collector else {
+            return Ok(());
+        };
+        let report = col.report();
+        if self.timings {
+            eprint!("{}", report.tree_report());
+        }
+        if let Some(p) = &self.trace_out {
+            std::fs::write(p, report.to_chrome_trace())
+                .map_err(|e| format!("cannot write {p}: {e}"))?;
+            eprintln!("wrote trace {p}");
+        }
+        if let Some(p) = &self.metrics_out {
+            std::fs::write(p, report.to_metrics_json())
+                .map_err(|e| format!("cannot write {p}: {e}"))?;
+            eprintln!("wrote metrics {p}");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    #[test]
+    fn accepts_only_obs_flags() {
+        let argv: Vec<String> = [
+            "--timings",
+            "--profile",
+            "t.json",
+            "--metrics-json",
+            "m.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut args = Args::new(&argv);
+        let mut sink = ObsSink::default();
+        while let Some(a) = args.next() {
+            assert!(sink.accept(a, &mut args).unwrap(), "{a} not accepted");
+        }
+        assert!(sink.timings);
+        assert_eq!(sink.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(sink.metrics_out.as_deref(), Some("m.json"));
+        let mut other = Args::new(&argv);
+        other.next();
+        assert!(!sink.accept("--width", &mut other).unwrap());
+    }
+
+    #[test]
+    fn unarmed_sink_finishes_quietly() {
+        let mut sink = ObsSink::default();
+        assert!(!sink.wanted());
+        assert!(sink.arm().is_none());
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn armed_sink_records_and_writes() {
+        let dir = std::env::temp_dir().join("jedule_obs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        let mut sink = ObsSink {
+            timings: false,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            collector: None,
+        };
+        {
+            let _g = sink.arm().expect("armed");
+            let _s = jedule_core::obs::span("stage");
+            jedule_core::obs::count("things", 2);
+        }
+        sink.finish().unwrap();
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"traceEvents\"") && t.contains("\"stage\""));
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("jedule-metrics-v1") && m.contains("\"things\":2"));
+    }
+}

@@ -20,6 +20,8 @@
 //! * [`ViewState`] — the interactive-mode semantics (zoom, pan, cluster
 //!   selection, hit-testing, task inspection) as a pure model (`view`).
 //! * Schedule validation (`validate`).
+//! * Observability — hierarchical spans, counters, Chrome-trace and
+//!   metrics-JSON export — shared by every crate in the workspace (`obs`).
 //!
 //! The XML input format of the paper lives in `jedule-xmlio`; rendering
 //! back-ends live in `jedule-render`.
@@ -34,6 +36,7 @@ pub mod error;
 pub mod hostset;
 pub mod index;
 pub mod model;
+pub mod obs;
 pub mod parallel;
 pub mod prepared;
 pub mod stats;
@@ -51,6 +54,7 @@ pub use error::CoreError;
 pub use hostset::{HostRange, HostSet};
 pub use index::{ClusterIndex, IndexEntry, IntervalSeq, ScheduleIndex};
 pub use model::{Allocation, Cluster, MetaInfo, Schedule, Task};
+pub use obs::{Collector, ObsReport, SpanRecord};
 pub use parallel::{effective_threads, line_chunks, LineChunk};
 pub use prepared::PreparedSchedule;
 pub use stats::{ClusterStats, Hole, ScheduleStats};

@@ -1,0 +1,718 @@
+//! Workspace-wide observability: hierarchical spans, monotonic counters,
+//! and two exporters (Chrome trace-event JSON, flat metrics JSON).
+//!
+//! Every hot stage of the pipeline — ingest, prepare, layout, raster,
+//! encode, and the scheduler/simulator crates — records where time goes
+//! through this one module, so `--timings`, `--profile`, `--metrics-json`
+//! and the CI perf-regression gate are all views over the same data
+//! instead of parallel ad-hoc clocks.
+//!
+//! # Model
+//!
+//! A [`Collector`] owns a wall-clock epoch, a span list and a counter
+//! table. Installing it (RAII, [`Collector::install`]) makes it the
+//! *current* collector of the calling thread; the free functions
+//! [`span`], [`count`] and [`handle`] then record into it. When no
+//! collector is installed they are no-ops — a single thread-local read —
+//! so instrumentation is effectively free in production renders and
+//! cannot change output bytes (property-tested).
+//!
+//! Spans are hierarchical per thread: a span opened while another is
+//! open on the same thread becomes its child. Worker threads do not
+//! inherit the parent thread's collector; parallel stages capture a
+//! [`Handle`] before spawning and [`Handle::attach`] it inside the
+//! worker, which keeps attribution explicit and data races impossible.
+//!
+//! # Exporters
+//!
+//! [`ObsReport::to_chrome_trace`] emits Chrome trace-event JSON (`ph:"X"`
+//! complete events, microsecond timestamps) loadable in Perfetto or
+//! `about://tracing`; [`ObsReport::to_metrics_json`] emits the flat
+//! `jedule-metrics-v1` schema the CI gate diffs against checked-in
+//! baselines; [`ObsReport::tree_report`] is the human `--timings` view.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span: `[start_us, start_us + dur_us]` relative to the
+/// collector's epoch, on thread `thread`, nested under `parent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Collector-unique id (allocation order, not completion order).
+    pub id: u32,
+    /// Enclosing span on the same thread at open time, if any.
+    pub parent: Option<u32>,
+    /// Static stage name, e.g. `"render.layout"`.
+    pub name: &'static str,
+    /// Optional dynamic annotation (format name, chunk index, …).
+    pub detail: Option<String>,
+    /// Process-unique thread number (1-based, assignment order).
+    pub thread: u64,
+    /// Microseconds from the collector epoch to the span start.
+    pub start_us: f64,
+    /// Span duration in microseconds.
+    pub dur_us: f64,
+}
+
+impl SpanRecord {
+    /// Microseconds from the epoch to the span end.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    next_id: u32,
+}
+
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// An observability sink: spans and counters accumulate here while it is
+/// installed (or reached through a [`Handle`]). Cloning is cheap and
+/// shares the sink.
+#[derive(Clone)]
+pub struct Collector {
+    inner: Arc<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+thread_local! {
+    /// Stack of installed collectors (innermost last).
+    static CURRENT: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
+    /// Stack of open spans on this thread: (collector ptr, span id).
+    static OPEN: RefCell<Vec<(usize, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_NUM: u64 = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_num() -> u64 {
+    THREAD_NUM.with(|t| *t)
+}
+
+impl Collector {
+    pub fn new() -> Collector {
+        Collector {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    fn ptr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Makes this the calling thread's current collector until the guard
+    /// drops. Installs nest: the innermost wins.
+    #[must_use = "dropping the guard immediately uninstalls the collector"]
+    pub fn install(&self) -> InstallGuard {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        InstallGuard {
+            ptr: self.ptr(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Opens a span attributed to this collector on the calling thread.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_inner(name, None)
+    }
+
+    /// [`Collector::span`] with a dynamic annotation.
+    pub fn span_with(&self, name: &'static str, detail: impl Into<String>) -> SpanGuard {
+        self.span_inner(name, Some(detail.into()))
+    }
+
+    fn span_inner(&self, name: &'static str, detail: Option<String>) -> SpanGuard {
+        let ptr = self.ptr();
+        let parent = OPEN.with(|o| {
+            o.borrow()
+                .last()
+                .and_then(|&(p, id)| (p == ptr).then_some(id))
+        });
+        let id = {
+            let mut st = self.inner.state.lock().unwrap();
+            let id = st.next_id;
+            st.next_id += 1;
+            id
+        };
+        OPEN.with(|o| o.borrow_mut().push((ptr, id)));
+        SpanGuard(Some(ActiveSpan {
+            collector: self.clone(),
+            id,
+            parent,
+            name,
+            detail,
+            start: Instant::now(),
+        }))
+    }
+
+    /// Adds `n` to the named monotonic counter.
+    pub fn count(&self, name: &'static str, n: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        *st.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Snapshots everything recorded so far. Spans are sorted by start
+    /// time (ties by id, i.e. open order).
+    pub fn report(&self) -> ObsReport {
+        let st = self.inner.state.lock().unwrap();
+        let mut spans = st.spans.clone();
+        spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.id.cmp(&b.id)));
+        ObsReport {
+            spans,
+            counters: st
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Collector::install`]; uninstalls on drop.
+pub struct InstallGuard {
+    ptr: usize,
+    /// Install/uninstall manipulate thread-local stacks; the guard must
+    /// drop on the installing thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            let mut stack = c.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|col| col.ptr() == self.ptr) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+struct ActiveSpan {
+    collector: Collector,
+    id: u32,
+    parent: Option<u32>,
+    name: &'static str,
+    detail: Option<String>,
+    start: Instant,
+}
+
+/// An open span; records itself on drop. No-op (`None`) when created
+/// through the free functions with no collector installed.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// A guard that records nothing.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// The span's collector-unique id, if recording.
+    pub fn id(&self) -> Option<u32> {
+        self.0.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let end = Instant::now();
+        let ptr = active.collector.ptr();
+        OPEN.with(|o| {
+            let mut stack = o.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(p, id)| p == ptr && id == active.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let epoch = active.collector.inner.epoch;
+        let start_us = active.start.duration_since(epoch).as_secs_f64() * 1e6;
+        let dur_us = end.duration_since(active.start).as_secs_f64() * 1e6;
+        let mut st = active.collector.inner.state.lock().unwrap();
+        st.spans.push(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            detail: active.detail,
+            thread: thread_num(),
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// The calling thread's current collector, if one is installed.
+pub fn current() -> Option<Collector> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Whether instrumentation is live on the calling thread.
+pub fn enabled() -> bool {
+    CURRENT.with(|c| !c.borrow().is_empty())
+}
+
+/// Opens a span on the current collector; no-op when none is installed.
+pub fn span(name: &'static str) -> SpanGuard {
+    match current() {
+        Some(c) => c.span(name),
+        None => SpanGuard(None),
+    }
+}
+
+/// [`span`] with a lazily built annotation (the closure only runs when a
+/// collector is installed).
+pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+    match current() {
+        Some(c) => c.span_inner(name, Some(detail())),
+        None => SpanGuard(None),
+    }
+}
+
+/// Adds to a counter on the current collector; no-op when none is
+/// installed.
+pub fn count(name: &'static str, n: u64) {
+    if let Some(c) = current() {
+        c.count(name, n);
+    }
+}
+
+/// A sendable reference to the current collector (or to nothing), for
+/// handing instrumentation across thread spawns: capture before
+/// spawning, [`Handle::attach`] inside the worker.
+#[derive(Clone)]
+pub struct Handle(Option<Collector>);
+
+impl Handle {
+    /// Installs the referenced collector on the calling thread for the
+    /// guard's lifetime; `None` when the handle is empty (observability
+    /// was disabled where the handle was taken).
+    pub fn attach(&self) -> Option<InstallGuard> {
+        self.0.as_ref().map(Collector::install)
+    }
+}
+
+/// Captures the calling thread's current collector as a [`Handle`].
+pub fn handle() -> Handle {
+    Handle(current())
+}
+
+/// An immutable snapshot of a collector: spans sorted by start time,
+/// counters sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    pub spans: Vec<SpanRecord>,
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ObsReport {
+    /// The value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Summed duration (ms) of every span with this exact name.
+    pub fn stage_total_ms(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_us)
+            .sum::<f64>()
+            / 1e3
+    }
+
+    /// The spans whose parent is `parent` (`None` selects the roots),
+    /// in start order.
+    pub fn children_of(&self, parent: Option<u32>) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == parent).collect()
+    }
+
+    /// The span with this id, if present.
+    pub fn find(&self, id: u32) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Chrome trace-event JSON (`{"traceEvents":[…]}` with `ph:"X"`
+    /// complete events), loadable in Perfetto / `about://tracing`.
+    /// Counters travel in `otherData.counters`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_string(s.name, &mut out);
+            let _ = write!(
+                out,
+                ",\"cat\":\"jedule\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}",
+                s.start_us, s.dur_us, s.thread
+            );
+            out.push_str(",\"args\":{");
+            let _ = write!(out, "\"id\":{}", s.id);
+            if let Some(p) = s.parent {
+                let _ = write!(out, ",\"parent\":{p}");
+            }
+            if let Some(d) = &s.detail {
+                out.push_str(",\"detail\":");
+                json_string(d, &mut out);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"otherData\":{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(k, &mut out);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("}}}");
+        out
+    }
+
+    /// Flat machine-readable metrics (`jedule-metrics-v1`): per stage
+    /// name the summed wall time and span count, plus every counter.
+    /// This is the schema the CI perf gate diffs against baselines.
+    pub fn to_metrics_json(&self) -> String {
+        let mut stages: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = stages.entry(s.name).or_insert((0.0, 0));
+            e.0 += s.dur_us;
+            e.1 += 1;
+        }
+        let mut out = String::from("{\"schema\":\"jedule-metrics-v1\",\"stages\":{");
+        for (i, (name, (us, n))) in stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(name, &mut out);
+            let _ = write!(out, ":{{\"wall_ms\":{:.4},\"count\":{n}}}", us / 1e3);
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(k, &mut out);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Human-readable span tree (the `--timings` view). Sibling spans
+    /// with the same name aggregate into one `×N` line; each parent gets
+    /// an `(untracked)` remainder line when its children leave more than
+    /// 1 µs unaccounted, so the printed stages always sum to the printed
+    /// wall times.
+    pub fn tree_report(&self) -> String {
+        let mut out = String::new();
+        let roots = self.children_of(None);
+        let total_us: f64 = roots.iter().map(|s| s.dur_us).sum();
+        self.tree_level(&roots, 0, &mut out);
+        if roots.len() > 1 {
+            let _ = writeln!(out, "total   {:10.3} ms", total_us / 1e3);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<38} {v}");
+            }
+        }
+        out
+    }
+
+    fn tree_level(&self, spans: &[&SpanRecord], depth: usize, out: &mut String) {
+        // Aggregate same-named siblings, preserving first-start order.
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut agg: BTreeMap<&'static str, (f64, usize, Vec<u32>)> = BTreeMap::new();
+        for s in spans {
+            let e = agg.entry(s.name).or_insert_with(|| {
+                order.push(s.name);
+                (0.0, 0, Vec::new())
+            });
+            e.0 += s.dur_us;
+            e.1 += 1;
+            e.2.push(s.id);
+        }
+        for name in order {
+            let (us, n, ids) = &agg[name];
+            let label = if *n > 1 {
+                format!("{name} ×{n}")
+            } else if let Some(d) = spans
+                .iter()
+                .find(|s| s.name == name)
+                .and_then(|s| s.detail.as_deref())
+            {
+                format!("{name} [{d}]")
+            } else {
+                name.to_string()
+            };
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(
+                out,
+                "{indent}{label:<width$} {:10.3} ms",
+                us / 1e3,
+                width = 40usize.saturating_sub(depth * 2)
+            );
+            let mut children: Vec<&SpanRecord> = Vec::new();
+            for id in ids {
+                children.extend(self.children_of(Some(*id)));
+            }
+            if !children.is_empty() {
+                children.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.id.cmp(&b.id)));
+                self.tree_level(&children, depth + 1, out);
+                let child_us: f64 = children.iter().map(|s| s.dur_us).sum();
+                let rest = us - child_us;
+                if rest > 1.0 {
+                    let indent = "  ".repeat(depth + 1);
+                    let _ = writeln!(
+                        out,
+                        "{indent}{:<width$} {:10.3} ms",
+                        "(untracked)",
+                        rest / 1e3,
+                        width = 40usize.saturating_sub((depth + 1) * 2)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the exporters cannot depend on
+/// `jedule-xmlio`'s JSON writer — that crate depends on this one).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_a_noop() {
+        assert!(!enabled());
+        assert!(current().is_none());
+        let g = span("anything");
+        assert!(g.id().is_none());
+        drop(g);
+        count("nothing", 5); // must not panic
+        assert!(handle().attach().is_none());
+    }
+
+    #[test]
+    fn spans_nest_per_thread() {
+        let col = Collector::new();
+        {
+            let _g = col.install();
+            assert!(enabled());
+            let outer = span("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = span("inner");
+                assert_ne!(inner.id(), outer.id());
+            }
+            drop(outer);
+            let free = span("free");
+            assert!(free.id().is_some());
+            drop(free);
+            let rep = col.report();
+            let inner = rep.spans.iter().find(|s| s.name == "inner").unwrap();
+            assert_eq!(inner.parent, Some(outer_id));
+            let free = rep.spans.iter().find(|s| s.name == "free").unwrap();
+            assert_eq!(free.parent, None);
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn children_stay_inside_parents() {
+        let col = Collector::new();
+        let _g = col.install();
+        {
+            let _a = span("a");
+            let _b = span("b");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let rep = col.report();
+        let a = rep.spans.iter().find(|s| s.name == "a").unwrap();
+        let b = rep.spans.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(b.parent, Some(a.id));
+        assert!(b.start_us >= a.start_us);
+        assert!(b.end_us() <= a.end_us());
+        assert!(a.dur_us >= 1000.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let col = Collector::new();
+        let _g = col.install();
+        count("tasks", 3);
+        count("tasks", 4);
+        count("other", 1);
+        let rep = col.report();
+        assert_eq!(rep.counter("tasks"), 7);
+        assert_eq!(rep.counter("other"), 1);
+        assert_eq!(rep.counter("absent"), 0);
+    }
+
+    #[test]
+    fn handle_carries_collector_across_threads() {
+        let col = Collector::new();
+        let _g = col.install();
+        let h = handle();
+        let joins: Vec<_> = (0..3)
+            .map(|i| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let _att = h.attach();
+                    let _s = span_with("worker", || format!("chunk {i}"));
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let rep = col.report();
+        let workers: Vec<_> = rep.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 3);
+        // Worker spans are roots (no cross-thread parenting) on three
+        // distinct threads.
+        let mut threads: Vec<u64> = workers.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 3);
+        assert!(workers.iter().all(|s| s.parent.is_none()));
+    }
+
+    #[test]
+    fn nested_install_wins_and_unwinds() {
+        let a = Collector::new();
+        let b = Collector::new();
+        let _ga = a.install();
+        {
+            let _gb = b.install();
+            let _s = span("into_b");
+        }
+        let _s = span("into_a");
+        drop(_s);
+        assert_eq!(a.report().spans.len(), 1);
+        assert_eq!(a.report().spans[0].name, "into_a");
+        assert_eq!(b.report().spans.len(), 1);
+        assert_eq!(b.report().spans[0].name, "into_b");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let col = Collector::new();
+        {
+            let _g = col.install();
+            let _a = span("stage");
+            let _b = col.span_with("sub", "de\"tail");
+            count("bytes", 42);
+        }
+        let json = col.report().to_chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"stage\""));
+        assert!(json.contains("\"detail\":\"de\\\"tail\""));
+        assert!(json.contains("\"counters\":{\"bytes\":42}"));
+    }
+
+    #[test]
+    fn metrics_json_aggregates_stages() {
+        let col = Collector::new();
+        {
+            let _g = col.install();
+            for _ in 0..3 {
+                let _s = span("stage");
+            }
+            count("n", 9);
+        }
+        let json = col.report().to_metrics_json();
+        assert!(json.contains("\"schema\":\"jedule-metrics-v1\""));
+        assert!(json.contains("\"stage\":{\"wall_ms\":"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"n\":9"));
+    }
+
+    #[test]
+    fn tree_report_sums_and_indents() {
+        let col = Collector::new();
+        {
+            let _g = col.install();
+            let _root = span("root");
+            let _c1 = span("child");
+            drop(_c1);
+            let _c2 = span("child");
+        }
+        let rep = col.report();
+        let text = rep.tree_report();
+        assert!(text.contains("root"), "{text}");
+        assert!(text.contains("child ×2"), "{text}");
+        // The root's duration bounds the children's sum.
+        let root = rep.spans.iter().find(|s| s.name == "root").unwrap();
+        let kids: f64 = rep
+            .children_of(Some(root.id))
+            .iter()
+            .map(|s| s.dur_us)
+            .sum();
+        assert!(kids <= root.dur_us);
+    }
+
+    #[test]
+    fn report_spans_sorted_by_start() {
+        let col = Collector::new();
+        let _g = col.install();
+        for _ in 0..5 {
+            let _s = span("s");
+        }
+        let rep = col.report();
+        for w in rep.spans.windows(2) {
+            assert!(w[0].start_us <= w[1].start_us);
+        }
+    }
+}

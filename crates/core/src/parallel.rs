@@ -5,15 +5,38 @@
 //! same convention: `0` means "use all available parallelism", `1` forces
 //! the sequential code path (byte-identical to the pre-parallel
 //! implementation), and any other value is an explicit worker count.
+//!
+//! The "all available" case can be pinned from outside with the
+//! `JEDULE_THREADS` environment variable (read once per process). CI
+//! uses it to run the whole test suite through both the sequential and
+//! the parallel code paths without touching any call site.
 
-/// Resolves a `threads` knob to an actual worker count (≥ 1).
+use std::sync::OnceLock;
+
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(v) = std::env::var("JEDULE_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves a `threads` knob to an actual worker count (≥ 1). A knob of
+/// `0` resolves to `JEDULE_THREADS` when set, else the machine's
+/// available parallelism.
 pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        auto_threads()
     }
 }
 

@@ -28,6 +28,7 @@ use crate::align::{AlignMode, TimeExtent};
 use crate::composite::{composite_tasks_indexed, CompositeOptions};
 use crate::index::ScheduleIndex;
 use crate::model::{Schedule, Task};
+use crate::obs;
 use std::sync::OnceLock;
 
 /// Cached extents: the global one plus each cluster's local one, stored
@@ -91,8 +92,15 @@ impl PreparedSchedule {
     /// superset of the cluster-only index, so one cache serves window
     /// culling, the composite sweep, statistics and hit-testing alike).
     pub fn index(&self) -> &ScheduleIndex {
-        self.index
-            .get_or_init(|| ScheduleIndex::build_with_hosts(&self.schedule))
+        if let Some(built) = self.index.get() {
+            obs::count("prepared.cache_hit", 1);
+            return built;
+        }
+        self.index.get_or_init(|| {
+            let _s = obs::span("prepare.index");
+            obs::count("prepared.cache_build", 1);
+            ScheduleIndex::build_with_hosts(&self.schedule)
+        })
     }
 
     /// Eagerly builds every cache a windowed render touches (index,
@@ -106,7 +114,13 @@ impl PreparedSchedule {
     }
 
     fn extents(&self) -> &Extents {
+        if let Some(built) = self.extents.get() {
+            obs::count("prepared.cache_hit", 1);
+            return built;
+        }
         self.extents.get_or_init(|| {
+            let _s = obs::span("prepare.extents");
+            obs::count("prepared.cache_build", 1);
             // One pass over tasks × allocations computes what
             // `align::global_extent` + per-cluster `align::cluster_extent`
             // would, with identical min/max accumulation semantics.
@@ -155,7 +169,13 @@ impl PreparedSchedule {
     }
 
     fn kinds_cache(&self) -> &Kinds {
+        if let Some(built) = self.kinds.get() {
+            obs::count("prepared.cache_hit", 1);
+            return built;
+        }
         self.kinds.get_or_init(|| {
+            let _s = obs::span("prepare.kinds");
+            obs::count("prepared.cache_build", 1);
             let mut names: Vec<String> = Vec::new();
             let mut of_task = Vec::with_capacity(self.schedule.tasks.len());
             // Consecutive tasks of real traces overwhelmingly share one
@@ -201,9 +221,18 @@ impl PreparedSchedule {
     /// [`CompositeOptions`] — what the layout engine draws. Computed on
     /// first use (building the index if needed) and cached.
     pub fn composites(&self) -> &[Task] {
+        if let Some(built) = self.composites.get() {
+            obs::count("prepared.cache_hit", 1);
+            return built.as_slice();
+        }
         self.composites
             .get_or_init(|| {
-                composite_tasks_indexed(&self.schedule, self.index(), &CompositeOptions::default())
+                // Resolve the index dependency *before* opening the span so
+                // its build time is attributed to prepare.index, not here.
+                let index = self.index();
+                let _s = obs::span("prepare.composites");
+                obs::count("prepared.cache_build", 1);
+                composite_tasks_indexed(&self.schedule, index, &CompositeOptions::default())
             })
             .as_slice()
     }
@@ -314,6 +343,21 @@ mod tests {
         assert_eq!(p.schedule(), &s);
         p.warm();
         assert_eq!(p.into_schedule(), s);
+    }
+
+    #[test]
+    fn cache_counters_distinguish_build_from_hit() {
+        let col = obs::Collector::new();
+        let _g = col.install();
+        let p = PreparedSchedule::new(sched());
+        p.index();
+        p.index();
+        p.composites(); // hits index again, builds composites
+        let rep = col.report();
+        assert_eq!(rep.counter("prepared.cache_build"), 2);
+        assert!(rep.counter("prepared.cache_hit") >= 2);
+        assert!(rep.spans.iter().any(|s| s.name == "prepare.index"));
+        assert!(rep.spans.iter().any(|s| s.name == "prepare.composites"));
     }
 
     #[test]

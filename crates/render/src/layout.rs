@@ -676,6 +676,7 @@ fn draw_panel(
         let t0 = task.start.max(ext.start);
         let t1 = task.end.min(ext.end);
         if t1 < t0 || (t1 <= t0 && task.duration() > 0.0) {
+            scene.stats.clipped += 1;
             return;
         }
         let px_w = to_x(t1) - to_x(t0);
@@ -688,10 +689,14 @@ fn draw_panel(
             let g = grid.get_or_insert_with(|| LodGrid::new(c.hosts, plot_w));
             if g.add(task, c.id, to_x(t0) - plot_x, px_w, pair.bg) {
                 scene.stats.lod_aggregated += 1;
+            } else {
+                scene.stats.clipped += 1;
             }
         } else if task.allocations.iter().any(|a| a.cluster == c.id) {
             direct.push((ti, pair));
             scene.stats.lod_direct += 1;
+        } else {
+            scene.stats.clipped += 1;
         }
     };
     match &candidates {

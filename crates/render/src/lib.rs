@@ -42,13 +42,18 @@ pub use options::{LodMode, OutputFormat, RenderOptions};
 pub use perf::RenderTimings;
 pub use scene::{Anchor, LinePrim, PrimKind, PrimRef, RectPrim, Scene, SceneStats, TextPrim};
 
-use jedule_core::{PreparedSchedule, Schedule};
+use jedule_core::{obs, PreparedSchedule, Schedule};
 
 /// One-call rendering: lays out `schedule` and serializes it in
 /// `options.format`, returning the output bytes. The raster back-ends
 /// (PNG/JPEG/PPM) honor `options.threads`.
+///
+/// When an [`obs::Collector`] is installed the pipeline records spans
+/// (`render` → `render.layout` / `render.raster` / `render.encode`) and
+/// counters into it; with none installed instrumentation is a no-op and
+/// the output bytes are identical either way (property-tested).
 pub fn render(schedule: &Schedule, options: &RenderOptions) -> Vec<u8> {
-    render_timed(schedule, options).0
+    render_impl(schedule, options, None).0
 }
 
 /// [`render`] served from a [`PreparedSchedule`]: repeated renders of
@@ -56,7 +61,7 @@ pub fn render(schedule: &Schedule, options: &RenderOptions) -> Vec<u8> {
 /// cached index/extent/kind data instead of rebuilding it per frame.
 /// Output bytes are identical to `render(prep.schedule(), options)`.
 pub fn render_prepared(prep: &PreparedSchedule, options: &RenderOptions) -> Vec<u8> {
-    render_prepared_timed(prep, options).0
+    render_impl(prep.schedule(), options, Some(prep)).0
 }
 
 /// Like [`render_prepared`], but also reports per-stage timings.
@@ -69,6 +74,12 @@ pub fn render_prepared_timed(
 
 /// Like [`render`], but also reports how long each pipeline stage took
 /// (surfaced by `jedule render --timings` and the bench harness).
+///
+/// The timings are a view over the same span tree every other consumer
+/// sees: if a collector is already installed the render records into it
+/// and the timings are derived from those spans; otherwise a temporary
+/// collector scopes the measurement. Either way there is exactly one
+/// measurement code path.
 pub fn render_timed(schedule: &Schedule, options: &RenderOptions) -> (Vec<u8>, RenderTimings) {
     render_timed_impl(schedule, options, None)
 }
@@ -78,36 +89,82 @@ fn render_timed_impl(
     options: &RenderOptions,
     prep: Option<&PreparedSchedule>,
 ) -> (Vec<u8>, RenderTimings) {
-    let mut clock = perf::StageClock::start();
-    let scene = match prep {
-        Some(p) => layout_prepared(p, options),
-        None => layout(schedule, options),
+    let temp = if obs::enabled() {
+        None
+    } else {
+        Some(obs::Collector::new())
     };
-    let layout_t = clock.lap();
-
-    let mut raster_t = std::time::Duration::ZERO;
-    let mut raster_canvas = |threads| {
-        let c = raster::rasterize_threads(&scene, threads);
-        raster_t = clock.lap();
-        c
-    };
-    let bytes = match options.format {
-        OutputFormat::Svg => svg::to_svg(&scene).into_bytes(),
-        OutputFormat::Png => png::encode_with(&raster_canvas(options.threads), options.threads),
-        OutputFormat::Jpeg => jpeg::encode(&raster_canvas(options.threads), 90),
-        OutputFormat::Ppm => ppm::encode(&raster_canvas(options.threads)),
-        OutputFormat::Pdf => pdf::to_pdf(&scene),
-        OutputFormat::Ascii => ascii::to_ascii(&scene, true).into_bytes(),
-    };
-    let encode_t = clock.lap();
-    let timings = RenderTimings {
-        layout: layout_t,
-        raster: raster_t,
-        encode: encode_t,
-        total: layout_t + raster_t + encode_t,
-        scene: scene.stats,
-    };
+    let _g = temp.as_ref().map(obs::Collector::install);
+    let (bytes, stats, root) = render_impl(schedule, options, prep);
+    let col = obs::current().expect("a collector is installed for a timed render");
+    let timings = RenderTimings::from_report(&col.report(), root, stats);
     (bytes, timings)
+}
+
+/// The single render pipeline. Returns the output bytes, the layout
+/// stage counters, and the id of the `render` root span (when a
+/// collector is installed).
+fn render_impl(
+    schedule: &Schedule,
+    options: &RenderOptions,
+    prep: Option<&PreparedSchedule>,
+) -> (Vec<u8>, SceneStats, Option<u32>) {
+    let root = obs::span("render");
+    let root_id = root.id();
+    let scene = {
+        let _s = obs::span("render.layout");
+        match prep {
+            Some(p) => layout_prepared(p, options),
+            None => layout(schedule, options),
+        }
+    };
+    let stats = scene.stats;
+    if root_id.is_some() {
+        obs::count("render.tasks_direct", stats.lod_direct as u64);
+        obs::count("render.tasks_lod_binned", stats.lod_aggregated as u64);
+        obs::count("render.lod_strips", stats.lod_strips as u64);
+        obs::count("render.tasks_culled", stats.culled as u64);
+        obs::count("render.tasks_clipped", stats.clipped as u64);
+    }
+    let raster_canvas = |threads| {
+        let _s = obs::span("render.raster");
+        raster::rasterize_threads(&scene, threads)
+    };
+    let encode = || obs::span("render.encode");
+    let bytes = match options.format {
+        OutputFormat::Svg => {
+            let _s = encode();
+            svg::to_svg(&scene).into_bytes()
+        }
+        OutputFormat::Png => {
+            let canvas = raster_canvas(options.threads);
+            let _s = encode();
+            png::encode_with(&canvas, options.threads)
+        }
+        OutputFormat::Jpeg => {
+            let canvas = raster_canvas(options.threads);
+            let _s = encode();
+            jpeg::encode(&canvas, 90)
+        }
+        OutputFormat::Ppm => {
+            let canvas = raster_canvas(options.threads);
+            let _s = encode();
+            ppm::encode(&canvas)
+        }
+        OutputFormat::Pdf => {
+            let _s = encode();
+            pdf::to_pdf(&scene)
+        }
+        OutputFormat::Ascii => {
+            let _s = encode();
+            ascii::to_ascii(&scene, true).into_bytes()
+        }
+    };
+    if root_id.is_some() {
+        obs::count("encode.bytes_out", bytes.len() as u64);
+    }
+    drop(root);
+    (bytes, stats, root_id)
 }
 
 /// Renders to a file, picking the format from `options`.

@@ -1,40 +1,14 @@
-//! Per-stage wall-clock instrumentation for the rendering pipeline.
+//! Per-stage timing report for the rendering pipeline.
 //!
-//! [`crate::render_timed`] records how long each stage of a render takes
-//! — scene layout, rasterization (raster back-ends only) and encoding —
-//! so `jedule render --timings` and the bench harness can report where
-//! the time goes and how the thread knob changes it.
+//! [`RenderTimings`] is a *view* over the [`jedule_core::obs`] span tree
+//! — [`crate::render_timed`] records spans through the one instrumented
+//! pipeline and derives the stage durations from them, so `--timings`,
+//! `--profile` and the bench harness can never disagree about where the
+//! time went (they read the same spans).
 
 use crate::scene::SceneStats;
-use std::time::{Duration, Instant};
-
-/// Measures consecutive stages: every [`lap`](StageClock::lap) returns
-/// the time since the previous lap (or construction).
-pub struct StageClock {
-    last: Instant,
-}
-
-impl StageClock {
-    pub fn start() -> Self {
-        StageClock {
-            last: Instant::now(),
-        }
-    }
-
-    /// Ends the current stage, returning its duration.
-    pub fn lap(&mut self) -> Duration {
-        let now = Instant::now();
-        let d = now - self.last;
-        self.last = now;
-        d
-    }
-}
-
-impl Default for StageClock {
-    fn default() -> Self {
-        StageClock::start()
-    }
-}
+use jedule_core::obs::ObsReport;
+use std::time::Duration;
 
 /// Wall-clock time spent in each stage of one render.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,7 +19,8 @@ pub struct RenderTimings {
     pub raster: Duration,
     /// Pixels/scene → output bytes.
     pub encode: Duration,
-    /// Whole pipeline (sum of the stages).
+    /// Whole pipeline (the `render` root span — covers the stages plus
+    /// any glue between them).
     pub total: Duration,
     /// Layout-stage counters: LOD hits/misses, strips emitted, tasks
     /// culled by the time-window interval query.
@@ -53,6 +28,43 @@ pub struct RenderTimings {
 }
 
 impl RenderTimings {
+    /// Derives stage timings from a recorded span tree. `root` is the id
+    /// of the `render` root span when known; otherwise the most recent
+    /// root-level `render` span in the report is used. Stage durations
+    /// are the summed `render.layout` / `render.raster` / `render.encode`
+    /// children of that root; `total` is the root span itself.
+    pub fn from_report(report: &ObsReport, root: Option<u32>, scene: SceneStats) -> RenderTimings {
+        let root_span = root.and_then(|id| report.find(id)).or_else(|| {
+            report
+                .spans
+                .iter()
+                .rev()
+                .find(|s| s.name == "render" && s.parent.is_none())
+        });
+        let Some(rs) = root_span else {
+            return RenderTimings {
+                scene,
+                ..RenderTimings::default()
+            };
+        };
+        let children = report.children_of(Some(rs.id));
+        let sum_us = |name: &str| {
+            children
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.dur_us)
+                .sum::<f64>()
+        };
+        let dur = |us: f64| Duration::from_secs_f64(us.max(0.0) / 1e6);
+        RenderTimings {
+            layout: dur(sum_us("render.layout")),
+            raster: dur(sum_us("render.raster")),
+            encode: dur(sum_us("render.encode")),
+            total: dur(rs.dur_us),
+            scene,
+        }
+    }
+
     /// Multi-line human-readable report (as printed by
     /// `jedule render --timings`).
     pub fn report(&self) -> String {
@@ -78,16 +90,7 @@ pub fn fmt_duration(d: Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn laps_are_monotonic_and_disjoint() {
-        let mut c = StageClock::start();
-        std::thread::sleep(Duration::from_millis(2));
-        let a = c.lap();
-        let b = c.lap();
-        assert!(a >= Duration::from_millis(1));
-        assert!(b < a, "second lap restarts from the first's end");
-    }
+    use jedule_core::obs::{Collector, SpanRecord};
 
     #[test]
     fn report_lists_every_stage() {
@@ -101,6 +104,7 @@ mod tests {
                 lod_aggregated: 993,
                 lod_strips: 12,
                 culled: 41,
+                clipped: 0,
             },
         };
         let r = t.report();
@@ -114,5 +118,51 @@ mod tests {
             "{r:?}"
         );
         assert!(r.contains("41 tasks"), "{r:?}");
+    }
+
+    fn span(id: u32, parent: Option<u32>, name: &'static str, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            detail: None,
+            thread: 1,
+            start_us: start,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn from_report_sums_stage_children() {
+        let report = ObsReport {
+            spans: vec![
+                span(0, None, "render", 0.0, 5000.0),
+                span(1, Some(0), "render.layout", 0.0, 1500.0),
+                span(2, Some(0), "render.raster", 1500.0, 2500.0),
+                span(3, Some(0), "render.encode", 4000.0, 500.0),
+                // A nested span must not be double counted.
+                span(4, Some(2), "render.raster", 1600.0, 100.0),
+                // A second render's spans must not leak into the first.
+                span(5, None, "render", 6000.0, 100.0),
+                span(6, Some(5), "render.layout", 6000.0, 90.0),
+            ],
+            counters: vec![],
+        };
+        let t = RenderTimings::from_report(&report, Some(0), SceneStats::default());
+        assert_eq!(t.layout, Duration::from_micros(1500));
+        assert_eq!(t.raster, Duration::from_micros(2500));
+        assert_eq!(t.encode, Duration::from_micros(500));
+        assert_eq!(t.total, Duration::from_micros(5000));
+        // Without an explicit root, the most recent render root wins.
+        let t2 = RenderTimings::from_report(&report, None, SceneStats::default());
+        assert_eq!(t2.total, Duration::from_micros(100));
+        assert_eq!(t2.layout, Duration::from_micros(90));
+    }
+
+    #[test]
+    fn from_report_with_no_render_span_is_zero() {
+        let report = Collector::new().report();
+        let t = RenderTimings::from_report(&report, None, SceneStats::default());
+        assert_eq!(t.total, Duration::ZERO);
     }
 }

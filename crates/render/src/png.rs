@@ -119,6 +119,7 @@ fn raw_scanlines(canvas: &Canvas, r0: usize, r1: usize) -> Vec<u8> {
 /// Encodes a canvas as a PNG file (sequentially, one deflate block).
 pub fn encode(canvas: &Canvas) -> Vec<u8> {
     let raw = raw_scanlines(canvas, 0, canvas.height);
+    jedule_core::obs::count("png.bytes_deflated", raw.len() as u64);
     write_png(canvas, &crate::deflate::zlib_compress(&raw))
 }
 
@@ -147,11 +148,17 @@ pub fn encode_with(canvas: &Canvas, threads: usize) -> Vec<u8> {
         return encode(canvas);
     }
     let bands = jedule_core::parallel::chunk_bounds(canvas.height, workers);
+    let obs_handle = jedule_core::obs::handle();
     let parts: Vec<(Vec<u8>, u32, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = bands
             .iter()
             .map(|&(r0, r1)| {
+                let obs_handle = obs_handle.clone();
                 s.spawn(move || {
+                    let _att = obs_handle.attach();
+                    let _sp = jedule_core::obs::span_with("png.deflate_band", || {
+                        format!("rows {r0}..{r1}")
+                    });
                     let raw = raw_scanlines(canvas, r0, r1);
                     let body = crate::deflate::deflate_fixed_sync(&raw);
                     (body, adler32(&raw), raw.len() as u64)
@@ -164,6 +171,10 @@ pub fn encode_with(canvas: &Canvas, threads: usize) -> Vec<u8> {
             .collect()
     });
 
+    jedule_core::obs::count(
+        "png.bytes_deflated",
+        parts.iter().map(|(_, _, n)| n).sum::<u64>(),
+    );
     let mut idat = Vec::with_capacity(parts.iter().map(|(b, _, _)| b.len()).sum::<usize>() + 11);
     idat.push(0x78);
     idat.push(0x9c); // FLG with check bits for CMF 0x78

@@ -249,11 +249,16 @@ pub fn rasterize_threads(scene: &Scene, threads: usize) -> Canvas {
     }
     let bands = jedule_core::parallel::chunk_bounds(height, workers);
     let mut pixels = Vec::with_capacity(width * height * 3);
+    let obs_handle = jedule_core::obs::handle();
     let band_pixels: Vec<Vec<u8>> = std::thread::scope(|s| {
         let handles: Vec<_> = bands
             .iter()
             .map(|&(r0, r1)| {
+                let obs_handle = obs_handle.clone();
                 s.spawn(move || {
+                    let _att = obs_handle.attach();
+                    let _sp =
+                        jedule_core::obs::span_with("raster.band", || format!("rows {r0}..{r1}"));
                     let mut c = Canvas::band(width, r0, r1 - r0, scene.background);
                     draw_scene(&mut c, scene);
                     c.pixels

@@ -90,6 +90,11 @@ pub struct SceneStats {
     /// Tasks skipped entirely by time-window culling (never inspected by
     /// the per-task draw loop).
     pub culled: usize,
+    /// Tasks inspected but rejected by the clipping guard (outside the
+    /// panel's extent, or no allocation on the panel's cluster). With
+    /// `culled`, `lod_direct` and `lod_aggregated` this partitions the
+    /// task set: every task lands in exactly one bucket per panel.
+    pub clipped: usize,
 }
 
 /// A run of `len` consecutively-emitted primitives of one kind, stored at

@@ -108,6 +108,7 @@ pub fn schedule_dag(
     speed: f64,
     variant: CpaVariant,
 ) -> DagScheduleResult {
+    let _s = jedule_core::obs::span_with("sched.cpa", || format!("{variant:?}"));
     match variant {
         CpaVariant::Mcpa2 => {
             let cpa = schedule_dag(dag, total_procs, speed, CpaVariant::Cpa);

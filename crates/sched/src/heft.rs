@@ -87,6 +87,7 @@ fn earliest_slot(slots: &[Slot], ready: f64, dur: f64) -> f64 {
 /// single-processor (the §V study schedules a workflow of sequential
 /// tasks).
 pub fn heft(dag: &Dag, platform: &Platform) -> HeftResult {
+    let _s = jedule_core::obs::span("sched.heft");
     let n = dag.task_count();
     let ranks = if n > 0 {
         upward_ranks(dag, platform)

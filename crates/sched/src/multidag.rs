@@ -174,6 +174,7 @@ pub fn schedule_multi_dag(
     speed: f64,
     policy: CraPolicy,
 ) -> MultiDagResult {
+    let _s = jedule_core::obs::span_with("sched.multidag", || policy.name().to_string());
     let b = betas(policy, dags, total_procs, speed);
     let share = shares(&b, total_procs);
     schedule_with_shares(dags, &share, total_procs, speed, policy.name())

@@ -95,7 +95,9 @@ pub fn simulate_with(
     mapping: &Mapping,
     options: &SimOptions,
 ) -> Result<SimResult, SimError> {
+    let _s = jedule_core::obs::span("simx.simulate");
     let n = dag.task_count();
+    jedule_core::obs::count("simx.tasks", n as u64);
     if mapping.hosts_per_task.len() != n {
         return Err(SimError::MappingSize {
             tasks: n,

@@ -136,6 +136,8 @@ impl AnyPool for StealingPool {
 /// Returns the trace spans (exec and wait intervals per worker, in
 /// seconds relative to the start of the working phase).
 pub fn run_pool(kind: PoolKind, workers: u32, initial: Vec<Job>) -> Vec<TraceSpan> {
+    let _s = jedule_core::obs::span_with("taskpool.run", || format!("{kind:?}"));
+    jedule_core::obs::count("taskpool.jobs", initial.len() as u64);
     let workers = workers.max(1);
     let pool: Arc<dyn AnyPool + Send + Sync> = match kind {
         PoolKind::Central => Arc::new(CentralPool {

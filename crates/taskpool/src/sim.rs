@@ -135,6 +135,7 @@ impl SimReport {
 /// A task becomes ready when its parent finishes (children enqueued left
 /// child first); see [`PoolPolicy`] for who runs it next.
 pub fn simulate_tree(tree: &QsTree, params: &SimParams) -> SimReport {
+    let _s = jedule_core::obs::span("taskpool.simulate");
     match params.policy {
         PoolPolicy::CentralFifo => simulate_central(tree, params),
         PoolPolicy::WorkStealing => simulate_stealing(tree, params),

@@ -13,7 +13,7 @@
 //!  6 avg cpu time       12 user id            18 think time
 //! ```
 
-use jedule_core::{effective_threads, line_chunks};
+use jedule_core::{effective_threads, line_chunks, obs};
 use std::fmt;
 use std::io::BufRead;
 
@@ -171,7 +171,11 @@ fn parse_swf_line(
 /// skipped rather than failing the whole trace, mirroring how PWA
 /// consumers treat dirty records.
 pub fn parse_swf(src: &str) -> Result<(SwfHeader, Vec<Job>), SwfError> {
-    parse_swf_chunk(src, 1)
+    let _s = obs::span("ingest.swf");
+    obs::count("ingest.bytes", src.len() as u64);
+    let parsed = parse_swf_chunk(src, 1)?;
+    obs::count("ingest.swf_jobs", parsed.1.len() as u64);
+    Ok(parsed)
 }
 
 /// Parses one line-aligned chunk of an SWF document whose first line has
@@ -207,13 +211,24 @@ pub fn parse_swf_parallel(src: &str, threads: usize) -> Result<(SwfHeader, Vec<J
     if workers <= 1 || (threads == 0 && src.len() < PARALLEL_MIN_BYTES) {
         return parse_swf(src);
     }
+    let _s = obs::span("ingest.swf");
+    obs::count("ingest.bytes", src.len() as u64);
     let chunks = line_chunks(src, workers);
+    let obs_handle = obs::handle();
     let parts = crossbeam::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(ci, c)| {
                 let (text, first_line) = (c.text, c.first_line);
-                s.spawn(move |_| parse_swf_chunk(text, first_line))
+                let obs_handle = obs_handle.clone();
+                s.spawn(move |_| {
+                    let _att = obs_handle.attach();
+                    let _sp = obs::span_with("ingest.chunk", || {
+                        format!("chunk {ci} @ line {first_line}")
+                    });
+                    parse_swf_chunk(text, first_line)
+                })
             })
             .collect();
         handles
@@ -248,6 +263,7 @@ pub fn parse_swf_parallel(src: &str, threads: usize) -> Result<(SwfHeader, Vec<J
             jobs.extend(j);
         }
     }
+    obs::count("ingest.swf_jobs", jobs.len() as u64);
     Ok((merged, jobs))
 }
 

@@ -1,0 +1,207 @@
+//! Chrome trace-event JSON as a *schedule input format*.
+//!
+//! `jedule_core::obs` exports pipeline profiles as Chrome trace-event
+//! JSON (`--profile out.json`). This module closes the loop: it reads
+//! such a trace back as a [`Schedule`] — one cluster of "hosts" (the
+//! threads of the trace), one task per event — so Jedule can render its
+//! own pipeline as a Gantt chart, exactly the round trip the Gantt task
+//! taxonomy literature motivates.
+//!
+//! Accepted input is the JSON Object Format (`{"traceEvents": […]}`) or
+//! the bare JSON Array Format. Supported events:
+//!
+//! * `ph:"X"` complete events (`ts` + `dur`, microseconds), and
+//! * `ph:"B"`/`ph:"E"` duration pairs, matched per `(pid, tid)` in
+//!   stack order as the trace-event spec prescribes.
+//!
+//! Everything else (metadata, counters, instant events) is skipped.
+//! Timestamps are converted to seconds and shifted so the earliest event
+//! starts at 0; each distinct `(pid, tid)` becomes one host row in
+//! first-appearance order.
+
+use crate::error::IoError;
+use crate::json::{self, Json};
+use jedule_core::{Allocation, Schedule, ScheduleBuilder, Task};
+
+/// One event extracted from the trace: name, host row, seconds.
+struct Event {
+    name: String,
+    row: u32,
+    start_us: f64,
+    end_us: f64,
+}
+
+fn num_or_str_key(v: Option<&Json>) -> String {
+    match v {
+        Some(Json::Num(n)) => format!("{n}"),
+        Some(Json::Str(s)) => s.clone(),
+        _ => "0".to_string(),
+    }
+}
+
+/// Parses Chrome trace-event JSON into a schedule (cluster 0 "threads",
+/// one host per `(pid, tid)` lane, one task per duration event).
+pub fn read_chrome_trace(src: &str) -> Result<Schedule, IoError> {
+    let doc = json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .or_else(|| doc.as_arr())
+        .ok_or_else(|| {
+            IoError::format("chrome trace: expected {\"traceEvents\": [...]} or a top-level array")
+        })?;
+
+    let mut rows: Vec<String> = Vec::new(); // (pid, tid) keys, first-appearance order
+    let mut row_of = |key: String| -> u32 {
+        match rows.iter().position(|k| *k == key) {
+            Some(i) => i as u32,
+            None => {
+                rows.push(key);
+                (rows.len() - 1) as u32
+            }
+        }
+    };
+    // Per-row stack of open B events: (name, start ts).
+    let mut open: Vec<Vec<(String, f64)>> = Vec::new();
+    let mut out: Vec<Event> = Vec::new();
+
+    for ev in events {
+        let Some(ph) = ev.get("ph").and_then(Json::as_str) else {
+            continue;
+        };
+        let lane = format!(
+            "{}/{}",
+            num_or_str_key(ev.get("pid")),
+            num_or_str_key(ev.get("tid"))
+        );
+        let row = row_of(lane);
+        if open.len() <= row as usize {
+            open.resize_with(row as usize + 1, Vec::new);
+        }
+        let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("event")
+            .to_string();
+        match ph {
+            "X" => {
+                let dur = ev.get("dur").and_then(Json::as_f64).unwrap_or(0.0).max(0.0);
+                out.push(Event {
+                    name,
+                    row,
+                    start_us: ts,
+                    end_us: ts + dur,
+                });
+            }
+            "B" => open[row as usize].push((name, ts)),
+            "E" => {
+                if let Some((bname, bts)) = open[row as usize].pop() {
+                    out.push(Event {
+                        name: bname,
+                        row,
+                        start_us: bts,
+                        end_us: ts.max(bts),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if out.is_empty() {
+        return Err(IoError::format(
+            "chrome trace: no duration events (ph \"X\" or \"B\"/\"E\") found",
+        ));
+    }
+
+    let t0 = out.iter().map(|e| e.start_us).fold(f64::INFINITY, f64::min);
+    // Stable event order: by start, then row — the builder keeps task
+    // declaration order, and deterministic order keeps renders stable.
+    out.sort_by(|a, b| {
+        a.start_us
+            .total_cmp(&b.start_us)
+            .then(a.row.cmp(&b.row))
+            .then(a.end_us.total_cmp(&b.end_us))
+    });
+
+    let mut b = ScheduleBuilder::new()
+        .cluster(0, "threads", rows.len() as u32)
+        .meta("source", "chrome-trace");
+    for (i, e) in out.iter().enumerate() {
+        let start = (e.start_us - t0) / 1e6;
+        let end = (e.end_us - t0) / 1e6;
+        b = b.task(
+            Task::new(format!("e{i}"), e.name.clone(), start, end)
+                .on(Allocation::contiguous(0, e.row, 1)),
+        );
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_object_form_complete_events() {
+        let src = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"ingest","cat":"jedule","ph":"X","ts":1000.0,"dur":500.0,"pid":1,"tid":1},
+            {"name":"render","cat":"jedule","ph":"X","ts":1500.0,"dur":2500.0,"pid":1,"tid":1},
+            {"name":"chunk","cat":"jedule","ph":"X","ts":1100.0,"dur":200.0,"pid":1,"tid":2}
+        ],"otherData":{"counters":{"n":3}}}"#;
+        let s = read_chrome_trace(src).unwrap();
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.clusters[0].hosts, 2); // tids 1 and 2
+        assert_eq!(s.tasks.len(), 3);
+        // Earliest event shifted to t = 0, µs → s.
+        let ingest = s.tasks.iter().find(|t| t.kind == "ingest").unwrap();
+        assert_eq!(ingest.start, 0.0);
+        assert!((ingest.end - 500e-6).abs() < 1e-12);
+        let chunk = s.tasks.iter().find(|t| t.kind == "chunk").unwrap();
+        assert_eq!(chunk.allocations[0].hosts.ranges()[0].start, 1);
+        assert_eq!(s.meta.get("source"), Some("chrome-trace"));
+    }
+
+    #[test]
+    fn reads_array_form_and_be_pairs() {
+        let src = r#"[
+            {"name":"outer","ph":"B","ts":0,"pid":1,"tid":7},
+            {"name":"inner","ph":"B","ts":10,"pid":1,"tid":7},
+            {"name":"inner","ph":"E","ts":30,"pid":1,"tid":7},
+            {"name":"outer","ph":"E","ts":100,"pid":1,"tid":7},
+            {"name":"meta","ph":"M","ts":0,"pid":1,"tid":7}
+        ]"#;
+        let s = read_chrome_trace(src).unwrap();
+        assert_eq!(s.tasks.len(), 2);
+        let outer = s.tasks.iter().find(|t| t.kind == "outer").unwrap();
+        let inner = s.tasks.iter().find(|t| t.kind == "inner").unwrap();
+        assert_eq!(outer.start, 0.0);
+        assert!((outer.end - 100e-6).abs() < 1e-12);
+        assert!(inner.start >= outer.start && inner.end <= outer.end);
+    }
+
+    #[test]
+    fn rejects_event_free_input() {
+        assert!(read_chrome_trace("{}").is_err());
+        assert!(read_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(read_chrome_trace("[1,2,3]").is_err());
+        assert!(read_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn roundtrips_an_obs_export() {
+        use jedule_core::obs::Collector;
+        let col = Collector::new();
+        {
+            let _g = col.install();
+            let _a = jedule_core::obs::span("ingest");
+            let _b = jedule_core::obs::span("ingest.parse");
+        }
+        let trace = col.report().to_chrome_trace();
+        let s = read_chrome_trace(&trace).unwrap();
+        assert_eq!(s.tasks.len(), 2);
+        assert!(s.tasks.iter().any(|t| t.kind == "ingest"));
+        assert!(s.tasks.iter().any(|t| t.kind == "ingest.parse"));
+    }
+}

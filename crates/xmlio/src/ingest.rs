@@ -12,7 +12,7 @@
 //! identical to a sequential scan.
 
 use crate::error::IoError;
-use jedule_core::{effective_threads, line_chunks, Schedule, ScheduleBuilder, Task};
+use jedule_core::{effective_threads, line_chunks, obs, Schedule, ScheduleBuilder, Task};
 
 /// One parsed line of a line-oriented schedule document.
 pub(crate) enum Record {
@@ -60,13 +60,23 @@ where
     }
 
     let chunks = line_chunks(src, workers);
+    // Worker threads don't inherit the parent's collector; hand each one
+    // a handle so per-chunk spans land in the same trace (no-op when
+    // observability is disabled).
+    let obs_handle = obs::handle();
     let parts = crossbeam::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(ci, c)| {
                 let parse_line = &parse_line;
                 let (text, first_line) = (c.text, c.first_line);
+                let obs_handle = obs_handle.clone();
                 s.spawn(move |_| -> Result<Vec<Record>, IoError> {
+                    let _att = obs_handle.attach();
+                    let _sp = obs::span_with("ingest.chunk", || {
+                        format!("chunk {ci} @ line {first_line}")
+                    });
                     let mut recs = Vec::new();
                     for (off, raw) in text.lines().enumerate() {
                         if let Some(rec) = parse_line(raw, first_line + off)? {
@@ -85,9 +95,12 @@ where
     .expect("ingest scope failed");
 
     let mut b = ScheduleBuilder::new();
-    for part in parts {
-        for rec in part? {
-            b = apply(b, rec);
+    {
+        let _sp = obs::span("ingest.splice");
+        for part in parts {
+            for rec in part? {
+                b = apply(b, rec);
+            }
         }
     }
     Ok(b.build()?)

@@ -15,9 +15,12 @@
 //! * `cmap_xml` — the color-map format of Fig. 2 (`<cmap>`, `<task>`,
 //!   `<color type="fg|bg" rgb="RRGGBB">`, `<composite>`).
 //! * `parser` — the pluggable [`ScheduleParser`] trait with a format
-//!   registry, plus two alternative built-in formats: a CSV dialect
-//!   (`csvfmt`) and JSON lines (`jsonl`, backed by the `json` mini-parser).
+//!   registry, plus alternative built-in formats: a CSV dialect
+//!   (`csvfmt`), JSON lines (`jsonl`, backed by the `json` mini-parser),
+//!   and Chrome trace-event JSON (`chrome`) so profiles exported by
+//!   `jedule --profile` can be rendered back as schedules.
 
+pub mod chrome;
 pub mod cmap_xml;
 pub mod csvfmt;
 pub mod error;
@@ -37,6 +40,7 @@ pub(crate) fn is_banner_comment(line: &str) -> bool {
     line.starts_with("<!--") && line.ends_with("-->")
 }
 
+pub use chrome::read_chrome_trace;
 pub use cmap_xml::{read_colormap, write_colormap_string};
 pub use csvfmt::{read_schedule_csv, read_schedule_csv_parallel, write_schedule_csv};
 pub use error::IoError;

@@ -6,11 +6,12 @@
 //! extension point; the three built-in formats register themselves and
 //! [`parse_any`] sniffs which one applies.
 
+use crate::chrome;
 use crate::csvfmt;
 use crate::error::IoError;
 use crate::jedule_xml;
 use crate::jsonl;
-use jedule_core::Schedule;
+use jedule_core::{obs, Schedule};
 use std::path::Path;
 
 /// Identifier of a built-in format.
@@ -20,6 +21,9 @@ pub enum Format {
     JeduleXml,
     /// The CSV dialect.
     Csv,
+    /// Chrome trace-event JSON (as exported by `--profile`), read back
+    /// as a schedule of one task per duration event.
+    ChromeTrace,
     /// JSON lines.
     JsonLines,
 }
@@ -29,13 +33,21 @@ impl Format {
         match self {
             Format::JeduleXml => "jedule-xml",
             Format::Csv => "csv",
+            Format::ChromeTrace => "chrome-trace",
             Format::JsonLines => "jsonl",
         }
     }
 
-    /// All built-in formats.
-    pub fn all() -> [Format; 3] {
-        [Format::JeduleXml, Format::Csv, Format::JsonLines]
+    /// All built-in formats. `ChromeTrace` sorts before `JsonLines`: a
+    /// one-line trace document also looks like a `{`-opened JSONL line,
+    /// and candidate order is what breaks such ties in [`parse_any`].
+    pub fn all() -> [Format; 4] {
+        [
+            Format::JeduleXml,
+            Format::Csv,
+            Format::ChromeTrace,
+            Format::JsonLines,
+        ]
     }
 }
 
@@ -108,6 +120,26 @@ impl ScheduleParser for CsvParser {
     }
 }
 
+struct ChromeTraceParser;
+
+impl ScheduleParser for ChromeTraceParser {
+    fn name(&self) -> &str {
+        "chrome-trace"
+    }
+
+    fn sniff(&self, src: &str) -> bool {
+        // Object form carries a "traceEvents" key; array form opens with
+        // `[` and its events carry the mandatory "ph" phase key.
+        let head: String = src.chars().take(4096).collect();
+        head.contains("\"traceEvents\"")
+            || (head.trim_start().starts_with('[') && head.contains("\"ph\""))
+    }
+
+    fn parse(&self, src: &str) -> Result<Schedule, IoError> {
+        chrome::read_chrome_trace(src)
+    }
+}
+
 struct JsonlParser;
 
 impl ScheduleParser for JsonlParser {
@@ -133,6 +165,7 @@ pub fn builtin(format: Format) -> Box<dyn ScheduleParser> {
     match format {
         Format::JeduleXml => Box::new(XmlParser),
         Format::Csv => Box::new(CsvParser),
+        Format::ChromeTrace => Box::new(ChromeTraceParser),
         Format::JsonLines => Box::new(JsonlParser),
     }
 }
@@ -187,11 +220,18 @@ pub fn parse_any(src: &str, path: Option<&Path>) -> Result<Schedule, IoError> {
 /// parallel readers; XML is a document format and always parses
 /// sequentially.
 fn parse_threads(format: Format, src: &str, threads: usize) -> Result<Schedule, IoError> {
-    match format {
+    let _s = obs::span_with("ingest.parse", || format.name().to_string());
+    obs::count("ingest.bytes", src.len() as u64);
+    let parsed = match format {
         Format::JeduleXml => jedule_xml::read_schedule(src),
         Format::Csv => csvfmt::read_schedule_csv_parallel(src, threads),
+        Format::ChromeTrace => chrome::read_chrome_trace(src),
         Format::JsonLines => jsonl::read_schedule_jsonl_parallel(src, threads),
+    };
+    if let Ok(s) = &parsed {
+        obs::count("ingest.tasks_parsed", s.tasks.len() as u64);
     }
+    parsed
 }
 
 /// [`parse_any`] with a `threads` knob (`0` auto, `1` sequential, `n`
@@ -262,13 +302,29 @@ mod tests {
     }
 
     #[test]
-    fn parse_any_roundtrips_all_formats() {
+    fn parse_any_roundtrips_all_writable_formats() {
         let s = sample();
+        let mut writable = 0;
         for f in Format::all() {
-            let text = builtin(f).write(&s).unwrap();
+            // Chrome trace is read-only (it ingests `--profile` exports).
+            let Some(text) = builtin(f).write(&s) else {
+                assert_eq!(f, Format::ChromeTrace);
+                continue;
+            };
+            writable += 1;
             let back = parse_any(&text, None).unwrap();
             assert_eq!(back, s, "format {}", f.name());
         }
+        assert_eq!(writable, 3);
+    }
+
+    #[test]
+    fn chrome_trace_sniffs_and_parses_via_parse_any() {
+        let src = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":1}]}"#;
+        assert_eq!(detect_format(src, None), Some(Format::ChromeTrace));
+        let s = parse_any(src, None).unwrap();
+        assert_eq!(s.tasks.len(), 1);
+        assert_eq!(s.tasks[0].kind, "a");
     }
 
     #[test]

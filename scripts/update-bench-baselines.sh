@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_gate.json, the perf-regression-gate baseline that CI
+# diffs every run against (see .github/workflows/ci.yml, job perf-gate).
+#
+# CI runs the gate in quick mode, so the committed baseline must be a
+# quick-mode recording; perfgate refuses to compare across modes. Run
+# this on a quiet machine, inspect the diff, and commit it together with
+# the change that moved the numbers.
+#
+# The long-form scale baselines (BENCH_birdseye.json, BENCH_ingest.json)
+# are narrative documents updated by hand from full `cargo bench` runs;
+# perfgate only cross-checks their acceptance sections.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JEDULE_BENCH_QUICK=1 cargo run --release -p jedule-bench --bin perfgate -- --update
+git --no-pager diff --stat -- BENCH_gate.json || true
+echo "Review the diff above and commit BENCH_gate.json if it looks right."

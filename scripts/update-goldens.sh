@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates tests/goldens/digests.json, the golden-figure digests that
+# CI verifies every run (see .github/workflows/ci.yml, job golden-figures).
+#
+# Run this after an intended visual change, then LOOK at the rendered
+# artifacts in target/goldens/ before committing the new digests — the
+# digests only prove the bytes changed, your eyes prove the change is
+# the one you meant to make.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p jedule-bench --bin goldens -- --update
+echo "Artifacts for inspection:"
+ls -l target/goldens/
+git --no-pager diff -- tests/goldens/digests.json || true
+echo "Review the artifacts, then commit tests/goldens/digests.json."
