@@ -21,7 +21,7 @@
 //! wall-time regression per stage is 25%, overridable via
 //! `JEDULE_GATE_TOLERANCE` (a fraction, e.g. `0.4`).
 
-use jedule_core::obs::Collector;
+use jedule_core::obs::{Collector, Registry};
 use jedule_core::{PreparedSchedule, Schedule};
 use jedule_render::{render, render_prepared, LodMode, OutputFormat, RenderOptions};
 use jedule_workloads::convert::{assigned_to_schedule, workload_colormap};
@@ -171,15 +171,18 @@ fn measure() -> Gate {
     );
 
     // Instrumentation overhead: the same LOD-auto render with a live
-    // collector recording every span and counter.
+    // collector recording every span and counter, and the finished
+    // report folded into a cumulative Registry — the full per-request
+    // pipeline `jedule serve` runs, so the budget covers serve mode too.
     let plain = stages["gate.render_lod_auto"].0;
-    let col = Collector::new();
-    let instrumented = {
-        let _g = col.install();
-        time_ms(reps, || {
-            black_box(render(black_box(&schedule), &auto_opts));
-        })
-    };
+    let registry = Registry::new();
+    let instrumented = time_ms(reps, || {
+        let col = Collector::new();
+        let guard = col.install();
+        black_box(render(black_box(&schedule), &auto_opts));
+        drop(guard);
+        registry.absorb(&col.report());
+    });
     let overhead_pct = (instrumented - plain) / plain * 100.0;
 
     // One instrumented pass over parse + render for the counter block.
@@ -199,22 +202,29 @@ fn measure() -> Gate {
 impl Gate {
     /// `jedule-metrics-v1`, matching `ObsReport::to_metrics_json`. The
     /// extra `meta.*` stages record run mode and measured obs overhead
-    /// (excluded from the regression diff).
+    /// (excluded from the regression diff); they merge into the same
+    /// sorted key order as the `gate.*` stages so that baselines diff
+    /// stably across runs.
     fn to_metrics_json(&self) -> String {
         use std::fmt::Write;
+        let mut stages: BTreeMap<&str, (f64, u64)> =
+            self.stages.iter().map(|(k, v)| (*k, *v)).collect();
+        stages.insert("meta.obs_overhead_pct", (self.overhead_pct.max(0.0), 1));
+        stages.insert("meta.quick_mode", (if quick() { 1.0 } else { 0.0 }, 1));
         let mut out = String::from("{\"schema\":\"jedule-metrics-v1\",\"stages\":{");
-        let _ = write!(
-            out,
-            "\"meta.obs_overhead_pct\":{{\"wall_ms\":{:.4},\"count\":1}},\
-             \"meta.quick_mode\":{{\"wall_ms\":{:.1},\"count\":1}}",
-            self.overhead_pct.max(0.0),
-            if quick() { 1.0 } else { 0.0 }
-        );
-        for (name, (ms, n)) in &self.stages {
-            let _ = write!(out, ",\"{name}\":{{\"wall_ms\":{ms:.4},\"count\":{n}}}");
+        for (i, (name, (ms, n))) in stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{{\"wall_ms\":{ms:.4},\"count\":{n}}}");
         }
         out.push_str("},\"counters\":{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
+        let counters: BTreeMap<&str, u64> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        for (i, (k, v)) in counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -313,7 +323,11 @@ fn check(baseline_path: &str, gate: &Gate) -> Result<(), String> {
 /// baselines: every `<name>_speedup` must still meet `<name>_required`.
 fn check_acceptance(repo_root: &std::path::Path) -> Result<(), String> {
     let mut failures = Vec::new();
-    for file in ["BENCH_birdseye.json", "BENCH_ingest.json"] {
+    for file in [
+        "BENCH_birdseye.json",
+        "BENCH_ingest.json",
+        "BENCH_serve.json",
+    ] {
         let path = repo_root.join(file);
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;

@@ -18,6 +18,7 @@ mod cmd_compare;
 mod cmd_convert;
 mod cmd_info;
 mod cmd_render;
+mod cmd_serve;
 mod cmd_view;
 mod obs_cli;
 
@@ -33,6 +34,7 @@ USAGE:
     jedule convert <input> -o <out>    convert between schedule formats
     jedule compare <a> <b> [-o out]    stats diff + stacked side-by-side chart
     jedule cmap                        print the standard color map XML
+    jedule serve [options]             resident HTTP render service
 
 RENDER OPTIONS:
     -o, --output <file>     output path (default: input + format ext)
@@ -57,13 +59,26 @@ RENDER OPTIONS:
     -j, --threads <n>       raster/encode worker threads (0 = all cores,
                             1 = sequential; pixels identical either way)
 
+SERVE OPTIONS:
+        --addr <host:port>  bind address (default 127.0.0.1:8017)
+        --root <dir>        directory /render inputs are restricted to
+                            (default .)
+        --cache-cap <n>     max cached rendered bodies / prepared
+                            schedules, LRU (default 64)
+        --trace-keep <n>    request traces retained for
+                            /debug/trace/<id> (default 32)
+    -j, --threads <n>       worker threads (0 = auto)
+        --metrics-json <file|->  after SIGTERM drain, flush cumulative
+                            registry metrics (jedule-metrics-v1)
+
 OBSERVABILITY (render, compare, view):
         --timings           print the hierarchical span tree to stderr
-        --profile <file>    write a Chrome trace-event JSON (load it in
+        --profile <file|->  write a Chrome trace-event JSON (load it in
                             Perfetto / chrome://tracing, or feed it back
                             into `jedule render` as a schedule)
-        --metrics-json <file>  write flat stage/counter metrics JSON
+        --metrics-json <file|->  write flat stage/counter metrics JSON
                             (schema jedule-metrics-v1, diffable in CI)
+    `-` writes the artifact to stdout for piping into CI tooling.
 ";
 
 fn main() -> ExitCode {
@@ -79,6 +94,7 @@ fn main() -> ExitCode {
         "info" => cmd_info::run(rest),
         "convert" => cmd_convert::run(rest),
         "compare" => cmd_compare::run(rest),
+        "serve" => cmd_serve::run(rest),
         "cmap" => {
             print!(
                 "{}",

@@ -53,8 +53,9 @@ impl ObsSink {
     }
 
     /// Emits everything that was requested: the `--timings` tree to
-    /// stderr, the trace/metrics files to disk. Call after the spans of
-    /// interest have closed.
+    /// stderr, the trace/metrics outputs to their files — or to stdout
+    /// when the path is `-`. Call after the spans of interest have
+    /// closed.
     pub fn finish(&self) -> Result<(), String> {
         let Some(col) = &self.collector else {
             return Ok(());
@@ -64,17 +65,27 @@ impl ObsSink {
             eprint!("{}", report.tree_report());
         }
         if let Some(p) = &self.trace_out {
-            std::fs::write(p, report.to_chrome_trace())
-                .map_err(|e| format!("cannot write {p}: {e}"))?;
-            eprintln!("wrote trace {p}");
+            emit_output(p, &report.to_chrome_trace(), "trace")?;
         }
         if let Some(p) = &self.metrics_out {
-            std::fs::write(p, report.to_metrics_json())
-                .map_err(|e| format!("cannot write {p}: {e}"))?;
-            eprintln!("wrote metrics {p}");
+            emit_output(p, &report.to_metrics_json(), "metrics")?;
         }
         Ok(())
     }
+}
+
+/// Writes an observability artifact to `path`, with the conventional
+/// `-` meaning stdout — so `--metrics-json -` / `--profile -` pipe
+/// straight into CI tooling without temp files. The "wrote …" note goes
+/// to stderr (and only for real files), keeping stdout clean JSON.
+pub fn emit_output(path: &str, content: &str, what: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        return Ok(());
+    }
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote {what} {path}");
+    Ok(())
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@ pub use error::CoreError;
 pub use hostset::{HostRange, HostSet};
 pub use index::{ClusterIndex, IndexEntry, IntervalSeq, ScheduleIndex};
 pub use model::{Allocation, Cluster, MetaInfo, Schedule, Task};
-pub use obs::{Collector, ObsReport, SpanRecord};
+pub use obs::{Collector, ObsReport, Registry, SpanRecord};
 pub use parallel::{effective_threads, line_chunks, LineChunk};
 pub use prepared::PreparedSchedule;
 pub use stats::{ClusterStats, Hole, ScheduleStats};

@@ -1,0 +1,121 @@
+//! Serving caches: input digests, a prepared-schedule cache and a
+//! rendered-body cache, both LRU-bounded.
+//!
+//! Keying follows DESIGN.md §6b: the **prepared cache** maps an input's
+//! content digest to its [`PreparedSchedule`] (index/extents/kinds built
+//! once, shared by every view of that input), and the **body cache**
+//! maps `(digest, canonical option string)` to finished output bytes so
+//! repeated identical requests skip layout and encoding entirely. Both
+//! hand out `Arc`s — a hit never copies the cached value.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64 — the same digest the golden-figure gate uses: tiny,
+/// dependency-free, stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A small thread-safe LRU map. `get` refreshes recency; `insert`
+/// evicts the least-recently-used entries down to `cap`. A `cap` of 0
+/// disables caching entirely (every `get` misses).
+pub struct LruCache<K: Ord + Clone, V> {
+    cap: usize,
+    inner: Mutex<LruInner<K, V>>,
+}
+
+struct LruInner<K: Ord + Clone, V> {
+    tick: u64,
+    map: BTreeMap<K, (u64, Arc<V>)>,
+}
+
+impl<K: Ord + Clone, V> LruCache<K, V> {
+    pub fn new(cap: usize) -> LruCache<K, V> {
+        LruCache {
+            cap,
+            inner: Mutex::new(LruInner {
+                tick: 0,
+                map: BTreeMap::new(),
+            }),
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key)?;
+        entry.0 = tick;
+        Some(Arc::clone(&entry.1))
+    }
+
+    /// Inserts (or refreshes) a value, returning the shared handle.
+    pub fn insert(&self, key: K, value: Arc<V>) -> Arc<V> {
+        if self.cap == 0 {
+            return value;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (tick, Arc::clone(&value)));
+        while inner.map.len() > self.cap {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => inner.map.remove(&k),
+                None => break,
+            };
+        }
+        value
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"jedule"), fnv1a64(b"jedule"));
+        assert_ne!(fnv1a64(b"jedule"), fnv1a64(b"jedulf"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        assert_eq!(c.get(&1).as_deref(), Some(&10)); // refresh 1
+        c.insert(3, Arc::new(30)); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1).as_deref(), Some(&10));
+        assert_eq!(c.get(&3).as_deref(), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_cap_disables_caching() {
+        let c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, Arc::new(10));
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+}

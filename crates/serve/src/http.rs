@@ -1,0 +1,205 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! The service speaks just enough of the protocol for `curl`, browsers
+//! and Prometheus scrapers: one `GET` request per connection (responses
+//! carry `Connection: close`), request heads capped at 16 KiB, query
+//! strings percent-decoded. Anything fancier (chunked bodies, pipelining,
+//! TLS) is out of scope for an std-only sidecar service.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request-head size; larger heads get a 400.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request line plus headers (body ignored — GET only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request head from the stream. `Ok(None)` means the peer
+/// closed before sending anything (a clean no-op); `Err` carries a
+/// human-readable parse failure for a 400 response.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err("request head exceeds 16 KiB".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("request line missing target")?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    Ok(Some(Request {
+        method,
+        path: percent_decode(raw_path),
+        query,
+    }))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space (query-string convention;
+/// harmless in paths, which never legitimately contain `+` here).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type,
+            body,
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response with the standard service headers, including
+/// the per-request id echo.
+pub fn write_response(
+    stream: &mut TcpStream,
+    request_id: u64,
+    resp: &Response,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nX-Jedule-Request-Id: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        request_id
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%2e%2E/x"), "../x");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("plain"), "plain");
+    }
+
+    #[test]
+    fn request_param_lookup() {
+        let r = Request {
+            method: "GET".into(),
+            path: "/render".into(),
+            query: vec![
+                ("file".into(), "a.jed".into()),
+                ("fmt".into(), "png".into()),
+            ],
+        };
+        assert_eq!(r.param("file"), Some("a.jed"));
+        assert_eq!(r.param("fmt"), Some("png"));
+        assert_eq!(r.param("absent"), None);
+    }
+}

@@ -1,0 +1,622 @@
+//! # jedule-serve
+//!
+//! `jedule serve` — a resident render service over the batch pipeline
+//! (DESIGN.md §6b). Where the CLI's observability is post-mortem (one
+//! run, one span tree, one export), a long-lived process needs *live*
+//! operational telemetry; this crate pairs a std-only threaded HTTP/1.1
+//! server with the continuous [`Registry`] in `jedule_core::obs`:
+//!
+//! * `GET /healthz` — liveness probe;
+//! * `GET /render?file=…&fmt=svg|png&window=t0:t1&lod=…&width=…` —
+//!   renders a schedule from the allow-listed root directory, served
+//!   through a [`PreparedSchedule`] cache keyed on the input's content
+//!   digest and a rendered-body cache keyed on (digest, options);
+//! * `GET /metrics` — Prometheus text exposition: request counters by
+//!   route/status, latency histograms, cache hit/miss counters, and
+//!   per-stage duration histograms aggregated from every request's
+//!   span tree;
+//! * `GET /debug/trace/<request-id>` — the Chrome trace-event JSON of
+//!   one of the last `trace_keep` requests (ids are echoed on every
+//!   response in `X-Jedule-Request-Id`), loadable in Perfetto.
+//!
+//! Shutdown is graceful: SIGTERM/SIGINT (or a programmatic flag) stops
+//! the accept loop, in-flight and already-queued requests drain, worker
+//! threads join, and the CLI then flushes a final metrics snapshot.
+
+pub mod cache;
+pub mod http;
+pub mod ingest;
+pub mod signal;
+pub mod trace_ring;
+
+use cache::{fnv1a64, LruCache};
+use http::{Request, Response};
+use jedule_core::obs::{self, Collector, Registry};
+use jedule_core::PreparedSchedule;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use trace_ring::TraceRing;
+
+/// Server configuration (the `jedule serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8017` (port 0 picks a free one).
+    pub addr: String,
+    /// Directory inputs are restricted to; `file=` parameters resolve
+    /// inside it and may not escape it.
+    pub root: PathBuf,
+    /// Worker threads (0 = one per core, at least 4).
+    pub workers: usize,
+    /// Maximum cached rendered bodies / prepared schedules (LRU).
+    pub cache_cap: usize,
+    /// Retained per-request span trees for `/debug/trace/<id>`.
+    pub trace_keep: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8017".to_string(),
+            root: PathBuf::from("."),
+            workers: 0,
+            cache_cap: 64,
+            trace_keep: 32,
+        }
+    }
+}
+
+/// A cached rendered response body.
+struct Body {
+    bytes: Vec<u8>,
+    content_type: &'static str,
+}
+
+struct State {
+    root: PathBuf,
+    registry: Registry,
+    traces: TraceRing,
+    prepared: LruCache<u64, PreparedSchedule>,
+    bodies: LruCache<(u64, String), Body>,
+    next_id: AtomicU64,
+    started: Instant,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks the calling
+/// thread; [`Server::spawn`] runs it on a background thread and hands
+/// back a [`ServerHandle`] (the shape tests and the bench use).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    workers: usize,
+    state: Arc<State>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state. The root directory
+    /// must exist (it is canonicalized once here; per-request paths are
+    /// canonicalized against it to stop traversal escapes).
+    pub fn bind(config: ServeConfig) -> Result<Server, String> {
+        let root = config
+            .root
+            .canonicalize()
+            .map_err(|e| format!("serve root {}: {e}", config.root.display()))?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let registry = Registry::new();
+        describe_metrics(&registry);
+        let workers = if config.workers == 0 {
+            jedule_core::parallel::effective_threads(0).max(4)
+        } else {
+            config.workers
+        };
+        Ok(Server {
+            listener,
+            addr,
+            workers,
+            state: Arc::new(State {
+                root,
+                registry,
+                traces: TraceRing::new(config.trace_keep),
+                prepared: LruCache::new(config.cache_cap),
+                bodies: LruCache::new(config.cache_cap),
+                next_id: AtomicU64::new(0),
+                started: Instant::now(),
+            }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The process-lifetime metrics registry (shared clone).
+    pub fn registry(&self) -> Registry {
+        self.state.registry.clone()
+    }
+
+    /// The flag that stops [`Server::run`]; hand it to
+    /// [`signal::install_term_handler`] for SIGTERM wiring.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accepts and serves until the shutdown flag is set, then drains:
+    /// queued connections are still answered, workers join, and the
+    /// method returns for the caller's final flush.
+    pub fn run(self) -> Result<(), String> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut joins = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            joins.push(std::thread::spawn(move || loop {
+                let next = rx.lock().unwrap().recv();
+                match next {
+                    Ok(stream) => handle_connection(&state, stream),
+                    Err(_) => break, // sender dropped: drained, shut down
+                }
+            }));
+        }
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+        drop(tx);
+        for j in joins {
+            let _ = j.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let registry = self.registry();
+        let shutdown = self.shutdown_flag();
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            registry,
+            shutdown,
+            join,
+        }
+    }
+}
+
+/// Handle to a running background server (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Registry,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<Result<(), String>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// Requests graceful shutdown and waits for the drain to finish.
+    pub fn shutdown(self) -> Result<(), String> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+    }
+}
+
+fn describe_metrics(r: &Registry) {
+    r.describe(
+        "jedule_http_requests_total",
+        "HTTP requests served, by route and status code",
+    );
+    r.describe(
+        "jedule_http_request_duration_seconds",
+        "End-to-end request latency, by route",
+    );
+    r.describe(
+        "jedule_render_cache_hits_total",
+        "Render requests answered from the rendered-body cache",
+    );
+    r.describe(
+        "jedule_render_cache_misses_total",
+        "Render requests that had to lay out and encode",
+    );
+    r.describe(
+        "jedule_prepared_cache_hits_total",
+        "Render requests that reused a cached PreparedSchedule",
+    );
+    r.describe(
+        "jedule_prepared_cache_misses_total",
+        "Render requests that ingested and prepared a schedule",
+    );
+    r.describe(
+        "jedule_stage_duration_seconds",
+        "Per-stage durations aggregated from request span trees",
+    );
+    r.describe(
+        "jedule_inflight_requests",
+        "Requests currently being handled",
+    );
+    r.describe("jedule_uptime_seconds", "Seconds since the server started");
+    r.describe(
+        "jedule_render_cache_entries",
+        "Rendered bodies currently cached",
+    );
+    r.describe(
+        "jedule_prepared_cache_entries",
+        "Prepared schedules currently cached",
+    );
+}
+
+/// Bounded-cardinality route label for metrics.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/render" => "/render",
+        "/" => "/",
+        p if p.starts_with("/debug/trace/") => "/debug/trace",
+        _ => "other",
+    }
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request_id = state.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let req = match http::read_request(&mut stream) {
+        Ok(Some(r)) => r,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = http::write_response(&mut stream, request_id, &Response::text(400, e + "\n"));
+            return;
+        }
+    };
+    state
+        .registry
+        .gauge_add("jedule_inflight_requests", &[], 1.0);
+    let started = Instant::now();
+
+    let col = Collector::new();
+    let resp = {
+        let _g = col.install();
+        let _root = col.span_with("serve.request", format!("{} {}", req.method, req.path));
+        // A panicking handler must cost one 500, not a worker thread.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, &req)))
+            .unwrap_or_else(|_| Response::text(500, "internal error (see server log)\n"))
+    };
+
+    let label = route_label(&req.path);
+    let status = resp.status.to_string();
+    state.registry.counter_add(
+        "jedule_http_requests_total",
+        &[("route", label), ("status", &status)],
+        1,
+    );
+    state.registry.observe(
+        "jedule_http_request_duration_seconds",
+        &[("route", label)],
+        started.elapsed().as_secs_f64(),
+    );
+    let report = col.report();
+    state.registry.absorb(&report);
+    state.traces.push(request_id, report);
+    state
+        .registry
+        .gauge_add("jedule_inflight_requests", &[], -1.0);
+    let _ = http::write_response(&mut stream, request_id, &resp);
+}
+
+const INDEX: &str = "\
+jedule serve — render service
+
+  GET /healthz                         liveness probe
+  GET /render?file=F&fmt=svg|png       render a schedule under the root
+        [&window=t0:t1][&lod=auto|off|force][&width=px]
+  GET /metrics                         Prometheus text exposition
+  GET /debug/trace/<request-id>        Chrome trace JSON of a recent request
+";
+
+fn route(state: &State, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::text(405, "only GET is supported\n");
+    }
+    match req.path.as_str() {
+        "/" => Response::text(200, INDEX),
+        "/healthz" => Response::text(200, "ok\n"),
+        "/metrics" => handle_metrics(state),
+        "/render" => match handle_render(state, req) {
+            Ok(resp) => resp,
+            Err(resp) => resp,
+        },
+        p => match p.strip_prefix("/debug/trace/") {
+            Some(id) => handle_trace(state, id),
+            None => Response::text(404, "not found; see / for the route list\n"),
+        },
+    }
+}
+
+fn handle_metrics(state: &State) -> Response {
+    let _s = obs::span("serve.metrics_encode");
+    let r = &state.registry;
+    r.gauge_set(
+        "jedule_uptime_seconds",
+        &[],
+        state.started.elapsed().as_secs_f64(),
+    );
+    r.gauge_set(
+        "jedule_render_cache_entries",
+        &[],
+        state.bodies.len() as f64,
+    );
+    r.gauge_set(
+        "jedule_prepared_cache_entries",
+        &[],
+        state.prepared.len() as f64,
+    );
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: r.render_prometheus().into_bytes(),
+    }
+}
+
+fn handle_trace(state: &State, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::text(400, "trace id must be a decimal request id\n");
+    };
+    match state.traces.get(id) {
+        Some(report) => Response {
+            status: 200,
+            content_type: "application/json",
+            body: report.to_chrome_trace().into_bytes(),
+        },
+        None => Response::text(
+            404,
+            format!(
+                "no retained trace for request {id}; retained ids: {:?}\n",
+                state.traces.ids()
+            ),
+        ),
+    }
+}
+
+/// The parsed, canonicalized render parameters: the options to render
+/// with plus the canonical cache-key string they serialize to.
+pub fn render_options_from_params(
+    fmt: Option<&str>,
+    width: Option<&str>,
+    window: Option<&str>,
+    lod: Option<&str>,
+) -> Result<(jedule_render::RenderOptions, String), String> {
+    use jedule_render::{LodMode, OutputFormat, RenderOptions};
+    let fmt = fmt.unwrap_or("svg");
+    let format = match fmt.to_ascii_lowercase().as_str() {
+        "svg" => OutputFormat::Svg,
+        "png" => OutputFormat::Png,
+        other => return Err(format!("fmt must be svg or png, got {other:?}")),
+    };
+    let width: f64 = match width {
+        None => 800.0,
+        Some(w) => w
+            .parse()
+            .map_err(|_| format!("width: cannot parse {w:?}"))?,
+    };
+    if !(64.0..=8192.0).contains(&width) {
+        return Err(format!("width {width} outside 64..=8192"));
+    }
+    let time_window = match window {
+        None => None,
+        Some(w) => {
+            let (a, b) = w
+                .split_once(':')
+                .or_else(|| w.split_once(','))
+                .ok_or_else(|| format!("window must be t0:t1, got {w:?}"))?;
+            let t0: f64 = a.parse().map_err(|_| format!("window t0: {a:?}"))?;
+            let t1: f64 = b.parse().map_err(|_| format!("window t1: {b:?}"))?;
+            if t1.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
+                return Err(format!("window end {t1} must exceed start {t0}"));
+            }
+            Some((t0, t1))
+        }
+    };
+    let lod = match lod {
+        None => LodMode::Auto,
+        Some(l) => LodMode::parse(l).ok_or_else(|| format!("lod must be auto|off|force: {l:?}"))?,
+    };
+    // One request = one deterministic sequential render (threads: 1);
+    // service parallelism comes from concurrent requests, and pinning
+    // the encoder keeps bodies byte-identical across worker counts.
+    let opts = RenderOptions {
+        format,
+        width,
+        time_window,
+        lod,
+        threads: 1,
+        ..RenderOptions::default()
+    };
+    let key = format!(
+        "fmt={};w={width};lod={lod:?};window={}",
+        if format == jedule_render::OutputFormat::Png {
+            "png"
+        } else {
+            "svg"
+        },
+        match time_window {
+            Some((a, b)) => format!("{a}:{b}"),
+            None => "full".to_string(),
+        }
+    );
+    Ok((opts, key))
+}
+
+/// Resolves `file` strictly inside `root`. Rejects absolute paths and
+/// parent components before touching the filesystem, then double-checks
+/// the canonicalized result still lives under the canonicalized root
+/// (symlinks cannot escape either).
+pub fn resolve_under_root(root: &Path, file: &str) -> Result<PathBuf, String> {
+    let rel = Path::new(file);
+    if rel.is_absolute()
+        || rel
+            .components()
+            .any(|c| matches!(c, Component::ParentDir | Component::Prefix(_)))
+    {
+        return Err(format!(
+            "file {file:?} must be a relative path inside the serve root"
+        ));
+    }
+    let joined = root.join(rel);
+    let canon = joined
+        .canonicalize()
+        .map_err(|e| format!("file {file:?}: {e}"))?;
+    if !canon.starts_with(root) {
+        return Err(format!("file {file:?} escapes the serve root"));
+    }
+    Ok(canon)
+}
+
+fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
+    let bad = |msg: String| Response::text(400, msg + "\n");
+    let file = req
+        .param("file")
+        .ok_or_else(|| bad("render needs ?file=<path under the serve root>".to_string()))?;
+    let path = resolve_under_root(&state.root, file).map_err(|e| Response::text(404, e + "\n"))?;
+    let (opts, opt_key) = render_options_from_params(
+        req.param("fmt"),
+        req.param("width"),
+        req.param("window"),
+        req.param("lod"),
+    )
+    .map_err(bad)?;
+    let content_type: &'static str = match opts.format {
+        jedule_render::OutputFormat::Png => "image/png",
+        _ => "image/svg+xml",
+    };
+
+    let src = {
+        let _s = obs::span("serve.read");
+        std::fs::read_to_string(&path)
+            .map_err(|e| Response::text(404, format!("{}: {e}\n", path.display())))?
+    };
+    obs::count("serve.bytes_read", src.len() as u64);
+    let digest = fnv1a64(src.as_bytes());
+
+    // Exactly one of hits/misses per render request — the pair
+    // partitions jedule_http_requests_total{route="/render"} even when
+    // concurrent misses race on the same key.
+    if let Some(body) = state.bodies.get(&(digest, opt_key.clone())) {
+        state
+            .registry
+            .counter_add("jedule_render_cache_hits_total", &[], 1);
+        obs::count("serve.body_cache_hit", 1);
+        return Ok(Response::bytes(200, body.content_type, body.bytes.clone()));
+    }
+    state
+        .registry
+        .counter_add("jedule_render_cache_misses_total", &[], 1);
+    obs::count("serve.body_cache_miss", 1);
+
+    let prepared = match state.prepared.get(&digest) {
+        Some(p) => {
+            state
+                .registry
+                .counter_add("jedule_prepared_cache_hits_total", &[], 1);
+            p
+        }
+        None => {
+            state
+                .registry
+                .counter_add("jedule_prepared_cache_misses_total", &[], 1);
+            let schedule =
+                ingest::parse_schedule(&src, &path).map_err(|e| Response::text(400, e + "\n"))?;
+            state
+                .prepared
+                .insert(digest, Arc::new(PreparedSchedule::new(schedule)))
+        }
+    };
+
+    let bytes = {
+        let _s = obs::span("serve.render");
+        jedule_render::render_prepared(&prepared, &opts)
+    };
+    obs::count("serve.bytes_rendered", bytes.len() as u64);
+    state.bodies.insert(
+        (digest, opt_key),
+        Arc::new(Body {
+            bytes: bytes.clone(),
+            content_type,
+        }),
+    );
+    Ok(Response::bytes(200, content_type, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_labels_are_bounded() {
+        assert_eq!(route_label("/render"), "/render");
+        assert_eq!(route_label("/debug/trace/17"), "/debug/trace");
+        assert_eq!(route_label("/anything/else"), "other");
+    }
+
+    #[test]
+    fn render_params_defaults_and_errors() {
+        let (opts, key) = render_options_from_params(None, None, None, None).unwrap();
+        assert_eq!(opts.format, jedule_render::OutputFormat::Svg);
+        assert_eq!(opts.width, 800.0);
+        assert_eq!(opts.threads, 1);
+        assert!(key.contains("fmt=svg") && key.contains("window=full"));
+        assert!(render_options_from_params(Some("pdf"), None, None, None).is_err());
+        assert!(render_options_from_params(None, Some("10"), None, None).is_err());
+        assert!(render_options_from_params(None, None, Some("5:5"), None).is_err());
+        assert!(render_options_from_params(None, None, Some("junk"), None).is_err());
+        assert!(render_options_from_params(None, None, None, Some("bogus")).is_err());
+        let (opts, key) =
+            render_options_from_params(Some("png"), Some("640"), Some("1:2"), Some("off")).unwrap();
+        assert_eq!(opts.format, jedule_render::OutputFormat::Png);
+        assert_eq!(opts.time_window, Some((1.0, 2.0)));
+        assert!(key.contains("window=1:2"));
+    }
+
+    #[test]
+    fn root_resolution_blocks_traversal() {
+        let dir = std::env::temp_dir().join("jedule_serve_root_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok.csv"), "x").unwrap();
+        let root = dir.canonicalize().unwrap();
+        assert!(resolve_under_root(&root, "ok.csv").is_ok());
+        assert!(resolve_under_root(&root, "../etc/passwd").is_err());
+        assert!(resolve_under_root(&root, "/etc/passwd").is_err());
+        assert!(resolve_under_root(&root, "missing.csv").is_err());
+    }
+}

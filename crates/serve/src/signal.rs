@@ -1,0 +1,61 @@
+//! SIGTERM/SIGINT → graceful-shutdown flag, with no libc crate.
+//!
+//! The workspace is offline and std-only, so the handler is registered
+//! through a hand-declared `signal(2)` FFI binding (libc is linked into
+//! every Rust binary on Unix anyway). The handler body is
+//! async-signal-safe: it performs a single atomic store into a flag the
+//! accept loop polls. On non-Unix targets installation is a no-op and
+//! shutdown happens programmatically via [`crate::ServerHandle`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static SHUTDOWN_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// Wires SIGTERM and SIGINT to `flag`. Only the first installed flag
+/// wins (one resident server per process); later calls are no-ops.
+#[cfg(unix)]
+pub fn install_term_handler(flag: Arc<AtomicBool>) {
+    let _ = SHUTDOWN_FLAG.set(flag);
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(f) = SHUTDOWN_FLAG.get() {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_term_handler(flag: Arc<AtomicBool>) {
+    let _ = SHUTDOWN_FLAG.set(flag);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_sets_the_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        install_term_handler(Arc::clone(&flag));
+        let installed = SHUTDOWN_FLAG.get().expect("flag installed");
+        assert!(!installed.load(Ordering::SeqCst));
+        // Raise SIGTERM at ourselves through the same FFI surface the
+        // installer uses; the handler must flip the installed flag.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        unsafe {
+            raise(15);
+        }
+        assert!(installed.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,98 @@
+//! A bounded ring of the last N per-request span trees.
+//!
+//! Every request records into its own [`jedule_core::obs::Collector`];
+//! the finished [`ObsReport`] lands here keyed by the request id so
+//! `GET /debug/trace/<id>` can replay any recent request as Chrome
+//! trace-event JSON. Old traces fall off the back once the ring is
+//! full — operational memory stays bounded no matter how long the
+//! process lives.
+
+use jedule_core::obs::ObsReport;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+pub struct TraceRing {
+    keep: usize,
+    inner: Mutex<VecDeque<(u64, Arc<ObsReport>)>>,
+}
+
+impl TraceRing {
+    pub fn new(keep: usize) -> TraceRing {
+        TraceRing {
+            keep,
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Retains `report` under `request_id`, evicting the oldest entry
+    /// when full. A `keep` of 0 retains nothing.
+    pub fn push(&self, request_id: u64, report: ObsReport) {
+        if self.keep == 0 {
+            return;
+        }
+        let mut ring = self.inner.lock().unwrap();
+        if ring.len() == self.keep {
+            ring.pop_front();
+        }
+        ring.push_back((request_id, Arc::new(report)));
+    }
+
+    /// The retained report for `request_id`, if it has not been evicted.
+    pub fn get(&self, request_id: u64) -> Option<Arc<ObsReport>> {
+        let ring = self.inner.lock().unwrap();
+        ring.iter()
+            .rev()
+            .find(|(id, _)| *id == request_id)
+            .map(|(_, r)| Arc::clone(r))
+    }
+
+    /// Ids currently retained, oldest first.
+    pub fn ids(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ObsReport {
+        ObsReport {
+            spans: Vec::new(),
+            counters: vec![("c".to_string(), 1)],
+        }
+    }
+
+    #[test]
+    fn keeps_last_n() {
+        let ring = TraceRing::new(2);
+        for id in 1..=3 {
+            ring.push(id, report());
+        }
+        assert_eq!(ring.ids(), vec![2, 3]);
+        assert!(ring.get(1).is_none());
+        assert!(ring.get(3).is_some());
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn zero_keep_retains_nothing() {
+        let ring = TraceRing::new(0);
+        ring.push(1, report());
+        assert!(ring.is_empty());
+        assert!(ring.get(1).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests of the render service over real sockets: route
+//! behavior, cache identity (served bytes == cold render bytes), the
+//! hit/miss partition invariant under concurrency, the Prometheus
+//! surface, per-request traces, and graceful shutdown.
+
+use jedule_core::{Allocation, ScheduleBuilder, Task};
+use jedule_serve::{render_options_from_params, ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+/// A tiny deterministic schedule written as CSV into a fresh temp root.
+fn temp_root(tag: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("jedule_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let s = ScheduleBuilder::new()
+        .cluster(0, "c0", 8)
+        .task(Task::new("a", "computation", 0.0, 4.0).on(Allocation::contiguous(0, 0, 4)))
+        .task(Task::new("b", "transfer", 2.0, 6.0).on(Allocation::contiguous(0, 2, 3)))
+        .task(Task::new("c", "io", 1.0, 3.0).on(Allocation::contiguous(0, 5, 2)))
+        .build()
+        .unwrap();
+    let csv = jedule_xmlio::write_schedule_csv(&s);
+    std::fs::write(dir.join("sched.csv"), &csv).unwrap();
+    (dir, csv)
+}
+
+fn start(tag: &str) -> (ServerHandle, PathBuf, String) {
+    let (root, csv) = temp_root(tag);
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        root: root.clone(),
+        workers: 4,
+        cache_cap: 16,
+        trace_keep: 8,
+    })
+    .unwrap();
+    (server.spawn(), root, csv)
+}
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn get(addr: SocketAddr, target: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head");
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    }
+}
+
+#[test]
+fn healthz_answers_with_request_ids() {
+    let (server, _root, _csv) = start("healthz");
+    let a = get(server.addr(), "/healthz");
+    let b = get(server.addr(), "/healthz");
+    assert_eq!(a.status, 200);
+    assert_eq!(a.body, b"ok\n");
+    let ida: u64 = a.header("X-Jedule-Request-Id").unwrap().parse().unwrap();
+    let idb: u64 = b.header("X-Jedule-Request-Id").unwrap().parse().unwrap();
+    assert_ne!(ida, idb, "each request gets its own id");
+    assert_eq!(get(server.addr(), "/").status, 200);
+    assert_eq!(get(server.addr(), "/nope").status, 404);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn render_bytes_match_cold_render_and_cache_hits() {
+    let (server, root, csv) = start("identity");
+    let first = get(server.addr(), "/render?file=sched.csv");
+    let second = get(server.addr(), "/render?file=sched.csv");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("Content-Type"), Some("image/svg+xml"));
+    assert_eq!(
+        first.body, second.body,
+        "cached reply must be byte-identical"
+    );
+
+    // The service body must equal a cold, single-threaded render of the
+    // same input with the same canonical options.
+    let schedule = jedule_serve::ingest::parse_schedule(&csv, &root.join("sched.csv")).unwrap();
+    let (opts, _key) = render_options_from_params(None, None, None, None).unwrap();
+    let cold = jedule_render::render(&schedule, &opts);
+    assert_eq!(first.body, cold);
+
+    let reg = server.registry();
+    assert_eq!(reg.counter_value("jedule_render_cache_hits_total", &[]), 1);
+    assert_eq!(
+        reg.counter_value("jedule_render_cache_misses_total", &[]),
+        1
+    );
+    assert_eq!(
+        reg.counter_value("jedule_prepared_cache_misses_total", &[]),
+        1
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn windowed_png_render_matches_cold_render() {
+    let (server, root, csv) = start("png");
+    let target = "/render?file=sched.csv&fmt=png&width=400&window=1:5&lod=off";
+    let reply = get(server.addr(), target);
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("Content-Type"), Some("image/png"));
+    assert_eq!(&reply.body[..8], b"\x89PNG\r\n\x1a\n");
+
+    let schedule = jedule_serve::ingest::parse_schedule(&csv, &root.join("sched.csv")).unwrap();
+    let (opts, _) =
+        render_options_from_params(Some("png"), Some("400"), Some("1:5"), Some("off")).unwrap();
+    assert_eq!(reply.body, jedule_render::render(&schedule, &opts));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_renders_are_identical_and_counters_partition() {
+    let (server, root, csv) = start("concurrent");
+    let addr = server.addr();
+    const N: usize = 8;
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..N)
+            .map(|_| s.spawn(move || get(addr, "/render?file=sched.csv&width=500")))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| {
+                let r = j.join().unwrap();
+                assert_eq!(r.status, 200);
+                r.body
+            })
+            .collect()
+    });
+    let schedule = jedule_serve::ingest::parse_schedule(&csv, &root.join("sched.csv")).unwrap();
+    let (opts, _) = render_options_from_params(None, Some("500"), None, None).unwrap();
+    let cold = jedule_render::render(&schedule, &opts);
+    for body in &bodies {
+        assert_eq!(body, &cold, "every concurrent reply equals the cold render");
+    }
+    let reg = server.registry();
+    let hits = reg.counter_value("jedule_render_cache_hits_total", &[]);
+    let misses = reg.counter_value("jedule_render_cache_misses_total", &[]);
+    assert_eq!(
+        hits + misses,
+        N as u64,
+        "hit/miss counters partition render requests exactly (hits {hits}, misses {misses})"
+    );
+    assert!(misses >= 1);
+    assert_eq!(
+        reg.counter_value(
+            "jedule_http_requests_total",
+            &[("route", "/render"), ("status", "200")]
+        ),
+        N as u64
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_exposition_covers_requests_and_latency() {
+    let (server, _root, _csv) = start("metrics");
+    assert_eq!(get(server.addr(), "/render?file=sched.csv").status, 200);
+    assert_eq!(get(server.addr(), "/healthz").status, 200);
+    let m = get(server.addr(), "/metrics");
+    assert_eq!(m.status, 200);
+    assert!(m.header("Content-Type").unwrap().starts_with("text/plain"));
+    let text = String::from_utf8(m.body).unwrap();
+    assert!(text.contains("# TYPE jedule_http_requests_total counter"));
+    assert!(text.contains("jedule_http_requests_total{route=\"/render\",status=\"200\"} 1"));
+    assert!(text.contains("# TYPE jedule_http_request_duration_seconds histogram"));
+    assert!(text
+        .contains("jedule_http_request_duration_seconds_bucket{route=\"/render\",le=\"+Inf\"} 1"));
+    assert!(text.contains("jedule_stage_duration_seconds_bucket{stage=\"serve.render\""));
+    assert!(text.contains("jedule_uptime_seconds"));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn debug_trace_replays_recent_requests() {
+    let (server, _root, _csv) = start("trace");
+    let r = get(server.addr(), "/render?file=sched.csv");
+    let id: u64 = r.header("X-Jedule-Request-Id").unwrap().parse().unwrap();
+    let trace = get(server.addr(), &format!("/debug/trace/{id}"));
+    assert_eq!(trace.status, 200);
+    assert_eq!(trace.header("Content-Type"), Some("application/json"));
+    let json = String::from_utf8(trace.body).unwrap();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("serve.request"));
+    assert!(json.contains("serve.render"));
+    assert_eq!(get(server.addr(), "/debug/trace/999999").status, 404);
+    assert_eq!(get(server.addr(), "/debug/trace/junk").status, 400);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn inputs_outside_the_root_are_rejected() {
+    let (server, _root, _csv) = start("jail");
+    assert_eq!(get(server.addr(), "/render").status, 400);
+    assert_eq!(
+        get(server.addr(), "/render?file=../../etc/passwd").status,
+        404
+    );
+    assert_eq!(get(server.addr(), "/render?file=/etc/passwd").status, 404);
+    assert_eq!(get(server.addr(), "/render?file=missing.csv").status, 404);
+    assert_eq!(
+        get(server.addr(), "/render?file=sched.csv&fmt=gif").status,
+        400
+    );
+    assert_eq!(
+        get(server.addr(), "/render?file=sched.csv&window=9:1").status,
+        400
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_is_graceful_and_final() {
+    let (server, _root, _csv) = start("shutdown");
+    let addr = server.addr();
+    assert_eq!(get(addr, "/healthz").status, 200);
+    server.shutdown().unwrap();
+    // The listener is gone: connecting (or at least speaking HTTP)
+    // fails once the drain has finished.
+    let alive = TcpStream::connect(addr)
+        .map(|mut s| {
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 1];
+            matches!(s.read(&mut buf), Ok(n) if n > 0)
+        })
+        .unwrap_or(false);
+    assert!(!alive, "server must stop answering after shutdown");
+}
