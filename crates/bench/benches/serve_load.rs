@@ -1,9 +1,11 @@
 //! serve_load — load-tests the resident `jedule serve` HTTP service
-//! in-process: one cold `/render` (ingest + prepare + render + encode),
-//! a cached-render latency series, a multi-client cached throughput
-//! run, and a distinct-window series that hits the prepared-schedule
-//! cache but misses the body cache. Results land in BENCH_serve.json,
-//! whose acceptance section perfgate cross-checks in CI.
+//! in-process over real loopback sockets: one cold `/render` (ingest +
+//! prepare + render + encode), a cached-render latency series, an
+//! ETag revalidation series (304, no body), a multi-client keep-alive
+//! throughput run, and a two-pass distinct-window series that misses
+//! the body cache on the second pass but reassembles warm tiles.
+//! Results land in BENCH_serve.json, whose acceptance section perfgate
+//! cross-checks in CI.
 //!
 //! Not a criterion harness: the unit of work is a whole HTTP request
 //! against a live server, so the bench drives its own client loops and
@@ -12,10 +14,11 @@
 //! Set `JEDULE_BENCH_QUICK=1` to shrink the trace and request counts so
 //! the harness can be smoke-tested in seconds.
 
+use jedule_serve::cache::fnv1a64;
 use jedule_serve::{ServeConfig, Server, ServerHandle};
 use jedule_workloads::convert::assigned_to_schedule;
 use jedule_workloads::{synth_scale_trace, ConvertOptions};
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -26,27 +29,67 @@ fn quick() -> bool {
     std::env::var_os("JEDULE_BENCH_QUICK").is_some()
 }
 
-/// One GET against the server; returns (status, body length).
-fn get(addr: SocketAddr, target: &str) -> (u16, usize) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    write!(
-        stream,
-        "GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
-    )
-    .expect("send request");
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("read response");
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("response head");
-    let head = String::from_utf8_lossy(&raw[..head_end]);
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code");
-    (status, raw.len() - head_end - 4)
+/// A persistent keep-alive connection — the client the event loop is
+/// built for: one TCP handshake, many requests.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+struct Reply {
+    status: u16,
+    etag: Option<String>,
+    body: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    /// One GET on the persistent connection, optionally revalidating.
+    fn get(&mut self, target: &str, if_none_match: Option<&str>) -> Reply {
+        match if_none_match {
+            Some(etag) => write!(
+                self.writer,
+                "GET {target} HTTP/1.1\r\nHost: bench\r\nIf-None-Match: {etag}\r\n\r\n"
+            ),
+            None => write!(self.writer, "GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n"),
+        }
+        .expect("send request");
+        let mut status = 0u16;
+        let mut etag = None;
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            assert!(
+                self.reader.read_line(&mut line).expect("read head") > 0,
+                "server closed mid-head"
+            );
+            if line == "\r\n" {
+                break;
+            }
+            if status == 0 {
+                status = line
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("status code");
+            } else if let Some(v) = line.strip_prefix("ETag: ") {
+                etag = Some(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("Content-Length: ") {
+                len = v.trim().parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).expect("read body");
+        Reply { status, etag, body }
+    }
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -73,7 +116,7 @@ fn today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-fn start_server(jobs: usize) -> (ServerHandle, PathBuf) {
+fn start_server(jobs: usize, cache_cap: usize, tile_cache_cap: usize) -> (ServerHandle, PathBuf) {
     let root = std::env::temp_dir().join(format!("jedule_serve_load_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     std::fs::create_dir_all(&root).expect("create bench root");
@@ -97,7 +140,8 @@ fn start_server(jobs: usize) -> (ServerHandle, PathBuf) {
         addr: "127.0.0.1:0".to_string(),
         root: root.clone(),
         workers: 4,
-        cache_cap: 128,
+        cache_cap,
+        tile_cache_cap,
         trace_keep: 4,
     })
     .expect("bind bench server")
@@ -106,33 +150,37 @@ fn start_server(jobs: usize) -> (ServerHandle, PathBuf) {
 }
 
 fn main() {
-    let (jobs, cached_reqs, clients, per_client, windows) = if quick() {
-        (5_000, 200, 4, 100, 16)
+    let (jobs, cached_reqs, revals, clients, per_client, windows) = if quick() {
+        (5_000, 200, 100, 4, 200, 16)
     } else {
-        (50_000, 1_000, 4, 500, 64)
+        (50_000, 1_000, 500, 4, 2_000, 64)
     };
     eprintln!(
-        "serve_load: {} mode, {jobs}-job trace, {cached_reqs} cached reqs, \
-         {clients}x{per_client} throughput reqs, {windows} windows",
+        "serve_load: {} mode, {jobs}-job trace, {cached_reqs} cached reqs, {revals} revalidations, \
+         {clients}x{per_client} throughput reqs, {windows} windows x2 passes",
         if quick() { "quick" } else { "full" }
     );
-    let (server, root) = start_server(jobs);
+    // The body cache is deliberately smaller than the window series so
+    // the second window pass misses bodies and exercises warm tiles.
+    let (server, root) = start_server(jobs, (windows / 4).max(4), 16_384);
     let addr = server.addr();
     let target = "/render?file=trace.csv&width=1600&lod=auto";
 
     // Cold: the first request pays ingest + prepare + render + encode.
+    let mut client = Client::connect(addr);
     let t = Instant::now();
-    let (status, body_len) = get(addr, target);
+    let reply = client.get(target, None);
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(status, 200, "cold render must succeed");
-    assert!(body_len > 0);
+    assert_eq!(reply.status, 200, "cold render must succeed");
+    assert!(!reply.body.is_empty());
+    let etag = reply.etag.expect("render responses carry an ETag");
 
     // Cached latency: the same request now only touches the body cache.
     let mut lat_ms: Vec<f64> = (0..cached_reqs)
         .map(|_| {
             let t = Instant::now();
-            let (status, _) = get(addr, target);
-            assert_eq!(status, 200);
+            let r = client.get(target, None);
+            assert_eq!(r.status, 200);
             t.elapsed().as_secs_f64() * 1e3
         })
         .collect();
@@ -143,13 +191,29 @@ fn main() {
         percentile(&lat_ms, 0.99),
     );
 
-    // Cached throughput: several clients hammering the same hot entry.
+    // Revalidation: If-None-Match answered 304 with no body — the
+    // digest cache means not even a file read happens.
+    let mut reval_ms: Vec<f64> = (0..revals)
+        .map(|_| {
+            let t = Instant::now();
+            let r = client.get(target, Some(&etag));
+            assert_eq!(r.status, 304, "matching validator must yield 304");
+            assert!(r.body.is_empty(), "304 carries no body");
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    reval_ms.sort_by(|a, b| a.total_cmp(b));
+    let (rv_p50, rv_p99) = (percentile(&reval_ms, 0.50), percentile(&reval_ms, 0.99));
+
+    // Cached throughput: several keep-alive clients hammering the same
+    // hot entry, one connection each.
     let t = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..clients {
             s.spawn(|| {
+                let mut c = Client::connect(addr);
                 for _ in 0..per_client {
-                    assert_eq!(get(addr, target).0, 200);
+                    assert_eq!(c.get(target, None).status, 200);
                 }
             });
         }
@@ -157,28 +221,58 @@ fn main() {
     let total = clients * per_client;
     let rps = total as f64 / t.elapsed().as_secs_f64();
 
-    // Distinct windows: every request is a body-cache miss served from
-    // the one prepared schedule — the interactive pan/zoom pattern.
-    let t = Instant::now();
-    for i in 0..windows {
-        let t0 = (i as f64) * 10.0;
-        let w = format!(
+    // Distinct windows, two passes. Pass 1 is the interactive pan/zoom
+    // pattern: every request misses the body cache and renders through
+    // the tile store (cold shards). The window series outnumbers the
+    // body cache, so pass 2 misses bodies again — but every shard is
+    // warm, and SVG assembly skips layout entirely.
+    let window_target = |i: usize| {
+        format!(
             "/render?file=trace.csv&width=1600&window={}:{}",
-            t0,
-            t0 + 50.0
-        );
-        assert_eq!(get(addr, &w).0, 200);
+            i * 10,
+            i * 10 + 50
+        )
+    };
+    // The main connection sat idle through the throughput run; if that
+    // took longer than the server's idle sweep, it was reaped. Fresh
+    // connection, as any real client would open.
+    let mut client = Client::connect(addr);
+    let mut pass_digests = [Vec::new(), Vec::new()];
+    let mut pass_mean_ms = [0.0f64; 2];
+    for (pass, digests) in pass_digests.iter_mut().enumerate() {
+        let t = Instant::now();
+        for i in 0..windows {
+            let r = client.get(&window_target(i), None);
+            assert_eq!(r.status, 200);
+            digests.push(fnv1a64(&r.body));
+        }
+        pass_mean_ms[pass] = t.elapsed().as_secs_f64() * 1e3 / windows as f64;
     }
-    let window_mean_ms = t.elapsed().as_secs_f64() * 1e3 / windows as f64;
+    assert_eq!(
+        pass_digests[0], pass_digests[1],
+        "tile-assembled windows must be byte-identical to their cold renders"
+    );
+    let tile_speedup = pass_mean_ms[0] / pass_mean_ms[1];
 
     let reg = server.registry();
     let hits = reg.counter_value("jedule_render_cache_hits_total", &[]);
     let misses = reg.counter_value("jedule_render_cache_misses_total", &[]);
-    let renders = 1 + cached_reqs + total + windows;
+    let not_modified = reg.counter_value("jedule_render_not_modified_total", &[]);
+    let renders = 1 + cached_reqs + total + 2 * windows;
     assert_eq!(
         hits + misses,
         renders as u64,
-        "hit/miss counters must partition the render requests exactly"
+        "hit/miss counters must partition the 200 render responses exactly"
+    );
+    assert_eq!(not_modified, revals as u64, "every revalidation counted");
+    let tile_hits = reg.counter_total("jedule_tile_cache_hits_total");
+    let tile_misses = reg.counter_total("jedule_tile_cache_misses_total");
+    let plan_hits = reg.counter_total("jedule_plan_cache_hits_total");
+    let plan_misses = reg.counter_total("jedule_plan_cache_misses_total");
+    assert_eq!(
+        tile_hits + tile_misses,
+        reg.counter_total("jedule_tile_lookups_total"),
+        "tile hit/miss counters must partition tile lookups exactly"
     );
     server.shutdown().expect("graceful shutdown");
     let _ = std::fs::remove_dir_all(&root);
@@ -186,18 +280,24 @@ fn main() {
     let speedup = cold_ms / p50;
     eprintln!(
         "serve_load: cold {cold_ms:.2} ms; cached p50 {p50:.3} / p90 {p90:.3} / p99 {p99:.3} ms \
-         ({speedup:.0}x vs cold); {rps:.0} req/s over {clients} clients; \
-         window miss {window_mean_ms:.2} ms; {hits} hits / {misses} misses"
+         ({speedup:.0}x vs cold); 304 p50 {rv_p50:.3} / p99 {rv_p99:.3} ms; \
+         {rps:.0} req/s over {clients} keep-alive clients; \
+         windows cold {:.2} ms -> warm tiles {:.2} ms ({tile_speedup:.1}x); \
+         {hits} hits / {misses} misses / {not_modified} 304s; \
+         tiles {tile_hits} hits / {tile_misses} misses; plans {plan_hits} hits / {plan_misses} misses",
+        pass_mean_ms[0], pass_mean_ms[1]
     );
 
     let json = format!(
         r#"{{
-  "description": "Serve-mode baseline: crates/bench/benches/serve_load.rs. An in-process `jedule serve` instance (4 workers, LRU body+prepared caches) fed a {jobs}-job synthetic trace (synth_scale_trace, 1024 nodes) over real loopback sockets. Series: the cold first /render (ingest + prepare + render + encode), {cached_reqs} cached repeats of the identical request (latency percentiles, full HTTP round trip included), {clients} concurrent clients x {per_client} cached requests (throughput), and {windows} distinct-window requests that miss the body cache but reuse the one PreparedSchedule.",
+  "description": "Serve-mode baseline: crates/bench/benches/serve_load.rs. An in-process `jedule serve` instance (epoll event loop, 4 render workers, LRU body+prepared+tile caches) fed a {jobs}-job synthetic trace (synth_scale_trace, 1024 nodes) over real loopback keep-alive connections. Series: the cold first /render (ingest + prepare + render + encode), {cached_reqs} cached repeats of the identical request (latency percentiles, full HTTP round trip included), {revals} ETag revalidations (304, no body), {clients} persistent clients x {per_client} cached requests (throughput), and {windows} distinct-window requests in two passes — pass 1 cold shards, pass 2 misses the (undersized) body cache but reassembles warm tiles.",
   "command": "cargo bench -p jedule-bench --bench serve_load",
   "date": "{date}",
   "acceptance": {{
     "cached_render_vs_cold_speedup": {speedup:.1},
     "cached_render_vs_cold_required": 2.0,
+    "tile_warm_window_speedup": {tile_speedup:.2},
+    "tile_warm_window_required": 1.2,
     "hit_miss_partition_exact": true
   }},
   "results": {{
@@ -207,26 +307,35 @@ fn main() {
       "p99": "{p99:.3} ms",
       "requests": {cached_reqs}
     }},
+    "etag_revalidation": {{
+      "p50": "{rv_p50:.3} ms",
+      "p99": "{rv_p99:.3} ms",
+      "requests": {revals}
+    }},
     "cached_throughput": {{
       "clients": {clients},
       "requests": {total},
       "requests_per_second": {rps:.0}
     }},
     "cold_first_request": {{ "wall": "{cold_ms:.2} ms" }},
-    "prepared_window_miss": {{
-      "mean_per_window": "{window_mean_ms:.2} ms",
+    "distinct_windows": {{
+      "cold_mean_per_window": "{cold_win:.2} ms",
+      "warm_tile_mean_per_window": "{warm_win:.2} ms",
       "windows": {windows}
     }}
   }},
   "notes": [
-    "Latencies are whole HTTP round trips from a loopback client (connect + request + full body read), not server-internal times; the server-side stage histograms live in /metrics.",
-    "The hit/miss partition (hits + misses == render requests, asserted every run) held: {hits} hits / {misses} misses across {renders} render requests.",
-    "Distinct-window requests miss the body cache by key but reuse the single cached PreparedSchedule, so they pay only culled layout + encode — the interactive pan/zoom cost.",
+    "Latencies are whole HTTP round trips on persistent loopback connections (request + full body read), not server-internal times; the server-side stage histograms live in /metrics.",
+    "The hit/miss partition (hits + misses == 200 render responses, asserted every run) held: {hits} hits / {misses} misses across {renders} renders, plus {not_modified} 304 revalidations counted separately; tile lookups partitioned as {tile_hits} hits / {tile_misses} misses.",
+    "Pass-2 window bodies were digest-identical to pass-1 (asserted): tile reassembly reproduces cold bytes exactly.",
+    "304 revalidations touch only the stat-validated digest cache — no file read, no render — which is what keeps their p50 sub-millisecond.",
     "Serve pins threads=1 per render; cached bodies are byte-identical to cold single-threaded renders (asserted in crates/serve/tests/serve_http.rs)."
   ]
 }}
 "#,
         date = today(),
+        cold_win = pass_mean_ms[0],
+        warm_win = pass_mean_ms[1],
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     std::fs::write(&out, json).expect("write BENCH_serve.json");

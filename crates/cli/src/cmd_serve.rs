@@ -1,6 +1,6 @@
-//! `jedule serve` — the resident render service (DESIGN.md §6b).
+//! `jedule serve` — the resident render service (DESIGN.md §6b–c).
 //!
-//! Binds the threaded HTTP server from `jedule-serve`, wires SIGTERM /
+//! Binds the epoll HTTP server from `jedule-serve`, wires SIGTERM /
 //! SIGINT to its graceful-shutdown flag, and after the drain optionally
 //! flushes the process-lifetime metrics registry as `jedule-metrics-v1`
 //! JSON (`--metrics-json`, `-` for stdout) so a supervised run leaves
@@ -19,6 +19,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--addr" => config.addr = args.value(a)?.to_string(),
             "--root" => config.root = args.value(a)?.into(),
             "--cache-cap" => config.cache_cap = args.parse(a)?,
+            "--tile-cache-cap" => config.tile_cache_cap = args.parse(a)?,
             "--trace-keep" => config.trace_keep = args.parse(a)?,
             "-j" | "--threads" => config.workers = args.parse(a)?,
             "--metrics-json" => metrics_out = Some(args.value(a)?.to_string()),

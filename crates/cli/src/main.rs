@@ -65,6 +65,8 @@ SERVE OPTIONS:
                             (default .)
         --cache-cap <n>     max cached rendered bodies / prepared
                             schedules, LRU (default 64)
+        --tile-cache-cap <n>  max cached render tiles shared across
+                            views, LRU (default 1024, 0 disables)
         --trace-keep <n>    request traces retained for
                             /debug/trace/<id> (default 32)
     -j, --threads <n>       worker threads (0 = auto)

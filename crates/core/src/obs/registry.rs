@@ -204,6 +204,14 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// Sum of a counter family across *all* its label sets — the value
+    /// partition invariants are checked against (e.g. tile hits +
+    /// misses == lookups must hold over every `fmt` label combined).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let t = self.inner.lock().unwrap();
+        t.counters.get(name).map(|s| s.values().sum()).unwrap_or(0)
+    }
+
     /// Current value of a gauge series, if it exists.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         let t = self.inner.lock().unwrap();
@@ -432,6 +440,16 @@ mod tests {
         assert_eq!(r.counter_value("reqs", &[("route", "/a")]), 5);
         assert_eq!(r.counter_value("reqs", &[("route", "/b")]), 1);
         assert_eq!(r.counter_value("reqs", &[]), 0);
+    }
+
+    #[test]
+    fn counter_total_sums_every_label_set() {
+        let r = Registry::new();
+        r.counter_add("tiles", &[("fmt", "svg")], 3);
+        r.counter_add("tiles", &[("fmt", "png")], 4);
+        r.counter_add("tiles", &[], 1);
+        assert_eq!(r.counter_total("tiles"), 8);
+        assert_eq!(r.counter_total("absent"), 0);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod raster;
 pub mod scene;
 pub mod svg;
 pub mod ticks;
+pub mod tile;
 
 pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
 pub use layout::{layout, layout_prepared};

@@ -223,6 +223,18 @@ pub fn rasterize(scene: &Scene) -> Canvas {
     c
 }
 
+/// Rasterizes only the global pixel rows `r0..r1` of a scene, as a
+/// band canvas. Because every primitive rounds in global coordinates,
+/// the band's pixels are bit-identical to rows `r0..r1` of
+/// [`rasterize`]'s full canvas — the guarantee both the parallel
+/// encoder and the serve-side tile cache (DESIGN.md §6c) build on.
+pub fn rasterize_band(scene: &Scene, r0: usize, r1: usize) -> Canvas {
+    let width = scene.width.round().max(1.0) as usize;
+    let mut c = Canvas::band(width, r0, r1.saturating_sub(r0), scene.background);
+    draw_scene(&mut c, scene);
+    c
+}
+
 /// Rasterizes a scene with up to `threads` workers (`0` = all available
 /// cores, `1` = the sequential [`rasterize`] path).
 ///
@@ -259,9 +271,7 @@ pub fn rasterize_threads(scene: &Scene, threads: usize) -> Canvas {
                     let _att = obs_handle.attach();
                     let _sp =
                         jedule_core::obs::span_with("raster.band", || format!("rows {r0}..{r1}"));
-                    let mut c = Canvas::band(width, r0, r1 - r0, scene.background);
-                    draw_scene(&mut c, scene);
-                    c.pixels
+                    rasterize_band(scene, r0, r1).pixels
                 })
             })
             .collect();

@@ -23,9 +23,13 @@ fn fnum(v: f64) -> String {
     s.trim_end_matches('0').trim_end_matches('.').to_string()
 }
 
-/// Serializes a scene as SVG text.
-pub fn to_svg(scene: &Scene) -> String {
-    let mut out = String::with_capacity(scene.len() * 64 + 256);
+/// The document prologue: the `<svg>` element and the full-canvas
+/// background rect. `svg_header(s) + svg_fragment(s, 0..s.len()) +
+/// SVG_FOOTER` is byte-for-byte [`to_svg`]`(s)` — the identity the
+/// serve-side tile cache relies on when it assembles a figure from
+/// per-shard fragments.
+pub fn svg_header(scene: &Scene) -> String {
+    let mut out = String::with_capacity(256);
     let _ = writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
@@ -37,7 +41,18 @@ pub fn to_svg(scene: &Scene) -> String {
         r#"<rect width="100%" height="100%" fill="{}"/>"#,
         scene.background
     );
-    for p in scene.iter() {
+    out
+}
+
+/// The document epilogue matching [`svg_header`].
+pub const SVG_FOOTER: &str = "</svg>\n";
+
+/// Serializes the primitives at painter's-order indices `range` —
+/// one shard of the document body. Concatenating consecutive fragments
+/// reproduces the exact bytes of a single serialization pass.
+pub fn svg_fragment(scene: &Scene, range: std::ops::Range<usize>) -> String {
+    let mut out = String::with_capacity(range.len() * 64);
+    for p in scene.iter().skip(range.start).take(range.len()) {
         match p {
             PrimRef::Rect(r) => {
                 let stroke_attr = match r.stroke {
@@ -84,7 +99,15 @@ pub fn to_svg(scene: &Scene) -> String {
             }
         }
     }
-    out.push_str("</svg>\n");
+    out
+}
+
+/// Serializes a scene as SVG text.
+pub fn to_svg(scene: &Scene) -> String {
+    let mut out = String::with_capacity(scene.len() * 64 + 256);
+    out.push_str(&svg_header(scene));
+    out.push_str(&svg_fragment(scene, 0..scene.len()));
+    out.push_str(SVG_FOOTER);
     out
 }
 
@@ -133,6 +156,30 @@ mod tests {
         s.rect(0.0, 0.0, -5.0, 3.0, Color::BLACK);
         let svg = to_svg(&s);
         assert!(svg.contains(r#"width="0""#));
+    }
+
+    #[test]
+    fn fragment_concatenation_is_byte_identical() {
+        let s = scene();
+        let whole = to_svg(&s);
+        for shard in 1..=s.len() {
+            let mut assembled = svg_header(&s);
+            let mut i = 0;
+            while i < s.len() {
+                let end = (i + shard).min(s.len());
+                assembled.push_str(&svg_fragment(&s, i..end));
+                i = end;
+            }
+            assembled.push_str(SVG_FOOTER);
+            assert_eq!(assembled, whole, "shard size {shard}");
+        }
+    }
+
+    #[test]
+    fn empty_fragment_is_empty() {
+        let s = scene();
+        assert_eq!(svg_fragment(&s, 0..0), "");
+        assert_eq!(svg_fragment(&s, 2..2), "");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Deterministic figure sharding — the render-side half of the serve
+//! tile cache (DESIGN.md §6c).
+//!
+//! A figure is split into *tiles* whose bytes are reproducible from
+//! `(scene, shard index)` alone:
+//!
+//! * **Raster formats** shard into horizontal pixel row-bands of
+//!   [`RASTER_TILE_ROWS`] rows. [`crate::raster::rasterize_band`]
+//!   renders a band bit-identically to the same rows of a full
+//!   rasterization, so concatenating band pixels and encoding
+//!   sequentially reproduces the cold single-threaded PNG byte for
+//!   byte.
+//! * **SVG** shards into runs of [`SVG_TILE_PRIMS`] consecutive
+//!   painter's-order primitives. [`crate::svg::svg_fragment`] serializes
+//!   a run to the exact substring a whole-document pass would emit, so
+//!   `header + fragments + footer` is byte-identical to
+//!   [`crate::svg::to_svg`].
+//!
+//! Both properties make a tile cache safe: any mix of cached and
+//! freshly rendered tiles assembles into the same bytes as a cold
+//! whole-figure render (property-tested in `tests/tile_props.rs`).
+
+use crate::raster::Canvas;
+use crate::scene::Scene;
+
+/// Pixel rows per raster tile. 64 rows keeps a 1600-px-wide tile near
+/// 300 KiB — big enough that per-tile bookkeeping is noise, small
+/// enough that eviction is not all-or-nothing.
+pub const RASTER_TILE_ROWS: usize = 64;
+
+/// Painter's-order primitives per SVG tile.
+pub const SVG_TILE_PRIMS: usize = 4096;
+
+/// Fixed-size shard bounds: `ceil(n / size)` half-open ranges covering
+/// `0..n`. Unlike `parallel::chunk_bounds` (which balances *worker*
+/// loads), tile bounds depend only on `n`, never on a thread count —
+/// the same figure always shards the same way, which is what makes
+/// tile keys stable across requests.
+pub fn shard_bounds(n: usize, size: usize) -> Vec<(usize, usize)> {
+    let size = size.max(1);
+    let mut out = Vec::with_capacity(n.div_ceil(size));
+    let mut start = 0;
+    while start < n {
+        let end = (start + size).min(n);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// The row-band bounds a raster scene of `height` pixels shards into.
+pub fn raster_bands(height: usize) -> Vec<(usize, usize)> {
+    shard_bounds(height, RASTER_TILE_ROWS)
+}
+
+/// The primitive-range bounds an SVG scene of `prims` primitives
+/// shards into. An empty scene still has one (empty) shard so the
+/// assembled document carries the header and footer.
+pub fn svg_ranges(prims: usize) -> Vec<(usize, usize)> {
+    if prims == 0 {
+        return vec![(0, 0)];
+    }
+    shard_bounds(prims, SVG_TILE_PRIMS)
+}
+
+/// The raw RGB bytes of one raster tile: global pixel rows `r0..r1`,
+/// bit-identical to the same rows of a full sequential rasterization.
+pub fn raster_tile_pixels(scene: &Scene, r0: usize, r1: usize) -> Vec<u8> {
+    crate::raster::rasterize_band(scene, r0, r1).pixels
+}
+
+/// Reassembles row-band tiles into the final PNG through the
+/// *sequential* encoder — the same single-deflate-stream path a
+/// `threads = 1` whole-figure render takes, so the output is
+/// byte-identical to it.
+pub fn png_from_row_tiles<T: AsRef<[u8]>>(width: usize, height: usize, tiles: &[T]) -> Vec<u8> {
+    let mut pixels = Vec::with_capacity(width * height * 3);
+    for t in tiles {
+        pixels.extend_from_slice(t.as_ref());
+    }
+    debug_assert_eq!(pixels.len(), width * height * 3);
+    crate::png::encode(&Canvas {
+        width,
+        height,
+        y0: 0,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::rasterize;
+    use crate::scene::Anchor;
+    use jedule_core::Color;
+
+    fn scene(w: f64, h: f64) -> Scene {
+        let mut s = Scene::new(w, h);
+        s.rect(2.0, 3.0, w * 0.8, h * 0.3, Color::new(0, 0, 200));
+        s.rect_stroked(
+            5.0,
+            h * 0.4,
+            w * 0.5,
+            h * 0.5,
+            Color::new(220, 40, 40),
+            Color::BLACK,
+        );
+        s.line(0.0, 0.0, w, h, Color::BLACK);
+        s.text(w / 2.0, h / 2.0, 10.0, "tile", Color::BLACK, Anchor::Middle);
+        s
+    }
+
+    #[test]
+    fn shard_bounds_cover_exactly() {
+        assert_eq!(shard_bounds(0, 64), Vec::<(usize, usize)>::new());
+        assert_eq!(shard_bounds(64, 64), vec![(0, 64)]);
+        assert_eq!(shard_bounds(65, 64), vec![(0, 64), (64, 65)]);
+        for n in [1usize, 63, 64, 100, 1000] {
+            let bounds = shard_bounds(n, 64);
+            assert_eq!(bounds.first().unwrap().0, 0);
+            assert_eq!(bounds.last().unwrap().1, n);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_thread_count_independent() {
+        // The defining difference from chunk_bounds: only n matters.
+        assert_eq!(raster_bands(300).len(), 5);
+        assert_eq!(svg_ranges(0), vec![(0, 0)]);
+        assert_eq!(svg_ranges(1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn png_from_tiles_matches_sequential_encode() {
+        let s = scene(90.0, 150.0); // not a multiple of the tile rows
+        let canvas = rasterize(&s);
+        let want = crate::png::encode(&canvas);
+        let tiles: Vec<Vec<u8>> = raster_bands(canvas.height)
+            .into_iter()
+            .map(|(r0, r1)| raster_tile_pixels(&s, r0, r1))
+            .collect();
+        assert!(tiles.len() > 1);
+        assert_eq!(
+            png_from_row_tiles(canvas.width, canvas.height, &tiles),
+            want
+        );
+    }
+}

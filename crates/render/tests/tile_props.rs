@@ -1,0 +1,114 @@
+//! Property tests of the tile-sharding contract (`jedule_render::tile`):
+//! a figure assembled from per-shard pieces must be byte-identical to a
+//! cold sequential whole-figure render, for arbitrary schedules, render
+//! options and shard sizes. This identity is what makes the serve-side
+//! tile cache sound — any mix of cached and fresh tiles reproduces the
+//! cold bytes exactly.
+
+use jedule_core::{Allocation, Schedule, ScheduleBuilder, Task};
+use jedule_render::tile::{png_from_row_tiles, raster_tile_pixels, shard_bounds, svg_ranges};
+use jedule_render::{layout, png, raster, svg, LodMode, OutputFormat, RenderOptions};
+use proptest::prelude::*;
+
+fn arb_schedule() -> BoxedStrategy<Schedule> {
+    proptest::collection::vec(
+        (0.0f64..80.0, 0.1f64..15.0, 0u32..2, 0u32..6, 1u32..=3),
+        1..40,
+    )
+    .prop_map(|tasks| {
+        let mut b = ScheduleBuilder::new()
+            .cluster(0, "alpha", 8)
+            .cluster(1, "beta", 8);
+        for (i, (start, dur, cluster, first, nb)) in tasks.into_iter().enumerate() {
+            b = b.task(
+                Task::new(
+                    format!("t{i}"),
+                    if i % 2 == 0 {
+                        "computation"
+                    } else {
+                        "transfer"
+                    },
+                    start,
+                    start + dur,
+                )
+                .on(Allocation::contiguous(cluster, first, nb)),
+            );
+        }
+        b.build().expect("generated schedule is valid")
+    })
+    .boxed()
+}
+
+fn options(fmt: OutputFormat, width: f64, force_lod: bool) -> RenderOptions {
+    RenderOptions {
+        format: fmt,
+        width,
+        lod: if force_lod {
+            LodMode::Force
+        } else {
+            LodMode::Auto
+        },
+        threads: 1,
+        ..RenderOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PNG: concatenating band tiles of any size and re-encoding
+    /// sequentially equals the cold single-threaded encode.
+    #[test]
+    fn png_tile_assembly_is_byte_identical(
+        s in arb_schedule(),
+        width in 120.0f64..500.0,
+        band_rows in 1usize..200,
+        force_lod in any::<bool>(),
+    ) {
+        let scene = layout(&s, &options(OutputFormat::Png, width, force_lod));
+        let canvas = raster::rasterize(&scene);
+        let cold = png::encode(&canvas);
+        let tiles: Vec<Vec<u8>> = shard_bounds(canvas.height, band_rows)
+            .into_iter()
+            .map(|(r0, r1)| raster_tile_pixels(&scene, r0, r1))
+            .collect();
+        prop_assert_eq!(png_from_row_tiles(canvas.width, canvas.height, &tiles), cold);
+    }
+
+    /// SVG: header + primitive-range fragments + footer equals the
+    /// whole-document serialization for any shard size.
+    #[test]
+    fn svg_tile_assembly_is_byte_identical(
+        s in arb_schedule(),
+        width in 120.0f64..500.0,
+        shard in 1usize..64,
+        force_lod in any::<bool>(),
+    ) {
+        let scene = layout(&s, &options(OutputFormat::Svg, width, force_lod));
+        let cold = svg::to_svg(&scene);
+        let mut assembled = svg::svg_header(&scene);
+        for (a, b) in shard_bounds(scene.len(), shard) {
+            assembled.push_str(&svg::svg_fragment(&scene, a..b));
+        }
+        assembled.push_str(svg::SVG_FOOTER);
+        prop_assert_eq!(assembled, cold);
+    }
+
+    /// The canonical shard lists cover their domain exactly once.
+    #[test]
+    fn shard_lists_are_exact_covers(n in 0usize..10_000) {
+        for bounds in [svg_ranges(n), shard_bounds(n, 64)] {
+            let mut cursor = 0;
+            for (a, b) in &bounds {
+                prop_assert_eq!(*a, cursor);
+                prop_assert!(*b >= *a);
+                cursor = *b;
+            }
+            if !bounds.is_empty() {
+                prop_assert_eq!(cursor, n);
+            }
+        }
+        // svg_ranges always has at least the header/footer carrier.
+        prop_assert!(!svg_ranges(n).is_empty());
+    }
+}

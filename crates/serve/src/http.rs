@@ -1,16 +1,22 @@
 //! Minimal HTTP/1.1 request parsing and response writing.
 //!
 //! The service speaks just enough of the protocol for `curl`, browsers
-//! and Prometheus scrapers: one `GET` request per connection (responses
-//! carry `Connection: close`), request heads capped at 16 KiB, query
-//! strings percent-decoded. Anything fancier (chunked bodies, pipelining,
-//! TLS) is out of scope for an std-only sidecar service.
+//! and Prometheus scrapers: `GET` requests with persistent (keep-alive)
+//! connections, request heads capped at 16 KiB, paths and query strings
+//! percent-decoded under their respective rules, `ETag`/`If-None-Match`
+//! revalidation. Parsing is incremental — [`RecvBuf`] accumulates bytes
+//! as the event loop reads them and scans only the tail overlap for the
+//! head terminator, so a 16 KiB head costs one pass, not O(n²)
+//! rescans. Anything fancier (chunked bodies, TLS) is out of scope for
+//! an std-only sidecar service.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::io::Read;
+use std::sync::Arc;
 
-/// Maximum accepted request-head size; larger heads get a 400.
-const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request-head size; larger heads get a 400. The cap
+/// is enforced *before* reading past it, so a hostile peer cannot make
+/// the server buffer more than one chunk beyond the limit.
+pub const MAX_HEAD: usize = 16 * 1024;
 
 /// A parsed request line plus headers (body ignored — GET only).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +26,12 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters in order of appearance.
     pub query: Vec<(String, String)>,
+    /// Raw headers in order of appearance (names as sent).
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 only with
+    /// an explicit `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -30,34 +42,101 @@ impl Request {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
-}
 
-/// Reads one request head from the stream. `Ok(None)` means the peer
-/// closed before sending anything (a clean no-op); `Err` carries a
-/// human-readable parse failure for a 400 response.
-pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    loop {
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
-        }
-        if buf.len() > MAX_HEAD {
-            return Err("request head exceeds 16 KiB".to_string());
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                break;
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read error: {e}")),
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when `If-None-Match` lists `etag` (or `*`) — the request is
+    /// a revalidation that can be answered with 304.
+    pub fn if_none_match(&self, etag: &str) -> bool {
+        match self.header("If-None-Match") {
+            None => false,
+            Some(v) => v
+                .split(',')
+                .map(|t| t.trim().trim_start_matches("W/"))
+                .any(|t| t == etag || t == "*"),
         }
     }
-    let head = String::from_utf8_lossy(&buf);
-    let line = head.lines().next().unwrap_or("");
+}
+
+/// An incremental head accumulator: the event loop feeds it whatever
+/// the socket yields and asks for complete heads. The terminator scan
+/// resumes where the previous one stopped (minus the 3-byte overlap a
+/// `\r\n\r\n` split across reads can need), so total scan work is
+/// linear in the head size regardless of how many reads delivered it.
+#[derive(Debug, Default)]
+pub struct RecvBuf {
+    buf: Vec<u8>,
+    /// Bytes known to contain no head terminator *ending* at or before
+    /// this offset.
+    scanned: usize,
+}
+
+impl RecvBuf {
+    pub fn new() -> RecvBuf {
+        RecvBuf::default()
+    }
+
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the buffer holds a full head cap with no terminator —
+    /// the request is oversized and must be rejected without reading
+    /// further.
+    pub fn over_cap(&mut self) -> bool {
+        self.take_head_end().is_none() && self.buf.len() >= MAX_HEAD
+    }
+
+    /// Index one past the head terminator, if a complete head is
+    /// buffered. Only scans bytes not covered by previous calls.
+    fn take_head_end(&mut self) -> Option<usize> {
+        let start = self.scanned.saturating_sub(3);
+        for i in start..self.buf.len() {
+            if self.buf[i] == b'\n' {
+                if i >= 3 && &self.buf[i - 3..=i] == b"\r\n\r\n" {
+                    return Some(i + 1);
+                }
+                if i >= 1 && self.buf[i - 1] == b'\n' {
+                    return Some(i + 1);
+                }
+            }
+        }
+        self.scanned = self.buf.len();
+        None
+    }
+
+    /// Removes and returns one complete head (including its
+    /// terminator); pipelined bytes after it stay buffered for the next
+    /// request.
+    pub fn take_head(&mut self) -> Option<Vec<u8>> {
+        let end = self.take_head_end()?;
+        let rest = self.buf.split_off(end);
+        let head = std::mem::replace(&mut self.buf, rest);
+        self.scanned = 0;
+        Some(head)
+    }
+}
+
+/// Parses one complete request head (as returned by
+/// [`RecvBuf::take_head`]).
+pub fn parse_head(head: &[u8]) -> Result<Request, String> {
+    let head = String::from_utf8_lossy(head);
+    let mut lines = head.lines();
+    let line = lines.next().unwrap_or("");
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_string();
     let target = parts.next().ok_or("request line missing target")?;
@@ -65,6 +144,20 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported protocol {version:?}"));
     }
+    let headers: Vec<(String, String)> = lines
+        .take_while(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("Connection"))
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version != "HTTP/1.0", // 1.1+ default persistent
+    };
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -73,20 +166,49 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
         .split('&')
         .filter(|kv| !kv.is_empty())
         .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (percent_decode(k), percent_decode(v)),
-            None => (percent_decode(kv), String::new()),
+            Some((k, v)) => (decode_query(k), decode_query(v)),
+            None => (decode_query(kv), String::new()),
         })
         .collect();
-    Ok(Some(Request {
+    Ok(Request {
         method,
-        path: percent_decode(raw_path),
+        path: decode_path(raw_path),
         query,
-    }))
+        headers,
+        keep_alive,
+    })
 }
 
-/// Decodes `%XX` escapes and `+`-as-space (query-string convention;
-/// harmless in paths, which never legitimately contain `+` here).
-pub fn percent_decode(s: &str) -> String {
+/// Reads one request head from a blocking stream (the non-epoll
+/// fallback path and tests). `Ok(None)` means the peer closed before
+/// sending anything (a clean no-op); `Err` carries a human-readable
+/// parse failure for a 400 response. The head cap is enforced before
+/// reading past it.
+pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
+    let mut rb = RecvBuf::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(head) = rb.take_head() {
+            return parse_head(&head).map(Some);
+        }
+        if rb.len() >= MAX_HEAD {
+            return Err("request head exceeds 16 KiB".to_string());
+        }
+        let want = chunk.len().min(MAX_HEAD - rb.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                if rb.is_empty() {
+                    return Ok(None);
+                }
+                return Err("connection closed mid-head".to_string());
+            }
+            Ok(n) => rb.extend(&chunk[..n]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+}
+
+fn decode(s: &str, plus_as_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -105,7 +227,7 @@ pub fn percent_decode(s: &str) -> String {
                     }
                 }
             }
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -118,12 +240,29 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// A response ready to serialize.
+/// Decodes `%XX` escapes under *path* rules: `+` is a literal plus.
+/// (The `+`→space convention is a query-string-only artifact of form
+/// encoding; applying it to paths would 404 any file named `a+b.jed`.)
+pub fn decode_path(s: &str) -> String {
+    decode(s, false)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space under query-string rules.
+pub fn decode_query(s: &str) -> String {
+    decode(s, true)
+}
+
+/// A response ready to serialize. Bodies are shared (`Arc`) so cached
+/// bytes are never copied per request — the writer streams straight
+/// from the cache entry.
 #[derive(Debug, Clone)]
 pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
-    pub body: Vec<u8>,
+    pub body: Arc<Vec<u8>>,
+    /// Emitted as an `ETag` header when present; 304 responses carry it
+    /// with an empty body.
+    pub etag: Option<String>,
 }
 
 impl Response {
@@ -131,48 +270,84 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body: body.into().into_bytes(),
+            body: Arc::new(body.into().into_bytes()),
+            etag: None,
         }
     }
 
     pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response::shared(status, content_type, Arc::new(body))
+    }
+
+    /// A response over an already-shared (cached) body.
+    pub fn shared(status: u16, content_type: &'static str, body: Arc<Vec<u8>>) -> Response {
         Response {
             status,
             content_type,
             body,
+            etag: None,
         }
+    }
+
+    /// An empty-bodied `304 Not Modified` revalidation answer.
+    pub fn not_modified(content_type: &'static str, etag: String) -> Response {
+        Response {
+            status: 304,
+            content_type,
+            body: Arc::new(Vec::new()),
+            etag: Some(etag),
+        }
+    }
+
+    pub fn with_etag(mut self, etag: String) -> Response {
+        self.etag = Some(etag);
+        self
+    }
+
+    /// Serializes the response head with the standard service headers,
+    /// including the per-request id echo and the keep-alive decision.
+    pub fn encode_head(&self, request_id: u64, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nX-Jedule-Request-Id: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            request_id
+        );
+        if let Some(etag) = &self.etag {
+            head.push_str("ETag: ");
+            head.push_str(etag);
+            head.push_str("\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        head.into_bytes()
+    }
+
+    /// Head plus body as one buffer (the blocking fallback path).
+    pub fn encode(&self, request_id: u64, keep_alive: bool) -> Vec<u8> {
+        let mut out = self.encode_head(request_id, keep_alive);
+        out.extend_from_slice(&self.body);
+        out
     }
 }
 
-fn reason(status: u16) -> &'static str {
+pub(crate) fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        416 => "Range Not Satisfiable",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
-}
-
-/// Serializes a response with the standard service headers, including
-/// the per-request id echo.
-pub fn write_response(
-    stream: &mut TcpStream,
-    request_id: u64,
-    resp: &Response,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nX-Jedule-Request-Id: {}\r\nConnection: close\r\n\r\n",
-        resp.status,
-        reason(resp.status),
-        resp.content_type,
-        resp.body.len(),
-        request_id
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
-    stream.flush()
 }
 
 #[cfg(test)]
@@ -180,26 +355,171 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percent_decoding() {
-        assert_eq!(percent_decode("a%20b+c"), "a b c");
-        assert_eq!(percent_decode("%2e%2E/x"), "../x");
-        assert_eq!(percent_decode("100%"), "100%");
-        assert_eq!(percent_decode("%zz"), "%zz");
-        assert_eq!(percent_decode("plain"), "plain");
+    fn path_decoding_keeps_literal_plus() {
+        // The regression the `+`→space split exists for: a file named
+        // `a+b.jed` must survive path decoding.
+        assert_eq!(decode_path("/render/a+b.jed"), "/render/a+b.jed");
+        assert_eq!(decode_path("a%20b+c"), "a b+c");
+        assert_eq!(decode_path("%2e%2E/x"), "../x");
     }
 
     #[test]
-    fn request_param_lookup() {
-        let r = Request {
-            method: "GET".into(),
-            path: "/render".into(),
-            query: vec![
-                ("file".into(), "a.jed".into()),
-                ("fmt".into(), "png".into()),
-            ],
-        };
-        assert_eq!(r.param("file"), Some("a.jed"));
-        assert_eq!(r.param("fmt"), Some("png"));
-        assert_eq!(r.param("absent"), None);
+    fn query_decoding_translates_plus() {
+        assert_eq!(decode_query("a%20b+c"), "a b c");
+        assert_eq!(decode_query("100%"), "100%");
+        assert_eq!(decode_query("%zz"), "%zz");
+        assert_eq!(decode_query("plain"), "plain");
+    }
+
+    #[test]
+    fn malformed_escapes_pass_through() {
+        assert_eq!(decode_path("%"), "%");
+        assert_eq!(decode_path("%2"), "%2");
+        assert_eq!(decode_path("%g1x"), "%g1x");
+        // A stray % followed by a valid escape: the stray passes
+        // through literally, the escape still decodes.
+        assert_eq!(decode_query("%%41"), "%A");
+        // Truncated escape at end-of-string is literal even with one
+        // hex digit following.
+        assert_eq!(decode_query("ok%4"), "ok%4");
+    }
+
+    #[test]
+    fn request_param_and_header_lookup() {
+        let req = parse_head(
+            b"GET /render?file=a+b.jed&fmt=png&file=second HTTP/1.1\r\n\
+              Host: t\r\nIf-None-Match: \"abc\"\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.path, "/render");
+        // Query values do translate + (form convention)…
+        assert_eq!(req.param("file"), Some("a b.jed"));
+        // …and duplicate params resolve to the first occurrence.
+        assert_eq!(req.param("fmt"), Some("png"));
+        assert_eq!(req.header("if-none-match"), Some("\"abc\""));
+        assert!(req.if_none_match("\"abc\""));
+        assert!(req.if_none_match("*") || req.if_none_match("\"abc\""));
+        assert!(!req.if_none_match("\"other\""));
+        assert_eq!(req.param("absent"), None);
+    }
+
+    #[test]
+    fn path_plus_survives_request_parsing() {
+        let req = parse_head(b"GET /files/a+b.jed HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/files/a+b.jed");
+    }
+
+    #[test]
+    fn keep_alive_defaults_by_version() {
+        let r11 = parse_head(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r11.keep_alive);
+        let r11c = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r11c.keep_alive);
+        let r10 = parse_head(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r10.keep_alive);
+        let r10k = parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r10k.keep_alive);
+    }
+
+    #[test]
+    fn recv_buf_finds_heads_across_chunk_boundaries() {
+        // Split the terminator at every possible boundary.
+        let msg = b"GET /x HTTP/1.1\r\nHost: t\r\n\r\nGET /pipelined".to_vec();
+        for split in 1..msg.len() {
+            let mut rb = RecvBuf::new();
+            rb.extend(&msg[..split]);
+            let early = rb.take_head();
+            rb.extend(&msg[split..]);
+            let head = match early {
+                Some(h) => h,
+                None => rb.take_head().expect("head completes after 2nd chunk"),
+            };
+            assert!(head.ends_with(b"\r\n\r\n"), "split at {split}");
+            assert_eq!(parse_head(&head).unwrap().path, "/x");
+        }
+    }
+
+    #[test]
+    fn recv_buf_keeps_pipelined_bytes() {
+        let mut rb = RecvBuf::new();
+        rb.extend(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let a = rb.take_head().unwrap();
+        assert_eq!(parse_head(&a).unwrap().path, "/a");
+        let b = rb.take_head().unwrap();
+        assert_eq!(parse_head(&b).unwrap().path, "/b");
+        assert!(rb.take_head().is_none());
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn recv_buf_accepts_bare_lf_terminators() {
+        let mut rb = RecvBuf::new();
+        rb.extend(b"GET /lf HTTP/1.1\n\n");
+        let head = rb.take_head().unwrap();
+        assert_eq!(parse_head(&head).unwrap().path, "/lf");
+    }
+
+    #[test]
+    fn recv_buf_scan_is_incremental_not_quadratic() {
+        // 15 KiB of header bytes fed 1 KiB at a time: the tail-overlap
+        // scan touches each byte a bounded number of times. (The old
+        // windows(4).any rescan was O(n²); this is a behavioral proxy —
+        // over_cap must trip exactly at the cap, never after it.)
+        let mut rb = RecvBuf::new();
+        rb.extend(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; 1024];
+        while rb.len() + filler.len() <= MAX_HEAD {
+            rb.extend(&filler);
+            assert!(rb.take_head().is_none());
+        }
+        assert!(!rb.over_cap());
+        rb.extend(&filler[..MAX_HEAD - rb.len()]);
+        assert!(rb.over_cap());
+    }
+
+    #[test]
+    fn read_request_caps_before_overshooting() {
+        // A head that never terminates: read_request must stop at the
+        // cap, not buffer the whole 1 MiB.
+        let huge = vec![b'x'; 1024 * 1024];
+        let mut cursor = std::io::Cursor::new(huge);
+        let err = read_request(&mut cursor).unwrap_err();
+        assert!(err.contains("16 KiB"), "{err}");
+        assert!(cursor.position() <= MAX_HEAD as u64 + 1024);
+    }
+
+    #[test]
+    fn read_request_truncated_head_is_an_error() {
+        let mut cursor = std::io::Cursor::new(b"GET / HTTP/1.1\r\nHost".to_vec());
+        let err = read_request(&mut cursor).unwrap_err();
+        assert!(err.contains("mid-head"), "{err}");
+        // …while an immediately-closed connection is a clean no-op.
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert_eq!(read_request(&mut empty).unwrap(), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_revalidation_path() {
+        assert_eq!(reason(304), "Not Modified");
+        assert_eq!(reason(416), "Range Not Satisfiable");
+        assert_eq!(reason(200), "OK");
+        assert_eq!(reason(599), "Unknown");
+    }
+
+    #[test]
+    fn response_encoding_carries_etag_and_connection() {
+        let resp = Response::text(200, "hi").with_etag("\"t1\"".to_string());
+        let head = String::from_utf8(resp.encode_head(7, true)).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("ETag: \"t1\"\r\n"));
+        assert!(head.contains("Connection: keep-alive\r\n"));
+        assert!(head.contains("X-Jedule-Request-Id: 7\r\n"));
+        let closed = String::from_utf8(resp.encode(7, false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"));
+        assert!(closed.ends_with("hi"));
+        let nm = Response::not_modified("image/svg+xml", "\"t1\"".into());
+        let head = String::from_utf8(nm.encode(9, true)).unwrap();
+        assert!(head.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(head.contains("Content-Length: 0\r\n"));
     }
 }

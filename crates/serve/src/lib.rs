@@ -1,16 +1,20 @@
 //! # jedule-serve
 //!
 //! `jedule serve` — a resident render service over the batch pipeline
-//! (DESIGN.md §6b). Where the CLI's observability is post-mortem (one
-//! run, one span tree, one export), a long-lived process needs *live*
-//! operational telemetry; this crate pairs a std-only threaded HTTP/1.1
+//! (DESIGN.md §6b/§6c). Where the CLI's observability is post-mortem
+//! (one run, one span tree, one export), a long-lived process needs
+//! *live* operational telemetry; this crate pairs a std-only HTTP/1.1
 //! server with the continuous [`Registry`] in `jedule_core::obs`:
 //!
 //! * `GET /healthz` — liveness probe;
 //! * `GET /render?file=…&fmt=svg|png&window=t0:t1&lod=…&width=…` —
-//!   renders a schedule from the allow-listed root directory, served
-//!   through a [`PreparedSchedule`] cache keyed on the input's content
-//!   digest and a rendered-body cache keyed on (digest, options);
+//!   renders a schedule from the allow-listed root directory. Requests
+//!   flow through a stack of caches: a stat-validated input digest
+//!   cache, `ETag`/`If-None-Match` revalidation (304, no body), a
+//!   rendered-body cache keyed on (digest, options), a
+//!   [`PreparedSchedule`] cache, and the tile cache ([`tile`]) that
+//!   reassembles figures from cached shards when the body cache
+//!   misses;
 //! * `GET /metrics` — Prometheus text exposition: request counters by
 //!   route/status, latency histograms, cache hit/miss counters, and
 //!   per-stage duration histograms aggregated from every request's
@@ -19,26 +23,36 @@
 //!   one of the last `trace_keep` requests (ids are echoed on every
 //!   response in `X-Jedule-Request-Id`), loadable in Perfetto.
 //!
-//! Shutdown is graceful: SIGTERM/SIGINT (or a programmatic flag) stops
-//! the accept loop, in-flight and already-queued requests drain, worker
-//! threads join, and the CLI then flushes a final metrics snapshot.
+//! On Linux the socket layer is the epoll event loop in
+//! [`event_loop`]: one thread multiplexes every connection
+//! (keep-alive, pipelining, idle sweep) and a worker pool only
+//! renders. Elsewhere a threaded keep-alive fallback serves one
+//! connection per worker. Shutdown is graceful either way:
+//! SIGTERM/SIGINT (or a programmatic flag) stops accepting, in-flight
+//! requests drain, workers join, and the CLI then flushes a final
+//! metrics snapshot.
 
 pub mod cache;
+#[cfg(target_os = "linux")]
+pub mod epoll;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
 pub mod http;
 pub mod ingest;
 pub mod signal;
+pub mod tile;
 pub mod trace_ring;
 
 use cache::{fnv1a64, LruCache};
 use http::{Request, Response};
 use jedule_core::obs::{self, Collector, Registry};
 use jedule_core::PreparedSchedule;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
+use tile::TileStore;
 use trace_ring::TraceRing;
 
 /// Server configuration (the `jedule serve` flags).
@@ -49,10 +63,14 @@ pub struct ServeConfig {
     /// Directory inputs are restricted to; `file=` parameters resolve
     /// inside it and may not escape it.
     pub root: PathBuf,
-    /// Worker threads (0 = one per core, at least 4).
+    /// Render worker threads (0 = one per core, at least 4).
     pub workers: usize,
     /// Maximum cached rendered bodies / prepared schedules (LRU).
     pub cache_cap: usize,
+    /// Maximum cached figure shards in the tile cache (LRU). Sized in
+    /// *tiles*, not figures — a window series cycling more views than
+    /// `cache_cap` bodies stays warm here.
+    pub tile_cache_cap: usize,
     /// Retained per-request span trees for `/debug/trace/<id>`.
     pub trace_keep: usize,
 }
@@ -64,15 +82,25 @@ impl Default for ServeConfig {
             root: PathBuf::from("."),
             workers: 0,
             cache_cap: 64,
+            tile_cache_cap: 1024,
             trace_keep: 32,
         }
     }
 }
 
-/// A cached rendered response body.
+/// A cached rendered response body (shared — hits never copy).
 struct Body {
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
     content_type: &'static str,
+}
+
+/// A stat-validated content digest: as long as `(mtime, len)` match
+/// the file on disk the digest is reused without re-reading, which is
+/// what keeps 304 revalidations sub-millisecond on large traces.
+struct FileDigest {
+    mtime: std::time::SystemTime,
+    len: u64,
+    digest: u64,
 }
 
 struct State {
@@ -81,7 +109,9 @@ struct State {
     traces: TraceRing,
     prepared: LruCache<u64, PreparedSchedule>,
     bodies: LruCache<(u64, String), Body>,
-    next_id: AtomicU64,
+    tiles: TileStore,
+    digests: LruCache<PathBuf, FileDigest>,
+    next_id: Arc<AtomicU64>,
     started: Instant,
 }
 
@@ -130,7 +160,9 @@ impl Server {
                 traces: TraceRing::new(config.trace_keep),
                 prepared: LruCache::new(config.cache_cap),
                 bodies: LruCache::new(config.cache_cap),
-                next_id: AtomicU64::new(0),
+                tiles: TileStore::new(config.tile_cache_cap),
+                digests: LruCache::new(config.cache_cap.max(64)),
+                next_id: Arc::new(AtomicU64::new(0)),
                 started: Instant::now(),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -153,43 +185,28 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
-    /// Accepts and serves until the shutdown flag is set, then drains:
-    /// queued connections are still answered, workers join, and the
-    /// method returns for the caller's final flush.
+    /// Serves until the shutdown flag is set, then drains: in-flight
+    /// requests finish, workers join, and the method returns for the
+    /// caller's final flush. On Linux this is the epoll event loop;
+    /// elsewhere, a threaded keep-alive accept loop.
     pub fn run(self) -> Result<(), String> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let mut joins = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
-            let rx = Arc::clone(&rx);
+        #[cfg(target_os = "linux")]
+        {
             let state = Arc::clone(&self.state);
-            joins.push(std::thread::spawn(move || loop {
-                let next = rx.lock().unwrap().recv();
-                match next {
-                    Ok(stream) => handle_connection(&state, stream),
-                    Err(_) => break, // sender dropped: drained, shut down
-                }
-            }));
+            let handler: event_loop::Handler =
+                Arc::new(move |id, req| handle_request(&state, id, req));
+            event_loop::run(
+                self.listener,
+                self.workers,
+                self.shutdown,
+                Arc::clone(&self.state.next_id),
+                handler,
+            )
         }
-        while !self.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(format!("accept: {e}")),
-            }
+        #[cfg(not(target_os = "linux"))]
+        {
+            run_threaded(self.listener, self.workers, self.shutdown, self.state)
         }
-        drop(tx);
-        for j in joins {
-            let _ = j.join();
-        }
-        Ok(())
     }
 
     /// Runs the server on a background thread.
@@ -233,6 +250,77 @@ impl ServerHandle {
     }
 }
 
+/// The non-Linux fallback: a worker pool of blocking keep-alive
+/// connection loops behind a polling accept loop.
+#[cfg(not(target_os = "linux"))]
+fn run_threaded(
+    listener: TcpListener,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<State>,
+) -> Result<(), String> {
+    use std::sync::{mpsc, Mutex};
+    let (tx, rx) = mpsc::channel::<std::net::TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut joins = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        joins.push(std::thread::spawn(move || loop {
+            let next = rx.lock().unwrap().recv();
+            match next {
+                Ok(stream) => handle_connection(&state, stream),
+                Err(_) => break, // sender dropped: drained, shut down
+            }
+        }));
+    }
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    drop(tx);
+    for j in joins {
+        let _ = j.join();
+    }
+    Ok(())
+}
+
+/// Serves one blocking connection until the peer closes or opts out of
+/// keep-alive (the non-Linux path).
+#[cfg(not(target_os = "linux"))]
+fn handle_connection(state: &State, mut stream: std::net::TcpStream) {
+    use std::io::Write;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req = match http::read_request(&mut stream) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                let id = state.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+                let _ = stream.write_all(&Response::text(400, e + "\n").encode(id, false));
+                return;
+            }
+        };
+        let id = state.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let resp = handle_request(state, id, &req);
+        let keep_alive = req.keep_alive;
+        if stream.write_all(&resp.encode(id, keep_alive)).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
 fn describe_metrics(r: &Registry) {
     r.describe(
         "jedule_http_requests_total",
@@ -248,7 +336,11 @@ fn describe_metrics(r: &Registry) {
     );
     r.describe(
         "jedule_render_cache_misses_total",
-        "Render requests that had to lay out and encode",
+        "Render requests that had to assemble or render output",
+    );
+    r.describe(
+        "jedule_render_not_modified_total",
+        "Render revalidations answered 304 from the ETag alone",
     );
     r.describe(
         "jedule_prepared_cache_hits_total",
@@ -257,6 +349,26 @@ fn describe_metrics(r: &Registry) {
     r.describe(
         "jedule_prepared_cache_misses_total",
         "Render requests that ingested and prepared a schedule",
+    );
+    r.describe(
+        "jedule_tile_cache_hits_total",
+        "Figure shards served from the tile cache, by format",
+    );
+    r.describe(
+        "jedule_tile_cache_misses_total",
+        "Figure shards rendered on a tile-cache miss, by format",
+    );
+    r.describe(
+        "jedule_tile_lookups_total",
+        "Tile-cache lookups (exactly hits + misses), by format",
+    );
+    r.describe(
+        "jedule_plan_cache_hits_total",
+        "Assemblies that reused a cached render plan (no layout)",
+    );
+    r.describe(
+        "jedule_plan_cache_misses_total",
+        "Assemblies that laid the scene out to build a plan",
     );
     r.describe(
         "jedule_stage_duration_seconds",
@@ -275,6 +387,11 @@ fn describe_metrics(r: &Registry) {
         "jedule_prepared_cache_entries",
         "Prepared schedules currently cached",
     );
+    r.describe(
+        "jedule_tile_cache_entries",
+        "Figure shards currently cached",
+    );
+    r.describe("jedule_plan_cache_entries", "Render plans currently cached");
 }
 
 /// Bounded-cardinality route label for metrics.
@@ -289,17 +406,11 @@ fn route_label(path: &str) -> &'static str {
     }
 }
 
-fn handle_connection(state: &State, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let request_id = state.next_id.fetch_add(1, Ordering::SeqCst) + 1;
-    let req = match http::read_request(&mut stream) {
-        Ok(Some(r)) => r,
-        Ok(None) => return,
-        Err(e) => {
-            let _ = http::write_response(&mut stream, request_id, &Response::text(400, e + "\n"));
-            return;
-        }
-    };
+/// The worker-side request handler: routing wrapped in per-request
+/// instrumentation (span tree, counters, latency, trace retention).
+/// Socket IO happens elsewhere — the event loop on Linux, the
+/// connection loop otherwise.
+fn handle_request(state: &State, request_id: u64, req: &Request) -> Response {
     state
         .registry
         .gauge_add("jedule_inflight_requests", &[], 1.0);
@@ -310,7 +421,7 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
         let _g = col.install();
         let _root = col.span_with("serve.request", format!("{} {}", req.method, req.path));
         // A panicking handler must cost one 500, not a worker thread.
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, &req)))
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, req)))
             .unwrap_or_else(|_| Response::text(500, "internal error (see server log)\n"))
     };
 
@@ -332,7 +443,7 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
     state
         .registry
         .gauge_add("jedule_inflight_requests", &[], -1.0);
-    let _ = http::write_response(&mut stream, request_id, &resp);
+    resp
 }
 
 const INDEX: &str = "\
@@ -341,8 +452,11 @@ jedule serve — render service
   GET /healthz                         liveness probe
   GET /render?file=F&fmt=svg|png       render a schedule under the root
         [&window=t0:t1][&lod=auto|off|force][&width=px]
+        responses carry an ETag; revalidate with If-None-Match for 304
   GET /metrics                         Prometheus text exposition
   GET /debug/trace/<request-id>        Chrome trace JSON of a recent request
+
+Connections are persistent (HTTP/1.1 keep-alive, pipelining allowed).
 ";
 
 fn route(state: &State, req: &Request) -> Response {
@@ -382,10 +496,21 @@ fn handle_metrics(state: &State) -> Response {
         &[],
         state.prepared.len() as f64,
     );
+    r.gauge_set(
+        "jedule_tile_cache_entries",
+        &[],
+        state.tiles.tiles_len() as f64,
+    );
+    r.gauge_set(
+        "jedule_plan_cache_entries",
+        &[],
+        state.tiles.plans_len() as f64,
+    );
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
-        body: r.render_prometheus().into_bytes(),
+        body: Arc::new(r.render_prometheus().into_bytes()),
+        etag: None,
     }
 }
 
@@ -397,7 +522,8 @@ fn handle_trace(state: &State, id: &str) -> Response {
         Some(report) => Response {
             status: 200,
             content_type: "application/json",
-            body: report.to_chrome_trace().into_bytes(),
+            body: Arc::new(report.to_chrome_trace().into_bytes()),
+            etag: None,
         },
         None => Response::text(
             404,
@@ -503,6 +629,42 @@ pub fn resolve_under_root(root: &Path, file: &str) -> Result<PathBuf, String> {
     Ok(canon)
 }
 
+/// The strong validator for a render response:
+/// `"<content digest>-<option-key digest>"`. Same input bytes + same
+/// canonical options ⇒ same body ⇒ same ETag.
+fn etag_for(digest: u64, opt_key: &str) -> String {
+    format!("\"{digest:016x}-{:016x}\"", fnv1a64(opt_key.as_bytes()))
+}
+
+/// The input's content digest, re-reading the file only when its
+/// `(mtime, len)` stat changed since the cached digest was computed.
+/// Returns the source text too when the validation forced a read, so
+/// the caller can parse without a second read.
+fn digest_for(state: &State, path: &Path) -> Result<(u64, Option<String>), Response> {
+    let meta = std::fs::metadata(path)
+        .map_err(|e| Response::text(404, format!("{}: {e}\n", path.display())))?;
+    let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+    let len = meta.len();
+    let key = path.to_path_buf();
+    if let Some(d) = state.digests.get(&key) {
+        if d.mtime == mtime && d.len == len {
+            obs::count("serve.digest_cache_hit", 1);
+            return Ok((d.digest, None));
+        }
+    }
+    let src = {
+        let _s = obs::span("serve.read");
+        std::fs::read_to_string(path)
+            .map_err(|e| Response::text(404, format!("{}: {e}\n", path.display())))?
+    };
+    obs::count("serve.bytes_read", src.len() as u64);
+    let digest = fnv1a64(src.as_bytes());
+    state
+        .digests
+        .insert(key, Arc::new(FileDigest { mtime, len, digest }));
+    Ok((digest, Some(src)))
+}
+
 fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
     let bad = |msg: String| Response::text(400, msg + "\n");
     let file = req
@@ -521,23 +683,32 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
         _ => "image/svg+xml",
     };
 
-    let src = {
-        let _s = obs::span("serve.read");
-        std::fs::read_to_string(&path)
-            .map_err(|e| Response::text(404, format!("{}: {e}\n", path.display())))?
-    };
-    obs::count("serve.bytes_read", src.len() as u64);
-    let digest = fnv1a64(src.as_bytes());
+    let (digest, mut src) = digest_for(state, &path)?;
+    let etag = etag_for(digest, &opt_key);
 
-    // Exactly one of hits/misses per render request — the pair
-    // partitions jedule_http_requests_total{route="/render"} even when
-    // concurrent misses race on the same key.
+    // Revalidation first: a matching ETag needs no body, no cache
+    // lookup, not even a file read (the digest cache is stat-validated)
+    // — this is the sub-millisecond 304 path. 304s sit outside the
+    // hit/miss partition, which covers 200 responses only.
+    if req.if_none_match(&etag) {
+        state
+            .registry
+            .counter_add("jedule_render_not_modified_total", &[], 1);
+        obs::count("serve.not_modified", 1);
+        return Ok(Response::not_modified(content_type, etag));
+    }
+
+    // Exactly one of hits/misses per 200 render — the pair partitions
+    // jedule_http_requests_total{route="/render",status="200"} minus
+    // revalidations, even when concurrent misses race on the same key.
     if let Some(body) = state.bodies.get(&(digest, opt_key.clone())) {
         state
             .registry
             .counter_add("jedule_render_cache_hits_total", &[], 1);
         obs::count("serve.body_cache_hit", 1);
-        return Ok(Response::bytes(200, body.content_type, body.bytes.clone()));
+        return Ok(
+            Response::shared(200, body.content_type, Arc::clone(&body.bytes)).with_etag(etag),
+        );
     }
     state
         .registry
@@ -555,6 +726,14 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
             state
                 .registry
                 .counter_add("jedule_prepared_cache_misses_total", &[], 1);
+            let src = match src.take() {
+                Some(s) => s,
+                None => {
+                    let _s = obs::span("serve.read");
+                    std::fs::read_to_string(&path)
+                        .map_err(|e| Response::text(404, format!("{}: {e}\n", path.display())))?
+                }
+            };
             let schedule =
                 ingest::parse_schedule(&src, &path).map_err(|e| Response::text(400, e + "\n"))?;
             state
@@ -563,19 +742,29 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
         }
     };
 
-    let bytes = {
+    // Body-cache miss ⇒ assemble from tiles. Warm shards skip layout
+    // (SVG: pure concatenation; PNG: concatenate pixels + sequential
+    // encode); only missing shards touch the scene, which is laid out
+    // at most once, lazily.
+    let (bytes, ct) = {
         let _s = obs::span("serve.render");
-        jedule_render::render_prepared(&prepared, &opts)
+        state
+            .tiles
+            .render(&state.registry, digest, &opts, &opt_key, &mut || {
+                let _s = obs::span("render.layout");
+                jedule_render::layout_prepared(&prepared, &opts)
+            })
     };
     obs::count("serve.bytes_rendered", bytes.len() as u64);
+    let bytes = Arc::new(bytes);
     state.bodies.insert(
         (digest, opt_key),
         Arc::new(Body {
-            bytes: bytes.clone(),
-            content_type,
+            bytes: Arc::clone(&bytes),
+            content_type: ct,
         }),
     );
-    Ok(Response::bytes(200, content_type, bytes))
+    Ok(Response::shared(200, ct, bytes).with_etag(etag))
 }
 
 #[cfg(test)]
@@ -618,5 +807,14 @@ mod tests {
         assert!(resolve_under_root(&root, "../etc/passwd").is_err());
         assert!(resolve_under_root(&root, "/etc/passwd").is_err());
         assert!(resolve_under_root(&root, "missing.csv").is_err());
+    }
+
+    #[test]
+    fn etags_are_strong_and_option_sensitive() {
+        let a = etag_for(1, "fmt=svg");
+        assert!(a.starts_with('"') && a.ends_with('"'));
+        assert_eq!(a, etag_for(1, "fmt=svg"));
+        assert_ne!(a, etag_for(1, "fmt=png"));
+        assert_ne!(a, etag_for(2, "fmt=svg"));
     }
 }

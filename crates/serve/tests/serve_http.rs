@@ -33,6 +33,7 @@ fn start(tag: &str) -> (ServerHandle, PathBuf, String) {
         root: root.clone(),
         workers: 4,
         cache_cap: 16,
+        tile_cache_cap: 256,
         trace_keep: 8,
     })
     .unwrap();
@@ -84,6 +85,51 @@ fn get(addr: SocketAddr, target: &str) -> Reply {
         status,
         headers,
         body: raw[head_end + 4..].to_vec(),
+    }
+}
+
+/// Sends one request on an existing connection and reads one
+/// Content-Length-framed response, leaving the connection usable.
+fn get_keep_alive(stream: &mut TcpStream, target: &str) -> Reply {
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    read_framed(stream)
+}
+
+fn read_framed(stream: &mut TcpStream) -> Reply {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    let head_end = loop {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "peer closed mid-head");
+        raw.push(byte[0]);
+        if raw.ends_with(b"\r\n\r\n") {
+            break raw.len();
+        }
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("Content-Length"))
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap();
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    Reply {
+        status,
+        headers,
+        body,
     }
 }
 
@@ -247,6 +293,118 @@ fn inputs_outside_the_root_are_rejected() {
         get(server.addr(), "/render?file=sched.csv&window=9:1").status,
         400
     );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let (server, _root, _csv) = start("keepalive");
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut ids = Vec::new();
+    for target in [
+        "/healthz",
+        "/render?file=sched.csv",
+        "/render?file=sched.csv",
+    ] {
+        let r = get_keep_alive(&mut stream, target);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("Connection"), Some("keep-alive"));
+        ids.push(
+            r.header("X-Jedule-Request-Id")
+                .unwrap()
+                .parse::<u64>()
+                .unwrap(),
+        );
+    }
+    assert!(
+        ids.windows(2).all(|w| w[0] != w[1]),
+        "distinct ids: {ids:?}"
+    );
+
+    // Two pipelined requests in one write come back in order.
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\n\r\nGET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let first = read_framed(&mut stream);
+    assert_eq!(first.body, b"ok\n");
+    let second = read_framed(&mut stream);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("Connection"), Some("close"));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn etag_revalidation_returns_304_with_no_body() {
+    let (server, _root, _csv) = start("etag");
+    let addr = server.addr();
+    let first = get(addr, "/render?file=sched.csv");
+    assert_eq!(first.status, 200);
+    let etag = first
+        .header("ETag")
+        .expect("render carries ETag")
+        .to_string();
+    assert!(etag.starts_with('"') && etag.ends_with('"'), "{etag}");
+
+    // Identical request + If-None-Match → 304, empty body, ETag echoed.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /render?file=sched.csv HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let not_modified = read_framed(&mut stream);
+    assert_eq!(not_modified.status, 304);
+    assert!(not_modified.body.is_empty());
+    assert_eq!(not_modified.header("ETag"), Some(etag.as_str()));
+    assert!(not_modified.header("X-Jedule-Request-Id").is_some());
+
+    // A stale validator still gets the full body…
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /render?file=sched.csv HTTP/1.1\r\nHost: t\r\nIf-None-Match: \"stale\"\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    assert_eq!(read_framed(&mut stream).status, 200);
+
+    // …and different options produce a different ETag.
+    let png = get(addr, "/render?file=sched.csv&fmt=png");
+    assert_ne!(png.header("ETag"), Some(etag.as_str()));
+
+    let reg = server.registry();
+    assert_eq!(
+        reg.counter_value("jedule_render_not_modified_total", &[]),
+        1
+    );
+    // 304s sit outside the body-cache hit/miss partition.
+    let hits = reg.counter_value("jedule_render_cache_hits_total", &[]);
+    let misses = reg.counter_value("jedule_render_cache_misses_total", &[]);
+    assert_eq!(
+        hits + misses,
+        3,
+        "hits {hits} + misses {misses} cover the three 200s"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn tile_counters_partition_lookups_exactly() {
+    let (server, _root, _csv) = start("tilecount");
+    let addr = server.addr();
+    // Distinct windows defeat the body cache key but share the store.
+    for t0 in 0..4 {
+        let target = format!("/render?file=sched.csv&window={t0}:{}", t0 + 4);
+        assert_eq!(get(addr, &target).status, 200);
+        assert_eq!(get(addr, &target).status, 200);
+    }
+    let reg = server.registry();
+    let hits = reg.counter_total("jedule_tile_cache_hits_total");
+    let misses = reg.counter_total("jedule_tile_cache_misses_total");
+    let lookups = reg.counter_total("jedule_tile_lookups_total");
+    assert_eq!(hits + misses, lookups, "hit/miss partitions tile lookups");
+    assert!(misses >= 4, "each distinct window shards at least once");
     server.shutdown().unwrap();
 }
 
