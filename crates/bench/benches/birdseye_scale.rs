@@ -10,8 +10,8 @@
 //! can smoke-test the harness in seconds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jedule_core::Schedule;
-use jedule_render::{render, LodMode, RenderOptions};
+use jedule_core::{PreparedSchedule, Schedule};
+use jedule_render::{render, render_prepared, LodMode, RenderOptions};
 use jedule_workloads::convert::{assigned_to_schedule, workload_colormap};
 use jedule_workloads::swf::{parse_swf, parse_swf_reader, write_swf};
 use jedule_workloads::{synth_scale_trace, ConvertOptions};
@@ -93,6 +93,26 @@ fn bench_lod(c: &mut Criterion) {
             let o = birdseye_options(LodMode::Off);
             b.iter(|| black_box(jedule_render::layout(s, &o)))
         });
+        // The columnar (SoA) hot path: layout served from a warmed
+        // PreparedSchedule, single-threaded so the ratio against the
+        // cold `layout_only_*` rows above isolates the storage layout
+        // (it backs BENCH_birdseye.json's `soa_layout_1m_speedup`).
+        let prep = PreparedSchedule::new(s.clone());
+        prep.warm();
+        g.bench_with_input(
+            BenchmarkId::new("layout_prepared_auto", n),
+            &prep,
+            |b, p| {
+                let o = birdseye_options(LodMode::Auto).with_threads(1);
+                let mut scratch = jedule_render::LayoutScratch::new();
+                b.iter(|| black_box(jedule_render::layout_prepared_scratch(p, &o, &mut scratch)))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("layout_prepared_off", n), &prep, |b, p| {
+            let o = birdseye_options(LodMode::Off).with_threads(1);
+            let mut scratch = jedule_render::LayoutScratch::new();
+            b.iter(|| black_box(jedule_render::layout_prepared_scratch(p, &o, &mut scratch)))
+        });
     }
     g.finish();
 }
@@ -115,6 +135,19 @@ fn bench_window(c: &mut Criterion) {
             let o = birdseye_options(LodMode::Off);
             b.iter(|| black_box(render(s, &o)))
         });
+        // The serve-shaped window render: cached extents + index +
+        // columns, so the per-frame cost is bounded by the tasks the
+        // window actually shows, not by per-render fixed work.
+        let prep = PreparedSchedule::new(s.clone());
+        prep.warm();
+        g.bench_with_input(
+            BenchmarkId::new("window_1pct_prepared", n),
+            &prep,
+            |b, p| {
+                let o = birdseye_options(LodMode::Off).with_time_window(mid, mid + span);
+                b.iter(|| black_box(render_prepared(p, &o)))
+            },
+        );
     }
     g.finish();
 }

@@ -11,6 +11,7 @@
 //! hosts becomes a single multi-host task (one rectangle per contiguous
 //! host run).
 
+use crate::columns::TaskColumns;
 use crate::hostset::HostSet;
 use crate::index::ScheduleIndex;
 use crate::model::{Allocation, Schedule, Task};
@@ -85,6 +86,37 @@ pub fn composite_tasks_indexed(
     index: &ScheduleIndex,
     opts: &CompositeOptions,
 ) -> Vec<Task> {
+    composite_impl(schedule, index, opts, &|ti| {
+        let t = &schedule.tasks[ti];
+        (t.start, t.end)
+    })
+}
+
+/// [`composite_tasks_indexed`] with task spans read from the columnar
+/// view's contiguous `starts`/`ends` slices instead of striding across
+/// `Vec<Task>` structs. The column values are bit-exact copies of the
+/// task fields, so the output is identical.
+pub fn composite_tasks_columnar(
+    schedule: &Schedule,
+    index: &ScheduleIndex,
+    cols: &TaskColumns,
+    opts: &CompositeOptions,
+) -> Vec<Task> {
+    let (starts, ends) = (cols.starts(), cols.ends());
+    composite_impl(schedule, index, opts, &|ti| (starts[ti], ends[ti]))
+}
+
+/// The shared sweep, generic (and monomorphized) over how a task index
+/// resolves to its `(start, end)` span.
+fn composite_impl<F>(
+    schedule: &Schedule,
+    index: &ScheduleIndex,
+    opts: &CompositeOptions,
+    span_of: &F,
+) -> Vec<Task>
+where
+    F: Fn(usize) -> (f64, f64) + Sync,
+{
     let mut out = Vec::new();
     for cluster in &schedule.clusters {
         let Some(ci) = index.cluster(cluster.id) else {
@@ -118,7 +150,7 @@ pub fn composite_tasks_indexed(
         let swept: Vec<Vec<(u32, Vec<Segment>)>> = if workers <= 1 {
             vec![work
                 .iter()
-                .map(|&(host, tasks)| (host, host_overlaps(schedule, tasks, opts)))
+                .map(|&(host, tasks)| (host, host_overlaps(span_of, tasks, opts)))
                 .collect()]
         } else {
             std::thread::scope(|scope| {
@@ -129,7 +161,7 @@ pub fn composite_tasks_indexed(
                         scope.spawn(move || {
                             items
                                 .iter()
-                                .map(|&(host, tasks)| (host, host_overlaps(schedule, tasks, opts)))
+                                .map(|&(host, tasks)| (host, host_overlaps(span_of, tasks, opts)))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -188,18 +220,17 @@ pub fn composite_tasks_indexed(
 
 /// Sweeps one host's tasks and returns maximal segments where at least two
 /// tasks are simultaneously active.
-fn host_overlaps(
-    schedule: &Schedule,
-    task_indices: &[usize],
-    opts: &CompositeOptions,
-) -> Vec<Segment> {
+fn host_overlaps<F>(span_of: &F, task_indices: &[usize], opts: &CompositeOptions) -> Vec<Segment>
+where
+    F: Fn(usize) -> (f64, f64),
+{
     // Event sweep: +1 at start, -1 at end.
     let mut events: Vec<(f64, i32, usize)> = Vec::with_capacity(task_indices.len() * 2);
     for &ti in task_indices {
-        let t = &schedule.tasks[ti];
-        if t.end > t.start {
-            events.push((t.start, 1, ti));
-            events.push((t.end, -1, ti));
+        let (start, end) = span_of(ti);
+        if end > start {
+            events.push((start, 1, ti));
+            events.push((end, -1, ti));
         }
     }
     // Ends before starts at equal times so touching tasks don't overlap.
@@ -460,6 +491,34 @@ mod tests {
         assert!(!base.is_empty());
         for threads in [0, 2, 3, 5, 8, 16] {
             let got = composite_tasks(&s, &CompositeOptions::default().with_threads(threads));
+            assert_eq!(got, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn columnar_matches_indexed_for_any_worker_count() {
+        let mut tasks = Vec::new();
+        for i in 0..40u32 {
+            let h = i % 8;
+            let start = f64::from(i % 5);
+            tasks.push(
+                Task::new(
+                    format!("t{i}"),
+                    if i % 2 == 0 { "x" } else { "y" },
+                    start,
+                    start + 2.0,
+                )
+                .on(Allocation::contiguous(0, h, 1 + (i % 3))),
+            );
+        }
+        let s = schedule_with(tasks);
+        let index = ScheduleIndex::build_with_hosts(&s);
+        let cols = TaskColumns::build(&s);
+        let base = composite_tasks_indexed(&s, &index, &CompositeOptions::default());
+        assert!(!base.is_empty());
+        for threads in [1, 2, 5] {
+            let opts = CompositeOptions::default().with_threads(threads);
+            let got = composite_tasks_columnar(&s, &index, &cols, &opts);
             assert_eq!(got, base, "threads={threads}");
         }
     }

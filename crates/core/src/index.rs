@@ -126,9 +126,19 @@ impl ClusterIndex {
     /// Task indices of this cluster intersecting `[t0, t1]`, sorted
     /// ascending — i.e. in the schedule's original (painter's) order.
     pub fn query(&self, t0: f64, t1: f64) -> Vec<usize> {
-        let mut out = self.tasks.query(t0, t1);
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.query_into(t0, t1, &mut out);
         out
+    }
+
+    /// [`query`](Self::query) appending into a caller-owned buffer, so hot
+    /// paths (the render candidate scan, serve tile misses) can reuse one
+    /// allocation across calls. Appended entries are sorted ascending;
+    /// anything already in `out` is left untouched.
+    pub fn query_into(&self, t0: f64, t1: f64, out: &mut Vec<usize>) {
+        let n0 = out.len();
+        self.tasks.query_into(t0, t1, out);
+        out[n0..].sort_unstable();
     }
 
     /// Task indices intersecting `[t0, t1]` on `host`, sorted ascending.

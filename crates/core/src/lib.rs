@@ -30,6 +30,7 @@ pub mod align;
 pub mod builder;
 pub mod color;
 pub mod colormap;
+pub mod columns;
 pub mod composite;
 pub mod diff;
 pub mod error;
@@ -48,7 +49,10 @@ pub use align::{AlignMode, TimeExtent};
 pub use builder::ScheduleBuilder;
 pub use color::Color;
 pub use colormap::{ColorMap, ColorPair, CompositeRule};
-pub use composite::{composite_tasks, composite_tasks_indexed, CompositeOptions};
+pub use columns::{Seg, TaskColumns};
+pub use composite::{
+    composite_tasks, composite_tasks_columnar, composite_tasks_indexed, CompositeOptions,
+};
 pub use diff::{diff_schedules, ScheduleDiff, TaskChange};
 pub use error::CoreError;
 pub use hostset::{HostRange, HostSet};

@@ -25,7 +25,8 @@
 //! go stale.
 
 use crate::align::{AlignMode, TimeExtent};
-use crate::composite::{composite_tasks_indexed, CompositeOptions};
+use crate::columns::TaskColumns;
+use crate::composite::{composite_tasks_columnar, CompositeOptions};
 use crate::index::ScheduleIndex;
 use crate::model::{Schedule, Task};
 use crate::obs;
@@ -37,14 +38,6 @@ use std::sync::OnceLock;
 struct Extents {
     global: Option<TimeExtent>,
     per_cluster: Vec<Option<TimeExtent>>,
-}
-
-/// Cached task-kind classification: the distinct kinds in order of first
-/// appearance, and for every task the slot of its kind in that list.
-#[derive(Debug)]
-struct Kinds {
-    names: Vec<String>,
-    of_task: Vec<u32>,
 }
 
 /// A [`Schedule`] plus memoized derived data for serving many renders.
@@ -61,7 +54,7 @@ pub struct PreparedSchedule {
     schedule: Schedule,
     index: OnceLock<ScheduleIndex>,
     extents: OnceLock<Extents>,
-    kinds: OnceLock<Kinds>,
+    columns: OnceLock<TaskColumns>,
     composites: OnceLock<Vec<Task>>,
 }
 
@@ -73,7 +66,7 @@ impl PreparedSchedule {
             schedule,
             index: OnceLock::new(),
             extents: OnceLock::new(),
-            kinds: OnceLock::new(),
+            columns: OnceLock::new(),
             composites: OnceLock::new(),
         }
     }
@@ -104,12 +97,12 @@ impl PreparedSchedule {
     }
 
     /// Eagerly builds every cache a windowed render touches (index,
-    /// extents, kinds). Useful to move the one-time cost out of the
+    /// extents, columns). Useful to move the one-time cost out of the
     /// first frame — e.g. before entering an interactive loop.
     pub fn warm(&self) -> &Self {
         self.index();
         self.extents();
-        self.kinds();
+        self.columns();
         self
     }
 
@@ -168,45 +161,26 @@ impl PreparedSchedule {
         }
     }
 
-    fn kinds_cache(&self) -> &Kinds {
-        if let Some(built) = self.kinds.get() {
+    /// The columnar task view ([`TaskColumns`]): per-task start/end/kind
+    /// columns plus the CSR host-lane segments, built once and scanned
+    /// linearly by the render hot path and the composite sweep.
+    pub fn columns(&self) -> &TaskColumns {
+        if let Some(built) = self.columns.get() {
             obs::count("prepared.cache_hit", 1);
             return built;
         }
-        self.kinds.get_or_init(|| {
-            let _s = obs::span("prepare.kinds");
+        self.columns.get_or_init(|| {
+            let _s = obs::span("prepare.columns");
             obs::count("prepared.cache_build", 1);
-            let mut names: Vec<String> = Vec::new();
-            let mut of_task = Vec::with_capacity(self.schedule.tasks.len());
-            // Consecutive tasks of real traces overwhelmingly share one
-            // kind; remembering the last slot makes the common case a
-            // single string compare.
-            let mut last: Option<(u32, &str)> = None;
-            for t in &self.schedule.tasks {
-                let slot = match last {
-                    Some((slot, kind)) if kind == t.kind => slot,
-                    _ => {
-                        let slot = match names.iter().position(|k| *k == t.kind) {
-                            Some(i) => i as u32,
-                            None => {
-                                names.push(t.kind.clone());
-                                (names.len() - 1) as u32
-                            }
-                        };
-                        slot
-                    }
-                };
-                last = Some((slot, t.kind.as_str()));
-                of_task.push(slot);
-            }
-            Kinds { names, of_task }
+            TaskColumns::build(&self.schedule)
         })
     }
 
     /// The distinct task kinds in order of first appearance — exactly
-    /// the list a legend scan over all tasks collects.
+    /// the list a legend scan over all tasks collects. Served from the
+    /// columnar cache.
     pub fn kinds(&self) -> &[String] {
-        &self.kinds_cache().names
+        self.columns().kind_names()
     }
 
     /// For each task (by index), the slot of its kind in [`kinds`]
@@ -214,7 +188,7 @@ impl PreparedSchedule {
     /// Classifiers can resolve each kind against a color map once and
     /// then look tasks up by slot instead of comparing strings.
     pub fn kind_ids(&self) -> &[u32] {
-        &self.kinds_cache().of_task
+        self.columns().kind_ids()
     }
 
     /// Composite tasks of overlap regions under default
@@ -227,12 +201,19 @@ impl PreparedSchedule {
         }
         self.composites
             .get_or_init(|| {
-                // Resolve the index dependency *before* opening the span so
-                // its build time is attributed to prepare.index, not here.
+                // Resolve the index and column dependencies *before*
+                // opening the span so their build time is attributed to
+                // prepare.index / prepare.columns, not here.
                 let index = self.index();
+                let columns = self.columns();
                 let _s = obs::span("prepare.composites");
                 obs::count("prepared.cache_build", 1);
-                composite_tasks_indexed(&self.schedule, index, &CompositeOptions::default())
+                composite_tasks_columnar(
+                    &self.schedule,
+                    index,
+                    columns,
+                    &CompositeOptions::default(),
+                )
             })
             .as_slice()
     }
@@ -352,11 +333,12 @@ mod tests {
         let p = PreparedSchedule::new(sched());
         p.index();
         p.index();
-        p.composites(); // hits index again, builds composites
+        p.composites(); // hits index again, builds columns + composites
         let rep = col.report();
-        assert_eq!(rep.counter("prepared.cache_build"), 2);
+        assert_eq!(rep.counter("prepared.cache_build"), 3);
         assert!(rep.counter("prepared.cache_hit") >= 2);
         assert!(rep.spans.iter().any(|s| s.name == "prepare.index"));
+        assert!(rep.spans.iter().any(|s| s.name == "prepare.columns"));
         assert!(rep.spans.iter().any(|s| s.name == "prepare.composites"));
     }
 

@@ -26,19 +26,36 @@
 //!
 //! Both are exact about what they skip: culling only drops tasks the
 //! clipping guard would reject anyway (pixel-identical output,
-//! property-tested), and LOD is deterministic — accumulation runs in task
-//! order on a single thread, so the same schedule always yields the same
-//! strips.
+//! property-tested), and LOD is deterministic — accumulation is either
+//! sequential in task order or sharded so each grid cell is filled by
+//! exactly one worker in task order, so the same schedule always yields
+//! the same strips for every thread count.
+//!
+//! Renders served from a [`PreparedSchedule`] take a third shortcut: the
+//! hot loops (candidate collection, the LOD probe, task classification,
+//! density binning and direct-rectangle emission) run over the prepared
+//! bundle's columnar [`TaskColumns`] view — contiguous `starts`/`ends`/
+//! `kind_ids` slices plus CSR host-lane segments — instead of striding
+//! across `Vec<Task>` structs, and are chunk-parallelized over the
+//! columns with the `threads`/`JEDULE_THREADS` machinery. The columnar
+//! path is pixel-identical to the cold scalar path (property-tested in
+//! `tests/prepared_props.rs`).
 
 use crate::options::{LodMode, RenderOptions};
 use crate::scene::{text_width, Anchor, Scene};
 use crate::ticks;
 use jedule_core::align::extent_for;
 use jedule_core::composite::{composite_tasks_indexed, ATTR_TYPES, COMPOSITE_KIND};
+use jedule_core::parallel::chunk_bounds;
 use jedule_core::{
-    Cluster, Color, ColorPair, CompositeOptions, PreparedSchedule, Schedule, ScheduleIndex, Task,
-    TimeExtent,
+    effective_threads, Cluster, Color, ColorPair, CompositeOptions, PreparedSchedule, Schedule,
+    ScheduleIndex, Task, TaskColumns, TimeExtent,
 };
+
+/// Below this many work items the columnar loops stay sequential: thread
+/// spawn/join overhead beats the win on small renders, and serve pins
+/// `threads = 1` anyway.
+const PAR_MIN_ITEMS: usize = 8192;
 
 const LEFT_MARGIN: f64 = 72.0;
 const RIGHT_MARGIN: f64 = 12.0;
@@ -73,6 +90,25 @@ struct KindTable<'a> {
     ids: &'a [u32],
 }
 
+/// Reusable per-render working memory for the columnar hot path: the
+/// window-culling candidate list, the LOD-aggregated task list and the
+/// directly drawn task list. A caller that renders repeatedly (the serve
+/// tile store, a `--window` series) keeps one scratch per worker and
+/// hands it to [`layout_prepared_scratch`], so steady-state renders stop
+/// allocating these buffers per frame.
+#[derive(Debug, Default)]
+pub struct LayoutScratch {
+    candidates: Vec<usize>,
+    agg: Vec<u32>,
+    direct: Vec<u32>,
+}
+
+impl LayoutScratch {
+    pub fn new() -> Self {
+        LayoutScratch::default()
+    }
+}
+
 /// Lays out a schedule into a scene.
 ///
 /// An invalid `time_window` (empty or reversed) is ignored here and the
@@ -80,23 +116,36 @@ struct KindTable<'a> {
 /// [`RenderOptions::validate`] first — the CLI does, and rejects such
 /// windows by name.
 pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
-    layout_impl(schedule, opts, None)
+    layout_impl(schedule, opts, None, &mut LayoutScratch::new())
 }
 
 /// [`layout`] served from a [`PreparedSchedule`]: the extent scan, the
 /// interval index, the legend kind list and the composite sweep come from
-/// the prepared bundle's caches instead of being recomputed, so repeated
-/// renders (zoom/pan, `--window` series, interactive redraws) only pay
-/// for what they draw. Pixel-identical to `layout(prep.schedule(), opts)`
-/// — property-tested.
+/// the prepared bundle's caches instead of being recomputed, and the task
+/// loops scan the cached [`TaskColumns`] — so repeated renders (zoom/pan,
+/// `--window` series, interactive redraws) only pay for what they draw.
+/// Pixel-identical to `layout(prep.schedule(), opts)` — property-tested.
 pub fn layout_prepared(prep: &PreparedSchedule, opts: &RenderOptions) -> Scene {
-    layout_impl(prep.schedule(), opts, Some(prep))
+    layout_impl(prep.schedule(), opts, Some(prep), &mut LayoutScratch::new())
+}
+
+/// [`layout_prepared`] with caller-owned [`LayoutScratch`], for render
+/// loops that want zero per-frame buffer churn. The scratch carries no
+/// outputs — only reusable capacity — so passing a dirty scratch from any
+/// earlier render (even of another schedule) yields identical scenes.
+pub fn layout_prepared_scratch(
+    prep: &PreparedSchedule,
+    opts: &RenderOptions,
+    scratch: &mut LayoutScratch,
+) -> Scene {
+    layout_impl(prep.schedule(), opts, Some(prep), scratch)
 }
 
 fn layout_impl(
     schedule: &Schedule,
     opts: &RenderOptions,
     prep: Option<&PreparedSchedule>,
+    scratch: &mut LayoutScratch,
 ) -> Scene {
     let visible: Vec<&Cluster> = schedule
         .clusters
@@ -248,6 +297,10 @@ fn layout_impl(
         pairs: p.kinds().iter().map(|k| opts.colormap.resolve(k)).collect(),
         ids: p.kind_ids(),
     });
+    // The columnar task view rides along with the kind table: both come
+    // from the prepared bundle, and the hot panel loops scan the columns
+    // instead of `Vec<Task>` whenever they are available.
+    let columns = prep.map(|p| p.columns());
 
     let panel_index = if cull { index } else { None };
     for (pi, panel) in panels.iter().enumerate() {
@@ -261,6 +314,8 @@ fn layout_impl(
             composites,
             panel_index,
             kind_table.as_ref(),
+            columns,
+            scratch,
             if collect_idx == Some(pi) {
                 Some(&mut types_seen)
             } else {
@@ -366,11 +421,23 @@ fn draw_profile(
 /// Each cell tracks the summed pixel coverage of the tasks deposited into
 /// it plus coverage-weighted RGB sums, so a cell's display color is the
 /// mean task color faded toward the white panel background by how full
-/// the cell is. Accumulation runs in task-index order on the layout
-/// thread, so the result is deterministic for a given schedule regardless
-/// of thread count.
+/// the cell is.
+///
+/// A grid covers either a whole panel ([`LodGrid::new`]) or one
+/// contiguous **row band** of it ([`LodGrid::band`]). Bands are how the
+/// columnar path parallelizes density binning without losing determinism:
+/// every worker walks the full aggregated-task list in task order but
+/// deposits only into the rows it owns, so each cell receives exactly the
+/// additions the sequential pass would apply, in the same order — `f32`
+/// accumulation is bit-identical for every worker count.
 struct LodGrid {
+    /// Global row of this band's first local row (0 for a full grid).
+    row0: usize,
+    /// Rows in this band.
     rows: usize,
+    /// Rows of the whole panel (== `rows` for a full grid); segment row
+    /// ranges clamp against this first, exactly like the sequential pass.
+    total_rows: usize,
     cols: usize,
     /// `[coverage, r_sum, g_sum, b_sum]` per cell, **column-major**: a
     /// schedule walks tasks in (roughly) time order, so consecutive
@@ -384,12 +451,74 @@ struct LodGrid {
 impl LodGrid {
     fn new(hosts: u32, plot_w: f64) -> Self {
         let rows = hosts.max(1) as usize;
+        LodGrid::with_rows(0, rows, rows, plot_w)
+    }
+
+    /// A band covering global rows `r0..r1` of a `hosts`-row panel.
+    fn band(hosts: u32, plot_w: f64, r0: usize, r1: usize) -> Self {
+        LodGrid::with_rows(r0, r1 - r0, hosts.max(1) as usize, plot_w)
+    }
+
+    fn with_rows(row0: usize, rows: usize, total_rows: usize, plot_w: f64) -> Self {
         let cols = (plot_w.ceil() as usize).max(1);
         LodGrid {
+            row0,
             rows,
+            total_rows,
             cols,
             cells: vec![[0.0; 4]; rows * cols],
         }
+    }
+
+    /// The clipped column window of a task at `x0` (plot-relative) and
+    /// width `w`: `(a, b, c0, c1)` or `None` when fully clipped out.
+    #[inline]
+    fn col_window(&self, x0: f64, w: f64) -> Option<(f64, f64, usize, usize)> {
+        let a = x0.clamp(0.0, self.cols as f64);
+        let b = (x0 + w.max(0.5)).clamp(0.0, self.cols as f64);
+        if b <= a {
+            return None;
+        }
+        let c0 = a.floor() as usize;
+        let c1 = (b.ceil() as usize).min(self.cols);
+        Some((a, b, c0, c1))
+    }
+
+    /// Deposits `overlap`-weighted color into local rows `lo..hi` of the
+    /// columns spanning `[a, b]` — the one shared inner loop of both the
+    /// scalar and the columnar deposit paths.
+    #[inline]
+    fn deposit(
+        &mut self,
+        (a, b, c0, c1): (f64, f64, usize, usize),
+        lo: usize,
+        hi: usize,
+        fill: Color,
+    ) {
+        for col in c0..c1 {
+            let overlap = (b.min((col + 1) as f64) - a.max(col as f64)).max(0.0) as f32;
+            if overlap <= 0.0 {
+                continue;
+            }
+            let wr = overlap * f32::from(fill.r);
+            let wg = overlap * f32::from(fill.g);
+            let wb = overlap * f32::from(fill.b);
+            let base = col * self.rows;
+            for cell in &mut self.cells[base + lo..base + hi] {
+                cell[0] += overlap;
+                cell[1] += wr;
+                cell[2] += wg;
+                cell[3] += wb;
+            }
+        }
+    }
+
+    /// Clamps a global row span to this band's local rows.
+    #[inline]
+    fn local_rows(&self, gr0: usize, gr1: usize) -> (usize, usize) {
+        let lo = gr0.clamp(self.row0, self.row0 + self.rows) - self.row0;
+        let hi = gr1.clamp(self.row0, self.row0 + self.rows) - self.row0;
+        (lo, hi)
     }
 
     /// Accumulates one task; `x0` is the clipped left edge relative to
@@ -400,41 +529,55 @@ impl LodGrid {
     /// list is walked once.
     fn add(&mut self, task: &Task, cluster: u32, x0: f64, w: f64, fill: Color) -> bool {
         let mut on_cluster = false;
-        let a = x0.clamp(0.0, self.cols as f64);
-        let b = (x0 + w.max(0.5)).clamp(0.0, self.cols as f64);
-        let clipped_out = b <= a;
-        let c0 = a.floor() as usize;
-        let c1 = (b.ceil() as usize).min(self.cols);
+        let window = self.col_window(x0, w);
         for alloc in &task.allocations {
             if alloc.cluster != cluster {
                 continue;
             }
             on_cluster = true;
-            if clipped_out {
-                break;
-            }
+            let Some(window) = window else { break };
             for r in alloc.hosts.ranges() {
-                let row0 = (r.start as usize).min(self.rows);
-                let row1 = ((r.start + r.nb) as usize).min(self.rows);
-                for col in c0..c1 {
-                    let overlap = (b.min((col + 1) as f64) - a.max(col as f64)).max(0.0) as f32;
-                    if overlap <= 0.0 {
-                        continue;
-                    }
-                    let wr = overlap * f32::from(fill.r);
-                    let wg = overlap * f32::from(fill.g);
-                    let wb = overlap * f32::from(fill.b);
-                    let base = col * self.rows;
-                    for cell in &mut self.cells[base + row0..base + row1] {
-                        cell[0] += overlap;
-                        cell[1] += wr;
-                        cell[2] += wg;
-                        cell[3] += wb;
-                    }
+                let gr0 = (r.start as usize).min(self.total_rows);
+                let gr1 = ((r.start + r.nb) as usize).min(self.total_rows);
+                let (lo, hi) = self.local_rows(gr0, gr1);
+                if hi > lo {
+                    self.deposit(window, lo, hi, fill);
                 }
             }
         }
         on_cluster
+    }
+
+    /// The columnar counterpart of [`add`](Self::add): accumulates task
+    /// `ti` by walking its CSR segments in `cols`. The caller already
+    /// established that the task is on `cluster` (classification filtered
+    /// it), so no flag is returned. The per-cell additions replay the
+    /// exact sequence `add` applies for the same task.
+    fn add_cols(
+        &mut self,
+        cols: &TaskColumns,
+        ti: usize,
+        cluster: u32,
+        x0: f64,
+        w: f64,
+        fill: Color,
+    ) {
+        let Some(window) = self.col_window(x0, w) else {
+            return;
+        };
+        let (seg_clusters, seg_row0, seg_nrows) =
+            (cols.seg_clusters(), cols.seg_row0(), cols.seg_nrows());
+        for si in cols.seg_range(ti) {
+            if seg_clusters[si] != cluster {
+                continue;
+            }
+            let gr0 = (seg_row0[si] as usize).min(self.total_rows);
+            let gr1 = ((seg_row0[si] + seg_nrows[si]) as usize).min(self.total_rows);
+            let (lo, hi) = self.local_rows(gr0, gr1);
+            if hi > lo {
+                self.deposit(window, lo, hi, fill);
+            }
+        }
     }
 
     /// Resolves a cell to its display color: the coverage-weighted mean
@@ -454,35 +597,50 @@ impl LodGrid {
         Some(Color::new(blend(r), blend(g), blend(b)))
     }
 
-    /// Emits one rectangle per run of equally-colored columns per row;
-    /// returns the number of strips produced. Columns are the outer loop
-    /// (matching the column-major storage, so the scan is sequential)
-    /// with one open run carried per row; a strip is flushed when its
-    /// row's color changes. The emission order — by closing column, then
-    /// row — is a pure function of the grid, and strips never overlap,
-    /// so the output is deterministic and paint-order independent.
+    /// Emits this grid's strips; see [`emit_bands`].
     fn emit(&self, scene: &mut Scene, panel: &Panel, plot_x: f64) -> usize {
-        let mut strips = 0usize;
-        // Per row: (start column, color) of the open run.
-        let mut open: Vec<Option<(usize, Color)>> = vec![None; self.rows];
-        // A task deposits the same weights into every row it covers, so
-        // vertically adjacent cells repeat exactly; memoizing on the raw
-        // cell skips most color resolutions.
-        let mut last_cell = [0.0f32; 4];
-        let mut last_color: Option<Color> = None;
-        for col in 0..=self.cols {
-            let base = col * self.rows;
-            for (row, run) in open.iter_mut().enumerate() {
-                let color = if col < self.cols {
-                    let cell = self.cells[base + row];
+        emit_bands(std::slice::from_ref(self), scene, panel, plot_x)
+    }
+}
+
+/// Emits one rectangle per run of equally-colored columns per row; returns
+/// the number of strips produced. `bands` is a full panel grid split into
+/// contiguous row bands in ascending row order (a single full grid is the
+/// degenerate one-band case). Columns are the outer loop (matching the
+/// column-major storage, so each band's scan is sequential) with one open
+/// run carried per **global** row; a strip is flushed when its row's color
+/// changes. Visiting `(column, band, local row)` in that nesting yields
+/// the exact `(column, global row)` sequence a single-grid emit produces,
+/// so the strip list — order included — is independent of how the grid was
+/// banded. Strips never overlap, so the output is also paint-order
+/// independent.
+fn emit_bands(bands: &[LodGrid], scene: &mut Scene, panel: &Panel, plot_x: f64) -> usize {
+    let total_rows: usize = bands.iter().map(|b| b.rows).sum();
+    let cols = bands.first().map_or(0, |b| b.cols);
+    let mut strips = 0usize;
+    // Per global row: (start column, color) of the open run.
+    let mut open: Vec<Option<(usize, Color)>> = vec![None; total_rows];
+    // A task deposits the same weights into every row it covers, so
+    // vertically adjacent cells repeat exactly; memoizing on the raw
+    // cell skips most color resolutions.
+    let mut last_cell = [0.0f32; 4];
+    let mut last_color: Option<Color> = None;
+    for col in 0..=cols {
+        let mut row = 0usize;
+        for band in bands {
+            let base = col * band.rows;
+            for lrow in 0..band.rows {
+                let color = if col < cols {
+                    let cell = band.cells[base + lrow];
                     if cell != last_cell {
                         last_cell = cell;
-                        last_color = Self::cell_color_of(cell);
+                        last_color = LodGrid::cell_color_of(cell);
                     }
                     last_color
                 } else {
                     None
                 };
+                let run = &mut open[row];
                 match (&mut *run, color) {
                     (Some((_, rc)), Some(c)) if *rc == c => {}
                     (r, c) => {
@@ -499,10 +657,11 @@ impl LodGrid {
                         *r = c.map(|c| (col, c));
                     }
                 }
+                row += 1;
             }
         }
-        strips
     }
+    strips
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -516,6 +675,8 @@ fn draw_panel(
     composites: &[Task],
     index: Option<&ScheduleIndex>,
     kind_table: Option<&KindTable<'_>>,
+    columns: Option<&TaskColumns>,
+    scratch: &mut LayoutScratch,
     mut types_out: Option<&mut Vec<String>>,
 ) {
     let c = &panel.cluster;
@@ -597,6 +758,18 @@ fn draw_panel(
         panel.y + panel_h,
         Color::BLACK,
     );
+
+    // Prepared renders take the columnar fast path: same classification,
+    // probe, binning and emission semantics, but scanning TaskColumns
+    // (and optionally fanning out over threads). Byte-identical to the
+    // scalar path below — property-tested.
+    if let (Some(kt), Some(cols)) = (kind_table, columns) {
+        panel_tasks_columnar(
+            scene, schedule, cols, kt, panel, opts, plot_x, plot_w, ext, index, scratch,
+        );
+        draw_panel_composites(scene, composites, c.id, panel, opts, &ext, to_x);
+        return;
+    }
 
     // Candidate tasks: with a time window the interval index narrows the
     // scan to tasks intersecting the window on this cluster; the query is
@@ -725,6 +898,21 @@ fn draw_panel(
     for &(ti, pair) in &direct {
         draw_task_rects(scene, &tasks[ti], c.id, panel, opts, &ext, to_x, pair);
     }
+    draw_panel_composites(scene, composites, c.id, panel, opts, &ext, to_x);
+}
+
+/// Draws the composite-task overlays of one panel (shared by the scalar
+/// and the columnar paths — the composite list is tiny next to the task
+/// array, so it stays on the `Task` walk).
+fn draw_panel_composites(
+    scene: &mut Scene,
+    composites: &[Task],
+    cluster: u32,
+    panel: &Panel,
+    opts: &RenderOptions,
+    ext: &TimeExtent,
+    to_x: impl Fn(f64) -> f64 + Copy,
+) {
     for comp in composites {
         let types: Vec<&str> = comp
             .attrs
@@ -733,8 +921,254 @@ fn draw_panel(
             .map(|(_, v)| v.split('+').collect())
             .unwrap_or_default();
         let pair = opts.colormap.resolve_composite(types);
-        draw_task_rects(scene, comp, c.id, panel, opts, &ext, to_x, pair);
+        draw_task_rects(scene, comp, cluster, panel, opts, ext, to_x, pair);
     }
+}
+
+/// The columnar panel body: candidate collection, LOD probe, task
+/// classification, density binning and direct-rectangle emission, all as
+/// linear scans over [`TaskColumns`]. Classification and binning fan out
+/// over `opts.threads` workers above [`PAR_MIN_ITEMS`] items;
+/// classification chunks concatenate in chunk order and binning shards by
+/// row band, so the scene is byte-identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+fn panel_tasks_columnar(
+    scene: &mut Scene,
+    schedule: &Schedule,
+    cols: &TaskColumns,
+    kt: &KindTable<'_>,
+    panel: &Panel,
+    opts: &RenderOptions,
+    plot_x: f64,
+    plot_w: f64,
+    ext: TimeExtent,
+    index: Option<&ScheduleIndex>,
+    scratch: &mut LayoutScratch,
+) {
+    let LayoutScratch {
+        candidates,
+        agg,
+        direct,
+    } = scratch;
+    candidates.clear();
+    agg.clear();
+    direct.clear();
+
+    let c = &panel.cluster;
+    let span = ext.span().max(1e-300);
+    let to_x = move |t: f64| plot_x + (t - ext.start) / span * plot_w;
+    let (starts, ends) = (cols.starts(), cols.ends());
+
+    // Candidates, filled into the reusable scratch buffer.
+    let cand: Option<&[usize]> = match index {
+        Some(idx) => {
+            if let Some(ci) = idx.cluster(c.id) {
+                ci.query_into(ext.start, ext.end, candidates);
+            }
+            Some(candidates.as_slice())
+        }
+        None => None,
+    };
+    if let Some(q) = cand {
+        scene.stats.culled += cols.len() - q.len();
+    }
+
+    // The `Auto` stride-sample probe, fused onto the columns: identical
+    // guard and vote to the scalar probe (over ALL tasks, never the
+    // culled candidate set — see the scalar path's comment), but reading
+    // the contiguous start/end slices the classification pass scans next.
+    let lod_engaged = match opts.lod {
+        LodMode::Off => false,
+        LodMode::Force => true,
+        LodMode::Auto => {
+            let n = cols.len();
+            let stride = (n / 512).max(1);
+            let (mut seen, mut below) = (0usize, 0usize);
+            let mut i = 0;
+            while i < n {
+                let t0 = starts[i].max(ext.start);
+                let t1 = ends[i].min(ext.end);
+                if t1 >= t0 && !(t1 <= t0 && ends[i] - starts[i] > 0.0) {
+                    seen += 1;
+                    if to_x(t1) - to_x(t0) < opts.lod_threshold {
+                        below += 1;
+                    }
+                }
+                i += stride;
+            }
+            below * 2 > seen
+        }
+    };
+
+    // Classification: split work items (candidates, or all tasks) into
+    // the directly drawn list and the LOD-aggregated list. Chunk outputs
+    // concatenate in chunk order, which is exactly the sequential item
+    // order, so the lists — and everything drawn from them — are
+    // independent of the worker count.
+    let cid = c.id;
+    let classify_chunk = |lo: usize, hi: usize, direct: &mut Vec<u32>, agg: &mut Vec<u32>| {
+        let (mut aggregated, mut clipped) = (0usize, 0usize);
+        for k in lo..hi {
+            let ti = cand.map_or(k, |q| q[k]);
+            let t0 = starts[ti].max(ext.start);
+            let t1 = ends[ti].min(ext.end);
+            if t1 < t0 || (t1 <= t0 && ends[ti] - starts[ti] > 0.0) {
+                clipped += 1;
+                continue;
+            }
+            let aggregate = match opts.lod {
+                LodMode::Off => false,
+                LodMode::Force => true,
+                LodMode::Auto => lod_engaged && to_x(t1) - to_x(t0) < opts.lod_threshold,
+            };
+            if cols.on_cluster(ti, cid) {
+                if aggregate {
+                    aggregated += 1;
+                    agg.push(ti as u32);
+                } else {
+                    direct.push(ti as u32);
+                }
+            } else {
+                clipped += 1;
+            }
+        }
+        (aggregated, clipped)
+    };
+    let n_items = cand.map_or(cols.len(), |q| q.len());
+    let workers = if n_items >= PAR_MIN_ITEMS {
+        effective_threads(opts.threads).min(n_items)
+    } else {
+        1
+    };
+    let (mut aggregated, mut clipped) = (0usize, 0usize);
+    if workers <= 1 {
+        (aggregated, clipped) = classify_chunk(0, n_items, direct, agg);
+    } else {
+        let chunks = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_bounds(n_items, workers)
+                .into_iter()
+                .map(|(lo, hi)| {
+                    scope.spawn(move || {
+                        let (mut d, mut a) = (Vec::new(), Vec::new());
+                        let counts = classify_chunk(lo, hi, &mut d, &mut a);
+                        (d, a, counts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("layout classify worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (d, a, (n_agg, n_clip)) in chunks {
+            direct.extend_from_slice(&d);
+            agg.extend_from_slice(&a);
+            aggregated += n_agg;
+            clipped += n_clip;
+        }
+    }
+    scene.stats.lod_aggregated += aggregated;
+    scene.stats.clipped += clipped;
+
+    // Density binning: every band worker walks the full aggregated list
+    // in task order but only deposits the rows it owns, so each cell
+    // accumulates bit-identically to the sequential pass. Strips go under
+    // the individually drawn tasks, same as the scalar path.
+    if !agg.is_empty() {
+        let total_rows = c.hosts.max(1) as usize;
+        let deposit_all = |grid: &mut LodGrid, agg: &[u32]| {
+            for &ti in agg {
+                let ti = ti as usize;
+                let t0 = starts[ti].max(ext.start);
+                let t1 = ends[ti].min(ext.end);
+                let x = to_x(t0);
+                let fill = kt.pairs[kt.ids[ti] as usize].bg;
+                grid.add_cols(cols, ti, cid, x - plot_x, to_x(t1) - x, fill);
+            }
+        };
+        let band_workers = if agg.len() >= PAR_MIN_ITEMS {
+            effective_threads(opts.threads).min(total_rows)
+        } else {
+            1
+        };
+        let bands: Vec<LodGrid> = if band_workers <= 1 {
+            let mut grid = LodGrid::new(c.hosts, plot_w);
+            deposit_all(&mut grid, agg);
+            vec![grid]
+        } else {
+            let agg: &[u32] = agg;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunk_bounds(total_rows, band_workers)
+                    .into_iter()
+                    .map(|(r0, r1)| {
+                        scope.spawn(move || {
+                            let mut band = LodGrid::band(c.hosts, plot_w, r0, r1);
+                            deposit_all(&mut band, agg);
+                            band
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("layout binning worker panicked"))
+                    .collect()
+            })
+        };
+        scene.stats.lod_strips += emit_bands(&bands, scene, panel, plot_x);
+    }
+
+    // Direct rectangles, straight off the columns: a per-task slot lookup
+    // for the color pair and a CSR segment walk for the lanes. The task
+    // struct is only touched for its id, and only when labels are on.
+    scene.reserve(
+        direct.len(),
+        0,
+        if opts.show_labels { direct.len() } else { 0 },
+    );
+    let (seg_clusters, seg_row0, seg_nrows) =
+        (cols.seg_clusters(), cols.seg_row0(), cols.seg_nrows());
+    for &ti in direct.iter() {
+        let ti = ti as usize;
+        let pair = kt.pairs[kt.ids[ti] as usize];
+        let t0 = starts[ti].max(ext.start);
+        let t1 = ends[ti].min(ext.end);
+        let x = to_x(t0);
+        let w = (to_x(t1) - x).max(0.5);
+        for si in cols.seg_range(ti) {
+            if seg_clusters[si] != cid {
+                continue;
+            }
+            let ry = panel.y + f64::from(seg_row0[si]) * panel.row_h;
+            let rh = f64::from(seg_nrows[si]) * panel.row_h;
+            scene.rect_stroked(
+                x,
+                ry,
+                w,
+                rh,
+                pair.bg,
+                pair.bg.to_grayscale().contrasting_fg(),
+            );
+            if opts.show_labels {
+                let cfg = &opts.colormap.config;
+                let id = &schedule.tasks[ti].id;
+                let mut size = cfg.font_size_label.min(rh - 2.0);
+                while size >= cfg.min_font_size_label && text_width(id, size) > w - 4.0 {
+                    size -= 1.0;
+                }
+                if size >= cfg.min_font_size_label && rh >= size {
+                    scene.text(
+                        x + w / 2.0,
+                        ry + rh / 2.0 + size * 0.4,
+                        size,
+                        id.clone(),
+                        pair.fg,
+                        Anchor::Middle,
+                    );
+                }
+            }
+        }
+    }
+    scene.stats.lod_direct += direct.len();
 }
 
 #[allow(clippy::too_many_arguments)]

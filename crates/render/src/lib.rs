@@ -38,7 +38,7 @@ pub mod ticks;
 pub mod tile;
 
 pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
-pub use layout::{layout, layout_prepared};
+pub use layout::{layout, layout_prepared, layout_prepared_scratch, LayoutScratch};
 pub use options::{LodMode, OutputFormat, RenderOptions};
 pub use perf::RenderTimings;
 pub use scene::{Anchor, LinePrim, PrimKind, PrimRef, RectPrim, Scene, SceneStats, TextPrim};

@@ -6,7 +6,10 @@
 //! counterpart.
 
 use jedule_core::{AlignMode, Allocation, PreparedSchedule, Schedule, ScheduleBuilder, Task};
-use jedule_render::{layout, layout_prepared, ppm, raster, LodMode, RenderOptions};
+use jedule_render::{
+    layout, layout_prepared, layout_prepared_scratch, ppm, raster, svg, LayoutScratch, LodMode,
+    RenderOptions,
+};
 use proptest::prelude::*;
 
 /// Rasterized bytes of a cold layout.
@@ -82,6 +85,76 @@ proptest! {
         for (t0, span) in windows {
             let o = RenderOptions::default().with_time_window(t0, t0 + span);
             prop_assert_eq!(prep_pixels(&prep, &o), cold_pixels(&s, &o));
+        }
+    }
+
+    /// The columnar path with a dirty, reused scratch buffer and varying
+    /// thread counts emits byte-for-byte the same SVG document as a cold
+    /// scalar layout — the scratch carries capacity, never state.
+    #[test]
+    fn columnar_scratch_and_threads_are_byte_identical(
+        s in arb_schedule(),
+        t0 in -10.0f64..110.0,
+        span in 0.5f64..60.0,
+        force_lod in any::<bool>(),
+        composites in any::<bool>(),
+    ) {
+        let prep = PreparedSchedule::new(s.clone());
+        let mut scratch = LayoutScratch::new();
+        for threads in [1usize, 3] {
+            let mut o = RenderOptions::default()
+                .with_time_window(t0, t0 + span)
+                .with_threads(threads);
+            if force_lod {
+                o = o.with_lod(LodMode::Force);
+            }
+            o.show_composites = composites;
+            let cold = svg::to_svg(&layout(&s, &o));
+            let warm = svg::to_svg(&layout_prepared_scratch(&prep, &o, &mut scratch));
+            prop_assert_eq!(warm, cold);
+        }
+    }
+}
+
+/// A schedule big enough to cross the layout parallel-engagement
+/// threshold, so classification chunking and row-banded density binning
+/// genuinely fan out: the scene must stay byte-identical to the cold
+/// scalar path for every thread count, LOD mode and a zoomed window.
+#[test]
+fn parallel_columnar_layout_is_byte_identical_at_scale() {
+    let mut b = ScheduleBuilder::new()
+        .cluster(0, "c0", 24)
+        .cluster(1, "c1", 8);
+    for i in 0..12_000u32 {
+        let start = f64::from(i % 997) * 0.11;
+        let dur = 0.05 + f64::from(i % 7) * 0.4;
+        let task = Task::new(
+            format!("t{i}"),
+            ["a", "b", "c"][(i % 3) as usize],
+            start,
+            start + dur,
+        );
+        b = b.task(if i % 5 == 0 {
+            task.on(Allocation::contiguous(1, i % 8, 1))
+        } else {
+            task.on(Allocation::contiguous(0, i % 23, 1 + (i % 2)))
+        });
+    }
+    let s = b.build().unwrap();
+    let prep = PreparedSchedule::new(s.clone());
+    prep.warm();
+    let mut scratch = LayoutScratch::new();
+    let mut variants: Vec<RenderOptions> = [LodMode::Auto, LodMode::Off, LodMode::Force]
+        .into_iter()
+        .map(|lod| RenderOptions::default().with_lod(lod))
+        .collect();
+    variants.push(RenderOptions::default().with_time_window(20.0, 40.0));
+    for (vi, v) in variants.iter().enumerate() {
+        let cold = svg::to_svg(&layout(&s, v));
+        for threads in [1usize, 2, 5] {
+            let o = v.clone().with_threads(threads);
+            let warm = svg::to_svg(&layout_prepared_scratch(&prep, &o, &mut scratch));
+            assert!(warm == cold, "variant {vi} with {threads} threads differs");
         }
     }
 }

@@ -750,9 +750,9 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
         let _s = obs::span("serve.render");
         state
             .tiles
-            .render(&state.registry, digest, &opts, &opt_key, &mut || {
+            .render(&state.registry, digest, &opts, &opt_key, &mut |scratch| {
                 let _s = obs::span("render.layout");
-                jedule_render::layout_prepared(&prepared, &opts)
+                jedule_render::layout_prepared_scratch(&prepared, &opts, scratch)
             })
     };
     obs::count("serve.bytes_rendered", bytes.len() as u64);

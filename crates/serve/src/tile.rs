@@ -33,8 +33,16 @@
 
 use crate::cache::{fnv1a64, LruCache};
 use jedule_core::obs::Registry;
-use jedule_render::{svg, tile as rtile, OutputFormat, RenderOptions, Scene};
+use jedule_render::{svg, tile as rtile, LayoutScratch, OutputFormat, RenderOptions, Scene};
+use std::cell::RefCell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-worker layout scratch handed to `make_scene`, reused across
+    /// tile misses and across requests: steady-state misses stop
+    /// allocating candidate/classification buffers per render.
+    static SCRATCH: RefCell<LayoutScratch> = RefCell::new(LayoutScratch::new());
+}
 
 /// Identity of one cached shard of one figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -107,16 +115,18 @@ impl TileStore {
 
     /// Renders `opts` through the tile cache. `make_scene` is invoked
     /// at most once, and only when a plan or tile is missing — the
-    /// all-warm path never lays out. Returns the exact bytes a cold
-    /// sequential whole-figure render would produce, plus the content
-    /// type.
+    /// all-warm path never lays out. The closure receives this worker
+    /// thread's reusable [`LayoutScratch`] so misses can run the
+    /// zero-churn `layout_prepared_scratch` path. Returns the exact
+    /// bytes a cold sequential whole-figure render would produce, plus
+    /// the content type.
     pub fn render(
         &self,
         registry: &Registry,
         digest: u64,
         opts: &RenderOptions,
         opt_key: &str,
-        make_scene: &mut dyn FnMut() -> Scene,
+        make_scene: &mut dyn FnMut(&mut LayoutScratch) -> Scene,
     ) -> (Vec<u8>, &'static str) {
         let fmt_code: u8 = match opts.format {
             OutputFormat::Png => 1,
@@ -126,6 +136,8 @@ impl TileStore {
         let lod_code = opts.lod as u8;
         let bucket = window_bucket(opts.width, opts.time_window);
         let mut scene_memo: Option<Scene> = None;
+        // Lend the worker-local scratch to the (at most one) layout call.
+        let mut build = || SCRATCH.with_borrow_mut(|sc| make_scene(sc));
 
         let plan_key = (digest, opt_key.to_string());
         let plan = match self.plans.get(&plan_key) {
@@ -135,7 +147,7 @@ impl TileStore {
             }
             None => {
                 registry.counter_add("jedule_plan_cache_misses_total", &[], 1);
-                let s = scene_memo.get_or_insert_with(&mut *make_scene);
+                let s = scene_memo.get_or_insert_with(&mut build);
                 let plan = match opts.format {
                     OutputFormat::Png => RenderPlan {
                         content_type: "image/png",
@@ -169,7 +181,7 @@ impl TileStore {
                 out.extend_from_slice(header.as_bytes());
                 for (band, (a, b)) in rtile::svg_ranges(*prims).into_iter().enumerate() {
                     let frag = self.tile(registry, fmt_label, key(band as u32), || {
-                        let s = scene_memo.get_or_insert_with(&mut *make_scene);
+                        let s = scene_memo.get_or_insert_with(&mut build);
                         svg::svg_fragment(s, a..b).into_bytes()
                     });
                     out.extend_from_slice(&frag);
@@ -181,7 +193,7 @@ impl TileStore {
                 let mut bands = Vec::new();
                 for (band, (r0, r1)) in rtile::raster_bands(*height).into_iter().enumerate() {
                     bands.push(self.tile(registry, fmt_label, key(band as u32), || {
-                        let s = scene_memo.get_or_insert_with(&mut *make_scene);
+                        let s = scene_memo.get_or_insert_with(&mut build);
                         rtile::raster_tile_pixels(s, r0, r1)
                     }));
                 }
@@ -253,10 +265,16 @@ mod tests {
         let want = svg::to_svg(&scene()).into_bytes();
         for pass in 0..2 {
             let mut calls = 0;
-            let (got, ct) = store.render(&reg, 1, &opts(OutputFormat::Svg), "k", &mut || {
-                calls += 1;
-                scene()
-            });
+            let (got, ct) = store.render(
+                &reg,
+                1,
+                &opts(OutputFormat::Svg),
+                "k",
+                &mut |_: &mut LayoutScratch| {
+                    calls += 1;
+                    scene()
+                },
+            );
             assert_eq!(got, want, "pass {pass}");
             assert_eq!(ct, "image/svg+xml");
             // Cold pass lays out once; warm pass not at all.
@@ -274,7 +292,13 @@ mod tests {
         let canvas = jedule_render::raster::rasterize(&s);
         let want = jedule_render::png::encode(&canvas);
         for _ in 0..2 {
-            let (got, ct) = store.render(&reg, 2, &opts(OutputFormat::Png), "k", &mut scene);
+            let (got, ct) = store.render(
+                &reg,
+                2,
+                &opts(OutputFormat::Png),
+                "k",
+                &mut |_: &mut LayoutScratch| scene(),
+            );
             assert_eq!(got, want);
             assert_eq!(ct, "image/png");
         }
@@ -289,9 +313,9 @@ mod tests {
         let store = TileStore::new(256);
         let reg = Registry::new();
         let mut o = opts(OutputFormat::Svg);
-        store.render(&reg, 3, &o, "k-auto", &mut scene);
+        store.render(&reg, 3, &o, "k-auto", &mut |_: &mut LayoutScratch| scene());
         o.lod = LodMode::Force;
-        store.render(&reg, 3, &o, "k-force", &mut scene);
+        store.render(&reg, 3, &o, "k-force", &mut |_: &mut LayoutScratch| scene());
         // Same digest, different lod: no tile sharing.
         assert_eq!(reg.counter_total("jedule_tile_cache_hits_total"), 0);
         assert_eq!(

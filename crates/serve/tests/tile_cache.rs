@@ -5,8 +5,8 @@
 //! lookups exactly through it all.
 
 use jedule_core::obs::Registry;
-use jedule_core::{Allocation, Schedule, ScheduleBuilder, Task};
-use jedule_render::{layout, OutputFormat, RenderOptions};
+use jedule_core::{Allocation, PreparedSchedule, Schedule, ScheduleBuilder, Task};
+use jedule_render::{layout, layout_prepared_scratch, OutputFormat, RenderOptions};
 use jedule_serve::tile::TileStore;
 use std::sync::Arc;
 
@@ -57,6 +57,9 @@ fn cold(s: &Schedule, opts: &RenderOptions) -> Vec<u8> {
 #[test]
 fn concurrent_assembly_is_byte_identical_under_eviction_pressure() {
     let s = Arc::new(schedule(120));
+    // Misses lay out through the prepared columnar + scratch path the
+    // server uses — its bytes must equal the cold scalar renders below.
+    let prep = Arc::new(PreparedSchedule::new((*s).clone()));
     // 8 views × 2 formats, but only 6 tiles of room: constant eviction.
     let store = Arc::new(TileStore::new(6));
     let reg = Registry::new();
@@ -82,7 +85,7 @@ fn concurrent_assembly_is_byte_identical_under_eviction_pressure() {
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let store = Arc::clone(&store);
-                let s = Arc::clone(&s);
+                let prep = Arc::clone(&prep);
                 let reg = reg.clone();
                 let expected = &expected;
                 scope.spawn(move || {
@@ -91,8 +94,9 @@ fn concurrent_assembly_is_byte_identical_under_eviction_pressure() {
                     for i in 0..expected.len() {
                         let (opts, key, want) = &expected[(i + t * 3) % expected.len()];
                         let digest = 17;
-                        let (got, _ct) =
-                            store.render(&reg, digest, opts, key, &mut || layout(&s, opts));
+                        let (got, _ct) = store.render(&reg, digest, opts, key, &mut |sc| {
+                            layout_prepared_scratch(&prep, opts, sc)
+                        });
                         assert_eq!(&got, want, "thread {t}, view {key}");
                     }
                 });
@@ -123,7 +127,7 @@ fn zero_cap_store_stays_correct() {
         let (opts, key) = options(fmt, None);
         let want = cold(&s, &opts);
         for _ in 0..2 {
-            let (got, _) = store.render(&reg, 5, &opts, &key, &mut || layout(&s, &opts));
+            let (got, _) = store.render(&reg, 5, &opts, &key, &mut |_| layout(&s, &opts));
             assert_eq!(got, want);
         }
     }
@@ -146,7 +150,7 @@ fn warm_pass_skips_layout() {
         let want = cold(&s, &opts);
         let mut layouts = 0;
         for pass in 0..2 {
-            let (got, _) = store.render(&reg, 9, &opts, &key, &mut || {
+            let (got, _) = store.render(&reg, 9, &opts, &key, &mut |_| {
                 layouts += 1;
                 layout(&s, &opts)
             });

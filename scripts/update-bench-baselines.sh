@@ -7,12 +7,21 @@
 # this on a quiet machine, inspect the diff, and commit it together with
 # the change that moved the numbers.
 #
-# The long-form scale baselines (BENCH_birdseye.json, BENCH_ingest.json)
-# are narrative documents updated by hand from full `cargo bench` runs;
-# perfgate only cross-checks their acceptance sections.
+# The long-form scale baselines (BENCH_birdseye.json, BENCH_ingest.json,
+# BENCH_serve.json) are narrative documents updated by hand from full
+# `cargo bench` runs; perfgate only cross-checks their acceptance
+# sections (every `<name>_speedup` key must meet `<name>_required`).
+# When the render hot path changes, re-run
+#   cargo bench -p jedule-bench --bench birdseye_scale
+# on a quiet machine and recompute BENCH_birdseye.json's ratios from the
+# criterion medians — in particular `soa_layout_1m_speedup`
+# (= layout_only_auto / layout_prepared_auto at 1M tasks), the columnar
+# storage gate, alongside the LOD and window-culling ratios.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JEDULE_BENCH_QUICK=1 cargo run --release -p jedule-bench --bin perfgate -- --update
 git --no-pager diff --stat -- BENCH_gate.json || true
 echo "Review the diff above and commit BENCH_gate.json if it looks right."
+echo "If the render hot path changed, also refresh BENCH_birdseye.json's"
+echo "acceptance ratios from a full birdseye_scale run (see header)."
