@@ -134,6 +134,32 @@ fn measure() -> Gate {
         }),
     );
 
+    // Pack cold load: mmap + validate + adopt a `.jpack` snapshot of
+    // the same trace — the sidecar fast path that replaces parse +
+    // prepare on a warm deployment.
+    let pack_dir = std::env::temp_dir().join(format!("jedule-perfgate-{}", std::process::id()));
+    std::fs::create_dir_all(&pack_dir).expect("perfgate temp dir");
+    let pack_path = pack_dir.join("gate.swf.jpack");
+    {
+        let p = PreparedSchedule::new(schedule.clone());
+        p.warm();
+        jedule_core::snap::write_pack_file(
+            &p,
+            jedule_core::snap::source_digest(swf_text.as_bytes()),
+            &pack_path,
+        )
+        .expect("write gate pack");
+    }
+    stage(
+        "gate.pack_load",
+        time_ms(reps, || {
+            let packed = jedule_core::snap::load(black_box(&pack_path)).expect("gate pack loads");
+            black_box(PreparedSchedule::from_pack(packed));
+        }),
+    );
+    std::fs::remove_file(&pack_path).ok();
+    std::fs::remove_dir(&pack_dir).ok();
+
     let auto_opts = birdseye_options(LodMode::Auto);
     let off_opts = birdseye_options(LodMode::Off);
     stage(

@@ -43,11 +43,55 @@ pub fn load_schedule(path: &str) -> Result<jedule_core::Schedule, String> {
 /// geometry taken from the trace header.
 pub fn load_schedule_threads(path: &str, threads: usize) -> Result<jedule_core::Schedule, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_schedule_src(path, &src, threads)
+}
+
+/// Parses already-read source text with the same format auto-detection
+/// as [`load_schedule_threads`] — shared with the sidecar path, which
+/// needs the raw text for digesting before it decides whether to parse.
+fn parse_schedule_src(
+    path: &str,
+    src: &str,
+    threads: usize,
+) -> Result<jedule_core::Schedule, String> {
     let p = std::path::Path::new(path);
     if p.extension().is_some_and(|e| e.eq_ignore_ascii_case("swf")) {
-        return swf_to_schedule(&src, threads).map_err(|e| format!("{path}: {e}"));
+        return swf_to_schedule(src, threads).map_err(|e| format!("{path}: {e}"));
     }
-    jedule_xmlio::parse_any_parallel(&src, Some(p), threads).map_err(|e| format!("{path}: {e}"))
+    jedule_xmlio::parse_any_parallel(src, Some(p), threads).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads a schedule as a [`PreparedSchedule`], preferring a fresh
+/// `<input>.jpack` sidecar over re-parsing the text (the `--pack-sidecar`
+/// mode of `render` / `view` / `compare`):
+///
+/// * a sidecar whose stored digest matches the input's bytes is mapped
+///   and served directly — the text is never parsed and (unless the
+///   caller materializes) no `Schedule` is ever built;
+/// * a **stale** sidecar (digest mismatch after the input changed) is
+///   silently ignored and rewritten after the text parse;
+/// * a **corrupt** sidecar is reported to stderr, ignored, and
+///   rewritten — it never fails the command.
+pub fn load_prepared_sidecar(
+    path: &str,
+    threads: usize,
+) -> Result<jedule_core::PreparedSchedule, String> {
+    use jedule_core::snap;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let digest = snap::source_digest(src.as_bytes());
+    let sidecar = snap::sidecar_path(std::path::Path::new(path));
+    if sidecar.exists() {
+        match snap::load_if_fresh(&sidecar, digest) {
+            Ok(Some(packed)) => return Ok(jedule_core::PreparedSchedule::from_pack(packed)),
+            Ok(None) => {} // stale: fall back to the text silently
+            Err(e) => eprintln!("jedule: ignoring sidecar {}: {e}", sidecar.display()),
+        }
+    }
+    let prep = jedule_core::PreparedSchedule::new(parse_schedule_src(path, &src, threads)?);
+    if let Err(e) = snap::write_pack_file(&prep, digest, &sidecar) {
+        eprintln!("jedule: cannot write sidecar {}: {e}", sidecar.display());
+    }
+    Ok(prep)
 }
 
 /// Converts an SWF workload trace into a renderable schedule. Node

@@ -3,7 +3,7 @@
 //! scheduling output of CPA and MCPA side by side". Stacks two schedules
 //! into one chart and prints a statistics diff.
 
-use crate::args::{load_schedule, Args};
+use crate::args::{load_prepared_sidecar, load_schedule, Args};
 use crate::obs_cli::ObsSink;
 use jedule_core::obs;
 use jedule_core::stats::{idle_holes, schedule_stats};
@@ -17,6 +17,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut output: Option<String> = None;
     let mut format = OutputFormat::Svg;
     let mut align_origins = true;
+    let mut pack_sidecar = false;
     let mut sink = ObsSink::default();
 
     while let Some(a) = args.next() {
@@ -28,6 +29,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     OutputFormat::parse(name).ok_or_else(|| format!("unknown format {name:?}"))?;
             }
             "--keep-origins" => align_origins = false,
+            "--pack-sidecar" => pack_sidecar = true,
             flag if sink.accept(flag, &mut args)? => {}
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             p => inputs.push(p.to_string()),
@@ -38,9 +40,18 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 
     let _obs = sink.arm();
+    // Comparison needs full task lists (normalize/diff/merge), so a
+    // sidecar hit materializes — it still skips the text parse.
+    let load = |p: &str| -> Result<_, String> {
+        if pack_sidecar {
+            Ok(load_prepared_sidecar(p, 1)?.into_schedule())
+        } else {
+            load_schedule(p)
+        }
+    };
     let (mut a, mut b) = {
         let _s = obs::span("ingest");
-        (load_schedule(&inputs[0])?, load_schedule(&inputs[1])?)
+        (load(&inputs[0])?, load(&inputs[1])?)
     };
     if align_origins {
         a = normalize(&a);

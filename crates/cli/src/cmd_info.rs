@@ -26,6 +26,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let issues = validate(&schedule);
     let stats = schedule_stats(&schedule);
     let holes = idle_holes(&schedule, hole_min.max(1e-9));
+    let pack = pack_status(&input);
 
     if as_json {
         let per_cluster: Vec<Json> = stats
@@ -50,6 +51,21 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             ("holes", Json::Num(holes.len() as f64)),
             ("issues", Json::Num(issues.len() as f64)),
             ("per_cluster", Json::Arr(per_cluster)),
+            (
+                "pack",
+                match &pack {
+                    PackStatus::Absent => obj([("present", Json::Bool(false))]),
+                    PackStatus::Ok { version, fresh } => obj([
+                        ("present", Json::Bool(true)),
+                        ("version", Json::Num(f64::from(*version))),
+                        ("fresh", Json::Bool(*fresh)),
+                    ]),
+                    PackStatus::Invalid(e) => obj([
+                        ("present", Json::Bool(true)),
+                        ("error", Json::Str(e.clone())),
+                    ]),
+                },
+            ),
         ]);
         println!("{}", doc.to_string_compact());
     } else {
@@ -72,6 +88,18 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             );
         }
         println!("idle holes (> {hole_min}s): {}", holes.len());
+        match &pack {
+            PackStatus::Absent => println!("pack     : none (`jedule pack` builds one)"),
+            PackStatus::Ok { version, fresh } => println!(
+                "pack     : v{version}, {}",
+                if *fresh {
+                    "fresh"
+                } else {
+                    "STALE (input changed)"
+                }
+            ),
+            PackStatus::Invalid(e) => println!("pack     : invalid ({e})"),
+        }
         for (k, v) in schedule.meta.iter() {
             println!("meta     : {k} = {v}");
         }
@@ -88,4 +116,35 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// What `info` reports about the input's `.jpack` sidecar.
+enum PackStatus {
+    Absent,
+    Ok { version: u32, fresh: bool },
+    Invalid(String),
+}
+
+/// Header-only freshness probe of the input's sidecar: present/absent,
+/// format version, and whether the stored source digest still matches
+/// the input bytes (a stale pack is valid but will be ignored and
+/// rebuilt by `--pack-sidecar` runs).
+fn pack_status(input: &str) -> PackStatus {
+    use jedule_core::snap;
+    let sidecar = snap::sidecar_path(std::path::Path::new(input));
+    if !sidecar.exists() {
+        return PackStatus::Absent;
+    }
+    match snap::peek(&sidecar) {
+        Ok(info) => {
+            let fresh = std::fs::read(input)
+                .map(|b| snap::source_digest(&b) == info.source_digest)
+                .unwrap_or(false);
+            PackStatus::Ok {
+                version: info.version,
+                fresh,
+            }
+        }
+        Err(e) => PackStatus::Invalid(e.to_string()),
+    }
 }

@@ -1,6 +1,6 @@
 //! `jedule render` — the batch command-line mode (paper, §II-D2).
 
-use crate::args::{load_schedule_threads, Args};
+use crate::args::{load_prepared_sidecar, load_schedule_threads, Args};
 use crate::obs_cli::ObsSink;
 use jedule_core::{obs, AlignMode, PreparedSchedule};
 use jedule_render::{render_prepared, LodMode, OutputFormat, RenderOptions};
@@ -14,6 +14,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut gray = false;
     let mut cmap_path: Option<String> = None;
     let mut only_types: Vec<String> = Vec::new();
+    let mut pack_sidecar = false;
     let mut sink = ObsSink::default();
 
     while let Some(a) = args.next() {
@@ -42,6 +43,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--no-composites" => opts.show_composites = false,
             "--util-profile" => opts.show_profile = true,
             "--only-type" => only_types.push(args.value(a)?.to_string()),
+            "--pack-sidecar" => pack_sidecar = true,
             "--lod" => {
                 let name = args.value(a)?;
                 opts.lod = LodMode::parse(name)
@@ -65,16 +67,26 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let _obs = sink.arm();
 
     // The `-j` knob drives ingest (chunked parallel parse for the
-    // line-oriented formats) as well as the raster/encode stages.
-    let schedule = {
+    // line-oriented formats) as well as the raster/encode stages. With
+    // `--pack-sidecar` the ingest span covers the sidecar load (or the
+    // parse + sidecar write on a miss) instead of the text parse.
+    let prepared = {
         let _s = obs::span("ingest");
-        let mut schedule = load_schedule_threads(&input, opts.threads)?;
-        if !only_types.is_empty() {
-            schedule = jedule_core::transform::filter_types(&schedule, |k| {
+        let prepared = if pack_sidecar {
+            load_prepared_sidecar(&input, opts.threads)?
+        } else {
+            PreparedSchedule::new(load_schedule_threads(&input, opts.threads)?)
+        };
+        if only_types.is_empty() {
+            prepared
+        } else {
+            // Type filtering rewrites the task list, so it has to
+            // materialize even a packed snapshot.
+            let filtered = jedule_core::transform::filter_types(prepared.schedule(), |k| {
                 only_types.iter().any(|t| t == k)
             });
+            PreparedSchedule::new(filtered)
         }
-        schedule
     };
 
     if let Some(p) = cmap_path {
@@ -88,7 +100,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // The prepared path is pixel-identical to a cold render (property-
     // tested) and its lazily built caches carry the `prepare.*` spans,
     // so a profiled batch render shows every pipeline stage.
-    let prepared = PreparedSchedule::new(schedule);
     let bytes = render_prepared(&prepared, &opts);
     sink.finish()?;
     match output {

@@ -19,6 +19,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--addr" => config.addr = args.value(a)?.to_string(),
             "--root" => config.root = args.value(a)?.into(),
             "--cache-cap" => config.cache_cap = args.parse(a)?,
+            "--body-cache-cap" => config.body_cache_cap = Some(args.parse(a)?),
             "--tile-cache-cap" => config.tile_cache_cap = args.parse(a)?,
             "--trace-keep" => config.trace_keep = args.parse(a)?,
             "-j" | "--threads" => config.workers = args.parse(a)?,

@@ -214,9 +214,11 @@ pub fn execute(session: &mut Session, line: &str, out: &mut impl std::io::Write)
 pub fn run(argv: &[String]) -> Result<(), String> {
     let mut args = Args::new(argv);
     let mut input: Option<String> = None;
+    let mut pack_sidecar = false;
     let mut sink = crate::obs_cli::ObsSink::default();
     while let Some(a) = args.next() {
         match a {
+            "--pack-sidecar" => pack_sidecar = true,
             flag if sink.accept(flag, &mut args)? => {}
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             positional => {
@@ -233,7 +235,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let _obs = sink.arm();
     let schedule = {
         let _s = jedule_core::obs::span("ingest");
-        PreparedSchedule::new(load_schedule(&input)?)
+        if pack_sidecar {
+            crate::args::load_prepared_sidecar(&input, 1)?
+        } else {
+            PreparedSchedule::new(load_schedule(&input)?)
+        }
     };
     // Build the index/extent caches up front so even the very first
     // zoom or pan is served warm.

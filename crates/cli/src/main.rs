@@ -17,6 +17,7 @@ mod args;
 mod cmd_compare;
 mod cmd_convert;
 mod cmd_info;
+mod cmd_pack;
 mod cmd_render;
 mod cmd_serve;
 mod cmd_view;
@@ -33,6 +34,7 @@ USAGE:
     jedule info <input> [--json]       validate and print statistics
     jedule convert <input> -o <out>    convert between schedule formats
     jedule compare <a> <b> [-o out]    stats diff + stacked side-by-side chart
+    jedule pack <input> [-o out]       build a .jpack binary snapshot
     jedule cmap                        print the standard color map XML
     jedule serve [options]             resident HTTP render service
 
@@ -56,15 +58,27 @@ RENDER OPTIONS:
         --no-composites     do not draw composite (overlap) tasks
         --util-profile      add a busy-hosts-over-time strip
         --only-type <t>     keep only tasks of this type (repeatable)
+        --pack-sidecar      keep a <input>.jpack binary snapshot beside
+                            the input: fresh sidecars are mmap-loaded
+                            instead of parsed (also on view/compare);
+                            stale ones are silently rebuilt
     -j, --threads <n>       raster/encode worker threads (0 = all cores,
                             1 = sequential; pixels identical either way)
+
+PACK OPTIONS:
+    -o, --output <file>     pack path (default: <input>.jpack)
+        --check             validate an existing pack against the input
+                            (exit nonzero when missing/stale/corrupt)
+    -j, --threads <n>       parse worker threads (0 = all cores)
 
 SERVE OPTIONS:
         --addr <host:port>  bind address (default 127.0.0.1:8017)
         --root <dir>        directory /render inputs are restricted to
                             (default .)
-        --cache-cap <n>     max cached rendered bodies / prepared
-                            schedules, LRU (default 64)
+        --cache-cap <n>     max cached prepared schedules, LRU
+                            (default 64)
+        --body-cache-cap <n>  max cached rendered bodies, LRU
+                            (default: --cache-cap)
         --tile-cache-cap <n>  max cached render tiles shared across
                             views, LRU (default 1024, 0 disables)
         --trace-keep <n>    request traces retained for
@@ -96,6 +110,7 @@ fn main() -> ExitCode {
         "info" => cmd_info::run(rest),
         "convert" => cmd_convert::run(rest),
         "compare" => cmd_compare::run(rest),
+        "pack" => cmd_pack::run(rest),
         "serve" => cmd_serve::run(rest),
         "cmap" => {
             print!(

@@ -30,6 +30,7 @@
 //! stale.
 
 use crate::model::Schedule;
+use crate::snap::Col;
 use std::ops::Range;
 
 /// One host-lane segment of a task: `nrows` rows starting at
@@ -42,19 +43,22 @@ pub struct Seg {
 }
 
 /// Parallel per-task columns plus the CSR segment arrays. See the
-/// module docs for the layout rationale.
+/// module docs for the layout rationale. Numeric columns are [`Col`]s:
+/// owned vectors when built from a parsed schedule, zero-copy borrows
+/// into a mapped `.jpack` when loaded from a snapshot — consumers see
+/// `&[T]` either way.
 #[derive(Debug, Clone, Default)]
 pub struct TaskColumns {
-    starts: Vec<f64>,
-    ends: Vec<f64>,
-    kind_ids: Vec<u32>,
+    starts: Col<f64>,
+    ends: Col<f64>,
+    kind_ids: Col<u32>,
     kind_names: Vec<String>,
     /// `seg_offsets[ti]..seg_offsets[ti + 1]` bounds task `ti`'s
     /// entries in the three segment arrays; length `tasks + 1`.
-    seg_offsets: Vec<u32>,
-    seg_clusters: Vec<u32>,
-    seg_row0: Vec<u32>,
-    seg_nrows: Vec<u32>,
+    seg_offsets: Col<u32>,
+    seg_clusters: Col<u32>,
+    seg_row0: Col<u32>,
+    seg_nrows: Col<u32>,
 }
 
 impl TaskColumns {
@@ -64,71 +68,104 @@ impl TaskColumns {
     /// [`Schedule::task_types`] exactly.
     pub fn build(schedule: &Schedule) -> TaskColumns {
         let n = schedule.tasks.len();
-        let mut cols = TaskColumns {
-            starts: Vec::with_capacity(n),
-            ends: Vec::with_capacity(n),
-            kind_ids: Vec::with_capacity(n),
-            kind_names: Vec::new(),
-            seg_offsets: Vec::with_capacity(n + 1),
-            seg_clusters: Vec::with_capacity(n),
-            seg_row0: Vec::with_capacity(n),
-            seg_nrows: Vec::with_capacity(n),
-        };
-        cols.seg_offsets.push(0);
+        let mut starts = Vec::with_capacity(n);
+        let mut ends = Vec::with_capacity(n);
+        let mut kind_ids = Vec::with_capacity(n);
+        let mut kind_names: Vec<String> = Vec::new();
+        let mut seg_offsets = Vec::with_capacity(n + 1);
+        let mut seg_clusters = Vec::with_capacity(n);
+        let mut seg_row0 = Vec::with_capacity(n);
+        let mut seg_nrows = Vec::with_capacity(n);
+        seg_offsets.push(0);
         // Consecutive tasks of real traces overwhelmingly share one
         // kind; remembering the last slot makes the common case a
         // single string compare.
         let mut last: Option<(u32, &str)> = None;
         for t in &schedule.tasks {
-            cols.starts.push(t.start);
-            cols.ends.push(t.end);
+            starts.push(t.start);
+            ends.push(t.end);
             let slot = match last {
                 Some((slot, kind)) if kind == t.kind => slot,
-                _ => match cols.kind_names.iter().position(|k| *k == t.kind) {
+                _ => match kind_names.iter().position(|k| *k == t.kind) {
                     Some(i) => i as u32,
                     None => {
-                        cols.kind_names.push(t.kind.clone());
-                        (cols.kind_names.len() - 1) as u32
+                        kind_names.push(t.kind.clone());
+                        (kind_names.len() - 1) as u32
                     }
                 },
             };
             last = Some((slot, t.kind.as_str()));
-            cols.kind_ids.push(slot);
+            kind_ids.push(slot);
             for a in &t.allocations {
                 for r in a.hosts.ranges() {
-                    cols.seg_clusters.push(a.cluster);
-                    cols.seg_row0.push(r.start);
-                    cols.seg_nrows.push(r.nb);
+                    seg_clusters.push(a.cluster);
+                    seg_row0.push(r.start);
+                    seg_nrows.push(r.nb);
                 }
             }
-            cols.seg_offsets.push(cols.seg_clusters.len() as u32);
+            seg_offsets.push(seg_clusters.len() as u32);
         }
-        cols
+        TaskColumns {
+            starts: starts.into(),
+            ends: ends.into(),
+            kind_ids: kind_ids.into(),
+            kind_names,
+            seg_offsets: seg_offsets.into(),
+            seg_clusters: seg_clusters.into(),
+            seg_row0: seg_row0.into(),
+            seg_nrows: seg_nrows.into(),
+        }
+    }
+
+    /// Assembles columns from prebuilt parts — the pack loader, after
+    /// validating every invariant `build` establishes by construction
+    /// (CSR shape, kind id ranges, equal column lengths).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        starts: Col<f64>,
+        ends: Col<f64>,
+        kind_ids: Col<u32>,
+        kind_names: Vec<String>,
+        seg_offsets: Col<u32>,
+        seg_clusters: Col<u32>,
+        seg_row0: Col<u32>,
+        seg_nrows: Col<u32>,
+    ) -> TaskColumns {
+        TaskColumns {
+            starts,
+            ends,
+            kind_ids,
+            kind_names,
+            seg_offsets,
+            seg_clusters,
+            seg_row0,
+            seg_nrows,
+        }
     }
 
     /// Number of tasks.
     pub fn len(&self) -> usize {
-        self.starts.len()
+        self.starts.as_slice().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.starts.is_empty()
+        self.starts.as_slice().is_empty()
     }
 
     /// Per-task start times, parallel to `schedule.tasks`.
     pub fn starts(&self) -> &[f64] {
-        &self.starts
+        self.starts.as_slice()
     }
 
     /// Per-task end times, parallel to `schedule.tasks`.
     pub fn ends(&self) -> &[f64] {
-        &self.ends
+        self.ends.as_slice()
     }
 
     /// Per-task kind slots into [`kind_names`](Self::kind_names) —
     /// the packed color indices once a render resolves each kind.
     pub fn kind_ids(&self) -> &[u32] {
-        &self.kind_ids
+        self.kind_ids.as_slice()
     }
 
     /// The distinct kinds in first-appearance order.
@@ -136,34 +173,44 @@ impl TaskColumns {
         &self.kind_names
     }
 
+    /// The CSR offsets array bounding each task's segments; length
+    /// `tasks + 1`.
+    pub fn seg_offsets(&self) -> &[u32] {
+        self.seg_offsets.as_slice()
+    }
+
     /// The segment-array range of task `ti`.
     #[inline]
     pub fn seg_range(&self, ti: usize) -> Range<usize> {
-        self.seg_offsets[ti] as usize..self.seg_offsets[ti + 1] as usize
+        let offs = self.seg_offsets.as_slice();
+        offs[ti] as usize..offs[ti + 1] as usize
     }
 
     /// Per-segment cluster ids (indexed by [`seg_range`](Self::seg_range)).
     pub fn seg_clusters(&self) -> &[u32] {
-        &self.seg_clusters
+        self.seg_clusters.as_slice()
     }
 
     /// Per-segment first cluster-local row.
     pub fn seg_row0(&self) -> &[u32] {
-        &self.seg_row0
+        self.seg_row0.as_slice()
     }
 
     /// Per-segment row count.
     pub fn seg_nrows(&self) -> &[u32] {
-        &self.seg_nrows
+        self.seg_nrows.as_slice()
     }
 
     /// Task `ti`'s segments in `Task`-walk order.
     #[inline]
     pub fn segs(&self, ti: usize) -> impl Iterator<Item = Seg> + '_ {
+        let clusters = self.seg_clusters.as_slice();
+        let row0 = self.seg_row0.as_slice();
+        let nrows = self.seg_nrows.as_slice();
         self.seg_range(ti).map(move |si| Seg {
-            cluster: self.seg_clusters[si],
-            row0: self.seg_row0[si],
-            nrows: self.seg_nrows[si],
+            cluster: clusters[si],
+            row0: row0[si],
+            nrows: nrows[si],
         })
     }
 
@@ -171,8 +218,8 @@ impl TaskColumns {
     /// equivalent of `task.allocations.iter().any(|a| a.cluster == c)`.
     #[inline]
     pub fn on_cluster(&self, ti: usize, cluster: u32) -> bool {
-        self.seg_range(ti)
-            .any(|si| self.seg_clusters[si] == cluster)
+        let clusters = self.seg_clusters.as_slice();
+        self.seg_range(ti).any(|si| clusters[si] == cluster)
     }
 }
 
@@ -254,7 +301,7 @@ mod tests {
     fn empty_schedule_and_allocation_free_task() {
         let cols = TaskColumns::build(&Schedule::new());
         assert!(cols.is_empty());
-        assert_eq!(cols.seg_offsets, [0]);
+        assert_eq!(cols.seg_offsets(), [0]);
         let s = sched();
         let cols = TaskColumns::build(&s);
         // Task "d" has no allocations: empty segment range.

@@ -47,6 +47,13 @@ pub struct IntervalSeq {
 impl IntervalSeq {
     fn from_entries(mut entries: Vec<IndexEntry>) -> Self {
         entries.sort_unstable_by(|a, b| a.start.total_cmp(&b.start).then(a.task.cmp(&b.task)));
+        Self::from_sorted_entries(entries)
+    }
+
+    /// Builds the sequence from entries already in `(start, task)` order,
+    /// computing only the prefix-max structure. The pack loader uses this
+    /// after validating the stored order, skipping the O(n log n) sort.
+    pub(crate) fn from_sorted_entries(entries: Vec<IndexEntry>) -> Self {
         let mut prefix_max_end = Vec::with_capacity(entries.len());
         let mut m = f64::NEG_INFINITY;
         for e in &entries {
@@ -111,6 +118,22 @@ pub struct ClusterIndex {
 }
 
 impl ClusterIndex {
+    /// Assembles a cluster index from prebuilt parts (the pack loader,
+    /// after validating entry order and id ranges).
+    pub(crate) fn from_parts(
+        cluster: u32,
+        hosts: u32,
+        tasks: IntervalSeq,
+        per_host: Option<Vec<IntervalSeq>>,
+    ) -> Self {
+        ClusterIndex {
+            cluster,
+            hosts,
+            tasks,
+            per_host,
+        }
+    }
+
     /// All tasks touching this cluster (each task once, even with several
     /// allocations on it).
     pub fn tasks(&self) -> &IntervalSeq {
@@ -162,6 +185,15 @@ pub struct ScheduleIndex {
 }
 
 impl ScheduleIndex {
+    /// Assembles a schedule index from prebuilt cluster indexes (the pack
+    /// loader).
+    pub(crate) fn from_parts(clusters: Vec<ClusterIndex>, with_hosts: bool) -> Self {
+        ScheduleIndex {
+            clusters,
+            with_hosts,
+        }
+    }
+
     /// Builds the cluster-level index only — O(tasks · allocations) time,
     /// O(tasks) memory. Enough for layout culling and hit-testing.
     pub fn build(schedule: &Schedule) -> Self {

@@ -40,6 +40,7 @@ pub mod model;
 pub mod obs;
 pub mod parallel;
 pub mod prepared;
+pub mod snap;
 pub mod stats;
 pub mod transform;
 pub mod validate;
@@ -61,6 +62,7 @@ pub use model::{Allocation, Cluster, MetaInfo, Schedule, Task};
 pub use obs::{Collector, ObsReport, Registry, SpanRecord};
 pub use parallel::{effective_threads, line_chunks, LineChunk};
 pub use prepared::PreparedSchedule;
+pub use snap::{PackError, PackInfo, PackedSchedule};
 pub use stats::{ClusterStats, Hole, ScheduleStats};
 pub use transform::{filter_types, filter_window, merge, normalize, scale_time, shift_time};
 pub use validate::{validate, ValidationIssue};

@@ -28,8 +28,9 @@ use crate::align::{AlignMode, TimeExtent};
 use crate::columns::TaskColumns;
 use crate::composite::{composite_tasks_columnar, CompositeOptions};
 use crate::index::ScheduleIndex;
-use crate::model::{Schedule, Task};
+use crate::model::{Cluster, MetaInfo, Schedule, Task};
 use crate::obs;
+use crate::snap::{PackNames, PackedSchedule};
 use std::sync::OnceLock;
 
 /// Cached extents: the global one plus each cluster's local one, stored
@@ -51,19 +52,36 @@ struct Extents {
 /// ```
 #[derive(Debug)]
 pub struct PreparedSchedule {
-    schedule: Schedule,
+    /// Where the tasks come from. `Owned` means `schedule` was set at
+    /// construction; `Packed` keeps the cheap structure (clusters, meta,
+    /// lazily-read names) and materializes `schedule` only on demand.
+    source: Source,
+    schedule: OnceLock<Schedule>,
     index: OnceLock<ScheduleIndex>,
     extents: OnceLock<Extents>,
     columns: OnceLock<TaskColumns>,
     composites: OnceLock<Vec<Task>>,
 }
 
+#[derive(Debug)]
+enum Source {
+    Owned,
+    Packed {
+        clusters: Vec<Cluster>,
+        meta: MetaInfo,
+        names: PackNames,
+    },
+}
+
 impl PreparedSchedule {
     /// Wraps a schedule. No derived data is built yet — each cache fills
     /// on first use.
     pub fn new(schedule: Schedule) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(schedule);
         PreparedSchedule {
-            schedule,
+            source: Source::Owned,
+            schedule: cell,
             index: OnceLock::new(),
             extents: OnceLock::new(),
             columns: OnceLock::new(),
@@ -71,14 +89,121 @@ impl PreparedSchedule {
         }
     }
 
-    /// The wrapped schedule.
-    pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+    /// Wraps a loaded `.jpack` snapshot. Every cache a windowed render
+    /// touches (index, extents, columns, composites) is pre-seeded from
+    /// the pack — the inverse of the text path, where the schedule is
+    /// eager and the caches lazy. Here only the full `Schedule` (task
+    /// structs with owned strings) stays lazy; rendering never asks for
+    /// it.
+    pub fn from_pack(packed: PackedSchedule) -> Self {
+        let PackedSchedule {
+            clusters,
+            meta,
+            columns,
+            index,
+            global,
+            per_cluster,
+            composites,
+            names,
+            ..
+        } = packed;
+        let prep = PreparedSchedule {
+            source: Source::Packed {
+                clusters,
+                meta,
+                names,
+            },
+            schedule: OnceLock::new(),
+            index: OnceLock::new(),
+            extents: OnceLock::new(),
+            columns: OnceLock::new(),
+            composites: OnceLock::new(),
+        };
+        let _ = prep.index.set(index);
+        let _ = prep.extents.set(Extents {
+            global,
+            per_cluster,
+        });
+        let _ = prep.columns.set(columns);
+        let _ = prep.composites.set(composites);
+        prep
     }
 
-    /// Unwraps the schedule, dropping the caches.
+    /// Whether this schedule came from a `.jpack` snapshot.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.source, Source::Packed { .. })
+    }
+
+    /// Whether the full `Schedule` has been built. Owned sources are
+    /// materialized by construction; a packed source stays
+    /// unmaterialized until something calls [`Self::schedule`] — tests
+    /// use this to prove the render path never does.
+    pub fn is_materialized(&self) -> bool {
+        self.schedule.get().is_some()
+    }
+
+    /// The wrapped schedule. For packed sources this materializes the
+    /// full task list (owned strings, allocations, attrs) on first call;
+    /// paths that only render never pay it.
+    pub fn schedule(&self) -> &Schedule {
+        if let Some(s) = self.schedule.get() {
+            return s;
+        }
+        self.schedule.get_or_init(|| match &self.source {
+            Source::Owned => unreachable!("owned schedule is set at construction"),
+            Source::Packed {
+                clusters,
+                meta,
+                names,
+            } => {
+                let _s = obs::span("prepare.materialize");
+                Schedule {
+                    clusters: clusters.clone(),
+                    tasks: names.build_tasks(self.columns.get().expect("packed columns preset")),
+                    meta: meta.clone(),
+                }
+            }
+        })
+    }
+
+    /// The clusters, without materializing a packed schedule.
+    pub fn clusters(&self) -> &[Cluster] {
+        match &self.source {
+            Source::Owned => &self.schedule.get().expect("owned schedule set").clusters,
+            Source::Packed { clusters, .. } => clusters,
+        }
+    }
+
+    /// The meta info, without materializing a packed schedule.
+    pub fn meta(&self) -> &MetaInfo {
+        match &self.source {
+            Source::Owned => &self.schedule.get().expect("owned schedule set").meta,
+            Source::Packed { meta, .. } => meta,
+        }
+    }
+
+    /// Task `ti`'s id string, without materializing a packed schedule
+    /// (label paths read it straight from the pack's string blob).
+    pub fn task_id(&self, ti: usize) -> &str {
+        match &self.source {
+            Source::Owned => &self.schedule.get().expect("owned schedule set").tasks[ti].id,
+            Source::Packed { names, .. } => names.task_id(ti),
+        }
+    }
+
+    /// Number of tasks, without materializing a packed schedule.
+    pub fn task_count(&self) -> usize {
+        match &self.source {
+            Source::Owned => self.schedule.get().expect("owned schedule set").tasks.len(),
+            Source::Packed { .. } => self.columns.get().expect("packed columns preset").len(),
+        }
+    }
+
+    /// Unwraps the schedule (materializing it for packed sources),
+    /// dropping the caches.
     pub fn into_schedule(self) -> Schedule {
-        self.schedule
+        self.schedule();
+        self.schedule.into_inner().expect("just materialized")
     }
 
     /// The interval index, built with per-host rows on first use (a
@@ -90,9 +215,10 @@ impl PreparedSchedule {
             return built;
         }
         self.index.get_or_init(|| {
+            let schedule = self.schedule();
             let _s = obs::span("prepare.index");
             obs::count("prepared.cache_build", 1);
-            ScheduleIndex::build_with_hosts(&self.schedule)
+            ScheduleIndex::build_with_hosts(schedule)
         })
     }
 
@@ -112,15 +238,16 @@ impl PreparedSchedule {
             return built;
         }
         self.extents.get_or_init(|| {
+            let schedule = self.schedule();
             let _s = obs::span("prepare.extents");
             obs::count("prepared.cache_build", 1);
             // One pass over tasks × allocations computes what
             // `align::global_extent` + per-cluster `align::cluster_extent`
             // would, with identical min/max accumulation semantics.
-            let slot = |id: u32| self.schedule.clusters.iter().position(|c| c.id == id);
+            let slot = |id: u32| schedule.clusters.iter().position(|c| c.id == id);
             let mut global: Option<TimeExtent> = None;
-            let mut per_cluster: Vec<Option<TimeExtent>> = vec![None; self.schedule.clusters.len()];
-            for t in &self.schedule.tasks {
+            let mut per_cluster: Vec<Option<TimeExtent>> = vec![None; schedule.clusters.len()];
+            for t in &schedule.tasks {
                 let g = global.get_or_insert(TimeExtent::new(t.start, t.end));
                 g.start = g.start.min(t.start);
                 g.end = g.end.max(t.end);
@@ -151,11 +278,7 @@ impl PreparedSchedule {
         match mode {
             AlignMode::Aligned => ex.global,
             AlignMode::Scaled => {
-                let pos = self
-                    .schedule
-                    .clusters
-                    .iter()
-                    .position(|c| c.id == cluster)?;
+                let pos = self.clusters().iter().position(|c| c.id == cluster)?;
                 ex.per_cluster[pos]
             }
         }
@@ -170,9 +293,10 @@ impl PreparedSchedule {
             return built;
         }
         self.columns.get_or_init(|| {
+            let schedule = self.schedule();
             let _s = obs::span("prepare.columns");
             obs::count("prepared.cache_build", 1);
-            TaskColumns::build(&self.schedule)
+            TaskColumns::build(schedule)
         })
     }
 
@@ -201,19 +325,15 @@ impl PreparedSchedule {
         }
         self.composites
             .get_or_init(|| {
-                // Resolve the index and column dependencies *before*
-                // opening the span so their build time is attributed to
-                // prepare.index / prepare.columns, not here.
+                // Resolve the schedule, index and column dependencies
+                // *before* opening the span so their build time is
+                // attributed to prepare.index / prepare.columns, not here.
+                let schedule = self.schedule();
                 let index = self.index();
                 let columns = self.columns();
                 let _s = obs::span("prepare.composites");
                 obs::count("prepared.cache_build", 1);
-                composite_tasks_columnar(
-                    &self.schedule,
-                    index,
-                    columns,
-                    &CompositeOptions::default(),
-                )
+                composite_tasks_columnar(schedule, index, columns, &CompositeOptions::default())
             })
             .as_slice()
     }
@@ -229,7 +349,7 @@ impl std::ops::Deref for PreparedSchedule {
     type Target = Schedule;
 
     fn deref(&self) -> &Schedule {
-        &self.schedule
+        self.schedule()
     }
 }
 

@@ -192,10 +192,20 @@ pub fn idle_holes(schedule: &Schedule, min_duration: f64) -> Vec<Hole> {
 /// "how many processors are actually running" curve the Quicksort case
 /// study reads off the chart (2–4 processors during the holes).
 pub fn utilization_profile(schedule: &Schedule) -> Vec<(f64, u32)> {
-    // Per (cluster, host) busy intervals, merged; then a global sweep.
     let index = ScheduleIndex::build_with_hosts(schedule);
+    utilization_profile_indexed(&schedule.clusters, &index)
+}
+
+/// [`utilization_profile`] over a prebuilt per-host index and the cluster
+/// list alone — what render paths that hold a `PreparedSchedule` (owned
+/// or pack-backed) call, without touching the task structs.
+pub fn utilization_profile_indexed(
+    clusters: &[crate::model::Cluster],
+    index: &ScheduleIndex,
+) -> Vec<(f64, u32)> {
+    // Per (cluster, host) busy intervals, merged; then a global sweep.
     let mut events: Vec<(f64, i32)> = Vec::new();
-    for c in &schedule.clusters {
+    for c in clusters {
         let Some(ci) = index.cluster(c.id) else {
             continue;
         };

@@ -1,0 +1,254 @@
+//! Hostile-input property tests of the jpack loader: a pack written by
+//! [`snap::write_pack`] must materialize the exact source schedule back,
+//! and `snap::load_bytes` must answer *every* corruption — truncations,
+//! bit flips, and structurally inconsistent section tables whose body
+//! digest has been re-stamped to pass the integrity check — with a clean
+//! `PackError`, never a panic and never an out-of-bounds access.
+
+use jedule_core::snap::{self, load_bytes, source_digest, write_pack, PackError};
+use jedule_core::{Allocation, HostSet, PreparedSchedule, Schedule, ScheduleBuilder, Task};
+use proptest::prelude::*;
+
+/// Mirrors the private layout constants in `snap.rs`; asserted against
+/// the real file in `layout_constants_match` below so drift fails loudly.
+const HEADER_LEN: usize = 48;
+const TABLE_ENTRY_LEN: usize = 24;
+const SEC_COUNT: usize = 24;
+
+/// The digest the source text of every generated pack is stamped with.
+const SRC: &[u8] = b"snap_props source text";
+
+/// Re-implements the loader's word-at-a-time FNV-1a-64 body digest so a
+/// test can corrupt the section table and then re-stamp the header,
+/// forcing the *structural* validators (not the digest check) to be the
+/// ones that reject the pack.
+fn body_fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Overwrites the stored body digest with the digest of the (possibly
+/// corrupted) body, so `load_bytes` gets past the integrity check.
+fn restamp(pack: &mut [u8]) {
+    let d = body_fnv(&pack[HEADER_LEN..]);
+    pack[24..32].copy_from_slice(&d.to_le_bytes());
+}
+
+/// Rich schedules: several clusters, multi-segment allocations over
+/// non-contiguous host sets, task attributes, and meta entries — every
+/// section of the pack format carries real content.
+fn arb_schedule() -> BoxedStrategy<Schedule> {
+    let alloc = (0u32..3, proptest::collection::btree_set(0u32..8, 1..5))
+        .prop_map(|(cluster, hosts)| Allocation::new(cluster, HostSet::from_hosts(hosts)));
+    let attrs = proptest::collection::vec(
+        (
+            proptest::string::string_regex("[a-z]{1,6}").expect("valid regex"),
+            proptest::string::string_regex("[ -~]{0,8}").expect("valid regex"),
+        ),
+        0..3,
+    );
+    proptest::collection::vec(
+        (
+            0.0f64..50.0,
+            0.0f64..10.0,
+            0usize..3,
+            proptest::collection::vec(alloc, 0..3),
+            attrs,
+        ),
+        0..40,
+    )
+    .prop_map(|tasks| {
+        let mut b = ScheduleBuilder::new()
+            .cluster(0, "alpha", 8)
+            .cluster(1, "beta", 8)
+            .cluster(2, "gamma-γ", 8)
+            .meta("generator", "snap_props")
+            .meta("note", "hostile pack coverage");
+        for (i, (start, dur, kind, allocs, attrs)) in tasks.into_iter().enumerate() {
+            let mut t = Task::new(
+                format!("t{i}"),
+                ["a", "b", "cèll"][kind],
+                start,
+                start + dur,
+            );
+            for a in allocs {
+                t = t.on(a);
+            }
+            for (k, v) in attrs {
+                t = t.with_attr(k, v);
+            }
+            b = b.task(t);
+        }
+        b.build().expect("generated schedule is valid")
+    })
+    .boxed()
+}
+
+fn pack_of(s: &Schedule) -> Vec<u8> {
+    write_pack(&PreparedSchedule::new(s.clone()), source_digest(SRC)).expect("pack writes")
+}
+
+#[test]
+fn layout_constants_match() {
+    let s = ScheduleBuilder::new().cluster(0, "c", 2).build().unwrap();
+    let p = pack_of(&s);
+    // Header magic + section count live where this file assumes.
+    assert_eq!(&p[0..8], b"JEDPACK1");
+    let nsec = u32::from_le_bytes(p[12..16].try_into().unwrap());
+    assert_eq!(nsec as usize, SEC_COUNT);
+    assert_eq!(
+        body_fnv(&p[HEADER_LEN..]),
+        u64::from_le_bytes(p[24..32].try_into().unwrap())
+    );
+    // Re-stamping a pristine pack is a no-op: it still loads.
+    let mut q = p.clone();
+    restamp(&mut q);
+    assert_eq!(q, p);
+    assert!(load_bytes(&q).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Write → load → materialize is the identity on schedules, and the
+    /// stored source digest survives the trip.
+    #[test]
+    fn roundtrip_materializes_identical_schedule(s in arb_schedule()) {
+        let p = pack_of(&s);
+        let packed = load_bytes(&p).expect("pristine pack loads");
+        prop_assert_eq!(packed.source_digest, source_digest(SRC));
+        let prep = PreparedSchedule::from_pack(packed);
+        prop_assert!(prep.is_packed());
+        prop_assert_eq!(prep.task_count(), s.tasks.len());
+        for (ti, t) in s.tasks.iter().enumerate() {
+            prop_assert_eq!(prep.task_id(ti), t.id.as_str());
+        }
+        prop_assert_eq!(prep.into_schedule(), s);
+    }
+
+    /// Every truncation is rejected: the header stores the file length,
+    /// so no prefix of a pack is itself a valid pack.
+    #[test]
+    fn any_truncation_is_rejected(s in arb_schedule(), frac in 0.0f64..1.0) {
+        let p = pack_of(&s);
+        let cut = ((p.len() as f64 * frac) as usize).min(p.len() - 1);
+        prop_assert!(matches!(load_bytes(&p[..cut]), Err(PackError::Format(_))));
+    }
+
+    /// A single flipped bit anywhere never panics, and any flip in the
+    /// body (everything after the header) is caught by the mandatory
+    /// digest check. Header flips may land in the stored *source*
+    /// digest or the reserved words — fields the loader carries rather
+    /// than validates — so only no-panic is asserted there.
+    #[test]
+    fn bit_flips_never_panic_and_body_flips_are_caught(
+        s in arb_schedule(),
+        frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let p = pack_of(&s);
+        let off = ((p.len() as f64 * frac) as usize).min(p.len() - 1);
+        let mut q = p.clone();
+        q[off] ^= 1u8 << bit;
+        let r = load_bytes(&q);
+        if off >= HEADER_LEN {
+            prop_assert!(matches!(r, Err(PackError::Format(_))), "body flip at {}", off);
+        } else if !(16..24).contains(&off) && !(40..48).contains(&off) {
+            prop_assert!(matches!(r, Err(PackError::Format(_))), "header flip at {}", off);
+        }
+        // else: source-digest / reserved bytes — Ok or Err both fine,
+        // reaching here without a panic is the property.
+    }
+
+    /// Structural corruption behind a valid digest: misaligned offsets,
+    /// out-of-bounds lengths, and clobbered section ids must each be
+    /// rejected by the table validators themselves.
+    #[test]
+    fn restamped_table_corruption_is_rejected(
+        s in arb_schedule(),
+        entry in 0usize..SEC_COUNT,
+        mode in 0usize..4,
+    ) {
+        let p = pack_of(&s);
+        let mut q = p.clone();
+        let e = HEADER_LEN + entry * TABLE_ENTRY_LEN;
+        match mode {
+            // Offset no longer 8-aligned.
+            0 => q[e + 8] |= 0x4,
+            // Length runs past the end of the file.
+            1 => q[e + 16..e + 24].copy_from_slice(&(p.len() as u64).to_le_bytes()),
+            // Unknown section id (0 is reserved, 255 is out of range).
+            2 => q[e..e + 4].copy_from_slice(&255u32.to_le_bytes()),
+            // Duplicate id: one section vanishes, another doubles.
+            _ => {
+                let other = (entry + 1) % SEC_COUNT;
+                let o = HEADER_LEN + other * TABLE_ENTRY_LEN;
+                let id: [u8; 4] = q[o..o + 4].try_into().unwrap();
+                q[e..e + 4].copy_from_slice(&id);
+            }
+        }
+        restamp(&mut q);
+        prop_assert!(
+            matches!(load_bytes(&q), Err(PackError::Format(_))),
+            "entry {} mode {}", entry, mode
+        );
+    }
+
+    /// Arbitrary garbage — with or without a real jpack header grafted
+    /// on front — never panics the loader.
+    #[test]
+    fn garbage_bytes_never_panic(
+        tail in proptest::collection::vec(any::<u8>(), 0..512),
+        graft_header in any::<bool>(),
+    ) {
+        let mut bytes = Vec::new();
+        if graft_header {
+            let s = ScheduleBuilder::new().cluster(0, "c", 2).build().unwrap();
+            bytes.extend_from_slice(&pack_of(&s)[..HEADER_LEN]);
+            let total = (HEADER_LEN + tail.len()) as u64;
+            bytes[32..40].copy_from_slice(&total.to_le_bytes());
+        }
+        bytes.extend_from_slice(&tail);
+        if graft_header {
+            restamp(&mut bytes);
+        }
+        let _ = load_bytes(&bytes);
+    }
+
+    /// `load_if_fresh` on disk: fresh digests load, stale digests are
+    /// declined without error, corrupt sidecars surface the error.
+    #[test]
+    fn load_if_fresh_states_are_distinguished(s in arb_schedule(), corrupt in any::<bool>()) {
+        let dir = std::env::temp_dir().join(format!(
+            "jedule-snap-props-{}-{corrupt}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.jed.jpack");
+        let mut p = pack_of(&s);
+        if corrupt {
+            let mid = HEADER_LEN + (p.len() - HEADER_LEN) / 2;
+            p[mid] ^= 0xff;
+        }
+        std::fs::write(&path, &p).unwrap();
+        let fresh = snap::load_if_fresh(&path, source_digest(SRC));
+        let stale = snap::load_if_fresh(&path, source_digest(b"other text"));
+        if corrupt {
+            prop_assert!(fresh.is_err());
+        } else {
+            prop_assert!(fresh.unwrap().is_some());
+            prop_assert!(stale.unwrap().is_none());
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -48,8 +48,8 @@ use jedule_core::align::extent_for;
 use jedule_core::composite::{composite_tasks_indexed, ATTR_TYPES, COMPOSITE_KIND};
 use jedule_core::parallel::chunk_bounds;
 use jedule_core::{
-    effective_threads, Cluster, Color, ColorPair, CompositeOptions, PreparedSchedule, Schedule,
-    ScheduleIndex, Task, TaskColumns, TimeExtent,
+    effective_threads, Cluster, Color, ColorPair, CompositeOptions, MetaInfo, PreparedSchedule,
+    Schedule, ScheduleIndex, Task, TaskColumns, TimeExtent,
 };
 
 /// Below this many work items the columnar loops stay sequential: thread
@@ -109,6 +109,44 @@ impl LayoutScratch {
     }
 }
 
+/// What a layout reads from: a bare schedule (the cold scalar path) or a
+/// prepared bundle. Prepared layouts go through the bundle's accessors
+/// exclusively — clusters, meta, columns, cached index, task ids — so a
+/// pack-backed `PreparedSchedule` renders without ever materializing its
+/// `Vec<Task>`.
+#[derive(Clone, Copy)]
+enum Src<'a> {
+    Cold(&'a Schedule),
+    Prep(&'a PreparedSchedule),
+}
+
+impl<'a> Src<'a> {
+    fn prep(self) -> Option<&'a PreparedSchedule> {
+        match self {
+            Src::Cold(_) => None,
+            Src::Prep(p) => Some(p),
+        }
+    }
+
+    fn clusters(self) -> &'a [Cluster] {
+        match self {
+            Src::Cold(s) => &s.clusters,
+            Src::Prep(p) => p.clusters(),
+        }
+    }
+
+    fn meta(self) -> &'a MetaInfo {
+        match self {
+            Src::Cold(s) => &s.meta,
+            Src::Prep(p) => p.meta(),
+        }
+    }
+
+    fn total_hosts(self) -> u32 {
+        self.clusters().iter().map(|c| c.hosts).sum()
+    }
+}
+
 /// Lays out a schedule into a scene.
 ///
 /// An invalid `time_window` (empty or reversed) is ignored here and the
@@ -116,7 +154,7 @@ impl LayoutScratch {
 /// [`RenderOptions::validate`] first — the CLI does, and rejects such
 /// windows by name.
 pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
-    layout_impl(schedule, opts, None, &mut LayoutScratch::new())
+    layout_impl(Src::Cold(schedule), opts, &mut LayoutScratch::new())
 }
 
 /// [`layout`] served from a [`PreparedSchedule`]: the extent scan, the
@@ -126,7 +164,7 @@ pub fn layout(schedule: &Schedule, opts: &RenderOptions) -> Scene {
 /// `--window` series, interactive redraws) only pay for what they draw.
 /// Pixel-identical to `layout(prep.schedule(), opts)` — property-tested.
 pub fn layout_prepared(prep: &PreparedSchedule, opts: &RenderOptions) -> Scene {
-    layout_impl(prep.schedule(), opts, Some(prep), &mut LayoutScratch::new())
+    layout_impl(Src::Prep(prep), opts, &mut LayoutScratch::new())
 }
 
 /// [`layout_prepared`] with caller-owned [`LayoutScratch`], for render
@@ -138,28 +176,20 @@ pub fn layout_prepared_scratch(
     opts: &RenderOptions,
     scratch: &mut LayoutScratch,
 ) -> Scene {
-    layout_impl(prep.schedule(), opts, Some(prep), scratch)
+    layout_impl(Src::Prep(prep), opts, scratch)
 }
 
-fn layout_impl(
-    schedule: &Schedule,
-    opts: &RenderOptions,
-    prep: Option<&PreparedSchedule>,
-    scratch: &mut LayoutScratch,
-) -> Scene {
-    let visible: Vec<&Cluster> = schedule
-        .clusters
+fn layout_impl(src: Src<'_>, opts: &RenderOptions, scratch: &mut LayoutScratch) -> Scene {
+    let prep = src.prep();
+    let visible: Vec<&Cluster> = src
+        .clusters()
         .iter()
         .filter(|c| opts.cluster.is_none_or(|id| id == c.id))
         .collect();
     let total_rows: u32 = visible.iter().map(|c| c.hosts).sum();
 
     // Header sizing.
-    let meta_lines = if opts.show_meta {
-        schedule.meta.len()
-    } else {
-        0
-    };
+    let meta_lines = if opts.show_meta { src.meta().len() } else { 0 };
     let header_h = TOP_PAD
         + if opts.title.is_some() { TITLE_H } else { 0.0 }
         + meta_lines as f64 * META_LINE_H;
@@ -194,7 +224,7 @@ fn layout_impl(
         y += TITLE_H;
     }
     if opts.show_meta {
-        for (k, v) in schedule.meta.iter() {
+        for (k, v) in src.meta().iter() {
             y += META_LINE_H;
             scene.text(
                 plot_x,
@@ -211,9 +241,9 @@ fn layout_impl(
     let mut panels: Vec<Panel> = Vec::new();
     for c in &visible {
         y += PANEL_GAP;
-        let mut extent = match prep {
-            Some(p) => p.extent_for(c.id, opts.align),
-            None => extent_for(schedule, c.id, opts.align),
+        let mut extent = match src {
+            Src::Prep(p) => p.extent_for(c.id, opts.align),
+            Src::Cold(s) => extent_for(s, c.id, opts.align),
         };
         if let Some((t0, t1)) = opts.time_window {
             if t1 > t0 {
@@ -235,11 +265,11 @@ fn layout_impl(
     // superset of the cluster-only index, so per-cluster queries agree).
     let cull = opts.cull && opts.time_window.is_some_and(|(t0, t1)| t1 > t0);
     let need_index = cull || opts.show_composites;
-    let index_owned: Option<ScheduleIndex> = match prep {
-        None if need_index => Some(if opts.show_composites {
-            ScheduleIndex::build_with_hosts(schedule)
+    let index_owned: Option<ScheduleIndex> = match src {
+        Src::Cold(s) if need_index => Some(if opts.show_composites {
+            ScheduleIndex::build_with_hosts(s)
         } else {
-            ScheduleIndex::build(schedule)
+            ScheduleIndex::build(s)
         }),
         _ => None,
     };
@@ -252,14 +282,14 @@ fn layout_impl(
         None
     };
     let composites_owned: Vec<Task>;
-    let composites: &[Task] = match (prep, index) {
+    let composites: &[Task] = match (src, index) {
         _ if !opts.show_composites => &[],
-        (Some(p), _) => p.composites(),
-        (None, Some(idx)) => {
-            composites_owned = composite_tasks_indexed(schedule, idx, &CompositeOptions::default());
+        (Src::Prep(p), _) => p.composites(),
+        (Src::Cold(s), Some(idx)) => {
+            composites_owned = composite_tasks_indexed(s, idx, &CompositeOptions::default());
             &composites_owned
         }
-        (None, None) => &[], // unreachable: show_composites forces an index
+        (Src::Cold(_), None) => &[], // unreachable: show_composites forces an index
     };
 
     // The legend lists every task type of the schedule (plus the
@@ -274,10 +304,10 @@ fn layout_impl(
     // depend on.
     let any_extent = panels.iter().any(|p| p.extent.is_some());
     let mut types_seen: Vec<String> = Vec::new();
-    match prep {
-        Some(p) if any_extent => types_seen = p.kinds().to_vec(),
-        None if cull && any_extent => {
-            for task in &schedule.tasks {
+    match src {
+        Src::Prep(p) if any_extent => types_seen = p.kinds().to_vec(),
+        Src::Cold(s) if cull && any_extent => {
+            for task in &s.tasks {
                 if !types_seen.contains(&task.kind) {
                     types_seen.push(task.kind.clone());
                 }
@@ -306,7 +336,7 @@ fn layout_impl(
     for (pi, panel) in panels.iter().enumerate() {
         draw_panel(
             &mut scene,
-            schedule,
+            src,
             panel,
             opts,
             plot_x,
@@ -329,13 +359,13 @@ fn layout_impl(
 
     // Utilization-profile strip.
     if opts.show_profile {
-        let global_ext = match prep {
-            Some(p) => p.global_extent(),
-            None => jedule_core::align::global_extent(schedule),
+        let global_ext = match src {
+            Src::Prep(p) => p.global_extent(),
+            Src::Cold(s) => jedule_core::align::global_extent(s),
         };
         draw_profile(
             &mut scene,
-            schedule,
+            src,
             opts,
             plot_x,
             plot_w,
@@ -362,14 +392,14 @@ fn layout_impl(
 #[allow(clippy::too_many_arguments)]
 fn draw_profile(
     scene: &mut Scene,
-    schedule: &Schedule,
+    src: Src<'_>,
     opts: &RenderOptions,
     plot_x: f64,
     plot_w: f64,
     y: f64,
     global_ext: Option<TimeExtent>,
 ) {
-    use jedule_core::stats::utilization_profile;
+    use jedule_core::stats::{utilization_profile, utilization_profile_indexed};
 
     let h = PROFILE_H - 14.0;
     let Some(ext) = global_ext else {
@@ -382,12 +412,15 @@ fn draw_profile(
         }
     }
     let span = ext.span().max(1e-300);
-    let total = f64::from(schedule.total_hosts().max(1));
+    let total = f64::from(src.total_hosts().max(1));
     let to_x = |t: f64| plot_x + ((t - ext.start) / span * plot_w).clamp(0.0, plot_w);
 
     scene.rect_stroked(plot_x, y, plot_w, h, Color::WHITE, Color::new(60, 60, 60));
     let fill = Color::new(0x9d, 0xc3, 0xe6);
-    let profile = utilization_profile(schedule);
+    let profile = match src {
+        Src::Cold(s) => utilization_profile(s),
+        Src::Prep(p) => utilization_profile_indexed(p.clusters(), p.index()),
+    };
     for (i, &(t, busy)) in profile.iter().enumerate() {
         if busy == 0 {
             continue;
@@ -667,7 +700,7 @@ fn emit_bands(bands: &[LodGrid], scene: &mut Scene, panel: &Panel, plot_x: f64) 
 #[allow(clippy::too_many_arguments)]
 fn draw_panel(
     scene: &mut Scene,
-    schedule: &Schedule,
+    src: Src<'_>,
     panel: &Panel,
     opts: &RenderOptions,
     plot_x: f64,
@@ -764,12 +797,21 @@ fn draw_panel(
     // (and optionally fanning out over threads). Byte-identical to the
     // scalar path below — property-tested.
     if let (Some(kt), Some(cols)) = (kind_table, columns) {
+        let prep = src.prep().expect("columnar path implies a prepared source");
         panel_tasks_columnar(
-            scene, schedule, cols, kt, panel, opts, plot_x, plot_w, ext, index, scratch,
+            scene, prep, cols, kt, panel, opts, plot_x, plot_w, ext, index, scratch,
         );
         draw_panel_composites(scene, composites, c.id, panel, opts, &ext, to_x);
         return;
     }
+
+    // Everything below is the scalar `Vec<Task>` walk; a prepared source
+    // always supplies the columns above, so this materializes only for
+    // cold renders (and never for a packed snapshot).
+    let schedule: &Schedule = match src {
+        Src::Cold(s) => s,
+        Src::Prep(p) => p.schedule(),
+    };
 
     // Candidate tasks: with a time window the interval index narrows the
     // scan to tasks intersecting the window on this cluster; the query is
@@ -934,7 +976,7 @@ fn draw_panel_composites(
 #[allow(clippy::too_many_arguments)]
 fn panel_tasks_columnar(
     scene: &mut Scene,
-    schedule: &Schedule,
+    prep: &PreparedSchedule,
     cols: &TaskColumns,
     kt: &KindTable<'_>,
     panel: &Panel,
@@ -1150,7 +1192,7 @@ fn panel_tasks_columnar(
             );
             if opts.show_labels {
                 let cfg = &opts.colormap.config;
-                let id = &schedule.tasks[ti].id;
+                let id = prep.task_id(ti);
                 let mut size = cfg.font_size_label.min(rh - 2.0);
                 while size >= cfg.min_font_size_label && text_width(id, size) > w - 4.0 {
                     size -= 1.0;
@@ -1160,7 +1202,7 @@ fn panel_tasks_columnar(
                         x + w / 2.0,
                         ry + rh / 2.0 + size * 0.4,
                         size,
-                        id.clone(),
+                        id.to_string(),
                         pair.fg,
                         Anchor::Middle,
                     );

@@ -54,15 +54,17 @@ use jedule_core::{obs, PreparedSchedule, Schedule};
 /// counters into it; with none installed instrumentation is a no-op and
 /// the output bytes are identical either way (property-tested).
 pub fn render(schedule: &Schedule, options: &RenderOptions) -> Vec<u8> {
-    render_impl(schedule, options, None).0
+    render_impl(RenderSrc::Cold(schedule), options).0
 }
 
 /// [`render`] served from a [`PreparedSchedule`]: repeated renders of
 /// the same trace (interactive redraws, `--window` series) reuse the
 /// cached index/extent/kind data instead of rebuilding it per frame.
-/// Output bytes are identical to `render(prep.schedule(), options)`.
+/// Output bytes are identical to `render(prep.schedule(), options)` —
+/// and a bundle loaded from a `.jpack` snapshot renders without ever
+/// materializing its `Schedule`.
 pub fn render_prepared(prep: &PreparedSchedule, options: &RenderOptions) -> Vec<u8> {
-    render_impl(prep.schedule(), options, Some(prep)).0
+    render_impl(RenderSrc::Prep(prep), options).0
 }
 
 /// Like [`render_prepared`], but also reports per-stage timings.
@@ -70,7 +72,14 @@ pub fn render_prepared_timed(
     prep: &PreparedSchedule,
     options: &RenderOptions,
 ) -> (Vec<u8>, RenderTimings) {
-    render_timed_impl(prep.schedule(), options, Some(prep))
+    render_timed_impl(RenderSrc::Prep(prep), options)
+}
+
+/// What a render reads from: a bare schedule or a prepared bundle.
+#[derive(Clone, Copy)]
+enum RenderSrc<'a> {
+    Cold(&'a Schedule),
+    Prep(&'a PreparedSchedule),
 }
 
 /// Like [`render`], but also reports how long each pipeline stage took
@@ -82,21 +91,17 @@ pub fn render_prepared_timed(
 /// collector scopes the measurement. Either way there is exactly one
 /// measurement code path.
 pub fn render_timed(schedule: &Schedule, options: &RenderOptions) -> (Vec<u8>, RenderTimings) {
-    render_timed_impl(schedule, options, None)
+    render_timed_impl(RenderSrc::Cold(schedule), options)
 }
 
-fn render_timed_impl(
-    schedule: &Schedule,
-    options: &RenderOptions,
-    prep: Option<&PreparedSchedule>,
-) -> (Vec<u8>, RenderTimings) {
+fn render_timed_impl(src: RenderSrc<'_>, options: &RenderOptions) -> (Vec<u8>, RenderTimings) {
     let temp = if obs::enabled() {
         None
     } else {
         Some(obs::Collector::new())
     };
     let _g = temp.as_ref().map(obs::Collector::install);
-    let (bytes, stats, root) = render_impl(schedule, options, prep);
+    let (bytes, stats, root) = render_impl(src, options);
     let col = obs::current().expect("a collector is installed for a timed render");
     let timings = RenderTimings::from_report(&col.report(), root, stats);
     (bytes, timings)
@@ -105,18 +110,14 @@ fn render_timed_impl(
 /// The single render pipeline. Returns the output bytes, the layout
 /// stage counters, and the id of the `render` root span (when a
 /// collector is installed).
-fn render_impl(
-    schedule: &Schedule,
-    options: &RenderOptions,
-    prep: Option<&PreparedSchedule>,
-) -> (Vec<u8>, SceneStats, Option<u32>) {
+fn render_impl(src: RenderSrc<'_>, options: &RenderOptions) -> (Vec<u8>, SceneStats, Option<u32>) {
     let root = obs::span("render");
     let root_id = root.id();
     let scene = {
         let _s = obs::span("render.layout");
-        match prep {
-            Some(p) => layout_prepared(p, options),
-            None => layout(schedule, options),
+        match src {
+            RenderSrc::Prep(p) => layout_prepared(p, options),
+            RenderSrc::Cold(s) => layout(s, options),
         }
     };
     let stats = scene.stats;

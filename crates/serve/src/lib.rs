@@ -65,8 +65,14 @@ pub struct ServeConfig {
     pub root: PathBuf,
     /// Render worker threads (0 = one per core, at least 4).
     pub workers: usize,
-    /// Maximum cached rendered bodies / prepared schedules (LRU).
+    /// Maximum cached prepared schedules (LRU). Also the default for
+    /// the rendered-body cache when `body_cache_cap` is unset.
     pub cache_cap: usize,
+    /// Maximum cached rendered bodies (LRU); `None` follows
+    /// `cache_cap`. Bodies and prepared schedules have very different
+    /// footprints (an encoded PNG vs. a fully indexed million-task
+    /// trace), so deployments can size the two independently.
+    pub body_cache_cap: Option<usize>,
     /// Maximum cached figure shards in the tile cache (LRU). Sized in
     /// *tiles*, not figures — a window series cycling more views than
     /// `cache_cap` bodies stays warm here.
@@ -82,6 +88,7 @@ impl Default for ServeConfig {
             root: PathBuf::from("."),
             workers: 0,
             cache_cap: 64,
+            body_cache_cap: None,
             tile_cache_cap: 1024,
             trace_keep: 32,
         }
@@ -159,7 +166,7 @@ impl Server {
                 registry,
                 traces: TraceRing::new(config.trace_keep),
                 prepared: LruCache::new(config.cache_cap),
-                bodies: LruCache::new(config.cache_cap),
+                bodies: LruCache::new(config.body_cache_cap.unwrap_or(config.cache_cap)),
                 tiles: TileStore::new(config.tile_cache_cap),
                 digests: LruCache::new(config.cache_cap.max(64)),
                 next_id: Arc::new(AtomicU64::new(0)),
@@ -349,6 +356,10 @@ fn describe_metrics(r: &Registry) {
     r.describe(
         "jedule_prepared_cache_misses_total",
         "Render requests that ingested and prepared a schedule",
+    );
+    r.describe(
+        "jedule_pack_sidecar_total",
+        "Prepared-cache misses that probed a .jpack sidecar, by result",
     );
     r.describe(
         "jedule_tile_cache_hits_total",
@@ -665,6 +676,40 @@ fn digest_for(state: &State, path: &Path) -> Result<(u64, Option<String>), Respo
     Ok((digest, Some(src)))
 }
 
+/// Probes the input's `.jpack` sidecar on a prepared-cache miss.
+/// `Some` only for a well-formed pack whose stored source digest
+/// matches the current content digest. A stale sidecar (the input
+/// changed since it was packed) is skipped silently; a corrupt one is
+/// skipped too — the server only ever *reads* sidecars, so rebuilding
+/// is the operator's move (`jedule pack`). Every outcome is counted.
+fn load_pack_sidecar(
+    state: &State,
+    path: &Path,
+    digest: u64,
+) -> Option<jedule_core::snap::PackedSchedule> {
+    let sidecar = jedule_core::snap::sidecar_path(path);
+    if !sidecar.exists() {
+        return None;
+    }
+    let (result, packed) = match jedule_core::snap::load_if_fresh(&sidecar, digest) {
+        Ok(Some(p)) => ("hit", Some(p)),
+        Ok(None) => ("stale", None),
+        Err(_) => ("error", None),
+    };
+    state
+        .registry
+        .counter_add("jedule_pack_sidecar_total", &[("result", result)], 1);
+    obs::count(
+        match result {
+            "hit" => "serve.pack_sidecar_hit",
+            "stale" => "serve.pack_sidecar_stale",
+            _ => "serve.pack_sidecar_error",
+        },
+        1,
+    );
+    packed
+}
+
 fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
     let bad = |msg: String| Response::text(400, msg + "\n");
     let file = req
@@ -726,19 +771,31 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
             state
                 .registry
                 .counter_add("jedule_prepared_cache_misses_total", &[], 1);
-            let src = match src.take() {
-                Some(s) => s,
+            // A fresh `.jpack` sidecar beats the text cold path: the
+            // content digest just computed is exactly what the pack
+            // header stores, so a digest match maps the snapshot
+            // instead of parsing + preparing the text.
+            match load_pack_sidecar(state, &path, digest) {
+                Some(packed) => state
+                    .prepared
+                    .insert(digest, Arc::new(PreparedSchedule::from_pack(packed))),
                 None => {
-                    let _s = obs::span("serve.read");
-                    std::fs::read_to_string(&path)
-                        .map_err(|e| Response::text(404, format!("{}: {e}\n", path.display())))?
+                    let src = match src.take() {
+                        Some(s) => s,
+                        None => {
+                            let _s = obs::span("serve.read");
+                            std::fs::read_to_string(&path).map_err(|e| {
+                                Response::text(404, format!("{}: {e}\n", path.display()))
+                            })?
+                        }
+                    };
+                    let schedule = ingest::parse_schedule(&src, &path)
+                        .map_err(|e| Response::text(400, e + "\n"))?;
+                    state
+                        .prepared
+                        .insert(digest, Arc::new(PreparedSchedule::new(schedule)))
                 }
-            };
-            let schedule =
-                ingest::parse_schedule(&src, &path).map_err(|e| Response::text(400, e + "\n"))?;
-            state
-                .prepared
-                .insert(digest, Arc::new(PreparedSchedule::new(schedule)))
+            }
         }
     };
 

@@ -27,16 +27,24 @@ fn temp_root(tag: &str) -> (PathBuf, String) {
 }
 
 fn start(tag: &str) -> (ServerHandle, PathBuf, String) {
+    start_with(tag, |_| {})
+}
+
+/// Like [`start`], with a hook to adjust the config (cache caps) or the
+/// root (drop a `.jpack` sidecar next to the input) before binding.
+fn start_with(tag: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (ServerHandle, PathBuf, String) {
     let (root, csv) = temp_root(tag);
-    let server = Server::bind(ServeConfig {
+    let mut config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         root: root.clone(),
         workers: 4,
         cache_cap: 16,
+        body_cache_cap: None,
         tile_cache_cap: 256,
         trace_keep: 8,
-    })
-    .unwrap();
+    };
+    tweak(&mut config);
+    let server = Server::bind(config).unwrap();
     (server.spawn(), root, csv)
 }
 
@@ -405,6 +413,110 @@ fn tile_counters_partition_lookups_exactly() {
     let lookups = reg.counter_total("jedule_tile_lookups_total");
     assert_eq!(hits + misses, lookups, "hit/miss partitions tile lookups");
     assert!(misses >= 4, "each distinct window shards at least once");
+    server.shutdown().unwrap();
+}
+
+/// Packs the served input exactly as `jedule pack` would — the prepared
+/// form of the parsed schedule, stamped with the digest of `stamp` (pass
+/// the real input bytes for a fresh sidecar, anything else for a stale
+/// one).
+fn write_sidecar(root: &std::path::Path, csv: &str, stamp: &[u8]) {
+    use jedule_core::snap;
+    let input = root.join("sched.csv");
+    let schedule = jedule_serve::ingest::parse_schedule(csv, &input).unwrap();
+    let prep = jedule_core::PreparedSchedule::new(schedule);
+    snap::write_pack_file(
+        &prep,
+        snap::source_digest(stamp),
+        &snap::sidecar_path(&input),
+    )
+    .unwrap();
+}
+
+/// The cold-render reference bytes for the canonical options.
+fn cold_reference(root: &std::path::Path, csv: &str) -> Vec<u8> {
+    let schedule = jedule_serve::ingest::parse_schedule(csv, &root.join("sched.csv")).unwrap();
+    let (opts, _key) = render_options_from_params(None, None, None, None).unwrap();
+    jedule_render::render(&schedule, &opts)
+}
+
+#[test]
+fn fresh_sidecar_serves_the_cold_first_request() {
+    let (server, root, csv) = start("sidecar_fresh");
+    write_sidecar(&root, &csv, csv.as_bytes());
+    let first = get(server.addr(), "/render?file=sched.csv");
+    assert_eq!(first.status, 200);
+    assert_eq!(
+        first.body,
+        cold_reference(&root, &csv),
+        "pack-served bytes must equal a cold text render"
+    );
+    let reg = server.registry();
+    assert_eq!(
+        reg.counter_value("jedule_pack_sidecar_total", &[("result", "hit")]),
+        1
+    );
+    // The second request hits the prepared cache — no second probe.
+    assert_eq!(get(server.addr(), "/render?file=sched.csv").status, 200);
+    assert_eq!(reg.counter_total("jedule_pack_sidecar_total"), 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn stale_sidecar_is_silently_ignored() {
+    let (server, root, csv) = start("sidecar_stale");
+    write_sidecar(&root, &csv, b"bytes of an older revision");
+    let first = get(server.addr(), "/render?file=sched.csv");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body, cold_reference(&root, &csv));
+    let reg = server.registry();
+    assert_eq!(
+        reg.counter_value("jedule_pack_sidecar_total", &[("result", "stale")]),
+        1
+    );
+    assert_eq!(
+        reg.counter_value("jedule_pack_sidecar_total", &[("result", "hit")]),
+        0
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn corrupt_sidecar_is_skipped_with_an_error_count() {
+    let (server, root, csv) = start("sidecar_corrupt");
+    std::fs::write(root.join("sched.csv.jpack"), b"JEDPACK1 but not really").unwrap();
+    let first = get(server.addr(), "/render?file=sched.csv");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body, cold_reference(&root, &csv));
+    let reg = server.registry();
+    assert_eq!(
+        reg.counter_value("jedule_pack_sidecar_total", &[("result", "error")]),
+        1
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn body_cache_cap_sizes_the_body_cache_independently() {
+    let (server, _root, _csv) = start_with("bodycap", |c| c.body_cache_cap = Some(1));
+    let addr = server.addr();
+    // Two distinct render keys alternating through a one-slot body
+    // cache evict each other every time; the prepared schedule (cap 16)
+    // is parsed exactly once.
+    for _ in 0..2 {
+        assert_eq!(get(addr, "/render?file=sched.csv").status, 200);
+        assert_eq!(get(addr, "/render?file=sched.csv&window=0:4").status, 200);
+    }
+    let reg = server.registry();
+    assert_eq!(reg.counter_value("jedule_render_cache_hits_total", &[]), 0);
+    assert_eq!(
+        reg.counter_value("jedule_render_cache_misses_total", &[]),
+        4
+    );
+    assert_eq!(
+        reg.counter_value("jedule_prepared_cache_misses_total", &[]),
+        1
+    );
     server.shutdown().unwrap();
 }
 

@@ -15,6 +15,7 @@ use crate::error::IoError;
 use jedule_core::{effective_threads, line_chunks, obs, Schedule, ScheduleBuilder, Task};
 
 /// One parsed line of a line-oriented schedule document.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Record {
     Cluster { id: u32, name: String, hosts: u32 },
     Meta { key: String, value: String },

@@ -17,6 +17,13 @@
 # criterion medians — in particular `soa_layout_1m_speedup`
 # (= layout_only_auto / layout_prepared_auto at 1M tasks), the columnar
 # storage gate, alongside the LOD and window-culling ratios.
+# When the ingest or snapshot path changes, also re-run
+#   cargo bench -p jedule-bench --bench pack_load
+# and recompute BENCH_ingest.json's `jpack_load_1m_speedup`
+# (= pack_cold/swf_parse_prepare / pack_cold/jpack_load at 1M tasks),
+# the mmap-snapshot cold-load gate. BENCH_serve.json is rewritten
+# whole by `cargo bench -p jedule-bench --bench serve_load`, including
+# its `sidecar_cold_first_request_speedup` row.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
