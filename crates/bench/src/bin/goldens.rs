@@ -42,6 +42,11 @@ fn figures() -> Vec<(&'static str, Vec<u8>)> {
     out.push(("fig13_birdseye.svg", render(&day, &opts)));
     opts.format = OutputFormat::Png;
     out.push(("fig13_birdseye.png", render(&day, &opts)));
+    // The same figure as a self-contained interactive explorer page: a
+    // digest drift here means the embedded SVG, the meta JSON, or the
+    // explorer template itself changed.
+    opts.format = OutputFormat::Html;
+    out.push(("fig13_birdseye.html", render(&day, &opts)));
 
     // Compare chart (Fig. 4): CPA vs MCPA merged into stacked panels,
     // the same path `jedule compare` takes.
@@ -51,6 +56,8 @@ fn figures() -> Vec<(&'static str, Vec<u8>)> {
     let mut copts = fig::fig4_options("golden: cpa vs mcpa");
     copts.threads = 1;
     out.push(("fig4_compare.svg", render_prepared(&combined, &copts)));
+    copts.format = OutputFormat::Html;
+    out.push(("fig4_compare.html", render_prepared(&combined, &copts)));
 
     // LOD-auto window render: a seeded saturated trace, zoomed to the
     // first 10% of its extent.

@@ -37,7 +37,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let registry = server.registry();
     signal::install_term_handler(server.shutdown_flag());
     eprintln!(
-        "jedule serve: listening on http://{} — /healthz /render /metrics /debug/trace/<id>; \
+        "jedule serve: listening on http://{} — /healthz /render /explore /meta /metrics \
+         /debug/trace/<id>; \
          SIGTERM drains in-flight requests and exits",
         server.local_addr()
     );

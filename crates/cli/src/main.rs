@@ -40,7 +40,9 @@ USAGE:
 
 RENDER OPTIONS:
     -o, --output <file>     output path (default: input + format ext)
-    -f, --format <fmt>      svg | png | jpeg | ppm | pdf | ascii (default svg)
+    -f, --format <fmt>      svg | png | jpeg | ppm | pdf | ascii | html
+                            (default svg; html emits one self-contained
+                            interactive explorer page, no external assets)
     -W, --width <px>        canvas width (default 800)
     -H, --height <px>       canvas height (default: auto)
     -c, --cmap <file>       color map XML (default: standard map)
@@ -86,6 +88,9 @@ SERVE OPTIONS:
     -j, --threads <n>       worker threads (0 = auto)
         --metrics-json <file|->  after SIGTERM drain, flush cumulative
                             registry metrics (jedule-metrics-v1)
+    endpoints: /render (figure), /explore (interactive explorer shell;
+    &tile=1 fetches window/LOD tiles), /meta (schedule JSON), /metrics,
+    /healthz, /debug/trace/<id>
 
 OBSERVABILITY (render, compare, view):
         --timings           print the hierarchical span tree to stderr

@@ -82,6 +82,12 @@ fn help_prints_usage() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("render"));
     assert!(text.contains("interactive"));
+    assert!(text.contains("html"), "help must list the html format");
+    assert!(
+        text.contains("/explore"),
+        "help must list the explorer endpoint"
+    );
+    assert!(text.contains("/meta"), "help must list the meta endpoint");
 }
 
 #[test]
@@ -125,6 +131,44 @@ fn render_produces_each_format() {
         let bytes = std::fs::read(&out_path).expect("output written");
         assert!(bytes.starts_with(magic), "{fmt} magic mismatch");
     }
+}
+
+#[test]
+fn render_html_is_one_self_contained_file() {
+    let dir = tmp();
+    let input = demo_schedule(&dir);
+    let out_path = dir.join("demo_out.html");
+    let out = jedule(&[
+        "render",
+        input.to_str().unwrap(),
+        "-f",
+        "html",
+        "-o",
+        out_path.to_str().unwrap(),
+        "--title",
+        "demo explorer",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let page = std::fs::read_to_string(&out_path).expect("output written");
+    assert!(page.starts_with("<!DOCTYPE html>") || page.starts_with("<!doctype html>"));
+    assert!(page.contains("demo explorer"));
+    assert!(page.contains("<svg xmlns="), "the SVG scene is inlined");
+    // Single-file discipline: no external fetches besides the SVG
+    // namespace declaration, no leftover template placeholders.
+    for line in page.lines() {
+        let l = line.replace("xmlns=\"http://www.w3.org/2000/svg\"", "");
+        assert!(
+            !l.contains("http://") && !l.contains("https://"),
+            "external URL: {line}"
+        );
+        assert!(!l.contains("src="), "external asset: {line}");
+        assert!(!l.contains("@import"), "external stylesheet: {line}");
+    }
+    assert!(!page.contains("__JEDULE_"));
 }
 
 #[test]

@@ -81,6 +81,137 @@ struct Panel {
     extent: Option<TimeExtent>,
 }
 
+/// The frame sizing a layout run and the HTML explorer both need: the
+/// canvas height, the shared row height, the header block height and the
+/// per-cluster panels with their y positions and drawn extents. One
+/// computation feeds both [`layout_impl`] and [`frame_geometry`], so the
+/// explorer's hit-testing can never drift from the drawn pixels.
+struct FrameSizes {
+    header_h: f64,
+    height: f64,
+    panels: Vec<Panel>,
+}
+
+fn frame_sizes(src: Src<'_>, opts: &RenderOptions) -> FrameSizes {
+    let visible: Vec<&Cluster> = src
+        .clusters()
+        .iter()
+        .filter(|c| opts.cluster.is_none_or(|id| id == c.id))
+        .collect();
+    let total_rows: u32 = visible.iter().map(|c| c.hosts).sum();
+
+    // Header sizing.
+    let meta_lines = if opts.show_meta { src.meta().len() } else { 0 };
+    let header_h = TOP_PAD
+        + if opts.title.is_some() { TITLE_H } else { 0.0 }
+        + meta_lines as f64 * META_LINE_H;
+
+    // Vertical sizing.
+    let n_panels = visible.len().max(1) as f64;
+    let profile_h = if opts.show_profile { PROFILE_H } else { 0.0 };
+    let chrome = header_h + n_panels * (PANEL_GAP + AXIS_H) + LEGEND_H + profile_h;
+    let row_h = match opts.height {
+        Some(h) => ((h - chrome) / f64::from(total_rows.max(1))).max(1.0),
+        None => auto_row_height(total_rows),
+    };
+    let height = opts
+        .height
+        .unwrap_or(chrome + row_h * f64::from(total_rows.max(1)));
+
+    // Panels.
+    let mut y = header_h;
+    let mut panels: Vec<Panel> = Vec::with_capacity(visible.len());
+    for c in &visible {
+        y += PANEL_GAP;
+        let mut extent = match src {
+            Src::Prep(p) => p.extent_for(c.id, opts.align),
+            Src::Cold(s) => extent_for(s, c.id, opts.align),
+        };
+        if let Some((t0, t1)) = opts.time_window {
+            if t1 > t0 {
+                extent = Some(TimeExtent::new(t0, t1));
+            }
+        }
+        panels.push(Panel {
+            cluster: (*c).clone(),
+            y,
+            row_h,
+            extent,
+        });
+        y += row_h * f64::from(c.hosts) + AXIS_H;
+    }
+    FrameSizes {
+        header_h,
+        height,
+        panels,
+    }
+}
+
+/// One cluster panel's plot rectangle and domain mapping, in scene
+/// pixels. `x..x+w` spans `t0..t1` linearly and each of the `hosts` lanes
+/// is `row_h` tall starting at `y` — exactly the mapping
+/// [`layout`] draws with, exported so the HTML explorer can convert a
+/// mouse position back into `(time, cluster, host)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelGeom {
+    pub cluster: u32,
+    pub name: String,
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+    pub row_h: f64,
+    pub hosts: u32,
+    /// The drawn time extent (the `time_window` when one is set); `None`
+    /// when the cluster has no tasks and no window forces an axis.
+    pub extent: Option<(f64, f64)>,
+}
+
+/// Whole-figure geometry for a schedule under given options: canvas size
+/// plus one [`PanelGeom`] per visible cluster panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameGeom {
+    pub width: f64,
+    pub height: f64,
+    pub panels: Vec<PanelGeom>,
+}
+
+/// Computes the figure geometry [`layout`] would draw for `opts`, without
+/// building a scene.
+pub fn frame_geometry(schedule: &Schedule, opts: &RenderOptions) -> FrameGeom {
+    frame_geom_impl(Src::Cold(schedule), opts)
+}
+
+/// [`frame_geometry`] served from a [`PreparedSchedule`].
+pub fn frame_geometry_prepared(prep: &PreparedSchedule, opts: &RenderOptions) -> FrameGeom {
+    frame_geom_impl(Src::Prep(prep), opts)
+}
+
+fn frame_geom_impl(src: Src<'_>, opts: &RenderOptions) -> FrameGeom {
+    let sizes = frame_sizes(src, opts);
+    let plot_x = LEFT_MARGIN;
+    let plot_w = (opts.width - LEFT_MARGIN - RIGHT_MARGIN).max(10.0);
+    FrameGeom {
+        width: opts.width,
+        height: sizes.height,
+        panels: sizes
+            .panels
+            .into_iter()
+            .map(|p| PanelGeom {
+                cluster: p.cluster.id,
+                name: p.cluster.name.clone(),
+                x: plot_x,
+                y: p.y,
+                w: plot_w,
+                h: p.row_h * f64::from(p.cluster.hosts),
+                row_h: p.row_h,
+                hosts: p.cluster.hosts,
+                extent: p.extent.map(|e| (e.start, e.end)),
+            })
+            .collect(),
+    }
+}
+
 /// Per-render task-classification table derived from a
 /// [`PreparedSchedule`]: the cached kind list resolved against this
 /// render's color map once, plus the per-task kind slots. Turns per-task
@@ -181,30 +312,11 @@ pub fn layout_prepared_scratch(
 
 fn layout_impl(src: Src<'_>, opts: &RenderOptions, scratch: &mut LayoutScratch) -> Scene {
     let prep = src.prep();
-    let visible: Vec<&Cluster> = src
-        .clusters()
-        .iter()
-        .filter(|c| opts.cluster.is_none_or(|id| id == c.id))
-        .collect();
-    let total_rows: u32 = visible.iter().map(|c| c.hosts).sum();
-
-    // Header sizing.
-    let meta_lines = if opts.show_meta { src.meta().len() } else { 0 };
-    let header_h = TOP_PAD
-        + if opts.title.is_some() { TITLE_H } else { 0.0 }
-        + meta_lines as f64 * META_LINE_H;
-
-    // Vertical sizing.
-    let n_panels = visible.len().max(1) as f64;
-    let profile_h = if opts.show_profile { PROFILE_H } else { 0.0 };
-    let chrome = header_h + n_panels * (PANEL_GAP + AXIS_H) + LEGEND_H + profile_h;
-    let row_h = match opts.height {
-        Some(h) => ((h - chrome) / f64::from(total_rows.max(1))).max(1.0),
-        None => auto_row_height(total_rows),
-    };
-    let height = opts
-        .height
-        .unwrap_or(chrome + row_h * f64::from(total_rows.max(1)));
+    let FrameSizes {
+        header_h,
+        height,
+        panels,
+    } = frame_sizes(src, opts);
     let mut scene = Scene::new(opts.width, height);
 
     let plot_x = LEFT_MARGIN;
@@ -237,27 +349,10 @@ fn layout_impl(src: Src<'_>, opts: &RenderOptions, scratch: &mut LayoutScratch) 
         }
     }
 
-    // Panels.
-    let mut panels: Vec<Panel> = Vec::new();
-    for c in &visible {
-        y += PANEL_GAP;
-        let mut extent = match src {
-            Src::Prep(p) => p.extent_for(c.id, opts.align),
-            Src::Cold(s) => extent_for(s, c.id, opts.align),
-        };
-        if let Some((t0, t1)) = opts.time_window {
-            if t1 > t0 {
-                extent = Some(TimeExtent::new(t0, t1));
-            }
-        }
-        panels.push(Panel {
-            cluster: (*c).clone(),
-            y,
-            row_h,
-            extent,
-        });
-        y += row_h * f64::from(c.hosts) + AXIS_H;
-    }
+    // The bottom edge of the panel stack, where the profile strip goes.
+    let y = panels.last().map_or(header_h, |p| {
+        p.y + p.row_h * f64::from(p.cluster.hosts) + AXIS_H
+    });
 
     // One interval index serves both the composite sweep and window
     // culling; it is skipped entirely when neither needs it. A prepared

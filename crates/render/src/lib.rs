@@ -24,6 +24,7 @@ pub mod ascii;
 pub mod dagviz;
 pub mod deflate;
 pub mod font;
+pub mod html;
 pub mod jpeg;
 pub mod layout;
 pub mod options;
@@ -38,7 +39,10 @@ pub mod ticks;
 pub mod tile;
 
 pub use dagviz::{dag_scene, dag_to_svg, DagVizOptions};
-pub use layout::{layout, layout_prepared, layout_prepared_scratch, LayoutScratch};
+pub use layout::{
+    frame_geometry, frame_geometry_prepared, layout, layout_prepared, layout_prepared_scratch,
+    FrameGeom, LayoutScratch, PanelGeom,
+};
 pub use options::{LodMode, OutputFormat, RenderOptions};
 pub use perf::RenderTimings;
 pub use scene::{Anchor, LinePrim, PrimKind, PrimRef, RectPrim, Scene, SceneStats, TextPrim};
@@ -160,6 +164,17 @@ fn render_impl(src: RenderSrc<'_>, options: &RenderOptions) -> (Vec<u8>, SceneSt
         OutputFormat::Ascii => {
             let _s = encode();
             ascii::to_ascii(&scene, true).into_bytes()
+        }
+        OutputFormat::Html => {
+            // The explorer embeds task data (tooltips, hit testing), so a
+            // prepared source materializes its schedule here — html is an
+            // export format, not a tile-store hot path.
+            let _s = encode();
+            let page = match src {
+                RenderSrc::Cold(s) => html::to_html(s, &scene, options),
+                RenderSrc::Prep(p) => html::to_html(p.schedule(), &scene, options),
+            };
+            page.into_bytes()
         }
     };
     if root_id.is_some() {

@@ -20,6 +20,10 @@ pub enum OutputFormat {
     Ppm,
     Pdf,
     Ascii,
+    /// One self-contained interactive explorer page: the SVG scene inlined
+    /// into an HTML shell with embedded CSS and vanilla JS (tooltips,
+    /// wheel/drag zoom-pan, cluster focus) — zero external references.
+    Html,
 }
 
 impl OutputFormat {
@@ -32,6 +36,7 @@ impl OutputFormat {
             "ppm" => Some(OutputFormat::Ppm),
             "pdf" => Some(OutputFormat::Pdf),
             "ascii" | "ansi" | "txt" => Some(OutputFormat::Ascii),
+            "html" | "htm" => Some(OutputFormat::Html),
             _ => None,
         }
     }
@@ -44,6 +49,7 @@ impl OutputFormat {
             OutputFormat::Ppm => "ppm",
             OutputFormat::Pdf => "pdf",
             OutputFormat::Ascii => "txt",
+            OutputFormat::Html => "html",
         }
     }
 }
@@ -241,6 +247,8 @@ mod tests {
         assert_eq!(OutputFormat::parse("ansi"), Some(OutputFormat::Ascii));
         assert_eq!(OutputFormat::parse("jpeg"), Some(OutputFormat::Jpeg));
         assert_eq!(OutputFormat::parse("JPG"), Some(OutputFormat::Jpeg));
+        assert_eq!(OutputFormat::parse("html"), Some(OutputFormat::Html));
+        assert_eq!(OutputFormat::parse("HTM"), Some(OutputFormat::Html));
         assert_eq!(OutputFormat::parse("bmp"), None);
     }
 
@@ -263,5 +271,6 @@ mod tests {
     fn extensions() {
         assert_eq!(OutputFormat::Png.extension(), "png");
         assert_eq!(OutputFormat::Ascii.extension(), "txt");
+        assert_eq!(OutputFormat::Html.extension(), "html");
     }
 }

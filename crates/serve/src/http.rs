@@ -162,21 +162,31 @@ pub fn parse_head(head: &[u8]) -> Result<Request, String> {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let query = raw_query
-        .split('&')
+    Ok(Request {
+        method,
+        path: decode_path(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        keep_alive,
+    })
+}
+
+/// Parses a raw query string (`a=1&b=x%20y&flag`) into decoded
+/// key/value pairs in order of appearance.
+///
+/// This is the ONLY query parser in the service — every endpoint
+/// (`/render`, `/explore`, `/meta`, …) sees parameters through
+/// [`Request::param`] on this output, so the query-vs-path decoding
+/// split (`+`→space applies to queries only) is decided exactly once
+/// and a new endpoint cannot re-introduce the old path-decoding bug.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
         .filter(|kv| !kv.is_empty())
         .map(|kv| match kv.split_once('=') {
             Some((k, v)) => (decode_query(k), decode_query(v)),
             None => (decode_query(kv), String::new()),
         })
-        .collect();
-    Ok(Request {
-        method,
-        path: decode_path(raw_path),
-        query,
-        headers,
-        keep_alive,
-    })
+        .collect()
 }
 
 /// Reads one request head from a blocking stream (the non-epoll
@@ -382,6 +392,38 @@ mod tests {
         // Truncated escape at end-of-string is literal even with one
         // hex digit following.
         assert_eq!(decode_query("ok%4"), "ok%4");
+    }
+
+    #[test]
+    fn parse_query_edge_cases_centrally() {
+        // The one shared parser every endpoint goes through: `+` is a
+        // space in values AND keys, %-escapes decode, malformed escapes
+        // pass through, valueless and empty segments behave.
+        assert_eq!(
+            parse_query("file=a+b.jed&fmt=svg"),
+            vec![
+                ("file".into(), "a b.jed".into()),
+                ("fmt".into(), "svg".into())
+            ]
+        );
+        assert_eq!(
+            parse_query("a+key=v%20w"),
+            vec![("a key".into(), "v w".into())]
+        );
+        assert_eq!(
+            parse_query("window=0%3A5"),
+            vec![("window".into(), "0:5".into())]
+        );
+        assert_eq!(parse_query("pct=100%"), vec![("pct".into(), "100%".into())]);
+        assert_eq!(parse_query("bad=%zz"), vec![("bad".into(), "%zz".into())]);
+        assert_eq!(parse_query("flag"), vec![("flag".into(), String::new())]);
+        assert_eq!(parse_query(""), Vec::<(String, String)>::new());
+        assert_eq!(parse_query("&&a=1&"), vec![("a".into(), "1".into())]);
+        // Duplicate keys are preserved in order (param() takes the first).
+        assert_eq!(
+            parse_query("x=1&x=2"),
+            vec![("x".into(), "1".into()), ("x".into(), "2".into())]
+        );
     }
 
     #[test]

@@ -411,6 +411,8 @@ fn route_label(path: &str) -> &'static str {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         "/render" => "/render",
+        "/explore" => "/explore",
+        "/meta" => "/meta",
         "/" => "/",
         p if p.starts_with("/debug/trace/") => "/debug/trace",
         _ => "other",
@@ -464,6 +466,11 @@ jedule serve — render service
   GET /render?file=F&fmt=svg|png       render a schedule under the root
         [&window=t0:t1][&lod=auto|off|force][&width=px]
         responses carry an ETag; revalidate with If-None-Match for 304
+  GET /explore?file=F[&width=px]       interactive HTML explorer shell
+        with &tile=1 (+ the /render params): one window/LOD SVG tile,
+        byte-identical to /render for the same parameters
+  GET /meta?file=F[&width=px]          figure metadata JSON (extents,
+        clusters/hosts, task count, kinds) the explorer boots from
   GET /metrics                         Prometheus text exposition
   GET /debug/trace/<request-id>        Chrome trace JSON of a recent request
 
@@ -479,6 +486,14 @@ fn route(state: &State, req: &Request) -> Response {
         "/healthz" => Response::text(200, "ok\n"),
         "/metrics" => handle_metrics(state),
         "/render" => match handle_render(state, req) {
+            Ok(resp) => resp,
+            Err(resp) => resp,
+        },
+        "/explore" => match handle_explore(state, req) {
+            Ok(resp) => resp,
+            Err(resp) => resp,
+        },
+        "/meta" => match handle_meta(state, req) {
             Ok(resp) => resp,
             Err(resp) => resp,
         },
@@ -546,6 +561,21 @@ fn handle_trace(state: &State, id: &str) -> Response {
     }
 }
 
+/// Parses and bounds a `width` query parameter (shared by `/render`,
+/// `/explore` and `/meta`, so every endpoint accepts the same range).
+fn parse_width(width: Option<&str>) -> Result<f64, String> {
+    let width: f64 = match width {
+        None => 800.0,
+        Some(w) => w
+            .parse()
+            .map_err(|_| format!("width: cannot parse {w:?}"))?,
+    };
+    if !(64.0..=8192.0).contains(&width) {
+        return Err(format!("width {width} outside 64..=8192"));
+    }
+    Ok(width)
+}
+
 /// The parsed, canonicalized render parameters: the options to render
 /// with plus the canonical cache-key string they serialize to.
 pub fn render_options_from_params(
@@ -561,15 +591,7 @@ pub fn render_options_from_params(
         "png" => OutputFormat::Png,
         other => return Err(format!("fmt must be svg or png, got {other:?}")),
     };
-    let width: f64 = match width {
-        None => 800.0,
-        Some(w) => w
-            .parse()
-            .map_err(|_| format!("width: cannot parse {w:?}"))?,
-    };
-    if !(64.0..=8192.0).contains(&width) {
-        return Err(format!("width {width} outside 64..=8192"));
-    }
+    let width = parse_width(width)?;
     let time_window = match window {
         None => None,
         Some(w) => {
@@ -710,26 +732,76 @@ fn load_pack_sidecar(
     packed
 }
 
-fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
-    let bad = |msg: String| Response::text(400, msg + "\n");
-    let file = req
-        .param("file")
-        .ok_or_else(|| bad("render needs ?file=<path under the serve root>".to_string()))?;
-    let path = resolve_under_root(&state.root, file).map_err(|e| Response::text(404, e + "\n"))?;
-    let (opts, opt_key) = render_options_from_params(
-        req.param("fmt"),
-        req.param("width"),
-        req.param("window"),
-        req.param("lod"),
-    )
-    .map_err(bad)?;
+/// The prepared bundle for an input: prepared-cache hit, fresh `.jpack`
+/// sidecar, or cold text ingest — the one acquisition path every
+/// figure- or metadata-producing endpoint shares. `src` carries the
+/// source text when the digest validation already read the file.
+fn prepared_for(
+    state: &State,
+    path: &Path,
+    digest: u64,
+    mut src: Option<String>,
+) -> Result<Arc<PreparedSchedule>, Response> {
+    match state.prepared.get(&digest) {
+        Some(p) => {
+            state
+                .registry
+                .counter_add("jedule_prepared_cache_hits_total", &[], 1);
+            Ok(p)
+        }
+        None => {
+            state
+                .registry
+                .counter_add("jedule_prepared_cache_misses_total", &[], 1);
+            // A fresh `.jpack` sidecar beats the text cold path: the
+            // content digest just computed is exactly what the pack
+            // header stores, so a digest match maps the snapshot
+            // instead of parsing + preparing the text.
+            match load_pack_sidecar(state, path, digest) {
+                Some(packed) => Ok(state
+                    .prepared
+                    .insert(digest, Arc::new(PreparedSchedule::from_pack(packed)))),
+                None => {
+                    let src = match src.take() {
+                        Some(s) => s,
+                        None => {
+                            let _s = obs::span("serve.read");
+                            std::fs::read_to_string(path).map_err(|e| {
+                                Response::text(404, format!("{}: {e}\n", path.display()))
+                            })?
+                        }
+                    };
+                    let schedule = ingest::parse_schedule(&src, path)
+                        .map_err(|e| Response::text(400, e + "\n"))?;
+                    Ok(state
+                        .prepared
+                        .insert(digest, Arc::new(PreparedSchedule::new(schedule))))
+                }
+            }
+        }
+    }
+}
+
+/// The one figure pipeline behind `/render` and `/explore?tile=1`:
+/// digest → ETag revalidation → body cache → prepared schedule → tile
+/// assembly. Both endpoints call exactly this with the same canonical
+/// option key, so a tile fetched by the explorer is byte-identical to
+/// the `/render` response for the same (fmt, width, window, lod) — and
+/// warms the same caches.
+fn figure_response(
+    state: &State,
+    req: &Request,
+    path: &Path,
+    opts: &jedule_render::RenderOptions,
+    opt_key: &str,
+) -> Result<Response, Response> {
     let content_type: &'static str = match opts.format {
         jedule_render::OutputFormat::Png => "image/png",
         _ => "image/svg+xml",
     };
 
-    let (digest, mut src) = digest_for(state, &path)?;
-    let etag = etag_for(digest, &opt_key);
+    let (digest, src) = digest_for(state, path)?;
+    let etag = etag_for(digest, opt_key);
 
     // Revalidation first: a matching ETag needs no body, no cache
     // lookup, not even a file read (the digest cache is stat-validated)
@@ -744,8 +816,123 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
     }
 
     // Exactly one of hits/misses per 200 render — the pair partitions
-    // jedule_http_requests_total{route="/render",status="200"} minus
-    // revalidations, even when concurrent misses race on the same key.
+    // the figure-producing 200 responses minus revalidations, even when
+    // concurrent misses race on the same key.
+    if let Some(body) = state.bodies.get(&(digest, opt_key.to_string())) {
+        state
+            .registry
+            .counter_add("jedule_render_cache_hits_total", &[], 1);
+        obs::count("serve.body_cache_hit", 1);
+        return Ok(
+            Response::shared(200, body.content_type, Arc::clone(&body.bytes)).with_etag(etag),
+        );
+    }
+    state
+        .registry
+        .counter_add("jedule_render_cache_misses_total", &[], 1);
+    obs::count("serve.body_cache_miss", 1);
+
+    let prepared = prepared_for(state, path, digest, src)?;
+
+    // Body-cache miss ⇒ assemble from tiles. Warm shards skip layout
+    // (SVG: pure concatenation; PNG: concatenate pixels + sequential
+    // encode); only missing shards touch the scene, which is laid out
+    // at most once, lazily.
+    let (bytes, ct) = {
+        let _s = obs::span("serve.render");
+        state
+            .tiles
+            .render(&state.registry, digest, opts, opt_key, &mut |scratch| {
+                let _s = obs::span("render.layout");
+                jedule_render::layout_prepared_scratch(&prepared, opts, scratch)
+            })
+    };
+    obs::count("serve.bytes_rendered", bytes.len() as u64);
+    let bytes = Arc::new(bytes);
+    state.bodies.insert(
+        (digest, opt_key.to_string()),
+        Arc::new(Body {
+            bytes: Arc::clone(&bytes),
+            content_type: ct,
+        }),
+    );
+    Ok(Response::shared(200, ct, bytes).with_etag(etag))
+}
+
+/// Extracts the required `file` parameter and resolves it under the
+/// serve root (shared by every figure endpoint).
+fn resolve_file_param<'a>(
+    state: &State,
+    req: &'a Request,
+    what: &str,
+) -> Result<(&'a str, PathBuf), Response> {
+    let file = req.param("file").ok_or_else(|| {
+        Response::text(
+            400,
+            format!("{what} needs ?file=<path under the serve root>\n"),
+        )
+    })?;
+    let path = resolve_under_root(&state.root, file).map_err(|e| Response::text(404, e + "\n"))?;
+    Ok((file, path))
+}
+
+fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
+    let (_, path) = resolve_file_param(state, req, "render")?;
+    let (opts, opt_key) = render_options_from_params(
+        req.param("fmt"),
+        req.param("width"),
+        req.param("window"),
+        req.param("lod"),
+    )
+    .map_err(|msg| Response::text(400, msg + "\n"))?;
+    figure_response(state, req, &path, &opts, &opt_key)
+}
+
+/// `/explore?file=F[&width=px]` — the interactive explorer. Without
+/// `tile`, responds with the shared HTML shell (same template as
+/// `--fmt html`, serve boot mode); with `&tile=1` plus the `/render`
+/// parameters it is a figure fetch through [`figure_response`] — same
+/// caches, same ETags, byte-identical bodies.
+fn handle_explore(state: &State, req: &Request) -> Result<Response, Response> {
+    let (file, path) = resolve_file_param(state, req, "explore")?;
+    if req.param("tile").is_some() {
+        let (opts, opt_key) = render_options_from_params(
+            req.param("fmt"),
+            req.param("width"),
+            req.param("window"),
+            req.param("lod"),
+        )
+        .map_err(|msg| Response::text(400, msg + "\n"))?;
+        return figure_response(state, req, &path, &opts, &opt_key);
+    }
+    let width = parse_width(req.param("width")).map_err(|msg| Response::text(400, msg + "\n"))?;
+    let shell = jedule_render::html::explore_shell(file, width);
+    Ok(Response::bytes(
+        200,
+        "text/html; charset=utf-8",
+        shell.into_bytes(),
+    ))
+}
+
+/// `/meta?file=F[&width=px]` — the figure-metadata JSON the explorer
+/// shell boots from: canvas + panel geometry at `width`, clusters,
+/// extents, task count, kind legend, and (small schedules) the task
+/// list for tooltips. Flows through the same digest/ETag/body-cache
+/// stack as figures, keyed `meta;w=<width>`.
+fn handle_meta(state: &State, req: &Request) -> Result<Response, Response> {
+    let (_, path) = resolve_file_param(state, req, "meta")?;
+    let width = parse_width(req.param("width")).map_err(|msg| Response::text(400, msg + "\n"))?;
+    let opt_key = format!("meta;w={width}");
+
+    let (digest, src) = digest_for(state, &path)?;
+    let etag = etag_for(digest, &opt_key);
+    if req.if_none_match(&etag) {
+        state
+            .registry
+            .counter_add("jedule_render_not_modified_total", &[], 1);
+        obs::count("serve.not_modified", 1);
+        return Ok(Response::not_modified("application/json", etag));
+    }
     if let Some(body) = state.bodies.get(&(digest, opt_key.clone())) {
         state
             .registry
@@ -760,68 +947,25 @@ fn handle_render(state: &State, req: &Request) -> Result<Response, Response> {
         .counter_add("jedule_render_cache_misses_total", &[], 1);
     obs::count("serve.body_cache_miss", 1);
 
-    let prepared = match state.prepared.get(&digest) {
-        Some(p) => {
-            state
-                .registry
-                .counter_add("jedule_prepared_cache_hits_total", &[], 1);
-            p
-        }
-        None => {
-            state
-                .registry
-                .counter_add("jedule_prepared_cache_misses_total", &[], 1);
-            // A fresh `.jpack` sidecar beats the text cold path: the
-            // content digest just computed is exactly what the pack
-            // header stores, so a digest match maps the snapshot
-            // instead of parsing + preparing the text.
-            match load_pack_sidecar(state, &path, digest) {
-                Some(packed) => state
-                    .prepared
-                    .insert(digest, Arc::new(PreparedSchedule::from_pack(packed))),
-                None => {
-                    let src = match src.take() {
-                        Some(s) => s,
-                        None => {
-                            let _s = obs::span("serve.read");
-                            std::fs::read_to_string(&path).map_err(|e| {
-                                Response::text(404, format!("{}: {e}\n", path.display()))
-                            })?
-                        }
-                    };
-                    let schedule = ingest::parse_schedule(&src, &path)
-                        .map_err(|e| Response::text(400, e + "\n"))?;
-                    state
-                        .prepared
-                        .insert(digest, Arc::new(PreparedSchedule::new(schedule)))
-                }
-            }
-        }
+    let prepared = prepared_for(state, &path, digest, src)?;
+    let opts = jedule_render::RenderOptions {
+        width,
+        threads: 1,
+        ..jedule_render::RenderOptions::default()
     };
-
-    // Body-cache miss ⇒ assemble from tiles. Warm shards skip layout
-    // (SVG: pure concatenation; PNG: concatenate pixels + sequential
-    // encode); only missing shards touch the scene, which is laid out
-    // at most once, lazily.
-    let (bytes, ct) = {
-        let _s = obs::span("serve.render");
-        state
-            .tiles
-            .render(&state.registry, digest, &opts, &opt_key, &mut |scratch| {
-                let _s = obs::span("render.layout");
-                jedule_render::layout_prepared_scratch(&prepared, &opts, scratch)
-            })
+    let json = {
+        let _s = obs::span("serve.meta_encode");
+        jedule_render::html::meta_json_prepared(&prepared, &opts)
     };
-    obs::count("serve.bytes_rendered", bytes.len() as u64);
-    let bytes = Arc::new(bytes);
+    let bytes = Arc::new(json.into_bytes());
     state.bodies.insert(
         (digest, opt_key),
         Arc::new(Body {
             bytes: Arc::clone(&bytes),
-            content_type: ct,
+            content_type: "application/json",
         }),
     );
-    Ok(Response::shared(200, ct, bytes).with_etag(etag))
+    Ok(Response::shared(200, "application/json", bytes).with_etag(etag))
 }
 
 #[cfg(test)]

@@ -537,3 +537,113 @@ fn shutdown_is_graceful_and_final() {
         .unwrap_or(false);
     assert!(!alive, "server must stop answering after shutdown");
 }
+
+#[test]
+fn explore_shell_and_meta_endpoints() {
+    let (server, _root, _csv) = start("explore");
+    let addr = server.addr();
+
+    // The shell is a single self-contained HTML page that knows its file.
+    let shell = get(addr, "/explore?file=sched.csv");
+    assert_eq!(shell.status, 200);
+    assert!(shell
+        .header("Content-Type")
+        .unwrap()
+        .starts_with("text/html"));
+    let page = String::from_utf8(shell.body).unwrap();
+    assert!(page.contains("\"mode\":\"serve\""));
+    assert!(page.contains("sched.csv"));
+    assert!(!page.contains("__JEDULE_"), "unfilled placeholder");
+    assert!(
+        !page.contains("src="),
+        "shell must not load external assets"
+    );
+
+    // /meta returns the jedule-meta-v1 document with a validator.
+    let meta = get(addr, "/meta?file=sched.csv&width=640");
+    assert_eq!(meta.status, 200);
+    assert_eq!(meta.header("Content-Type"), Some("application/json"));
+    let etag = meta.header("ETag").expect("meta carries ETag").to_string();
+    let json = String::from_utf8(meta.body).unwrap();
+    assert!(json.contains("\"schema\":\"jedule-meta-v1\""));
+    assert!(json.contains("\"taskCount\":3"));
+    assert!(json.contains("\"panels\""));
+    assert!(json.contains("\"kinds\""));
+
+    // Revalidation works exactly like /render.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /meta?file=sched.csv&width=640 HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    assert_eq!(read_framed(&mut stream).status, 304);
+
+    // Errors mirror /render semantics.
+    assert_eq!(get(addr, "/explore").status, 400);
+    assert_eq!(get(addr, "/meta").status, 400);
+    assert_eq!(get(addr, "/meta?file=missing.csv").status, 404);
+    assert_eq!(get(addr, "/explore?file=../../etc/passwd").status, 404);
+    assert_eq!(get(addr, "/meta?file=sched.csv&width=1").status, 400);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn explore_tiles_are_byte_identical_to_render() {
+    let (server, _root, _csv) = start("exploretile");
+    let addr = server.addr();
+    for params in [
+        "file=sched.csv&fmt=svg&width=640",
+        "file=sched.csv&fmt=svg&width=640&window=0:4",
+        "file=sched.csv&fmt=svg&width=640&lod=force",
+    ] {
+        let direct = get(addr, &format!("/render?{params}"));
+        let tile = get(addr, &format!("/explore?{params}&tile=1"));
+        assert_eq!(direct.status, 200);
+        assert_eq!(tile.status, 200);
+        assert_eq!(
+            tile.body, direct.body,
+            "tile bytes must match /render for {params}"
+        );
+        assert_eq!(
+            tile.header("ETag"),
+            direct.header("ETag"),
+            "tile validator must match /render for {params}"
+        );
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn explore_pan_sequence_hits_the_tile_store() {
+    // A one-slot body cache forces the A→B→A pan sequence to re-render
+    // window A, which must be served (at least partly) from the tile
+    // store rather than rasterized from scratch.
+    let (server, _root, _csv) = start_with("explorepan", |c| c.body_cache_cap = Some(1));
+    let addr = server.addr();
+    let win_a = "/explore?file=sched.csv&tile=1&fmt=svg&width=640&window=0:4";
+    let win_b = "/explore?file=sched.csv&tile=1&fmt=svg&width=640&window=2:6";
+    let first = get(addr, win_a);
+    assert_eq!(first.status, 200);
+    let etag_a = first.header("ETag").unwrap().to_string();
+    assert_eq!(get(addr, win_b).status, 200);
+    let reg = server.registry();
+    let hits_before = reg.counter_total("jedule_tile_cache_hits_total");
+    assert_eq!(get(addr, win_a).status, 200);
+    let hits_after = reg.counter_total("jedule_tile_cache_hits_total");
+    assert!(
+        hits_after > hits_before,
+        "panning back must reuse cached tiles ({hits_before} → {hits_after})"
+    );
+
+    // The second visit to window A revalidates instead of re-downloading.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {win_a} HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag_a}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    assert_eq!(read_framed(&mut stream).status, 304);
+    assert!(reg.counter_value("jedule_render_not_modified_total", &[]) >= 1);
+    server.shutdown().unwrap();
+}

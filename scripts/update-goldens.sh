@@ -5,7 +5,11 @@
 # Run this after an intended visual change, then LOOK at the rendered
 # artifacts in target/goldens/ before committing the new digests — the
 # digests only prove the bytes changed, your eyes prove the change is
-# the one you meant to make.
+# the one you meant to make. The set includes .html explorer pages
+# (fig13_birdseye.html, fig4_compare.html): their digests move whenever
+# the embedded SVG, the meta JSON, or the explorer template
+# (crates/render/src/explorer.html) changes — open the artifact in a
+# browser to eyeball template edits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

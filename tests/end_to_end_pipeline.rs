@@ -33,6 +33,7 @@ fn xml_roundtrip_then_render_all_backends() {
         OutputFormat::Ppm,
         OutputFormat::Pdf,
         OutputFormat::Ascii,
+        OutputFormat::Html,
     ] {
         let opts = RenderOptions::default().with_format(format);
         let bytes = render(&back, &opts);
@@ -63,6 +64,11 @@ fn xml_roundtrip_then_render_all_backends() {
             }
             OutputFormat::Ascii => {
                 assert!(String::from_utf8(bytes).unwrap().contains('\n'));
+            }
+            OutputFormat::Html => {
+                let page = String::from_utf8(bytes).unwrap();
+                assert!(page.contains("<svg"), "explorer embeds the SVG scene");
+                assert!(!page.contains("__JEDULE_"), "placeholders all filled");
             }
         }
     }
