@@ -144,6 +144,7 @@ fn start_server(jobs: usize, cache_cap: usize, tile_cache_cap: usize) -> (Server
         body_cache_cap: None,
         tile_cache_cap,
         trace_keep: 4,
+        ..ServeConfig::default()
     })
     .expect("bind bench server")
     .spawn();
@@ -304,6 +305,7 @@ fn main() {
         body_cache_cap: None,
         tile_cache_cap: 1_024,
         trace_keep: 4,
+        ..ServeConfig::default()
     })
     .expect("bind sidecar server")
     .spawn();

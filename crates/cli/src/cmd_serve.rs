@@ -22,6 +22,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "--body-cache-cap" => config.body_cache_cap = Some(args.parse(a)?),
             "--tile-cache-cap" => config.tile_cache_cap = args.parse(a)?,
             "--trace-keep" => config.trace_keep = args.parse(a)?,
+            "--access-log" => config.access_log = Some(args.value(a)?.to_string()),
+            "--access-log-keep" => config.access_log_keep = args.parse(a)?,
+            "--slow-ms" => config.slow_ms = Some(args.parse(a)?),
             "-j" | "--threads" => config.workers = args.parse(a)?,
             "--metrics-json" => metrics_out = Some(args.value(a)?.to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
@@ -38,7 +41,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     signal::install_term_handler(server.shutdown_flag());
     eprintln!(
         "jedule serve: listening on http://{} — /healthz /render /explore /meta /metrics \
-         /debug/trace/<id>; \
+         /metrics.json /debug/dash /debug/log /debug/trace/<id>; \
          SIGTERM drains in-flight requests and exits",
         server.local_addr()
     );

@@ -85,12 +85,19 @@ SERVE OPTIONS:
                             views, LRU (default 1024, 0 disables)
         --trace-keep <n>    request traces retained for
                             /debug/trace/<id> (default 32)
+        --access-log <file|->  stream one JSONL record per request
+                            (append; `-` for stdout)
+        --access-log-keep <n>  in-memory access records served by
+                            /debug/log (default 512)
+        --slow-ms <n>       pin traces of requests slower than <n> ms so
+                            fast-request churn cannot evict them
     -j, --threads <n>       worker threads (0 = auto)
         --metrics-json <file|->  after SIGTERM drain, flush cumulative
                             registry metrics (jedule-metrics-v1)
     endpoints: /render (figure), /explore (interactive explorer shell;
     &tile=1 fetches window/LOD tiles), /meta (schedule JSON), /metrics,
-    /healthz, /debug/trace/<id>
+    /metrics.json, /healthz, /debug/dash (live dashboard),
+    /debug/log?n=&status=&path= (access-log tail), /debug/trace/<id>
 
 OBSERVABILITY (render, compare, view):
         --timings           print the hierarchical span tree to stderr

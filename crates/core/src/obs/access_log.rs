@@ -1,0 +1,275 @@
+//! A bounded in-memory access log for resident services.
+//!
+//! The trace ring in `jedule-serve` keeps whole span trees, which is
+//! the right shape for "why was request 4711 slow?" but too heavy to
+//! retain for every request a busy server answers. [`AccessLog`] keeps
+//! the complement: one small structured [`AccessRecord`] per request —
+//! method, path, canonical option key, status, cache disposition, and
+//! the per-stage micros distilled from the span tree — in a bounded
+//! ring that the `/debug/log` endpoint can tail and `--access-log` can
+//! stream as JSONL.
+//!
+//! # Ring design
+//!
+//! Writers never contend on a global lock. A single atomic cursor
+//! hands out monotonically increasing sequence numbers; each sequence
+//! maps to `seq % capacity`, and the writer touches only that slot's
+//! own lock to store `(seq, Arc<AccessRecord>)`. Two writers can only
+//! collide on a slot when the log has wrapped a full capacity between
+//! them, in which case the older record was due for eviction anyway —
+//! the slot's sequence number decides, newest wins. Readers snapshot
+//! slot-by-slot without stopping writers, so a `tail()` taken during a
+//! burst is a consistent *set* of recent records (each record is
+//! immutable behind its `Arc`) even though it is not a point-in-time
+//! freeze of the whole ring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One finished request, distilled for the access log. Everything is
+/// plain data — the record is built once when the request completes
+/// and shared read-only (`Arc`) between the ring, `/debug/log`, and
+/// the `--access-log` stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessRecord {
+    /// Request id — the same id `X-Jedule-Request-Id` echoes and
+    /// `/debug/trace/<id>` resolves.
+    pub id: u64,
+    /// Milliseconds since the Unix epoch at completion time.
+    pub unix_ms: u64,
+    /// HTTP method.
+    pub method: String,
+    /// Decoded request path (no query string).
+    pub path: String,
+    /// Canonical render option key (`fmt=..;w=..;…`), or empty for
+    /// endpoints that do not render.
+    pub opt_key: String,
+    /// Response status code.
+    pub status: u16,
+    /// Cache disposition: `hit`, `miss`, `tile`, `revalidated`,
+    /// `error`, or `none` for non-figure endpoints.
+    pub disposition: String,
+    /// Total request duration in microseconds.
+    pub dur_us: f64,
+    /// Response body length in bytes.
+    pub bytes: u64,
+    /// Per-stage wall micros summed by span name, sorted by name.
+    pub stages_us: Vec<(String, f64)>,
+    /// Whether the request crossed the `--slow-ms` threshold (its full
+    /// span tree is then pinned in the trace ring).
+    pub slow: bool,
+}
+
+impl AccessRecord {
+    /// One JSONL line (no trailing newline): stable key order, stage
+    /// names escaped, micros rounded to 0.1 µs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(160 + self.stages_us.len() * 32);
+        out.push_str("{\"id\":");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", self.id));
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"ts_ms\":{}", self.unix_ms));
+        out.push_str(",\"method\":");
+        super::json_string(&self.method, &mut out);
+        out.push_str(",\"path\":");
+        super::json_string(&self.path, &mut out);
+        if !self.opt_key.is_empty() {
+            out.push_str(",\"opt\":");
+            super::json_string(&self.opt_key, &mut out);
+        }
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"status\":{}", self.status));
+        out.push_str(",\"cache\":");
+        super::json_string(&self.disposition, &mut out);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(",\"dur_us\":{:.1},\"bytes\":{}", self.dur_us, self.bytes),
+        );
+        if self.slow {
+            out.push_str(",\"slow\":true");
+        }
+        out.push_str(",\"stages_us\":{");
+        for (i, (name, us)) in self.stages_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            super::json_string(name, &mut out);
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!(":{us:.1}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// One ring slot: the sequence number that last claimed it plus the
+/// record stored there. Slots lock individually so writers to
+/// different slots never serialize on each other.
+type Slot = Mutex<Option<(u64, Arc<AccessRecord>)>>;
+
+/// A bounded multi-writer access-record ring. Cloning shares the ring.
+#[derive(Clone)]
+pub struct AccessLog {
+    inner: Arc<AccessLogInner>,
+}
+
+struct AccessLogInner {
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl AccessLog {
+    /// A ring retaining the most recent `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> AccessLog {
+        let capacity = capacity.max(1);
+        AccessLog {
+            inner: Arc::new(AccessLogInner {
+                head: AtomicU64::new(0),
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            }),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Total records ever pushed (not the retained count).
+    pub fn pushed(&self) -> u64 {
+        self.inner.head.load(Ordering::Acquire)
+    }
+
+    /// Appends a record, evicting the oldest once the ring is full.
+    /// Returns the record's sequence number (0-based push order).
+    pub fn push(&self, record: AccessRecord) -> u64 {
+        let seq = self.inner.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.inner.slots[(seq % self.inner.slots.len() as u64) as usize];
+        let mut s = slot.lock().unwrap();
+        // A slower writer must not clobber a faster one that already
+        // lapped it: the slot belongs to the highest sequence number.
+        if s.as_ref().is_none_or(|(old, _)| *old < seq) {
+            *s = Some((seq, Arc::new(record)));
+        }
+        seq
+    }
+
+    /// The most recent records, newest first, optionally filtered by
+    /// exact status and/or path substring, capped at `n`.
+    pub fn tail(
+        &self,
+        n: usize,
+        status: Option<u16>,
+        path_contains: Option<&str>,
+    ) -> Vec<Arc<AccessRecord>> {
+        let mut all: Vec<(u64, Arc<AccessRecord>)> = Vec::with_capacity(self.inner.slots.len());
+        for slot in &self.inner.slots {
+            if let Some((seq, rec)) = slot.lock().unwrap().as_ref() {
+                all.push((*seq, Arc::clone(rec)));
+            }
+        }
+        all.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+        all.into_iter()
+            .map(|(_, r)| r)
+            .filter(|r| status.is_none_or(|s| r.status == s))
+            .filter(|r| path_contains.is_none_or(|p| r.path.contains(p)))
+            .take(n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, status: u16, path: &str) -> AccessRecord {
+        AccessRecord {
+            id,
+            unix_ms: 1_700_000_000_000 + id,
+            method: "GET".into(),
+            path: path.into(),
+            opt_key: String::new(),
+            status,
+            disposition: "none".into(),
+            dur_us: 12.5,
+            bytes: 100,
+            stages_us: vec![],
+            slow: false,
+        }
+    }
+
+    #[test]
+    fn push_and_tail_newest_first() {
+        let log = AccessLog::new(8);
+        for i in 0..5 {
+            log.push(rec(i, 200, "/render"));
+        }
+        let t = log.tail(3, None, None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].id, 4);
+        assert_eq!(t[1].id, 3);
+        assert_eq!(t[2].id, 2);
+        assert_eq!(log.pushed(), 5);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let log = AccessLog::new(4);
+        for i in 0..10 {
+            log.push(rec(i, 200, "/"));
+        }
+        let t = log.tail(100, None, None);
+        let ids: Vec<u64> = t.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn tail_filters_by_status_and_path() {
+        let log = AccessLog::new(16);
+        log.push(rec(1, 200, "/render"));
+        log.push(rec(2, 404, "/render"));
+        log.push(rec(3, 200, "/metrics"));
+        let by_status = log.tail(10, Some(404), None);
+        assert_eq!(by_status.len(), 1);
+        assert_eq!(by_status[0].id, 2);
+        let by_path = log.tail(10, None, Some("render"));
+        assert_eq!(by_path.len(), 2);
+        let both = log.tail(10, Some(200), Some("metrics"));
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].id, 3);
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let mut r = rec(7, 404, "/render\"x");
+        r.opt_key = "fmt=svg;w=800".into();
+        r.disposition = "error".into();
+        r.slow = true;
+        r.stages_us = vec![("serve.route".into(), 41.25)];
+        let line = r.to_jsonl();
+        assert!(line.starts_with("{\"id\":7,"));
+        assert!(line.contains("\"path\":\"/render\\\"x\""));
+        assert!(line.contains("\"opt\":\"fmt=svg;w=800\""));
+        assert!(line.contains("\"status\":404"));
+        assert!(line.contains("\"cache\":\"error\""));
+        assert!(line.contains("\"slow\":true"));
+        assert!(line.contains("\"stages_us\":{\"serve.route\":41.2"));
+        assert!(line.ends_with("}}"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_omits_empty_opt_and_false_slow() {
+        let line = rec(1, 200, "/healthz").to_jsonl();
+        assert!(!line.contains("\"opt\""));
+        assert!(!line.contains("\"slow\""));
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let log = AccessLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.push(rec(1, 200, "/"));
+        log.push(rec(2, 200, "/"));
+        let t = log.tail(10, None, None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].id, 2);
+    }
+}

@@ -31,8 +31,10 @@
 //! `jedule-metrics-v1` schema the CI gate diffs against checked-in
 //! baselines; [`ObsReport::tree_report`] is the human `--timings` view.
 
+pub mod access_log;
 pub mod registry;
 
+pub use access_log::{AccessLog, AccessRecord};
 pub use registry::{HistogramSnapshot, Registry, DEFAULT_LATENCY_BUCKETS_S};
 
 use std::cell::RefCell;

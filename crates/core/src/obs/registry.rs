@@ -294,6 +294,89 @@ impl Registry {
         out
     }
 
+    /// The same snapshot `render_prometheus` encodes, as key-sorted
+    /// JSON — the `/metrics.json` payload a browser dashboard can poll
+    /// without a Prometheus text parser. Keys are exactly the
+    /// Prometheus series identifiers (sanitized name plus the same
+    /// `{label="value"}` rendering), so the two expositions agree
+    /// key-for-key: every counter/gauge sample line in the text format
+    /// appears as one key here, and every histogram family+label-set
+    /// appears once with its bounds, cumulative bucket counts, sum and
+    /// count (the `+Inf` bucket is implied by `count`).
+    pub fn render_json(&self) -> String {
+        let t = self.inner.lock().unwrap();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, series) in &t.counters {
+            for (labels, v) in series {
+                counters.insert(
+                    format!("{}{}", sanitize_name(name), fmt_labels(labels, None)),
+                    *v,
+                );
+            }
+        }
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        for (name, series) in &t.gauges {
+            for (labels, v) in series {
+                gauges.insert(
+                    format!("{}{}", sanitize_name(name), fmt_labels(labels, None)),
+                    *v,
+                );
+            }
+        }
+        let mut hists: BTreeMap<String, &Hist> = BTreeMap::new();
+        for (name, series) in &t.histograms {
+            for (labels, h) in series {
+                hists.insert(
+                    format!("{}{}", sanitize_name(name), fmt_labels(labels, None)),
+                    h,
+                );
+            }
+        }
+        let mut out = String::from("{\"schema\":\"jedule-registry-v1\",\"counters\":{");
+        for (i, (key, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            super::json_string(key, &mut out);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (key, v)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            super::json_string(key, &mut out);
+            out.push(':');
+            out.push_str(&json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (key, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            super::json_string(key, &mut out);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_f64(*b));
+            }
+            out.push_str("],\"cumulative\":[");
+            let mut acc = 0u64;
+            for (j, c) in h.counts[..h.bounds.len()].iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                acc += c;
+                let _ = write!(out, "{acc}");
+            }
+            let _ = write!(out, "],\"sum\":{},\"count\":{}}}", json_f64(h.sum), h.count);
+        }
+        out.push_str("}}\n");
+        out
+    }
+
     /// The registry as flat `jedule-metrics-v1` JSON — the same schema
     /// `--metrics-json` and the CI perf gate use, so a serve shutdown
     /// flush diffs with the same tooling. Histogram series become
@@ -410,6 +493,16 @@ fn fmt_labels(labels: &Labels, le: Option<&str>) -> String {
         parts.push(format!("le=\"{le}\""));
     }
     format!("{{{}}}", parts.join(","))
+}
+
+/// JSON-safe float formatting: shortest round-trip decimal for finite
+/// values, `null` for anything JSON cannot represent.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Prometheus sample-value formatting: shortest round-trip decimal,
@@ -625,6 +718,174 @@ mod tests {
         }
         assert_eq!(series_seen, 3, "three histogram series exported");
         assert!(pending_inf.is_none(), "every +Inf row found its _count");
+    }
+
+    /// `/metrics.json` must agree key-for-key with the text
+    /// exposition: every counter/gauge sample line maps to one JSON
+    /// key, every histogram family+labels appears once, and nothing
+    /// extra exists on either side.
+    #[test]
+    fn render_json_agrees_with_prometheus_text() {
+        let r = Registry::new();
+        r.counter_add(
+            "jedule_http_requests_total",
+            &[("route", "/render"), ("status", "200")],
+            3,
+        );
+        r.counter_add(
+            "jedule_http_requests_total",
+            &[("route", "/metrics"), ("status", "200")],
+            1,
+        );
+        r.gauge_set("jedule_inflight", &[], 2.0);
+        r.gauge_set("jedule_connections", &[("state", "reading")], 4.0);
+        r.observe(
+            "jedule_request_duration_seconds",
+            &[("route", "/render")],
+            0.012,
+        );
+        r.observe_with("jedule_queue_depth", &[], &[1.0, 4.0, 16.0], 2.0);
+        let json = r.render_json();
+        let text = r.render_prometheus();
+
+        // Collect series identifiers from the text exposition.
+        let mut text_counters = std::collections::BTreeSet::new();
+        let mut text_gauges = std::collections::BTreeSet::new();
+        let mut text_hists = std::collections::BTreeSet::new();
+        let mut kind = "";
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                kind = rest.split(' ').nth(1).unwrap();
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let series = line.rsplit_once(' ').unwrap().0;
+            match kind {
+                "counter" => {
+                    text_counters.insert(series.to_string());
+                }
+                "gauge" => {
+                    text_gauges.insert(series.to_string());
+                }
+                "histogram" => {
+                    // Reduce `name_sum{labels}` to the family identity;
+                    // skip _bucket/_count, _sum alone covers each series.
+                    if let Some((name, labels)) = series.split_once('{') {
+                        if let Some(fam) = name.strip_suffix("_sum") {
+                            text_hists.insert(format!("{fam}{{{labels}"));
+                        }
+                    } else if let Some(fam) = series.strip_suffix("_sum") {
+                        text_hists.insert(fam.to_string());
+                    }
+                }
+                _ => panic!("unknown TYPE {kind}"),
+            }
+        }
+
+        // Collect keys from the JSON (keys are JSON-escaped Prometheus
+        // series identifiers: unescape \" and \\).
+        let keys_in = |section: &str| -> std::collections::BTreeSet<String> {
+            let start = json.find(&format!("\"{section}\":{{")).unwrap() + section.len() + 4;
+            let mut depth = 1;
+            let mut end = start;
+            let bytes = json.as_bytes();
+            let mut in_str = false;
+            let mut esc = false;
+            while depth > 0 {
+                let c = bytes[end] as char;
+                if esc {
+                    esc = false;
+                } else if in_str {
+                    match c {
+                        '\\' => esc = true,
+                        '"' => in_str = false,
+                        _ => {}
+                    }
+                } else {
+                    match c {
+                        '"' => in_str = true,
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                end += 1;
+            }
+            let body = &json[start..end - 1];
+            // Top-level keys: a quoted string followed by ':' at depth 0.
+            let mut keys = std::collections::BTreeSet::new();
+            let b = body.as_bytes();
+            let mut i = 0;
+            let mut d = 0;
+            while i < b.len() {
+                match b[i] as char {
+                    '{' | '[' => {
+                        d += 1;
+                        i += 1;
+                    }
+                    '}' | ']' => {
+                        d -= 1;
+                        i += 1;
+                    }
+                    '"' if d == 0 => {
+                        let mut j = i + 1;
+                        let mut s = String::new();
+                        loop {
+                            match b[j] as char {
+                                '\\' => {
+                                    s.push(b[j + 1] as char);
+                                    j += 2;
+                                }
+                                '"' => break,
+                                c => {
+                                    s.push(c);
+                                    j += 1;
+                                }
+                            }
+                        }
+                        keys.insert(s);
+                        // Skip past the value: advance to next ',' at d==0
+                        // handled by the outer loop.
+                        i = j + 1;
+                    }
+                    '"' => {
+                        // A string inside a nested value; skip it whole.
+                        let mut j = i + 1;
+                        while (b[j] as char) != '"' {
+                            j += if (b[j] as char) == '\\' { 2 } else { 1 };
+                        }
+                        i = j + 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            keys
+        };
+        assert_eq!(keys_in("counters"), text_counters);
+        assert_eq!(keys_in("gauges"), text_gauges);
+        assert_eq!(keys_in("histograms"), text_hists);
+        // Keys inside each section are emitted sorted.
+        let c = keys_in("counters");
+        let mut sorted: Vec<_> = c.iter().cloned().collect();
+        sorted.sort();
+        let order: Vec<_> = c.into_iter().collect();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn render_json_histogram_detail() {
+        let r = Registry::new();
+        for v in [0.5, 1.5, 9.0] {
+            r.observe_with("h", &[], &[1.0, 2.0], v);
+        }
+        let json = r.render_json();
+        assert!(json.contains("\"schema\":\"jedule-registry-v1\""));
+        assert!(
+            json.contains("\"h\":{\"bounds\":[1,2],\"cumulative\":[1,2],\"sum\":11,\"count\":3}"),
+            "{json}"
+        );
     }
 
     #[test]

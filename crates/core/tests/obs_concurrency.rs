@@ -1,0 +1,142 @@
+//! Hammer tests for the process-lifetime observability primitives:
+//! `obs::Registry` under concurrent writers (histogram `_count` /
+//! `_bucket` / `+Inf` invariants must hold for any interleaving) and
+//! the `obs::AccessLog` ring (push order is the sequence order; no
+//! record is lost while the ring is below capacity).
+
+use jedule_core::obs::{AccessLog, AccessRecord, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn rec(id: u64) -> AccessRecord {
+    AccessRecord {
+        id,
+        unix_ms: 0,
+        method: "GET".into(),
+        path: format!("/render/{}", id % 7),
+        opt_key: String::new(),
+        status: 200,
+        disposition: "hit".into(),
+        dur_us: 1.0,
+        bytes: 1,
+        stages_us: vec![],
+        slow: false,
+    }
+}
+
+#[test]
+fn registry_histograms_stay_consistent_under_concurrent_writers() {
+    let r = Registry::new();
+    let threads = 8;
+    let per_thread = 500;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let r = r.clone();
+            thread::spawn(move || {
+                for i in 0..per_thread {
+                    // Mix of values across, on, and beyond the bounds.
+                    let v = (t * per_thread + i) as f64 * 0.001;
+                    r.observe_with("hammer_seconds", &[("w", "x")], &[0.5, 1.0, 2.0], v);
+                    r.counter_add("hammer_total", &[("w", "x")], 1);
+                    r.gauge_add("hammer_gauge", &[], 1.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let n = (threads * per_thread) as u64;
+    let s = r.histogram("hammer_seconds", &[("w", "x")]).unwrap();
+    // _count equals every observation made; no write was lost.
+    assert_eq!(s.count, n);
+    assert_eq!(r.counter_value("hammer_total", &[("w", "x")]), n);
+    assert_eq!(r.gauge_value("hammer_gauge", &[]), Some(n as f64));
+    // Buckets are cumulative and the implicit +Inf equals _count.
+    for w in s.cumulative.windows(2) {
+        assert!(w[0] <= w[1]);
+    }
+    assert!(*s.cumulative.last().unwrap() <= s.count);
+    // Exact bucket census: values are 0.000..3.999 in 0.001 steps, so
+    // le=0.5 holds 501 (0.0..=0.5), le=1.0 holds 1001, le=2.0 holds 2001.
+    assert_eq!(s.cumulative, vec![501, 1001, 2001]);
+    // The sum is the arithmetic series sum, within float tolerance.
+    let expected: f64 = (0..n).map(|i| i as f64 * 0.001).sum();
+    assert!((s.sum - expected).abs() < 1e-6 * expected.max(1.0));
+    // The rendered exposition of the hammered family still satisfies
+    // the grammar: +Inf row == _count row.
+    let text = r.render_prometheus();
+    assert!(text.contains(&format!("hammer_seconds_bucket{{w=\"x\",le=\"+Inf\"}} {n}")));
+    assert!(text.contains(&format!("hammer_seconds_count{{w=\"x\"}} {n}")));
+}
+
+#[test]
+fn access_log_keeps_every_record_below_capacity() {
+    let threads = 8;
+    let per_thread = 100;
+    let total = threads * per_thread;
+    let log = AccessLog::new(total); // never wraps
+    let next = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let log = log.clone();
+            let next = Arc::clone(&next);
+            thread::spawn(move || {
+                for _ in 0..per_thread {
+                    let id = next.fetch_add(1, Ordering::Relaxed);
+                    log.push(rec(id));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(log.pushed(), total as u64);
+    let t = log.tail(total * 2, None, None);
+    // No loss up to capacity: every pushed record is retained exactly
+    // once.
+    assert_eq!(t.len(), total);
+    let mut ids: Vec<u64> = t.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), total);
+    assert_eq!(ids[0], 0);
+    assert_eq!(ids[total - 1], total as u64 - 1);
+}
+
+#[test]
+fn access_log_tail_is_sequence_ordered_under_wrap_pressure() {
+    let threads = 4;
+    let per_thread = 400;
+    let log = AccessLog::new(64); // wraps many times
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let log = log.clone();
+            thread::spawn(move || {
+                for i in 0..per_thread {
+                    log.push(rec((t * per_thread + i) as u64));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(log.pushed(), (threads * per_thread) as u64);
+    // After the dust settles the ring holds exactly `capacity` records
+    // from the final lap, and tail() orders them newest-push first.
+    let t = log.tail(1000, None, None);
+    assert_eq!(t.len(), 64);
+    // Re-tail with a filter: subset of the unfiltered tail, order kept.
+    let filtered = log.tail(1000, None, Some("/render/3"));
+    assert!(filtered.iter().all(|r| r.path == "/render/3"));
+    let unfiltered_ids: Vec<u64> = t.iter().map(|r| r.id).collect();
+    let mut last_pos = 0;
+    for r in &filtered {
+        let pos = unfiltered_ids.iter().position(|&i| i == r.id).unwrap();
+        assert!(pos >= last_pos, "filtered tail must preserve order");
+        last_pos = pos;
+    }
+}

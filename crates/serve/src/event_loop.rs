@@ -25,17 +25,32 @@
 
 use crate::epoll::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::http::{self, RecvBuf, Request, Response};
+use jedule_core::obs::Registry;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Produces the response for one parsed request (the worker-side half;
 /// [`crate`] passes the routing/metrics/trace closure).
 pub type Handler = Arc<dyn Fn(u64, &Request) -> Response + Send + Sync>;
+
+/// The loop's telemetry sink. The loop and the workers poke gauges and
+/// histograms straight into the process [`Registry`], and loop-generated
+/// responses (head-parse 400s, oversize 400s, idle-sweep 408s) — which
+/// never reach the worker-side handler — are reported through
+/// `on_loop_response` so the serve layer can still count, access-log
+/// and trace-correlate them.
+#[derive(Clone)]
+pub struct LoopTelemetry {
+    /// Process-lifetime metrics registry.
+    pub registry: Registry,
+    /// `(request_id, status, detail)` for every loop-generated response.
+    pub on_loop_response: Arc<dyn Fn(u64, u16, &'static str) + Send + Sync>,
+}
 
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
@@ -47,11 +62,27 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
 /// epoll_wait tick; bounds shutdown-flag and idle-sweep latency.
 const TICK_MS: i32 = 250;
 
+/// Connection-census/queue-depth gauges refresh at most this often, so
+/// a hot loop does not pay an O(connections) walk per event batch.
+const CENSUS_EVERY: Duration = Duration::from_millis(100);
+
+/// Dispatch-path latency buckets: eventfd wake-to-dispatch and render
+/// queue wait sit in the tens of microseconds when healthy; what needs
+/// resolving is the tail when the queue backs up.
+const DISPATCH_BUCKETS_S: [f64; 10] = [
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5,
+];
+
+/// Keep-alive reuse-depth buckets (requests answered per connection).
+const REUSE_BUCKETS: [f64; 7] = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0];
+
 /// A parsed request on its way to a worker.
 struct Job {
     token: u64,
     request_id: u64,
     req: Request,
+    /// When the loop queued the job (render-queue wait telemetry).
+    enqueued: Instant,
 }
 
 /// A finished response on its way back to the loop.
@@ -60,6 +91,8 @@ struct Done {
     head: Vec<u8>,
     body: Arc<Vec<u8>>,
     keep_alive: bool,
+    /// When the worker signaled the eventfd (wake-to-dispatch latency).
+    finished: Instant,
 }
 
 /// A partially written response. `pos` indexes the virtual
@@ -115,6 +148,9 @@ struct Conn {
     /// parse error, or peer half-closed while we were busy).
     close_after: bool,
     last_activity: Instant,
+    /// Responses fully handed to this connection (keep-alive reuse
+    /// depth, observed into a histogram when the connection closes).
+    served: u64,
 }
 
 struct EventLoop {
@@ -123,6 +159,12 @@ struct EventLoop {
     job_tx: mpsc::Sender<Job>,
     next_id: Arc<AtomicU64>,
     next_token: u64,
+    telemetry: Option<LoopTelemetry>,
+    /// Jobs sent to the pool but not yet picked up by a worker.
+    queue_depth: Arc<AtomicI64>,
+    /// Workers currently inside the handler.
+    busy_workers: Arc<AtomicI64>,
+    last_census: Instant,
 }
 
 /// Runs the epoll server until `shutdown`, then drains. Blocks the
@@ -133,6 +175,7 @@ pub fn run(
     shutdown: Arc<AtomicBool>,
     next_id: Arc<AtomicU64>,
     handler: Handler,
+    telemetry: Option<LoopTelemetry>,
 ) -> Result<(), String> {
     let ep = Epoll::new().map_err(|e| format!("epoll_create1: {e}"))?;
     let wake = Arc::new(EventFd::new().map_err(|e| format!("eventfd: {e}"))?);
@@ -144,24 +187,49 @@ pub fn run(
     let (job_tx, job_rx) = mpsc::channel::<Job>();
     let job_rx = Arc::new(Mutex::new(job_rx));
     let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let queue_depth = Arc::new(AtomicI64::new(0));
+    let busy_workers = Arc::new(AtomicI64::new(0));
     let mut joins = Vec::with_capacity(workers);
     for _ in 0..workers.max(1) {
         let job_rx = Arc::clone(&job_rx);
         let done_tx = done_tx.clone();
         let wake = Arc::clone(&wake);
         let handler = Arc::clone(&handler);
+        let telemetry = telemetry.clone();
+        let queue_depth = Arc::clone(&queue_depth);
+        let busy_workers = Arc::clone(&busy_workers);
         joins.push(std::thread::spawn(move || loop {
             let job = match job_rx.lock().unwrap().recv() {
                 Ok(j) => j,
                 Err(_) => break, // sender dropped: drained, shut down
             };
+            queue_depth.fetch_sub(1, Ordering::AcqRel);
+            busy_workers.fetch_add(1, Ordering::AcqRel);
+            if let Some(t) = &telemetry {
+                t.registry.observe_with(
+                    "jedule_render_queue_wait_seconds",
+                    &[],
+                    &DISPATCH_BUCKETS_S,
+                    job.enqueued.elapsed().as_secs_f64(),
+                );
+            }
+            let job_start = Instant::now();
             let resp = handler(job.request_id, &job.req);
+            if let Some(t) = &telemetry {
+                t.registry.observe(
+                    "jedule_worker_job_seconds",
+                    &[],
+                    job_start.elapsed().as_secs_f64(),
+                );
+            }
+            busy_workers.fetch_sub(1, Ordering::AcqRel);
             let keep_alive = job.req.keep_alive;
             let done = Done {
                 token: job.token,
                 head: resp.encode_head(job.request_id, keep_alive),
                 body: resp.body,
                 keep_alive,
+                finished: Instant::now(),
             };
             if done_tx.send(done).is_err() {
                 break;
@@ -177,6 +245,10 @@ pub fn run(
         job_tx,
         next_id,
         next_token: FIRST_CONN_TOKEN,
+        telemetry,
+        queue_depth,
+        busy_workers,
+        last_census: Instant::now(),
     };
     let mut events = vec![EpollEvent { events: 0, data: 0 }; 256];
     let mut listener = Some(listener);
@@ -195,7 +267,7 @@ pub fn run(
                 .map(|(t, _)| *t)
                 .collect();
             for t in idle {
-                el.conns.remove(&t);
+                el.close_conn(t);
             }
             if el.conns.is_empty() {
                 break; // busy + writing all drained
@@ -230,6 +302,7 @@ pub fn run(
             el.on_done(done);
         }
         el.sweep_idle();
+        el.publish_census();
     }
 
     drop(el.job_tx);
@@ -240,6 +313,63 @@ pub fn run(
 }
 
 impl EventLoop {
+    /// Removes a connection, observing its keep-alive reuse depth on
+    /// the way out — the one funnel every close path goes through.
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if let Some(t) = &self.telemetry {
+                if conn.served > 0 {
+                    t.registry.observe_with(
+                        "jedule_connection_requests",
+                        &[],
+                        &REUSE_BUCKETS,
+                        conn.served as f64,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Publishes the connection-state census and queue-depth gauges,
+    /// rate-limited to [`CENSUS_EVERY`].
+    fn publish_census(&mut self) {
+        let Some(t) = &self.telemetry else { return };
+        if self.last_census.elapsed() < CENSUS_EVERY {
+            return;
+        }
+        self.last_census = Instant::now();
+        let (mut reading, mut busy, mut writing) = (0u64, 0u64, 0u64);
+        for c in self.conns.values() {
+            match c.phase {
+                Phase::Reading => reading += 1,
+                Phase::Busy => busy += 1,
+                Phase::Writing(_) => writing += 1,
+            }
+        }
+        let r = &t.registry;
+        r.gauge_set(
+            "jedule_connections",
+            &[("state", "reading")],
+            reading as f64,
+        );
+        r.gauge_set("jedule_connections", &[("state", "busy")], busy as f64);
+        r.gauge_set(
+            "jedule_connections",
+            &[("state", "writing")],
+            writing as f64,
+        );
+        r.gauge_set(
+            "jedule_render_queue_depth",
+            &[],
+            self.queue_depth.load(Ordering::Acquire).max(0) as f64,
+        );
+        r.gauge_set(
+            "jedule_busy_workers",
+            &[],
+            self.busy_workers.load(Ordering::Acquire).max(0) as f64,
+        );
+    }
+
     fn accept_ready(&mut self, listener: &TcpListener) {
         loop {
             match listener.accept() {
@@ -260,6 +390,10 @@ impl EventLoop {
                     {
                         continue;
                     }
+                    if let Some(t) = &self.telemetry {
+                        t.registry
+                            .counter_add("jedule_connections_accepted_total", &[], 1);
+                    }
                     self.conns.insert(
                         token,
                         Conn {
@@ -268,6 +402,7 @@ impl EventLoop {
                             phase: Phase::Reading,
                             close_after: false,
                             last_activity: Instant::now(),
+                            served: 0,
                         },
                     );
                 }
@@ -283,7 +418,7 @@ impl EventLoop {
             return; // closed earlier in this batch
         };
         if bits & (EPOLLERR | EPOLLHUP) != 0 {
-            self.conns.remove(&token);
+            self.close_conn(token);
             return;
         }
         conn.last_activity = Instant::now();
@@ -324,13 +459,13 @@ impl EventLoop {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
-                    self.conns.remove(&token);
+                    self.close_conn(token);
                     return;
                 }
             }
         }
         if peer_closed && self.conns.get(&token).map(|c| c.rb.is_empty()) == Some(true) {
-            self.conns.remove(&token); // clean close between requests
+            self.close_conn(token); // clean close between requests
             return;
         }
         self.next_request(token, peer_closed);
@@ -351,26 +486,33 @@ impl EventLoop {
                     // Only peer-close detection while a job is in
                     // flight; pipelined bytes stay queued in `rb`.
                     let _ = self.ep.modify(conn.stream.as_raw_fd(), token, EPOLLRDHUP);
+                    self.queue_depth.fetch_add(1, Ordering::AcqRel);
                     if self
                         .job_tx
                         .send(Job {
                             token,
                             request_id,
                             req,
+                            enqueued: Instant::now(),
                         })
                         .is_err()
                     {
-                        self.conns.remove(&token);
+                        self.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                        self.close_conn(token);
                     }
                 }
-                Err(e) => self.respond_inline(token, Response::text(400, e + "\n")),
+                Err(e) => self.respond_inline(token, Response::text(400, e + "\n"), "head-parse"),
             }
             return;
         }
         if conn.rb.over_cap() {
-            self.respond_inline(token, Response::text(400, "request head exceeds 16 KiB\n"));
+            self.respond_inline(
+                token,
+                Response::text(400, "request head exceeds 16 KiB\n"),
+                "head-oversize",
+            );
         } else if peer_closed {
-            self.conns.remove(&token); // truncated head: nothing to answer
+            self.close_conn(token); // truncated head: nothing to answer
         } else {
             let _ = self
                 .ep
@@ -379,22 +521,38 @@ impl EventLoop {
     }
 
     /// Sends a loop-generated response (parse failures, oversize) and
-    /// closes afterwards — the framing is unrecoverable.
-    fn respond_inline(&mut self, token: u64, resp: Response) {
+    /// closes afterwards — the framing is unrecoverable. Reported via
+    /// `on_loop_response` so the failure is still counted, access-logged
+    /// and trace-correlatable even though no worker ever saw it.
+    fn respond_inline(&mut self, token: u64, resp: Response, detail: &'static str) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let request_id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let status = resp.status;
         conn.close_after = true;
+        conn.served += 1;
         conn.phase = Phase::Writing(OutBuf::new(resp.encode_head(request_id, false), resp.body));
+        if let Some(t) = &self.telemetry {
+            (t.on_loop_response)(request_id, status, detail);
+        }
         self.advance_write(token);
     }
 
     fn on_done(&mut self, done: Done) {
+        if let Some(t) = &self.telemetry {
+            t.registry.observe_with(
+                "jedule_wake_dispatch_seconds",
+                &[],
+                &DISPATCH_BUCKETS_S,
+                done.finished.elapsed().as_secs_f64(),
+            );
+        }
         let Some(conn) = self.conns.get_mut(&done.token) else {
             return; // connection died while rendering
         };
         conn.close_after |= !done.keep_alive;
+        conn.served += 1;
         conn.phase = Phase::Writing(OutBuf::new(done.head, done.body));
         conn.last_activity = Instant::now();
         self.advance_write(done.token);
@@ -410,7 +568,7 @@ impl EventLoop {
         match out.write_some(&mut conn.stream) {
             Ok(true) => {
                 if conn.close_after {
-                    self.conns.remove(&token);
+                    self.close_conn(token);
                     return;
                 }
                 conn.phase = Phase::Reading;
@@ -424,7 +582,7 @@ impl EventLoop {
                     .modify(conn.stream.as_raw_fd(), token, EPOLLOUT | EPOLLRDHUP);
             }
             Err(_) => {
-                self.conns.remove(&token);
+                self.close_conn(token);
             }
         }
     }
@@ -443,13 +601,22 @@ impl EventLoop {
             .map(|(t, _)| *t)
             .collect();
         for token in stale {
-            if let Some(mut conn) = self.conns.remove(&token) {
-                if !conn.rb.is_empty() {
-                    let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+            let had_partial = self.conns.get(&token).is_some_and(|c| !c.rb.is_empty());
+            if had_partial {
+                let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(conn) = self.conns.get_mut(&token) {
                     let resp = Response::text(408, "timed out waiting for a complete head\n");
                     let _ = conn.stream.write_all(&resp.encode(id, false));
+                    conn.served += 1;
+                }
+                if let Some(t) = &self.telemetry {
+                    (t.on_loop_response)(id, 408, "idle-timeout");
                 }
             }
+            if let Some(t) = &self.telemetry {
+                t.registry.counter_add("jedule_idle_closed_total", &[], 1);
+            }
+            self.close_conn(token);
         }
     }
 }
@@ -473,7 +640,14 @@ mod tests {
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let join = std::thread::spawn(move || {
-            run(listener, 2, flag, Arc::new(AtomicU64::new(0)), handler)
+            run(
+                listener,
+                2,
+                flag,
+                Arc::new(AtomicU64::new(0)),
+                handler,
+                None,
+            )
         });
         (addr, shutdown, join)
     }
@@ -546,6 +720,97 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 400"), "{head}");
         shutdown.store(true, Ordering::SeqCst);
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn telemetry_counts_connections_and_loop_errors() {
+        let registry = Registry::new();
+        type LoopError = (u64, u16, &'static str);
+        let loop_errors: Arc<Mutex<Vec<LoopError>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&loop_errors);
+        let telemetry = LoopTelemetry {
+            registry: registry.clone(),
+            on_loop_response: Arc::new(move |id, status, detail| {
+                sink.lock().unwrap().push((id, status, detail));
+            }),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let join = std::thread::spawn(move || {
+            run(
+                listener,
+                2,
+                flag,
+                Arc::new(AtomicU64::new(0)),
+                echo_handler(),
+                Some(telemetry),
+            )
+        });
+
+        // One keep-alive connection serving two requests, then closing.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        w.write_all(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        let _ = read_response(&mut r);
+        w.write_all(b"GET /b HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let _ = read_response(&mut r);
+        drop((r, w));
+
+        // One malformed head: loop-generated 400, reported via callback.
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut rb = BufReader::new(bad);
+        let (head, _) = read_response(&mut rb);
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        drop(rb);
+
+        // Both connections must be fully closed (reuse depth recorded)
+        // before shutdown snapshots the registry.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while registry
+            .histogram("jedule_connection_requests", &[])
+            .map_or(0, |h| h.count)
+            < 2
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        join.join().unwrap().unwrap();
+
+        assert_eq!(
+            registry.counter_value("jedule_connections_accepted_total", &[]),
+            2
+        );
+        // The keep-alive connection served 2, the malformed one 1.
+        let reuse = registry
+            .histogram("jedule_connection_requests", &[])
+            .unwrap();
+        assert_eq!(reuse.count, 2);
+        assert!((reuse.sum - 3.0).abs() < 1e-9);
+        // Two handled jobs flowed through the queue + workers.
+        let wait = registry
+            .histogram("jedule_render_queue_wait_seconds", &[])
+            .unwrap();
+        assert_eq!(wait.count, 2);
+        let jobs = registry
+            .histogram("jedule_worker_job_seconds", &[])
+            .unwrap();
+        assert_eq!(jobs.count, 2);
+        let wake = registry
+            .histogram("jedule_wake_dispatch_seconds", &[])
+            .unwrap();
+        assert_eq!(wake.count, 2);
+        // The loop error surfaced exactly once with its detail tag.
+        let errs = loop_errors.lock().unwrap();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].1, 400);
+        assert_eq!(errs[0].2, "head-parse");
     }
 
     #[test]

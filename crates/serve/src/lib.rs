@@ -45,12 +45,14 @@ pub mod trace_ring;
 
 use cache::{fnv1a64, LruCache};
 use http::{Request, Response};
-use jedule_core::obs::{self, Collector, Registry};
+use jedule_core::obs::{self, AccessLog, AccessRecord, Collector, ObsReport, Registry};
 use jedule_core::PreparedSchedule;
+use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tile::TileStore;
 use trace_ring::TraceRing;
@@ -79,6 +81,17 @@ pub struct ServeConfig {
     pub tile_cache_cap: usize,
     /// Retained per-request span trees for `/debug/trace/<id>`.
     pub trace_keep: usize,
+    /// Streams one JSONL access record per request to this path
+    /// (`-` = stdout). `None` disables streaming; the in-memory ring
+    /// behind `/debug/log` is always on.
+    pub access_log: Option<String>,
+    /// Retained records in the in-memory access-log ring
+    /// (`/debug/log`).
+    pub access_log_keep: usize,
+    /// Requests slower than this many milliseconds are flagged `slow`
+    /// in the access log and their full span tree is pinned in the
+    /// trace ring (only other slow requests can evict it).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +104,9 @@ impl Default for ServeConfig {
             body_cache_cap: None,
             tile_cache_cap: 1024,
             trace_keep: 32,
+            access_log: None,
+            access_log_keep: 512,
+            slow_ms: None,
         }
     }
 }
@@ -120,6 +136,13 @@ struct State {
     digests: LruCache<PathBuf, FileDigest>,
     next_id: Arc<AtomicU64>,
     started: Instant,
+    /// Bounded ring of per-request access records (`/debug/log`).
+    access: AccessLog,
+    /// Optional JSONL stream (`--access-log <file|->`), line-buffered
+    /// per record so a tailing consumer sees requests as they finish.
+    access_sink: Option<Mutex<Box<dyn std::io::Write + Send>>>,
+    /// `--slow-ms` threshold, in microseconds.
+    slow_us: Option<f64>,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks the calling
@@ -157,6 +180,37 @@ impl Server {
         } else {
             config.workers
         };
+        // Build/identity metrics exist from the first scrape on, not
+        // only after the first request.
+        registry.gauge_set(
+            "jedule_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+            1.0,
+        );
+        registry.gauge_set("jedule_uptime_seconds", &[], 0.0);
+        registry.gauge_set("jedule_render_workers", &[], workers as f64);
+        let access_sink: Option<Mutex<Box<dyn std::io::Write + Send>>> = match &config.access_log {
+            None => None,
+            Some(s) if s == "-" => Some(Mutex::new(Box::new(std::io::stdout()))),
+            Some(p) => {
+                let f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .map_err(|e| format!("access log {p}: {e}"))?;
+                Some(Mutex::new(Box::new(f)))
+            }
+        };
         Ok(Server {
             listener,
             addr,
@@ -171,6 +225,9 @@ impl Server {
                 digests: LruCache::new(config.cache_cap.max(64)),
                 next_id: Arc::new(AtomicU64::new(0)),
                 started: Instant::now(),
+                access: AccessLog::new(config.access_log_keep),
+                access_sink,
+                slow_us: config.slow_ms.map(|ms| ms as f64 * 1e3),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -202,12 +259,20 @@ impl Server {
             let state = Arc::clone(&self.state);
             let handler: event_loop::Handler =
                 Arc::new(move |id, req| handle_request(&state, id, req));
+            let loop_state = Arc::clone(&self.state);
+            let telemetry = event_loop::LoopTelemetry {
+                registry: self.state.registry.clone(),
+                on_loop_response: Arc::new(move |id, status, detail| {
+                    record_loop_response(&loop_state, id, status, detail)
+                }),
+            };
             event_loop::run(
                 self.listener,
                 self.workers,
                 self.shutdown,
                 Arc::clone(&self.state.next_id),
                 handler,
+                Some(telemetry),
             )
         }
         #[cfg(not(target_os = "linux"))]
@@ -316,6 +381,7 @@ fn handle_connection(state: &State, mut stream: std::net::TcpStream) {
             Err(e) => {
                 let id = state.next_id.fetch_add(1, Ordering::SeqCst) + 1;
                 let _ = stream.write_all(&Response::text(400, e + "\n").encode(id, false));
+                record_loop_response(state, id, 400, "head-parse");
                 return;
             }
         };
@@ -403,6 +469,51 @@ fn describe_metrics(r: &Registry) {
         "Figure shards currently cached",
     );
     r.describe("jedule_plan_cache_entries", "Render plans currently cached");
+    r.describe(
+        "jedule_build_info",
+        "Constant 1, with the build identity in the labels",
+    );
+    r.describe("jedule_render_workers", "Render worker threads in the pool");
+    r.describe(
+        "jedule_busy_workers",
+        "Workers currently inside the request handler",
+    );
+    r.describe(
+        "jedule_render_queue_depth",
+        "Parsed requests queued for a worker",
+    );
+    r.describe(
+        "jedule_render_queue_wait_seconds",
+        "Time a parsed request waited in the render queue",
+    );
+    r.describe(
+        "jedule_wake_dispatch_seconds",
+        "Worker eventfd signal to event-loop response dispatch",
+    );
+    r.describe(
+        "jedule_worker_job_seconds",
+        "Handler time per job (sum/uptime*workers = busy fraction)",
+    );
+    r.describe(
+        "jedule_connections",
+        "Open connections by state (reading/busy/writing)",
+    );
+    r.describe(
+        "jedule_connections_accepted_total",
+        "Connections accepted since start",
+    );
+    r.describe(
+        "jedule_connection_requests",
+        "Responses served per connection (keep-alive reuse depth)",
+    );
+    r.describe(
+        "jedule_idle_closed_total",
+        "Connections closed by the idle sweep",
+    );
+    r.describe(
+        "jedule_access_log_records_total",
+        "Access records pushed into the /debug/log ring",
+    );
 }
 
 /// Bounded-cardinality route label for metrics.
@@ -410,10 +521,13 @@ fn route_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
+        "/metrics.json" => "/metrics.json",
         "/render" => "/render",
         "/explore" => "/explore",
         "/meta" => "/meta",
         "/" => "/",
+        "/debug/dash" => "/debug/dash",
+        "/debug/log" => "/debug/log",
         p if p.starts_with("/debug/trace/") => "/debug/trace",
         _ => "other",
     }
@@ -445,18 +559,156 @@ fn handle_request(state: &State, request_id: u64, req: &Request) -> Response {
         &[("route", label), ("status", &status)],
         1,
     );
+    let dur = started.elapsed();
     state.registry.observe(
         "jedule_http_request_duration_seconds",
         &[("route", label)],
-        started.elapsed().as_secs_f64(),
+        dur.as_secs_f64(),
     );
     let report = col.report();
     state.registry.absorb(&report);
-    state.traces.push(request_id, report);
+
+    // Distill the request into one access record: per-stage micros from
+    // the span tree, the canonical option key from the figure span's
+    // detail, and the cache disposition from the one-shot counters.
+    let dur_us = dur.as_secs_f64() * 1e6;
+    let slow = state.slow_us.is_some_and(|t| dur_us >= t);
+    let mut stages: BTreeMap<&str, f64> = BTreeMap::new();
+    for s in &report.spans {
+        *stages.entry(s.name).or_insert(0.0) += s.dur_us;
+    }
+    let opt_key = report
+        .spans
+        .iter()
+        .find(|s| s.name == "serve.figure")
+        .and_then(|s| s.detail.clone())
+        .unwrap_or_default();
+    emit_access(
+        state,
+        AccessRecord {
+            id: request_id,
+            unix_ms: unix_ms_now(),
+            method: req.method.clone(),
+            path: request_target(req),
+            opt_key,
+            status: resp.status,
+            disposition: disposition(resp.status, &report).to_string(),
+            dur_us,
+            bytes: resp.body.len() as u64,
+            stages_us: stages
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            slow,
+        },
+    );
+    // A slow request's span tree is pinned: a burst of fast requests
+    // cannot evict the trace the operator will actually ask for.
+    state.traces.push_shared(request_id, Arc::new(report), slow);
     state
         .registry
         .gauge_add("jedule_inflight_requests", &[], -1.0);
     resp
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Classifies a finished request for the access log. For 200 figure
+/// responses the categories partition exactly against the registry
+/// counters: `hit` ↔ `jedule_render_cache_hits_total`, `revalidated` ↔
+/// `jedule_render_not_modified_total`, and `miss` + `tile` ↔
+/// `jedule_render_cache_misses_total` (`tile` = the body was assembled
+/// with at least one warm shard). Errors are `error`; endpoints that
+/// produce no figure are `none`.
+/// The request line's target rebuilt from the decoded path and query —
+/// `Request` does not keep the raw form, and the access log wants the
+/// whole thing so `/debug/log?path=` can filter on inputs.
+fn request_target(req: &Request) -> String {
+    let mut target = req.path.clone();
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(k);
+        if !v.is_empty() {
+            target.push('=');
+            target.push_str(v);
+        }
+    }
+    target
+}
+
+fn disposition(status: u16, report: &ObsReport) -> &'static str {
+    if status >= 400 {
+        "error"
+    } else if report.counter("serve.not_modified") > 0 {
+        "revalidated"
+    } else if report.counter("serve.body_cache_hit") > 0 {
+        "hit"
+    } else if report.counter("serve.body_cache_miss") > 0 {
+        if report.counter("serve.tile_hit") > 0 {
+            "tile"
+        } else {
+            "miss"
+        }
+    } else {
+        "none"
+    }
+}
+
+/// Pushes a record into the ring and streams it as one JSONL line when
+/// `--access-log` is set.
+fn emit_access(state: &State, record: AccessRecord) {
+    if let Some(sink) = &state.access_sink {
+        let line = record.to_jsonl();
+        let mut w = sink.lock().unwrap();
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+    state.access.push(record);
+    state
+        .registry
+        .counter_add("jedule_access_log_records_total", &[], 1);
+}
+
+/// Records a loop-generated response (head-parse 400, oversize 400,
+/// idle-sweep 408) that never reached [`handle_request`]: it is counted
+/// under the `loop` route, access-logged with disposition `error`, and
+/// given a minimal trace so `X-Jedule-Request-Id` still correlates with
+/// `/debug/trace/<id>` and `/debug/log`.
+fn record_loop_response(state: &State, request_id: u64, status: u16, detail: &'static str) {
+    let status_str = status.to_string();
+    state.registry.counter_add(
+        "jedule_http_requests_total",
+        &[("route", "loop"), ("status", &status_str)],
+        1,
+    );
+    let col = Collector::new();
+    {
+        let _g = col.install();
+        let _s = col.span_with("serve.loop_error", detail);
+    }
+    emit_access(
+        state,
+        AccessRecord {
+            id: request_id,
+            unix_ms: unix_ms_now(),
+            method: "-".to_string(),
+            path: format!("({detail})"),
+            opt_key: String::new(),
+            status,
+            disposition: "error".to_string(),
+            dur_us: 0.0,
+            bytes: 0,
+            stages_us: Vec::new(),
+            slow: false,
+        },
+    );
+    state.traces.push(request_id, col.report());
 }
 
 const INDEX: &str = "\
@@ -472,6 +724,11 @@ jedule serve — render service
   GET /meta?file=F[&width=px]          figure metadata JSON (extents,
         clusters/hosts, task count, kinds) the explorer boots from
   GET /metrics                         Prometheus text exposition
+  GET /metrics.json                    the same snapshot as key-sorted JSON
+  GET /debug/dash                      self-contained live dashboard (polls
+        /metrics.json; qps, latency percentiles, cache tiers, queue depth)
+  GET /debug/log[?n=N][&status=S][&path=substr]
+        recent access records as JSONL, newest first
   GET /debug/trace/<request-id>        Chrome trace JSON of a recent request
 
 Connections are persistent (HTTP/1.1 keep-alive, pipelining allowed).
@@ -485,6 +742,9 @@ fn route(state: &State, req: &Request) -> Response {
         "/" => Response::text(200, INDEX),
         "/healthz" => Response::text(200, "ok\n"),
         "/metrics" => handle_metrics(state),
+        "/metrics.json" => handle_metrics_json(state),
+        "/debug/dash" => handle_dash(),
+        "/debug/log" => handle_log(state, req),
         "/render" => match handle_render(state, req) {
             Ok(resp) => resp,
             Err(resp) => resp,
@@ -504,8 +764,9 @@ fn route(state: &State, req: &Request) -> Response {
     }
 }
 
-fn handle_metrics(state: &State) -> Response {
-    let _s = obs::span("serve.metrics_encode");
+/// Refreshes the point-in-time gauges both metrics endpoints snapshot,
+/// so `/metrics` and `/metrics.json` always expose the same families.
+fn set_runtime_gauges(state: &State) {
     let r = &state.registry;
     r.gauge_set(
         "jedule_uptime_seconds",
@@ -532,12 +793,63 @@ fn handle_metrics(state: &State) -> Response {
         &[],
         state.tiles.plans_len() as f64,
     );
+}
+
+fn handle_metrics(state: &State) -> Response {
+    let _s = obs::span("serve.metrics_encode");
+    set_runtime_gauges(state);
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
-        body: Arc::new(r.render_prometheus().into_bytes()),
+        body: Arc::new(state.registry.render_prometheus().into_bytes()),
         etag: None,
     }
+}
+
+/// `/metrics.json` — the registry snapshot as key-sorted JSON, same
+/// families and series as the text exposition (the dash polls this).
+fn handle_metrics_json(state: &State) -> Response {
+    let _s = obs::span("serve.metrics_encode");
+    set_runtime_gauges(state);
+    Response {
+        status: 200,
+        content_type: "application/json",
+        body: Arc::new(state.registry.render_json().into_bytes()),
+        etag: None,
+    }
+}
+
+/// `/debug/dash` — a single compiled-in, dependency-free HTML page
+/// (same discipline as the explorer template: zero external requests).
+/// All live data arrives by polling `/metrics.json` from the page.
+fn handle_dash() -> Response {
+    const DASH: &str = include_str!("dash.html");
+    Response::bytes(200, "text/html; charset=utf-8", DASH.as_bytes().to_vec())
+}
+
+/// `/debug/log?n=&status=&path=` — tails the access-record ring as
+/// JSONL, newest first.
+fn handle_log(state: &State, req: &Request) -> Response {
+    let n = match req.param("n") {
+        None => 100,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::text(400, format!("n: cannot parse {v:?}\n")),
+        },
+    };
+    let status = match req.param("status") {
+        None => None,
+        Some(v) => match v.parse::<u16>() {
+            Ok(s) => Some(s),
+            Err(_) => return Response::text(400, format!("status: cannot parse {v:?}\n")),
+        },
+    };
+    let mut out = String::new();
+    for rec in state.access.tail(n, status, req.param("path")) {
+        out.push_str(&rec.to_jsonl());
+        out.push('\n');
+    }
+    Response::bytes(200, "application/x-ndjson", out.into_bytes())
 }
 
 fn handle_trace(state: &State, id: &str) -> Response {
@@ -795,6 +1107,9 @@ fn figure_response(
     opts: &jedule_render::RenderOptions,
     opt_key: &str,
 ) -> Result<Response, Response> {
+    // The span detail carries the canonical option key up to the
+    // access log (and times the whole figure pipeline as one stage).
+    let _fig = obs::span_with("serve.figure", || opt_key.to_string());
     let content_type: &'static str = match opts.format {
         jedule_render::OutputFormat::Png => "image/png",
         _ => "image/svg+xml",
@@ -923,6 +1238,7 @@ fn handle_meta(state: &State, req: &Request) -> Result<Response, Response> {
     let (_, path) = resolve_file_param(state, req, "meta")?;
     let width = parse_width(req.param("width")).map_err(|msg| Response::text(400, msg + "\n"))?;
     let opt_key = format!("meta;w={width}");
+    let _fig = obs::span_with("serve.figure", || opt_key.clone());
 
     let (digest, src) = digest_for(state, &path)?;
     let etag = etag_for(digest, &opt_key);

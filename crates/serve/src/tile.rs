@@ -32,7 +32,7 @@
 //! exact partition the tests and the bench assert.
 
 use crate::cache::{fnv1a64, LruCache};
-use jedule_core::obs::Registry;
+use jedule_core::obs::{self, Registry};
 use jedule_render::{svg, tile as rtile, LayoutScratch, OutputFormat, RenderOptions, Scene};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -215,9 +215,13 @@ impl TileStore {
         registry.counter_add("jedule_tile_lookups_total", &[("fmt", fmt)], 1);
         if let Some(t) = self.tiles.get(&key) {
             registry.counter_add("jedule_tile_cache_hits_total", &[("fmt", fmt)], 1);
+            // Per-request visibility too: the access log classifies a
+            // body-cache miss as "tile" when warm shards helped.
+            obs::count("serve.tile_hit", 1);
             return t;
         }
         registry.counter_add("jedule_tile_cache_misses_total", &[("fmt", fmt)], 1);
+        obs::count("serve.tile_miss", 1);
         self.tiles.insert(key, Arc::new(make()))
     }
 }

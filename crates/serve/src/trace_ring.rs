@@ -14,6 +14,12 @@ use std::sync::{Arc, Mutex};
 pub struct TraceRing {
     keep: usize,
     inner: Mutex<VecDeque<(u64, Arc<ObsReport>)>>,
+    /// A second ring of the same capacity for requests that crossed
+    /// the `--slow-ms` threshold: a burst of fast requests evicts the
+    /// main ring in milliseconds, but the slow outliers — the traces
+    /// an operator actually wants — survive here until `keep` *other
+    /// slow* requests displace them.
+    slow: Mutex<VecDeque<(u64, Arc<ObsReport>)>>,
 }
 
 impl TraceRing {
@@ -21,39 +27,64 @@ impl TraceRing {
         TraceRing {
             keep,
             inner: Mutex::new(VecDeque::new()),
+            slow: Mutex::new(VecDeque::new()),
         }
     }
 
     /// Retains `report` under `request_id`, evicting the oldest entry
     /// when full. A `keep` of 0 retains nothing.
     pub fn push(&self, request_id: u64, report: ObsReport) {
+        self.push_shared(request_id, Arc::new(report), false);
+    }
+
+    /// Like [`TraceRing::push`] for an already-shared report; `pin`
+    /// additionally retains it in the slow ring, where only other
+    /// pinned traces can evict it.
+    pub fn push_shared(&self, request_id: u64, report: Arc<ObsReport>, pin: bool) {
         if self.keep == 0 {
             return;
+        }
+        if pin {
+            let mut slow = self.slow.lock().unwrap();
+            if slow.len() == self.keep {
+                slow.pop_front();
+            }
+            slow.push_back((request_id, Arc::clone(&report)));
         }
         let mut ring = self.inner.lock().unwrap();
         if ring.len() == self.keep {
             ring.pop_front();
         }
-        ring.push_back((request_id, Arc::new(report)));
+        ring.push_back((request_id, report));
     }
 
-    /// The retained report for `request_id`, if it has not been evicted.
+    /// The retained report for `request_id`, if it has not been evicted
+    /// from the main ring or the pinned slow ring.
     pub fn get(&self, request_id: u64) -> Option<Arc<ObsReport>> {
-        let ring = self.inner.lock().unwrap();
-        ring.iter()
-            .rev()
-            .find(|(id, _)| *id == request_id)
-            .map(|(_, r)| Arc::clone(r))
+        let find = |ring: &Mutex<VecDeque<(u64, Arc<ObsReport>)>>| {
+            ring.lock()
+                .unwrap()
+                .iter()
+                .rev()
+                .find(|(id, _)| *id == request_id)
+                .map(|(_, r)| Arc::clone(r))
+        };
+        find(&self.inner).or_else(|| find(&self.slow))
     }
 
-    /// Ids currently retained, oldest first.
+    /// Ids currently retained (either ring), ascending, deduplicated.
     pub fn ids(&self) -> Vec<u64> {
-        self.inner
+        let mut ids: Vec<u64> = self
+            .inner
             .lock()
             .unwrap()
             .iter()
             .map(|(id, _)| *id)
-            .collect()
+            .chain(self.slow.lock().unwrap().iter().map(|(id, _)| *id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     pub fn len(&self) -> usize {
@@ -92,7 +123,29 @@ mod tests {
     fn zero_keep_retains_nothing() {
         let ring = TraceRing::new(0);
         ring.push(1, report());
+        ring.push_shared(2, Arc::new(report()), true);
         assert!(ring.is_empty());
         assert!(ring.get(1).is_none());
+        assert!(ring.get(2).is_none());
+    }
+
+    #[test]
+    fn pinned_traces_survive_fast_request_churn() {
+        let ring = TraceRing::new(2);
+        ring.push_shared(1, Arc::new(report()), true);
+        for id in 2..=10 {
+            ring.push(id, report()); // evicts the main ring many times
+        }
+        // The slow request outlived the churn; only the newest two fast
+        // ones remain in the main ring.
+        assert!(ring.get(1).is_some());
+        assert!(ring.get(9).is_some());
+        assert!(ring.get(2).is_none());
+        assert_eq!(ring.ids(), vec![1, 9, 10]);
+        // Only another pinned trace evicts a pinned trace.
+        ring.push_shared(11, Arc::new(report()), true);
+        ring.push_shared(12, Arc::new(report()), true);
+        assert!(ring.get(1).is_none());
+        assert!(ring.get(11).is_some() && ring.get(12).is_some());
     }
 }

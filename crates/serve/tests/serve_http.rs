@@ -42,6 +42,7 @@ fn start_with(tag: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (ServerHandle,
         body_cache_cap: None,
         tile_cache_cap: 256,
         trace_keep: 8,
+        ..ServeConfig::default()
     };
     tweak(&mut config);
     let server = Server::bind(config).unwrap();
@@ -645,5 +646,251 @@ fn explore_pan_sequence_hits_the_tile_store() {
     .unwrap();
     assert_eq!(read_framed(&mut stream).status, 304);
     assert!(reg.counter_value("jedule_render_not_modified_total", &[]) >= 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_json_mirrors_the_prometheus_families() {
+    let (server, _root, _csv) = start("metricsjson");
+    let addr = server.addr();
+    assert_eq!(get(addr, "/render?file=sched.csv").status, 200);
+    assert_eq!(get(addr, "/healthz").status, 200);
+
+    let json_reply = get(addr, "/metrics.json");
+    assert_eq!(json_reply.status, 200);
+    assert_eq!(json_reply.header("Content-Type"), Some("application/json"));
+    let json = String::from_utf8(json_reply.body).unwrap();
+    assert!(json.starts_with("{\"schema\":\"jedule-registry-v1\""));
+
+    // Every family the Prometheus text exposition declares must appear
+    // in the JSON twin (the registry unit tests prove exact key-for-key
+    // agreement; this guards the HTTP plumbing end to end).
+    let text = String::from_utf8(get(addr, "/metrics").body).unwrap();
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let family = line.split_whitespace().nth(2).unwrap();
+        assert!(
+            json.contains(&format!("\"{family}")),
+            "family {family} missing from /metrics.json"
+        );
+    }
+    // Spot-check the new introspection families and histogram shape.
+    assert!(json.contains("\"jedule_build_info{"));
+    assert!(json.contains("\"jedule_uptime_seconds\""));
+    assert!(json.contains("\"jedule_connections_accepted_total\""));
+    assert!(json.contains("\"jedule_http_request_duration_seconds{route="));
+    assert!(json.contains("\"bounds\":["));
+    assert!(json.contains("\"cumulative\":["));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn debug_dash_is_a_self_contained_page() {
+    let (server, _root, _csv) = start("dash");
+    let dash = get(server.addr(), "/debug/dash");
+    assert_eq!(dash.status, 200);
+    assert!(dash
+        .header("Content-Type")
+        .unwrap()
+        .starts_with("text/html"));
+    let page = String::from_utf8(dash.body).unwrap();
+    assert!(page.contains("/metrics.json"), "dash polls /metrics.json");
+    assert!(page.contains("<script>") && page.contains("</html>"));
+    assert!(!page.contains("__JEDULE_"), "unfilled placeholder");
+    assert!(
+        !page.contains("http://") && !page.contains("https://"),
+        "dash must not reference any external URL"
+    );
+    assert!(
+        !page.contains("src=") && !page.contains("@import"),
+        "dash must not load external assets"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn debug_log_tails_newest_first_with_filters() {
+    let (server, _root, _csv) = start("accesslog");
+    let addr = server.addr();
+    assert_eq!(get(addr, "/healthz").status, 200);
+    assert_eq!(get(addr, "/render?file=sched.csv").status, 200);
+    assert_eq!(get(addr, "/render?file=missing.csv").status, 404);
+
+    let tail = get(addr, "/debug/log?n=10");
+    assert_eq!(tail.status, 200);
+    assert_eq!(tail.header("Content-Type"), Some("application/x-ndjson"));
+    let body = String::from_utf8(tail.body).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3, "three requests so far: {body}");
+    // Newest first: the 404 tops the tail, the healthz closes it.
+    assert!(lines[0].contains("\"status\":404"));
+    assert!(lines[0].contains("\"cache\":\"error\""));
+    assert!(lines[2].contains("/healthz"));
+    for line in &lines {
+        assert!(line.starts_with("{\"id\":"), "JSONL record: {line}");
+        assert!(line.ends_with('}'), "JSONL record: {line}");
+        assert!(line.contains("\"ts_ms\":") && line.contains("\"dur_us\":"));
+    }
+    // The ids in the tail resolve at /debug/trace/<id>.
+    let id: u64 = lines[1]
+        .split("\"id\":")
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(get(addr, &format!("/debug/trace/{id}")).status, 200);
+
+    // Filters: by status, by path substring, and bad params → 400.
+    let by_status = get(addr, "/debug/log?status=404&n=10");
+    let body = String::from_utf8(by_status.body).unwrap();
+    assert_eq!(body.lines().count(), 1, "{body}");
+    assert!(body.contains("missing.csv"));
+    let by_path = get(addr, "/debug/log?path=healthz&n=10");
+    assert_eq!(String::from_utf8(by_path.body).unwrap().lines().count(), 1);
+    assert_eq!(get(addr, "/debug/log?n=junk").status, 400);
+    assert_eq!(get(addr, "/debug/log?status=junk").status, 400);
+    server.shutdown().unwrap();
+}
+
+/// The acceptance invariant: access-log records partition exactly into
+/// cache dispositions that agree with the registry counters.
+#[test]
+fn access_dispositions_partition_and_match_counters() {
+    // A one-slot body cache so a pan A→B→A re-renders window A from the
+    // tile store — exercising the `tile` disposition alongside the rest.
+    let (server, _root, _csv) = start_with("dispo", |c| c.body_cache_cap = Some(1));
+    let addr = server.addr();
+    let win_a = "/render?file=sched.csv&width=640&window=0:4";
+    let win_b = "/render?file=sched.csv&width=640&window=2:6";
+    let first = get(addr, win_a);
+    assert_eq!(first.status, 200);
+    let etag_a = first.header("ETag").unwrap().to_string();
+    assert_eq!(get(addr, win_b).status, 200);
+    assert_eq!(get(addr, win_a).status, 200); // tile-assisted re-render
+    assert_eq!(get(addr, "/healthz").status, 200); // disposition "none"
+    assert_eq!(get(addr, "/render?file=nope.csv").status, 404);
+
+    // One revalidation → disposition "revalidated".
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {win_a} HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag_a}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    assert_eq!(read_framed(&mut stream).status, 304);
+
+    // Snapshot before tailing: the /debug/log request logs itself only
+    // after its own response (the tail) has been built.
+    let reg = server.registry();
+    let records_before = reg.counter_value("jedule_access_log_records_total", &[]);
+    let tail = get(addr, "/debug/log?n=100");
+    let body = String::from_utf8(tail.body).unwrap();
+    let count = |d: &str| {
+        body.lines()
+            .filter(|l| l.contains(&format!("\"cache\":\"{d}\"")))
+            .count() as u64
+    };
+    let (hit, miss, tile, reval, error, none) = (
+        count("hit"),
+        count("miss"),
+        count("tile"),
+        count("revalidated"),
+        count("error"),
+        count("none"),
+    );
+    assert_eq!(
+        hit + miss + tile + reval + error + none,
+        body.lines().count() as u64,
+        "every record carries exactly one known disposition: {body}"
+    );
+
+    assert_eq!(
+        hit,
+        reg.counter_value("jedule_render_cache_hits_total", &[])
+    );
+    assert_eq!(
+        miss + tile,
+        reg.counter_value("jedule_render_cache_misses_total", &[]),
+        "miss and tile dispositions partition the body-cache misses"
+    );
+    assert_eq!(
+        reval,
+        reg.counter_value("jedule_render_not_modified_total", &[])
+    );
+    assert!(tile >= 1, "the pan-back render must be tile-assisted");
+    assert_eq!(error, 1);
+    assert_eq!(records_before, body.lines().count() as u64);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn access_log_streams_jsonl_and_slow_requests_pin_traces() {
+    let (root_dir, _) = temp_root("logsink_dir");
+    let log_path = root_dir.join("access.jsonl");
+    let log_str = log_path.to_str().unwrap().to_string();
+    let (server, _root, _csv) = start_with("logsink", move |c| {
+        c.access_log = Some(log_str);
+        c.slow_ms = Some(0); // every request counts as slow
+    });
+    let addr = server.addr();
+    assert_eq!(get(addr, "/render?file=sched.csv").status, 200);
+    assert_eq!(get(addr, "/healthz").status, 200);
+    server.shutdown().unwrap();
+
+    let streamed = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = streamed.lines().collect();
+    assert_eq!(lines.len(), 2, "{streamed}");
+    for line in &lines {
+        assert!(line.starts_with("{\"id\":"), "well-formed JSONL: {line}");
+        assert!(
+            line.contains("\"slow\":true"),
+            "slow-ms 0 marks all: {line}"
+        );
+        assert!(line.contains("\"stages_us\":{"), "per-stage micros: {line}");
+    }
+    assert!(lines[0].contains("\"opt\":"), "render records its opt key");
+}
+
+/// Satellite (b): responses the event loop generates without ever
+/// reaching `handle_request` (malformed head → 400) still carry a
+/// request id that resolves at `/debug/trace/<id>` and appears in the
+/// access log under the `loop` route.
+#[test]
+fn loop_generated_errors_stay_correlatable() {
+    let (server, _root, _csv) = start("looperr");
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"BOGUS nonsense\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head = String::from_utf8_lossy(&raw);
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    let id: u64 = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Jedule-Request-Id: "))
+        .expect("error response carries a request id")
+        .trim()
+        .parse()
+        .unwrap();
+
+    let trace = get(addr, &format!("/debug/trace/{id}"));
+    assert_eq!(trace.status, 200, "loop 400 must leave a trace");
+    assert!(String::from_utf8(trace.body)
+        .unwrap()
+        .contains("serve.loop_error"));
+
+    let tail = get(addr, "/debug/log?status=400&n=10");
+    let body = String::from_utf8(tail.body).unwrap();
+    assert!(body.contains("(head-parse)"), "{body}");
+    assert!(body.contains(&format!("\"id\":{id}")), "{body}");
+    assert_eq!(
+        server.registry().counter_value(
+            "jedule_http_requests_total",
+            &[("route", "loop"), ("status", "400")]
+        ),
+        1
+    );
     server.shutdown().unwrap();
 }
